@@ -1,0 +1,394 @@
+// Top-level benchmarks: one group per paper table/figure, as indexed in
+// DESIGN.md. Workload sizes are trimmed so `go test -bench=.` completes
+// in minutes; cmd/swbench regenerates the full paper-scale reports.
+package swfpga_test
+
+import (
+	"fmt"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/evalue"
+	"swfpga/internal/fpga"
+	"swfpga/internal/host"
+	"swfpga/internal/linear"
+	"swfpga/internal/protein"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+	"swfpga/internal/systolic"
+	"swfpga/internal/wavefront"
+)
+
+// E2 — figure 2: the full similarity matrix.
+func BenchmarkFigure2Matrix(b *testing.B) {
+	s := []byte("TATGGAC")
+	t := []byte("TAGTGACT")
+	sc := align.DefaultLinear()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		align.LocalMatrix(s, t, sc)
+	}
+}
+
+// E3 — sec. 2.3: the linear-memory scan that replaces the quadratic
+// matrix (also the software baseline of E7).
+func BenchmarkMemoryLinearScan(b *testing.B) {
+	g := seq.NewGenerator(1)
+	q := g.Random(100)
+	db := g.Random(1_000_000)
+	sc := align.DefaultLinear()
+	b.SetBytes(int64(len(q)) * int64(len(db))) // bytes/s reads as cells/s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LocalScore(q, db, sc)
+	}
+}
+
+// E4 — figure 3: wavefront-parallel software scan.
+func BenchmarkWavefront(b *testing.B) {
+	g := seq.NewGenerator(2)
+	s := g.Random(8_000)
+	t := g.Random(8_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := wavefront.DefaultConfig()
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("pipeline-w%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(s)) * int64(len(t)))
+			for i := 0; i < b.N; i++ {
+				if _, err := wavefront.Pipeline(cfg, s, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("tiled-w%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(s)) * int64(len(t)))
+			for i := 0; i < b.N; i++ {
+				if _, err := wavefront.Tiled(cfg, s, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5 — table 1: modeling the comparative architectures is pure
+// arithmetic; the benchmark covers the estimator itself.
+func BenchmarkTable1Estimate(b *testing.B) {
+	cfg := systolic.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		systolic.EstimateStats(cfg, 3_000, 2_100_000)
+	}
+}
+
+// E6 — table 2: synthesis resource/clock estimation.
+func BenchmarkTable2Synthesize(b *testing.B) {
+	dev := fpga.Paper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fpga.Synthesize(dev, 100, fpga.CoordinateElement)
+	}
+}
+
+// E7 — sec. 6 headline: software scan vs cycle-accurate array on the
+// same workload shape (100 BP query, megabase database).
+func BenchmarkHeadlineSoftware(b *testing.B) {
+	g := seq.NewGenerator(3)
+	q := g.Random(100)
+	db := g.Random(1_000_000)
+	sc := align.DefaultLinear()
+	b.SetBytes(int64(len(q)) * int64(len(db)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LocalScore(q, db, sc)
+	}
+}
+
+func BenchmarkHeadlineSystolicSim(b *testing.B) {
+	g := seq.NewGenerator(3)
+	q := g.Random(100)
+	db := g.Random(1_000_000)
+	cfg := systolic.DefaultConfig()
+	b.SetBytes(int64(len(q)) * int64(len(db)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := systolic.Run(cfg, q, db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — figures 5/6: the per-element datapath cost of coordinate
+// tracking (score-only vs full element).
+func BenchmarkElementVariants(b *testing.B) {
+	g := seq.NewGenerator(4)
+	q := g.Random(100)
+	db := g.Random(100_000)
+	for _, track := range []bool{true, false} {
+		name := "score-only"
+		if track {
+			name = "coordinates"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := systolic.DefaultConfig()
+			cfg.TrackCoords = track
+			b.SetBytes(int64(len(q)) * int64(len(db)))
+			for i := 0; i < b.N; i++ {
+				if _, err := systolic.Run(cfg, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 — figure 7: query partitioning overhead across strip counts.
+func BenchmarkPartitioning(b *testing.B) {
+	g := seq.NewGenerator(5)
+	db := g.Random(50_000)
+	for _, queryLen := range []int{100, 400, 1600} {
+		q := g.Random(queryLen)
+		b.Run(fmt.Sprintf("strips-%d", (queryLen+99)/100), func(b *testing.B) {
+			cfg := systolic.DefaultConfig()
+			b.SetBytes(int64(queryLen) * int64(len(db)))
+			for i := 0; i < b.N; i++ {
+				if _, err := systolic.Run(cfg, q, db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E11 — sec. 2.3/5 integration: the accelerated three-phase pipeline
+// against the all-software pipeline.
+func BenchmarkPipeline(b *testing.B) {
+	g := seq.NewGenerator(6)
+	s, t, err := g.HomologousPair(5_000, seq.DefaultMutationProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	b.Run("accelerated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dev := host.NewDevice()
+			if _, err := host.Pipeline(dev, s, t, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("software", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := linear.Local(s, t, sc, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E3/phase-3 — Hirschberg retrieval cost.
+func BenchmarkHirschberg(b *testing.B) {
+	g := seq.NewGenerator(7)
+	s, t, err := g.HomologousPair(3_000, seq.DefaultMutationProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	b.SetBytes(int64(len(s)) * int64(len(t)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		linear.Global(s, t, sc)
+	}
+}
+
+// Baseline comparators used across the paper discussion.
+func BenchmarkBaselines(b *testing.B) {
+	g := seq.NewGenerator(8)
+	s := g.Random(2_000)
+	t := g.Random(2_000)
+	sc := align.DefaultLinear()
+	asc := align.DefaultAffine()
+	cells := int64(len(s)) * int64(len(t))
+	b.Run("quadratic-traceback", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			align.LocalAlign(s, t, sc)
+		}
+	})
+	b.Run("linear-score", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			align.LocalScore(s, t, sc)
+		}
+	})
+	b.Run("gotoh-affine-score", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			align.AffineLocalScore(s, t, asc)
+		}
+	})
+	b.Run("anchored-score", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			align.AnchoredBest(s, t, sc)
+		}
+	})
+}
+
+// Sec. 4 ([2]) — the affine-gap array vs software Gotoh.
+func BenchmarkAffine(b *testing.B) {
+	g := seq.NewGenerator(9)
+	q := g.Random(100)
+	db := g.Random(200_000)
+	cells := int64(len(q)) * int64(len(db))
+	b.Run("array-sim", func(b *testing.B) {
+		cfg := systolic.DefaultAffineConfig()
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			if _, err := systolic.RunAffine(cfg, q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("software-gotoh", func(b *testing.B) {
+		sc := align.DefaultAffine()
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			align.AffineLocalScore(q, db, sc)
+		}
+	})
+}
+
+// Sec. 4 ([21]/[23]) — protein matrix scoring.
+func BenchmarkProtein(b *testing.B) {
+	g := protein.NewGenerator(10)
+	q := g.Random(100)
+	db := g.Random(200_000)
+	m := protein.BLOSUM62(-8)
+	cells := int64(len(q)) * int64(len(db))
+	b.Run("software-scan", func(b *testing.B) {
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			protein.LocalScore(q, db, m)
+		}
+	})
+	b.Run("array-sim", func(b *testing.B) {
+		cfg := systolic.DefaultConfig()
+		cfg.Subst = m
+		cfg.Scoring = align.LinearScoring{Match: 1, Mismatch: -1, Gap: m.Gap}
+		b.SetBytes(cells)
+		for i := 0; i < b.N; i++ {
+			if _, err := systolic.Run(cfg, q, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Sec. 5 integration with [3]/[7] — distributed forward scan.
+func BenchmarkCluster(b *testing.B) {
+	g := seq.NewGenerator(11)
+	q := g.Random(100)
+	db := g.Random(500_000)
+	sc := align.DefaultLinear()
+	for _, boards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("boards-%d", boards), func(b *testing.B) {
+			b.SetBytes(int64(len(q)) * int64(len(db)))
+			for i := 0; i < b.N; i++ {
+				c := host.NewCluster(boards)
+				if _, _, _, err := c.BestLocal(q, db, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Sec. 2.4 ([3]) — divergence-banded retrieval vs Hirschberg retrieval.
+func BenchmarkRetrieval(b *testing.B) {
+	g := seq.NewGenerator(12)
+	s, t, err := g.HomologousPair(4_000, seq.MutationProfile{Substitution: 0.05, Insertion: 0.002, Deletion: 0.002})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	b.Run("hirschberg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := linear.Local(s, t, sc, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("divergence-banded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := linear.LocalRestricted(s, t, sc, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Database search throughput (the sec. 6 workload generalized).
+func BenchmarkSearch(b *testing.B) {
+	g := seq.NewGenerator(13)
+	q := g.Random(80)
+	db := make([]seq.Sequence, 16)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("r%d", i), 20_000)
+	}
+	b.SetBytes(int64(len(q)) * int64(16*20_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Search(db, q, search.Options{Workers: 4}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sec. 2.4 — the affine wavefront pipeline vs sequential Gotoh.
+func BenchmarkWavefrontAffine(b *testing.B) {
+	g := seq.NewGenerator(14)
+	s := g.Random(6_000)
+	t := g.Random(6_000)
+	sc := align.DefaultAffine()
+	cells := int64(len(s)) * int64(len(t))
+	for _, workers := range []int{1, 4} {
+		cfg := wavefront.DefaultConfig()
+		cfg.Workers = workers
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.SetBytes(cells)
+			for i := 0; i < b.N; i++ {
+				if _, err := wavefront.PipelineAffine(cfg, s, t, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// [25] — Myers-Miller linear-space affine retrieval.
+func BenchmarkMyersMiller(b *testing.B) {
+	g := seq.NewGenerator(15)
+	s, t, err := g.HomologousPair(2_000, seq.DefaultMutationProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := align.DefaultAffine()
+	b.SetBytes(int64(len(s)) * int64(len(t)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linear.GlobalAffine(s, t, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Significance calibration cost (amortized once per scoring system).
+func BenchmarkEvalueCalibrate(b *testing.B) {
+	sc := align.DefaultLinear()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalue.CalibrateGapped(sc, 32, 512, 16, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

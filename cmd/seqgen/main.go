@@ -1,0 +1,56 @@
+// Command seqgen writes synthetic DNA workloads as FASTA.
+//
+//	seqgen -n 10000000 -id db > db.fa
+//	seqgen -n 100000 -mutate 0.05 -indel 0.005 -id pair   # two homologous records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swfpga/internal/seq"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 1000, "sequence length in bases")
+		id     = flag.String("id", "seq", "record identifier")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		mutate = flag.Float64("mutate", 0, "if > 0, also emit a homolog with this substitution rate")
+		indel  = flag.Float64("indel", 0, "insertion and deletion rate of the homolog")
+		width  = flag.Int("width", 70, "FASTA line width")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	g := seq.NewGenerator(*seed)
+	records := []seq.Sequence{g.RandomSequence(*id, *n)}
+	if *mutate > 0 || *indel > 0 {
+		hom, err := g.Mutate(records[0].Data, seq.MutationProfile{
+			Substitution: *mutate, Insertion: *indel, Deletion: *indel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		records = append(records, seq.Sequence{ID: *id + "-homolog", Data: hom})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := seq.WriteFASTA(w, *width, records...); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Command swalign aligns two DNA sequences.
+//
+// Sequences are given inline or as FASTA files (first record used):
+//
+//	swalign -s TATGGAC -t TAGTGACT
+//	swalign -sfile query.fa -tfile genome.fa -mode local -space linear
+//
+// Modes: local (Smith-Waterman), global (Needleman-Wunsch), score
+// (score and coordinates only — the paper's FPGA output contract).
+// Space: quadratic (full matrix traceback) or linear (Hirschberg /
+// three-phase pipeline, paper sec. 2.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swfpga/internal/align"
+	"swfpga/internal/cliutil"
+	"swfpga/internal/linear"
+	"swfpga/internal/protein"
+)
+
+func main() {
+	var (
+		sArg     = flag.String("s", "", "query sequence (inline)")
+		tArg     = flag.String("t", "", "database sequence (inline)")
+		sFile    = flag.String("sfile", "", "query FASTA file (first record)")
+		tFile    = flag.String("tfile", "", "database FASTA file (first record)")
+		mode     = flag.String("mode", "local", "local | global | score")
+		space    = flag.String("space", "linear", "linear | quadratic")
+		match    = flag.Int("match", 1, "match score")
+		mismatch = flag.Int("mismatch", -1, "mismatch score")
+		gap      = flag.Int("gap", -2, "gap penalty")
+		affine   = flag.Bool("affine", false, "use Gotoh affine gaps (local mode, quadratic space)")
+		gapOpen  = flag.Int("gapopen", -3, "affine gap open")
+		gapExt   = flag.Int("gapext", -1, "affine gap extend")
+		matrix   = flag.String("matrix", "", "protein substitution matrix: blosum62 | pam250 (sequences are amino acids)")
+	)
+	flag.Parse()
+
+	if *matrix != "" {
+		runProtein(*matrix, *gap, *sArg, *sFile, *tArg, *tFile)
+		return
+	}
+
+	s, err := cliutil.LoadSequence(*sArg, *sFile, "query")
+	if err != nil {
+		fatal(err)
+	}
+	t, err := cliutil.LoadSequence(*tArg, *tFile, "database")
+	if err != nil {
+		fatal(err)
+	}
+	sc := align.LinearScoring{Match: *match, Mismatch: *mismatch, Gap: *gap}
+	if err := sc.Validate(); err != nil {
+		fatal(err)
+	}
+
+	if *affine {
+		asc := align.AffineScoring{Match: *match, Mismatch: *mismatch, GapOpen: *gapOpen, GapExtend: *gapExt}
+		if err := asc.Validate(); err != nil {
+			fatal(err)
+		}
+		var r align.Result
+		switch {
+		case *mode == "global":
+			var err error
+			r, err = linear.GlobalAffine(s, t, asc)
+			if err != nil {
+				fatal(err)
+			}
+		case *space == "linear":
+			var err error
+			r, _, err = linear.LocalAffine(s, t, asc)
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			r = align.AffineLocalAlign(s, t, asc)
+		}
+		printResult(r, s, t)
+		return
+	}
+
+	switch *mode {
+	case "score":
+		score, i, j := align.LocalScore(s, t, sc)
+		fmt.Printf("score\t%d\nend\t(%d,%d)\n", score, i, j)
+	case "local":
+		var r align.Result
+		if *space == "quadratic" {
+			r = align.LocalAlign(s, t, sc)
+		} else {
+			var err error
+			r, _, err = linear.Local(s, t, sc, nil)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		printResult(r, s, t)
+	case "global":
+		var r align.Result
+		if *space == "quadratic" {
+			r = align.GlobalAlign(s, t, sc)
+		} else {
+			r = linear.Global(s, t, sc)
+		}
+		printResult(r, s, t)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// runProtein aligns amino-acid sequences under a substitution matrix.
+func runProtein(name string, gap int, sArg, sFile, tArg, tFile string) {
+	var m *protein.SubstMatrix
+	switch name {
+	case "blosum62":
+		m = protein.BLOSUM62(gap)
+	case "pam250":
+		m = protein.PAM250(gap)
+	default:
+		fatal(fmt.Errorf("unknown matrix %q (blosum62 | pam250)", name))
+	}
+	if gap == -2 {
+		// The DNA default is too permissive for protein matrices; use
+		// the conventional -8 unless the user overrode it.
+		m.Gap = -8
+	}
+	if err := m.Validate(); err != nil {
+		fatal(err)
+	}
+	load := func(inline, file, what string) []byte {
+		switch {
+		case inline != "" && file != "":
+			fatal(fmt.Errorf("give the %s sequence inline or as a file, not both", what))
+		case inline != "":
+			norm, err := protein.Normalize([]byte(inline))
+			if err != nil {
+				fatal(err)
+			}
+			return norm
+		case file != "":
+			recs, err := protein.ReadFASTAFile(file)
+			if err != nil {
+				fatal(err)
+			}
+			if len(recs) == 0 {
+				fatal(fmt.Errorf("%s: no records in %s", what, file))
+			}
+			return recs[0].Residues
+		default:
+			fatal(fmt.Errorf("missing %s sequence", what))
+		}
+		return nil
+	}
+	s := load(sArg, sFile, "query")
+	t := load(tArg, tFile, "database")
+	r := protein.LocalAlign(s, t, m)
+	fmt.Printf("matrix\t%s (gap %d)\n", m.Name, m.Gap)
+	printResult(r, s, t)
+}
+
+func printResult(r align.Result, s, t []byte) {
+	fmt.Printf("score\t%d\n", r.Score)
+	if r.Score == 0 && len(r.Ops) == 0 {
+		fmt.Println("no positive-scoring alignment")
+		return
+	}
+	fmt.Printf("query\ts[%d:%d]\ndatabase\tt[%d:%d]\n", r.SStart, r.SEnd, r.TStart, r.TEnd)
+	fmt.Printf("cigar\t%s\nidentity\t%.1f%%\n\n%s\n", align.CIGAR(r.Ops), r.Identity()*100, r.Format(s, t))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swalign:", err)
+	os.Exit(1)
+}

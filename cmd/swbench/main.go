@@ -1,0 +1,90 @@
+// Command swbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	swbench -list
+//	swbench -run headline -scale 0.01
+//	swbench -all -scale 0.01
+//
+// At -scale 1 the headline experiment uses the paper's full 100 BP x
+// 10 MBP workload, which simulates one billion cell updates and takes a
+// few seconds per engine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"swfpga/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
+		seed    = flag.Int64("seed", 1, "workload generator seed")
+		workers = flag.Int("workers", 0, "max workers for parallel experiments (0 = GOMAXPROCS)")
+		reps    = flag.Int("reps", 1, "repetitions for host-software measurements")
+		outDir  = flag.String("o", "", "also write each report to <dir>/<id>.txt")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Workers: *workers, Reps: *reps}
+	switch {
+	case *list:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %-45s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+	case *all:
+		for _, e := range bench.Experiments() {
+			fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
+			if err := runOne(e, cfg, *outDir); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *run != "":
+		e, err := bench.ByID(*run)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
+		if err := runOne(e, cfg, *outDir); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runOne executes an experiment, teeing the report into outDir when set.
+func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
+	if outDir == "" {
+		return e.Run(os.Stdout, cfg)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outDir, e.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := io.MultiWriter(os.Stdout, f)
+	fmt.Fprintf(f, "=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
+	if err := e.Run(w, cfg); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swbench:", err)
+	os.Exit(1)
+}

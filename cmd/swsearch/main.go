@@ -1,0 +1,147 @@
+// Command swsearch scans a query against every record of a FASTA
+// database and ranks the hits — the paper's workload as a tool.
+//
+//	swsearch -query query.fa -db database.fa -k 10 -retrieve
+//	swsearch -q ACGTACGT -db database.fa -engine fpga -elements 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swfpga/internal/align"
+	"swfpga/internal/cliutil"
+	"swfpga/internal/evalue"
+	"swfpga/internal/host"
+	"swfpga/internal/linear"
+	"swfpga/internal/protein"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+)
+
+func main() {
+	var (
+		qArg       = flag.String("q", "", "query sequence (inline)")
+		qFile      = flag.String("query", "", "query FASTA file (first record)")
+		dbFile     = flag.String("db", "", "database FASTA file (all records)")
+		topK       = flag.Int("k", 10, "hits to report (0 = all)")
+		minScore   = flag.Int("min", 1, "minimum score")
+		perRecord  = flag.Int("per-record", 1, "non-overlapping hits per record")
+		retrieve   = flag.Bool("retrieve", false, "retrieve and print full alignments")
+		workers    = flag.Int("workers", 0, "concurrent records (0 = GOMAXPROCS)")
+		engine     = flag.String("engine", "software", "scan engine: software | fpga")
+		elements   = flag.Int("elements", 100, "array elements per simulated board (fpga engine)")
+		translated = flag.Bool("translated", false, "protein query vs DNA database (all six reading frames, BLOSUM62)")
+		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
+	)
+	flag.Parse()
+
+	if *dbFile == "" {
+		fatal(fmt.Errorf("missing -db database file"))
+	}
+	db, err := seq.ReadFASTAFile(*dbFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *translated {
+		runTranslated(*qArg, *qFile, db, *topK, *minScore, *workers)
+		return
+	}
+	query, err := cliutil.LoadSequence(*qArg, *qFile, "query")
+	if err != nil {
+		fatal(err)
+	}
+
+	var newScanner func() linear.Scanner
+	switch *engine {
+	case "software":
+	case "fpga":
+		newScanner = func() linear.Scanner {
+			d := host.NewDevice()
+			d.Array.Elements = *elements
+			return d
+		}
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+
+	opts := search.Options{
+		MinScore:  *minScore,
+		TopK:      *topK,
+		PerRecord: *perRecord,
+		Retrieve:  *retrieve,
+		Workers:   *workers,
+	}
+	if *withEvalue {
+		params, err := evalue.CalibrateGapped(align.DefaultLinear(), len(query), 4096, 48, 1)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Stats = &params
+		fmt.Printf("statistics: lambda %.4f, K %.4f (gapped, calibrated by simulation)\n", params.Lambda, params.K)
+	}
+	hits, err := search.Search(db, query, opts, newScanner)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%d hits for %d BP query against %d records\n\n", len(hits), len(query), len(db))
+	fmt.Printf("%-4s %-20s %-7s %-18s %-12s %s\n", "#", "record", "score", "span (record)", "end (i,j)", "E-value / bits")
+	for i, h := range hits {
+		stats := ""
+		if opts.Stats != nil {
+			stats = fmt.Sprintf("%.2g / %.1f", h.EValue, h.BitScore)
+		}
+		fmt.Printf("%-4d %-20s %-7d [%d:%d)%*s (%d,%d)   %s\n",
+			i+1, h.RecordID, h.Result.Score,
+			h.Result.TStart, h.Result.TEnd,
+			16-len(fmt.Sprintf("[%d:%d)", h.Result.TStart, h.Result.TEnd)), "",
+			h.Result.SEnd, h.Result.TEnd, stats)
+		if *retrieve && h.Result.Ops != nil {
+			fmt.Printf("\n%s\n\n", h.Result.Format(query, db[h.RecordIndex].Data))
+		}
+	}
+}
+
+// runTranslated scans a protein query against the six reading frames of
+// every DNA record.
+func runTranslated(qArg, qFile string, db []seq.Sequence, topK, minScore, workers int) {
+	var query []byte
+	switch {
+	case qArg != "":
+		var err error
+		query, err = protein.Normalize([]byte(qArg))
+		if err != nil {
+			fatal(err)
+		}
+	case qFile != "":
+		recs, err := protein.ReadFASTAFile(qFile)
+		if err != nil {
+			fatal(err)
+		}
+		if len(recs) == 0 {
+			fatal(fmt.Errorf("%s: no records", qFile))
+		}
+		query = recs[0].Residues
+	default:
+		fatal(fmt.Errorf("missing protein query"))
+	}
+	hits, err := search.TranslatedSearch(db, query, search.TranslatedOptions{
+		MinScore: minScore, TopK: topK, Workers: workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d translated hits for %d-residue query against %d DNA records\n\n",
+		len(hits), len(query), len(db))
+	fmt.Printf("%-4s %-20s %-6s %-7s %s\n", "#", "record", "frame", "score", "fragment offset")
+	for i, h := range hits {
+		fmt.Printf("%-4d %-20s %-6d %-7d %d\n", i+1, h.RecordID, h.Frame, h.Score, h.FragmentOffset)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swsearch:", err)
+	os.Exit(1)
+}

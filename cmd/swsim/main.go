@@ -1,0 +1,147 @@
+// Command swsim runs the cycle-accurate systolic array simulator on two
+// sequences and reports the hardware-level outcome: score, coordinates,
+// cycles, strips, modeled FPGA time and throughput.
+//
+//	swsim -s TATGGAC -t TAGTGACT
+//	swsim -sfile query.fa -tfile db.fa -elements 100 -timing calibrated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"swfpga/internal/align"
+	"swfpga/internal/cliutil"
+	"swfpga/internal/fpga"
+	"swfpga/internal/host"
+	"swfpga/internal/systolic"
+)
+
+func main() {
+	var (
+		sArg     = flag.String("s", "", "query sequence (inline)")
+		tArg     = flag.String("t", "", "database sequence (inline)")
+		sFile    = flag.String("sfile", "", "query FASTA file (first record)")
+		tFile    = flag.String("tfile", "", "database FASTA file (first record)")
+		elements = flag.Int("elements", 100, "processing elements in the array")
+		bits     = flag.Int("bits", 16, "score register width in bits")
+		reload   = flag.Int("reload", 0, "per-strip query reload cycles")
+		timing   = flag.String("timing", "calibrated", "timing model: ideal | calibrated")
+		verify   = flag.Bool("verify", true, "cross-check against the software scan")
+		anchored = flag.Bool("anchored", false, "anchored datapath (phase-2 variant)")
+		trace    = flag.Bool("trace", false, "dump per-clock register state (small runs only)")
+		vcd      = flag.String("vcd", "", "write an IEEE 1364 VCD waveform to this file (small runs only)")
+		affine   = flag.Bool("affine", false, "Gotoh affine-gap array (default affine scoring)")
+		boards   = flag.Int("boards", 1, "distribute the scan across this many simulated boards")
+	)
+	flag.Parse()
+
+	s, err := cliutil.LoadSequence(*sArg, *sFile, "query")
+	if err != nil {
+		fatal(err)
+	}
+	t, err := cliutil.LoadSequence(*tArg, *tFile, "database")
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := systolic.DefaultConfig()
+	cfg.Elements = *elements
+	cfg.ScoreBits = *bits
+	cfg.ReloadCycles = *reload
+	cfg.Anchored = *anchored
+	if *boards > 1 {
+		runCluster(*boards, *elements, s, t)
+		return
+	}
+	var res systolic.Result
+	switch {
+	case *vcd != "":
+		var f *os.File
+		f, err = os.Create(*vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err = systolic.WriteVCD(cfg, s, t, f)
+	case *trace:
+		res, err = systolic.Trace(cfg, s, t, os.Stdout)
+	case *affine:
+		acfg := systolic.DefaultAffineConfig()
+		acfg.Elements = *elements
+		acfg.ScoreBits = *bits
+		acfg.ReloadCycles = *reload
+		res, err = systolic.RunAffine(acfg, s, t)
+	default:
+		res, err = systolic.Run(cfg, s, t)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var tm fpga.TimingModel
+	switch *timing {
+	case "ideal":
+		tm = fpga.IdealTiming()
+	case "calibrated":
+		tm = fpga.CalibratedTiming()
+	default:
+		fatal(fmt.Errorf("unknown timing model %q", *timing))
+	}
+
+	fmt.Printf("score\t%d\nend\t(%d,%d)\n", res.Score, res.EndI, res.EndJ)
+	fmt.Printf("cells\t%d\ncycles\t%d\nstrips\t%d\nborder SRAM\t%d words\n",
+		res.Stats.Cells, res.Stats.Cycles, res.Stats.Strips, res.Stats.BorderWords)
+	fmt.Printf("modeled time\t%.6f s (%s, %.2f MHz, %d clk/step)\n",
+		tm.Seconds(res.Stats), tm.Name, tm.ClockHz/1e6, tm.CyclesPerStep)
+	fmt.Printf("throughput\t%.3f GCUPS\n", tm.GCUPS(res.Stats))
+
+	if *verify {
+		var score, i, j int
+		switch {
+		case *affine:
+			score, i, j = align.AffineLocalScore(s, t, align.DefaultAffine())
+		case *anchored:
+			score, i, j = align.AnchoredBest(s, t, align.DefaultLinear())
+		default:
+			score, i, j = align.LocalScore(s, t, align.DefaultLinear())
+		}
+		if score != res.Score || i != res.EndI || j != res.EndJ {
+			fatal(fmt.Errorf("MISMATCH: software says %d at (%d,%d)", score, i, j))
+		}
+		fmt.Println("verify\tOK (matches software scan)")
+	}
+}
+
+// runCluster distributes the forward scan across several boards and
+// reports the modeled per-board breakdown.
+func runCluster(boards, elements int, s, t []byte) {
+	c := host.NewCluster(boards)
+	for _, d := range c.Devices {
+		d.Array.Elements = elements
+	}
+	score, i, j, err := c.BestLocal(s, t, align.DefaultLinear())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("score\t%d\nend\t(%d,%d)\nboards\t%d\n", score, i, j, boards)
+	var slowest float64
+	for k, d := range c.Devices {
+		fmt.Printf("board %d\tcells %d\tmodeled %.6f s\n", k, d.Metrics.Cells, d.Metrics.ComputeSeconds)
+		if d.Metrics.ComputeSeconds > slowest {
+			slowest = d.Metrics.ComputeSeconds
+		}
+	}
+	fmt.Printf("modeled scan time\t%.6f s (slowest board)\n", slowest)
+	wantScore, wi, wj := align.LocalScore(s, t, align.DefaultLinear())
+	if score != wantScore || i != wi || j != wj {
+		fatal(fmt.Errorf("MISMATCH: software says %d at (%d,%d)", wantScore, wi, wj))
+	}
+	fmt.Println("verify\tOK (matches software scan)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swsim:", err)
+	os.Exit(1)
+}

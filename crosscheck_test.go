@@ -1,0 +1,197 @@
+// Grand cross-check: every engine in the repository computes the same
+// answers on shared randomized workloads. This is the integration-level
+// statement of DESIGN.md §5 — one test matrix instead of per-package
+// pairwise checks.
+package swfpga_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/host"
+	"swfpga/internal/linear"
+	"swfpga/internal/systolic"
+	"swfpga/internal/wavefront"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+// TestGrandEquivalenceLinear runs every linear-gap engine on the same
+// inputs: quadratic SW, linear scan, systolic array (several widths),
+// wavefront pipeline and tiles, multi-board cluster — scores AND
+// coordinates must agree everywhere; the three full-alignment pipelines
+// must agree on spans and produce valid transcripts.
+func TestGrandEquivalenceLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(9001))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 25; trial++ {
+		s := randDNA(rng, 1+rng.Intn(120))
+		u := randDNA(rng, 1+rng.Intn(240))
+
+		// Reference: the quadratic matrix.
+		wantScore, wantI, wantJ := align.LocalMatrix(s, u, sc).Best()
+
+		type engine struct {
+			name  string
+			score int
+			i, j  int
+		}
+		var engines []engine
+
+		score, i, j := align.LocalScore(s, u, sc)
+		engines = append(engines, engine{"linear-scan", score, i, j})
+
+		for _, elements := range []int{1, 7, 64} {
+			cfg := systolic.DefaultConfig()
+			cfg.Elements = elements
+			res, err := systolic.Run(cfg, s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines = append(engines, engine{fmt.Sprintf("systolic-%d", elements), res.Score, res.EndI, res.EndJ})
+		}
+
+		wcfg := wavefront.DefaultConfig()
+		wcfg.Workers = 3
+		wcfg.BlockCols = 16
+		wcfg.TileRows, wcfg.TileCols = 16, 16
+		pb, err := wavefront.Pipeline(wcfg, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{"wavefront-pipeline", pb.Score, pb.I, pb.J})
+		tb, err := wavefront.Tiled(wcfg, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{"wavefront-tiled", tb.Score, tb.I, tb.J})
+
+		c := host.NewCluster(3)
+		cs, ci, cj, err := c.BestLocal(s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines = append(engines, engine{"cluster-3", cs, ci, cj})
+
+		for _, e := range engines {
+			if e.score != wantScore || (wantScore > 0 && (e.i != wantI || e.j != wantJ)) {
+				t.Fatalf("%s: %d (%d,%d) != reference %d (%d,%d) for %s / %s",
+					e.name, e.score, e.i, e.j, wantScore, wantI, wantJ, s, u)
+			}
+		}
+
+		// Full-alignment pipelines.
+		quad := align.LocalAlign(s, u, sc)
+		hir, _, err := linear.Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := linear.LocalRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := host.NewDevice()
+		dev.Array.Elements = 16
+		hw, err := host.Pipeline(dev, s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []align.Result{quad, hir, res, hw.Result} {
+			if r.Score != wantScore {
+				t.Fatalf("pipeline score %d != %d", r.Score, wantScore)
+			}
+			if wantScore > 0 {
+				if err := r.Validate(s, u, sc); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if wantScore > 0 {
+			// All three linear-space pipelines locate identical spans.
+			for _, r := range []align.Result{res, hw.Result} {
+				if r.SStart != hir.SStart || r.TStart != hir.TStart ||
+					r.SEnd != hir.SEnd || r.TEnd != hir.TEnd {
+					t.Fatalf("span disagreement: %+v vs %+v", r, hir)
+				}
+			}
+		}
+	}
+}
+
+// TestGrandEquivalenceAffine does the same for the affine-gap engines:
+// Gotoh quadratic, Gotoh scan, the affine array, Myers-Miller, and the
+// two affine local pipelines (software and device-driven).
+func TestGrandEquivalenceAffine(t *testing.T) {
+	rng := rand.New(rand.NewSource(9002))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 20; trial++ {
+		s := randDNA(rng, 1+rng.Intn(80))
+		u := randDNA(rng, 1+rng.Intn(80))
+
+		wantScore, wantI, wantJ := align.AffineLocalScore(s, u, sc)
+
+		quad := align.AffineLocalAlign(s, u, sc)
+		if quad.Score != wantScore {
+			t.Fatalf("gotoh traceback %d != scan %d", quad.Score, wantScore)
+		}
+
+		for _, elements := range []int{1, 9, 64} {
+			cfg := systolic.DefaultAffineConfig()
+			cfg.Elements = elements
+			res, err := systolic.RunAffine(cfg, s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Score != wantScore || (wantScore > 0 && (res.EndI != wantI || res.EndJ != wantJ)) {
+				t.Fatalf("affine array(%d): %d (%d,%d) != %d (%d,%d)",
+					elements, res.Score, res.EndI, res.EndJ, wantScore, wantI, wantJ)
+			}
+		}
+
+		// Global engines agree.
+		g := align.AffineGlobalScore(s, u, sc)
+		mm, err := linear.GlobalAffine(s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mm.Score != g {
+			t.Fatalf("myers-miller %d != gotoh global %d", mm.Score, g)
+		}
+
+		// Local pipelines agree and replay.
+		soft, _, err := linear.LocalAffine(s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restricted, _, err := linear.LocalAffineRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := host.NewDevice()
+		dev.Array.Elements = 16
+		hwRestricted, _, err := linear.LocalAffineRestricted(s, u, sc, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []align.Result{soft, restricted, hwRestricted} {
+			if r.Score != wantScore {
+				t.Fatalf("affine pipeline score %d != %d", r.Score, wantScore)
+			}
+			if wantScore > 0 {
+				got, err := align.AffineOpScore(r.Ops, s, u, r.SStart, r.TStart, sc)
+				if err != nil || got != r.Score {
+					t.Fatalf("affine transcript replay %d, %v", got, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Cluster: the sec. 5 integration scaled out — the forward scan of a
+// long database distributed across several simulated accelerator
+// boards (the master/worker organization of Z-align [3]), with the
+// reverse scan and retrieval completing the pipeline. The result is
+// bit-identical to a single board; only the modeled wall-clock changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"swfpga/internal/align"
+	"swfpga/internal/host"
+	"swfpga/internal/seq"
+)
+
+func main() {
+	var (
+		dbLen    = flag.Int("db", 2_000_000, "database length in bases")
+		queryLen = flag.Int("query", 120, "query length in bases")
+		seed     = flag.Int64("seed", 17, "workload seed")
+	)
+	flag.Parse()
+
+	g := seq.NewGenerator(*seed)
+	query := g.Random(*queryLen)
+	db := g.Random(*dbLen)
+	mut, err := g.Mutate(query, seq.MutationProfile{Substitution: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq.PlantMotif(db, mut, *dbLen/2)
+	sc := align.DefaultLinear()
+
+	fmt.Printf("query %d BP vs database %d BP; homolog planted at %d\n\n",
+		*queryLen, *dbLen, *dbLen/2)
+	fmt.Printf("%-8s %-22s %-14s %s\n", "boards", "result", "modeled scan", "scaling")
+	var base float64
+	for _, boards := range []int{1, 2, 4, 8} {
+		c := host.NewCluster(boards)
+		rep, err := c.Pipeline(query, db, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Result.Validate(query, db, sc); err != nil {
+			log.Fatal(err)
+		}
+		if boards == 1 {
+			base = rep.ScanSeconds
+		}
+		fmt.Printf("%-8d score %d at (%d,%d)   %-10.4f s   %.2fx\n",
+			boards, rep.Result.Score, rep.Phases.EndI, rep.Phases.EndJ,
+			rep.ScanSeconds, base/rep.ScanSeconds)
+	}
+	fmt.Println("\nevery configuration reports the identical alignment; the scan time")
+	fmt.Println("divides across boards while the few-byte result returns stay constant.")
+}

@@ -1,0 +1,58 @@
+// Longalign: the paper's sec. 2.3 motivation made concrete. Aligning
+// two long homologous sequences with the full similarity matrix would
+// need tens of gigabytes; the linear-space pipeline retrieves the exact
+// same optimal alignment in a few megabytes. The example prints the
+// memory budgets, runs the pipeline, and verifies the transcript.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 30_000, "sequence length in bases")
+		seed = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	g := seq.NewGenerator(*seed)
+	a, b, err := g.HomologousPair(*n, seq.DefaultMutationProfile())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aligning homologous pair: %d x %d BP\n\n", len(a), len(b))
+	fmt.Printf("full similarity matrix would need:  %s\n",
+		linear.FormatBytes(linear.QuadraticBytes(len(a), len(b))))
+	fmt.Printf("linear-space scan rows need:        %s\n",
+		linear.FormatBytes(linear.LinearBytes(len(a), len(b))))
+	fmt.Printf("hirschberg retrieval peak:          %s\n\n",
+		linear.FormatBytes(linear.HirschbergBytes(len(a), len(b))))
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	r, phases, err := linear.Local(a, b, align.DefaultLinear(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+
+	fmt.Printf("best local alignment: score %d\n", r.Score)
+	fmt.Printf("  span: s[%d:%d] ~ t[%d:%d]\n", r.SStart, r.SEnd, r.TStart, r.TEnd)
+	fmt.Printf("  identity %.1f%% over %d columns\n", r.Identity()*100, len(r.Ops))
+	fmt.Printf("  cells computed across scan phases: %d\n", phases.Cells)
+	fmt.Printf("  Go heap growth during the run: %s\n",
+		linear.FormatBytes(after.TotalAlloc-before.TotalAlloc))
+
+	if err := r.Validate(a, b, align.DefaultLinear()); err != nil {
+		log.Fatal("transcript failed validation: ", err)
+	}
+	fmt.Println("\ntranscript validated: consumes exactly the reported spans at the reported score.")
+}

@@ -1,0 +1,3 @@
+module swfpga
+
+go 1.22

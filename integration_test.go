@@ -1,0 +1,200 @@
+// End-to-end tests of the command-line tools: each binary is built once
+// and driven through its primary flows, checking the printed results
+// against known answers.
+package swfpga_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every cmd/ binary into a shared temp dir once.
+var toolsDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "swfpga-tools")
+	if err != nil {
+		panic(err)
+	}
+	toolsDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// tool builds (once) and returns the path of a cmd binary.
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(toolsDir, name)
+	if _, err := os.Stat(bin); err == nil {
+		return bin
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLISwalignFigure2(t *testing.T) {
+	out := run(t, tool(t, "swalign"), "-s", "TATGGAC", "-t", "TAGTGACT")
+	for _, want := range []string{"score\t3", "GAC", "3="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("swalign output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISwalignGlobalAndAffine(t *testing.T) {
+	bin := tool(t, "swalign")
+	out := run(t, bin, "-s", "ACGT", "-t", "ACGT", "-mode", "global")
+	if !strings.Contains(out, "score\t4") {
+		t.Errorf("global: %s", out)
+	}
+	out = run(t, bin, "-s", "ACGTACGT", "-t", "ACGTGGGACGT", "-affine")
+	if !strings.Contains(out, "score\t4") {
+		t.Errorf("affine: %s", out)
+	}
+	out = run(t, bin, "-matrix", "blosum62", "-s", "MKVLAWGRT", "-t", "MKVLWWGRT")
+	if !strings.Contains(out, "BLOSUM62") || !strings.Contains(out, "score\t42") {
+		t.Errorf("protein: %s", out)
+	}
+}
+
+func TestCLISwsim(t *testing.T) {
+	bin := tool(t, "swsim")
+	out := run(t, bin, "-s", "TATGGAC", "-t", "TAGTGACT")
+	for _, want := range []string{"score\t3", "end\t(7,7)", "cycles\t14", "verify\tOK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("swsim output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, bin, "-s", "TATGGAC", "-t", "TAGTGACT", "-trace")
+	if !strings.Contains(out, "best score 3 at (7,7)") {
+		t.Errorf("trace output:\n%s", out)
+	}
+	out = run(t, bin, "-s", "ACGTACGT", "-t", "ACGTGGGACGT", "-affine")
+	if !strings.Contains(out, "score\t4") || !strings.Contains(out, "verify\tOK") {
+		t.Errorf("affine sim:\n%s", out)
+	}
+}
+
+func TestCLISeqgenAndSearch(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.fa")
+	qPath := filepath.Join(dir, "q.fa")
+	seqgen := tool(t, "seqgen")
+	// Record g1 seeded 5; the query is its own prefix (same seed).
+	db := run(t, seqgen, "-n", "1500", "-id", "g1", "-seed", "5")
+	db += run(t, seqgen, "-n", "1500", "-id", "g2", "-seed", "6")
+	if err := os.WriteFile(dbPath, []byte(db), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := run(t, seqgen, "-n", "50", "-id", "q", "-seed", "5")
+	if err := os.WriteFile(qPath, []byte(q), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, tool(t, "swsearch"), "-query", qPath, "-db", dbPath, "-k", "2")
+	if !strings.Contains(out, "g1") {
+		t.Errorf("search did not rank the matching record first:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var firstHit string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") {
+			firstHit = l
+			break
+		}
+	}
+	if !strings.Contains(firstHit, "g1") || !strings.Contains(firstHit, "50") {
+		t.Errorf("first hit should be g1 with score 50: %q", firstHit)
+	}
+}
+
+func TestCLISwbench(t *testing.T) {
+	bin := tool(t, "swbench")
+	out := run(t, bin, "-list")
+	for _, id := range []string{"headline", "table1", "table2", "figure2", "protein"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %s:\n%s", id, out)
+		}
+	}
+	out = run(t, bin, "-run", "figure2")
+	if !strings.Contains(out, "best score 3 at (7,7)") {
+		t.Errorf("figure2 experiment:\n%s", out)
+	}
+	out = run(t, bin, "-run", "headline", "-scale", "0.002")
+	if !strings.Contains(out, "agreement") {
+		t.Errorf("headline experiment:\n%s", out)
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	bin := tool(t, "swalign")
+	cmd := exec.Command(bin, "-s", "ACGT") // missing database
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("missing database should fail: %s", out)
+	}
+	cmd = exec.Command(bin, "-s", "ACXT", "-t", "ACGT")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("invalid base should fail: %s", out)
+	}
+	cmd = exec.Command(tool(t, "swbench"), "-run", "nonexistent")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment should fail: %s", out)
+	}
+}
+
+func TestCLISwsimVCD(t *testing.T) {
+	dir := t.TempDir()
+	vcdPath := filepath.Join(dir, "wave.vcd")
+	out := run(t, tool(t, "swsim"), "-s", "TATGGAC", "-t", "TAGTGACT", "-vcd", vcdPath)
+	if !strings.Contains(out, "score\t3") {
+		t.Errorf("vcd run output:\n%s", out)
+	}
+	data, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions $end") {
+		t.Error("VCD file malformed")
+	}
+}
+
+func TestCLISwsearchEvalueAndTranslated(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.fa")
+	seqgen := tool(t, "seqgen")
+	db := run(t, seqgen, "-n", "900", "-id", "r1", "-seed", "21")
+	db += run(t, seqgen, "-n", "900", "-id", "r2", "-seed", "22")
+	if err := os.WriteFile(dbPath, []byte(db), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, tool(t, "swsearch"), "-q", "ACGTACGTACGTACGTACGT", "-db", dbPath, "-evalue")
+	if !strings.Contains(out, "lambda") || !strings.Contains(out, "E-value") {
+		t.Errorf("evalue output:\n%s", out)
+	}
+	out = run(t, tool(t, "swsearch"), "-translated", "-q", "MKVLAWGRTMKVLAWGRT", "-db", dbPath, "-min", "5")
+	if !strings.Contains(out, "translated hits") {
+		t.Errorf("translated output:\n%s", out)
+	}
+}
+
+func TestCLISwalignLinearAffine(t *testing.T) {
+	out := run(t, tool(t, "swalign"), "-affine", "-space", "linear", "-s", "ACGTACGTAACGT", "-t", "ACGTACCCGGGTAACGT")
+	if !strings.Contains(out, "score\t7") {
+		t.Errorf("linear-space affine:\n%s", out)
+	}
+}

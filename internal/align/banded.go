@@ -1,0 +1,198 @@
+package align
+
+import "fmt"
+
+// Support for the divergence-bounded retrieval of Z-align (the paper's
+// reference [3], described in sec. 2.4): during the scan phase the
+// "superior and inferior divergences" — how far the optimal path strays
+// above and below its anchor diagonal — are computed alongside the
+// score, and the retrieval phase then recomputes the alignment inside
+// that diagonal band only, in user-restricted memory space.
+
+// Divergence returns the inferior and superior divergences of a
+// transcript: the minimum and maximum of (t-advance − s-advance) over
+// every prefix of the path, measured from its start cell. A pure
+// substitution path has divergence (0, 0); each OpInsert pushes the
+// path up to +1 diagonals, each OpDelete down to -1.
+func Divergence(ops []Op) (inf, sup int) {
+	d := 0
+	for _, op := range ops {
+		switch op {
+		case OpInsert:
+			d++
+		case OpDelete:
+			d--
+		}
+		if d < inf {
+			inf = d
+		}
+		if d > sup {
+			sup = d
+		}
+	}
+	return inf, sup
+}
+
+// AnchoredBestDivergence is AnchoredBest extended with path divergence
+// tracking: alongside each cell's best score the scan carries the
+// inferior/superior divergence extrema of one optimal path from the
+// origin to that cell, and returns the extrema for the winning cell.
+// The extra state models the two additional registers a Z-align-style
+// scan phase maintains. O(n) memory.
+func AnchoredBestDivergence(s, t []byte, sc LinearScoring) (score, endI, endJ, infDiv, supDiv int) {
+	n := len(t)
+	row := make([]int, n+1)
+	rowInf := make([]int, n+1) // divergence minimum of the tracked path
+	rowSup := make([]int, n+1) // divergence maximum
+	for j := 1; j <= n; j++ {
+		row[j] = j * sc.Gap
+		rowSup[j] = j // path along row 0: divergence climbs to +j
+	}
+	score, endI, endJ = 0, 0, 0
+	for j := 1; j <= n; j++ {
+		if row[j] > score {
+			score, endI, endJ, infDiv, supDiv = row[j], 0, j, 0, j
+		}
+	}
+	for i := 1; i <= len(s); i++ {
+		diag, diagInf, diagSup := row[0], rowInf[0], rowSup[0]
+		row[0] = i * sc.Gap
+		rowInf[0] = -i
+		rowSup[0] = 0
+		if row[0] > score {
+			score, endI, endJ, infDiv, supDiv = row[0], i, 0, -i, 0
+		}
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			up, upInf, upSup := row[j], rowInf[j], rowSup[j]
+			// d is the divergence of cell (i, j) itself.
+			d := j - i
+			best := diag + sc.Score(base, t[j-1])
+			bInf, bSup := diagInf, diagSup
+			if v := up + sc.Gap; v > best {
+				best, bInf, bSup = v, upInf, upSup
+			}
+			if v := row[j-1] + sc.Gap; v > best {
+				best, bInf, bSup = v, rowInf[j-1], rowSup[j-1]
+			}
+			if d < bInf {
+				bInf = d
+			}
+			if d > bSup {
+				bSup = d
+			}
+			row[j], rowInf[j], rowSup[j] = best, bInf, bSup
+			diag, diagInf, diagSup = up, upInf, upSup
+			if best > score {
+				score, endI, endJ, infDiv, supDiv = best, i, j, bInf, bSup
+			}
+		}
+	}
+	return score, endI, endJ, infDiv, supDiv
+}
+
+// BandedGlobalAlign computes the optimal global alignment of s and t
+// restricted to diagonals j-i in [lo, hi], with traceback. Time and
+// memory are O(m × band) instead of O(m × n) — the user-restricted
+// memory retrieval of Z-align, valid whenever an optimal alignment's
+// divergences lie within the band. The band must contain both the start
+// diagonal 0 and the end diagonal n-m.
+func BandedGlobalAlign(s, t []byte, sc LinearScoring, lo, hi int) (Result, error) {
+	m, n := len(s), len(t)
+	if lo > 0 || hi < 0 {
+		return Result{}, fmt.Errorf("align: band [%d,%d] excludes the start diagonal 0", lo, hi)
+	}
+	if lo > n-m || hi < n-m {
+		return Result{}, fmt.Errorf("align: band [%d,%d] excludes the end diagonal %d", lo, hi, n-m)
+	}
+	width := hi - lo + 1
+	// cell (i, j) is stored at band[i][j-i-lo]; unreachable cells hold
+	// negInf. Rows 0..m, each of width cells.
+	cells := make([]int, (m+1)*width)
+	for k := range cells {
+		cells[k] = negInf
+	}
+	at := func(i, j int) int {
+		off := j - i - lo
+		if off < 0 || off >= width || j < 0 || j > n {
+			return negInf
+		}
+		return cells[i*width+off]
+	}
+	set := func(i, j, v int) { cells[i*width+(j-i-lo)] = v }
+
+	set(0, 0, 0)
+	for j := 1; j <= hi && j <= n; j++ {
+		set(0, j, j*sc.Gap)
+	}
+	for i := 1; i <= m; i++ {
+		jLo := i + lo
+		if jLo < 0 {
+			jLo = 0
+		}
+		jHi := i + hi
+		if jHi > n {
+			jHi = n
+		}
+		for j := jLo; j <= jHi; j++ {
+			if j == 0 {
+				set(i, 0, i*sc.Gap)
+				continue
+			}
+			best := negInf
+			if v := at(i-1, j-1); v > negInf {
+				if v += sc.Score(s[i-1], t[j-1]); v > best {
+					best = v
+				}
+			}
+			if v := at(i-1, j); v > negInf {
+				if v += sc.Gap; v > best {
+					best = v
+				}
+			}
+			if v := at(i, j-1); v > negInf {
+				if v += sc.Gap; v > best {
+					best = v
+				}
+			}
+			set(i, j, best)
+		}
+	}
+	if at(m, n) <= negInf/2 {
+		return Result{}, fmt.Errorf("align: band [%d,%d] disconnects (0,0) from (%d,%d)", lo, hi, m, n)
+	}
+	// Traceback inside the band.
+	var rev []Op
+	i, j := m, n
+	for i > 0 || j > 0 {
+		v := at(i, j)
+		switch {
+		case i > 0 && j > 0 && at(i-1, j-1) > negInf && v == at(i-1, j-1)+sc.Score(s[i-1], t[j-1]):
+			if s[i-1] == t[j-1] {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i--
+			j--
+		case i > 0 && at(i-1, j) > negInf && v == at(i-1, j)+sc.Gap:
+			rev = append(rev, OpDelete)
+			i--
+		case j > 0 && at(i, j-1) > negInf && v == at(i, j-1)+sc.Gap:
+			rev = append(rev, OpInsert)
+			j--
+		default:
+			return Result{}, fmt.Errorf("align: banded traceback stuck at (%d,%d)", i, j)
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return Result{Score: at(m, n), SEnd: m, TEnd: n, Ops: rev}, nil
+}
+
+// BandedBytes estimates the banded retrieval's memory in bytes, the
+// "user-restricted memory space" of Z-align.
+func BandedBytes(m, lo, hi int) uint64 {
+	return uint64(m+1) * uint64(hi-lo+1) * 8
+}

@@ -1,0 +1,146 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDivergence(t *testing.T) {
+	cases := []struct {
+		ops      []Op
+		inf, sup int
+	}{
+		{nil, 0, 0},
+		{[]Op{OpMatch, OpMatch}, 0, 0},
+		{[]Op{OpInsert, OpInsert, OpMatch}, 0, 2},
+		{[]Op{OpDelete, OpMatch, OpInsert, OpInsert, OpInsert}, -1, 2},
+		{[]Op{OpMatch, OpDelete, OpDelete}, -2, 0},
+	}
+	for _, c := range cases {
+		inf, sup := Divergence(c.ops)
+		if inf != c.inf || sup != c.sup {
+			t.Errorf("Divergence(%v) = (%d,%d), want (%d,%d)", c.ops, inf, sup, c.inf, c.sup)
+		}
+	}
+}
+
+func TestAnchoredBestDivergenceAgreesWithAnchoredBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	sc := DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		ws, wi, wj := AnchoredBest(s, u, sc)
+		gs, gi, gj, inf, sup := AnchoredBestDivergence(s, u, sc)
+		if gs != ws || gi != wi || gj != wj {
+			t.Fatalf("divergence scan %d (%d,%d) != anchored %d (%d,%d) for %s / %s",
+				gs, gi, gj, ws, wi, wj, s, u)
+		}
+		if inf > 0 || sup < 0 {
+			t.Fatalf("divergences (%d,%d) must bracket 0", inf, sup)
+		}
+		// The winning cell's own diagonal must lie within the extrema.
+		if d := gj - gi; d < inf || d > sup {
+			t.Fatalf("end diagonal %d outside divergences [%d,%d]", d, inf, sup)
+		}
+	}
+}
+
+func TestBandedGlobalFullBandMatchesNW(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	sc := DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, rng.Intn(30))
+		u := randDNA(rng, rng.Intn(30))
+		r, err := BandedGlobalAlign(s, u, sc, -len(s), len(u))
+		if err != nil {
+			t.Fatalf("full band failed for %s / %s: %v", s, u, err)
+		}
+		want := GlobalAlign(s, u, sc)
+		if r.Score != want.Score {
+			t.Fatalf("banded %d != NW %d for %s / %s", r.Score, want.Score, s, u)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBandedGlobalDivergenceSufficiency(t *testing.T) {
+	// The divergences of an optimal alignment define a sufficient band:
+	// banded retrieval inside them must reproduce the optimal score.
+	rng := rand.New(rand.NewSource(503))
+	sc := DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(40))
+		u := randDNA(rng, 1+rng.Intn(40))
+		want := GlobalAlign(s, u, sc)
+		inf, sup := Divergence(want.Ops)
+		r, err := BandedGlobalAlign(s, u, sc, inf, sup)
+		if err != nil {
+			t.Fatalf("divergence band [%d,%d] failed for %s / %s: %v", inf, sup, s, u, err)
+		}
+		if r.Score != want.Score {
+			t.Fatalf("banded %d != optimal %d in band [%d,%d]", r.Score, want.Score, inf, sup)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		rInf, rSup := Divergence(r.Ops)
+		if rInf < inf || rSup > sup {
+			t.Fatalf("retrieved path divergences (%d,%d) escape band [%d,%d]", rInf, rSup, inf, sup)
+		}
+	}
+}
+
+func TestBandedGlobalRejectsBadBands(t *testing.T) {
+	sc := DefaultLinear()
+	s := []byte("ACGT")
+	u := []byte("ACGTACGT")
+	if _, err := BandedGlobalAlign(s, u, sc, 1, 5); err == nil {
+		t.Error("band excluding diagonal 0 must fail")
+	}
+	if _, err := BandedGlobalAlign(s, u, sc, -2, 2); err == nil {
+		t.Error("band excluding the end diagonal must fail")
+	}
+}
+
+func TestBandedGlobalNarrowBeatsNothing(t *testing.T) {
+	// A zero-width band on identical sequences is the pure-diagonal
+	// alignment.
+	s := []byte("ACGTACGT")
+	r, err := BandedGlobalAlign(s, s, DefaultLinear(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score != len(s) || CIGAR(r.Ops) != "8=" {
+		t.Errorf("diagonal band: %d %s", r.Score, CIGAR(r.Ops))
+	}
+}
+
+func TestBandedGlobalEmptyInputs(t *testing.T) {
+	sc := DefaultLinear()
+	r, err := BandedGlobalAlign(nil, []byte("ACG"), sc, 0, 3)
+	if err != nil || r.Score != 3*sc.Gap {
+		t.Errorf("empty s: %+v, %v", r, err)
+	}
+	r, err = BandedGlobalAlign([]byte("ACG"), nil, sc, -3, 0)
+	if err != nil || r.Score != 3*sc.Gap {
+		t.Errorf("empty t: %+v, %v", r, err)
+	}
+	r, err = BandedGlobalAlign(nil, nil, sc, 0, 0)
+	if err != nil || r.Score != 0 || len(r.Ops) != 0 {
+		t.Errorf("empty both: %+v, %v", r, err)
+	}
+}
+
+func TestBandedBytes(t *testing.T) {
+	if got := BandedBytes(100, -2, 2); got != 101*5*8 {
+		t.Errorf("BandedBytes = %d", got)
+	}
+	full := BandedBytes(1000, -1000, 1000)
+	narrow := BandedBytes(1000, -5, 5)
+	if narrow*100 > full {
+		t.Error("narrow band should be far smaller than full band")
+	}
+}

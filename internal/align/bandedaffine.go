@@ -1,0 +1,270 @@
+package align
+
+import "fmt"
+
+// Affine-gap counterparts of the divergence-banded retrieval machinery:
+// the paper's intro motivates Z-align [3] on affine-gap comparisons of
+// megabase sequences, so the restricted-memory pipeline is provided for
+// Gotoh's model too.
+
+// AffineAnchoredBestDivergence is AffineAnchoredBest extended with path
+// divergence tracking: each of the H/E/F lanes carries the diagonal
+// drift extrema of one optimal path from the origin, and the extrema of
+// the winning cell are returned. O(n) memory.
+func AffineAnchoredBestDivergence(s, t []byte, sc AffineScoring) (score, endI, endJ, infDiv, supDiv int) {
+	m, n := len(s), len(t)
+	gapRun := func(k int) int {
+		if k == 0 {
+			return 0
+		}
+		return sc.GapOpen + (k-1)*sc.GapExtend
+	}
+	h := make([]int, n+1)
+	f := make([]int, n+1)
+	hInf := make([]int, n+1)
+	hSup := make([]int, n+1)
+	fInf := make([]int, n+1)
+	fSup := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		h[j] = gapRun(j)
+		hSup[j] = j
+		f[j] = negInf
+	}
+	score, endI, endJ = 0, 0, 0
+	for j := 1; j <= n; j++ {
+		if h[j] > score {
+			score, endI, endJ, infDiv, supDiv = h[j], 0, j, 0, j
+		}
+	}
+	for i := 1; i <= m; i++ {
+		diag, diagInf, diagSup := h[0], hInf[0], hSup[0]
+		h[0] = gapRun(i)
+		f[0] = h[0]
+		hInf[0], hSup[0] = -i, 0
+		fInf[0], fSup[0] = -i, 0
+		if h[0] > score {
+			score, endI, endJ, infDiv, supDiv = h[0], i, 0, -i, 0
+		}
+		eCur := negInf
+		eInf, eSup := 0, 0
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			d := j - i
+			// E lane: open from H[i][j-1] or extend E[i][j-1].
+			if v := h[j-1] + sc.GapOpen; v > eCur+sc.GapExtend {
+				eCur = v
+				eInf, eSup = hInf[j-1], hSup[j-1]
+			} else {
+				eCur += sc.GapExtend
+			}
+			if d < eInf {
+				eInf = d
+			}
+			if d > eSup {
+				eSup = d
+			}
+			// F lane: open from H[i-1][j] or extend F[i-1][j].
+			if v := h[j] + sc.GapOpen; v > f[j]+sc.GapExtend {
+				f[j] = v
+				fInf[j], fSup[j] = hInf[j], hSup[j]
+			} else {
+				f[j] += sc.GapExtend
+			}
+			if d < fInf[j] {
+				fInf[j] = d
+			}
+			if d > fSup[j] {
+				fSup[j] = d
+			}
+			// H lane.
+			hv := diag + sc.Score(base, t[j-1])
+			pInf, pSup := diagInf, diagSup
+			if d < pInf {
+				pInf = d
+			}
+			if d > pSup {
+				pSup = d
+			}
+			if eCur > hv {
+				hv = eCur
+				pInf, pSup = eInf, eSup
+			}
+			if f[j] > hv {
+				hv = f[j]
+				pInf, pSup = fInf[j], fSup[j]
+			}
+			diag, diagInf, diagSup = h[j], hInf[j], hSup[j]
+			h[j] = hv
+			hInf[j], hSup[j] = pInf, pSup
+			if hv > score {
+				score, endI, endJ, infDiv, supDiv = hv, i, j, pInf, pSup
+			}
+		}
+	}
+	return score, endI, endJ, infDiv, supDiv
+}
+
+// BandedAffineGlobalAlign computes the optimal affine-gap global
+// alignment restricted to diagonals j-i in [lo, hi], with traceback —
+// the affine retrieval phase of the restricted-memory pipeline. Memory
+// is O(m × band) for the three score lanes.
+func BandedAffineGlobalAlign(s, t []byte, sc AffineScoring, lo, hi int) (Result, error) {
+	m, n := len(s), len(t)
+	if lo > 0 || hi < 0 {
+		return Result{}, fmt.Errorf("align: band [%d,%d] excludes the start diagonal 0", lo, hi)
+	}
+	if lo > n-m || hi < n-m {
+		return Result{}, fmt.Errorf("align: band [%d,%d] excludes the end diagonal %d", lo, hi, n-m)
+	}
+	width := hi - lo + 1
+	size := (m + 1) * width
+	hM := make([]int, size)
+	eM := make([]int, size)
+	fM := make([]int, size)
+	for k := 0; k < size; k++ {
+		hM[k] = negInf
+		eM[k] = negInf
+		fM[k] = negInf
+	}
+	idx := func(i, j int) (int, bool) {
+		off := j - i - lo
+		if off < 0 || off >= width || j < 0 || j > n {
+			return 0, false
+		}
+		return i*width + off, true
+	}
+	get := func(mat []int, i, j int) int {
+		if k, ok := idx(i, j); ok {
+			return mat[k]
+		}
+		return negInf
+	}
+	gapRun := func(k int) int {
+		if k == 0 {
+			return 0
+		}
+		return sc.GapOpen + (k-1)*sc.GapExtend
+	}
+	if k, ok := idx(0, 0); ok {
+		hM[k] = 0
+	}
+	for j := 1; j <= hi && j <= n; j++ {
+		if k, ok := idx(0, j); ok {
+			hM[k] = gapRun(j)
+			eM[k] = gapRun(j)
+		}
+	}
+	for i := 1; i <= m; i++ {
+		jLo := i + lo
+		if jLo < 0 {
+			jLo = 0
+		}
+		jHi := i + hi
+		if jHi > n {
+			jHi = n
+		}
+		for j := jLo; j <= jHi; j++ {
+			k, ok := idx(i, j)
+			if !ok {
+				continue
+			}
+			if j == 0 {
+				hM[k] = gapRun(i)
+				fM[k] = gapRun(i)
+				continue
+			}
+			// E: from the cell to the left (same row).
+			e := negInf
+			if v := get(hM, i, j-1); v > negInf/2 {
+				e = v + sc.GapOpen
+			}
+			if v := get(eM, i, j-1); v > negInf/2 && v+sc.GapExtend > e {
+				e = v + sc.GapExtend
+			}
+			eM[k] = e
+			// F: from the cell above.
+			f := negInf
+			if v := get(hM, i-1, j); v > negInf/2 {
+				f = v + sc.GapOpen
+			}
+			if v := get(fM, i-1, j); v > negInf/2 && v+sc.GapExtend > f {
+				f = v + sc.GapExtend
+			}
+			fM[k] = f
+			// H.
+			h := negInf
+			if v := get(hM, i-1, j-1); v > negInf/2 {
+				h = v + sc.Score(s[i-1], t[j-1])
+			}
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			hM[k] = h
+		}
+	}
+	if get(hM, m, n) <= negInf/2 {
+		return Result{}, fmt.Errorf("align: band [%d,%d] disconnects (0,0) from (%d,%d)", lo, hi, m, n)
+	}
+	// Traceback across the three lanes.
+	const (
+		inH = iota
+		inE
+		inF
+	)
+	var rev []Op
+	i, j, state := m, n, inH
+	for i > 0 || j > 0 {
+		switch state {
+		case inH:
+			v := get(hM, i, j)
+			switch {
+			case v == get(eM, i, j):
+				state = inE
+			case v == get(fM, i, j):
+				state = inF
+			case i > 0 && j > 0 && get(hM, i-1, j-1) > negInf/2 &&
+				v == get(hM, i-1, j-1)+sc.Score(s[i-1], t[j-1]):
+				if s[i-1] == t[j-1] {
+					rev = append(rev, OpMatch)
+				} else {
+					rev = append(rev, OpMismatch)
+				}
+				i--
+				j--
+			default:
+				return Result{}, fmt.Errorf("align: banded affine traceback stuck at H(%d,%d)", i, j)
+			}
+		case inE:
+			v := get(eM, i, j)
+			rev = append(rev, OpInsert)
+			switch {
+			case j > 0 && get(eM, i, j-1) > negInf/2 && v == get(eM, i, j-1)+sc.GapExtend:
+				// stay in E
+			case j > 0 && get(hM, i, j-1) > negInf/2 && v == get(hM, i, j-1)+sc.GapOpen:
+				state = inH
+			default:
+				return Result{}, fmt.Errorf("align: banded affine traceback stuck at E(%d,%d)", i, j)
+			}
+			j--
+		case inF:
+			v := get(fM, i, j)
+			rev = append(rev, OpDelete)
+			switch {
+			case i > 0 && get(fM, i-1, j) > negInf/2 && v == get(fM, i-1, j)+sc.GapExtend:
+				// stay in F
+			case i > 0 && get(hM, i-1, j) > negInf/2 && v == get(hM, i-1, j)+sc.GapOpen:
+				state = inH
+			default:
+				return Result{}, fmt.Errorf("align: banded affine traceback stuck at F(%d,%d)", i, j)
+			}
+			i--
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return Result{Score: get(hM, m, n), SEnd: m, TEnd: n, Ops: rev}, nil
+}

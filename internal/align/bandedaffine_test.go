@@ -1,0 +1,104 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAffineAnchoredDivergenceAgreesWithPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(541))
+	sc := DefaultAffine()
+	for trial := 0; trial < 80; trial++ {
+		s := randDNA(rng, rng.Intn(40))
+		u := randDNA(rng, rng.Intn(40))
+		ws, wi, wj := AffineAnchoredBest(s, u, sc)
+		gs, gi, gj, inf, sup := AffineAnchoredBestDivergence(s, u, sc)
+		if gs != ws || gi != wi || gj != wj {
+			t.Fatalf("divergence scan %d (%d,%d) != plain %d (%d,%d) for %s / %s",
+				gs, gi, gj, ws, wi, wj, s, u)
+		}
+		if inf > 0 || sup < 0 {
+			t.Fatalf("divergences (%d,%d) must bracket 0", inf, sup)
+		}
+		if gs > 0 {
+			if d := gj - gi; d < inf || d > sup {
+				t.Fatalf("end diagonal %d outside [%d,%d]", d, inf, sup)
+			}
+		}
+	}
+}
+
+func TestBandedAffineFullBandMatchesGotoh(t *testing.T) {
+	rng := rand.New(rand.NewSource(542))
+	sc := DefaultAffine()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, rng.Intn(30))
+		u := randDNA(rng, rng.Intn(30))
+		r, err := BandedAffineGlobalAlign(s, u, sc, -len(s), len(u))
+		if err != nil {
+			t.Fatalf("full band failed for %s / %s: %v", s, u, err)
+		}
+		if want := AffineGlobalScore(s, u, sc); r.Score != want {
+			t.Fatalf("banded affine %d != gotoh %d for %s / %s", r.Score, want, s, u)
+		}
+		got, err := AffineOpScore(r.Ops, s, u, 0, 0, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Score {
+			t.Fatalf("transcript replays to %d, claimed %d", got, r.Score)
+		}
+	}
+}
+
+func TestBandedAffineDivergenceSufficiency(t *testing.T) {
+	// The divergence band from the anchored scan always admits an
+	// optimal banded retrieval of the prefix problem it scanned.
+	rng := rand.New(rand.NewSource(543))
+	sc := DefaultAffine()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(35))
+		u := randDNA(rng, 1+rng.Intn(35))
+		score, i, j, inf, sup := AffineAnchoredBestDivergence(s, u, sc)
+		if score == 0 {
+			continue
+		}
+		// The scan ran forward, so its extrema are the band directly.
+		lo, hi := inf, sup
+		r, err := BandedAffineGlobalAlign(s[:i], u[:j], sc, lo, hi)
+		if err != nil {
+			t.Fatalf("band [%d,%d] invalid for %s / %s end (%d,%d): %v", lo, hi, s, u, i, j, err)
+		}
+		if r.Score != score {
+			t.Fatalf("banded retrieval %d != anchored score %d", r.Score, score)
+		}
+	}
+}
+
+func TestBandedAffineRejectsBadBands(t *testing.T) {
+	sc := DefaultAffine()
+	s := []byte("ACGT")
+	u := []byte("ACGTACGT")
+	if _, err := BandedAffineGlobalAlign(s, u, sc, 1, 5); err == nil {
+		t.Error("band excluding diagonal 0 must fail")
+	}
+	if _, err := BandedAffineGlobalAlign(s, u, sc, -2, 2); err == nil {
+		t.Error("band excluding the end diagonal must fail")
+	}
+}
+
+func TestBandedAffineEdges(t *testing.T) {
+	sc := DefaultAffine()
+	r, err := BandedAffineGlobalAlign(nil, []byte("ACG"), sc, 0, 3)
+	if err != nil || r.Score != sc.GapOpen+2*sc.GapExtend {
+		t.Errorf("empty s: %+v, %v", r, err)
+	}
+	r, err = BandedAffineGlobalAlign([]byte("ACG"), nil, sc, -3, 0)
+	if err != nil || r.Score != sc.GapOpen+2*sc.GapExtend {
+		t.Errorf("empty t: %+v, %v", r, err)
+	}
+	r, err = BandedAffineGlobalAlign([]byte("ACGTACGT"), []byte("ACGTACGT"), sc, 0, 0)
+	if err != nil || r.Score != 8 || CIGAR(r.Ops) != "8=" {
+		t.Errorf("diagonal band: %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,109 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteGlobalLinear is an independent memoized Needleman-Wunsch used
+// only on tiny inputs, sharing no code with the implementations under
+// test.
+func bruteGlobalLinear(s, t []byte, sc LinearScoring) int {
+	type key struct{ i, j int }
+	memo := map[key]int{}
+	var rec func(i, j int) int
+	rec = func(i, j int) int {
+		switch {
+		case i == 0 && j == 0:
+			return 0
+		case i == 0:
+			return j * sc.Gap
+		case j == 0:
+			return i * sc.Gap
+		}
+		k := key{i, j}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		best := rec(i-1, j-1) + sc.Score(s[i-1], t[j-1])
+		if v := rec(i-1, j) + sc.Gap; v > best {
+			best = v
+		}
+		if v := rec(i, j-1) + sc.Gap; v > best {
+			best = v
+		}
+		memo[k] = best
+		return best
+	}
+	return rec(len(s), len(t))
+}
+
+// bruteLocalLinear maximizes bruteGlobalLinear over all substring
+// pairs, clamped at zero.
+func bruteLocalLinear(s, t []byte, sc LinearScoring) int {
+	best := 0
+	for i1 := 0; i1 <= len(s); i1++ {
+		for i2 := i1; i2 <= len(s); i2++ {
+			for j1 := 0; j1 <= len(t); j1++ {
+				for j2 := j1; j2 <= len(t); j2++ {
+					if v := bruteGlobalLinear(s[i1:i2], t[j1:j2], sc); v > best {
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestLocalScoreBruteForce(t *testing.T) {
+	// Fully independent oracle: the definition of local alignment as the
+	// best global alignment over all substring pairs.
+	rng := rand.New(rand.NewSource(23))
+	sc := DefaultLinear()
+	for trial := 0; trial < 25; trial++ {
+		s := randDNA(rng, 1+rng.Intn(6))
+		u := randDNA(rng, 1+rng.Intn(6))
+		want := bruteLocalLinear(s, u, sc)
+		got, _, _ := LocalScore(s, u, sc)
+		if got != want {
+			t.Fatalf("LocalScore(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}
+
+func TestGlobalScoreBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	sc := DefaultLinear()
+	for trial := 0; trial < 40; trial++ {
+		s := randDNA(rng, rng.Intn(8))
+		u := randDNA(rng, rng.Intn(8))
+		want := bruteGlobalLinear(s, u, sc)
+		if got := GlobalScore(s, u, sc); got != want {
+			t.Fatalf("GlobalScore(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}
+
+func TestAnchoredBestBruteForce(t *testing.T) {
+	// AnchoredBest == max over prefix pairs of global alignment score,
+	// clamped at zero (the empty prefix pair).
+	rng := rand.New(rand.NewSource(25))
+	sc := DefaultLinear()
+	for trial := 0; trial < 25; trial++ {
+		s := randDNA(rng, rng.Intn(7))
+		u := randDNA(rng, rng.Intn(7))
+		want := 0
+		for i := 0; i <= len(s); i++ {
+			for j := 0; j <= len(u); j++ {
+				if v := bruteGlobalLinear(s[:i], u[:j], sc); v > want {
+					want = v
+				}
+			}
+		}
+		got, _, _ := AnchoredBest(s, u, sc)
+		if got != want {
+			t.Fatalf("AnchoredBest(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package align_test
+
+import (
+	"fmt"
+
+	"swfpga/internal/align"
+)
+
+// The paper's figure 2: score and end coordinates of the best local
+// alignment, computed in linear memory.
+func ExampleLocalScore() {
+	score, i, j := align.LocalScore([]byte("TATGGAC"), []byte("TAGTGACT"), align.DefaultLinear())
+	fmt.Printf("score %d ends at (%d,%d)\n", score, i, j)
+	// Output: score 3 ends at (7,7)
+}
+
+// Full Smith-Waterman with traceback.
+func ExampleLocalAlign() {
+	r := align.LocalAlign([]byte("TATGGAC"), []byte("TAGTGACT"), align.DefaultLinear())
+	fmt.Printf("score %d, CIGAR %s\n", r.Score, align.CIGAR(r.Ops))
+	fmt.Println(r.Format([]byte("TATGGAC"), []byte("TAGTGACT")))
+	// Output:
+	// score 3, CIGAR 3=
+	// GAC
+	// |||
+	// GAC
+}
+
+// Needleman-Wunsch global alignment.
+func ExampleGlobalAlign() {
+	r := align.GlobalAlign([]byte("GATTACA"), []byte("GATACA"), align.DefaultLinear())
+	fmt.Printf("score %d, CIGAR %s\n", r.Score, align.CIGAR(r.Ops))
+	// Output: score 4, CIGAR 2=1D4=
+}
+
+// Gotoh's affine-gap model prefers one long gap over scattered ones.
+func ExampleAffineGlobalScore() {
+	sc := align.DefaultAffine()
+	oneGap := align.AffineGlobalScore([]byte("ACGTACGT"), []byte("ACGTGGGACGT"), sc)
+	fmt.Println(oneGap)
+	// Output: 3
+}

@@ -1,0 +1,86 @@
+package align
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzDNA maps arbitrary fuzz bytes onto the DNA alphabet, splitting the
+// input into two sequences at the marker byte.
+func fuzzSplit(data []byte) (s, t []byte) {
+	cut := len(data) / 2
+	return mapDNA(data[:cut]), mapDNA(data[cut:])
+}
+
+func FuzzLocalEnginesAgree(f *testing.F) {
+	f.Add([]byte("TATGGACTAGTGACT"))
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 3, 2, 1, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 400 {
+			data = data[:400]
+		}
+		s, u := fuzzSplit(data)
+		sc := DefaultLinear()
+		score, i, j := LocalScore(s, u, sc)
+		cScore, _, _ := LocalScoreColMajor(s, u, sc)
+		if score != cScore {
+			t.Fatalf("row-major %d != col-major %d", score, cScore)
+		}
+		r := LocalAlign(s, u, sc)
+		if r.Score != score {
+			t.Fatalf("traceback score %d != scan score %d", r.Score, score)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		if score > 0 {
+			d := LocalMatrix(s, u, sc)
+			if d.At(i, j) != score {
+				t.Fatalf("scan coords (%d,%d) hold %d, want %d", i, j, d.At(i, j), score)
+			}
+		}
+	})
+}
+
+func FuzzGlobalScoreConsistent(f *testing.F) {
+	f.Add([]byte("GATTACAGATTACA"))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		s, u := fuzzSplit(data)
+		sc := DefaultLinear()
+		r := GlobalAlign(s, u, sc)
+		if got := GlobalScore(s, u, sc); got != r.Score {
+			t.Fatalf("GlobalScore %d != GlobalAlign %d", got, r.Score)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		row := GlobalLastRow(s, u, sc, nil)
+		if row[len(u)] != r.Score {
+			t.Fatalf("last row corner %d != score %d", row[len(u)], r.Score)
+		}
+	})
+}
+
+func FuzzBandedFullBand(f *testing.F) {
+	f.Add([]byte("ACGTACGTAAAA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 120 {
+			data = data[:120]
+		}
+		s, u := fuzzSplit(data)
+		sc := DefaultLinear()
+		r, err := BandedGlobalAlign(s, u, sc, -len(s), len(u))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := GlobalScore(s, u, sc); r.Score != want {
+			t.Fatalf("banded %d != NW %d", r.Score, want)
+		}
+	})
+}

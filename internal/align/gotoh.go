@@ -1,0 +1,303 @@
+package align
+
+// Gotoh's algorithm for affine gap penalties (Gotoh 1982, the paper's
+// reference [11]). Three recurrences track the best score of alignments
+// ending in a substitution (H), a gap in the query (E), or a gap in the
+// database (F):
+//
+//	E[i][j] = max(H[i][j-1] + open, E[i][j-1] + extend)
+//	F[i][j] = max(H[i-1][j] + open, F[i-1][j] + extend)
+//	H[i][j] = max(0, H[i-1][j-1] + p(i,j), E[i][j], F[i][j])   (local)
+
+// negInf is a safely-additive minus infinity for DP initialization.
+const negInf = int(^uint(0)>>2) * -1
+
+// Traceback source codes packed per cell: bits 0-1 give the H source,
+// bit 2 the E source, bit 3 the F source.
+const (
+	hFromZero = 0
+	hFromDiag = 1
+	hFromE    = 2
+	hFromF    = 3
+	eExtend   = 1 << 2 // E came from E (gap extension); otherwise from H
+	fExtend   = 1 << 3 // F came from F
+)
+
+// AffineLocalAlign computes the best local alignment under an affine gap
+// model, with traceback. Quadratic time; m*n bytes of traceback state.
+func AffineLocalAlign(s, t []byte, sc AffineScoring) Result {
+	m, n := len(s), len(t)
+	if m == 0 || n == 0 {
+		return Result{}
+	}
+	h := make([]int, n+1) // H for previous row, updated in place
+	tb := make([]byte, m*n)
+	best, bi, bj := 0, 0, 0
+	f := make([]int, n+1) // F carried down per column
+	for j := 0; j <= n; j++ {
+		f[j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		diag := h[0] // H[i-1][0] == 0
+		h[0] = 0
+		eCur := negInf
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			var cell byte
+			// E: gap in s consuming t[j-1].
+			eOpen := h[j-1] + sc.GapOpen // h[j-1] already holds H[i][j-1]
+			eExt := eCur + sc.GapExtend
+			if eExt > eOpen {
+				eCur = eExt
+				cell |= eExtend
+			} else {
+				eCur = eOpen
+			}
+			// F: gap in t consuming s[i-1].
+			fOpen := h[j] + sc.GapOpen // h[j] still holds H[i-1][j]
+			fExt := f[j] + sc.GapExtend
+			if fExt > fOpen {
+				f[j] = fExt
+				cell |= fExtend
+			} else {
+				f[j] = fOpen
+			}
+			// H.
+			hv, src := 0, byte(hFromZero)
+			if v := diag + sc.Score(base, t[j-1]); v > hv {
+				hv, src = v, hFromDiag
+			}
+			if eCur > hv {
+				hv, src = eCur, hFromE
+			}
+			if f[j] > hv {
+				hv, src = f[j], hFromF
+			}
+			cell |= src
+			tb[(i-1)*n+(j-1)] = cell
+			diag = h[j]
+			h[j] = hv
+			if hv > best {
+				best, bi, bj = hv, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return Result{}
+	}
+	ops := affineTraceback(tb, s, t, n, bi, bj)
+	r := Result{Score: best, SEnd: bi, TEnd: bj, Ops: ops}
+	r.SStart, r.TStart = startOf(ops, bi, bj)
+	return r
+}
+
+// affineTraceback unwinds the packed source codes from cell (bi, bj).
+// The walk tracks which of the three matrices it is currently in.
+func affineTraceback(tb []byte, s, t []byte, n, bi, bj int) []Op {
+	const (
+		inH = iota
+		inE
+		inF
+	)
+	var rev []Op
+	i, j, cur := bi, bj, inH
+walk:
+	for i > 0 && j > 0 {
+		cell := tb[(i-1)*n+(j-1)]
+		switch cur {
+		case inH:
+			switch cell & 3 {
+			case hFromZero:
+				break walk
+			case hFromDiag:
+				if s[i-1] == t[j-1] {
+					rev = append(rev, OpMatch)
+				} else {
+					rev = append(rev, OpMismatch)
+				}
+				i--
+				j--
+			case hFromE:
+				cur = inE
+			case hFromF:
+				cur = inF
+			}
+		case inE:
+			rev = append(rev, OpInsert)
+			if cell&eExtend == 0 {
+				cur = inH
+			}
+			j--
+		case inF:
+			rev = append(rev, OpDelete)
+			if cell&fExtend == 0 {
+				cur = inH
+			}
+			i--
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+// AffineLocalScore computes the best affine-gap local score and its
+// 1-based end coordinates in O(n) memory. Ties resolve to the smallest
+// i, then smallest j.
+func AffineLocalScore(s, t []byte, sc AffineScoring) (score, endI, endJ int) {
+	m, n := len(s), len(t)
+	if m == 0 || n == 0 {
+		return 0, 0, 0
+	}
+	h := make([]int, n+1)
+	f := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		f[j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = 0
+		eCur := negInf
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			if v := h[j-1] + sc.GapOpen; v > eCur+sc.GapExtend {
+				eCur = v
+			} else {
+				eCur += sc.GapExtend
+			}
+			if v := h[j] + sc.GapOpen; v > f[j]+sc.GapExtend {
+				f[j] = v
+			} else {
+				f[j] += sc.GapExtend
+			}
+			hv := 0
+			if v := diag + sc.Score(base, t[j-1]); v > hv {
+				hv = v
+			}
+			if eCur > hv {
+				hv = eCur
+			}
+			if f[j] > hv {
+				hv = f[j]
+			}
+			diag = h[j]
+			h[j] = hv
+			if hv > score {
+				score, endI, endJ = hv, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}
+
+// AffineGlobalScore computes the optimal global alignment score under an
+// affine gap model in O(n) memory.
+func AffineGlobalScore(s, t []byte, sc AffineScoring) int {
+	m, n := len(s), len(t)
+	switch {
+	case m == 0 && n == 0:
+		return 0
+	case m == 0:
+		return sc.GapOpen + (n-1)*sc.GapExtend
+	case n == 0:
+		return sc.GapOpen + (m-1)*sc.GapExtend
+	}
+	h := make([]int, n+1)
+	f := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		h[j] = sc.GapOpen + (j-1)*sc.GapExtend
+		f[j] = negInf
+	}
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = sc.GapOpen + (i-1)*sc.GapExtend
+		eCur := negInf
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			if v := h[j-1] + sc.GapOpen; v > eCur+sc.GapExtend {
+				eCur = v
+			} else {
+				eCur += sc.GapExtend
+			}
+			if v := h[j] + sc.GapOpen; v > f[j]+sc.GapExtend {
+				f[j] = v
+			} else {
+				f[j] += sc.GapExtend
+			}
+			hv := diag + sc.Score(base, t[j-1])
+			if eCur > hv {
+				hv = eCur
+			}
+			if f[j] > hv {
+				hv = f[j]
+			}
+			diag = h[j]
+			h[j] = hv
+		}
+	}
+	return h[n]
+}
+
+// AffineAnchoredBest computes, in O(n) memory, the best score of any
+// affine-gap alignment that starts exactly at (0, 0) and ends anywhere,
+// with the 1-based coordinates of the best end cell — the affine
+// counterpart of AnchoredBest, used by the reverse phase of the
+// affine linear-space local pipeline. Ties resolve to the smallest i,
+// then smallest j.
+func AffineAnchoredBest(s, t []byte, sc AffineScoring) (score, endI, endJ int) {
+	m, n := len(s), len(t)
+	gapRun := func(k int) int {
+		if k == 0 {
+			return 0
+		}
+		return sc.GapOpen + (k-1)*sc.GapExtend
+	}
+	h := make([]int, n+1)
+	f := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		h[j] = gapRun(j)
+		f[j] = negInf
+	}
+	score, endI, endJ = 0, 0, 0 // the empty alignment
+	for j := 1; j <= n; j++ {
+		if h[j] > score {
+			score, endI, endJ = h[j], 0, j
+		}
+	}
+	for i := 1; i <= m; i++ {
+		diag := h[0]
+		h[0] = gapRun(i)
+		f[0] = h[0]
+		if h[0] > score {
+			score, endI, endJ = h[0], i, 0
+		}
+		eCur := negInf
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			if v := h[j-1] + sc.GapOpen; v > eCur+sc.GapExtend {
+				eCur = v
+			} else {
+				eCur += sc.GapExtend
+			}
+			if v := h[j] + sc.GapOpen; v > f[j]+sc.GapExtend {
+				f[j] = v
+			} else {
+				f[j] += sc.GapExtend
+			}
+			hv := diag + sc.Score(base, t[j-1])
+			if eCur > hv {
+				hv = eCur
+			}
+			if f[j] > hv {
+				hv = f[j]
+			}
+			diag = h[j]
+			h[j] = hv
+			if hv > score {
+				score, endI, endJ = hv, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}

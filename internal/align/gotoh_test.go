@@ -1,0 +1,189 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteGlobalAffine is an independent memoized reference for Gotoh's
+// recurrences, used only on tiny inputs.
+func bruteGlobalAffine(s, t []byte, sc AffineScoring) int {
+	type key struct{ i, j, state int }
+	memo := map[key]int{}
+	const (
+		stH = iota
+		stE // in a gap consuming t
+		stF // in a gap consuming s
+	)
+	var rec func(i, j, state int) int
+	rec = func(i, j, state int) int {
+		if i == 0 && j == 0 {
+			if state == stH {
+				return 0 // the empty alignment; gaps cannot pre-exist
+			}
+			return negInf
+		}
+		k := key{i, j, state}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		best := negInf
+		// Last column is a substitution.
+		if i > 0 && j > 0 && state == stH {
+			if v := maxOf3(rec(i-1, j-1, stH), rec(i-1, j-1, stE), rec(i-1, j-1, stF)) + sc.Score(s[i-1], t[j-1]); v > best {
+				best = v
+			}
+		}
+		// Last column consumes t[j-1] (gap in s).
+		if j > 0 && state == stE {
+			if v := maxOf3(rec(i, j-1, stH), negInf, rec(i, j-1, stF)) + sc.GapOpen; v > best {
+				best = v
+			}
+			if v := rec(i, j-1, stE) + sc.GapExtend; v > best {
+				best = v
+			}
+		}
+		// Last column consumes s[i-1] (gap in t).
+		if i > 0 && state == stF {
+			if v := maxOf3(rec(i-1, j, stH), rec(i-1, j, stE), negInf) + sc.GapOpen; v > best {
+				best = v
+			}
+			if v := rec(i-1, j, stF) + sc.GapExtend; v > best {
+				best = v
+			}
+		}
+		memo[k] = best
+		return best
+	}
+	return maxOf3(rec(len(s), len(t), stH), rec(len(s), len(t), stE), rec(len(s), len(t), stF))
+}
+
+func maxOf3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// bruteLocalAffine maximizes bruteGlobalAffine over all substring pairs,
+// clamped at 0.
+func bruteLocalAffine(s, t []byte, sc AffineScoring) int {
+	best := 0
+	for i1 := 0; i1 <= len(s); i1++ {
+		for i2 := i1; i2 <= len(s); i2++ {
+			for j1 := 0; j1 <= len(t); j1++ {
+				for j2 := j1; j2 <= len(t); j2++ {
+					if (i2-i1 == 0) != (j2-j1 == 0) {
+						continue // pure-gap "alignments" are not local alignments
+					}
+					if v := bruteGlobalAffine(s[i1:i2], t[j1:j2], sc); v > best {
+						best = v
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestAffineLocalScoreBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sc := DefaultAffine()
+	for trial := 0; trial < 30; trial++ {
+		s := randDNA(rng, 1+rng.Intn(6))
+		u := randDNA(rng, 1+rng.Intn(6))
+		want := bruteLocalAffine(s, u, sc)
+		got, _, _ := AffineLocalScore(s, u, sc)
+		if got != want {
+			t.Fatalf("AffineLocalScore(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}
+
+func TestAffineGlobalScoreBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	sc := DefaultAffine()
+	for trial := 0; trial < 30; trial++ {
+		s := randDNA(rng, rng.Intn(7))
+		u := randDNA(rng, rng.Intn(7))
+		want := bruteGlobalAffine(s, u, sc)
+		got := AffineGlobalScore(s, u, sc)
+		if got != want {
+			t.Fatalf("AffineGlobalScore(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}
+
+func TestAffineReducesToLinear(t *testing.T) {
+	// Invariant 7 of DESIGN.md: GapOpen == GapExtend makes Gotoh
+	// equivalent to linear-gap Smith-Waterman.
+	rng := rand.New(rand.NewSource(19))
+	aff := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}
+	lin := DefaultLinear()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, 1+rng.Intn(40))
+		u := randDNA(rng, 1+rng.Intn(40))
+		a, ai, aj := AffineLocalScore(s, u, aff)
+		b, bi, bj := LocalScore(s, u, lin)
+		if a != b || ai != bi || aj != bj {
+			t.Fatalf("affine %d (%d,%d) != linear %d (%d,%d) for %s/%s",
+				a, ai, aj, b, bi, bj, s, u)
+		}
+		if g, l := AffineGlobalScore(s, u, aff), GlobalScore(s, u, lin); g != l {
+			t.Fatalf("affine global %d != linear global %d", g, l)
+		}
+	}
+}
+
+func TestAffineLocalAlignValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	sc := DefaultAffine()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, 1+rng.Intn(40))
+		u := randDNA(rng, 1+rng.Intn(40))
+		r := AffineLocalAlign(s, u, sc)
+		wantScore, _, _ := AffineLocalScore(s, u, sc)
+		if r.Score != wantScore {
+			t.Fatalf("align score %d != scan score %d", r.Score, wantScore)
+		}
+		if r.Ops == nil {
+			continue
+		}
+		// Validate the transcript under the affine model by replaying it.
+		got, err := AffineOpScore(r.Ops, s, u, r.SStart, r.TStart, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Score {
+			t.Fatalf("transcript replays to %d, result claims %d (%s)", got, r.Score, CIGAR(r.Ops))
+		}
+	}
+}
+
+func TestAffineLocalAlignEmptyAndHopeless(t *testing.T) {
+	sc := DefaultAffine()
+	if r := AffineLocalAlign(nil, []byte("ACG"), sc); r.Score != 0 {
+		t.Errorf("empty query: %+v", r)
+	}
+	if r := AffineLocalAlign([]byte("AAAA"), []byte("TTTT"), sc); r.Score != 0 || r.Ops != nil {
+		t.Errorf("hopeless alignment: %+v", r)
+	}
+}
+
+func TestAffineGapConcavity(t *testing.T) {
+	// One long gap must beat two short gaps of the same total length:
+	// s = XXXX, t has the same bases with one contiguous insertion vs two
+	// split insertions.
+	sc := DefaultAffine()
+	s := []byte("ACGTACGT")
+	oneGap := []byte("ACGTGGGACGT")  // GGG inserted once
+	twoGaps := []byte("ACGGTAGCGGT") // noise spread out
+	a := AffineGlobalScore(s, oneGap, sc)
+	b := AffineGlobalScore(s, twoGaps, sc)
+	if a <= b {
+		t.Errorf("contiguous gap score %d should beat split-change score %d", a, b)
+	}
+}

@@ -1,0 +1,129 @@
+package align
+
+// GlobalMatrix computes the full Needleman-Wunsch matrix: row 0 and
+// column 0 carry accumulated gap penalties, and no cell clamps at zero.
+func GlobalMatrix(s, t []byte, sc LinearScoring) *Matrix {
+	m, n := len(s), len(t)
+	d := &Matrix{Rows: m + 1, Cols: n + 1, cells: make([]int, (m+1)*(n+1))}
+	for i := 1; i <= m; i++ {
+		d.set(i, 0, i*sc.Gap)
+	}
+	for j := 1; j <= n; j++ {
+		d.set(0, j, j*sc.Gap)
+	}
+	for i := 1; i <= m; i++ {
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			best := d.At(i-1, j-1) + sc.Score(base, t[j-1])
+			if v := d.At(i-1, j) + sc.Gap; v > best {
+				best = v
+			}
+			if v := d.At(i, j-1) + sc.Gap; v > best {
+				best = v
+			}
+			d.set(i, j, best)
+		}
+	}
+	return d
+}
+
+// GlobalAlign computes the optimal global (Needleman-Wunsch) alignment
+// of s and t with traceback. Quadratic time and space; the linear-space
+// Hirschberg implementation is verified against it.
+func GlobalAlign(s, t []byte, sc LinearScoring) Result {
+	d := GlobalMatrix(s, t, sc)
+	ops := traceback(d, s, t, sc.Score, sc.Gap, len(s), len(t), false)
+	return Result{
+		Score: d.At(len(s), len(t)),
+		SEnd:  len(s), TEnd: len(t),
+		Ops: ops,
+	}
+}
+
+// GlobalScore computes the global alignment score in O(min(m,n)) memory.
+func GlobalScore(s, t []byte, sc LinearScoring) int {
+	row := GlobalLastRow(s, t, sc, nil)
+	return row[len(t)]
+}
+
+// AnchoredBest computes, in O(n) memory, the maximum over all cells of
+// the anchored (Needleman-Wunsch, no zero clamp) matrix, and the 1-based
+// coordinates of that cell: the best score of any alignment that starts
+// exactly at (0, 0) and ends anywhere. This is the primitive of the
+// second phase of linear-space local alignment (paper sec. 2.3): run it
+// over the reversed prefixes ending at the phase-1 end coordinates and
+// the argmax cell gives the start coordinates. Ties resolve to the
+// smallest i, then smallest j, so among optimal alignments the shortest
+// is preferred.
+func AnchoredBest(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
+	n := len(t)
+	row := make([]int, n+1)
+	for j := 1; j <= n; j++ {
+		row[j] = j * sc.Gap
+	}
+	score, endI, endJ = 0, 0, 0 // the empty alignment at (0,0)
+	for j := 1; j <= n; j++ {
+		if row[j] > score {
+			score, endI, endJ = row[j], 0, j
+		}
+	}
+	for i := 1; i <= len(s); i++ {
+		diag := row[0]
+		row[0] = i * sc.Gap
+		if row[0] > score {
+			score, endI, endJ = row[0], i, 0
+		}
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			best := diag + sc.Score(base, t[j-1])
+			if v := up + sc.Gap; v > best {
+				best = v
+			}
+			if v := row[j-1] + sc.Gap; v > best {
+				best = v
+			}
+			row[j] = best
+			diag = up
+			if best > score {
+				score, endI, endJ = best, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}
+
+// GlobalLastRow computes the last row of the Needleman-Wunsch matrix:
+// out[j] is the optimal score of aligning all of s against t[0:j].
+// This is the NWScore primitive of Hirschberg's algorithm. If buf has
+// capacity len(t)+1 it is reused, avoiding allocation in the recursion.
+func GlobalLastRow(s, t []byte, sc LinearScoring, buf []int) []int {
+	n := len(t)
+	var row []int
+	if cap(buf) >= n+1 {
+		row = buf[:n+1]
+	} else {
+		row = make([]int, n+1)
+	}
+	for j := 0; j <= n; j++ {
+		row[j] = j * sc.Gap
+	}
+	for i := 1; i <= len(s); i++ {
+		diag := row[0] // D[i-1][0]
+		row[0] = i * sc.Gap
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			best := diag + sc.Score(base, t[j-1])
+			if v := up + sc.Gap; v > best {
+				best = v
+			}
+			if v := row[j-1] + sc.Gap; v > best {
+				best = v
+			}
+			row[j] = best
+			diag = up
+		}
+	}
+	return row
+}

@@ -1,0 +1,134 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalAlignIdentical(t *testing.T) {
+	s := []byte("ACGTACGT")
+	r := GlobalAlign(s, s, DefaultLinear())
+	if r.Score != len(s) {
+		t.Errorf("score = %d, want %d", r.Score, len(s))
+	}
+	if CIGAR(r.Ops) != "8=" {
+		t.Errorf("CIGAR = %s, want 8=", CIGAR(r.Ops))
+	}
+}
+
+func TestGlobalAlignEmpty(t *testing.T) {
+	sc := DefaultLinear()
+	r := GlobalAlign(nil, []byte("ACG"), sc)
+	if r.Score != 3*sc.Gap {
+		t.Errorf("score = %d, want %d", r.Score, 3*sc.Gap)
+	}
+	if CIGAR(r.Ops) != "3I" {
+		t.Errorf("CIGAR = %s, want 3I", CIGAR(r.Ops))
+	}
+	r = GlobalAlign([]byte("ACG"), nil, sc)
+	if r.Score != 3*sc.Gap || CIGAR(r.Ops) != "3D" {
+		t.Errorf("got %d %s, want %d 3D", r.Score, CIGAR(r.Ops), 3*sc.Gap)
+	}
+	if r := GlobalAlign(nil, nil, sc); r.Score != 0 || len(r.Ops) != 0 {
+		t.Errorf("empty/empty: %+v", r)
+	}
+}
+
+func TestGlobalAlignKnownCase(t *testing.T) {
+	// GATTACA vs GCATGCT under +1/-1/-2: verify against the matrix value
+	// and transcript validity.
+	s := []byte("GATTACA")
+	u := []byte("GCATGCT")
+	r := GlobalAlign(s, u, DefaultLinear())
+	if err := r.Validate(s, u, DefaultLinear()); err != nil {
+		t.Fatal(err)
+	}
+	if want := GlobalMatrix(s, u, DefaultLinear()).At(len(s), len(u)); r.Score != want {
+		t.Errorf("score %d != matrix corner %d", r.Score, want)
+	}
+}
+
+func TestGlobalScoreMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := DefaultLinear()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		want := GlobalMatrix(s, u, sc).At(len(s), len(u))
+		if got := GlobalScore(s, u, sc); got != want {
+			t.Fatalf("GlobalScore = %d, matrix corner %d", got, want)
+		}
+	}
+}
+
+func TestGlobalLastRowSemantics(t *testing.T) {
+	// out[j] must equal GlobalScore(s, t[:j]).
+	rng := rand.New(rand.NewSource(12))
+	sc := DefaultLinear()
+	for trial := 0; trial < 20; trial++ {
+		s := randDNA(rng, rng.Intn(20))
+		u := randDNA(rng, rng.Intn(20))
+		row := GlobalLastRow(s, u, sc, nil)
+		for j := 0; j <= len(u); j++ {
+			if want := GlobalScore(s, u[:j], sc); row[j] != want {
+				t.Fatalf("row[%d] = %d, want %d", j, row[j], want)
+			}
+		}
+	}
+}
+
+func TestGlobalLastRowReusesBuffer(t *testing.T) {
+	buf := make([]int, 100)
+	s := []byte("ACGT")
+	u := []byte("AGT")
+	row := GlobalLastRow(s, u, DefaultLinear(), buf)
+	if &row[0] != &buf[0] {
+		t.Error("buffer with sufficient capacity was not reused")
+	}
+	if len(row) != len(u)+1 {
+		t.Errorf("row length = %d, want %d", len(row), len(u)+1)
+	}
+}
+
+func TestGlobalAlignAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	sc := DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		s := randDNA(rng, rng.Intn(30))
+		u := randDNA(rng, rng.Intn(30))
+		r := GlobalAlign(s, u, sc)
+		if r.SStart != 0 || r.SEnd != len(s) || r.TStart != 0 || r.TEnd != len(u) {
+			t.Fatalf("global span %+v not full", r)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGlobalScoreSymmetry(t *testing.T) {
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		return GlobalScore(s, u, DefaultLinear()) == GlobalScore(u, s, DefaultLinear())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalAtLeastLocalBoundHolds(t *testing.T) {
+	// Property: the local score is always >= the global score clamped at 0
+	// (a global alignment restricted to its best-scoring run is local).
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		local, _, _ := LocalScore(s, u, DefaultLinear())
+		global := GlobalScore(s, u, DefaultLinear())
+		return local >= global || local >= 0 && global < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package align
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one column of an alignment transcript.
+type Op byte
+
+const (
+	// OpMatch aligns two identical bases.
+	OpMatch Op = iota
+	// OpMismatch aligns two different bases.
+	OpMismatch
+	// OpDelete aligns a base of s with a gap in t (consumes s only).
+	OpDelete
+	// OpInsert aligns a base of t with a gap in s (consumes t only).
+	OpInsert
+)
+
+// String returns the single-letter code of the operation, matching the
+// extended CIGAR alphabet: =, X, D, I.
+func (op Op) String() string {
+	switch op {
+	case OpMatch:
+		return "="
+	case OpMismatch:
+		return "X"
+	case OpDelete:
+		return "D"
+	case OpInsert:
+		return "I"
+	}
+	return "?"
+}
+
+// CIGAR renders an op list in run-length CIGAR notation, e.g. "5=1X2I3=".
+func CIGAR(ops []Op) string {
+	var b strings.Builder
+	for i := 0; i < len(ops); {
+		j := i
+		for j < len(ops) && ops[j] == ops[i] {
+			j++
+		}
+		fmt.Fprintf(&b, "%d%s", j-i, ops[i])
+		i = j
+	}
+	return b.String()
+}
+
+// Result describes an alignment between a region of the query s and a
+// region of the database t.
+type Result struct {
+	// Score is the alignment score under the scoring model used.
+	Score int
+	// SStart and SEnd delimit the aligned query region s[SStart:SEnd]
+	// (0-based, half-open). For global alignments this is all of s.
+	SStart, SEnd int
+	// TStart and TEnd delimit the aligned database region t[TStart:TEnd].
+	TStart, TEnd int
+	// Ops is the alignment transcript, nil for score-only results.
+	Ops []Op
+}
+
+// EndCoordinates returns the paper's 1-based similarity-matrix
+// coordinates (i, j) of the cell where the best alignment ends: the
+// output the proposed architecture sends back to the host.
+func (r Result) EndCoordinates() (i, j int) { return r.SEnd, r.TEnd }
+
+// OpScore recomputes the score of an op list under a linear model.
+func OpScore(ops []Op, s, t []byte, sStart, tStart int, sc LinearScoring) (int, error) {
+	score := 0
+	i, j := sStart, tStart
+	for k, op := range ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			if i >= len(s) || j >= len(t) {
+				return 0, fmt.Errorf("align: op %d (%s) overruns sequences at s[%d], t[%d]", k, op, i, j)
+			}
+			if (s[i] == t[j]) != (op == OpMatch) {
+				return 0, fmt.Errorf("align: op %d claims %s but s[%d]=%c, t[%d]=%c", k, op, i, s[i], j, t[j])
+			}
+			score += sc.Score(s[i], t[j])
+			i++
+			j++
+		case OpDelete:
+			if i >= len(s) {
+				return 0, fmt.Errorf("align: op %d (D) overruns s at %d", k, i)
+			}
+			score += sc.Gap
+			i++
+		case OpInsert:
+			if j >= len(t) {
+				return 0, fmt.Errorf("align: op %d (I) overruns t at %d", k, j)
+			}
+			score += sc.Gap
+			j++
+		default:
+			return 0, fmt.Errorf("align: unknown op %d at %d", op, k)
+		}
+	}
+	return score, nil
+}
+
+// Validate checks that the transcript is consistent: the ops consume
+// exactly s[SStart:SEnd] and t[TStart:TEnd], match/mismatch claims agree
+// with the bases, and the recomputed score equals Score.
+func (r Result) Validate(s, t []byte, sc LinearScoring) error {
+	if r.SStart < 0 || r.SEnd > len(s) || r.SStart > r.SEnd {
+		return fmt.Errorf("align: query span [%d,%d) invalid for length %d", r.SStart, r.SEnd, len(s))
+	}
+	if r.TStart < 0 || r.TEnd > len(t) || r.TStart > r.TEnd {
+		return fmt.Errorf("align: database span [%d,%d) invalid for length %d", r.TStart, r.TEnd, len(t))
+	}
+	if r.Ops == nil {
+		return nil // score-only result: nothing more to check
+	}
+	ns, nt := 0, 0
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			ns++
+			nt++
+		case OpDelete:
+			ns++
+		case OpInsert:
+			nt++
+		}
+	}
+	if ns != r.SEnd-r.SStart || nt != r.TEnd-r.TStart {
+		return fmt.Errorf("align: ops consume (%d,%d) bases, spans are (%d,%d)",
+			ns, nt, r.SEnd-r.SStart, r.TEnd-r.TStart)
+	}
+	score, err := OpScore(r.Ops, s, t, r.SStart, r.TStart, sc)
+	if err != nil {
+		return err
+	}
+	if score != r.Score {
+		return fmt.Errorf("align: transcript scores %d, result claims %d", score, r.Score)
+	}
+	return nil
+}
+
+// Format renders the alignment in the three-row style of the paper's
+// figure 1: the aligned query on top, a marker row (| match, space
+// mismatch, gaps shown as '-'), and the aligned database below.
+func (r Result) Format(s, t []byte) string {
+	if r.Ops == nil {
+		return fmt.Sprintf("score %d, s[%d:%d] ~ t[%d:%d] (no transcript)",
+			r.Score, r.SStart, r.SEnd, r.TStart, r.TEnd)
+	}
+	var top, mid, bot strings.Builder
+	i, j := r.SStart, r.TStart
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			top.WriteByte(s[i])
+			mid.WriteByte('|')
+			bot.WriteByte(t[j])
+			i++
+			j++
+		case OpMismatch:
+			top.WriteByte(s[i])
+			mid.WriteByte(' ')
+			bot.WriteByte(t[j])
+			i++
+			j++
+		case OpDelete:
+			top.WriteByte(s[i])
+			mid.WriteByte(' ')
+			bot.WriteByte('-')
+			i++
+		case OpInsert:
+			top.WriteByte('-')
+			mid.WriteByte(' ')
+			bot.WriteByte(t[j])
+			j++
+		}
+	}
+	return top.String() + "\n" + mid.String() + "\n" + bot.String()
+}
+
+// Identity returns the fraction of transcript columns that are matches,
+// or 0 for an empty transcript.
+func (r Result) Identity() float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	matches := 0
+	for _, op := range r.Ops {
+		if op == OpMatch {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(r.Ops))
+}
+
+// AffineOpScore replays a transcript under an affine gap model: each
+// maximal run of k gap ops costs GapOpen + (k-1)*GapExtend. Errors
+// mirror OpScore's.
+func AffineOpScore(ops []Op, s, t []byte, sStart, tStart int, sc AffineScoring) (int, error) {
+	score := 0
+	i, j := sStart, tStart
+	var prev Op = OpMatch
+	for k, op := range ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			if i >= len(s) || j >= len(t) {
+				return 0, fmt.Errorf("align: op %d (%s) overruns sequences at s[%d], t[%d]", k, op, i, j)
+			}
+			if (s[i] == t[j]) != (op == OpMatch) {
+				return 0, fmt.Errorf("align: op %d claims %s but s[%d]=%c, t[%d]=%c", k, op, i, s[i], j, t[j])
+			}
+			score += sc.Score(s[i], t[j])
+			i++
+			j++
+		case OpDelete:
+			if i >= len(s) {
+				return 0, fmt.Errorf("align: op %d (D) overruns s at %d", k, i)
+			}
+			if k > 0 && prev == OpDelete {
+				score += sc.GapExtend
+			} else {
+				score += sc.GapOpen
+			}
+			i++
+		case OpInsert:
+			if j >= len(t) {
+				return 0, fmt.Errorf("align: op %d (I) overruns t at %d", k, j)
+			}
+			if k > 0 && prev == OpInsert {
+				score += sc.GapExtend
+			} else {
+				score += sc.GapOpen
+			}
+			j++
+		default:
+			return 0, fmt.Errorf("align: unknown op %d at %d", op, k)
+		}
+		prev = op
+	}
+	return score, nil
+}

@@ -1,0 +1,128 @@
+package align
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpMatch: "=", OpMismatch: "X", OpDelete: "D", OpInsert: "I", Op(9): "?"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestCIGAR(t *testing.T) {
+	cases := []struct {
+		ops  []Op
+		want string
+	}{
+		{nil, ""},
+		{[]Op{OpMatch}, "1="},
+		{[]Op{OpMatch, OpMatch, OpMismatch, OpInsert, OpInsert, OpMatch}, "2=1X2I1="},
+		{[]Op{OpDelete, OpDelete, OpDelete}, "3D"},
+	}
+	for _, c := range cases {
+		if got := CIGAR(c.ops); got != c.want {
+			t.Errorf("CIGAR(%v) = %q, want %q", c.ops, got, c.want)
+		}
+	}
+}
+
+func TestOpScoreErrors(t *testing.T) {
+	sc := DefaultLinear()
+	s := []byte("AC")
+	u := []byte("AG")
+	if _, err := OpScore([]Op{OpMatch, OpMatch, OpMatch}, s, u, 0, 0, sc); err == nil {
+		t.Error("overrun should fail")
+	}
+	if _, err := OpScore([]Op{OpMatch, OpMatch}, s, u, 0, 0, sc); err == nil {
+		t.Error("claiming match on mismatching bases should fail")
+	}
+	if _, err := OpScore([]Op{OpMismatch}, s, u, 0, 0, sc); err == nil {
+		t.Error("claiming mismatch on matching bases should fail")
+	}
+	if _, err := OpScore([]Op{Op(42)}, s, u, 0, 0, sc); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if _, err := OpScore([]Op{OpDelete, OpDelete, OpDelete}, s, u, 0, 0, sc); err == nil {
+		t.Error("delete overrun should fail")
+	}
+	if _, err := OpScore([]Op{OpInsert, OpInsert, OpInsert}, s, u, 0, 0, sc); err == nil {
+		t.Error("insert overrun should fail")
+	}
+}
+
+func TestResultValidateRejects(t *testing.T) {
+	sc := DefaultLinear()
+	s := []byte("ACGT")
+	u := []byte("ACGT")
+	good := LocalAlign(s, u, sc)
+	if err := good.Validate(s, u, sc); err != nil {
+		t.Fatalf("good result invalid: %v", err)
+	}
+	bad := good
+	bad.Score++
+	if err := bad.Validate(s, u, sc); err == nil {
+		t.Error("wrong score should fail validation")
+	}
+	bad = good
+	bad.SEnd = 99
+	if err := bad.Validate(s, u, sc); err == nil {
+		t.Error("out-of-range span should fail validation")
+	}
+	bad = good
+	bad.TStart = 1
+	if err := bad.Validate(s, u, sc); err == nil {
+		t.Error("span/ops consumption mismatch should fail validation")
+	}
+	scoreOnly := Result{Score: 4, SEnd: 4, TEnd: 4}
+	if err := scoreOnly.Validate(s, u, sc); err != nil {
+		t.Errorf("score-only result should validate spans only: %v", err)
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	s := []byte("GACGC")
+	u := []byte("GAGC")
+	r := Result{
+		Score: 1, SStart: 0, SEnd: 5, TStart: 0, TEnd: 4,
+		Ops: []Op{OpMatch, OpMatch, OpDelete, OpMatch, OpMatch},
+	}
+	got := r.Format(s, u)
+	want := "GACGC\n|| ||\nGA-GC"
+	if got != want {
+		t.Errorf("Format:\n%s\nwant:\n%s", got, want)
+	}
+	// Insert and mismatch rendering.
+	r2 := Result{Score: 0, SStart: 0, SEnd: 1, TStart: 0, TEnd: 2,
+		Ops: []Op{OpMismatch, OpInsert}}
+	got2 := Result.Format(r2, []byte("A"), []byte("CG"))
+	if !strings.Contains(got2, "-") {
+		t.Errorf("insert not rendered as gap: %q", got2)
+	}
+	scoreOnly := Result{Score: 7, SEnd: 3, TEnd: 9}
+	if txt := scoreOnly.Format(s, u); !strings.Contains(txt, "score 7") {
+		t.Errorf("score-only format = %q", txt)
+	}
+}
+
+func TestEndCoordinates(t *testing.T) {
+	r := Result{SEnd: 7, TEnd: 9}
+	i, j := r.EndCoordinates()
+	if i != 7 || j != 9 {
+		t.Errorf("EndCoordinates = (%d,%d), want (7,9)", i, j)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	if (Result{}).Identity() != 0 {
+		t.Error("empty identity should be 0")
+	}
+	r := Result{Ops: []Op{OpMatch, OpMatch, OpMismatch, OpInsert}}
+	if got := r.Identity(); got != 0.5 {
+		t.Errorf("identity = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,120 @@
+package align
+
+// Reproductions of the paper's worked examples (experiments E1 and E2 of
+// DESIGN.md).
+
+import "testing"
+
+// TestFigure1Score reproduces figure 1: an alignment between two DNA
+// sequences scored with +1 match, -1 mismatch, -2 gap.
+//
+//	A C T T G T C C G - A
+//	A - T T G T C A G G A
+//
+// Columns: 8 matches (A,T,T,G,T,C,G,A), 1 mismatch (C/A), 2 gaps
+// = 8(+1) + 1(-1) + 2(-2) = 3.
+func TestFigure1Score(t *testing.T) {
+	s := []byte("ACTTGTCCGA")
+	u := []byte("ATTGTCAGGA")
+	ops := []Op{
+		OpMatch,    // A/A
+		OpDelete,   // C/-
+		OpMatch,    // T/T
+		OpMatch,    // T/T
+		OpMatch,    // G/G
+		OpMatch,    // T/T
+		OpMatch,    // C/C
+		OpMismatch, // C/A
+		OpMatch,    // G/G
+		OpInsert,   // -/G
+		OpMatch,    // A/A
+	}
+	score, err := OpScore(ops, s, u, 0, 0, DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 3 {
+		t.Errorf("figure 1 score = %d, want 3", score)
+	}
+	r := Result{Score: 3, SStart: 0, SEnd: len(s), TStart: 0, TEnd: len(u), Ops: ops}
+	if err := r.Validate(s, u, DefaultLinear()); err != nil {
+		t.Errorf("figure 1 alignment invalid: %v", err)
+	}
+}
+
+// figure2S and figure2T are the sequences of the paper's figure 2.
+var (
+	figure2S = []byte("TATGGAC")  // query, rows
+	figure2T = []byte("TAGTGACT") // database, columns
+)
+
+// figure2Matrix is the similarity matrix of figure 2 (computed by hand
+// from equation (1) with the paper's scoring; the highest score is 3).
+var figure2Matrix = [8][9]int{
+	{0, 0, 0, 0, 0, 0, 0, 0, 0},
+	{0, 1, 0, 0, 1, 0, 0, 0, 1}, // T
+	{0, 0, 2, 0, 0, 0, 1, 0, 0}, // A
+	{0, 1, 0, 1, 1, 0, 0, 0, 1}, // T
+	{0, 0, 0, 1, 0, 2, 0, 0, 0}, // G
+	{0, 0, 0, 1, 0, 1, 1, 0, 0}, // G
+	{0, 0, 1, 0, 0, 0, 2, 0, 0}, // A
+	{0, 0, 0, 0, 0, 0, 0, 3, 1}, // C
+}
+
+func TestFigure2Matrix(t *testing.T) {
+	d := LocalMatrix(figure2S, figure2T, DefaultLinear())
+	if d.Rows != 8 || d.Cols != 9 {
+		t.Fatalf("matrix is %dx%d, want 8x9", d.Rows, d.Cols)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 9; j++ {
+			if got := d.At(i, j); got != figure2Matrix[i][j] {
+				t.Errorf("D[%d][%d] = %d, want %d", i, j, got, figure2Matrix[i][j])
+			}
+		}
+	}
+	score, bi, bj := d.Best()
+	if score != 3 || bi != 7 || bj != 7 {
+		t.Errorf("best = %d at (%d,%d), want 3 at (7,7)", score, bi, bj)
+	}
+}
+
+// TestFigure2Traceback checks the black-arrow traceback of figure 2:
+// from the best cell the local alignment is GAC aligned with GAC.
+func TestFigure2Traceback(t *testing.T) {
+	r := LocalAlign(figure2S, figure2T, DefaultLinear())
+	if r.Score != 3 {
+		t.Fatalf("score = %d, want 3", r.Score)
+	}
+	if r.SEnd != 7 || r.TEnd != 7 {
+		t.Errorf("end = (%d,%d), want (7,7)", r.SEnd, r.TEnd)
+	}
+	if r.SStart != 4 || r.TStart != 4 {
+		t.Errorf("start = (%d,%d), want (4,4)", r.SStart, r.TStart)
+	}
+	if got := string(figure2S[r.SStart:r.SEnd]); got != "GAC" {
+		t.Errorf("aligned query = %q, want GAC", got)
+	}
+	if got := string(figure2T[r.TStart:r.TEnd]); got != "GAC" {
+		t.Errorf("aligned database = %q, want GAC", got)
+	}
+	if err := r.Validate(figure2S, figure2T, DefaultLinear()); err != nil {
+		t.Errorf("figure 2 alignment invalid: %v", err)
+	}
+	if CIGAR(r.Ops) != "3=" {
+		t.Errorf("CIGAR = %q, want 3=", CIGAR(r.Ops))
+	}
+}
+
+// TestFigure2LinearScan checks that the linear-memory scan (the work the
+// systolic array performs) finds the same score and end coordinates.
+func TestFigure2LinearScan(t *testing.T) {
+	score, i, j := LocalScore(figure2S, figure2T, DefaultLinear())
+	if score != 3 || i != 7 || j != 7 {
+		t.Errorf("LocalScore = %d at (%d,%d), want 3 at (7,7)", score, i, j)
+	}
+	score, i, j = LocalScoreColMajor(figure2S, figure2T, DefaultLinear())
+	if score != 3 || i != 7 || j != 7 {
+		t.Errorf("LocalScoreColMajor = %d at (%d,%d), want 3 at (7,7)", score, i, j)
+	}
+}

@@ -1,0 +1,225 @@
+package align
+
+import "fmt"
+
+// Matrix is a dense (m+1)x(n+1) similarity matrix, the D of equation (1).
+// It is exposed so tests and tools can reproduce the paper's figure 2.
+type Matrix struct {
+	Rows, Cols int // m+1, n+1
+	cells      []int
+}
+
+// At returns D[i][j].
+func (d *Matrix) At(i, j int) int { return d.cells[i*d.Cols+j] }
+
+func (d *Matrix) set(i, j, v int) { d.cells[i*d.Cols+j] = v }
+
+// Bytes returns the memory footprint of the matrix, demonstrating the
+// quadratic-space cost the paper's linear-space design avoids.
+func (d *Matrix) Bytes() int { return len(d.cells) * 8 }
+
+// LocalMatrix computes the full Smith-Waterman similarity matrix for
+// query s and database t under sc (equation 1). Quadratic time and space.
+func LocalMatrix(s, t []byte, sc LinearScoring) *Matrix {
+	return LocalMatrixFunc(s, t, sc.Score, sc.Gap)
+}
+
+// LocalMatrixFunc is LocalMatrix generalized to an arbitrary
+// substitution function (e.g. a protein scoring matrix) with a linear
+// gap penalty.
+func LocalMatrixFunc(s, t []byte, score func(a, b byte) int, gap int) *Matrix {
+	m, n := len(s), len(t)
+	d := &Matrix{Rows: m + 1, Cols: n + 1, cells: make([]int, (m+1)*(n+1))}
+	for i := 1; i <= m; i++ {
+		base := s[i-1]
+		for j := 1; j <= n; j++ {
+			best := 0
+			if v := d.At(i-1, j-1) + score(base, t[j-1]); v > best {
+				best = v
+			}
+			if v := d.At(i-1, j) + gap; v > best {
+				best = v
+			}
+			if v := d.At(i, j-1) + gap; v > best {
+				best = v
+			}
+			d.set(i, j, best)
+		}
+	}
+	return d
+}
+
+// Best returns the highest score in the matrix and its coordinates
+// (1-based i, j as in the paper). Ties resolve to the smallest i, then
+// smallest j, matching the systolic array's "first best wins" register
+// update discipline.
+func (d *Matrix) Best() (score, i, j int) {
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			if v := d.At(r, c); v > score {
+				score, i, j = v, r, c
+			}
+		}
+	}
+	return score, i, j
+}
+
+// LocalAlign computes the best local alignment between s and t with a
+// full traceback (paper sec. 2.2.2): starting from the highest-score
+// cell and following equation (1)'s provenance arrows until a zero cell.
+// Quadratic time and space; this is the reference the linear-space and
+// systolic implementations are verified against.
+func LocalAlign(s, t []byte, sc LinearScoring) Result {
+	return LocalAlignFunc(s, t, sc.Score, sc.Gap)
+}
+
+// LocalAlignFunc is LocalAlign generalized to an arbitrary substitution
+// function with a linear gap penalty.
+func LocalAlignFunc(s, t []byte, score func(a, b byte) int, gap int) Result {
+	d := LocalMatrixFunc(s, t, score, gap)
+	best, bi, bj := d.Best()
+	if best == 0 {
+		return Result{} // no positive-scoring local alignment
+	}
+	ops := traceback(d, s, t, score, gap, bi, bj, true)
+	r := Result{Score: best, SEnd: bi, TEnd: bj, Ops: ops}
+	r.SStart, r.TStart = startOf(ops, bi, bj)
+	return r
+}
+
+// traceback follows provenance arrows from (bi, bj). When local is true
+// it stops at a zero cell (Smith-Waterman); otherwise it runs to (0, 0)
+// (Needleman-Wunsch). Diagonal moves are preferred on ties, as in the
+// paper's figure 2 traceback.
+func traceback(d *Matrix, s, t []byte, score func(a, b byte) int, gap int, bi, bj int, local bool) []Op {
+	var rev []Op
+	i, j := bi, bj
+	for i > 0 || j > 0 {
+		v := d.At(i, j)
+		if local && v == 0 {
+			break
+		}
+		switch {
+		case i > 0 && j > 0 && v == d.At(i-1, j-1)+score(s[i-1], t[j-1]):
+			if s[i-1] == t[j-1] {
+				rev = append(rev, OpMatch)
+			} else {
+				rev = append(rev, OpMismatch)
+			}
+			i--
+			j--
+		case i > 0 && v == d.At(i-1, j)+gap:
+			rev = append(rev, OpDelete)
+			i--
+		case j > 0 && v == d.At(i, j-1)+gap:
+			rev = append(rev, OpInsert)
+			j--
+		default:
+			// Unreachable for a matrix produced by LocalMatrix/GlobalMatrix.
+			panic(fmt.Sprintf("align: no predecessor for cell (%d,%d)=%d", i, j, v))
+		}
+	}
+	// Reverse in place: ops were collected end-to-start.
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+// startOf computes the 0-based start coordinates implied by running ops
+// backwards from end cell (bi, bj).
+func startOf(ops []Op, bi, bj int) (si, tj int) {
+	si, tj = bi, bj
+	for _, op := range ops {
+		switch op {
+		case OpMatch, OpMismatch:
+			si--
+			tj--
+		case OpDelete:
+			si--
+		case OpInsert:
+			tj--
+		}
+	}
+	return si, tj
+}
+
+// LocalScore computes the best local score and its 1-based end
+// coordinates in O(m) memory and O(mn) time. This is the "optimized
+// C program [doing] the same work as the FPGA" baseline of sec. 6:
+// the same matrix and highest score, with no alignment retrieval.
+// Ties resolve to the smallest i, then smallest j.
+func LocalScore(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
+	if len(s) == 0 || len(t) == 0 {
+		return 0, 0, 0
+	}
+	// row[j] holds D[i][j] for the current row i; previous-row values are
+	// consumed in place with a single diagonal temporary. The database
+	// occupies the inner loop, mirroring how it streams through the
+	// systolic array one base per clock.
+	n := len(t)
+	row := make([]int, n+1)
+	for i := 1; i <= len(s); i++ {
+		diag := 0 // D[i-1][0]
+		sb := s[i-1]
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			left := row[j-1]
+			best := 0
+			if v := diag + sc.Score(sb, t[j-1]); v > best {
+				best = v
+			}
+			if v := up + sc.Gap; v > best {
+				best = v
+			}
+			if v := left + sc.Gap; v > best {
+				best = v
+			}
+			row[j] = best
+			diag = up
+			if best > score {
+				score, endI, endJ = best, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}
+
+// LocalScoreColMajor is LocalScore with the transposed scan order:
+// the database occupies the outer loop and ties resolve to the smallest
+// j, then the smallest i. It models an accelerator that keeps the
+// database resident and streams the query (the arrangement several
+// sec. 4 designs use), and provides an independent cross-check of
+// coordinate handling: both scans must report cells holding the same
+// maximal score.
+func LocalScoreColMajor(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
+	if len(s) == 0 || len(t) == 0 {
+		return 0, 0, 0
+	}
+	m := len(s)
+	col := make([]int, m+1)
+	for j := 1; j <= len(t); j++ {
+		diag := 0
+		tb := t[j-1]
+		for i := 1; i <= m; i++ {
+			left := col[i]
+			up := col[i-1]
+			best := 0
+			if v := diag + sc.Score(s[i-1], tb); v > best {
+				best = v
+			}
+			if v := up + sc.Gap; v > best {
+				best = v
+			}
+			if v := left + sc.Gap; v > best {
+				best = v
+			}
+			col[i] = best
+			diag = left
+			if best > score {
+				score, endI, endJ = best, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}

@@ -1,0 +1,271 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestLocalMatrixRecurrence(t *testing.T) {
+	// Every interior cell must satisfy equation (1) exactly.
+	rng := rand.New(rand.NewSource(1))
+	sc := DefaultLinear()
+	for trial := 0; trial < 20; trial++ {
+		s := randDNA(rng, 1+rng.Intn(30))
+		u := randDNA(rng, 1+rng.Intn(30))
+		d := LocalMatrix(s, u, sc)
+		for i := 1; i < d.Rows; i++ {
+			for j := 1; j < d.Cols; j++ {
+				want := 0
+				if v := d.At(i-1, j-1) + sc.Score(s[i-1], u[j-1]); v > want {
+					want = v
+				}
+				if v := d.At(i-1, j) + sc.Gap; v > want {
+					want = v
+				}
+				if v := d.At(i, j-1) + sc.Gap; v > want {
+					want = v
+				}
+				if got := d.At(i, j); got != want {
+					t.Fatalf("cell (%d,%d) = %d violates recurrence (want %d)", i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalMatrixBorders(t *testing.T) {
+	d := LocalMatrix([]byte("ACGT"), []byte("TGCA"), DefaultLinear())
+	for i := 0; i < d.Rows; i++ {
+		if d.At(i, 0) != 0 {
+			t.Errorf("D[%d][0] = %d, want 0", i, d.At(i, 0))
+		}
+	}
+	for j := 0; j < d.Cols; j++ {
+		if d.At(0, j) != 0 {
+			t.Errorf("D[0][%d] = %d, want 0", j, d.At(0, j))
+		}
+	}
+}
+
+func TestLocalAlignIdentical(t *testing.T) {
+	s := []byte("ACGTACGTGG")
+	r := LocalAlign(s, s, DefaultLinear())
+	if r.Score != len(s) {
+		t.Errorf("self-alignment score = %d, want %d", r.Score, len(s))
+	}
+	if r.SStart != 0 || r.SEnd != len(s) || r.TStart != 0 || r.TEnd != len(s) {
+		t.Errorf("self-alignment span = %+v, want full", r)
+	}
+	if r.Identity() != 1.0 {
+		t.Errorf("identity = %v, want 1", r.Identity())
+	}
+}
+
+func TestLocalAlignNoPositiveScore(t *testing.T) {
+	// All-mismatch sequences: best local score is 0, empty result.
+	r := LocalAlign([]byte("AAAA"), []byte("TTTT"), DefaultLinear())
+	if r.Score != 0 || len(r.Ops) != 0 {
+		t.Errorf("got %+v, want empty result", r)
+	}
+}
+
+func TestLocalAlignEmptyInputs(t *testing.T) {
+	if r := LocalAlign(nil, []byte("ACGT"), DefaultLinear()); r.Score != 0 {
+		t.Errorf("empty query: %+v", r)
+	}
+	if r := LocalAlign([]byte("ACGT"), nil, DefaultLinear()); r.Score != 0 {
+		t.Errorf("empty database: %+v", r)
+	}
+	if s, i, j := LocalScore(nil, nil, DefaultLinear()); s != 0 || i != 0 || j != 0 {
+		t.Errorf("empty LocalScore: %d (%d,%d)", s, i, j)
+	}
+}
+
+func TestLocalAlignPlantedMotif(t *testing.T) {
+	// A shared 20-base motif inside otherwise unrelated sequences must be
+	// found at the right coordinates.
+	rng := rand.New(rand.NewSource(7))
+	motif := randDNA(rng, 20)
+	s := append(append(randDNA(rng, 30), motif...), randDNA(rng, 25)...)
+	u := append(append(randDNA(rng, 50), motif...), randDNA(rng, 10)...)
+	r := LocalAlign(s, u, DefaultLinear())
+	if r.Score < 20 {
+		t.Errorf("motif score = %d, want >= 20", r.Score)
+	}
+	if err := r.Validate(s, u, DefaultLinear()); err != nil {
+		t.Error(err)
+	}
+	// The motif occupies s[30:50], u[50:70]; the alignment must overlap it.
+	if r.SEnd < 45 || r.SStart > 35 {
+		t.Errorf("query span [%d,%d) misses planted motif [30,50)", r.SStart, r.SEnd)
+	}
+}
+
+func TestLocalScoreMatchesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sc := DefaultLinear()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, 1+rng.Intn(60))
+		u := randDNA(rng, 1+rng.Intn(60))
+		wantScore, wantI, wantJ := LocalMatrix(s, u, sc).Best()
+		score, i, j := LocalScore(s, u, sc)
+		if score != wantScore || i != wantI || j != wantJ {
+			t.Fatalf("LocalScore(%s,%s) = %d (%d,%d), matrix best %d (%d,%d)",
+				s, u, score, i, j, wantScore, wantI, wantJ)
+		}
+	}
+}
+
+func TestLocalScoreColMajorScoreAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sc := DefaultLinear()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, 1+rng.Intn(60))
+		u := randDNA(rng, 1+rng.Intn(60))
+		a, ai, aj := LocalScore(s, u, sc)
+		b, bi, bj := LocalScoreColMajor(s, u, sc)
+		if a != b {
+			t.Fatalf("score mismatch: row-major %d, col-major %d", a, b)
+		}
+		// Both coordinate pairs must locate a cell holding the best score.
+		d := LocalMatrix(s, u, sc)
+		if a > 0 {
+			if d.At(ai, aj) != a {
+				t.Fatalf("row-major coords (%d,%d) hold %d, want %d", ai, aj, d.At(ai, aj), a)
+			}
+			if d.At(bi, bj) != b {
+				t.Fatalf("col-major coords (%d,%d) hold %d, want %d", bi, bj, d.At(bi, bj), b)
+			}
+		}
+	}
+}
+
+func TestLocalAlignTracebackAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		s := randDNA(rng, rng.Intn(40))
+		u := randDNA(rng, rng.Intn(40))
+		r := LocalAlign(s, u, sc)
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatalf("invalid alignment of %s / %s: %v", s, u, err)
+		}
+		// Local alignments never start or end with a gap (that would
+		// lower the score).
+		if len(r.Ops) > 0 {
+			if first := r.Ops[0]; first == OpInsert || first == OpDelete {
+				t.Fatalf("alignment starts with gap: %s", CIGAR(r.Ops))
+			}
+			if last := r.Ops[len(r.Ops)-1]; last == OpInsert || last == OpDelete {
+				t.Fatalf("alignment ends with gap: %s", CIGAR(r.Ops))
+			}
+		}
+	}
+}
+
+func TestLocalScoreSymmetry(t *testing.T) {
+	// Property: the local score is symmetric in its arguments.
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		a, _, _ := LocalScore(s, u, DefaultLinear())
+		b, _, _ := LocalScore(u, s, DefaultLinear())
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalScoreUpperBound(t *testing.T) {
+	// Property: score <= Match * min(m, n).
+	sc := DefaultLinear()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		score, _, _ := LocalScore(s, u, sc)
+		lim := len(s)
+		if len(u) < lim {
+			lim = len(u)
+		}
+		return score >= 0 && score <= sc.Match*lim
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalScoreAppendMonotone(t *testing.T) {
+	// Property: appending bases to the database can only keep or raise
+	// the best local score.
+	f := func(rawS, rawT, rawExtra []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		extra := mapDNA(rawExtra)
+		a, _, _ := LocalScore(s, u, DefaultLinear())
+		b, _, _ := LocalScore(s, append(u, extra...), DefaultLinear())
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mapDNA(raw []byte) []byte {
+	const bases = "ACGT"
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = bases[b&3]
+	}
+	return out
+}
+
+func TestScoringValidate(t *testing.T) {
+	if err := DefaultLinear().Validate(); err != nil {
+		t.Errorf("default linear invalid: %v", err)
+	}
+	bad := []LinearScoring{
+		{Match: 0, Mismatch: -1, Gap: -2},
+		{Match: 1, Mismatch: 2, Gap: -2},
+		{Match: 1, Mismatch: -1, Gap: 0},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", sc)
+		}
+	}
+	if err := DefaultAffine().Validate(); err != nil {
+		t.Errorf("default affine invalid: %v", err)
+	}
+	badAffine := []AffineScoring{
+		{Match: 0, Mismatch: -1, GapOpen: -3, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: 0, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: -1, GapExtend: -3},
+	}
+	for _, sc := range badAffine {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", sc)
+		}
+	}
+}
+
+func TestAffineLinearReduction(t *testing.T) {
+	aff := AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}
+	lin, ok := aff.Linear()
+	if !ok || lin != DefaultLinear() {
+		t.Fatalf("Linear() = %+v, %v", lin, ok)
+	}
+	if _, ok := DefaultAffine().Linear(); ok {
+		t.Error("DefaultAffine should not collapse to linear")
+	}
+}

@@ -1,0 +1,147 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (and the ablations DESIGN.md
+// calls out) as text reports. Each experiment is registered with the ID
+// used in DESIGN.md's per-experiment index and can be run through
+// cmd/swbench or the top-level Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Config scales and seeds the experiment workloads.
+type Config struct {
+	// Seed drives every synthetic workload (default 1).
+	Seed int64
+	// Scale multiplies the paper-sized workloads; 1.0 reproduces the
+	// published sizes (100 BP × 10 MBP for the headline run), 0.01 gives
+	// a seconds-scale smoke run.
+	Scale float64
+	// Workers caps the goroutines of the parallel-software experiments
+	// (default GOMAXPROCS).
+	Workers int
+	// Reps repeats host-software measurements and reports mean ± stddev
+	// (default 1).
+	Reps int
+}
+
+// DefaultConfig returns paper-scale settings.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Scale: 1.0, Workers: runtime.GOMAXPROCS(0), Reps: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Reps < 1 {
+		c.Reps = 1
+	}
+	return c
+}
+
+// scaled returns n scaled by the config, at least 1.
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id (also the swbench -run name).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper table/figure/section reproduced.
+	Artifact string
+	// Run writes the report to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists every registered experiment in ID order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try: %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
+		if err := e.Run(w, cfg); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// table returns a tabwriter suitable for aligned report columns.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// measure times fn.
+func measure(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// mcups formats a cell rate in the unit that keeps 2-4 significant
+// digits (MCUPS or GCUPS).
+func mcups(cells uint64, seconds float64) string {
+	if seconds <= 0 {
+		return "n/a"
+	}
+	rate := float64(cells) / seconds
+	if rate >= 1e9 {
+		return fmt.Sprintf("%.2f GCUPS", rate/1e9)
+	}
+	return fmt.Sprintf("%.1f MCUPS", rate/1e6)
+}

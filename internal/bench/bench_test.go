@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smokeCfg shrinks every workload to run in milliseconds.
+var smokeCfg = Config{Seed: 7, Scale: 0.002, Workers: 2}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-bits", "ablation-elements", "ablation-splitting",
+		"affine", "cluster", "extrapolate", "figure1", "figure2",
+		"headline", "intro-3mbp", "memory", "pci", "pipeline", "protein",
+		"restricted", "significance", "table1", "table2", "wavefront",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Artifact == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely registered", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("headline")
+	if err != nil || e.ID != "headline" {
+		t.Fatalf("ByID(headline) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestEveryExperimentRunsAtSmokeScale(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, smokeCfg); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range Experiments() {
+		if !strings.Contains(out, "=== "+e.ID) {
+			t.Errorf("RunAll output missing %s", e.ID)
+		}
+	}
+}
+
+func TestHeadlineReportsAgreement(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := ByID("headline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"agreement", "speedup", "paper-calibrated", "ideal"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("headline output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFigure2OutputContainsMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("figure2")
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "best score 3 at (7,7)") {
+		t.Errorf("figure2 output missing best score:\n%s", out)
+	}
+	if !strings.Contains(out, "GAC") {
+		t.Errorf("figure2 output missing traceback:\n%s", out)
+	}
+}
+
+func TestTable2OutputCalibrated(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("table2")
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"xc2vp70", "100 elements", "score-only", "functional check"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table2 output missing %q", needle)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.Scale != 1.0 || c.Workers <= 0 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if got := (Config{Scale: 0.001}).scaled(100); got != 1 {
+		t.Errorf("scaled floor = %d, want 1", got)
+	}
+	if got := (Config{Scale: 0.5}.withDefaults()).scaled(1000); got != 500 {
+		t.Errorf("scaled = %d, want 500", got)
+	}
+}
+
+func TestMcups(t *testing.T) {
+	if got := mcups(2_000_000, 1); got != "2.0 MCUPS" {
+		t.Errorf("mcups = %q", got)
+	}
+	if got := mcups(3_000_000_000, 1); got != "3.00 GCUPS" {
+		t.Errorf("mcups = %q", got)
+	}
+	if got := mcups(1, 0); got != "n/a" {
+		t.Errorf("mcups zero-time = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"swfpga/internal/align"
+	"swfpga/internal/fpga"
+	"swfpga/internal/host"
+	"swfpga/internal/seq"
+	"swfpga/internal/systolic"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "cluster",
+		Title:    "distributed forward scan across accelerator boards",
+		Artifact: "sec. 5 integration with [3]/[7]",
+		Run:      runCluster,
+	})
+	register(Experiment{
+		ID:       "affine",
+		Title:    "affine-gap (Gotoh) array vs linear-gap array",
+		Artifact: "sec. 4 ([2]) datapath comparison",
+		Run:      runAffineArray,
+	})
+}
+
+func runCluster(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	query := gen.Random(100)
+	db := gen.Random(cfg.scaled(2_000_000))
+	sc := align.DefaultLinear()
+	want, wantI, wantJ := align.LocalScore(query, db, sc)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "boards\tmodeled scan time\tscaling\ttotal cells (overlap overhead)")
+	var base float64
+	for _, boards := range []int{1, 2, 4, 8} {
+		c := host.NewCluster(boards)
+		before := make([]float64, boards)
+		score, i, j, err := c.BestLocal(query, db, sc)
+		if err != nil {
+			return err
+		}
+		if score != want || i != wantI || j != wantJ {
+			return fmt.Errorf("cluster(%d) %d (%d,%d) != single scan %d (%d,%d)",
+				boards, score, i, j, want, wantI, wantJ)
+		}
+		var slowest float64
+		for k, d := range c.Devices {
+			if dt := d.Metrics.ComputeSeconds - before[k]; dt > slowest {
+				slowest = dt
+			}
+		}
+		if boards == 1 {
+			base = slowest
+		}
+		overhead := float64(c.TotalCells())/float64(uint64(len(query))*uint64(len(db))) - 1
+		fmt.Fprintf(tw, "%d\t%.4f s\t%.2fx\t+%.2f%%\n",
+			boards, slowest, base/slowest, overhead*100)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nall configurations report score %d at (%d,%d), bit-identical to the\n", want, wantI, wantJ)
+	fmt.Fprintln(w, "single-board scan; chunk overlap (bounded by the maximum alignment")
+	fmt.Fprintln(w, "span) costs well under a percent of extra cells on megabase databases.")
+	return nil
+}
+
+func runAffineArray(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	query := gen.Random(100)
+	db := gen.Random(cfg.scaled(1_000_000))
+
+	lin, err := systolic.Run(systolic.DefaultConfig(), query, db)
+	if err != nil {
+		return err
+	}
+	aff, err := systolic.RunAffine(systolic.DefaultAffineConfig(), query, db)
+	if err != nil {
+		return err
+	}
+	linScore, _, _ := align.LocalScore(query, db, align.DefaultLinear())
+	affScore, _, _ := align.AffineLocalScore(query, db, align.DefaultAffine())
+	if lin.Score != linScore || aff.Score != affScore {
+		return fmt.Errorf("array results diverged from software: %d/%d vs %d/%d",
+			lin.Score, aff.Score, linScore, affScore)
+	}
+
+	dev := fpga.Paper()
+	linRep := fpga.Synthesize(dev, 100, fpga.CoordinateElement)
+	affRep := fpga.Synthesize(dev, 100, fpga.AffineElement)
+	tw := table(w)
+	fmt.Fprintln(tw, "datapath\tscore\tcycles\tslices (100 PEs)\tmax elements on xc2vp70")
+	fmt.Fprintf(tw, "linear gap (this paper)\t%d\t%d\t%.1f%%\t%d\n",
+		lin.Score, lin.Stats.Cycles, pct(linRep), fpga.MaxElements(dev, fpga.CoordinateElement))
+	fmt.Fprintf(tw, "affine gap (Gotoh, as [2])\t%d\t%d\t%.1f%%\t%d\n",
+		aff.Score, aff.Stats.Cycles, pct(affRep), fpga.MaxElements(dev, fpga.AffineElement))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nthe affine datapath takes the same cycle count (still one antidiagonal")
+	fmt.Fprintln(w, "per step) but ~36% more slices per element, trading array capacity for")
+	fmt.Fprintln(w, "the biologically richer gap model; both arrays verify against software.")
+	return nil
+}
+
+func pct(r fpga.Report) float64 {
+	su, _, _, _ := r.Utilization()
+	return su * 100
+}

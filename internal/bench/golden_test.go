@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The figure experiments are fully deterministic; lock their exact
+// output so regressions in any engine surface as text diffs.
+
+const figure1Golden = `scoring: match +1, mismatch -1, gap -2
+
+ACTTGTCCG-A
+| ||||| | |
+A-TTGTCAGGA
+
+score 3
+`
+
+func TestFigure1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := ByID("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != figure1Golden {
+		t.Errorf("figure1 output changed:\n--- got ---\n%s--- want ---\n%s", buf.String(), figure1Golden)
+	}
+}
+
+const figure2Golden = `        T  A  G  T  G  A  C  T
+     0  0  0  0  0  0  0  0  0
+ T   0  1  0  0  1  0  0  0  1
+ A   0  0  2  0  0  0  1  0  0
+ T   0  1  0  1  1  0  0  0  1
+ G   0  0  0  1  0  2  0  0  0
+ G   0  0  0  1  0  1  1  0  0
+ A   0  0  1  0  0  0  2  0  0
+ C   0  0  0  0  0  0  0  3  1
+
+best score 3 at (7,7)
+
+traceback (black arrows):
+GAC
+|||
+GAC
+`
+
+func TestFigure2Golden(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := ByID("figure2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != figure2Golden {
+		t.Errorf("figure2 output changed:\n--- got ---\n%s--- want ---\n%s", buf.String(), figure2Golden)
+	}
+}
+
+func TestMemoryGoldenRows(t *testing.T) {
+	// The memory table is deterministic; lock the headline rows.
+	var buf bytes.Buffer
+	e, err := ByID("memory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&buf, smokeCfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"100 KBP x 100 KBP  74.5 GB",
+		"781.3 KB",
+		"3 MBP x 3 MBP",
+		"65.5 TB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("memory table missing %q:\n%s", want, out)
+		}
+	}
+}

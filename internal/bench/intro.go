@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"swfpga/internal/align"
+	"swfpga/internal/fpga"
+	"swfpga/internal/seq"
+	"swfpga/internal/systolic"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "intro-3mbp",
+		Title:    "3 MBP x 3 MBP affine comparison (the Z-align motivation)",
+		Artifact: "sec. 1 (13 h on 16 processors, [3])",
+		Run:      runIntro3MBP,
+	})
+}
+
+// introZAlignSeconds is the published Z-align figure the intro cites:
+// "more than 13 hours, with 16 processors" for two 3 MBP sequences
+// under an affine gap model.
+const introZAlignSeconds = 13 * 3600.0
+
+func runIntro3MBP(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	sc := align.DefaultAffine()
+	// Measure this host's affine scan rate on a sample.
+	q := gen.Random(500)
+	db := gen.Random(cfg.scaled(400_000))
+	var sink int
+	sec := measure(func() { sink, _, _ = align.AffineLocalScore(q, db, sc) })
+	_ = sink
+	rate := float64(uint64(len(q))*uint64(len(db))) / sec
+
+	// The full job: forward + reverse scans of a 3 MBP x 3 MBP matrix
+	// (phases 1+2 of the linear-space pipeline; retrieval is a rounding
+	// error beside them).
+	const mbp = 3_000_000
+	totalCells := 2.0 * float64(mbp) * float64(mbp)
+	swSec := totalCells / rate
+
+	// The affine array: as many Gotoh elements as the prototype part
+	// fits, query processed in strips.
+	dev := fpga.Paper()
+	elements := fpga.MaxElements(dev, fpga.AffineElement)
+	rep := fpga.Synthesize(dev, elements, fpga.AffineElement)
+	arr := systolic.DefaultAffineConfig()
+	arr.Elements = elements
+	st := systolic.EstimateStats(systolic.Config{Elements: elements, Scoring: align.DefaultLinear(), ScoreBits: 16}, mbp, mbp)
+	st.Cycles *= 2 // forward + reverse scans
+	st.Cells *= 2
+	calib := fpga.CalibratedTiming().WithClock(rep.FreqHz)
+	ideal := fpga.IdealTiming().WithClock(rep.FreqHz)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "engine\tmodeled time (both scan phases)\tvs Z-align published")
+	fmt.Fprintf(tw, "Z-align [3], 16 processors (published, 2006)\t%.1f h\t1.0\n", introZAlignSeconds/3600)
+	fmt.Fprintf(tw, "this host, single core (measured rate %.0f MCUPS)\t%.1f h\t%.2f\n",
+		rate/1e6, swSec/3600, introZAlignSeconds/swSec)
+	fmt.Fprintf(tw, "affine array, %d elements, calibrated\t%.1f h\t%.1f\n",
+		elements, calib.Seconds(st)/3600, introZAlignSeconds/calib.Seconds(st))
+	fmt.Fprintf(tw, "affine array, %d elements, ideal\t%.2f h\t%.1f\n",
+		elements, ideal.Seconds(st)/3600, introZAlignSeconds/ideal.Seconds(st))
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nstrips %d, steps %d; the partitioned query needs %s of border SRAM\n",
+		st.Strips, st.Cycles, formatWords(st.BorderWords))
+	fmt.Fprintln(w, "(H and F rows) — the scale at which sec. 4's remark about future boards")
+	fmt.Fprintln(w, "with larger storage becomes the binding constraint.")
+	return nil
+}
+
+func formatWords(words int) string {
+	return fmt.Sprintf("%.1f MB", float64(words)*4/1e6)
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "figure1",
+		Title:    "alignment and score example",
+		Artifact: "figure 1",
+		Run:      runFigure1,
+	})
+	register(Experiment{
+		ID:       "figure2",
+		Title:    "similarity matrix and traceback",
+		Artifact: "figure 2",
+		Run:      runFigure2,
+	})
+	register(Experiment{
+		ID:       "memory",
+		Title:    "quadratic vs linear memory space",
+		Artifact: "sec. 2.3",
+		Run:      runMemory,
+	})
+}
+
+func runFigure1(w io.Writer, cfg Config) error {
+	s := []byte("ACTTGTCCGA")
+	t := []byte("ATTGTCAGGA")
+	ops := []align.Op{
+		align.OpMatch, align.OpDelete, align.OpMatch, align.OpMatch,
+		align.OpMatch, align.OpMatch, align.OpMatch, align.OpMismatch,
+		align.OpMatch, align.OpInsert, align.OpMatch,
+	}
+	sc := align.DefaultLinear()
+	score, err := align.OpScore(ops, s, t, 0, 0, sc)
+	if err != nil {
+		return err
+	}
+	r := align.Result{Score: score, SEnd: len(s), TEnd: len(t), Ops: ops}
+	fmt.Fprintf(w, "scoring: match %+d, mismatch %+d, gap %+d\n\n%s\n\nscore %d\n",
+		sc.Match, sc.Mismatch, sc.Gap, r.Format(s, t), score)
+	return nil
+}
+
+func runFigure2(w io.Writer, cfg Config) error {
+	s := []byte("TATGGAC")
+	t := []byte("TAGTGACT")
+	sc := align.DefaultLinear()
+	d := align.LocalMatrix(s, t, sc)
+	// Header row: the database sequence.
+	fmt.Fprint(w, "      ")
+	for _, b := range t {
+		fmt.Fprintf(w, " %2c", b)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < d.Rows; i++ {
+		if i == 0 {
+			fmt.Fprint(w, "   ")
+		} else {
+			fmt.Fprintf(w, " %c ", s[i-1])
+		}
+		for j := 0; j < d.Cols; j++ {
+			fmt.Fprintf(w, " %2d", d.At(i, j))
+		}
+		fmt.Fprintln(w)
+	}
+	score, bi, bj := d.Best()
+	fmt.Fprintf(w, "\nbest score %d at (%d,%d)\n", score, bi, bj)
+	r := align.LocalAlign(s, t, sc)
+	fmt.Fprintf(w, "\ntraceback (black arrows):\n%s\n", r.Format(s, t))
+	return nil
+}
+
+func runMemory(w io.Writer, cfg Config) error {
+	tw := table(w)
+	fmt.Fprintln(tw, "sequence sizes\tfull matrix (sec. 2.2)\tlinear scan (sec. 2.3)\thirschberg retrieval")
+	sizes := []struct {
+		label string
+		m, n  int
+	}{
+		{"100 BP x 100 BP", 100, 100},
+		{"1 KBP x 1 KBP", 1_000, 1_000},
+		{"100 KBP x 100 KBP", 100_000, 100_000},
+		{"1 MBP x 1 MBP", 1_000_000, 1_000_000},
+		{"100 BP x 10 MBP", 100, 10_000_000},
+		{"100 BP x 100 MBP", 100, 100_000_000},
+		{"3 MBP x 3 MBP", 3_000_000, 3_000_000},
+	}
+	for _, s := range sizes {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			s.label,
+			linear.FormatBytes(linear.QuadraticBytes(s.m, s.n)),
+			linear.FormatBytes(linear.LinearBytes(s.m, s.n)),
+			linear.FormatBytes(linear.HirschbergBytes(s.m, s.n)))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nthe paper's motivating case: two 100 KBP sequences need ~10 GB")
+	fmt.Fprintln(w, "as 32-bit cells (this library's 64-bit cells double that), while")
+	fmt.Fprintln(w, "the scan phases need a single database-length row.")
+	return nil
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart — the closest a text
+// report gets to the paper's figures. Values must be non-negative; bars
+// scale to width characters at the maximum.
+func barChart(w io.Writer, title, unit string, width int, labels []string, values []float64) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("bench: %d labels for %d values", len(labels), len(values))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v < 0 {
+			return fmt.Errorf("bench: negative bar value %v", v)
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(v/maxV*float64(width) + 0.5)
+		}
+		fmt.Fprintf(w, "  %-*s | %s %.3g %s\n", maxL, labels[i], strings.Repeat("#", n), v, unit)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := barChart(&buf, "title:", "u", 10, []string{"a", "bb"}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "title:") {
+		t.Error("missing title")
+	}
+	// The max value fills the width; the half value gets half the bars.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "| "+strings.Repeat("#", 5)+" 1 u") {
+		t.Errorf("half bar wrong:\n%s", out)
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := barChart(&buf, "t", "u", 10, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if err := barChart(&buf, "t", "u", 10, []string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative value should fail")
+	}
+	// All-zero values render empty bars without dividing by zero.
+	if err := barChart(&buf, "t", "u", 10, []string{"a"}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+}

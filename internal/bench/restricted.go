@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "restricted",
+		Title:    "divergence-banded retrieval vs Hirschberg",
+		Artifact: "sec. 2.4 (Z-align [3]) integration",
+		Run:      runRestricted,
+	})
+}
+
+func runRestricted(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	sc := align.DefaultLinear()
+	tw := table(w)
+	fmt.Fprintln(tw, "workload\tscore\tband\tbanded retrieval bytes\tfull-matrix bytes\thirschberg time\tbanded time")
+	for _, c := range []struct {
+		label string
+		n     int
+		prof  seq.MutationProfile
+	}{
+		{"near-identical homologs", cfg.scaled(10_000), seq.MutationProfile{Substitution: 0.02, Insertion: 0.001, Deletion: 0.001}},
+		{"diverged homologs", cfg.scaled(10_000), seq.MutationProfile{Substitution: 0.1, Insertion: 0.01, Deletion: 0.01}},
+	} {
+		a, b, err := gen.HomologousPair(c.n, c.prof)
+		if err != nil {
+			return err
+		}
+		var hirsch align.Result
+		var herr error
+		hSec := measure(func() { hirsch, _, herr = linear.Local(a, b, sc, nil) })
+		if herr != nil {
+			return herr
+		}
+		var banded align.Result
+		var info linear.RestrictedInfo
+		var berr error
+		bSec := measure(func() { banded, info, berr = linear.LocalRestricted(a, b, sc, nil) })
+		if berr != nil {
+			return berr
+		}
+		if banded.Score != hirsch.Score {
+			return fmt.Errorf("banded score %d != hirschberg score %d", banded.Score, hirsch.Score)
+		}
+		fmt.Fprintf(tw, "%s (%d BP)\t%d\t[%d,%d]\t%s\t%s\t%.3f s\t%.3f s\n",
+			c.label, c.n, banded.Score, info.BandLo, info.BandHi,
+			linear.FormatBytes(info.RetrievalBytes), linear.FormatBytes(info.FullBytes),
+			hSec, bSec)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nboth pipelines retrieve score-identical optimal alignments; the")
+	fmt.Fprintln(w, "divergence band keeps retrieval memory proportional to the alignment's")
+	fmt.Fprintln(w, "diagonal drift — the user-restricted memory property of Z-align [3],")
+	fmt.Fprintln(w, "whose scan phases this paper's architecture is designed to accelerate.")
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+
+	"swfpga/internal/seq"
+)
+
+// LoadSequence resolves a sequence given either inline bases or a FASTA
+// file path (first record). Exactly one of inline/file must be set;
+// what names the sequence in error messages ("query", "database").
+func LoadSequence(inline, file, what string) ([]byte, error) {
+	switch {
+	case inline != "" && file != "":
+		return nil, fmt.Errorf("give the %s sequence inline or as a file, not both", what)
+	case inline != "":
+		return seq.Normalize([]byte(inline))
+	case file != "":
+		recs, err := seq.ReadFASTAFile(file)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("%s: no FASTA records in %s", what, file)
+		}
+		return recs[0].Data, nil
+	default:
+		return nil, fmt.Errorf("missing %s sequence", what)
+	}
+}

@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadSequenceInline(t *testing.T) {
+	got, err := LoadSequence("acGT", "", "query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ACGT" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestLoadSequenceInlineInvalid(t *testing.T) {
+	if _, err := LoadSequence("ACXT", "", "query"); err == nil {
+		t.Error("invalid bases should fail")
+	}
+}
+
+func TestLoadSequenceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.fa")
+	if err := os.WriteFile(path, []byte(">q\nACGT\nTT\n>second\nGG\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSequence("", path, "query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ACGTTT" {
+		t.Errorf("got %q, want first record only", got)
+	}
+}
+
+func TestLoadSequenceFileEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.fa")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSequence("", path, "query"); err == nil || !strings.Contains(err.Error(), "no FASTA records") {
+		t.Errorf("empty file error = %v", err)
+	}
+}
+
+func TestLoadSequenceErrors(t *testing.T) {
+	if _, err := LoadSequence("A", "x.fa", "query"); err == nil {
+		t.Error("both sources should fail")
+	}
+	if _, err := LoadSequence("", "", "database"); err == nil || !strings.Contains(err.Error(), "database") {
+		t.Error("missing source should fail naming the sequence")
+	}
+	if _, err := LoadSequence("", "/nonexistent/path.fa", "query"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Package evalue estimates the statistical significance of local
+// alignment scores with Karlin-Altschul statistics: maximal local
+// scores of random sequences follow an extreme-value (Gumbel)
+// distribution, so a hit's expect value is E = K·m·n·e^(-λS). The
+// ungapped λ is solved analytically from the scoring system; gapped
+// parameters are calibrated by simulation, exactly as BLAST's gapped
+// parameters are.
+package evalue
+
+import (
+	"fmt"
+	"math"
+
+	"swfpga/internal/align"
+	"swfpga/internal/seq"
+)
+
+// Params are the Karlin-Altschul parameters of a scoring system under a
+// residue background.
+type Params struct {
+	// Lambda is the scale of the score distribution (nats per score
+	// unit).
+	Lambda float64
+	// K is the search-space correction constant.
+	K float64
+}
+
+// Valid reports whether the parameters are usable.
+func (p Params) Valid() bool {
+	return p.Lambda > 0 && !math.IsNaN(p.Lambda) && p.K > 0 && !math.IsNaN(p.K)
+}
+
+// EValue returns the expected number of random hits scoring >= score in
+// an m x n search space.
+func (p Params) EValue(m, n, score int) float64 {
+	return p.K * float64(m) * float64(n) * math.Exp(-p.Lambda*float64(score))
+}
+
+// PValue converts the expect value to the probability of at least one
+// such hit (Poisson).
+func (p Params) PValue(m, n, score int) float64 {
+	return -math.Expm1(-p.EValue(m, n, score))
+}
+
+// BitScore normalizes a raw score so search spaces cancel:
+// S' = (λS − ln K) / ln 2.
+func (p Params) BitScore(score int) float64 {
+	return (p.Lambda*float64(score) - math.Log(p.K)) / math.Ln2
+}
+
+// UngappedLambdaDNA solves Σ p_a p_b e^(λ s(a,b)) = 1 for the unique
+// positive λ of a linear DNA scoring under the uniform background:
+// (1/4)e^(λ·match) + (3/4)e^(λ·mismatch) = 1. The scoring must have a
+// negative expected score and a positive maximum (sc.Validate ensures
+// both).
+func UngappedLambdaDNA(sc align.LinearScoring) (float64, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	// Expected score must be negative for the statistics to exist.
+	if float64(sc.Match)+3*float64(sc.Mismatch) >= 0 {
+		return 0, fmt.Errorf("evalue: expected score %v >= 0; local statistics undefined",
+			(float64(sc.Match)+3*float64(sc.Mismatch))/4)
+	}
+	f := func(l float64) float64 {
+		return 0.25*math.Exp(l*float64(sc.Match)) + 0.75*math.Exp(l*float64(sc.Mismatch)) - 1
+	}
+	// f(0) = 0; f grows without bound as λ→∞ and dips negative first
+	// (negative drift), so bisect on [ε, hi] where f(hi) > 0.
+	lo, hi := 1e-9, 1.0
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > 1e3 {
+			return 0, fmt.Errorf("evalue: lambda solve diverged")
+		}
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// CalibrateGapped estimates gapped (λ, K) for a linear scoring by
+// simulation: `trials` random query/database pairs of the given sizes
+// are scanned, and a Gumbel distribution is fitted to the maxima by the
+// method of moments — mirroring how gapped BLAST parameters are
+// computed. Deterministic for a fixed seed.
+func CalibrateGapped(sc align.LinearScoring, m, n, trials int, seed int64) (Params, error) {
+	if err := sc.Validate(); err != nil {
+		return Params{}, err
+	}
+	if trials < 8 {
+		return Params{}, fmt.Errorf("evalue: %d trials too few to fit", trials)
+	}
+	if m < 8 || n < 8 {
+		return Params{}, fmt.Errorf("evalue: search space %dx%d too small to fit", m, n)
+	}
+	gen := seq.NewGenerator(seed)
+	scores := make([]float64, trials)
+	for i := range scores {
+		q := gen.Random(m)
+		db := gen.Random(n)
+		s, _, _ := align.LocalScore(q, db, sc)
+		scores[i] = float64(s)
+	}
+	mean, varr := 0.0, 0.0
+	for _, s := range scores {
+		mean += s
+	}
+	mean /= float64(trials)
+	for _, s := range scores {
+		d := s - mean
+		varr += d * d
+	}
+	varr /= float64(trials - 1)
+	if varr == 0 {
+		return Params{}, fmt.Errorf("evalue: degenerate score sample (variance 0)")
+	}
+	// Gumbel moments: mean = mu + gamma*beta, var = (pi*beta)^2/6.
+	const gamma = 0.5772156649015329
+	beta := math.Sqrt(6*varr) / math.Pi
+	mu := mean - gamma*beta
+	lambda := 1 / beta
+	k := math.Exp(lambda*mu) / (float64(m) * float64(n))
+	p := Params{Lambda: lambda, K: k}
+	if !p.Valid() {
+		return Params{}, fmt.Errorf("evalue: fit produced invalid parameters %+v", p)
+	}
+	return p, nil
+}

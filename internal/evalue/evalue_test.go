@@ -1,0 +1,136 @@
+package evalue
+
+import (
+	"math"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/seq"
+)
+
+func TestUngappedLambdaClosedForm(t *testing.T) {
+	// For +1/-1 under uniform DNA, (1/4)e^λ + (3/4)e^{-λ} = 1 solves in
+	// closed form: e^λ = 3, λ = ln 3.
+	l, err := UngappedLambdaDNA(align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Log(3); math.Abs(l-want) > 1e-9 {
+		t.Errorf("lambda = %v, want ln 3 = %v", l, want)
+	}
+	// Match +2/mismatch -1: (1/4)e^{2λ} + (3/4)e^{-λ} = 1; verify the
+	// residual at the solved λ instead of a closed form.
+	sc := align.LinearScoring{Match: 2, Mismatch: -1, Gap: -3}
+	l2, err := UngappedLambdaDNA(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := 0.25*math.Exp(2*l2) + 0.75*math.Exp(-l2) - 1
+	if math.Abs(res) > 1e-9 {
+		t.Errorf("residual %v at lambda %v", res, l2)
+	}
+	if l2 >= l {
+		t.Errorf("higher match reward should lower lambda: %v vs %v", l2, l)
+	}
+}
+
+func TestUngappedLambdaRejectsPositiveDrift(t *testing.T) {
+	// Match +4 / mismatch -1: expected score (4-3)/4 > 0.
+	sc := align.LinearScoring{Match: 4, Mismatch: -1, Gap: -2}
+	if _, err := UngappedLambdaDNA(sc); err == nil {
+		t.Error("positive expected score must be rejected")
+	}
+	if _, err := UngappedLambdaDNA(align.LinearScoring{}); err == nil {
+		t.Error("invalid scoring must be rejected")
+	}
+}
+
+func TestCalibrateGappedSane(t *testing.T) {
+	sc := align.DefaultLinear()
+	p, err := CalibrateGapped(sc, 64, 2048, 60, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid() {
+		t.Fatalf("invalid params %+v", p)
+	}
+	// Gapped lambda is below the ungapped bound (gaps add alignments).
+	ungapped, _ := UngappedLambdaDNA(sc)
+	if p.Lambda >= ungapped {
+		t.Errorf("gapped lambda %v >= ungapped %v", p.Lambda, ungapped)
+	}
+	if p.Lambda < 0.3*ungapped {
+		t.Errorf("gapped lambda %v implausibly small vs ungapped %v", p.Lambda, ungapped)
+	}
+	if p.K <= 0 || p.K > 10 {
+		t.Errorf("K = %v outside plausible range", p.K)
+	}
+}
+
+func TestCalibratePredictsRandomScores(t *testing.T) {
+	// Fit on one sample, then check the fitted distribution's median
+	// prediction against a fresh sample: the median observed max should
+	// have a predicted P-value near 0.5 (loose bounds; fixed seeds).
+	sc := align.DefaultLinear()
+	m, n := 64, 2048
+	p, err := CalibrateGapped(sc, m, n, 80, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := seq.NewGenerator(8)
+	const fresh = 60
+	atOrAbove := 0
+	// Median of the fitted Gumbel: mu - beta*ln(ln 2).
+	median := (math.Log(p.K*float64(m)*float64(n)) - math.Log(math.Ln2)) / p.Lambda
+	for i := 0; i < fresh; i++ {
+		q := gen.Random(m)
+		db := gen.Random(n)
+		s, _, _ := align.LocalScore(q, db, sc)
+		if float64(s) >= median {
+			atOrAbove++
+		}
+	}
+	frac := float64(atOrAbove) / fresh
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("fraction above fitted median = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestEValueProperties(t *testing.T) {
+	p := Params{Lambda: 1.0, K: 0.1}
+	// Monotone decreasing in score, increasing in search space.
+	if !(p.EValue(100, 1000, 10) > p.EValue(100, 1000, 20)) {
+		t.Error("E-value must fall with score")
+	}
+	if !(p.EValue(100, 2000, 10) > p.EValue(100, 1000, 10)) {
+		t.Error("E-value must grow with search space")
+	}
+	// P-value in (0, 1], approx E for small E.
+	pv := p.PValue(10, 10, 30)
+	ev := p.EValue(10, 10, 30)
+	if pv <= 0 || pv > 1 {
+		t.Errorf("P-value %v outside (0,1]", pv)
+	}
+	if math.Abs(pv-ev)/ev > 0.01 {
+		t.Errorf("small-E P-value %v should approximate E %v", pv, ev)
+	}
+	// Bit score: E = m*n*2^(-S'), so recomputing E from bits matches.
+	bits := p.BitScore(25)
+	back := float64(100*1000) * math.Pow(2, -bits)
+	if math.Abs(back-p.EValue(100, 1000, 25))/back > 1e-9 {
+		t.Errorf("bit-score round trip: %v vs %v", back, p.EValue(100, 1000, 25))
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	sc := align.DefaultLinear()
+	if _, err := CalibrateGapped(sc, 64, 2048, 3, 1); err == nil {
+		t.Error("too few trials must fail")
+	}
+	if _, err := CalibrateGapped(sc, 2, 2, 20, 1); err == nil {
+		t.Error("tiny search space must fail")
+	}
+	if _, err := CalibrateGapped(align.LinearScoring{}, 64, 2048, 20, 1); err == nil {
+		t.Error("invalid scoring must fail")
+	}
+}

@@ -1,0 +1,106 @@
+package fpga
+
+import "fmt"
+
+// Board models the prototyping board around the FPGA: the SRAM holding
+// the database sequence and the PCI link to the host (sec. 3 discusses
+// why this link is the bottleneck to avoid; sec. 6 argues the proposed
+// design returns "only a few bytes" over it).
+type Board struct {
+	// Device is the FPGA on the board.
+	Device Device
+	// PCIBandwidth is the sustained host link bandwidth in bytes/second
+	// (PCI 32-bit/33 MHz sustains roughly 110 MB/s of its 132 MB/s peak).
+	PCIBandwidth float64
+	// PCILatency is the fixed per-transfer setup cost in seconds.
+	PCILatency float64
+}
+
+// DefaultBoard is the modeled prototype board: the paper's part behind
+// a conventional 32-bit/33 MHz PCI slot.
+func DefaultBoard() Board {
+	return Board{
+		Device:       Paper(),
+		PCIBandwidth: 110e6,
+		PCILatency:   10e-6,
+	}
+}
+
+// Validate rejects non-physical boards.
+func (b Board) Validate() error {
+	if b.PCIBandwidth <= 0 {
+		return fmt.Errorf("fpga: PCI bandwidth %v must be positive", b.PCIBandwidth)
+	}
+	if b.PCILatency < 0 {
+		return fmt.Errorf("fpga: PCI latency %v must be non-negative", b.PCILatency)
+	}
+	return nil
+}
+
+// TransferSeconds models moving n bytes across the host link.
+func (b Board) TransferSeconds(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return b.PCILatency + float64(n)/b.PCIBandwidth
+}
+
+// DatabaseFits reports whether a database of n bases fits the board
+// SRAM in the 2-bit packed format, alongside the border column needed
+// for query partitioning (two buffers of n+1 32-bit words, sec. 5 /
+// figure 7).
+func (b Board) DatabaseFits(bases int, partitioned bool) error {
+	need := (bases + 3) / 4
+	if partitioned {
+		need += 2 * (bases + 1) * 4
+	}
+	if need > b.Device.SRAMBytes {
+		return fmt.Errorf("fpga: %d bases need %d bytes of board SRAM, %s has %d",
+			bases, need, b.Device.Name, b.Device.SRAMBytes)
+	}
+	return nil
+}
+
+// ResultBytes is the size of the architecture's output: a 32-bit score
+// and two 32-bit coordinates.
+const ResultBytes = 12
+
+// CommunicationPlan breaks down the host traffic of one accelerated
+// comparison: the query and database stream in once, the result comes
+// back in a single small transfer.
+type CommunicationPlan struct {
+	// InBytes is the host-to-board traffic (packed sequences).
+	InBytes int
+	// OutBytes is the board-to-host traffic (the result record).
+	OutBytes int
+	// InSeconds and OutSeconds are the modeled transfer times.
+	InSeconds, OutSeconds float64
+}
+
+// PlanComparison models the communication of comparing an m-base query
+// with an n-base database on this board.
+func (b Board) PlanComparison(m, n int) CommunicationPlan {
+	in := (m+3)/4 + (n+3)/4
+	return CommunicationPlan{
+		InBytes:    in,
+		OutBytes:   ResultBytes,
+		InSeconds:  b.TransferSeconds(in),
+		OutSeconds: b.TransferSeconds(ResultBytes),
+	}
+}
+
+// PlanScoreMatrixReturn models the naive alternative sec. 4 criticizes
+// (e.g. the design of [2]): the FPGA streams the entire score matrix
+// row band back to the host so software can locate the best alignment.
+// Returning every cell of an m×n matrix as 16-bit scores dwarfs the
+// compute time and is why the paper keeps coordinate logic on-chip.
+func (b Board) PlanScoreMatrixReturn(m, n int) CommunicationPlan {
+	in := (m+3)/4 + (n+3)/4
+	out := m * n * 2
+	return CommunicationPlan{
+		InBytes:    in,
+		OutBytes:   out,
+		InSeconds:  b.TransferSeconds(in),
+		OutSeconds: b.TransferSeconds(out),
+	}
+}

@@ -1,0 +1,78 @@
+// Package fpga models the hardware platform of the paper: FPGA devices
+// with finite slice/flip-flop/LUT budgets, a synthesis resource and
+// clock-frequency model calibrated to the paper's Table 2, and the
+// prototyping board (SRAM for the database sequence, a PCI link to the
+// host). None of this executes alignments — internal/systolic does the
+// cycle-accurate work — but it converts cycle counts into modeled
+// wall-clock time and array sizes into resource budgets, which is what
+// the paper's evaluation reports.
+//
+// All per-element costs are model estimates calibrated so that the
+// 100-element prototype reproduces Table 2 (69 % slices, 25 %
+// flip-flops, 65 % LUTs, 7 % IOBs on a Xilinx xc2vp70); see DESIGN.md
+// and EXPERIMENTS.md for the calibration notes.
+package fpga
+
+import "fmt"
+
+// Device describes an FPGA part's nominal resource budget.
+type Device struct {
+	// Name is the part number, e.g. "xc2vp70".
+	Name string
+	// Slices, FlipFlops, LUTs, IOBs and GCLKs are the available resource
+	// counts of the part.
+	Slices    int
+	FlipFlops int
+	LUTs      int
+	IOBs      int
+	GCLKs     int
+	// SRAMBytes is the board-level SRAM next to this part on its
+	// prototyping board, used for the database sequence and the
+	// partitioning border column ("several megabytes in most modern
+	// models", sec. 5).
+	SRAMBytes int
+}
+
+// Catalogue lists the devices appearing in the paper and its sec. 4
+// comparisons. Resource counts are the parts' nominal budgets.
+var Catalogue = []Device{
+	{
+		// The paper's prototype part (Virtex-II Pro).
+		Name: "xc2vp70", Slices: 33088, FlipFlops: 66176, LUTs: 66176,
+		IOBs: 996, GCLKs: 16, SRAMBytes: 8 << 20,
+	},
+	{
+		// Used by the affine-gap design of sec. 4 ([2], Virtex-II).
+		Name: "xc2v6000", Slices: 33792, FlipFlops: 67584, LUTs: 67584,
+		IOBs: 1104, GCLKs: 16, SRAMBytes: 8 << 20,
+	},
+	{
+		// Used by the multi-pass design of sec. 4 ([37], Virtex-E).
+		Name: "xcv2000e", Slices: 19200, FlipFlops: 38400, LUTs: 38400,
+		IOBs: 804, GCLKs: 4, SRAMBytes: 4 << 20,
+	},
+	{
+		// Class of part used by PROSIDIS ([23], Virtex).
+		Name: "xcv1000", Slices: 12288, FlipFlops: 24576, LUTs: 24576,
+		IOBs: 512, GCLKs: 4, SRAMBytes: 2 << 20,
+	},
+}
+
+// DeviceByName finds a catalogue entry.
+func DeviceByName(name string) (Device, error) {
+	for _, d := range Catalogue {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("fpga: unknown device %q", name)
+}
+
+// Paper returns the paper's prototype device (xc2vp70).
+func Paper() Device {
+	d, err := DeviceByName("xc2vp70")
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

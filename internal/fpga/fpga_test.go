@@ -1,0 +1,266 @@
+package fpga
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"swfpga/internal/systolic"
+)
+
+func TestCatalogueLookup(t *testing.T) {
+	d, err := DeviceByName("xc2vp70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Slices != 33088 {
+		t.Errorf("xc2vp70 slices = %d", d.Slices)
+	}
+	if _, err := DeviceByName("nonexistent"); err == nil {
+		t.Error("unknown device should fail")
+	}
+	if Paper().Name != "xc2vp70" {
+		t.Errorf("Paper() = %s", Paper().Name)
+	}
+}
+
+func TestTable2Calibration(t *testing.T) {
+	// Experiment E6: 100 coordinate elements on the xc2vp70 must land on
+	// the paper's Table 2 utilizations: 69 % slices, 25 % FFs, 65 % LUTs,
+	// 7 % IOBs, within a percentage point.
+	r := Synthesize(Paper(), 100, CoordinateElement)
+	su, fu, lu, iu := r.Utilization()
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"slices", su, 0.69},
+		{"flipflops", fu, 0.25},
+		{"luts", lu, 0.65},
+		{"iobs", iu, 0.07},
+	} {
+		if math.Abs(c.got-c.want) > 0.01 {
+			t.Errorf("%s utilization = %.3f, want %.2f ± 0.01", c.name, c.got, c.want)
+		}
+	}
+	if !r.Fits {
+		t.Error("prototype should fit the device")
+	}
+	if r.FreqHz > BaseClockHz || r.FreqHz < 0.9*BaseClockHz {
+		t.Errorf("prototype clock %.2f MHz implausible", r.FreqHz/1e6)
+	}
+	if r.GCLKs != 1 {
+		t.Errorf("GCLKs = %d, want 1", r.GCLKs)
+	}
+}
+
+func TestSynthesizeScaling(t *testing.T) {
+	small := Synthesize(Paper(), 10, CoordinateElement)
+	big := Synthesize(Paper(), 140, CoordinateElement)
+	if small.Slices >= big.Slices {
+		t.Error("resources must grow with elements")
+	}
+	if small.FreqHz != BaseClockHz {
+		t.Errorf("small array clock %.2f MHz, want base", small.FreqHz/1e6)
+	}
+	if big.FreqHz >= BaseClockHz {
+		t.Error("near-full device should degrade the clock")
+	}
+	huge := Synthesize(Paper(), 1000, CoordinateElement)
+	if huge.Fits {
+		t.Error("1000 elements cannot fit the xc2vp70")
+	}
+	if huge.FreqHz != BaseClockHz*0.75 {
+		t.Errorf("over-full clock = %.2f MHz, want floor", huge.FreqHz/1e6)
+	}
+}
+
+func TestScoreOnlyElementCheaper(t *testing.T) {
+	// Ablation E5/sec. 5: coordinate tracking costs resources.
+	full := Synthesize(Paper(), 100, CoordinateElement)
+	cheap := Synthesize(Paper(), 100, ScoreOnlyElement)
+	if cheap.Slices >= full.Slices || cheap.FlipFlops >= full.FlipFlops || cheap.LUTs >= full.LUTs {
+		t.Error("score-only element should be strictly cheaper")
+	}
+	if MaxElements(Paper(), ScoreOnlyElement) <= MaxElements(Paper(), CoordinateElement) {
+		t.Error("score-only arrays should fit more elements")
+	}
+}
+
+func TestMaxElements(t *testing.T) {
+	n := MaxElements(Paper(), CoordinateElement)
+	if n < 100 {
+		t.Errorf("MaxElements = %d; the prototype fit 100", n)
+	}
+	r := Synthesize(Paper(), n, CoordinateElement)
+	if !r.Fits {
+		t.Errorf("MaxElements %d does not fit", n)
+	}
+	r = Synthesize(Paper(), n+1, CoordinateElement)
+	if r.Fits {
+		t.Errorf("MaxElements+1 = %d still fits", n+1)
+	}
+	// A tiny fictitious device fits nothing.
+	tiny := Device{Name: "tiny", Slices: 10, FlipFlops: 10, LUTs: 10, IOBs: 10, GCLKs: 1}
+	if MaxElements(tiny, CoordinateElement) != 0 {
+		t.Error("tiny device should fit zero elements")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := Synthesize(Paper(), 100, CoordinateElement)
+	s := r.String()
+	if !strings.Contains(s, "xc2vp70") || !strings.Contains(s, "100 elements") {
+		t.Errorf("report string %q missing fields", s)
+	}
+	tbl := FormatTable([]Report{r})
+	if !strings.Contains(tbl, TableHeader()) {
+		t.Error("table missing header")
+	}
+}
+
+func TestTimingPresets(t *testing.T) {
+	if err := IdealTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CalibratedTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []TimingModel{
+		{ClockHz: 0, CyclesPerStep: 1},
+		{ClockHz: 1e6, CyclesPerStep: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+	st := systolic.Stats{Cycles: 126_060_000, Cells: 126_060_000}
+	if got := IdealTiming().Seconds(st); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("ideal seconds = %v, want 1.0", got)
+	}
+	if got := CalibratedTiming().Seconds(st); math.Abs(got-10.0) > 1e-9 {
+		t.Errorf("calibrated seconds = %v, want 10.0", got)
+	}
+	if got := IdealTiming().GCUPS(st); math.Abs(got-0.12606) > 1e-6 {
+		t.Errorf("ideal GCUPS = %v", got)
+	}
+	if (TimingModel{Name: "x", ClockHz: 1e6, CyclesPerStep: 1}).GCUPS(systolic.Stats{}) != 0 {
+		t.Error("zero-cycle GCUPS should be 0")
+	}
+	if tm := IdealTiming().WithClock(5e7); tm.ClockHz != 5e7 {
+		t.Errorf("WithClock = %v", tm.ClockHz)
+	}
+}
+
+func TestHeadlineTimingShape(t *testing.T) {
+	// Experiment E7's hardware side: 100 BP × 10 MBP on 100 elements is
+	// a single strip of 10e6+99 steps. The calibrated model must land
+	// within 5 % of the paper's 0.79 s.
+	st := systolic.Stats{Cycles: 10_000_000 + 99, Cells: 1_000_000_000}
+	sec := CalibratedTiming().Seconds(st)
+	if math.Abs(sec-0.79)/0.79 > 0.05 {
+		t.Errorf("calibrated headline time = %.4f s, want ≈ 0.79 s", sec)
+	}
+	// And the implied speedup over the paper's 195.9 s software run is
+	// within 5 % of the published 246.9.
+	speedup := 195.9 / sec
+	if math.Abs(speedup-246.9)/246.9 > 0.05 {
+		t.Errorf("implied speedup = %.1f, want ≈ 246.9", speedup)
+	}
+}
+
+func TestBoardTransfers(t *testing.T) {
+	b := DefaultBoard()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.TransferSeconds(0); got != 0 {
+		t.Errorf("zero-byte transfer = %v", got)
+	}
+	oneMB := b.TransferSeconds(1 << 20)
+	if oneMB < 0.008 || oneMB > 0.02 {
+		t.Errorf("1 MB over PCI = %v s, expected ~10 ms", oneMB)
+	}
+	if !(b.TransferSeconds(100) < b.TransferSeconds(1000)) {
+		t.Error("transfer time must grow with size")
+	}
+	for _, bad := range []Board{
+		{Device: Paper(), PCIBandwidth: 0},
+		{Device: Paper(), PCIBandwidth: 1, PCILatency: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should be invalid", bad)
+		}
+	}
+}
+
+func TestDatabaseFits(t *testing.T) {
+	b := DefaultBoard()
+	// 10 MBP packed is 2.5 MB — fits the 8 MB SRAM when the query fits
+	// the array (the headline configuration needs no partitioning).
+	if err := b.DatabaseFits(10_000_000, false); err != nil {
+		t.Errorf("10 MBP unpartitioned should fit: %v", err)
+	}
+	// Partitioning a query against the same database needs a border
+	// score per database base (2 × 40 MB of buffers) — a real constraint
+	// of the figure-7 scheme that the board SRAM cannot satisfy.
+	if err := b.DatabaseFits(10_000_000, true); err == nil {
+		t.Error("partitioned 10 MBP should exceed the prototype SRAM")
+	}
+	// A 500 KBP database fits even with partitioning buffers.
+	if err := b.DatabaseFits(500_000, true); err != nil {
+		t.Errorf("partitioned 500 KBP should fit: %v", err)
+	}
+	// 100 MBP packed is 25 MB — does not fit.
+	if err := b.DatabaseFits(100_000_000, false); err == nil {
+		t.Error("100 MBP should not fit the prototype SRAM")
+	}
+}
+
+func TestCommunicationPlans(t *testing.T) {
+	b := DefaultBoard()
+	p := b.PlanComparison(100, 10_000_000)
+	if p.OutBytes != ResultBytes {
+		t.Errorf("result bytes = %d, want %d", p.OutBytes, ResultBytes)
+	}
+	if p.OutSeconds > 0.001 {
+		t.Errorf("result return = %v s, paper says a few milliseconds at most", p.OutSeconds)
+	}
+	if p.InBytes != 25+2_500_000 {
+		t.Errorf("in bytes = %d", p.InBytes)
+	}
+	// Sec. 4's cautionary tale: returning the whole matrix dwarfs the
+	// coordinate-only return by orders of magnitude.
+	naive := b.PlanScoreMatrixReturn(100, 10_000_000)
+	if naive.OutSeconds < 1000*p.OutSeconds {
+		t.Errorf("matrix return %v s should dwarf coordinate return %v s",
+			naive.OutSeconds, p.OutSeconds)
+	}
+}
+
+func TestElementCostOrdering(t *testing.T) {
+	// Datapath complexity must order the per-element costs:
+	// score-only < coordinates < affine < divergence.
+	order := []struct {
+		name string
+		c    ElementCost
+	}{
+		{"score-only", ScoreOnlyElement},
+		{"coordinates", CoordinateElement},
+		{"affine", AffineElement},
+		{"divergence", DivergenceElement},
+	}
+	for i := 1; i < len(order); i++ {
+		prev, cur := order[i-1], order[i]
+		if cur.c.Slices <= prev.c.Slices || cur.c.FlipFlops <= prev.c.FlipFlops || cur.c.LUTs <= prev.c.LUTs {
+			t.Errorf("%s should cost strictly more than %s", cur.name, prev.name)
+		}
+	}
+	// The prototype part still fits a useful affine array.
+	if n := MaxElements(Paper(), AffineElement); n < 64 {
+		t.Errorf("affine capacity = %d elements, expected at least 64", n)
+	}
+	if n := MaxElements(Paper(), DivergenceElement); n < 32 {
+		t.Errorf("divergence capacity = %d elements, expected at least 32", n)
+	}
+}

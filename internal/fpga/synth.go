@@ -1,0 +1,160 @@
+package fpga
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ElementCost is the modeled per-processing-element resource cost.
+type ElementCost struct {
+	Slices    int
+	FlipFlops int
+	LUTs      int
+}
+
+// ControlCost is the fixed cost of the array-independent logic: the
+// stream controller, global-best comparator tree and host interface
+// (the "right part" of the circuit, figure 9).
+type ControlCost struct {
+	Slices    int
+	FlipFlops int
+	LUTs      int
+	IOBs      int
+	GCLKs     int
+}
+
+// CoordinateElement is the paper's full element (figure 6): the
+// equation-(1) datapath plus the Bs/Cl/Bc coordinate registers and their
+// comparators. Calibrated so 100 elements + control reproduce Table 2
+// on the xc2vp70 (69 % slices, 25 % FFs, 65 % LUTs).
+var CoordinateElement = ElementCost{Slices: 220, FlipFlops: 160, LUTs: 424}
+
+// ScoreOnlyElement models the cheaper element most sec. 4 designs use:
+// no coordinate registers or comparators. The saving mirrors the
+// register-level difference of the two datapaths.
+var ScoreOnlyElement = ElementCost{Slices: 172, FlipFlops: 104, LUTs: 344}
+
+// AffineElement models the Gotoh datapath (systolic.RunAffine): two
+// extra score registers (E and the transmitted F), one extra adder pair
+// and an extra neighbor wire on top of the coordinate element, matching
+// the affine designs of sec. 4 ([2]).
+var AffineElement = ElementCost{Slices: 300, FlipFlops: 224, LUTs: 560}
+
+// DivergenceElement models the Z-align extension (sec. 2.4, [3]): the
+// coordinate element plus six divergence registers (A/B/D path extrema)
+// and two latched best-cell extrema, with two extra neighbor wires.
+var DivergenceElement = ElementCost{Slices: 356, FlipFlops: 288, LUTs: 672}
+
+// Control is the fixed logic cost calibrated together with
+// CoordinateElement against Table 2 (7 % of the xc2vp70's IOBs serve the
+// host/SRAM interface).
+var Control = ControlCost{Slices: 831, FlipFlops: 544, LUTs: 614, IOBs: 70, GCLKs: 1}
+
+// BaseClockHz is the operating frequency the ISE tool reported for the
+// 100-element prototype. The published figure is partially illegible;
+// 126.06 MHz is adopted (see EXPERIMENTS.md) and the timing presets in
+// this package carry the cycles-per-step factor that reconciles it with
+// the published 0.79 s wall-clock run.
+const BaseClockHz = 126.06e6
+
+// Report is a synthesis estimate in the shape of the paper's Table 2.
+type Report struct {
+	Device   Device
+	Elements int
+
+	Slices    int
+	FlipFlops int
+	LUTs      int
+	IOBs      int
+	GCLKs     int
+
+	// FreqHz is the modeled achievable clock.
+	FreqHz float64
+	// Fits reports whether every resource is within the device budget.
+	Fits bool
+}
+
+// Utilization returns each resource's fraction of the device budget.
+func (r Report) Utilization() (slices, ffs, luts, iobs float64) {
+	return float64(r.Slices) / float64(r.Device.Slices),
+		float64(r.FlipFlops) / float64(r.Device.FlipFlops),
+		float64(r.LUTs) / float64(r.Device.LUTs),
+		float64(r.IOBs) / float64(r.Device.IOBs)
+}
+
+// Synthesize estimates the resource usage and clock of an array of n
+// elements of the given cost on dev. The clock model holds BaseClockHz
+// up to 70 % peak utilization (the prototype's operating point) and
+// degrades linearly to 75 % of it at full utilization, reflecting
+// routing pressure in a filled part.
+func Synthesize(dev Device, n int, pe ElementCost) Report {
+	r := Report{
+		Device:    dev,
+		Elements:  n,
+		Slices:    Control.Slices + n*pe.Slices,
+		FlipFlops: Control.FlipFlops + n*pe.FlipFlops,
+		LUTs:      Control.LUTs + n*pe.LUTs,
+		IOBs:      Control.IOBs,
+		GCLKs:     Control.GCLKs,
+	}
+	su, fu, lu, iu := r.Utilization()
+	peak := su
+	for _, u := range []float64{fu, lu, iu} {
+		if u > peak {
+			peak = u
+		}
+	}
+	r.Fits = peak <= 1 && r.GCLKs <= dev.GCLKs
+	switch {
+	case peak <= 0.70:
+		r.FreqHz = BaseClockHz
+	case peak >= 1:
+		r.FreqHz = BaseClockHz * 0.75
+	default:
+		r.FreqHz = BaseClockHz * (1 - (peak-0.70)/0.30*0.25)
+	}
+	return r
+}
+
+// MaxElements returns the largest array that fits dev with the given
+// element cost.
+func MaxElements(dev Device, pe ElementCost) int {
+	bySlices := (dev.Slices - Control.Slices) / pe.Slices
+	byFFs := (dev.FlipFlops - Control.FlipFlops) / pe.FlipFlops
+	byLUTs := (dev.LUTs - Control.LUTs) / pe.LUTs
+	n := bySlices
+	if byFFs < n {
+		n = byFFs
+	}
+	if byLUTs < n {
+		n = byLUTs
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// String renders the report as a Table 2 style row.
+func (r Report) String() string {
+	su, fu, lu, iu := r.Utilization()
+	return fmt.Sprintf("%-10s %5d elements | slices %5.1f%% | FFs %5.1f%% | LUTs %5.1f%% | IOBs %4.1f%% | GCLKs %d | %.2f MHz | fits=%v",
+		r.Device.Name, r.Elements, su*100, fu*100, lu*100, iu*100, r.GCLKs, r.FreqHz/1e6, r.Fits)
+}
+
+// TableHeader returns a header line matching String's columns.
+func TableHeader() string {
+	return "device     elements         |  slices      |  FFs        |  LUTs       |  IOBs      | GCLKs | freq       | fits"
+}
+
+// FormatTable renders reports as a multi-line table.
+func FormatTable(reports []Report) string {
+	var b strings.Builder
+	b.WriteString(TableHeader())
+	b.WriteByte('\n')
+	for _, r := range reports {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package host
+
+import (
+	"fmt"
+	"sync"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+	"time"
+)
+
+// Cluster distributes the forward scan of a long database across
+// several accelerator boards, the master/worker organization of Z-align
+// (paper sec. 2.4, reference [3]) that sec. 5 names as the integration
+// target: each node scans a database chunk, all nodes report their best
+// score and coordinates to the master, and the master picks the global
+// best.
+//
+// Chunks overlap by the maximum database span any positive-scoring
+// local alignment can have, so an alignment straddling a chunk boundary
+// is always contained whole in some chunk and the distributed result is
+// bit-identical to a single-board scan.
+type Cluster struct {
+	// Devices are the member boards (at least one).
+	Devices []*Device
+}
+
+// NewCluster builds a cluster of n identical prototype boards.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.Devices = append(c.Devices, NewDevice())
+	}
+	return c
+}
+
+// Validate checks every member board.
+func (c *Cluster) Validate() error {
+	if len(c.Devices) == 0 {
+		return fmt.Errorf("host: cluster has no devices")
+	}
+	for i, d := range c.Devices {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("host: cluster device %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// maxSpan bounds the database-side length of any positive-scoring local
+// alignment: with matches ≤ m and each database gap costing -Gap against
+// the at most m*Match the matches contribute, the span cannot exceed
+// m*(1 + Match/-Gap).
+func maxSpan(m int, sc align.LinearScoring) int {
+	return m + (m*sc.Match)/(-sc.Gap) + 1
+}
+
+// BestLocal implements the distributed forward scan: the database is cut
+// into len(Devices) chunks (overlapping by maxSpan), each board scans
+// its chunk concurrently, and the bests are merged with the global
+// tie-break (highest score, then smallest row, then smallest column) —
+// the decision the master node makes in phase 3 of [3].
+func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	if len(s) == 0 || len(t) == 0 {
+		return 0, 0, 0, nil
+	}
+	workers := len(c.Devices)
+	if workers > len(t) {
+		workers = len(t)
+	}
+	chunk := (len(t) + workers - 1) / workers
+	overlap := maxSpan(len(s), sc)
+
+	type part struct {
+		score, i, j int
+		err         error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk + overlap
+		if hi > len(t) {
+			hi = len(t)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			score, i, j, err := c.Devices[w].BestLocal(s, t[lo:hi], sc)
+			parts[w] = part{score, i, j + lo, err} // global database coordinate
+			if score == 0 {
+				parts[w].j = 0
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var best part
+	for _, p := range parts {
+		if p.err != nil {
+			return 0, 0, 0, p.err
+		}
+		if p.score > best.score ||
+			(p.score == best.score && p.score > 0 &&
+				(p.i < best.i || (p.i == best.i && p.j < best.j))) {
+			best = p
+		}
+	}
+	return best.score, best.i, best.j, nil
+}
+
+// ClusterReport is the outcome of a distributed pipeline run.
+type ClusterReport struct {
+	// Result is the retrieved alignment.
+	Result align.Result
+	// Phases carries the scan outputs in global coordinates.
+	Phases linear.Phases
+	// ScanSeconds is the modeled wall time of the distributed forward
+	// scan: the slowest board's share (boards run concurrently).
+	ScanSeconds float64
+	// ReverseSeconds is the modeled reverse-scan time on the master's
+	// board.
+	ReverseSeconds float64
+	// HostSeconds is the measured retrieval time.
+	HostSeconds float64
+}
+
+// Pipeline runs the full linear-space local alignment with the forward
+// scan distributed over the cluster, the reverse scan on the first
+// board (it covers only the prefixes ending at the located
+// coordinates), and retrieval on the master host.
+func (c *Cluster) Pipeline(s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
+	var rep ClusterReport
+	// Snapshot per-device compute time to attribute the scan cost.
+	before := make([]float64, len(c.Devices))
+	for i, d := range c.Devices {
+		before[i] = d.Metrics.ComputeSeconds
+	}
+	score, endI, endJ, err := c.BestLocal(s, t, sc)
+	if err != nil {
+		return rep, fmt.Errorf("host: distributed forward scan: %w", err)
+	}
+	for i, d := range c.Devices {
+		if dt := d.Metrics.ComputeSeconds - before[i]; dt > rep.ScanSeconds {
+			rep.ScanSeconds = dt
+		}
+	}
+	rep.Phases = linear.Phases{Score: score, EndI: endI, EndJ: endJ}
+	if score == 0 {
+		return rep, nil
+	}
+	master := c.Devices[0]
+	beforeRev := master.Metrics.ComputeSeconds
+	revScore, revI, revJ, err := master.BestAnchored(seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
+	if err != nil {
+		return rep, fmt.Errorf("host: reverse scan: %w", err)
+	}
+	rep.ReverseSeconds = master.Metrics.ComputeSeconds - beforeRev
+	if revScore != score {
+		return rep, fmt.Errorf("host: reverse scan score %d != forward %d", revScore, score)
+	}
+	startI, startJ := endI-revI, endJ-revJ
+	rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
+	t0 := time.Now()
+	sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
+	rep.HostSeconds = time.Since(t0).Seconds()
+	if sub.Score != score {
+		return rep, fmt.Errorf("host: retrieval score %d != scan score %d", sub.Score, score)
+	}
+	rep.Result = align.Result{
+		Score:  score,
+		SStart: startI, SEnd: endI,
+		TStart: startJ, TEnd: endJ,
+		Ops: sub.Ops,
+	}
+	return rep, nil
+}
+
+// TotalCells sums the cell updates across the cluster (the distributed
+// scan computes overlap regions twice; this exposes that overhead).
+func (c *Cluster) TotalCells() uint64 {
+	var total uint64
+	for _, d := range c.Devices {
+		total += d.Metrics.Cells
+	}
+	return total
+}

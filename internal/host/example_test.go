@@ -1,0 +1,22 @@
+package host_test
+
+import (
+	"fmt"
+
+	"swfpga/internal/align"
+	"swfpga/internal/host"
+)
+
+// The integrated system: both scan phases on the simulated board,
+// retrieval on the host.
+func ExamplePipeline() {
+	dev := host.NewDevice()
+	rep, err := host.Pipeline(dev, []byte("TATGGAC"), []byte("TAGTGACT"), align.DefaultLinear())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d, span s[%d:%d] ~ t[%d:%d], device scans %d\n",
+		rep.Result.Score, rep.Result.SStart, rep.Result.SEnd,
+		rep.Result.TStart, rep.Result.TEnd, dev.Metrics.Calls)
+	// Output: score 3, span s[4:7] ~ t[4:7], device scans 2
+}

@@ -1,0 +1,282 @@
+// Package host integrates the simulated FPGA accelerator into the
+// linear-space alignment pipeline the paper targets (sec. 5: "this
+// solution can be easily integrated to parallel algorithms ... that will
+// produce the alignments in software"). A Device wraps the systolic
+// array simulator behind the linear.Scanner interface, charges modeled
+// board-communication and compute time for every call, and the Pipeline
+// function runs the full three-phase local alignment with the scan
+// phases on the accelerator and retrieval on the host.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"swfpga/internal/align"
+	"swfpga/internal/fpga"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+	"swfpga/internal/systolic"
+)
+
+// Metrics accumulates the modeled cost of accelerator use.
+type Metrics struct {
+	// Calls counts scan invocations.
+	Calls int
+	// Cells and Cycles aggregate the array counters.
+	Cells  uint64
+	Cycles uint64
+	// ComputeSeconds is the modeled array execution time.
+	ComputeSeconds float64
+	// TransferSeconds is the modeled PCI traffic time (sequences in,
+	// result records out).
+	TransferSeconds float64
+	// BytesIn and BytesOut are the modeled PCI byte counts.
+	BytesIn, BytesOut int
+}
+
+// Device is a simulated FPGA accelerator board: the systolic array plus
+// the board's communication and timing models. It implements
+// linear.Scanner, so it can drive the three-phase pipeline directly.
+type Device struct {
+	// Array configures the systolic array (element count, scoring,
+	// register width). The Scoring and Anchored fields are set per call.
+	Array systolic.Config
+	// Board models SRAM and the PCI link.
+	Board fpga.Board
+	// Timing converts array steps to wall-clock seconds.
+	Timing fpga.TimingModel
+	// Metrics accumulates modeled costs across calls.
+	Metrics Metrics
+}
+
+// NewDevice assembles the paper's prototype: a 100-element array on the
+// xc2vp70 board with the paper-calibrated timing model.
+func NewDevice() *Device {
+	return &Device{
+		Array:  systolic.DefaultConfig(),
+		Board:  fpga.DefaultBoard(),
+		Timing: fpga.CalibratedTiming(),
+	}
+}
+
+// Validate checks the device composition.
+func (d *Device) Validate() error {
+	if err := d.Array.Validate(); err != nil {
+		return err
+	}
+	if err := d.Board.Validate(); err != nil {
+		return err
+	}
+	return d.Timing.Validate()
+}
+
+// run executes one scan on the array and charges its modeled costs.
+func (d *Device) run(s, t []byte, sc align.LinearScoring, anchored, divergence bool) (systolic.Result, error) {
+	cfg := d.Array
+	cfg.Scoring = sc
+	cfg.Anchored = anchored
+	cfg.TrackDivergence = divergence
+	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
+		return systolic.Result{}, err
+	}
+	res, err := systolic.Run(cfg, s, t)
+	if err != nil {
+		return systolic.Result{}, err
+	}
+	plan := d.Board.PlanComparison(len(s), len(t))
+	d.Metrics.Calls++
+	d.Metrics.Cells += res.Stats.Cells
+	d.Metrics.Cycles += res.Stats.Cycles
+	d.Metrics.ComputeSeconds += d.Timing.Seconds(res.Stats)
+	d.Metrics.TransferSeconds += plan.InSeconds + plan.OutSeconds
+	d.Metrics.BytesIn += plan.InBytes
+	d.Metrics.BytesOut += plan.OutBytes
+	return res, nil
+}
+
+// BestLocal implements linear.Scanner on the accelerator.
+func (d *Device) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	res, err := d.run(s, t, sc, false, false)
+	return res.Score, res.EndI, res.EndJ, err
+}
+
+// BestAnchored implements linear.Scanner on the accelerator using the
+// anchored datapath variant (see systolic.Config.Anchored).
+func (d *Device) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	res, err := d.run(s, t, sc, true, false)
+	return res.Score, res.EndI, res.EndJ, err
+}
+
+// BestAnchoredDivergence implements linear.DivergenceScanner: the
+// anchored scan with the Z-align divergence registers enabled, so the
+// accelerator also reports the retrieval band.
+func (d *Device) BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
+	res, err := d.run(s, t, sc, true, true)
+	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
+}
+
+// runAffine executes one scan on the Gotoh array variant, charging the
+// same modeled costs as run.
+func (d *Device) runAffine(s, t []byte, sc align.AffineScoring, anchored, divergence bool) (systolic.Result, error) {
+	cfg := systolic.AffineConfig{
+		Elements:        d.Array.Elements,
+		Scoring:         sc,
+		ScoreBits:       d.Array.ScoreBits,
+		ReloadCycles:    d.Array.ReloadCycles,
+		Anchored:        anchored,
+		TrackDivergence: divergence,
+	}
+	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
+		return systolic.Result{}, err
+	}
+	res, err := systolic.RunAffine(cfg, s, t)
+	if err != nil {
+		return systolic.Result{}, err
+	}
+	plan := d.Board.PlanComparison(len(s), len(t))
+	d.Metrics.Calls++
+	d.Metrics.Cells += res.Stats.Cells
+	d.Metrics.Cycles += res.Stats.Cycles
+	d.Metrics.ComputeSeconds += d.Timing.Seconds(res.Stats)
+	d.Metrics.TransferSeconds += plan.InSeconds + plan.OutSeconds
+	d.Metrics.BytesIn += plan.InBytes
+	d.Metrics.BytesOut += plan.OutBytes
+	return res, nil
+}
+
+// BestAffineLocal implements linear.AffineScanner on the Gotoh array.
+func (d *Device) BestAffineLocal(s, t []byte, sc align.AffineScoring) (int, int, int, error) {
+	res, err := d.runAffine(s, t, sc, false, false)
+	return res.Score, res.EndI, res.EndJ, err
+}
+
+// BestAffineAnchoredDivergence implements linear.AffineScanner: the
+// anchored Gotoh datapath with divergence registers.
+func (d *Device) BestAffineAnchoredDivergence(s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
+	res, err := d.runAffine(s, t, sc, true, true)
+	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
+}
+
+// Report is the outcome of one accelerated pipeline run.
+type Report struct {
+	// Result is the full local alignment.
+	Result align.Result
+	// Phases carries the scan outputs (score, end and start coordinates).
+	Phases linear.Phases
+	// AcceleratorSeconds is the modeled array compute time of the two
+	// scan phases.
+	AcceleratorSeconds float64
+	// TransferSeconds is the modeled PCI time of the two scan phases.
+	TransferSeconds float64
+	// HostSeconds is the measured wall time of the host-side retrieval
+	// (phase 3, Hirschberg).
+	HostSeconds float64
+}
+
+// ModeledTotalSeconds is the modeled end-to-end latency: accelerator
+// compute, board traffic, and host retrieval.
+func (r Report) ModeledTotalSeconds() float64 {
+	return r.AcceleratorSeconds + r.TransferSeconds + r.HostSeconds
+}
+
+// Pipeline runs the complete linear-space local alignment with both
+// scan phases on the device and retrieval on the host, mirroring the
+// phase structure of sec. 2.3: forward scan (accelerator) → reverse
+// scan over the reversed prefixes (accelerator) → Hirschberg retrieval
+// between the located coordinates (host software, measured wall time).
+func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
+	if err := d.Validate(); err != nil {
+		return Report{}, err
+	}
+	before := d.Metrics
+	var rep Report
+	// Phase 1: end coordinates, on the accelerator.
+	score, endI, endJ, err := d.BestLocal(s, t, sc)
+	if err != nil {
+		return Report{}, fmt.Errorf("host: forward scan: %w", err)
+	}
+	rep.Phases = linear.Phases{Score: score, EndI: endI, EndJ: endJ}
+	rep.Phases.Cells = uint64(len(s)) * uint64(len(t))
+	if score > 0 {
+		// Phase 2: start coordinates, on the accelerator over the
+		// reversed prefixes ending at (endI, endJ).
+		revScore, revI, revJ, err := d.BestAnchored(seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
+		if err != nil {
+			return Report{}, fmt.Errorf("host: reverse scan: %w", err)
+		}
+		if revScore != score {
+			return Report{}, fmt.Errorf("host: reverse scan score %d != forward score %d", revScore, score)
+		}
+		rep.Phases.Cells += uint64(endI) * uint64(endJ)
+		startI, startJ := endI-revI, endJ-revJ
+		rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
+		// Phase 3: retrieval on the host, measured.
+		t0 := time.Now()
+		sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
+		rep.HostSeconds = time.Since(t0).Seconds()
+		if sub.Score != score {
+			return Report{}, fmt.Errorf("host: retrieval score %d != scan score %d", sub.Score, score)
+		}
+		rep.Result = align.Result{
+			Score:  score,
+			SStart: startI, SEnd: endI,
+			TStart: startJ, TEnd: endJ,
+			Ops: sub.Ops,
+		}
+	}
+	rep.AcceleratorSeconds = d.Metrics.ComputeSeconds - before.ComputeSeconds
+	rep.TransferSeconds = d.Metrics.TransferSeconds - before.TransferSeconds
+	return rep, nil
+}
+
+// BatchPlan aggregates the modeled cost of a batched scan.
+type BatchPlan struct {
+	// BytesIn and BytesOut are the total PCI traffic.
+	BytesIn, BytesOut int
+	// TransferSeconds and ComputeSeconds are the modeled totals.
+	TransferSeconds, ComputeSeconds float64
+}
+
+// BatchScan compares one query against many database records,
+// amortizing the host link: the query is uploaded once for the whole
+// batch (it stays resident in the elements), each record streams
+// through the array in turn, and each result returns in a single
+// ResultBytes record. This is how a deployed board serves the
+// database-search workload of sec. 6 without paying the per-call setup
+// the naive one-comparison-at-a-time usage incurs.
+func (d *Device) BatchScan(query []byte, records [][]byte, sc align.LinearScoring) ([]systolic.Result, BatchPlan, error) {
+	var plan BatchPlan
+	if len(records) == 0 {
+		return nil, plan, nil
+	}
+	cfg := d.Array
+	cfg.Scoring = sc
+	// The whole batch moves in two coalesced DMA transfers: the query
+	// plus all records up front, all result records on the way back —
+	// paying the link setup latency twice instead of twice per record.
+	plan.BytesIn = (len(query) + 3) / 4
+	out := make([]systolic.Result, 0, len(records))
+	for _, rec := range records {
+		if err := d.Board.DatabaseFits(len(rec), len(query) > cfg.Elements); err != nil {
+			return nil, plan, err
+		}
+		res, err := systolic.Run(cfg, query, rec)
+		if err != nil {
+			return nil, plan, err
+		}
+		plan.BytesIn += (len(rec) + 3) / 4
+		plan.BytesOut += fpga.ResultBytes
+		plan.ComputeSeconds += d.Timing.Seconds(res.Stats)
+		d.Metrics.Calls++
+		d.Metrics.Cells += res.Stats.Cells
+		d.Metrics.Cycles += res.Stats.Cycles
+		out = append(out, res)
+	}
+	plan.TransferSeconds = d.Board.TransferSeconds(plan.BytesIn) + d.Board.TransferSeconds(plan.BytesOut)
+	d.Metrics.ComputeSeconds += plan.ComputeSeconds
+	d.Metrics.TransferSeconds += plan.TransferSeconds
+	d.Metrics.BytesIn += plan.BytesIn
+	d.Metrics.BytesOut += plan.BytesOut
+	return out, plan, nil
+}

@@ -1,0 +1,414 @@
+package host
+
+import (
+	"math/rand"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/fpga"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+	"swfpga/internal/systolic"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestDeviceImplementsScanner(t *testing.T) {
+	var _ linear.Scanner = NewDevice()
+}
+
+func TestDeviceMatchesSoftwareScanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	sc := align.DefaultLinear()
+	d := NewDevice()
+	d.Array.Elements = 16 // force partitioning on some inputs
+	soft := linear.ScanSoftware{}
+	for trial := 0; trial < 40; trial++ {
+		q := randDNA(rng, 1+rng.Intn(60))
+		db := randDNA(rng, 1+rng.Intn(60))
+		for _, anchored := range []bool{false, true} {
+			var ds, di, dj, ss, si, sj int
+			var derr, serr error
+			if anchored {
+				ds, di, dj, derr = d.BestAnchored(q, db, sc)
+				ss, si, sj, serr = soft.BestAnchored(q, db, sc)
+			} else {
+				ds, di, dj, derr = d.BestLocal(q, db, sc)
+				ss, si, sj, serr = soft.BestLocal(q, db, sc)
+			}
+			if derr != nil || serr != nil {
+				t.Fatal(derr, serr)
+			}
+			if ds != ss || di != si || dj != sj {
+				t.Fatalf("anchored=%v: device %d (%d,%d) != software %d (%d,%d)",
+					anchored, ds, di, dj, ss, si, sj)
+			}
+		}
+	}
+}
+
+func TestDeviceAccumulatesMetrics(t *testing.T) {
+	d := NewDevice()
+	q := []byte("TATGGAC")
+	db := []byte("TAGTGACT")
+	if _, _, _, err := d.BestLocal(q, db, align.DefaultLinear()); err != nil {
+		t.Fatal(err)
+	}
+	m := d.Metrics
+	if m.Calls != 1 || m.Cells != 56 || m.Cycles != 14 {
+		t.Errorf("metrics after one call: %+v", m)
+	}
+	if m.ComputeSeconds <= 0 || m.TransferSeconds <= 0 {
+		t.Errorf("modeled times must be positive: %+v", m)
+	}
+	if m.BytesOut != fpga.ResultBytes {
+		t.Errorf("bytes out = %d, want %d", m.BytesOut, fpga.ResultBytes)
+	}
+	if _, _, _, err := d.BestLocal(q, db, align.DefaultLinear()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Metrics.Calls != 2 || d.Metrics.Cells != 112 {
+		t.Errorf("metrics must accumulate: %+v", d.Metrics)
+	}
+}
+
+func TestPipelineMatchesSoftwareLocal(t *testing.T) {
+	// E11: the accelerated pipeline retrieves the same alignment the
+	// pure-software pipeline does.
+	rng := rand.New(rand.NewSource(402))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 30; trial++ {
+		q := randDNA(rng, 1+rng.Intn(80))
+		db := randDNA(rng, 1+rng.Intn(80))
+		d := NewDevice()
+		d.Array.Elements = 24
+		rep, err := Pipeline(d, q, db, sc)
+		if err != nil {
+			t.Fatalf("pipeline(%s,%s): %v", q, db, err)
+		}
+		want, _, err := linear.Local(q, db, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Result.Score != want.Score {
+			t.Fatalf("pipeline score %d != software %d", rep.Result.Score, want.Score)
+		}
+		if rep.Result.Score > 0 {
+			if err := rep.Result.Validate(q, db, sc); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Result.SStart != want.SStart || rep.Result.TStart != want.TStart ||
+				rep.Result.SEnd != want.SEnd || rep.Result.TEnd != want.TEnd {
+				t.Fatalf("pipeline span %+v != software %+v", rep.Result, want)
+			}
+		}
+	}
+}
+
+func TestPipelineHomologsEndToEnd(t *testing.T) {
+	g := seq.NewGenerator(88)
+	a, b, err := g.HomologousPair(1500, seq.DefaultMutationProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	d := NewDevice()
+	rep, err := Pipeline(d, a, b, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Result.Validate(a, b, sc); err != nil {
+		t.Fatal(err)
+	}
+	if rep.AcceleratorSeconds <= 0 || rep.TransferSeconds <= 0 || rep.HostSeconds <= 0 {
+		t.Errorf("timing breakdown incomplete: %+v", rep)
+	}
+	if rep.ModeledTotalSeconds() < rep.AcceleratorSeconds {
+		t.Error("total must include all parts")
+	}
+	// Two scans ran on the device.
+	if d.Metrics.Calls != 2 {
+		t.Errorf("device calls = %d, want 2", d.Metrics.Calls)
+	}
+	// The result return is tiny: a few bytes per scan (sec. 6).
+	if d.Metrics.BytesOut != 2*fpga.ResultBytes {
+		t.Errorf("bytes out = %d", d.Metrics.BytesOut)
+	}
+}
+
+func TestPipelineHopelessInput(t *testing.T) {
+	d := NewDevice()
+	rep, err := Pipeline(d, []byte("AAAA"), []byte("TTTT"), align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Score != 0 || rep.HostSeconds != 0 {
+		t.Errorf("hopeless input: %+v", rep)
+	}
+	if d.Metrics.Calls != 1 {
+		t.Errorf("only the forward scan should run: %d calls", d.Metrics.Calls)
+	}
+}
+
+func TestPipelineSaturationSurfaces(t *testing.T) {
+	d := NewDevice()
+	d.Array.ScoreBits = 4
+	q := randDNA(rand.New(rand.NewSource(403)), 100)
+	if _, err := Pipeline(d, q, q, align.DefaultLinear()); err == nil {
+		t.Error("saturation must surface as a pipeline error")
+	}
+}
+
+func TestPipelineRejectsOversizeDatabase(t *testing.T) {
+	d := NewDevice()
+	d.Board.Device.SRAMBytes = 16 // absurdly small board
+	q := []byte("ACGTACGT")
+	db := randDNA(rand.New(rand.NewSource(404)), 1000)
+	if _, err := Pipeline(d, q, db, align.DefaultLinear()); err == nil {
+		t.Error("database exceeding board SRAM must be rejected")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	d := NewDevice()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d.Array.Elements = 0
+	if err := d.Validate(); err == nil {
+		t.Error("invalid array config must be rejected")
+	}
+	d = NewDevice()
+	d.Timing = fpga.TimingModel{}
+	if err := d.Validate(); err == nil {
+		t.Error("invalid timing must be rejected")
+	}
+	d = NewDevice()
+	d.Board.PCIBandwidth = 0
+	if err := d.Validate(); err == nil {
+		t.Error("invalid board must be rejected")
+	}
+}
+
+func TestNearBestOnDevice(t *testing.T) {
+	// The accelerator also drives the near-best search of sec. 2.4.
+	g := seq.NewGenerator(91)
+	motif := g.Random(25)
+	s := make([]byte, 25)
+	copy(s, motif)
+	db := g.Random(600)
+	seq.PlantMotif(db, motif, 100)
+	seq.PlantMotif(db, motif, 400)
+	d := NewDevice()
+	hits, err := linear.NearBest(s, db, align.DefaultLinear(), 2, 15, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	wantHits, err := linear.NearBest(s, db, align.DefaultLinear(), 2, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Score != wantHits[i].Score || hits[i].TStart != wantHits[i].TStart {
+			t.Errorf("hit %d differs from software: %+v vs %+v", i, hits[i], wantHits[i])
+		}
+	}
+}
+
+func TestDefaultDeviceIsPaperPrototype(t *testing.T) {
+	d := NewDevice()
+	if d.Array.Elements != 100 {
+		t.Errorf("elements = %d, want 100", d.Array.Elements)
+	}
+	if d.Board.Device.Name != "xc2vp70" {
+		t.Errorf("device = %s, want xc2vp70", d.Board.Device.Name)
+	}
+	if d.Timing.Name != "paper-calibrated" {
+		t.Errorf("timing = %s", d.Timing.Name)
+	}
+	var _ = systolic.DefaultConfig()
+}
+
+func TestDeviceImplementsDivergenceScanner(t *testing.T) {
+	var _ linear.DivergenceScanner = NewDevice()
+}
+
+func TestRestrictedPipelineOnDevice(t *testing.T) {
+	// The Z-align restricted-memory pipeline driven end to end by the
+	// accelerator: scores, spans and validity must match the software
+	// run. The divergence bands may legitimately differ when several
+	// optimal paths exist — each engine reports the band of its own
+	// chosen path — so only the results are compared.
+	rng := rand.New(rand.NewSource(405))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 30; trial++ {
+		q := randDNA(rng, 1+rng.Intn(70))
+		db := randDNA(rng, 1+rng.Intn(70))
+		d := NewDevice()
+		d.Array.Elements = 16
+		hw, hwInfo, err := linear.LocalRestricted(q, db, sc, d)
+		if err != nil {
+			t.Fatalf("hardware restricted(%s,%s): %v", q, db, err)
+		}
+		sw, _, err := linear.LocalRestricted(q, db, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw.Score != sw.Score || hw.SStart != sw.SStart || hw.TStart != sw.TStart ||
+			hw.SEnd != sw.SEnd || hw.TEnd != sw.TEnd {
+			t.Fatalf("hardware %+v != software %+v", hw, sw)
+		}
+		if hw.Score > 0 {
+			if err := hw.Validate(q, db, sc); err != nil {
+				t.Fatal(err)
+			}
+			if hwInfo.BandLo > hwInfo.BandHi {
+				t.Fatalf("inverted band %+v", hwInfo)
+			}
+		}
+	}
+}
+
+func TestRestrictedPipelineHomologOnDevice(t *testing.T) {
+	g := seq.NewGenerator(406)
+	a, b, err := g.HomologousPair(2000, seq.MutationProfile{Substitution: 0.05, Insertion: 0.002, Deletion: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	d := NewDevice()
+	r, info, err := linear.LocalRestricted(a, b, sc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(a, b, sc); err != nil {
+		t.Fatal(err)
+	}
+	if width := info.BandHi - info.BandLo + 1; width > 200 {
+		t.Errorf("device-reported band width %d too wide for near-identical homologs", width)
+	}
+	if d.Metrics.Calls != 2 {
+		t.Errorf("device calls = %d, want 2", d.Metrics.Calls)
+	}
+}
+
+func TestBatchScanResultsMatchSingles(t *testing.T) {
+	g := seq.NewGenerator(407)
+	query := g.Random(60)
+	records := [][]byte{g.Random(500), g.Random(300), g.Random(800)}
+	sc := align.DefaultLinear()
+	d := NewDevice()
+	results, plan, err := d.BatchScan(query, records, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(records) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, rec := range records {
+		score, wi, wj := align.LocalScore(query, rec, sc)
+		if results[i].Score != score || results[i].EndI != wi || results[i].EndJ != wj {
+			t.Errorf("record %d: %d (%d,%d) != %d (%d,%d)",
+				i, results[i].Score, results[i].EndI, results[i].EndJ, score, wi, wj)
+		}
+	}
+	// The batch uploads the query once; the naive path pays it per call.
+	naive := NewDevice()
+	for _, rec := range records {
+		if _, _, _, err := naive.BestLocal(query, rec, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plan.BytesIn >= naive.Metrics.BytesIn {
+		t.Errorf("batched bytes in %d not below naive %d", plan.BytesIn, naive.Metrics.BytesIn)
+	}
+	if plan.TransferSeconds >= naive.Metrics.TransferSeconds {
+		t.Errorf("batched transfer %.6f s not below naive %.6f s",
+			plan.TransferSeconds, naive.Metrics.TransferSeconds)
+	}
+	if plan.BytesOut != 3*fpga.ResultBytes {
+		t.Errorf("bytes out = %d", plan.BytesOut)
+	}
+}
+
+func TestBatchScanEmptyAndErrors(t *testing.T) {
+	d := NewDevice()
+	res, plan, err := d.BatchScan([]byte("ACGT"), nil, align.DefaultLinear())
+	if err != nil || res != nil || plan.BytesIn != 0 {
+		t.Errorf("empty batch: %v %v %v", res, plan, err)
+	}
+	d.Array.ScoreBits = 4
+	q := randDNA(rand.New(rand.NewSource(408)), 100)
+	if _, _, err := d.BatchScan(q, [][]byte{q}, align.DefaultLinear()); err == nil {
+		t.Error("saturation must propagate from batch")
+	}
+}
+
+func TestDeviceImplementsAffineScanner(t *testing.T) {
+	var _ linear.AffineScanner = NewDevice()
+}
+
+func TestAffineRestrictedPipelineOnDevice(t *testing.T) {
+	// The affine restricted-memory pipeline driven by the Gotoh array:
+	// scores and spans must match the software run, transcripts must
+	// replay under the affine model.
+	rng := rand.New(rand.NewSource(409))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 25; trial++ {
+		q := randDNA(rng, 1+rng.Intn(60))
+		db := randDNA(rng, 1+rng.Intn(60))
+		d := NewDevice()
+		d.Array.Elements = 16
+		hw, _, err := linear.LocalAffineRestricted(q, db, sc, d)
+		if err != nil {
+			t.Fatalf("hardware affine restricted(%s,%s): %v", q, db, err)
+		}
+		sw, _, err := linear.LocalAffineRestricted(q, db, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw.Score != sw.Score || hw.SStart != sw.SStart || hw.TStart != sw.TStart ||
+			hw.SEnd != sw.SEnd || hw.TEnd != sw.TEnd {
+			t.Fatalf("hardware %+v != software %+v", hw, sw)
+		}
+		if hw.Score > 0 {
+			got, err := align.AffineOpScore(hw.Ops, q, db, hw.SStart, hw.TStart, sc)
+			if err != nil || got != hw.Score {
+				t.Fatalf("transcript replay %d, %v", got, err)
+			}
+		}
+	}
+}
+
+func TestAffineRestrictedHomologOnDevice(t *testing.T) {
+	g := seq.NewGenerator(410)
+	a, b, err := g.HomologousPair(1500, seq.MutationProfile{Substitution: 0.05, Insertion: 0.002, Deletion: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultAffine()
+	d := NewDevice()
+	r, info, err := linear.LocalAffineRestricted(a, b, sc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score < 500 {
+		t.Fatalf("homolog affine score %d too low", r.Score)
+	}
+	if width := info.BandHi - info.BandLo + 1; width > 200 {
+		t.Errorf("device-reported affine band width %d too wide", width)
+	}
+	if d.Metrics.Calls != 2 {
+		t.Errorf("device calls = %d, want 2", d.Metrics.Calls)
+	}
+}

@@ -1,0 +1,40 @@
+package linear_test
+
+import (
+	"fmt"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+)
+
+// The three-phase linear-space local alignment (paper sec. 2.3):
+// forward scan, reverse scan, Hirschberg retrieval.
+func ExampleLocal() {
+	s := []byte("TATGGAC")
+	t := []byte("TAGTGACT")
+	r, phases, err := linear.Local(s, t, align.DefaultLinear(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d, start (%d,%d), end (%d,%d)\n",
+		r.Score, phases.StartI, phases.StartJ, phases.EndI, phases.EndJ)
+	// Output: score 3, start (4,4), end (7,7)
+}
+
+// Hirschberg's algorithm: optimal global alignment in linear memory.
+func ExampleGlobal() {
+	r := linear.Global([]byte("GATTACA"), []byte("GATACA"), align.DefaultLinear())
+	fmt.Printf("score %d, CIGAR %s\n", r.Score, align.CIGAR(r.Ops))
+	// Output: score 4, CIGAR 2=1D4=
+}
+
+// Myers-Miller: optimal affine-gap global alignment in linear memory
+// (the paper's reference [25]).
+func ExampleGlobalAffine() {
+	r, err := linear.GlobalAffine([]byte("ACGTACGT"), []byte("ACGTGGGACGT"), align.DefaultAffine())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d, CIGAR %s\n", r.Score, align.CIGAR(r.Ops))
+	// Output: score 3, CIGAR 4=3I4=
+}

@@ -1,0 +1,90 @@
+package linear
+
+import (
+	"testing"
+
+	"swfpga/internal/align"
+)
+
+func FuzzLinearPipelines(f *testing.F) {
+	f.Add([]byte("TATGGACTAGTGACT"))
+	f.Add([]byte("AAAAAAAATTTTTTTT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		cut := len(data) / 2
+		s := mapDNA(data[:cut])
+		u := mapDNA(data[cut:])
+		sc := align.DefaultLinear()
+		want, _, _ := align.LocalScore(s, u, sc)
+
+		r1, _, err := Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, _, err := LocalRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Score != want || r2.Score != want {
+			t.Fatalf("pipelines scored %d / %d, want %d", r1.Score, r2.Score, want)
+		}
+		if err := r1.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		g := Global(s, u, sc)
+		if gw := align.GlobalScore(s, u, sc); g.Score != gw {
+			t.Fatalf("hirschberg %d != NW %d", g.Score, gw)
+		}
+	})
+}
+
+func FuzzMyersMiller(f *testing.F) {
+	f.Add([]byte("ACGTGGGGGGGGACGTACGT"))
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 240 {
+			data = data[:240]
+		}
+		cut := len(data) / 2
+		s := mapDNA(data[:cut])
+		u := mapDNA(data[cut:])
+		sc := align.DefaultAffine()
+		r, err := GlobalAffine(s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := align.AffineGlobalScore(s, u, sc); r.Score != want {
+			t.Fatalf("myers-miller %d != gotoh %d", r.Score, want)
+		}
+		got, err := align.AffineOpScore(r.Ops, s, u, 0, 0, sc)
+		if err != nil || got != r.Score {
+			t.Fatalf("replay %d, %v", got, err)
+		}
+	})
+}
+
+func FuzzAffineRestricted(f *testing.F) {
+	f.Add([]byte("TATGGACTAGTGACTAA"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 200 {
+			data = data[:200]
+		}
+		cut := len(data) / 2
+		s := mapDNA(data[:cut])
+		u := mapDNA(data[cut:])
+		sc := align.DefaultAffine()
+		r, _, err := LocalAffineRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := align.AffineLocalScore(s, u, sc)
+		if r.Score != want {
+			t.Fatalf("restricted affine %d != gotoh %d", r.Score, want)
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package linear implements sequence alignment in linear memory space:
+// Hirschberg's divide-and-conquer global alignment (the paper's
+// reference [15]) and the three-phase linear-space local alignment of
+// sec. 2.3 (Gusfield [14]): a forward scan locates where the best local
+// alignment ends, a reverse scan locates where it begins, and Hirschberg
+// retrieves the actual alignment between those coordinates.
+//
+// This is the software pipeline the paper's FPGA accelerates: the
+// forward and reverse scans are the compute-intensive phases the
+// systolic array executes, and this package supplies the identical
+// software algorithms plus the retrieval phase that stays on the host.
+package linear
+
+import (
+	"swfpga/internal/align"
+)
+
+// Global computes the optimal global alignment of s and t in O(min)
+// memory using Hirschberg's algorithm. The returned Result carries a
+// full transcript; its score equals the Needleman-Wunsch optimum.
+func Global(s, t []byte, sc align.LinearScoring) align.Result {
+	h := &hirschberg{s: s, t: t, sc: sc}
+	h.solve(0, len(s), 0, len(t))
+	score, err := align.OpScore(h.ops, s, t, 0, 0, sc)
+	if err != nil {
+		// The recursion emits a transcript that consumes exactly s and t;
+		// a failure here is a bug, not an input condition.
+		panic("linear: hirschberg produced invalid transcript: " + err.Error())
+	}
+	return align.Result{
+		Score: score,
+		SEnd:  len(s), TEnd: len(t),
+		Ops: h.ops,
+	}
+}
+
+// hirschberg carries the recursion state: two scratch rows sized to the
+// full database so every NWScore call is allocation-free.
+type hirschberg struct {
+	s, t       []byte
+	sc         align.LinearScoring
+	ops        []align.Op
+	fwd, rev   []int
+	sRev, tRev []byte // lazily built reversed copies for suffix scoring
+}
+
+// solve emits the optimal alignment of s[si:se] against t[ti:te].
+func (h *hirschberg) solve(si, se, ti, te int) {
+	m, n := se-si, te-ti
+	switch {
+	case m == 0:
+		for k := 0; k < n; k++ {
+			h.ops = append(h.ops, align.OpInsert)
+		}
+		return
+	case n == 0:
+		for k := 0; k < m; k++ {
+			h.ops = append(h.ops, align.OpDelete)
+		}
+		return
+	case m == 1:
+		h.emitSingleRow(si, ti, te)
+		return
+	}
+	mid := si + m/2
+	// Forward scores: aligning s[si:mid] against every prefix of t[ti:te].
+	h.fwd = align.GlobalLastRow(h.s[si:mid], h.t[ti:te], h.sc, h.fwd)
+	// Backward scores: aligning reversed s[mid:se] against every suffix.
+	h.rev = align.GlobalLastRow(h.suffixRevS(mid, se), h.suffixRevT(ti, te), h.sc, h.rev)
+	// Split where forward + backward is maximal.
+	best, split := h.fwd[0]+h.rev[n], 0
+	for k := 1; k <= n; k++ {
+		if v := h.fwd[k] + h.rev[n-k]; v > best {
+			best, split = v, k
+		}
+	}
+	// The scratch rows are clobbered by the recursion; only `split`
+	// survives, which is all Hirschberg's algorithm needs.
+	h.solve(si, mid, ti, ti+split)
+	h.solve(mid, se, ti+split, te)
+}
+
+// emitSingleRow aligns the single base s[si] against t[ti:te] optimally:
+// the base is matched against the best-scoring database position (or,
+// if every pairing loses to pure gaps, against the first position, which
+// ties pure-gap cost only when n == 0, so a pairing always exists here).
+func (h *hirschberg) emitSingleRow(si, ti, te int) {
+	base := h.s[si]
+	bestK, bestV := ti, h.sc.Score(base, h.t[ti])
+	for k := ti + 1; k < te; k++ {
+		if v := h.sc.Score(base, h.t[k]); v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	// Aligning the base at position bestK costs (n-1) gaps + bestV; the
+	// alternative — the base deleted, all of t inserted — costs (n+1)
+	// gaps. The pairing wins whenever bestV > 2*Gap, which holds for any
+	// valid scoring (Mismatch > 2*Gap is not guaranteed in general, so
+	// compare explicitly).
+	n := te - ti
+	pairScore := (n-1)*h.sc.Gap + bestV
+	gapScore := (n + 1) * h.sc.Gap
+	if pairScore < gapScore {
+		h.ops = append(h.ops, align.OpDelete)
+		for k := 0; k < n; k++ {
+			h.ops = append(h.ops, align.OpInsert)
+		}
+		return
+	}
+	for k := ti; k < bestK; k++ {
+		h.ops = append(h.ops, align.OpInsert)
+	}
+	if base == h.t[bestK] {
+		h.ops = append(h.ops, align.OpMatch)
+	} else {
+		h.ops = append(h.ops, align.OpMismatch)
+	}
+	for k := bestK + 1; k < te; k++ {
+		h.ops = append(h.ops, align.OpInsert)
+	}
+}
+
+// suffixRevS returns reverse(s[lo:hi]) using a cached full reversal.
+func (h *hirschberg) suffixRevS(lo, hi int) []byte {
+	if h.sRev == nil {
+		h.sRev = reverseBytes(h.s)
+	}
+	n := len(h.s)
+	return h.sRev[n-hi : n-lo]
+}
+
+// suffixRevT returns reverse(t[lo:hi]) using a cached full reversal.
+func (h *hirschberg) suffixRevT(lo, hi int) []byte {
+	if h.tRev == nil {
+		h.tRev = reverseBytes(h.t)
+	}
+	n := len(h.t)
+	return h.tRev[n-hi : n-lo]
+}
+
+func reverseBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[len(b)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func mapDNA(raw []byte) []byte {
+	const bases = "ACGT"
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = bases[b&3]
+	}
+	return out
+}
+
+func TestGlobalMatchesNeedlemanWunsch(t *testing.T) {
+	// Invariant 3 of DESIGN.md: Hirschberg's score equals the full-matrix
+	// Needleman-Wunsch score, and the transcript is valid.
+	rng := rand.New(rand.NewSource(31))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 200; trial++ {
+		s := randDNA(rng, rng.Intn(60))
+		u := randDNA(rng, rng.Intn(60))
+		r := Global(s, u, sc)
+		want := align.GlobalScore(s, u, sc)
+		if r.Score != want {
+			t.Fatalf("hirschberg score %d != NW score %d for %s / %s", r.Score, want, s, u)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatalf("invalid transcript for %s / %s: %v", s, u, err)
+		}
+	}
+}
+
+func TestGlobalEdgeCases(t *testing.T) {
+	sc := align.DefaultLinear()
+	cases := []struct{ s, t string }{
+		{"", ""},
+		{"A", ""},
+		{"", "A"},
+		{"A", "A"},
+		{"A", "T"},
+		{"ACGT", "ACGT"},
+		{"A", "ACGTACGT"},
+		{"ACGTACGT", "A"},
+		{"AAAA", "TTTT"},
+	}
+	for _, c := range cases {
+		r := Global([]byte(c.s), []byte(c.t), sc)
+		want := align.GlobalScore([]byte(c.s), []byte(c.t), sc)
+		if r.Score != want {
+			t.Errorf("Global(%q,%q) = %d, want %d", c.s, c.t, r.Score, want)
+		}
+		if err := r.Validate([]byte(c.s), []byte(c.t), sc); err != nil {
+			t.Errorf("Global(%q,%q): %v", c.s, c.t, err)
+		}
+	}
+}
+
+func TestGlobalIdenticalIsAllMatches(t *testing.T) {
+	s := []byte("ACGGTTACGT")
+	r := Global(s, s, align.DefaultLinear())
+	if align.CIGAR(r.Ops) != "10=" {
+		t.Errorf("CIGAR = %s, want 10=", align.CIGAR(r.Ops))
+	}
+	if r.Score != 10 {
+		t.Errorf("score = %d, want 10", r.Score)
+	}
+}
+
+func TestGlobalProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		r := Global(s, u, sc)
+		return r.Score == align.GlobalScore(s, u, sc) && r.Validate(s, u, sc) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalLongSequences(t *testing.T) {
+	// A longer case exercises deep recursion and buffer reuse.
+	rng := rand.New(rand.NewSource(32))
+	s := randDNA(rng, 3000)
+	u := randDNA(rng, 2500)
+	sc := align.DefaultLinear()
+	r := Global(s, u, sc)
+	if want := align.GlobalScore(s, u, sc); r.Score != want {
+		t.Fatalf("score %d != %d", r.Score, want)
+	}
+	if err := r.Validate(s, u, sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnchoredBestSemantics(t *testing.T) {
+	// AnchoredBest must equal the max over cells of the NW matrix.
+	rng := rand.New(rand.NewSource(33))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 50; trial++ {
+		s := randDNA(rng, rng.Intn(30))
+		u := randDNA(rng, rng.Intn(30))
+		d := align.GlobalMatrix(s, u, sc)
+		wantScore, wantI, wantJ := 0, 0, 0
+		for i := 0; i < d.Rows; i++ {
+			for j := 0; j < d.Cols; j++ {
+				if d.At(i, j) > wantScore {
+					wantScore, wantI, wantJ = d.At(i, j), i, j
+				}
+			}
+		}
+		score, i, j := align.AnchoredBest(s, u, sc)
+		if score != wantScore || i != wantI || j != wantJ {
+			t.Fatalf("AnchoredBest(%s,%s) = %d (%d,%d), want %d (%d,%d)",
+				s, u, score, i, j, wantScore, wantI, wantJ)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+	"swfpga/internal/seq"
+)
+
+func TestLocalMatchesQuadratic(t *testing.T) {
+	// Invariant 4 of DESIGN.md: the three-phase linear-space local
+	// alignment reproduces the quadratic Smith-Waterman score with a
+	// valid transcript at the scan-reported coordinates.
+	rng := rand.New(rand.NewSource(41))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 150; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		r, ph, err := Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatalf("Local(%s,%s): %v", s, u, err)
+		}
+		want := align.LocalAlign(s, u, sc)
+		if r.Score != want.Score {
+			t.Fatalf("score %d != quadratic %d for %s / %s", r.Score, want.Score, s, u)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatalf("invalid result for %s / %s: %v", s, u, err)
+		}
+		if r.Score > 0 {
+			if ph.EndI != r.SEnd || ph.EndJ != r.TEnd {
+				t.Fatalf("phase end (%d,%d) != result end (%d,%d)", ph.EndI, ph.EndJ, r.SEnd, r.TEnd)
+			}
+			if ph.StartI != r.SStart || ph.StartJ != r.TStart {
+				t.Fatalf("phase start (%d,%d) != result start (%d,%d)", ph.StartI, ph.StartJ, r.SStart, r.TStart)
+			}
+		}
+	}
+}
+
+func TestLocalPhaseCoordinatesConsistent(t *testing.T) {
+	// Invariant 6: the global score of the region delimited by the two
+	// scans equals the local best score.
+	rng := rand.New(rand.NewSource(42))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		s := randDNA(rng, 1+rng.Intn(60))
+		u := randDNA(rng, 1+rng.Intn(60))
+		_, ph, err := Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ph.Score == 0 {
+			continue
+		}
+		g := align.GlobalScore(s[ph.StartI:ph.EndI], u[ph.StartJ:ph.EndJ], sc)
+		if g != ph.Score {
+			t.Fatalf("global score of delimited region %d != local score %d", g, ph.Score)
+		}
+	}
+}
+
+func TestLocalEmptyAndHopeless(t *testing.T) {
+	sc := align.DefaultLinear()
+	r, ph, err := Local(nil, []byte("ACGT"), sc, nil)
+	if err != nil || r.Score != 0 || ph.Score != 0 {
+		t.Errorf("empty query: %+v %+v %v", r, ph, err)
+	}
+	r, _, err = Local([]byte("AAAA"), []byte("TTTT"), sc, nil)
+	if err != nil || r.Score != 0 {
+		t.Errorf("hopeless: %+v %v", r, err)
+	}
+}
+
+func TestLocalPlantedMotifCoordinates(t *testing.T) {
+	g := seq.NewGenerator(77)
+	s := g.Random(200)
+	u := g.Random(500)
+	motif := g.Random(40)
+	seq.PlantMotif(s, motif, 100)
+	seq.PlantMotif(u, motif, 300)
+	sc := align.DefaultLinear()
+	r, _, err := Local(s, u, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score < 30 {
+		t.Fatalf("motif score = %d, want >= 30", r.Score)
+	}
+	if r.SStart > 105 || r.SEnd < 135 {
+		t.Errorf("query span [%d,%d) misses planted motif [100,140)", r.SStart, r.SEnd)
+	}
+	if r.TStart > 305 || r.TEnd < 335 {
+		t.Errorf("database span [%d,%d) misses planted motif [300,340)", r.TStart, r.TEnd)
+	}
+}
+
+func TestLocalScoreOnlyMatchesScan(t *testing.T) {
+	s := []byte("TATGGAC")
+	u := []byte("TAGTGACT")
+	ph, err := LocalScoreOnly(s, u, align.DefaultLinear(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Score != 3 || ph.EndI != 7 || ph.EndJ != 7 {
+		t.Errorf("LocalScoreOnly = %+v, want score 3 end (7,7)", ph)
+	}
+	if ph.Cells != 56 {
+		t.Errorf("cells = %d, want 56", ph.Cells)
+	}
+}
+
+func TestLocalProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		r, _, err := Local(s, u, sc, nil)
+		if err != nil {
+			return false
+		}
+		wantScore, _, _ := align.LocalScore(s, u, sc)
+		return r.Score == wantScore && r.Validate(s, u, sc) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalHomologousLarge(t *testing.T) {
+	g := seq.NewGenerator(55)
+	a, b, err := g.HomologousPair(2000, seq.DefaultMutationProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	r, _, err := Local(a, b, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := align.LocalScore(a, b, sc)
+	if r.Score != want {
+		t.Fatalf("score %d != scan %d", r.Score, want)
+	}
+	if err := r.Validate(a, b, sc); err != nil {
+		t.Fatal(err)
+	}
+	// Homologs should align over most of their length.
+	if r.SEnd-r.SStart < 1000 {
+		t.Errorf("aligned span %d suspiciously short for homologs", r.SEnd-r.SStart)
+	}
+}

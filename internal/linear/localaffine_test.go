@@ -1,0 +1,170 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+	"swfpga/internal/seq"
+)
+
+func TestLocalAffineMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(531))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 150; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		r, ph, err := LocalAffine(s, u, sc)
+		if err != nil {
+			t.Fatalf("LocalAffine(%s,%s): %v", s, u, err)
+		}
+		want := align.AffineLocalAlign(s, u, sc)
+		if r.Score != want.Score {
+			t.Fatalf("score %d != quadratic %d for %s / %s", r.Score, want.Score, s, u)
+		}
+		if r.Score == 0 {
+			continue
+		}
+		got, err := align.AffineOpScore(r.Ops, s, u, r.SStart, r.TStart, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Score {
+			t.Fatalf("transcript replays to %d, claimed %d", got, r.Score)
+		}
+		if ph.EndI != r.SEnd || ph.EndJ != r.TEnd {
+			t.Fatalf("phases %+v inconsistent with result %+v", ph, r)
+		}
+	}
+}
+
+func TestLocalAffineAnchoredReference(t *testing.T) {
+	// AffineAnchoredBest must equal the brute maximum over prefix pairs
+	// of the affine global score.
+	rng := rand.New(rand.NewSource(532))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 40; trial++ {
+		s := randDNA(rng, rng.Intn(12))
+		u := randDNA(rng, rng.Intn(12))
+		want := 0
+		for i := 0; i <= len(s); i++ {
+			for j := 0; j <= len(u); j++ {
+				if v := align.AffineGlobalScore(s[:i], u[:j], sc); v > want {
+					want = v
+				}
+			}
+		}
+		got, _, _ := align.AffineAnchoredBest(s, u, sc)
+		if got != want {
+			t.Fatalf("AffineAnchoredBest(%s,%s) = %d, brute force %d", s, u, got, want)
+		}
+	}
+}
+
+func TestLocalAffineHomologs(t *testing.T) {
+	g := seq.NewGenerator(533)
+	a, b, err := g.HomologousPair(1500, seq.DefaultMutationProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultAffine()
+	r, _, err := LocalAffine(a, b, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := align.AffineLocalScore(a, b, sc)
+	if r.Score != want {
+		t.Fatalf("score %d != scan %d", r.Score, want)
+	}
+	if got, err := align.AffineOpScore(r.Ops, a, b, r.SStart, r.TStart, sc); err != nil || got != r.Score {
+		t.Fatalf("replay %d, %v", got, err)
+	}
+}
+
+func TestLocalAffineEdgeAndErrors(t *testing.T) {
+	sc := align.DefaultAffine()
+	if r, _, err := LocalAffine([]byte("AAAA"), []byte("TTTT"), sc); err != nil || r.Score != 0 {
+		t.Errorf("hopeless: %+v %v", r, err)
+	}
+	if _, _, err := LocalAffine([]byte("A"), []byte("A"), align.AffineScoring{}); err == nil {
+		t.Error("invalid scoring must be rejected")
+	}
+}
+
+func TestLocalAffineProperty(t *testing.T) {
+	sc := align.DefaultAffine()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		r, _, err := LocalAffine(s, u, sc)
+		if err != nil {
+			return false
+		}
+		want, _, _ := align.AffineLocalScore(s, u, sc)
+		if r.Score != want {
+			return false
+		}
+		if r.Score == 0 {
+			return true
+		}
+		got, err := align.AffineOpScore(r.Ops, s, u, r.SStart, r.TStart, sc)
+		return err == nil && got == r.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalAffineRestrictedMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(551))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 120; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		r, info, err := LocalAffineRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatalf("LocalAffineRestricted(%s,%s): %v", s, u, err)
+		}
+		want, _, _ := align.AffineLocalScore(s, u, sc)
+		if r.Score != want {
+			t.Fatalf("score %d != %d for %s / %s", r.Score, want, s, u)
+		}
+		if r.Score == 0 {
+			continue
+		}
+		got, err := align.AffineOpScore(r.Ops, s, u, r.SStart, r.TStart, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Score {
+			t.Fatalf("transcript replays to %d, claimed %d", got, r.Score)
+		}
+		if info.BandLo > info.BandHi {
+			t.Fatalf("inverted band %+v", info)
+		}
+	}
+}
+
+func TestLocalAffineRestrictedNarrowBandHomologs(t *testing.T) {
+	g := seq.NewGenerator(552)
+	a, b, err := g.HomologousPair(2500, seq.MutationProfile{Substitution: 0.05, Insertion: 0.002, Deletion: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultAffine()
+	r, info, err := LocalAffineRestricted(a, b, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score < 800 {
+		t.Fatalf("homolog score %d too low", r.Score)
+	}
+	if width := info.BandHi - info.BandLo + 1; width > 200 {
+		t.Errorf("band width %d too wide", width)
+	}
+	if info.RetrievalBytes*10 > info.FullBytes {
+		t.Errorf("banded retrieval %d B not much smaller than full %d B",
+			info.RetrievalBytes, info.FullBytes)
+	}
+}

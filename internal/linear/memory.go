@@ -1,0 +1,47 @@
+package linear
+
+import "fmt"
+
+// Memory-space accounting for experiment E3 (paper sec. 2.3): the
+// quadratic similarity matrix is the reason the full Smith-Waterman
+// algorithm is impractical for long sequences — comparing two 100 KBP
+// sequences already needs ~10 GB — while the scan phases need only a
+// single row.
+
+// cellBytes is the storage per matrix cell used by this library's dense
+// matrices (a Go int).
+const cellBytes = 8
+
+// QuadraticBytes returns the bytes needed to hold the full (m+1)x(n+1)
+// similarity matrix.
+func QuadraticBytes(m, n int) uint64 {
+	return uint64(m+1) * uint64(n+1) * cellBytes
+}
+
+// LinearBytes returns the bytes needed by the linear-memory scan: one
+// DP row over the database plus O(1) temporaries.
+func LinearBytes(m, n int) uint64 {
+	_ = m
+	return uint64(n+1) * cellBytes
+}
+
+// HirschbergBytes returns the peak bytes of the retrieval phase: two
+// scan rows plus the reversed copies of both sequences.
+func HirschbergBytes(m, n int) uint64 {
+	return 2*uint64(n+1)*cellBytes + uint64(m) + uint64(n)
+}
+
+// FormatBytes renders a byte count in human units (KB/MB/GB/TB, powers
+// of 1024).
+func FormatBytes(b uint64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := uint64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %cB", float64(b)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,249 @@
+package linear
+
+import (
+	"swfpga/internal/align"
+)
+
+// GlobalAffine computes the optimal global alignment under an affine
+// gap model in linear space: Myers and Miller's algorithm (the paper's
+// reference [25]), the affine-gap counterpart of Hirschberg's divide
+// and conquer. The subtlety over the linear-gap case is that a gap in
+// the database (a vertical run) may cross the row where the problem is
+// split, so the split considers both a substitution-style join and a
+// gap-crossing join with the doubled gap-open charge refunded, and the
+// recursion carries boundary gap-open costs so sub-alignments merge
+// gap runs correctly across their edges.
+func GlobalAffine(s, t []byte, sc align.AffineScoring) (align.Result, error) {
+	if err := sc.Validate(); err != nil {
+		return align.Result{}, err
+	}
+	// Internally gaps use the g+h*k form: a run of k costs gO + k*h.
+	m := &myersMiller{
+		s: s, t: t,
+		gO: sc.GapOpen - sc.GapExtend,
+		h:  sc.GapExtend,
+		sc: sc,
+	}
+	n := len(t)
+	m.cc = make([]int, n+1)
+	m.dd = make([]int, n+1)
+	m.rr = make([]int, n+1)
+	m.ss = make([]int, n+1)
+	m.solve(0, len(s), 0, len(t), m.gO, m.gO)
+	score, err := align.AffineOpScore(m.ops, s, t, 0, 0, sc)
+	if err != nil {
+		// The recursion always emits a transcript that consumes exactly
+		// s and t; failure here is a bug, not an input condition.
+		panic("linear: myers-miller produced invalid transcript: " + err.Error())
+	}
+	return align.Result{
+		Score: score,
+		SEnd:  len(s), TEnd: len(t),
+		Ops: m.ops,
+	}, nil
+}
+
+type myersMiller struct {
+	s, t  []byte
+	gO, h int // gap run of k costs gO + k*h
+	sc    align.AffineScoring
+	ops   []align.Op
+
+	cc, dd, rr, ss []int
+}
+
+// gapIns returns the cost of an insert run of k (0 for k == 0).
+func (m *myersMiller) gapIns(k int) int {
+	if k == 0 {
+		return 0
+	}
+	return m.gO + k*m.h
+}
+
+// emit appends n copies of op.
+func (m *myersMiller) emit(op align.Op, n int) {
+	for k := 0; k < n; k++ {
+		m.ops = append(m.ops, op)
+	}
+}
+
+// solve emits the optimal alignment of s[si:se] against t[ti:te], where
+// tb and te are the gap-open charges applying to a vertical (delete)
+// run touching the top and bottom boundaries respectively: gO normally,
+// 0 when the caller knows the run continues past the boundary.
+func (m *myersMiller) solve(si, se, ti, teIdx, tb, teCost int) {
+	M, N := se-si, teIdx-ti
+	switch {
+	case M == 0:
+		m.emit(align.OpInsert, N)
+		return
+	case N == 0:
+		m.emit(align.OpDelete, M)
+		return
+	case M == 1:
+		m.solveSingleRow(si, ti, teIdx, tb, teCost)
+		return
+	}
+	i0 := M / 2
+	// Forward vectors over s[si:si+i0]: cc[j] is the best score against
+	// t[ti:ti+j]; dd[j] the best ending in a delete.
+	m.forward(si, si+i0, ti, teIdx, tb, m.cc, m.dd)
+	// Backward vectors over s[si+i0:se] reversed: rr[k]/ss[k] against
+	// the suffix of length k.
+	m.backward(si+i0, se, ti, teIdx, teCost, m.rr, m.ss)
+	// Choose the split column and join type.
+	bestJ, bestType := 0, 1
+	best := m.cc[0] + m.rr[N]
+	for j := 0; j <= N; j++ {
+		if v := m.cc[j] + m.rr[N-j]; v > best {
+			best, bestJ, bestType = v, j, 1
+		}
+		// A delete run crossing the split: charged open in both halves,
+		// refund one (replace the second open with an extension).
+		if v := m.dd[j] + m.ss[N-j] - m.gO; v > best {
+			best, bestJ, bestType = v, j, 2
+		}
+	}
+	if bestType == 1 {
+		m.solve(si, si+i0, ti, ti+bestJ, tb, m.gO)
+		m.solve(si+i0, se, ti+bestJ, teIdx, m.gO, teCost)
+		return
+	}
+	// Type-2 join: s[si+i0-1] and s[si+i0] are deleted in one run that
+	// crosses the split; the sub-problems see a zero open charge at the
+	// shared boundary so adjacent deletes merge into the same run.
+	m.solve(si, si+i0-1, ti, ti+bestJ, tb, 0)
+	m.emit(align.OpDelete, 2)
+	m.solve(si+i0+1, se, ti+bestJ, teIdx, 0, teCost)
+}
+
+// solveSingleRow aligns the single residue s[si] against t[ti:teIdx]
+// (N >= 1), honouring the boundary open charges for the delete option.
+func (m *myersMiller) solveSingleRow(si, ti, teIdx, tb, teCost int) {
+	a := m.s[si]
+	N := teIdx - ti
+	// Option 1: delete a (merging with the cheaper boundary) and insert
+	// all of t.
+	delOpen := tb
+	if teCost > delOpen {
+		delOpen = teCost
+	}
+	delScore := delOpen + m.h + m.gapIns(N)
+	// Option 2: align a against the best database position.
+	bestK, bestV := -1, 0
+	for k := 0; k < N; k++ {
+		v := m.gapIns(k) + m.sc.Score(a, m.t[ti+k]) + m.gapIns(N-k-1)
+		if bestK < 0 || v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	if delScore > bestV {
+		// Put the delete adjacent to the boundary whose open it merged
+		// with, so transcript replay charges it as a continuation.
+		if tb >= teCost {
+			m.emit(align.OpDelete, 1)
+			m.emit(align.OpInsert, N)
+		} else {
+			m.emit(align.OpInsert, N)
+			m.emit(align.OpDelete, 1)
+		}
+		return
+	}
+	m.emit(align.OpInsert, bestK)
+	if a == m.t[ti+bestK] {
+		m.emit(align.OpMatch, 1)
+	} else {
+		m.emit(align.OpMismatch, 1)
+	}
+	m.emit(align.OpInsert, N-bestK-1)
+}
+
+// forward fills cc and dd for A = s[si:se] against B = t[ti:te] with
+// top-boundary delete-open charge tb: after the call, cc[j] is the best
+// score of aligning all of A with B[:j]; dd[j] the best among
+// alignments ending in a delete.
+func (m *myersMiller) forward(si, se, ti, teIdx, tb int, cc, dd []int) {
+	N := teIdx - ti
+	cc[0] = 0
+	run := m.gO
+	for j := 1; j <= N; j++ {
+		run += m.h
+		cc[j] = run
+		dd[j] = run + m.gO
+	}
+	dd[0] = m.gO // a delete at column 0 opens from the empty alignment... adjusted below per row
+	colRun := tb
+	for i := si; i < se; i++ {
+		diag := cc[0]
+		colRun += m.h
+		c := colRun
+		cc[0] = c
+		dd[0] = c // ending in delete at column 0 is the column run itself
+		e := c + m.gO
+		for j := 1; j <= N; j++ {
+			if v := c + m.gO; v > e {
+				e = v
+			}
+			e += m.h
+			if v := cc[j] + m.gO; v > dd[j] {
+				dd[j] = v
+			}
+			dd[j] += m.h
+			c = diag + m.sc.Score(m.s[i], m.t[ti+j-1])
+			if dd[j] > c {
+				c = dd[j]
+			}
+			if e > c {
+				c = e
+			}
+			diag = cc[j]
+			cc[j] = c
+		}
+	}
+}
+
+// backward fills rr and ss for the reversed problem: rr[k] is the best
+// score of aligning all of s[si:se] with the suffix t[te-k:te], with
+// bottom-boundary delete-open charge te; ss[k] the best ending (in the
+// forward sense, beginning) with a delete.
+func (m *myersMiller) backward(si, se, ti, teIdx, teCost int, rr, ss []int) {
+	M, N := se-si, teIdx-ti
+	rr[0] = 0
+	run := m.gO
+	for k := 1; k <= N; k++ {
+		run += m.h
+		rr[k] = run
+		ss[k] = run + m.gO
+	}
+	ss[0] = m.gO
+	colRun := teCost
+	for x := 0; x < M; x++ {
+		i := se - 1 - x // consuming A from the end
+		diag := rr[0]
+		colRun += m.h
+		c := colRun
+		rr[0] = c
+		ss[0] = c
+		e := c + m.gO
+		for k := 1; k <= N; k++ {
+			j := teIdx - k // consuming B from the end
+			if v := c + m.gO; v > e {
+				e = v
+			}
+			e += m.h
+			if v := rr[k] + m.gO; v > ss[k] {
+				ss[k] = v
+			}
+			ss[k] += m.h
+			c = diag + m.sc.Score(m.s[i], m.t[j])
+			if ss[k] > c {
+				c = ss[k]
+			}
+			if e > c {
+				c = e
+			}
+			diag = rr[k]
+			rr[k] = c
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+// checkAffineGlobal verifies a GlobalAffine result: score equals the
+// independent Gotoh scan, the transcript consumes both sequences
+// exactly, and it replays to the claimed score under the affine model.
+func checkAffineGlobal(t *testing.T, s, u []byte, sc align.AffineScoring) {
+	t.Helper()
+	r, err := GlobalAffine(s, u, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := align.AffineGlobalScore(s, u, sc); r.Score != want {
+		t.Fatalf("myers-miller score %d != gotoh %d for %s / %s", r.Score, want, s, u)
+	}
+	ns, nt := 0, 0
+	for _, op := range r.Ops {
+		switch op {
+		case align.OpMatch, align.OpMismatch:
+			ns++
+			nt++
+		case align.OpDelete:
+			ns++
+		case align.OpInsert:
+			nt++
+		}
+	}
+	if ns != len(s) || nt != len(u) {
+		t.Fatalf("transcript consumes (%d,%d), want (%d,%d)", ns, nt, len(s), len(u))
+	}
+	got, err := align.AffineOpScore(r.Ops, s, u, 0, 0, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r.Score {
+		t.Fatalf("transcript replays to %d, claimed %d (%s)", got, r.Score, align.CIGAR(r.Ops))
+	}
+}
+
+func TestGlobalAffineMatchesGotoh(t *testing.T) {
+	rng := rand.New(rand.NewSource(521))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 200; trial++ {
+		s := randDNA(rng, rng.Intn(50))
+		u := randDNA(rng, rng.Intn(50))
+		checkAffineGlobal(t, s, u, sc)
+	}
+}
+
+func TestGlobalAffineEdgeCases(t *testing.T) {
+	sc := align.DefaultAffine()
+	cases := []struct{ s, t string }{
+		{"", ""},
+		{"A", ""},
+		{"", "ACGT"},
+		{"A", "A"},
+		{"A", "T"},
+		{"A", "ACGTACGT"},
+		{"ACGTACGT", "A"},
+		{"ACGT", "ACGT"},
+		{"AAAA", "TTTT"},
+		{"ACGTACGT", "ACGTGGGACGT"}, // the gap-concavity example
+		{"AC", "ACGGGGGGAC"},
+	}
+	for _, c := range cases {
+		checkAffineGlobal(t, []byte(c.s), []byte(c.t), sc)
+	}
+}
+
+func TestGlobalAffineCrossingGaps(t *testing.T) {
+	// Inputs engineered so the optimal alignment has a long delete run
+	// crossing the midpoint split — the type-2 join path.
+	sc := align.DefaultAffine()
+	s := []byte("ACGTGGGGGGGGGGACGT") // long middle run absent from t
+	u := []byte("ACGTACGT")
+	checkAffineGlobal(t, s, u, sc)
+	// And long insert runs (which never cross the row split).
+	checkAffineGlobal(t, u, s, sc)
+}
+
+func TestGlobalAffineGapModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(522))
+	models := []align.AffineScoring{
+		align.DefaultAffine(),
+		{Match: 2, Mismatch: -3, GapOpen: -5, GapExtend: -2},
+		{Match: 1, Mismatch: -1, GapOpen: -10, GapExtend: -1},
+		{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}, // linear-equivalent
+	}
+	for _, sc := range models {
+		for trial := 0; trial < 40; trial++ {
+			s := randDNA(rng, rng.Intn(30))
+			u := randDNA(rng, rng.Intn(30))
+			checkAffineGlobal(t, s, u, sc)
+		}
+	}
+}
+
+func TestGlobalAffineLinearEquivalence(t *testing.T) {
+	// With GapOpen == GapExtend, Myers-Miller and Hirschberg agree.
+	rng := rand.New(rand.NewSource(523))
+	aff := align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}
+	lin := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, rng.Intn(60))
+		u := randDNA(rng, rng.Intn(60))
+		a, err := GlobalAffine(s, u, aff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := Global(s, u, lin)
+		if a.Score != b.Score {
+			t.Fatalf("affine %d != linear %d for %s / %s", a.Score, b.Score, s, u)
+		}
+	}
+}
+
+func TestGlobalAffineLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(524))
+	sc := align.DefaultAffine()
+	s := randDNA(rng, 2500)
+	u := randDNA(rng, 2000)
+	checkAffineGlobal(t, s, u, sc)
+}
+
+func TestGlobalAffineRejectsBadScoring(t *testing.T) {
+	if _, err := GlobalAffine([]byte("A"), []byte("A"), align.AffineScoring{}); err == nil {
+		t.Error("invalid scoring must be rejected")
+	}
+}
+
+func TestGlobalAffineProperty(t *testing.T) {
+	sc := align.DefaultAffine()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		r, err := GlobalAffine(s, u, sc)
+		if err != nil {
+			return false
+		}
+		if r.Score != align.AffineGlobalScore(s, u, sc) {
+			return false
+		}
+		got, err := align.AffineOpScore(r.Ops, s, u, 0, 0, sc)
+		return err == nil && got == r.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

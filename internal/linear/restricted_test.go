@@ -1,0 +1,104 @@
+package linear
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+	"swfpga/internal/seq"
+)
+
+func TestLocalRestrictedMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(511))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 150; trial++ {
+		s := randDNA(rng, rng.Intn(60))
+		u := randDNA(rng, rng.Intn(60))
+		r, info, err := LocalRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatalf("LocalRestricted(%s,%s): %v", s, u, err)
+		}
+		wantScore, _, _ := align.LocalScore(s, u, sc)
+		if r.Score != wantScore {
+			t.Fatalf("score %d != %d for %s / %s", r.Score, wantScore, s, u)
+		}
+		if err := r.Validate(s, u, sc); err != nil {
+			t.Fatal(err)
+		}
+		if r.Score > 0 && info.BandLo > info.BandHi {
+			t.Fatalf("inverted band [%d,%d]", info.BandLo, info.BandHi)
+		}
+	}
+}
+
+func TestLocalRestrictedAgreesWithLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(512))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(80))
+		u := randDNA(rng, 1+rng.Intn(80))
+		a, _, err := Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := LocalRestricted(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same score and same span (both pipelines locate the identical
+		// phase-1/2 coordinates).
+		if a.Score != b.Score || a.SStart != b.SStart || a.TStart != b.TStart ||
+			a.SEnd != b.SEnd || a.TEnd != b.TEnd {
+			t.Fatalf("restricted %+v != hirschberg %+v", b, a)
+		}
+	}
+}
+
+func TestLocalRestrictedBandIsNarrowForHomologs(t *testing.T) {
+	g := seq.NewGenerator(513)
+	a, b, err := g.HomologousPair(3000, seq.MutationProfile{Substitution: 0.05, Insertion: 0.002, Deletion: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := align.DefaultLinear()
+	r, info, err := LocalRestricted(a, b, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Score < 1000 {
+		t.Fatalf("homolog score suspiciously low: %d", r.Score)
+	}
+	width := info.BandHi - info.BandLo + 1
+	if width > 200 {
+		t.Errorf("band width %d too wide for 0.2%% indel homologs", width)
+	}
+	if info.RetrievalBytes*10 > info.FullBytes {
+		t.Errorf("banded retrieval %d B not much smaller than full %d B",
+			info.RetrievalBytes, info.FullBytes)
+	}
+}
+
+func TestLocalRestrictedHopeless(t *testing.T) {
+	r, info, err := LocalRestricted([]byte("AAAA"), []byte("TTTT"), align.DefaultLinear(), nil)
+	if err != nil || r.Score != 0 || info.Phases.Score != 0 {
+		t.Errorf("hopeless: %+v %+v %v", r, info, err)
+	}
+}
+
+func TestLocalRestrictedProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawS, rawT []byte) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		r, _, err := LocalRestricted(s, u, sc, nil)
+		if err != nil {
+			return false
+		}
+		wantScore, _, _ := align.LocalScore(s, u, sc)
+		return r.Score == wantScore && r.Validate(s, u, sc) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

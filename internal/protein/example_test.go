@@ -1,0 +1,22 @@
+package protein_test
+
+import (
+	"fmt"
+
+	"swfpga/internal/protein"
+)
+
+// BLOSUM62-scored local alignment of amino-acid sequences.
+func ExampleLocalScore() {
+	m := protein.BLOSUM62(-8)
+	score, i, j := protein.LocalScore([]byte("MKVLAWGRT"), []byte("MKVLWWGRT"), m)
+	fmt.Printf("score %d ends at (%d,%d)\n", score, i, j)
+	// Output: score 42 ends at (9,9)
+}
+
+// Six-frame translation under the standard genetic code.
+func ExampleTranslate() {
+	frame0, _ := protein.Translate([]byte("ATGGCCTAA"), 0)
+	fmt.Println(string(frame0))
+	// Output: MA*
+}

@@ -1,0 +1,148 @@
+package protein
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swfpga/internal/align"
+)
+
+// LocalScore computes the best substitution-matrix local score and its
+// 1-based end coordinates in O(n) memory — the protein analogue of
+// align.LocalScore with identical tie-breaking (smallest i, then
+// smallest j).
+func LocalScore(s, t []byte, m *SubstMatrix) (score, endI, endJ int) {
+	if len(s) == 0 || len(t) == 0 {
+		return 0, 0, 0
+	}
+	n := len(t)
+	row := make([]int, n+1)
+	gap := m.Gap
+	for i := 1; i <= len(s); i++ {
+		diag := 0
+		sub := &m.scores[indexOf[s[i-1]]]
+		for j := 1; j <= n; j++ {
+			up := row[j]
+			best := 0
+			if v := diag + int(sub[indexOf[t[j-1]]]); v > best {
+				best = v
+			}
+			if v := up + gap; v > best {
+				best = v
+			}
+			if v := row[j-1] + gap; v > best {
+				best = v
+			}
+			row[j] = best
+			diag = up
+			if best > score {
+				score, endI, endJ = best, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}
+
+// LocalMatrix computes the full similarity matrix under the
+// substitution model (quadratic space; for tests and small inputs).
+func LocalMatrix(s, t []byte, m *SubstMatrix) *align.Matrix {
+	return align.LocalMatrixFunc(s, t, m.Score, m.Gap)
+}
+
+// LocalAlign computes the best substitution-matrix local alignment with
+// traceback (quadratic space).
+func LocalAlign(s, t []byte, m *SubstMatrix) align.Result {
+	return align.LocalAlignFunc(s, t, m.Score, m.Gap)
+}
+
+// Generator produces synthetic protein sequences with realistic residue
+// frequencies (roughly the Swiss-Prot background distribution).
+type Generator struct {
+	rng *rand.Rand
+	cum [20]float64
+}
+
+// backgroundFreq is the approximate residue background distribution
+// over the 20 standard residues in Alphabet order.
+var backgroundFreq = [20]float64{
+	0.083, 0.055, 0.041, 0.055, 0.014, 0.039, 0.067, 0.071, 0.023, 0.059,
+	0.097, 0.058, 0.024, 0.039, 0.047, 0.066, 0.053, 0.011, 0.029, 0.069,
+}
+
+// NewGenerator returns a seeded protein sequence generator.
+func NewGenerator(seed int64) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(seed))}
+	total := 0.0
+	for i, f := range backgroundFreq {
+		total += f
+		g.cum[i] = total
+	}
+	for i := range g.cum {
+		g.cum[i] /= total
+	}
+	return g
+}
+
+// Random returns n residues drawn from the background distribution.
+func (g *Generator) Random(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		x := g.rng.Float64()
+		k := 0
+		for k < 19 && x > g.cum[k] {
+			k++
+		}
+		out[i] = Alphabet[k]
+	}
+	return out
+}
+
+// Mutate substitutes residues with probability rate, drawing
+// replacements from the background distribution.
+func (g *Generator) Mutate(rs []byte, rate float64) []byte {
+	out := make([]byte, len(rs))
+	copy(out, rs)
+	for i := range out {
+		if g.rng.Float64() < rate {
+			out[i] = g.Random(1)[0]
+		}
+	}
+	return out
+}
+
+// OpScore replays an alignment transcript under the substitution model,
+// mirroring align.OpScore.
+func OpScore(ops []align.Op, s, t []byte, si, tj int, m *SubstMatrix) (int, error) {
+	score := 0
+	i, j := si, tj
+	for k, op := range ops {
+		switch op {
+		case align.OpMatch, align.OpMismatch:
+			if i >= len(s) || j >= len(t) {
+				return 0, errOverrun(k)
+			}
+			score += m.Score(s[i], t[j])
+			i++
+			j++
+		case align.OpDelete:
+			if i >= len(s) {
+				return 0, errOverrun(k)
+			}
+			score += m.Gap
+			i++
+		case align.OpInsert:
+			if j >= len(t) {
+				return 0, errOverrun(k)
+			}
+			score += m.Gap
+			j++
+		default:
+			return 0, fmt.Errorf("protein: unknown op %d at %d", op, k)
+		}
+	}
+	return score, nil
+}
+
+func errOverrun(k int) error {
+	return fmt.Errorf("protein: op %d overruns the sequences", k)
+}

@@ -1,0 +1,219 @@
+// Package protein extends the comparison engines to amino-acid
+// sequences scored by substitution matrices. Several of the paper's
+// sec. 4 comparison systems are protein accelerators — SAMBA searches a
+// 3000-residue protein query, PROSIDIS scans peptides — and on systolic
+// hardware a substitution matrix is realized by giving each processing
+// element a small lookup table holding the matrix row of its resident
+// query residue. This package supplies the alphabet, the standard
+// BLOSUM62 and PAM250 matrices, and software kernels mirroring
+// internal/align's.
+package protein
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Alphabet is the amino-acid alphabet accepted here: the 20 standard
+// residues plus B, Z and X ambiguity codes.
+const Alphabet = "ARNDCQEGHILKMFPSTWYVBZX"
+
+// ErrInvalidResidue reports a byte outside the protein alphabet.
+var ErrInvalidResidue = errors.New("protein: invalid residue")
+
+// indexOf maps a residue byte (either case) to its alphabet index, or
+// -1 if invalid.
+var indexOf = func() [256]int8 {
+	var t [256]int8
+	for i := range t {
+		t[i] = -1
+	}
+	for i, r := range []byte(Alphabet) {
+		t[r] = int8(i)
+		t[r|0x20] = int8(i)
+	}
+	return t
+}()
+
+// Validate checks that every byte of rs is a residue.
+func Validate(rs []byte) error {
+	for i, r := range rs {
+		if indexOf[r] < 0 {
+			return fmt.Errorf("%w: byte %q at position %d", ErrInvalidResidue, r, i)
+		}
+	}
+	return nil
+}
+
+// Normalize validates residues and returns an upper-case copy.
+func Normalize(rs []byte) ([]byte, error) {
+	out := make([]byte, len(rs))
+	for i, r := range rs {
+		idx := indexOf[r]
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: byte %q at position %d", ErrInvalidResidue, r, i)
+		}
+		out[i] = Alphabet[idx]
+	}
+	return out, nil
+}
+
+// SubstMatrix is a residue substitution matrix with a linear gap
+// penalty — the scoring a systolic element realizes with one lookup
+// table per resident residue.
+type SubstMatrix struct {
+	// Name identifies the matrix ("BLOSUM62", "PAM250").
+	Name string
+	// Gap is the per-residue gap penalty (negative).
+	Gap int
+	// scores is indexed by alphabet indices.
+	scores [len(Alphabet)][len(Alphabet)]int8
+}
+
+// Score returns the substitution score of residues a and b. Both must
+// be valid (callers validate sequences up front).
+func (m *SubstMatrix) Score(a, b byte) int {
+	return int(m.scores[indexOf[a]][indexOf[b]])
+}
+
+// Row returns the 256-entry lookup table a processing element holding
+// residue a would store: its scores against every possible streamed
+// byte. Invalid bytes map to the worst score in the matrix, which can
+// never create a false positive.
+func (m *SubstMatrix) Row(a byte) [256]int8 {
+	var row [256]int8
+	worst := int8(127)
+	for _, v := range m.scores[indexOf[a]] {
+		if v < worst {
+			worst = v
+		}
+	}
+	for b := 0; b < 256; b++ {
+		if idx := indexOf[byte(b)]; idx >= 0 {
+			row[b] = m.scores[indexOf[a]][idx]
+		} else {
+			row[b] = worst
+		}
+	}
+	return row
+}
+
+// MaxScore returns the largest entry of the matrix (used for register
+// sizing and span bounds).
+func (m *SubstMatrix) MaxScore() int {
+	best := int8(-128)
+	for i := range m.scores {
+		for _, v := range m.scores[i] {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return int(best)
+}
+
+// Validate rejects degenerate matrices.
+func (m *SubstMatrix) Validate() error {
+	if m.Gap >= 0 {
+		return fmt.Errorf("protein: gap penalty %d must be negative", m.Gap)
+	}
+	if m.MaxScore() <= 0 {
+		return fmt.Errorf("protein: matrix %s has no positive scores", m.Name)
+	}
+	// Self-substitutions must be the rewarded direction for the 20
+	// standard residues, or local alignment degenerates.
+	for i := 0; i < 20; i++ {
+		if m.scores[i][i] <= 0 {
+			return fmt.Errorf("protein: matrix %s scores %c against itself non-positively",
+				m.Name, Alphabet[i])
+		}
+	}
+	return nil
+}
+
+// parseMatrix fills a SubstMatrix from the conventional triangular
+// listing order used below (row i holds i+1 values: scores against
+// residues 0..i).
+func parseMatrix(name string, gap int, tri [][]int8) *SubstMatrix {
+	m := &SubstMatrix{Name: name, Gap: gap}
+	if len(tri) != len(Alphabet) {
+		panic("protein: matrix literal has wrong row count")
+	}
+	for i, row := range tri {
+		if len(row) != i+1 {
+			panic(fmt.Sprintf("protein: matrix %s row %d has %d values, want %d", name, i, len(row), i+1))
+		}
+		for j, v := range row {
+			m.scores[i][j] = v
+			m.scores[j][i] = v
+		}
+	}
+	return m
+}
+
+// ReadFASTA parses amino-acid FASTA records (validated against the
+// protein alphabet; Stop markers are rejected — databases of translated
+// fragments should be split before writing).
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	var (
+		out  []Record
+		cur  *Record
+		line int
+	)
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			flush()
+			cur = &Record{ID: strings.TrimSpace(string(b[1:]))}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("protein: FASTA line %d: data before first header", line)
+		}
+		norm, err := Normalize(b)
+		if err != nil {
+			return nil, fmt.Errorf("protein: FASTA line %d: %w", line, err)
+		}
+		cur.Residues = append(cur.Residues, norm...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("protein: reading FASTA: %w", err)
+	}
+	flush()
+	return out, nil
+}
+
+// ReadFASTAFile reads protein records from disk.
+func ReadFASTAFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFASTA(f)
+}
+
+// Record is a named protein sequence.
+type Record struct {
+	// ID is the FASTA header without '>'.
+	ID string
+	// Residues holds the amino acids, one byte each.
+	Residues []byte
+}

@@ -1,0 +1,214 @@
+package protein
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swfpga/internal/align"
+)
+
+func TestAlphabetValidation(t *testing.T) {
+	if err := Validate([]byte("ACDEFGHIKLMNPQRSTVWY")); err != nil {
+		t.Errorf("standard residues rejected: %v", err)
+	}
+	if err := Validate([]byte("BZX")); err != nil {
+		t.Errorf("ambiguity codes rejected: %v", err)
+	}
+	if err := Validate([]byte("ACDU")); err == nil {
+		t.Error("U should be rejected")
+	}
+	if err := Validate([]byte("AC DE")); err == nil {
+		t.Error("space should be rejected")
+	}
+	got, err := Normalize([]byte("mkvl"))
+	if err != nil || string(got) != "MKVL" {
+		t.Errorf("Normalize(mkvl) = %q, %v", got, err)
+	}
+}
+
+func TestMatrixProperties(t *testing.T) {
+	for _, m := range []*SubstMatrix{BLOSUM62(-8), PAM250(-8)} {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Symmetry over the full alphabet.
+		for i := 0; i < len(Alphabet); i++ {
+			for j := 0; j < len(Alphabet); j++ {
+				a, b := Alphabet[i], Alphabet[j]
+				if m.Score(a, b) != m.Score(b, a) {
+					t.Fatalf("%s not symmetric at %c,%c", m.Name, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownMatrixValues(t *testing.T) {
+	b62 := BLOSUM62(-8)
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'C', 'C', 9},
+		{'W', 'C', -2}, {'Y', 'F', 3}, {'R', 'K', 2}, {'D', 'E', 2},
+	}
+	for _, c := range cases {
+		if got := b62.Score(c.a, c.b); got != c.want {
+			t.Errorf("BLOSUM62(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	p250 := PAM250(-8)
+	for _, c := range []struct {
+		a, b byte
+		want int
+	}{{'W', 'W', 17}, {'C', 'C', 12}, {'F', 'Y', 7}, {'A', 'A', 2}} {
+		if got := p250.Score(c.a, c.b); got != c.want {
+			t.Errorf("PAM250(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if b62.MaxScore() != 11 {
+		t.Errorf("BLOSUM62 max = %d, want 11 (W/W)", b62.MaxScore())
+	}
+}
+
+func TestMatrixValidateRejects(t *testing.T) {
+	m := BLOSUM62(0)
+	if err := m.Validate(); err == nil {
+		t.Error("non-negative gap should be rejected")
+	}
+	var degenerate SubstMatrix
+	degenerate.Gap = -8
+	if err := degenerate.Validate(); err == nil {
+		t.Error("all-zero matrix should be rejected")
+	}
+}
+
+func TestRowLookup(t *testing.T) {
+	m := BLOSUM62(-8)
+	row := m.Row('W')
+	if int(row['W']) != 11 || int(row['C']) != -2 {
+		t.Errorf("Row(W): W=%d C=%d", row['W'], row['C'])
+	}
+	// Invalid bytes map to the worst score.
+	if int(row['*']) != -4 {
+		t.Errorf("Row(W) invalid byte = %d, want worst score -4", row['*'])
+	}
+	if int(row['w']) != 11 {
+		t.Errorf("Row(W) lower-case = %d, want 11", row['w'])
+	}
+}
+
+func TestLocalScoreMatchesMatrixBest(t *testing.T) {
+	g := NewGenerator(31)
+	m := BLOSUM62(-8)
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		s := g.Random(1 + rng.Intn(40))
+		u := g.Random(1 + rng.Intn(40))
+		wantScore, wantI, wantJ := LocalMatrix(s, u, m).Best()
+		score, i, j := LocalScore(s, u, m)
+		if score != wantScore || i != wantI || j != wantJ {
+			t.Fatalf("LocalScore %d (%d,%d) != matrix best %d (%d,%d) for %s / %s",
+				score, i, j, wantScore, wantI, wantJ, s, u)
+		}
+	}
+}
+
+func TestLocalAlignTranscriptReplays(t *testing.T) {
+	g := NewGenerator(33)
+	m := BLOSUM62(-10)
+	for trial := 0; trial < 40; trial++ {
+		s := g.Random(30)
+		u := g.Mutate(s, 0.3)
+		r := LocalAlign(s, u, m)
+		if r.Score == 0 {
+			continue
+		}
+		got, err := OpScore(r.Ops, s, u, r.SStart, r.TStart, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != r.Score {
+			t.Fatalf("transcript replays to %d, result claims %d (%s)",
+				got, r.Score, align.CIGAR(r.Ops))
+		}
+	}
+}
+
+func TestHomologDetection(t *testing.T) {
+	// A mutated homolog must score far above an unrelated sequence.
+	g := NewGenerator(34)
+	m := BLOSUM62(-8)
+	q := g.Random(200)
+	hom := g.Mutate(q, 0.2)
+	unrelated := g.Random(200)
+	homScore, _, _ := LocalScore(q, hom, m)
+	randScore, _, _ := LocalScore(q, unrelated, m)
+	if homScore < 3*randScore {
+		t.Errorf("homolog score %d not clearly above background %d", homScore, randScore)
+	}
+}
+
+func TestGeneratorComposition(t *testing.T) {
+	g := NewGenerator(35)
+	s := g.Random(50_000)
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[byte]int{}
+	for _, r := range s {
+		counts[r]++
+	}
+	// Leucine (9.7%) should clearly outnumber tryptophan (1.1%).
+	if counts['L'] < 3*counts['W'] {
+		t.Errorf("background frequencies off: L=%d W=%d", counts['L'], counts['W'])
+	}
+	// Ambiguity codes never generated.
+	if counts['B']+counts['Z']+counts['X'] != 0 {
+		t.Error("generator produced ambiguity codes")
+	}
+	if !strings.ContainsAny(string(s[:1000]), "ACDEFGHIKLMNPQRSTVWY") {
+		t.Error("no standard residues generated")
+	}
+}
+
+func TestProteinFASTA(t *testing.T) {
+	in := ">p1 kinase\nMKVL\nAWGRT\n\n>p2\nacdef\n"
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].ID != "p1 kinase" || string(recs[0].Residues) != "MKVLAWGRT" {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if string(recs[1].Residues) != "ACDEF" {
+		t.Errorf("record 1 = %+v", recs[1])
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nMKU\n")); err == nil {
+		t.Error("invalid residue should fail")
+	}
+	if _, err := ReadFASTA(strings.NewReader("MKV\n")); err == nil {
+		t.Error("data before header should fail")
+	}
+}
+
+func TestProteinFASTAFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.fa")
+	if err := os.WriteFile(path, []byte(">q\nMKVL\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadFASTAFile(path)
+	if err != nil || len(recs) != 1 || string(recs[0].Residues) != "MKVL" {
+		t.Errorf("%+v %v", recs, err)
+	}
+	if _, err := ReadFASTAFile(filepath.Join(dir, "missing.fa")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package protein
+
+import (
+	"fmt"
+
+	"swfpga/internal/seq"
+)
+
+// Stop marks a stop codon in translated sequences. It is not part of
+// Alphabet: translated fragments between stops are what alignment
+// consumes.
+const Stop = '*'
+
+// codonTable maps a 6-bit codon code (2 bits per base, first base most
+// significant) to its residue under the standard genetic code.
+var codonTable = buildCodonTable()
+
+func buildCodonTable() [64]byte {
+	// Rows: standard genetic code listed by first/second/third base in
+	// the seq package's code order A, C, G, T.
+	const byBase = "" +
+		"KNKN" + "TTTT" + "RSRS" + "IIMI" + // AA* AC* AG* AT*
+		"QHQH" + "PPPP" + "RRRR" + "LLLL" + // CA* CC* CG* CT*
+		"EDED" + "AAAA" + "GGGG" + "VVVV" + // GA* GC* GG* GT*
+		"*Y*Y" + "SSSS" + "*CWC" + "LFLF" // TA* TC* TG* TT*
+	var t [64]byte
+	copy(t[:], byBase)
+	return t
+}
+
+// TranslateCodon returns the residue of one codon (3 DNA bases), or
+// Stop. It panics on invalid bases; validate DNA first.
+func TranslateCodon(c []byte) byte {
+	if len(c) != 3 {
+		panic(fmt.Sprintf("protein: codon of length %d", len(c)))
+	}
+	idx := int(seq.Code(c[0]))<<4 | int(seq.Code(c[1]))<<2 | int(seq.Code(c[2]))
+	return codonTable[idx]
+}
+
+// Translate translates a DNA reading frame into residues (with Stop
+// markers). frame selects the offset 0-2 on the forward strand, or 3-5
+// for offsets 0-2 on the reverse complement.
+func Translate(dna []byte, frame int) ([]byte, error) {
+	if frame < 0 || frame > 5 {
+		return nil, fmt.Errorf("protein: frame %d outside [0,5]", frame)
+	}
+	if err := seq.Validate(dna); err != nil {
+		return nil, err
+	}
+	strand := dna
+	if frame >= 3 {
+		strand = seq.ReverseComplement(dna)
+		frame -= 3
+	}
+	var out []byte
+	for i := frame; i+3 <= len(strand); i += 3 {
+		out = append(out, TranslateCodon(strand[i:i+3]))
+	}
+	return out, nil
+}
+
+// OpenFrames splits a translated frame at Stop markers and returns the
+// fragments of at least minLen residues — the pieces a translated
+// search aligns.
+func OpenFrames(translated []byte, minLen int) [][]byte {
+	var out [][]byte
+	start := 0
+	flush := func(end int) {
+		if end-start >= minLen && end > start {
+			out = append(out, translated[start:end])
+		}
+	}
+	for i, r := range translated {
+		if r == Stop {
+			flush(i)
+			start = i + 1
+		}
+	}
+	flush(len(translated))
+	return out
+}

@@ -1,0 +1,158 @@
+package protein
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTranslateCodonKnown(t *testing.T) {
+	cases := map[string]byte{
+		"ATG": 'M', "TGG": 'W', "TAA": Stop, "TAG": Stop, "TGA": Stop,
+		"AAA": 'K', "TTT": 'F', "GGG": 'G', "CCC": 'P',
+		"GAT": 'D', "GAA": 'E', "TGC": 'C', "CAT": 'H',
+		"ATT": 'I', "ATC": 'I', "ATA": 'I',
+		"CGA": 'R', "AGA": 'R', "AGC": 'S', "TCT": 'S',
+	}
+	for codon, want := range cases {
+		if got := TranslateCodon([]byte(codon)); got != want {
+			t.Errorf("TranslateCodon(%s) = %c, want %c", codon, got, want)
+		}
+	}
+}
+
+func TestTranslateCodonCoversAll(t *testing.T) {
+	// Every codon maps to a valid residue or Stop; counts match the
+	// standard code (3 stops, 61 coding).
+	bases := []byte("ACGT")
+	stops, coding := 0, 0
+	for _, a := range bases {
+		for _, b := range bases {
+			for _, c := range bases {
+				r := TranslateCodon([]byte{a, b, c})
+				if r == Stop {
+					stops++
+					continue
+				}
+				coding++
+				if err := Validate([]byte{r}); err != nil {
+					t.Fatalf("codon %c%c%c -> invalid residue %c", a, b, c, r)
+				}
+			}
+		}
+	}
+	if stops != 3 || coding != 61 {
+		t.Errorf("stops=%d coding=%d, want 3/61", stops, coding)
+	}
+	// Degeneracy spot check: 6 codons for leucine and arginine and
+	// serine, 1 for methionine and tryptophan.
+	counts := map[byte]int{}
+	for _, a := range bases {
+		for _, b := range bases {
+			for _, c := range bases {
+				counts[TranslateCodon([]byte{a, b, c})]++
+			}
+		}
+	}
+	for r, want := range map[byte]int{'L': 6, 'R': 6, 'S': 6, 'M': 1, 'W': 1} {
+		if counts[r] != want {
+			t.Errorf("residue %c has %d codons, want %d", r, counts[r], want)
+		}
+	}
+}
+
+func TestTranslateFrames(t *testing.T) {
+	// ATGGCCTAA: frame 0 = M A *, frame 1 = W P, frame 2 = G L.
+	dna := []byte("ATGGCCTAA")
+	f0, err := Translate(dna, 0)
+	if err != nil || string(f0) != "MA*" {
+		t.Errorf("frame 0 = %q, %v", f0, err)
+	}
+	f1, err := Translate(dna, 1)
+	if err != nil || string(f1) != "WP" {
+		t.Errorf("frame 1 = %q, %v", f1, err)
+	}
+	f2, err := Translate(dna, 2)
+	if err != nil || string(f2) != "GL" {
+		t.Errorf("frame 2 = %q, %v", f2, err)
+	}
+	// Reverse strand of ATG is CAT -> frame 3 of "ATG" translates
+	// reverse complement "CAT" -> H.
+	f3, err := Translate([]byte("ATG"), 3)
+	if err != nil || string(f3) != "H" {
+		t.Errorf("frame 3 = %q, %v", f3, err)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	if _, err := Translate([]byte("ACGT"), 6); err == nil {
+		t.Error("frame 6 should fail")
+	}
+	if _, err := Translate([]byte("ACNT"), 0); err == nil {
+		t.Error("invalid DNA should fail")
+	}
+	out, err := Translate([]byte("AC"), 0) // shorter than a codon
+	if err != nil || len(out) != 0 {
+		t.Errorf("short input: %q, %v", out, err)
+	}
+}
+
+func TestOpenFrames(t *testing.T) {
+	translated := []byte("MAG*KLMNP*Q*RST")
+	frames := OpenFrames(translated, 2)
+	want := [][]byte{[]byte("MAG"), []byte("KLMNP"), []byte("RST")}
+	if len(frames) != len(want) {
+		t.Fatalf("got %d frames, want %d: %q", len(frames), len(want), frames)
+	}
+	for i := range want {
+		if !bytes.Equal(frames[i], want[i]) {
+			t.Errorf("frame %d = %q, want %q", i, frames[i], want[i])
+		}
+	}
+	// minLen filtering drops the Q fragment above; a higher bar drops more.
+	if got := OpenFrames(translated, 4); len(got) != 1 || !bytes.Equal(got[0], []byte("KLMNP")) {
+		t.Errorf("minLen 4: %q", got)
+	}
+	if got := OpenFrames([]byte("***"), 1); len(got) != 0 {
+		t.Errorf("all stops: %q", got)
+	}
+	if got := OpenFrames(nil, 1); len(got) != 0 {
+		t.Errorf("empty: %q", got)
+	}
+}
+
+func TestTranslatedHomologyDetection(t *testing.T) {
+	// A protein encoded in DNA, mutated synonymously at the DNA level,
+	// still aligns strongly after translation.
+	g := NewGenerator(51)
+	m := BLOSUM62(-8)
+	prot := g.Random(80)
+	// Reverse-translate with arbitrary codons.
+	codonFor := map[byte]string{}
+	bases := []byte("ACGT")
+	for _, a := range bases {
+		for _, b := range bases {
+			for _, c := range bases {
+				r := TranslateCodon([]byte{a, b, c})
+				if _, ok := codonFor[r]; !ok && r != Stop {
+					codonFor[r] = string([]byte{a, b, c})
+				}
+			}
+		}
+	}
+	var dna []byte
+	for _, r := range prot {
+		dna = append(dna, codonFor[r]...)
+	}
+	back, err := Translate(dna, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, prot) {
+		t.Fatalf("round trip failed: %q vs %q", back, prot)
+	}
+	score, _, _ := LocalScore(prot, back, m)
+	self, _, _ := LocalScore(prot, prot, m)
+	if score != self {
+		t.Errorf("translated copy scores %d, self %d", score, self)
+	}
+}

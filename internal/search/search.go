@@ -1,0 +1,196 @@
+// Package search implements query-vs-database scanning — the workload
+// of the paper's evaluation generalized to multi-record databases: a
+// query is compared against every record of a FASTA database, records
+// are scanned concurrently, and hits are ranked by score. The scan
+// engine is pluggable (pure software or a simulated accelerator board
+// per worker), mirroring how the proposed architecture would sit inside
+// a sequence-database service.
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"swfpga/internal/align"
+	"swfpga/internal/evalue"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+)
+
+// Hit is one reported match.
+type Hit struct {
+	// RecordID and RecordIndex identify the database record.
+	RecordID    string
+	RecordIndex int
+	// Result holds the score and (record-relative) coordinates; Ops is
+	// populated only when Options.Retrieve is set.
+	Result align.Result
+	// EValue and BitScore are Karlin-Altschul statistics, populated when
+	// Options.Stats is set (zero otherwise).
+	EValue, BitScore float64
+}
+
+// Options controls a search.
+type Options struct {
+	// Scoring is the linear gap model (DefaultLinear if zero).
+	Scoring align.LinearScoring
+	// MinScore drops hits below the threshold (default 1).
+	MinScore int
+	// TopK keeps only the best K hits overall (0 keeps all).
+	TopK int
+	// PerRecord reports up to this many non-overlapping hits per record
+	// (default 1; values > 1 use the near-best search of sec. 2.4).
+	PerRecord int
+	// Retrieve also reconstructs the alignments of reported hits with
+	// the three-phase linear-space pipeline. Without it only scores and
+	// end coordinates are computed — the paper's FPGA output contract.
+	Retrieve bool
+	// Workers is the number of records scanned concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// Stats, when set, annotates every hit with its expect value and bit
+	// score for the (query x record) search space.
+	Stats *evalue.Params
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scoring == (align.LinearScoring{}) {
+		o.Scoring = align.DefaultLinear()
+	}
+	if o.MinScore < 1 {
+		o.MinScore = 1
+	}
+	if o.PerRecord <= 0 {
+		o.PerRecord = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Search scans query against every record of db. newScanner supplies
+// each worker its own scan engine (engines may be stateful, e.g. a
+// simulated accelerator board accumulating metrics); a nil factory uses
+// the software scanner.
+func Search(db []seq.Sequence, query []byte, opts Options, newScanner func() linear.Scanner) ([]Hit, error) {
+	opts = opts.withDefaults()
+	if err := opts.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if newScanner == nil {
+		newScanner = func() linear.Scanner { return linear.ScanSoftware{} }
+	}
+	workers := opts.Workers
+	if workers > len(db) {
+		workers = len(db)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+
+	jobs := make(chan int)
+	hitsPerRecord := make([][]Hit, len(db))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scanner := newScanner()
+			for idx := range jobs {
+				if errs[w] != nil {
+					continue // keep draining so the producer never blocks
+				}
+				hs, err := scanRecord(db[idx], idx, query, opts, scanner)
+				if err != nil {
+					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
+					continue
+				}
+				hitsPerRecord[idx] = hs
+			}
+		}(w)
+	}
+	for idx := range db {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []Hit
+	for _, hs := range hitsPerRecord {
+		out = append(out, hs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Result.Score != out[j].Result.Score {
+			return out[i].Result.Score > out[j].Result.Score
+		}
+		if out[i].RecordIndex != out[j].RecordIndex {
+			return out[i].RecordIndex < out[j].RecordIndex
+		}
+		return out[i].Result.TStart < out[j].Result.TStart
+	})
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	if opts.Stats != nil {
+		for i := range out {
+			n := len(db[out[i].RecordIndex].Data)
+			out[i].EValue = opts.Stats.EValue(len(query), n, out[i].Result.Score)
+			out[i].BitScore = opts.Stats.BitScore(out[i].Result.Score)
+		}
+	}
+	return out, nil
+}
+
+// scanRecord produces the hits of one database record.
+func scanRecord(rec seq.Sequence, idx int, query []byte, opts Options, scanner linear.Scanner) ([]Hit, error) {
+	if opts.PerRecord > 1 {
+		results, err := linear.NearBest(query, rec.Data, opts.Scoring, opts.PerRecord, opts.MinScore, scanner)
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]Hit, 0, len(results))
+		for _, r := range results {
+			if !opts.Retrieve {
+				r.Ops = nil
+			}
+			hits = append(hits, Hit{RecordID: rec.ID, RecordIndex: idx, Result: r})
+		}
+		return hits, nil
+	}
+	if opts.Retrieve {
+		r, _, err := linear.Local(query, rec.Data, opts.Scoring, scanner)
+		if err != nil {
+			return nil, err
+		}
+		if r.Score < opts.MinScore {
+			return nil, nil
+		}
+		return []Hit{{RecordID: rec.ID, RecordIndex: idx, Result: r}}, nil
+	}
+	ph, err := linear.LocalScoreOnly(query, rec.Data, opts.Scoring, scanner)
+	if err != nil {
+		return nil, err
+	}
+	if ph.Score < opts.MinScore {
+		return nil, nil
+	}
+	// Score-only hits know where the alignment ends but not where it
+	// starts; the spans are left empty at the end coordinates.
+	return []Hit{{
+		RecordID: rec.ID, RecordIndex: idx,
+		Result: align.Result{Score: ph.Score, SEnd: ph.EndI, TEnd: ph.EndJ,
+			SStart: ph.EndI, TStart: ph.EndJ},
+	}}, nil
+}

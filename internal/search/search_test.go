@@ -1,0 +1,251 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/evalue"
+	"swfpga/internal/host"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+)
+
+// makeDB builds a database of n random records, planting a mutated copy
+// of query into the records listed in planted.
+func makeDB(g *seq.Generator, query []byte, n, recLen int, planted map[int]bool) []seq.Sequence {
+	db := make([]seq.Sequence, n)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("rec%02d", i), recLen)
+		if planted[i] {
+			mut, err := g.Mutate(query, seq.MutationProfile{Substitution: 0.05})
+			if err != nil {
+				panic(err)
+			}
+			seq.PlantMotif(db[i].Data, mut, recLen/3)
+		}
+	}
+	return db
+}
+
+func TestSearchRanksPlantedRecords(t *testing.T) {
+	g := seq.NewGenerator(901)
+	query := g.Random(60)
+	planted := map[int]bool{2: true, 5: true, 9: true}
+	db := makeDB(g, query, 12, 2000, planted)
+	hits, err := Search(db, query, Options{MinScore: 30, Workers: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 {
+		t.Fatalf("got %d hits above threshold, want 3: %+v", len(hits), hits)
+	}
+	for _, h := range hits {
+		if !planted[h.RecordIndex] {
+			t.Errorf("unexpected hit in record %d", h.RecordIndex)
+		}
+		if h.Result.Score < 30 {
+			t.Errorf("hit below threshold: %+v", h)
+		}
+	}
+	// Descending score order.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Result.Score > hits[i-1].Result.Score {
+			t.Error("hits not sorted by score")
+		}
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	g := seq.NewGenerator(902)
+	query := g.Random(40)
+	db := makeDB(g, query, 10, 1000, map[int]bool{1: true, 3: true, 7: true})
+	hits, err := Search(db, query, Options{TopK: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("TopK: got %d hits, want 2", len(hits))
+	}
+}
+
+func TestSearchRetrieveValidAlignments(t *testing.T) {
+	g := seq.NewGenerator(903)
+	query := g.Random(50)
+	db := makeDB(g, query, 6, 1500, map[int]bool{0: true, 4: true})
+	hits, err := Search(db, query, Options{MinScore: 25, Retrieve: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	for _, h := range hits {
+		if h.Result.Ops == nil {
+			t.Fatalf("Retrieve did not populate ops: %+v", h)
+		}
+		if err := h.Result.Validate(query, db[h.RecordIndex].Data, align.DefaultLinear()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSearchScoreOnlyHasNoOps(t *testing.T) {
+	g := seq.NewGenerator(904)
+	query := g.Random(30)
+	db := makeDB(g, query, 3, 500, map[int]bool{1: true})
+	hits, err := Search(db, query, Options{MinScore: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Result.Ops != nil {
+			t.Errorf("score-only search returned ops: %+v", h)
+		}
+		if h.Result.SEnd == 0 || h.Result.TEnd == 0 {
+			t.Errorf("score-only hit missing end coordinates: %+v", h)
+		}
+	}
+}
+
+func TestSearchPerRecordNearBest(t *testing.T) {
+	// Two copies planted in one record: PerRecord=2 must report both.
+	g := seq.NewGenerator(905)
+	query := g.Random(40)
+	rec := g.RandomSequence("multi", 2000)
+	seq.PlantMotif(rec.Data, query, 300)
+	seq.PlantMotif(rec.Data, query, 1500)
+	hits, err := Search([]seq.Sequence{rec}, query, Options{PerRecord: 2, MinScore: 30, Retrieve: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].Result.TStart == hits[1].Result.TStart {
+		t.Error("near-best hits overlap")
+	}
+}
+
+func TestSearchDeviceMatchesSoftware(t *testing.T) {
+	g := seq.NewGenerator(906)
+	query := g.Random(45)
+	db := makeDB(g, query, 8, 800, map[int]bool{2: true, 6: true})
+	opts := Options{MinScore: 20, Workers: 4}
+	sw, err := Search(db, query, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := Search(db, query, opts, func() linear.Scanner { return host.NewDevice() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw) != len(hw) {
+		t.Fatalf("device found %d hits, software %d", len(hw), len(sw))
+	}
+	for i := range sw {
+		if sw[i].RecordIndex != hw[i].RecordIndex || sw[i].Result.Score != hw[i].Result.Score ||
+			sw[i].Result.TEnd != hw[i].Result.TEnd {
+			t.Errorf("hit %d differs: %+v vs %+v", i, sw[i], hw[i])
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := seq.NewGenerator(907)
+	db := []seq.Sequence{g.RandomSequence("a", 100)}
+	if _, err := Search(db, nil, Options{}, nil); err == nil {
+		t.Error("empty query should fail")
+	}
+	bad := Options{Scoring: align.LinearScoring{Match: 0, Mismatch: -1, Gap: -1}}
+	if _, err := Search(db, []byte("ACGT"), bad, nil); err == nil {
+		t.Error("invalid scoring should fail")
+	}
+	// A saturating device propagates its error.
+	q := g.Random(300)
+	sat := []seq.Sequence{{ID: "self", Data: q}}
+	_, err := Search(sat, q, Options{}, func() linear.Scanner {
+		d := host.NewDevice()
+		d.Array.ScoreBits = 4
+		return d
+	})
+	if err == nil {
+		t.Error("device saturation should propagate")
+	}
+}
+
+func TestSearchEmptyDatabase(t *testing.T) {
+	hits, err := Search(nil, []byte("ACGT"), Options{}, nil)
+	if err != nil || hits != nil {
+		t.Errorf("empty database: %v %v", hits, err)
+	}
+}
+
+func TestSearchTieBreakDeterministic(t *testing.T) {
+	// Identical records must rank by record index regardless of worker
+	// scheduling.
+	g := seq.NewGenerator(908)
+	rec := g.Random(500)
+	query := append([]byte{}, rec[100:140]...)
+	db := []seq.Sequence{
+		{ID: "one", Data: append([]byte{}, rec...)},
+		{ID: "two", Data: append([]byte{}, rec...)},
+		{ID: "three", Data: append([]byte{}, rec...)},
+	}
+	for trial := 0; trial < 5; trial++ {
+		hits, err := Search(db, query, Options{Workers: 3}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 3 {
+			t.Fatalf("got %d hits", len(hits))
+		}
+		for i, want := range []string{"one", "two", "three"} {
+			if hits[i].RecordID != want {
+				t.Fatalf("trial %d: hit %d = %s, want %s", trial, i, hits[i].RecordID, want)
+			}
+		}
+	}
+}
+
+func TestSearchEValueAnnotation(t *testing.T) {
+	g := seq.NewGenerator(909)
+	query := g.Random(50)
+	db := makeDB(g, query, 6, 1500, map[int]bool{1: true})
+	params, err := evalue.CalibrateGapped(align.DefaultLinear(), 50, 1500, 30, 910)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := Search(db, query, Options{MinScore: 5, Stats: &params}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	// The planted homolog's hit must be overwhelmingly significant; a
+	// background-level hit must not be.
+	top := hits[0]
+	if top.RecordIndex != 1 {
+		t.Fatalf("top hit %+v not the planted record", top)
+	}
+	if top.EValue > 1e-6 {
+		t.Errorf("planted hit E-value %v suspiciously large", top.EValue)
+	}
+	if top.BitScore <= 0 {
+		t.Errorf("bit score %v", top.BitScore)
+	}
+	for _, h := range hits[1:] {
+		if h.RecordIndex != 1 && h.EValue < 1e-3 {
+			t.Errorf("background hit %+v implausibly significant", h)
+		}
+	}
+	// Without Stats the fields stay zero.
+	plain, err := Search(db, query, Options{MinScore: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].EValue != 0 || plain[0].BitScore != 0 {
+		t.Error("stats fields should be zero without Options.Stats")
+	}
+}

@@ -1,0 +1,155 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"swfpga/internal/protein"
+	"swfpga/internal/seq"
+)
+
+// TranslatedHit is a protein-level match found inside a DNA record.
+type TranslatedHit struct {
+	// RecordID and RecordIndex identify the DNA record.
+	RecordID    string
+	RecordIndex int
+	// Frame is the reading frame (0-2 forward, 3-5 reverse complement).
+	Frame int
+	// Score is the substitution-matrix local score.
+	Score int
+	// FragmentOffset is the residue offset of the scanned open frame
+	// within the full translated frame.
+	FragmentOffset int
+	// EndI, EndJ are the 1-based end coordinates within (query,
+	// fragment).
+	EndI, EndJ int
+}
+
+// TranslatedOptions controls a translated search.
+type TranslatedOptions struct {
+	// Matrix is the substitution model (BLOSUM62 with gap -8 if nil).
+	Matrix *protein.SubstMatrix
+	// MinScore drops weaker hits (default 1).
+	MinScore int
+	// MinFragment skips translated fragments shorter than this
+	// (default 10 residues).
+	MinFragment int
+	// TopK keeps the best K hits (0 = all).
+	TopK int
+	// Workers is the number of records scanned concurrently.
+	Workers int
+}
+
+// TranslatedSearch scans a protein query against every reading frame of
+// every DNA record — the classic translated-search workload, built on
+// the same matrix-scored scan the accelerator executes. Each record is
+// translated in all six frames, split into open frames at stop codons,
+// and each fragment of at least MinFragment residues is scanned.
+func TranslatedSearch(db []seq.Sequence, query []byte, opts TranslatedOptions) ([]TranslatedHit, error) {
+	if opts.Matrix == nil {
+		opts.Matrix = protein.BLOSUM62(-8)
+	}
+	if err := opts.Matrix.Validate(); err != nil {
+		return nil, err
+	}
+	if err := protein.Validate(query); err != nil {
+		return nil, fmt.Errorf("search: query: %w", err)
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if opts.MinScore < 1 {
+		opts.MinScore = 1
+	}
+	if opts.MinFragment < 1 {
+		opts.MinFragment = 10
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(db) {
+		workers = len(db)
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+
+	jobs := make(chan int)
+	perRecord := make([][]TranslatedHit, len(db))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := range jobs {
+				if errs[w] != nil {
+					continue
+				}
+				hs, err := scanTranslated(db[idx], idx, query, opts)
+				if err != nil {
+					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
+					continue
+				}
+				perRecord[idx] = hs
+			}
+		}(w)
+	}
+	for idx := range db {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []TranslatedHit
+	for _, hs := range perRecord {
+		out = append(out, hs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].RecordIndex != out[j].RecordIndex {
+			return out[i].RecordIndex < out[j].RecordIndex
+		}
+		return out[i].Frame < out[j].Frame
+	})
+	if opts.TopK > 0 && len(out) > opts.TopK {
+		out = out[:opts.TopK]
+	}
+	return out, nil
+}
+
+// scanTranslated reports the best hit per frame of one record.
+func scanTranslated(rec seq.Sequence, idx int, query []byte, opts TranslatedOptions) ([]TranslatedHit, error) {
+	var out []TranslatedHit
+	for frame := 0; frame < 6; frame++ {
+		translated, err := protein.Translate(rec.Data, frame)
+		if err != nil {
+			return nil, err
+		}
+		best := TranslatedHit{RecordID: rec.ID, RecordIndex: idx, Frame: frame}
+		for _, frag := range protein.OpenFrames(translated, opts.MinFragment) {
+			// Fragments are subslices of translated, so their offset
+			// falls out of the capacity arithmetic.
+			offset := cap(translated) - cap(frag)
+			score, i, j := protein.LocalScore(query, frag, opts.Matrix)
+			if score > best.Score {
+				best.Score, best.EndI, best.EndJ = score, i, j
+				best.FragmentOffset = offset
+			}
+		}
+		if best.Score >= opts.MinScore {
+			out = append(out, best)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,130 @@
+package search
+
+import (
+	"testing"
+
+	"swfpga/internal/protein"
+	"swfpga/internal/seq"
+)
+
+// encode reverse-translates a protein into DNA using one codon per
+// residue.
+func encode(t *testing.T, prot []byte) []byte {
+	t.Helper()
+	codonFor := map[byte]string{}
+	bases := []byte("ACGT")
+	for _, a := range bases {
+		for _, b := range bases {
+			for _, c := range bases {
+				r := protein.TranslateCodon([]byte{a, b, c})
+				if _, ok := codonFor[r]; !ok && r != protein.Stop {
+					codonFor[r] = string([]byte{a, b, c})
+				}
+			}
+		}
+	}
+	var dna []byte
+	for _, r := range prot {
+		codon, ok := codonFor[r]
+		if !ok {
+			t.Fatalf("no codon for %c", r)
+		}
+		dna = append(dna, codon...)
+	}
+	return dna
+}
+
+func TestTranslatedSearchFindsEmbeddedGene(t *testing.T) {
+	pg := protein.NewGenerator(71)
+	g := seq.NewGenerator(72)
+	query := pg.Random(50)
+	gene := encode(t, query)
+
+	// Record 0 carries the gene in frame 1 (one leading base); record 1
+	// is unrelated.
+	rec0 := append(append(g.Random(1), gene...), g.Random(60)...)
+	db := []seq.Sequence{
+		{ID: "with-gene", Data: rec0},
+		g.RandomSequence("unrelated", 400),
+	}
+	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 100, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("embedded gene not found")
+	}
+	top := hits[0]
+	if top.RecordID != "with-gene" || top.Frame != 1 {
+		t.Errorf("top hit %+v, want record with-gene frame 1", top)
+	}
+	m := protein.BLOSUM62(-8)
+	self, _, _ := protein.LocalScore(query, query, m)
+	if top.Score != self {
+		t.Errorf("top score %d, want perfect %d", top.Score, self)
+	}
+}
+
+func TestTranslatedSearchReverseStrand(t *testing.T) {
+	pg := protein.NewGenerator(73)
+	g := seq.NewGenerator(74)
+	query := pg.Random(40)
+	gene := encode(t, query)
+	// Plant the gene on the reverse strand: the record holds its
+	// reverse complement, so frames 3-5 see it.
+	rec := append(append(g.Random(30), seq.ReverseComplement(gene)...), g.Random(30)...)
+	db := []seq.Sequence{{ID: "rev", Data: rec}}
+	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("reverse-strand gene not found")
+	}
+	if hits[0].Frame < 3 {
+		t.Errorf("top hit in frame %d, want a reverse frame", hits[0].Frame)
+	}
+}
+
+func TestTranslatedSearchOptionsAndErrors(t *testing.T) {
+	g := seq.NewGenerator(75)
+	db := []seq.Sequence{g.RandomSequence("a", 300)}
+	if _, err := TranslatedSearch(db, []byte("MKU"), TranslatedOptions{}); err == nil {
+		t.Error("invalid query residues should fail")
+	}
+	if _, err := TranslatedSearch(db, nil, TranslatedOptions{}); err == nil {
+		t.Error("empty query should fail")
+	}
+	bad := TranslatedOptions{Matrix: protein.BLOSUM62(0)}
+	if _, err := TranslatedSearch(db, []byte("MKV"), bad); err == nil {
+		t.Error("invalid matrix should fail")
+	}
+	hits, err := TranslatedSearch(nil, []byte("MKVL"), TranslatedOptions{})
+	if err != nil || hits != nil {
+		t.Errorf("empty db: %v %v", hits, err)
+	}
+}
+
+func TestTranslatedSearchTopK(t *testing.T) {
+	pg := protein.NewGenerator(76)
+	g := seq.NewGenerator(77)
+	query := pg.Random(30)
+	gene := encode(t, query)
+	var db []seq.Sequence
+	for i := 0; i < 4; i++ {
+		rec := append(append(g.Random(12), gene...), g.Random(12)...)
+		db = append(db, seq.Sequence{ID: string(rune('a' + i)), Data: rec})
+	}
+	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 50, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("TopK: got %d hits", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Error("hits not sorted")
+		}
+	}
+}

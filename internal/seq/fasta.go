@@ -1,0 +1,153 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFASTA parses all records from a FASTA stream. Blank lines are
+// ignored; sequence lines are validated and normalized to upper case.
+func ReadFASTA(r io.Reader) ([]Sequence, error) {
+	var (
+		out  []Sequence
+		cur  *Sequence
+		data []byte
+		line int
+	)
+	flush := func() {
+		if cur != nil {
+			cur.Data = data
+			out = append(out, *cur)
+			cur, data = nil, nil
+		}
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			flush()
+			cur = &Sequence{ID: strings.TrimSpace(string(b[1:]))}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seq: FASTA line %d: sequence data before first header", line)
+		}
+		norm, err := Normalize(b)
+		if err != nil {
+			return nil, fmt.Errorf("seq: FASTA line %d: %w", line, err)
+		}
+		data = append(data, norm...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	flush()
+	return out, nil
+}
+
+// ReadFASTAFile reads all records from a FASTA file on disk.
+func ReadFASTAFile(path string) ([]Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFASTA(f)
+}
+
+// WriteFASTA writes records in FASTA format with lines wrapped at
+// width bases (70 if width <= 0).
+func WriteFASTA(w io.Writer, width int, records ...Sequence) error {
+	if width <= 0 {
+		width = 70
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.ID); err != nil {
+			return err
+		}
+		for off := 0; off < len(rec.Data); off += width {
+			end := off + width
+			if end > len(rec.Data) {
+				end = len(rec.Data)
+			}
+			if _, err := bw.Write(rec.Data[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes records to a FASTA file on disk.
+func WriteFASTAFile(path string, width int, records ...Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFASTA(f, width, records...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ScanFASTA streams records to fn one at a time without holding the
+// whole database in memory — the access pattern a 100 MBP database scan
+// needs. fn returning an error stops the scan and propagates the error.
+func ScanFASTA(r io.Reader, fn func(Sequence) error) error {
+	var (
+		cur  *Sequence
+		data []byte
+		line int
+	)
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		cur.Data = data
+		err := fn(*cur)
+		cur, data = nil, nil
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		if b[0] == '>' {
+			if err := flush(); err != nil {
+				return err
+			}
+			cur = &Sequence{ID: strings.TrimSpace(string(b[1:]))}
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("seq: FASTA line %d: sequence data before first header", line)
+		}
+		norm, err := Normalize(b)
+		if err != nil {
+			return fmt.Errorf("seq: FASTA line %d: %w", line, err)
+		}
+		data = append(data, norm...)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("seq: reading FASTA: %w", err)
+	}
+	return flush()
+}

@@ -1,0 +1,192 @@
+package seq
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := `>seq1 first sequence
+ACGT
+ACGT
+
+>seq2
+tt
+gg
+`
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "seq1 first sequence" || recs[0].String() != "ACGTACGT" {
+		t.Errorf("record 0 = %q %q", recs[0].ID, recs[0].String())
+	}
+	if recs[1].ID != "seq2" || recs[1].String() != "TTGG" {
+		t.Errorf("record 1 = %q %q", recs[1].ID, recs[1].String())
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Error("data before header should fail")
+	}
+	if _, err := ReadFASTA(strings.NewReader(">x\nACNT\n")); err == nil {
+		t.Error("invalid base should fail")
+	}
+}
+
+func TestReadFASTAEmpty(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestReadFASTAEmptySequence(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(">only-header\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Len() != 0 {
+		t.Errorf("got %+v, want one empty record", recs)
+	}
+}
+
+func TestWriteFASTAWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	rec := Sequence{ID: "x", Data: []byte("ACGTACGTAC")}
+	if err := WriteFASTA(&buf, 4, rec); err != nil {
+		t.Fatal(err)
+	}
+	want := ">x\nACGT\nACGT\nAC\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	g := NewGenerator(21)
+	orig := []Sequence{
+		g.RandomSequence("alpha", 123),
+		g.RandomSequence("beta", 1),
+		g.RandomSequence("gamma", 700),
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, 0, orig...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip record count %d != %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].ID != orig[i].ID || !bytes.Equal(got[i].Data, orig[i].Data) {
+			t.Errorf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestFASTAFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.fa")
+	rec := MustNew("file-seq", "ACGTTGCA")
+	if err := WriteFASTAFile(path, 0, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTAFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].String() != "ACGTTGCA" {
+		t.Errorf("file round trip = %+v", got)
+	}
+	if _, err := ReadFASTAFile(filepath.Join(dir, "missing.fa")); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v", err)
+	}
+}
+
+func TestScanFASTAStreams(t *testing.T) {
+	in := ">a\nACGT\n>b\nTT\nGG\n>c\nA\n"
+	var ids []string
+	var lens []int
+	err := ScanFASTA(strings.NewReader(in), func(rec Sequence) error {
+		ids = append(ids, rec.ID)
+		lens = append(lens, rec.Len())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Errorf("ids = %v", ids)
+	}
+	if lens[1] != 4 {
+		t.Errorf("lens = %v", lens)
+	}
+}
+
+func TestScanFASTAStopsOnCallbackError(t *testing.T) {
+	in := ">a\nAC\n>b\nGT\n"
+	calls := 0
+	sentinel := os.ErrClosed
+	err := ScanFASTA(strings.NewReader(in), func(rec Sequence) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestScanFASTAErrors(t *testing.T) {
+	if err := ScanFASTA(strings.NewReader("ACGT\n"), func(Sequence) error { return nil }); err == nil {
+		t.Error("data before header should fail")
+	}
+	if err := ScanFASTA(strings.NewReader(">x\nACNT\n"), func(Sequence) error { return nil }); err == nil {
+		t.Error("invalid base should fail")
+	}
+	if err := ScanFASTA(strings.NewReader(""), func(Sequence) error { return nil }); err != nil {
+		t.Errorf("empty input: %v", err)
+	}
+}
+
+func TestScanFASTAMatchesReadFASTA(t *testing.T) {
+	g := NewGenerator(31)
+	recs := []Sequence{g.RandomSequence("r1", 333), g.RandomSequence("r2", 1), g.RandomSequence("r3", 70)}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, 60, recs...); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	batch, err := ReadFASTA(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Sequence
+	if err := ScanFASTA(strings.NewReader(text), func(rec Sequence) error {
+		streamed = append(streamed, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i].ID != batch[i].ID || !bytes.Equal(streamed[i].Data, batch[i].Data) {
+			t.Errorf("record %d differs", i)
+		}
+	}
+}

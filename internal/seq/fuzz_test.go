@@ -1,0 +1,58 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add([]byte("GATTACA"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		b := randomize(raw)
+		p := MustPack(b)
+		if !bytes.Equal(p.Unpack(), b) {
+			t.Fatal("pack/unpack mismatch")
+		}
+		if p.Len() != len(b) {
+			t.Fatalf("len %d != %d", p.Len(), len(b))
+		}
+		for i := range b {
+			if p.BaseAt(i) != b[i] {
+				t.Fatalf("BaseAt(%d) mismatch", i)
+			}
+		}
+	})
+}
+
+func FuzzFASTARoundTrip(f *testing.F) {
+	f.Add([]byte("ACGTACGT"), "id with spaces")
+	f.Fuzz(func(t *testing.T, raw []byte, id string) {
+		if len(id) > 100 || len(raw) > 10000 {
+			return
+		}
+		for _, c := range []byte(id) {
+			if c < 0x20 || c > 0x7e {
+				return // FASTA headers are printable single-line strings
+			}
+		}
+		rec := Sequence{ID: trimmed(id), Data: randomize(raw)}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, 13, rec); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].ID != rec.ID || !bytes.Equal(got[0].Data, rec.Data) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
+		}
+	})
+}
+
+// trimmed normalizes an id the way the reader will (surrounding space
+// is not preserved by the format).
+func trimmed(id string) string {
+	return string(bytes.TrimSpace([]byte(id)))
+}

@@ -1,0 +1,73 @@
+package seq
+
+import "fmt"
+
+// Packed is a 2-bit-per-base packed DNA sequence. It models the dense
+// storage format a database sequence occupies in the FPGA board's SRAM
+// (paper sec. 5: "a large database sequence can be put in the FPGA board
+// SRAM memory"). Four bases share one byte; base i occupies bits
+// [2*(i%4), 2*(i%4)+1] of word[i/4].
+type Packed struct {
+	words []byte
+	n     int
+}
+
+// Pack converts ASCII bases to packed form. Invalid bases are rejected.
+func Pack(bases []byte) (Packed, error) {
+	if err := Validate(bases); err != nil {
+		return Packed{}, err
+	}
+	p := Packed{words: make([]byte, (len(bases)+3)/4), n: len(bases)}
+	for i, b := range bases {
+		p.words[i/4] |= codeOf[b] << uint(2*(i%4))
+	}
+	return p, nil
+}
+
+// MustPack is Pack but panics on invalid input.
+func MustPack(bases []byte) Packed {
+	p, err := Pack(bases)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of bases stored.
+func (p Packed) Len() int { return p.n }
+
+// Bytes returns the number of bytes of backing storage, i.e. the SRAM
+// footprint of the sequence.
+func (p Packed) Bytes() int { return len(p.words) }
+
+// CodeAt returns the 2-bit code of base i.
+func (p Packed) CodeAt(i int) byte {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("seq: packed index %d out of range [0,%d)", i, p.n))
+	}
+	return (p.words[i/4] >> uint(2*(i%4))) & 3
+}
+
+// BaseAt returns the ASCII base at index i.
+func (p Packed) BaseAt(i int) byte { return baseOf[p.CodeAt(i)] }
+
+// Unpack expands the packed sequence back to ASCII bases.
+func (p Packed) Unpack() []byte {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = baseOf[(p.words[i/4]>>uint(2*(i%4)))&3]
+	}
+	return out
+}
+
+// Slice returns a packed copy of bases [lo, hi).
+func (p Packed) Slice(lo, hi int) Packed {
+	if lo < 0 || hi > p.n || lo > hi {
+		panic(fmt.Sprintf("seq: packed slice [%d,%d) out of range [0,%d]", lo, hi, p.n))
+	}
+	out := Packed{words: make([]byte, (hi-lo+3)/4), n: hi - lo}
+	for i := lo; i < hi; i++ {
+		out.words[(i-lo)/4] |= p.CodeAt(i) << uint(2*((i-lo)%4))
+	}
+	return out
+}

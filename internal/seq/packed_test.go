@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, in := range []string{"", "A", "ACGT", "ACGTA", "TTTTTTTT", "GATTACA"} {
+		p, err := Pack([]byte(in))
+		if err != nil {
+			t.Fatalf("Pack(%q): %v", in, err)
+		}
+		if p.Len() != len(in) {
+			t.Errorf("Pack(%q).Len = %d, want %d", in, p.Len(), len(in))
+		}
+		if got := string(p.Unpack()); got != in {
+			t.Errorf("Unpack(Pack(%q)) = %q", in, got)
+		}
+	}
+}
+
+func TestPackRejectsInvalid(t *testing.T) {
+	if _, err := Pack([]byte("ACNT")); err == nil {
+		t.Error("Pack(ACNT) should fail")
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3}}
+	for _, c := range cases {
+		p := MustPack(bytes.Repeat([]byte{'A'}, c.n))
+		if p.Bytes() != c.want {
+			t.Errorf("Bytes for %d bases = %d, want %d", c.n, p.Bytes(), c.want)
+		}
+	}
+}
+
+func TestPackedAccessors(t *testing.T) {
+	in := "GATTACA"
+	p := MustPack([]byte(in))
+	for i := range in {
+		if got := p.BaseAt(i); got != in[i] {
+			t.Errorf("BaseAt(%d) = %c, want %c", i, got, in[i])
+		}
+		if got := p.CodeAt(i); got != Code(in[i]) {
+			t.Errorf("CodeAt(%d) = %d, want %d", i, got, Code(in[i]))
+		}
+	}
+}
+
+func TestPackedSlice(t *testing.T) {
+	in := "ACGTACGTGG"
+	p := MustPack([]byte(in))
+	for lo := 0; lo <= len(in); lo++ {
+		for hi := lo; hi <= len(in); hi++ {
+			got := string(p.Slice(lo, hi).Unpack())
+			if got != in[lo:hi] {
+				t.Errorf("Slice(%d,%d) = %q, want %q", lo, hi, got, in[lo:hi])
+			}
+		}
+	}
+}
+
+func TestPackedSliceOutOfRangePanics(t *testing.T) {
+	p := MustPack([]byte("ACGT"))
+	for _, c := range []struct{ lo, hi int }{{-1, 2}, {0, 5}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d,%d) should panic", c.lo, c.hi)
+				}
+			}()
+			p.Slice(c.lo, c.hi)
+		}()
+	}
+}
+
+func TestPackedCodeAtOutOfRangePanics(t *testing.T) {
+	p := MustPack([]byte("AC"))
+	for _, i := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CodeAt(%d) should panic", i)
+				}
+			}()
+			p.CodeAt(i)
+		}()
+	}
+}
+
+func TestPackedRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		b := randomize(raw)
+		return bytes.Equal(MustPack(b).Unpack(), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := NewGenerator(42).Random(1000)
+	b := NewGenerator(42).Random(1000)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed should give the same sequence")
+	}
+	c := NewGenerator(43).Random(1000)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRandomIsValidDNA(t *testing.T) {
+	b := NewGenerator(1).Random(10000)
+	if err := Validate(b); err != nil {
+		t.Fatalf("random output invalid: %v", err)
+	}
+	// All four bases should appear in 10 kB of uniform output.
+	for _, base := range []byte(Alphabet) {
+		if !bytes.ContainsRune(b, rune(base)) {
+			t.Errorf("base %c absent from 10k random bases", base)
+		}
+	}
+}
+
+func TestRandomComposition(t *testing.T) {
+	// Uniform generation: each base frequency should be near 25 %.
+	const n = 100000
+	b := NewGenerator(7).Random(n)
+	counts := map[byte]int{}
+	for _, c := range b {
+		counts[c]++
+	}
+	for base, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.23 || frac > 0.27 {
+			t.Errorf("base %c frequency %.3f outside [0.23, 0.27]", base, frac)
+		}
+	}
+}
+
+func TestMutateRates(t *testing.T) {
+	g := NewGenerator(11)
+	const n = 200000
+	a := g.Random(n)
+	b, err := g.Mutate(a, MutationProfile{Substitution: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != n {
+		t.Fatalf("substitution-only mutation changed length: %d", len(b))
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	frac := float64(diff) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Errorf("substitution fraction %.3f outside [0.08, 0.12]", frac)
+	}
+}
+
+func TestMutateIndelChangesLength(t *testing.T) {
+	g := NewGenerator(13)
+	a := g.Random(100000)
+	ins, err := g.Mutate(a, MutationProfile{Insertion: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) <= len(a) {
+		t.Errorf("insertion-only mutation should lengthen: %d -> %d", len(a), len(ins))
+	}
+	del, err := g.Mutate(a, MutationProfile{Deletion: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del) >= len(a) {
+		t.Errorf("deletion-only mutation should shorten: %d -> %d", len(a), len(del))
+	}
+}
+
+func TestMutateValidatesProfile(t *testing.T) {
+	g := NewGenerator(1)
+	if _, err := g.Mutate([]byte("ACGT"), MutationProfile{Substitution: 1.5}); err == nil {
+		t.Error("rate > 1 should be rejected")
+	}
+	if _, err := g.Mutate([]byte("ACGT"), MutationProfile{Deletion: -0.1}); err == nil {
+		t.Error("negative rate should be rejected")
+	}
+}
+
+func TestMutateOutputIsValidDNA(t *testing.T) {
+	g := NewGenerator(3)
+	a := g.Random(5000)
+	b, err := g.Mutate(a, DefaultMutationProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(b); err != nil {
+		t.Errorf("mutated output invalid: %v", err)
+	}
+}
+
+func TestHomologousPair(t *testing.T) {
+	g := NewGenerator(5)
+	a, b, err := g.HomologousPair(10000, DefaultMutationProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indels shift positions, so measure similarity by shared 12-mers:
+	// a mutated homolog shares many, two random sequences essentially none.
+	const k = 12
+	kmers := map[string]bool{}
+	for i := 0; i+k <= len(a); i++ {
+		kmers[string(a[i:i+k])] = true
+	}
+	shared := 0
+	for i := 0; i+k <= len(b); i++ {
+		if kmers[string(b[i:i+k])] {
+			shared++
+		}
+	}
+	frac := float64(shared) / float64(len(b)-k+1)
+	if frac < 0.2 {
+		t.Errorf("homologous pair too dissimilar: %.3f shared %d-mers", frac, k)
+	}
+	random := NewGenerator(99).Random(len(b))
+	sharedRand := 0
+	for i := 0; i+k <= len(random); i++ {
+		if kmers[string(random[i:i+k])] {
+			sharedRand++
+		}
+	}
+	if sharedRand >= shared {
+		t.Errorf("random sequence shares as many k-mers (%d) as homolog (%d)", sharedRand, shared)
+	}
+}
+
+func TestPlantMotif(t *testing.T) {
+	g := NewGenerator(9)
+	host := g.Random(100)
+	motif := []byte("ACGTACGTAC")
+	PlantMotif(host, motif, 40)
+	if !bytes.Equal(host[40:50], motif) {
+		t.Error("motif not planted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range plant should panic")
+			}
+		}()
+		PlantMotif(host, motif, 95)
+	}()
+}

@@ -1,0 +1,142 @@
+// Package seq provides DNA sequence representation, validation, 2-bit
+// packing, FASTA I/O and synthetic sequence generation for the alignment
+// library.
+//
+// Sequences are stored as plain byte slices over the upper-case DNA
+// alphabet {A, C, G, T}. The 2-bit packed representation (Packed) is used
+// by components that model hardware storage, such as the systolic array's
+// board SRAM, where each base occupies exactly two bits.
+package seq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alphabet is the DNA alphabet accepted by this library, in code order:
+// code 0 is 'A', 1 is 'C', 2 is 'G', 3 is 'T'.
+const Alphabet = "ACGT"
+
+// ErrInvalidBase reports a byte outside the DNA alphabet.
+var ErrInvalidBase = errors.New("seq: invalid base")
+
+// codeOf maps an ASCII byte to its 2-bit code, or 0xFF if invalid.
+// Lower-case input is accepted and normalized.
+var codeOf = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 0xFF
+	}
+	for c, b := range []byte(Alphabet) {
+		t[b] = byte(c)
+		t[b|0x20] = byte(c) // lower case
+	}
+	return t
+}()
+
+// baseOf maps a 2-bit code back to its ASCII base.
+var baseOf = [4]byte{'A', 'C', 'G', 'T'}
+
+// complementOf maps an ASCII base to its Watson-Crick complement.
+var complementOf = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = byte(i)
+	}
+	t['A'], t['T'], t['C'], t['G'] = 'T', 'A', 'G', 'C'
+	t['a'], t['t'], t['c'], t['g'] = 'T', 'A', 'G', 'C'
+	return t
+}()
+
+// Sequence is a named DNA sequence.
+type Sequence struct {
+	// ID is the sequence identifier (the FASTA header without '>').
+	ID string
+	// Data holds the bases, one ASCII byte per base.
+	Data []byte
+}
+
+// Len returns the number of bases in the sequence.
+func (s Sequence) Len() int { return len(s.Data) }
+
+// String returns the bases as a string.
+func (s Sequence) String() string { return string(s.Data) }
+
+// New builds a validated, normalized (upper-case) sequence from a string.
+func New(id, bases string) (Sequence, error) {
+	data, err := Normalize([]byte(bases))
+	if err != nil {
+		return Sequence{}, err
+	}
+	return Sequence{ID: id, Data: data}, nil
+}
+
+// MustNew is New but panics on invalid input. Intended for tests,
+// examples and literal sequences known to be valid.
+func MustNew(id, bases string) Sequence {
+	s, err := New(id, bases)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Normalize validates bases and returns a fresh upper-case copy.
+// It fails with a position-annotated error on the first invalid byte.
+func Normalize(bases []byte) ([]byte, error) {
+	out := make([]byte, len(bases))
+	for i, b := range bases {
+		c := codeOf[b]
+		if c == 0xFF {
+			return nil, fmt.Errorf("%w: byte %q at position %d", ErrInvalidBase, b, i)
+		}
+		out[i] = baseOf[c]
+	}
+	return out, nil
+}
+
+// Validate reports whether every byte of bases is a DNA base
+// (either case). It allocates nothing.
+func Validate(bases []byte) error {
+	for i, b := range bases {
+		if codeOf[b] == 0xFF {
+			return fmt.Errorf("%w: byte %q at position %d", ErrInvalidBase, b, i)
+		}
+	}
+	return nil
+}
+
+// Code returns the 2-bit code of an ASCII base, or 0xFF if invalid.
+func Code(b byte) byte { return codeOf[b] }
+
+// Base returns the ASCII base of a 2-bit code. It panics if code > 3.
+func Base(code byte) byte { return baseOf[code] }
+
+// Reverse returns a new byte slice with the bases in reverse order.
+// Reversed sequences drive the second phase of linear-space local
+// alignment (paper sec. 2.3).
+func Reverse(bases []byte) []byte {
+	out := make([]byte, len(bases))
+	for i, b := range bases {
+		out[len(bases)-1-i] = b
+	}
+	return out
+}
+
+// Complement returns a new byte slice with each base complemented.
+func Complement(bases []byte) []byte {
+	out := make([]byte, len(bases))
+	for i, b := range bases {
+		out[i] = complementOf[b]
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement of bases.
+func ReverseComplement(bases []byte) []byte {
+	out := make([]byte, len(bases))
+	for i, b := range bases {
+		out[len(bases)-1-i] = complementOf[b]
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package seq
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	s, err := New("x", "acGT")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := s.String(); got != "ACGT" {
+		t.Errorf("normalized = %q, want ACGT", got)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	for _, in := range []string{"ACGX", "N", "ACG T", "AC-G", "acgu"} {
+		if _, err := New("x", in); !errors.Is(err, ErrInvalidBase) {
+			t.Errorf("New(%q) error = %v, want ErrInvalidBase", in, err)
+		}
+	}
+}
+
+func TestNewAcceptsEmpty(t *testing.T) {
+	s, err := New("empty", "")
+	if err != nil {
+		t.Fatalf("New(empty): %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]byte("ACGTacgt")); err != nil {
+		t.Errorf("Validate(valid) = %v", err)
+	}
+	err := Validate([]byte("ACZ"))
+	if !errors.Is(err, ErrInvalidBase) {
+		t.Fatalf("Validate(ACZ) = %v, want ErrInvalidBase", err)
+	}
+	if !strings.Contains(err.Error(), "position 2") {
+		t.Errorf("error %q should name position 2", err)
+	}
+}
+
+func TestCodeBaseRoundTrip(t *testing.T) {
+	for i, b := range []byte(Alphabet) {
+		if got := Code(b); got != byte(i) {
+			t.Errorf("Code(%c) = %d, want %d", b, got, i)
+		}
+		if got := Base(byte(i)); got != b {
+			t.Errorf("Base(%d) = %c, want %c", i, got, b)
+		}
+		if got := Code(b | 0x20); got != byte(i) {
+			t.Errorf("Code(lower %c) = %d, want %d", b|0x20, got, i)
+		}
+	}
+	if Code('N') != 0xFF {
+		t.Error("Code(N) should be invalid")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	in := []byte("ACGGT")
+	got := Reverse(in)
+	if string(got) != "TGGCA" {
+		t.Errorf("Reverse = %s, want TGGCA", got)
+	}
+	if string(in) != "ACGGT" {
+		t.Error("Reverse mutated its input")
+	}
+	if len(Reverse(nil)) != 0 {
+		t.Error("Reverse(nil) should be empty")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	if got := Complement([]byte("ACGT")); string(got) != "TGCA" {
+		t.Errorf("Complement(ACGT) = %s, want TGCA", got)
+	}
+	if got := ReverseComplement([]byte("AACG")); string(got) != "CGTT" {
+		t.Errorf("ReverseComplement(AACG) = %s, want CGTT", got)
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		b := randomize(raw)
+		return bytes.Equal(Reverse(Reverse(b)), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	f := func(raw []byte) bool {
+		b := randomize(raw)
+		return bytes.Equal(ReverseComplement(ReverseComplement(b)), b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomize maps arbitrary bytes onto the DNA alphabet so quick.Check
+// inputs become valid sequences.
+func randomize(raw []byte) []byte {
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = Base(b & 3)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package stats provides the small measurement-statistics helpers the
+// benchmark harness uses to report repeated software timings.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean and StdDev are the sample mean and (n-1) standard deviation.
+	Mean, StdDev float64
+	// Min and Max are the sample extremes.
+	Min, Max float64
+}
+
+// Summarize computes the summary of xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders "mean ± stddev s (n=N)" for timing samples.
+func (s Summary) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.3f s", s.Mean)
+	}
+	return fmt.Sprintf("%.3f ± %.3f s (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// TimeRepeat runs fn reps times (at least once) and summarizes the
+// wall-clock seconds of each run.
+func TimeRepeat(reps int, fn func()) Summary {
+	if reps < 1 {
+		reps = 1
+	}
+	xs := make([]float64, reps)
+	for i := range xs {
+		start := time.Now()
+		fn()
+		xs[i] = time.Since(start).Seconds()
+	}
+	return Summarize(xs)
+}

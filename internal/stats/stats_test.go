@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("mean = %v n = %d", s.Mean, s.N)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty: %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.StdDev != 0 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("singleton: %+v", s)
+	}
+}
+
+func TestSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+		}
+		s := Summarize(raw)
+		if len(raw) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	one := Summarize([]float64{1.5})
+	if got := one.String(); got != "1.500 s" {
+		t.Errorf("singleton string = %q", got)
+	}
+	many := Summarize([]float64{1, 2, 3})
+	if got := many.String(); !strings.Contains(got, "±") || !strings.Contains(got, "n=3") {
+		t.Errorf("sample string = %q", got)
+	}
+}
+
+func TestTimeRepeat(t *testing.T) {
+	calls := 0
+	s := TimeRepeat(5, func() { calls++ })
+	if calls != 5 || s.N != 5 {
+		t.Errorf("calls = %d, n = %d", calls, s.N)
+	}
+	calls = 0
+	s = TimeRepeat(0, func() { calls++ })
+	if calls != 1 || s.N != 1 {
+		t.Errorf("reps floor: calls = %d", calls)
+	}
+	if s.Mean < 0 {
+		t.Error("negative duration")
+	}
+}

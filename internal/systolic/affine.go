@@ -1,0 +1,437 @@
+package systolic
+
+import (
+	"fmt"
+
+	"swfpga/internal/align"
+)
+
+// Affine-gap systolic array: the Gotoh datapath used by the sec. 4
+// comparison design of Anish [2] (Virtex-II XC2V6000), reimplemented on
+// this paper's array organization so affine-gap scans also report
+// coordinates. Each element carries three score tracks instead of one:
+//
+//	E[i][j] = max(H[i][j-1] + open, E[i][j-1] + extend)
+//	F[i][j] = max(H[i-1][j] + open, F[i-1][j] + extend)
+//	H[i][j] = max(0, H[i-1][j-1] + p(i,j), E[i][j], F[i][j])
+//
+// E depends on the element's own previous column (local registers);
+// F on the upstream neighbor's output (one extra transmitted word);
+// H's diagonal input is the registered previous C, exactly as in the
+// linear-gap element. Per element this costs two more score registers
+// and one more neighbor wire — the resource delta internal/fpga models
+// as AffineElement.
+
+// AffineConfig parameterizes the affine array.
+type AffineConfig struct {
+	// Elements is the number of processing elements.
+	Elements int
+	// Scoring is Gotoh's affine model.
+	Scoring align.AffineScoring
+	// ScoreBits is the score register width; scores saturate at
+	// 2^ScoreBits - 1. Must leave headroom below zero for the E/F
+	// tracks, which dip to GapOpen.
+	ScoreBits int
+	// ReloadCycles is the per-strip query reload overhead.
+	ReloadCycles int
+	// Anchored switches to the anchored recurrence (no zero clamp,
+	// gap-run boundaries): the reverse phase of the affine linear-space
+	// pipeline.
+	Anchored bool
+	// TrackDivergence adds the Z-align divergence registers to every
+	// lane; requires Anchored.
+	TrackDivergence bool
+}
+
+// DefaultAffineConfig mirrors the prototype shape with the conventional
+// affine DNA scoring.
+func DefaultAffineConfig() AffineConfig {
+	return AffineConfig{Elements: 100, Scoring: align.DefaultAffine(), ScoreBits: 16}
+}
+
+// Validate checks configuration sanity.
+func (c AffineConfig) Validate() error {
+	if c.Elements <= 0 {
+		return fmt.Errorf("systolic: element count %d must be positive", c.Elements)
+	}
+	if c.ScoreBits < 4 || c.ScoreBits > 30 {
+		return fmt.Errorf("systolic: score width %d bits outside [4,30]", c.ScoreBits)
+	}
+	if c.ReloadCycles < 0 {
+		return fmt.Errorf("systolic: reload cycles %d must be non-negative", c.ReloadCycles)
+	}
+	if err := c.Scoring.Validate(); err != nil {
+		return err
+	}
+	// The E/F tracks reach down to GapOpen below zero; the register
+	// range must represent that with margin.
+	if rail := int(1)<<uint(c.ScoreBits) - 1; -c.Scoring.GapOpen*4 >= rail {
+		return fmt.Errorf("systolic: %d-bit registers too narrow for gap open %d",
+			c.ScoreBits, c.Scoring.GapOpen)
+	}
+	if c.TrackDivergence && !c.Anchored {
+		return fmt.Errorf("systolic: affine divergence tracking requires the anchored datapath")
+	}
+	return nil
+}
+
+// affineArray is the register state of one strip.
+type affineArray struct {
+	width int
+	sp    []byte
+
+	aH []int32 // diagonal H register (previous C input)
+	bH []int32 // own previous H (same row, previous column)
+	bE []int32 // own previous E
+
+	bs []int32 // best H seen by this element
+	cl []int32 // current database position
+	bc []int32 // database position of the best H
+
+	hOut  []int32 // registered H toward the right neighbor
+	fOut  []int32 // registered F toward the right neighbor
+	sbOut []byte
+	vOut  []bool
+
+	maxScore          int32
+	co, su, open, ext int32
+	negRail           int32
+	rowOff            int
+	anchored          bool
+	trackDiv          bool
+	saturated         bool
+
+	// Divergence metadata lanes (Z-align extension): extrema of the
+	// paths behind the diagonal-H register, the element's own H and E,
+	// and the transmitted H and F outputs; plus the latched best-cell
+	// extrema.
+	aInf, aSup       []int32
+	hInf, hSup       []int32
+	eInf, eSup       []int32
+	hInfOut, hSupOut []int32
+	fInfOut, fSupOut []int32
+	bestInf, bestSup []int32
+}
+
+// gapRunScore returns open + (k-1)*ext for k >= 1, 0 for k == 0.
+func gapRunScore(k int, open, ext int32) int32 {
+	if k == 0 {
+		return 0
+	}
+	return open + int32(k-1)*ext
+}
+
+func newAffineArray(cfg AffineConfig, querySplit []byte, rowOffset int) *affineArray {
+	w := len(querySplit)
+	ar := &affineArray{
+		width: w,
+		sp:    querySplit,
+		aH:    make([]int32, w),
+		bH:    make([]int32, w),
+		bE:    make([]int32, w),
+		bs:    make([]int32, w),
+		cl:    make([]int32, w),
+		bc:    make([]int32, w),
+		hOut:  make([]int32, w),
+		fOut:  make([]int32, w),
+		sbOut: make([]byte, w),
+		vOut:  make([]bool, w),
+
+		maxScore: int32(1)<<uint(cfg.ScoreBits) - 1,
+		co:       int32(cfg.Scoring.Match),
+		su:       int32(cfg.Scoring.Mismatch),
+		open:     int32(cfg.Scoring.GapOpen),
+		ext:      int32(cfg.Scoring.GapExtend),
+	}
+	ar.negRail = -(ar.maxScore / 2)
+	ar.rowOff = rowOffset
+	ar.anchored = cfg.Anchored
+	ar.trackDiv = cfg.TrackDivergence
+	// Column-0 boundary: H = 0 (local) or the gap run (anchored);
+	// E undefined (rail).
+	for k := 0; k < w; k++ {
+		ar.bE[k] = ar.negRail
+		if cfg.Anchored {
+			ar.aH[k] = ar.clampRail(gapRunScore(rowOffset+k, ar.open, ar.ext))
+			ar.bH[k] = ar.clampRail(gapRunScore(rowOffset+k+1, ar.open, ar.ext))
+		}
+	}
+	if cfg.TrackDivergence {
+		ar.aInf = make([]int32, w)
+		ar.aSup = make([]int32, w)
+		ar.hInf = make([]int32, w)
+		ar.hSup = make([]int32, w)
+		ar.eInf = make([]int32, w)
+		ar.eSup = make([]int32, w)
+		ar.hInfOut = make([]int32, w)
+		ar.hSupOut = make([]int32, w)
+		ar.fInfOut = make([]int32, w)
+		ar.fSupOut = make([]int32, w)
+		ar.bestInf = make([]int32, w)
+		ar.bestSup = make([]int32, w)
+		for k := 0; k < w; k++ {
+			// Boundary paths run down column 0.
+			ar.aInf[k] = -int32(rowOffset + k)
+			ar.hInf[k] = -int32(rowOffset + k + 1)
+		}
+	}
+	return ar
+}
+
+// clampRail saturates at the negative rail (benign for boundary runs:
+// they can never climb back above zero within register range).
+func (ar *affineArray) clampRail(v int32) int32 {
+	if v < ar.negRail {
+		return ar.negRail
+	}
+	return v
+}
+
+// step advances the affine array one clock. The first element receives
+// the streamed base plus the border H and F values (and, with
+// divergence tracking, their path metadata).
+func (ar *affineArray) step(sbIn byte, hIn, fIn int32, meta [4]int32, vIn bool) {
+	for j := ar.width - 1; j >= 0; j-- {
+		var (
+			sb           byte
+			cH, cF       int32
+			cHInf, cHSup int32
+			cFInf, cFSup int32
+			v            bool
+		)
+		if j == 0 {
+			sb, cH, cF, v = sbIn, hIn, fIn, vIn
+			cHInf, cHSup, cFInf, cFSup = meta[0], meta[1], meta[2], meta[3]
+		} else {
+			sb, cH, cF, v = ar.sbOut[j-1], ar.hOut[j-1], ar.fOut[j-1], ar.vOut[j-1]
+			if ar.trackDiv {
+				cHInf, cHSup = ar.hInfOut[j-1], ar.hSupOut[j-1]
+				cFInf, cFSup = ar.fInfOut[j-1], ar.fSupOut[j-1]
+			}
+		}
+		if !v {
+			ar.vOut[j] = false
+			continue
+		}
+		// E: the element's own previous column.
+		e := ar.bH[j] + ar.open
+		eFromH := true
+		if x := ar.bE[j] + ar.ext; x > e {
+			e = x
+			eFromH = false
+		}
+		if e < ar.negRail {
+			e = ar.negRail
+		}
+		// F: the upstream neighbor's H and F.
+		f := cH + ar.open
+		fFromH := true
+		if x := cF + ar.ext; x > f {
+			f = x
+			fFromH = false
+		}
+		if f < ar.negRail {
+			f = ar.negRail
+		}
+		// H.
+		var h int32
+		if ar.sp[j] == sb {
+			h = ar.aH[j] + ar.co
+		} else {
+			h = ar.aH[j] + ar.su
+		}
+		hSrc := 0 // 0 diag, 1 E, 2 F
+		if e > h {
+			h = e
+			hSrc = 1
+		}
+		if f > h {
+			h = f
+			hSrc = 2
+		}
+		if h < 0 {
+			if !ar.anchored {
+				h = 0
+			} else if h < ar.negRail {
+				h = ar.negRail
+			}
+		}
+		if h >= ar.maxScore {
+			h = ar.maxScore
+			ar.saturated = true
+		}
+		ar.cl[j]++
+		if ar.trackDiv {
+			// Fold the cell's own diagonal into each lane's metadata.
+			d := ar.cl[j] - int32(ar.rowOff+j+1)
+			fold := func(inf, sup int32) (int32, int32) {
+				if d < inf {
+					inf = d
+				}
+				if d > sup {
+					sup = d
+				}
+				return inf, sup
+			}
+			var eInf, eSup int32
+			if eFromH {
+				eInf, eSup = ar.hInf[j], ar.hSup[j]
+			} else {
+				eInf, eSup = ar.eInf[j], ar.eSup[j]
+			}
+			eInf, eSup = fold(eInf, eSup)
+			var fInf, fSup int32
+			if fFromH {
+				fInf, fSup = cHInf, cHSup
+			} else {
+				fInf, fSup = cFInf, cFSup
+			}
+			fInf, fSup = fold(fInf, fSup)
+			var pInf, pSup int32
+			switch hSrc {
+			case 0:
+				pInf, pSup = fold(ar.aInf[j], ar.aSup[j])
+			case 1:
+				pInf, pSup = eInf, eSup
+			default:
+				pInf, pSup = fInf, fSup
+			}
+			ar.aInf[j], ar.aSup[j] = cHInf, cHSup
+			ar.hInf[j], ar.hSup[j] = pInf, pSup
+			ar.eInf[j], ar.eSup[j] = eInf, eSup
+			ar.hInfOut[j], ar.hSupOut[j] = pInf, pSup
+			ar.fInfOut[j], ar.fSupOut[j] = fInf, fSup
+			if h > ar.bs[j] {
+				ar.bestInf[j], ar.bestSup[j] = pInf, pSup
+			}
+		}
+		// Register updates.
+		ar.aH[j] = cH
+		ar.bH[j] = h
+		ar.bE[j] = e
+		if h > ar.bs[j] {
+			ar.bs[j] = h
+			ar.bc[j] = ar.cl[j]
+		}
+		ar.hOut[j] = h
+		ar.fOut[j] = f
+		ar.sbOut[j] = sb
+		ar.vOut[j] = true
+	}
+}
+
+// RunAffine streams the database through the affine array and returns
+// the best Gotoh local score with its coordinates. Query partitioning
+// stores two border rows (H and F) in board SRAM per strip boundary.
+func RunAffine(cfg AffineConfig, query, db []byte) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, n := len(query), len(db)
+	var res Result
+	if m == 0 || n == 0 {
+		return res, nil
+	}
+	strips := (m + cfg.Elements - 1) / cfg.Elements
+	res.Stats.Strips = strips
+
+	// Anchored boundary runs clamp at the negative rail; that is benign
+	// only while no clamped path can climb back above zero within the
+	// register range (same argument as the linear array's negSafe).
+	if cfg.Anchored {
+		minDim := m
+		if n < minDim {
+			minDim = n
+		}
+		rail := (int64(1)<<uint(cfg.ScoreBits) - 1) / 2
+		if int64(minDim)*int64(cfg.Scoring.Match) >= rail {
+			return res, fmt.Errorf(
+				"systolic: %d-bit registers too narrow for an anchored %dx%d run", cfg.ScoreBits, m, n)
+		}
+	}
+
+	var prevH, prevF, nextH, nextF []int32
+	var prevMeta, nextMeta [][4]int32
+	if strips > 1 {
+		prevH = make([]int32, n+1)
+		prevF = make([]int32, n+1)
+		nextH = make([]int32, n+1)
+		nextF = make([]int32, n+1)
+		res.Stats.BorderWords = 4 * (n + 1)
+		if cfg.TrackDivergence {
+			prevMeta = make([][4]int32, n+1)
+			nextMeta = make([][4]int32, n+1)
+			res.Stats.BorderWords = 12 * (n + 1)
+		}
+	}
+
+	for p := 0; p < strips; p++ {
+		lo := p * cfg.Elements
+		hi := lo + cfg.Elements
+		if hi > m {
+			hi = m
+		}
+		ar := newAffineArray(cfg, query[lo:hi], lo)
+		w := ar.width
+		for k := 0; k < n+w-1; k++ {
+			var (
+				sbIn     byte
+				hIn, fIn int32
+				meta     [4]int32
+				vIn      bool
+			)
+			fIn = ar.negRail
+			if k < n {
+				sbIn, vIn = db[k], true
+				switch {
+				case p > 0:
+					hIn, fIn = prevH[k+1], prevF[k+1]
+					if cfg.TrackDivergence {
+						meta = prevMeta[k+1]
+					}
+				case cfg.Anchored:
+					// Row-0 boundary: an insert run along row 0.
+					hIn = ar.clampRail(gapRunScore(k+1, ar.open, ar.ext))
+					if cfg.TrackDivergence {
+						meta = [4]int32{0, int32(k + 1), 0, 0}
+					}
+				}
+			}
+			ar.step(sbIn, hIn, fIn, meta, vIn)
+			if p < strips-1 && ar.vOut[w-1] {
+				nextH[k-w+2] = ar.hOut[w-1]
+				nextF[k-w+2] = ar.fOut[w-1]
+				if cfg.TrackDivergence {
+					nextMeta[k-w+2] = [4]int32{
+						ar.hInfOut[w-1], ar.hSupOut[w-1],
+						ar.fInfOut[w-1], ar.fSupOut[w-1],
+					}
+				}
+			}
+		}
+		res.Stats.Cycles += uint64(n+w-1) + uint64(cfg.ReloadCycles)
+		res.Stats.Cells += uint64(n) * uint64(w)
+		if ar.saturated {
+			res.Stats.Saturated = true
+		}
+		for j := 0; j < w; j++ {
+			if v := int(ar.bs[j]); v > res.Score {
+				res.Score = v
+				res.EndI = lo + j + 1
+				res.EndJ = int(ar.bc[j])
+				if cfg.TrackDivergence {
+					res.InfDiv = int(ar.bestInf[j])
+					res.SupDiv = int(ar.bestSup[j])
+				}
+			}
+		}
+		prevH, nextH = nextH, prevH
+		prevF, nextF = nextF, prevF
+		prevMeta, nextMeta = nextMeta, prevMeta
+	}
+	if res.Stats.Saturated {
+		return res, fmt.Errorf(
+			"systolic: %d-bit score registers saturated; rerun with wider ScoreBits", cfg.ScoreBits)
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package systolic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func affCfgN(n int) AffineConfig {
+	c := DefaultAffineConfig()
+	c.Elements = n
+	return c
+}
+
+func TestAffineConfigValidate(t *testing.T) {
+	if err := DefaultAffineConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AffineConfig{
+		{Elements: 0, Scoring: align.DefaultAffine(), ScoreBits: 16},
+		{Elements: 10, Scoring: align.DefaultAffine(), ScoreBits: 2},
+		{Elements: 10, Scoring: align.DefaultAffine(), ScoreBits: 16, ReloadCycles: -1},
+		{Elements: 10, Scoring: align.AffineScoring{Match: 0, Mismatch: -1, GapOpen: -3, GapExtend: -1}, ScoreBits: 16},
+		// 4-bit rail (15) cannot hold 4x the gap-open magnitude.
+		{Elements: 10, Scoring: align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -5, GapExtend: -1}, ScoreBits: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, c)
+		}
+	}
+}
+
+func TestAffineArrayMatchesGotohSingleStrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 100; trial++ {
+		q := randDNA(rng, 1+rng.Intn(40))
+		db := randDNA(rng, 1+rng.Intn(80))
+		res, err := RunAffine(affCfgN(64), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineLocalScore(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("affine array %d (%d,%d) != gotoh %d (%d,%d) for %s / %s",
+				res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAffineArrayWithPartitioning(t *testing.T) {
+	// H and F border rows must both survive the SRAM round trip.
+	rng := rand.New(rand.NewSource(702))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 80; trial++ {
+		q := randDNA(rng, 1+rng.Intn(120))
+		db := randDNA(rng, 1+rng.Intn(120))
+		elements := 1 + rng.Intn(17)
+		res, err := RunAffine(affCfgN(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineLocalScore(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("affine array(N=%d) %d (%d,%d) != gotoh %d (%d,%d) for %s / %s",
+				elements, res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAffineArrayBorderAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	res, err := RunAffine(affCfgN(16), randDNA(rng, 40), randDNA(rng, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two border rows (H and F), double-buffered.
+	if want := 4 * (100 + 1); res.Stats.BorderWords != want {
+		t.Errorf("border words = %d, want %d", res.Stats.BorderWords, want)
+	}
+	if res.Stats.Strips != 3 {
+		t.Errorf("strips = %d, want 3", res.Stats.Strips)
+	}
+}
+
+func TestAffineArrayLinearReduction(t *testing.T) {
+	// GapOpen == GapExtend collapses to the linear-gap array's results.
+	rng := rand.New(rand.NewSource(704))
+	aff := affCfgN(32)
+	aff.Scoring = align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}
+	lin := cfgN(32)
+	for trial := 0; trial < 40; trial++ {
+		q := randDNA(rng, 1+rng.Intn(60))
+		db := randDNA(rng, 1+rng.Intn(60))
+		a, err := RunAffine(aff, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Run(lin, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score != l.Score || a.EndI != l.EndI || a.EndJ != l.EndJ {
+			t.Fatalf("affine %d (%d,%d) != linear %d (%d,%d)",
+				a.Score, a.EndI, a.EndJ, l.Score, l.EndI, l.EndJ)
+		}
+	}
+}
+
+func TestAffineArraySaturation(t *testing.T) {
+	cfg := affCfgN(128)
+	cfg.ScoreBits = 6                       // rail 63
+	q := []byte(strings.Repeat("ACGT", 25)) // self-score 100
+	if _, err := RunAffine(cfg, q, q); err == nil {
+		t.Error("expected saturation error")
+	}
+	cfg.ScoreBits = 16
+	res, err := RunAffine(cfg, q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 100 {
+		t.Errorf("score = %d, want 100", res.Score)
+	}
+}
+
+func TestAffineArrayEmptyInputs(t *testing.T) {
+	if res, err := RunAffine(affCfgN(8), nil, []byte("ACGT")); err != nil || res.Score != 0 {
+		t.Errorf("empty query: %+v %v", res, err)
+	}
+	if res, err := RunAffine(affCfgN(8), []byte("ACGT"), nil); err != nil || res.Score != 0 {
+		t.Errorf("empty database: %+v %v", res, err)
+	}
+}
+
+func TestAffineArrayProperty(t *testing.T) {
+	sc := align.DefaultAffine()
+	f := func(rawQ, rawDB []byte, rawN uint8) bool {
+		q := mapDNA(rawQ)
+		db := mapDNA(rawDB)
+		if len(q) == 0 || len(db) == 0 {
+			return true
+		}
+		n := int(rawN%21) + 1
+		res, err := RunAffine(affCfgN(n), q, db)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AffineLocalScore(q, db, sc)
+		return res.Score == score && res.EndI == i && res.EndJ == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffineArrayGapPreference(t *testing.T) {
+	// The affine array must prefer one long gap over split gaps, unlike
+	// the linear array (same total gap length, different cost).
+	sc := align.DefaultAffine()
+	s := []byte("ACGTACGT")
+	db := []byte("ACGTGGGACGT")
+	res, err := RunAffine(affCfgN(16), s, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := align.AffineLocalScore(s, db, sc)
+	if res.Score != want {
+		t.Errorf("score = %d, want %d", res.Score, want)
+	}
+}

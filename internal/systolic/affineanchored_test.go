@@ -1,0 +1,152 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func affAnchoredCfg(n int) AffineConfig {
+	c := DefaultAffineConfig()
+	c.Elements = n
+	c.Anchored = true
+	return c
+}
+
+func affDivCfg(n int) AffineConfig {
+	c := affAnchoredCfg(n)
+	c.TrackDivergence = true
+	return c
+}
+
+func TestAffineAnchoredConfigValidation(t *testing.T) {
+	c := DefaultAffineConfig()
+	c.TrackDivergence = true
+	if err := c.Validate(); err == nil {
+		t.Error("affine divergence without anchored must be rejected")
+	}
+	if err := affDivCfg(8).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAffineAnchoredMatchesSoftware(t *testing.T) {
+	rng := rand.New(rand.NewSource(711))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 80; trial++ {
+		q := randDNA(rng, 1+rng.Intn(50))
+		db := randDNA(rng, 1+rng.Intn(50))
+		res, err := RunAffine(affAnchoredCfg(64), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineAnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("affine anchored array %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAffineAnchoredWithPartitioning(t *testing.T) {
+	rng := rand.New(rand.NewSource(712))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 60; trial++ {
+		q := randDNA(rng, 1+rng.Intn(90))
+		db := randDNA(rng, 1+rng.Intn(90))
+		elements := 1 + rng.Intn(13)
+		res, err := RunAffine(affAnchoredCfg(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineAnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("affine anchored(N=%d) %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				elements, res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAffineDivergenceBandValid(t *testing.T) {
+	// The band reported by the divergence-tracking affine array must
+	// admit an optimal banded affine retrieval of the prefix problem.
+	rng := rand.New(rand.NewSource(713))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 60; trial++ {
+		q := randDNA(rng, 1+rng.Intn(45))
+		db := randDNA(rng, 1+rng.Intn(45))
+		elements := 1 + rng.Intn(11)
+		res, err := RunAffine(affDivCfg(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineAnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("divergence affine array diverged from software")
+		}
+		if res.Score == 0 {
+			continue
+		}
+		sub, err := align.BandedAffineGlobalAlign(q[:res.EndI], db[:res.EndJ], sc, res.InfDiv, res.SupDiv)
+		if err != nil {
+			t.Fatalf("band [%d,%d] invalid for %s / %s end (%d,%d): %v",
+				res.InfDiv, res.SupDiv, q, db, res.EndI, res.EndJ, err)
+		}
+		if sub.Score != res.Score {
+			t.Fatalf("banded retrieval %d != array score %d (band [%d,%d])",
+				sub.Score, res.Score, res.InfDiv, res.SupDiv)
+		}
+	}
+}
+
+func TestAffineDivergenceBorderWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(714))
+	res, err := RunAffine(affDivCfg(8), randDNA(rng, 30), randDNA(rng, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12 * (50 + 1); res.Stats.BorderWords != want {
+		t.Errorf("border words = %d, want %d", res.Stats.BorderWords, want)
+	}
+}
+
+func TestAffineAnchoredNarrowRegistersRejected(t *testing.T) {
+	c := affAnchoredCfg(32)
+	c.ScoreBits = 6 // rail/2 = 31; a 40x40 anchored run could climb past it
+	q := make([]byte, 40)
+	for i := range q {
+		q[i] = 'A'
+	}
+	if _, err := RunAffine(c, q, q); err == nil {
+		t.Error("narrow anchored affine registers must be rejected")
+	}
+}
+
+func TestAffineAnchoredProperty(t *testing.T) {
+	sc := align.DefaultAffine()
+	f := func(rawQ, rawDB []byte, rawN uint8) bool {
+		q := mapDNA(rawQ)
+		db := mapDNA(rawDB)
+		if len(q) == 0 || len(db) == 0 {
+			return true
+		}
+		res, err := RunAffine(affDivCfg(int(rawN%17)+1), q, db)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AffineAnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			return false
+		}
+		if res.Score == 0 {
+			return true
+		}
+		sub, err := align.BandedAffineGlobalAlign(q[:i], db[:j], sc, res.InfDiv, res.SupDiv)
+		return err == nil && sub.Score == score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

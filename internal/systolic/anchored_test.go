@@ -1,0 +1,137 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func anchoredCfg(n int) Config {
+	c := DefaultConfig()
+	c.Elements = n
+	c.Anchored = true
+	return c
+}
+
+func TestAnchoredMatchesSoftware(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		q := randDNA(rng, 1+rng.Intn(60))
+		db := randDNA(rng, 1+rng.Intn(60))
+		res, err := Run(anchoredCfg(64), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("anchored array %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAnchoredWithPartitioning(t *testing.T) {
+	// The gap-seeded boundary registers must be correct in every strip,
+	// not just the first.
+	rng := rand.New(rand.NewSource(302))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		q := randDNA(rng, 1+rng.Intn(100))
+		db := randDNA(rng, 1+rng.Intn(100))
+		elements := 1 + rng.Intn(13)
+		res, err := Run(anchoredCfg(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("anchored array(N=%d) %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				elements, res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestAnchoredIdentitySequences(t *testing.T) {
+	// Self-comparison anchored at the origin scores the full length at
+	// the bottom-right corner.
+	q := []byte("ACGTACGTAC")
+	res, err := Run(anchoredCfg(16), q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 10 || res.EndI != 10 || res.EndJ != 10 {
+		t.Errorf("got %d at (%d,%d), want 10 at (10,10)", res.Score, res.EndI, res.EndJ)
+	}
+}
+
+func TestAnchoredAllMismatch(t *testing.T) {
+	// When nothing positive exists, the empty alignment at the origin
+	// wins: score 0 at (0,0), as in align.AnchoredBest.
+	res, err := Run(anchoredCfg(8), []byte("AAAA"), []byte("TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 || res.EndI != 0 || res.EndJ != 0 {
+		t.Errorf("got %d at (%d,%d), want 0 at (0,0)", res.Score, res.EndI, res.EndJ)
+	}
+}
+
+func TestAnchoredNegativeSaturation(t *testing.T) {
+	// Deep negative boundary values must saturate and be reported, not
+	// wrap. 3-bit registers floor at -7; a 10-row query passes -7 gaps.
+	cfg := anchoredCfg(16)
+	cfg.ScoreBits = 3
+	q := []byte("AAAAAAAAAA")
+	db := []byte("TTTTTTTTTT")
+	if _, err := Run(cfg, q, db); err == nil {
+		t.Error("expected saturation error from narrow anchored registers")
+	}
+}
+
+func TestAnchoredProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawQ, rawDB []byte, rawN uint8) bool {
+		q := mapDNA(rawQ)
+		db := mapDNA(rawDB)
+		n := int(rawN%23) + 1
+		res, err := Run(anchoredCfg(n), q, db)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AnchoredBest(q, db, sc)
+		if len(q) == 0 || len(db) == 0 {
+			return res.Score == 0
+		}
+		return res.Score == score && res.EndI == i && res.EndJ == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnchoredBenignNegativeClamp(t *testing.T) {
+	// With min(m,n)*Match below the register rail, deep-negative
+	// boundary values clamp without affecting the result: the narrow
+	// array must still match software exactly.
+	rng := rand.New(rand.NewSource(303))
+	sc := align.DefaultLinear()
+	q := randDNA(rng, 50)
+	db := randDNA(rng, 3000) // row-0 boundary reaches -6000, far below the rail
+	cfg := anchoredCfg(64)
+	cfg.ScoreBits = 8 // rail 255 > 50*1, so clamping is benign
+	res, err := Run(cfg, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, i, j := align.AnchoredBest(q, db, sc)
+	if res.Score != score || res.EndI != i || res.EndJ != j {
+		t.Fatalf("clamped anchored run %d (%d,%d) != software %d (%d,%d)",
+			res.Score, res.EndI, res.EndJ, score, i, j)
+	}
+	if res.Stats.Saturated {
+		t.Error("benign clamping must not set the Saturated flag")
+	}
+}

@@ -1,0 +1,146 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func divergenceCfg(n int) Config {
+	c := DefaultConfig()
+	c.Elements = n
+	c.Anchored = true
+	c.TrackDivergence = true
+	return c
+}
+
+func TestDivergenceConfigValidation(t *testing.T) {
+	c := DefaultConfig()
+	c.TrackDivergence = true // without Anchored
+	if err := c.Validate(); err == nil {
+		t.Error("divergence without anchored must be rejected")
+	}
+	c.Anchored = true
+	c.TrackCoords = false
+	if err := c.Validate(); err == nil {
+		t.Error("divergence without coordinates must be rejected")
+	}
+	if err := divergenceCfg(10).Validate(); err != nil {
+		t.Errorf("valid divergence config rejected: %v", err)
+	}
+}
+
+// verifyBand checks that the reported band admits an optimal alignment
+// from the origin to the reported best cell: a banded global alignment
+// of the prefixes must reproduce the score.
+func verifyBand(t *testing.T, q, db []byte, res Result) {
+	t.Helper()
+	if res.Score == 0 {
+		return
+	}
+	sub, err := align.BandedGlobalAlign(q[:res.EndI], db[:res.EndJ],
+		align.DefaultLinear(), res.InfDiv, res.SupDiv)
+	if err != nil {
+		t.Fatalf("band [%d,%d] invalid for end (%d,%d): %v",
+			res.InfDiv, res.SupDiv, res.EndI, res.EndJ, err)
+	}
+	if sub.Score != res.Score {
+		t.Fatalf("banded retrieval in reported band scores %d, array reported %d",
+			sub.Score, res.Score)
+	}
+}
+
+func TestDivergenceSingleStrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 80; trial++ {
+		q := randDNA(rng, 1+rng.Intn(40))
+		db := randDNA(rng, 1+rng.Intn(40))
+		res, err := Run(divergenceCfg(64), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scores and coordinates unchanged by the extra registers.
+		score, i, j := align.AnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("divergence array %d (%d,%d) != software %d (%d,%d)",
+				res.Score, res.EndI, res.EndJ, score, i, j)
+		}
+		if res.InfDiv > 0 || res.SupDiv < 0 {
+			t.Fatalf("divergences (%d,%d) must bracket 0", res.InfDiv, res.SupDiv)
+		}
+		verifyBand(t, q, db, res)
+	}
+}
+
+func TestDivergenceWithPartitioning(t *testing.T) {
+	// Border metadata must survive the SRAM round trip between strips.
+	rng := rand.New(rand.NewSource(602))
+	for trial := 0; trial < 60; trial++ {
+		q := randDNA(rng, 1+rng.Intn(90))
+		db := randDNA(rng, 1+rng.Intn(90))
+		elements := 1 + rng.Intn(11)
+		res, err := Run(divergenceCfg(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := Run(divergenceCfg(256), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != wide.Score || res.EndI != wide.EndI || res.EndJ != wide.EndJ {
+			t.Fatalf("partitioned result differs: %+v vs %+v", res, wide)
+		}
+		verifyBand(t, q, db, res)
+	}
+	// Partitioned divergence runs store three border arrays.
+	res, err := Run(divergenceCfg(8), randDNA(rand.New(rand.NewSource(603)), 30),
+		randDNA(rand.New(rand.NewSource(604)), 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6 * (50 + 1); res.Stats.BorderWords != want {
+		t.Errorf("border words = %d, want %d", res.Stats.BorderWords, want)
+	}
+}
+
+func TestDivergenceIdenticalSequences(t *testing.T) {
+	q := []byte("ACGTACGTAC")
+	res, err := Run(divergenceCfg(16), q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InfDiv != 0 || res.SupDiv != 0 {
+		t.Errorf("pure-diagonal path divergences = (%d,%d), want (0,0)", res.InfDiv, res.SupDiv)
+	}
+}
+
+func TestDivergenceProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawQ, rawDB []byte, rawN uint8) bool {
+		q := mapDNA(rawQ)
+		db := mapDNA(rawDB)
+		if len(q) == 0 || len(db) == 0 {
+			return true
+		}
+		n := int(rawN%19) + 1
+		res, err := Run(divergenceCfg(n), q, db)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AnchoredBest(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			return false
+		}
+		if res.Score == 0 {
+			return true
+		}
+		sub, err := align.BandedGlobalAlign(q[:res.EndI], db[:res.EndJ], sc, res.InfDiv, res.SupDiv)
+		return err == nil && sub.Score == res.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package systolic_test
+
+import (
+	"fmt"
+
+	"swfpga/internal/systolic"
+)
+
+// Run streams a database through the simulated 100-element array and
+// reports exactly what the paper's architecture returns to the host:
+// the best score and its similarity-matrix coordinates.
+func ExampleRun() {
+	res, err := systolic.Run(systolic.DefaultConfig(), []byte("TATGGAC"), []byte("TAGTGACT"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d at (%d,%d) in %d cycles\n", res.Score, res.EndI, res.EndJ, res.Stats.Cycles)
+	// Output: score 3 at (7,7) in 14 cycles
+}
+
+// The closed-form cycle estimator matches the simulator exactly and
+// models workloads too large to simulate.
+func ExampleEstimateStats() {
+	st := systolic.EstimateStats(systolic.DefaultConfig(), 100, 10_000_000)
+	fmt.Printf("strips %d, cycles %d, cells %d\n", st.Strips, st.Cycles, st.Cells)
+	// Output: strips 1, cycles 10000099, cells 1000000000
+}

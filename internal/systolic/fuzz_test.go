@@ -1,0 +1,64 @@
+package systolic
+
+import (
+	"testing"
+
+	"swfpga/internal/align"
+)
+
+func FuzzArrayMatchesSoftware(f *testing.F) {
+	f.Add([]byte("TATGGACTAGTGACT"), uint8(7), false)
+	f.Add([]byte("AAAATTTT"), uint8(1), true)
+	f.Add([]byte{}, uint8(3), false)
+	f.Fuzz(func(t *testing.T, data []byte, rawN uint8, anchored bool) {
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		cut := len(data) / 2
+		q := mapDNA(data[:cut])
+		db := mapDNA(data[cut:])
+		if len(q) == 0 || len(db) == 0 {
+			return
+		}
+		cfg := cfgN(int(rawN%29) + 1)
+		cfg.Anchored = anchored
+		res, err := Run(cfg, q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var score, i, j int
+		if anchored {
+			score, i, j = align.AnchoredBest(q, db, align.DefaultLinear())
+		} else {
+			score, i, j = align.LocalScore(q, db, align.DefaultLinear())
+		}
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("array %d (%d,%d) != software %d (%d,%d)",
+				res.Score, res.EndI, res.EndJ, score, i, j)
+		}
+	})
+}
+
+func FuzzAffineArrayMatchesGotoh(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGTGGG"), uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, rawN uint8) {
+		if len(data) > 240 {
+			data = data[:240]
+		}
+		cut := len(data) / 2
+		q := mapDNA(data[:cut])
+		db := mapDNA(data[cut:])
+		if len(q) == 0 || len(db) == 0 {
+			return
+		}
+		res, err := RunAffine(affCfgN(int(rawN%17)+1), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineLocalScore(q, db, align.DefaultAffine())
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("affine array %d (%d,%d) != gotoh %d (%d,%d)",
+				res.Score, res.EndI, res.EndJ, score, i, j)
+		}
+	})
+}

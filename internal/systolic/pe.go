@@ -1,0 +1,396 @@
+// Package systolic is a cycle-accurate simulator of the paper's
+// FPGA systolic array (sec. 5, figures 5-7). It stands in for the
+// hardware prototype: every register of every processing element is
+// updated once per simulated clock, so scores, coordinates and cycle
+// counts are faithful to the proposed datapath.
+//
+// Array organization (figure 5): the query sequence is held one base per
+// processing element (register SP); the database sequence streams
+// through the array one base per clock (SB). Element j pairs its fixed
+// query base against every database base in turn — row j+1 of the
+// similarity matrix in this library's (query = rows i, database =
+// columns j) convention — one cell per clock, so each clock the array
+// completes one anti-diagonal (the wavefront of figure 3).
+//
+// Per-element datapath (figure 6): registers A (diagonal score) and B
+// (previous score along the element's own track) plus the transmitted C
+// (from the upstream neighbor) feed the equation (1) maximum; register
+// Bs tracks the best score the element has seen, Cl counts computed
+// cells (the current database position), and Bc latches the Cl value at
+// which Bs was last improved — recovering the database coordinate of
+// the element's best score. The element's position in the array gives
+// the query coordinate.
+//
+// Query partitioning (figure 7): when the query is longer than the
+// array, it is processed in strips of N bases. The D outputs of the last
+// element of a strip — the border column — are stored in the board's
+// SRAM and replayed as the C/A inputs of the first element during the
+// next strip, which is exactly the state the paper says must be kept
+// "on the board to allow new scores to be calculated".
+package systolic
+
+import (
+	"fmt"
+
+	"swfpga/internal/align"
+)
+
+// Config parameterizes the simulated array.
+type Config struct {
+	// Elements is N, the number of processing elements (the paper's
+	// prototype has 100).
+	Elements int
+	// Scoring gives the coincidence (Co), substitution (Su) and
+	// insertion/removal (In/Re) constants of figure 6.
+	Scoring align.LinearScoring
+	// ScoreBits is the width of the score registers. Scores saturate at
+	// 2^ScoreBits - 1 as hardware registers would; the run is flagged if
+	// saturation occurs. Default 16 (SAMBA used 12-bit datapaths).
+	ScoreBits int
+	// TrackCoords selects the paper's full element (with the Bs/Cl/Bc
+	// coordinate registers). When false the simulator models the cheaper
+	// score-only element most prior designs use (sec. 4), and the result
+	// carries no coordinates.
+	TrackCoords bool
+	// ReloadCycles is the clock overhead charged per strip for loading
+	// the next query split into the elements (zero models JBits-style
+	// reconfiguration overlapped with streaming; N models shifting the
+	// query in serially).
+	ReloadCycles int
+	// Anchored switches the datapath to the anchored (no zero clamp,
+	// gap-initialized borders) recurrence used by the second phase of
+	// linear-space local alignment (sec. 2.3): the best score of any
+	// path starting exactly at the matrix origin. In hardware this only
+	// removes the clamp comparator and seeds the boundary registers, so
+	// the same array serves both scan phases.
+	Anchored bool
+	// Subst, when non-nil, replaces the match/mismatch comparator with a
+	// per-element substitution lookup table: each element stores the
+	// score row of its resident query residue, the standard realization
+	// of protein scoring matrices on systolic hardware (the sec. 4
+	// protein accelerators SAMBA and PROSIDIS work this way). The
+	// Scoring Match/Mismatch constants are ignored; Gap still applies.
+	Subst SubstScorer
+	// TrackDivergence extends each element with the superior/inferior
+	// divergence registers a Z-align-style pipeline needs (paper sec.
+	// 2.4, reference [3]): alongside every score the array carries the
+	// diagonal-drift extrema of one optimal path to that cell, so the
+	// reverse scan reports the band the host's restricted-memory
+	// retrieval should use. Requires Anchored and TrackCoords.
+	TrackDivergence bool
+}
+
+// SubstScorer supplies the per-element lookup tables of matrix scoring;
+// *protein.SubstMatrix implements it.
+type SubstScorer interface {
+	// Row returns the 256-entry score row of residue a.
+	Row(a byte) [256]int8
+}
+
+// DefaultConfig returns the paper's prototype configuration: 100
+// elements, +1/-1/-2 scoring, 16-bit score registers, coordinates on.
+func DefaultConfig() Config {
+	return Config{
+		Elements:    100,
+		Scoring:     align.DefaultLinear(),
+		ScoreBits:   16,
+		TrackCoords: true,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Elements <= 0 {
+		return fmt.Errorf("systolic: element count %d must be positive", c.Elements)
+	}
+	if c.ScoreBits < 2 || c.ScoreBits > 30 {
+		return fmt.Errorf("systolic: score width %d bits outside [2,30]", c.ScoreBits)
+	}
+	if c.ReloadCycles < 0 {
+		return fmt.Errorf("systolic: reload cycles %d must be non-negative", c.ReloadCycles)
+	}
+	if c.TrackDivergence && (!c.Anchored || !c.TrackCoords) {
+		return fmt.Errorf("systolic: divergence tracking requires the anchored datapath with coordinates")
+	}
+	if c.Subst != nil {
+		// Matrix scoring: only the gap constant of Scoring is used.
+		if c.Scoring.Gap >= 0 {
+			return fmt.Errorf("systolic: gap penalty %d must be negative", c.Scoring.Gap)
+		}
+		return nil
+	}
+	return c.Scoring.Validate()
+}
+
+// Stats aggregates hardware-level counters from a run.
+type Stats struct {
+	// Cycles is the total number of simulated clock cycles, including
+	// per-strip reload overhead. Divide by a clock frequency to model
+	// wall-clock time (internal/fpga does this).
+	Cycles uint64
+	// Cells is the number of matrix-cell updates performed — the
+	// numerator of the CUPS metric.
+	Cells uint64
+	// Strips is the number of query splits processed (figure 7).
+	Strips int
+	// BorderWords is the peak number of score words held in board SRAM
+	// for the inter-strip border column (0 when the query fits the
+	// array). Linear in the database length, never quadratic.
+	BorderWords int
+	// Saturated reports that at least one score hit the register
+	// ceiling; scores and coordinates are then untrustworthy.
+	Saturated bool
+}
+
+// Result is the output contract of the paper's architecture: the best
+// score and its 1-based similarity-matrix coordinates.
+type Result struct {
+	// Score is the highest similarity score.
+	Score int
+	// EndI is the row (query prefix length) of the best score; zero when
+	// the config does not track coordinates or the score is zero.
+	EndI int
+	// EndJ is the column (database prefix length) of the best score.
+	EndJ int
+	// InfDiv and SupDiv are the inferior/superior divergences of an
+	// optimal path to the best cell, populated when the configuration
+	// tracks divergence.
+	InfDiv, SupDiv int
+	// Stats carries the hardware counters.
+	Stats Stats
+}
+
+// array is the register state of one strip's worth of processing
+// elements, stored structure-of-arrays for cache-friendly stepping.
+type array struct {
+	width int // active elements this strip
+
+	sp  []byte      // fixed query bases (SP registers)
+	lut [][256]int8 // per-element substitution rows (matrix scoring)
+
+	a  []int32 // A: diagonal score register
+	b  []int32 // B: own previous D (the element's matrix row neighbor)
+	bs []int32 // Bs: best score seen by this element
+	cl []int32 // Cl: cells computed (current database position)
+	bc []int32 // Bc: Cl value when Bs was last improved
+
+	dOut  []int32 // registered D output toward the right neighbor
+	sbOut []byte  // registered database base toward the right neighbor
+	vOut  []bool  // registered valid flag toward the right neighbor
+
+	// Divergence-tracking registers (Z-align extension): the diagonal
+	// drift extrema of the paths behind A, B and the produced D, plus
+	// the latched extrema of each element's best cell.
+	aInf, aSup []int32
+	bInf, bSup []int32
+	dInfOut    []int32
+	dSupOut    []int32
+	bestInf    []int32
+	bestSup    []int32
+
+	maxScore  int32
+	co, su, g int32
+	rowOff    int
+	track     bool
+	trackDiv  bool
+	anchored  bool
+	negSafe   bool
+	saturated bool
+}
+
+// newArray builds the register state for one strip. rowOffset is the
+// number of query rows processed by earlier strips; anchored mode uses
+// it to seed the gap-accumulated boundary registers. negSafe asserts
+// that clamping scores at the negative register rail cannot affect the
+// result (see Run), making deep-negative boundary values benign.
+func newArray(cfg Config, querySplit []byte, rowOffset int, negSafe bool) *array {
+	w := len(querySplit)
+	ar := &array{
+		width: w,
+		sp:    querySplit,
+		a:     make([]int32, w),
+		b:     make([]int32, w),
+		bs:    make([]int32, w),
+		cl:    make([]int32, w),
+		bc:    make([]int32, w),
+		dOut:  make([]int32, w),
+		sbOut: make([]byte, w),
+		vOut:  make([]bool, w),
+
+		maxScore: int32(1)<<uint(cfg.ScoreBits) - 1,
+		co:       int32(cfg.Scoring.Match),
+		su:       int32(cfg.Scoring.Mismatch),
+		g:        int32(cfg.Scoring.Gap),
+		rowOff:   rowOffset,
+		track:    cfg.TrackCoords,
+		trackDiv: cfg.TrackDivergence,
+		anchored: cfg.Anchored,
+		negSafe:  negSafe,
+	}
+	if cfg.Anchored {
+		// Element k computes matrix row rowOffset+k+1; its column-0
+		// boundary registers carry accumulated gap penalties instead of
+		// zeros: A starts as D[row-1][0], B as D[row][0], both clamped
+		// at the register rail like any other score.
+		g := int32(cfg.Scoring.Gap)
+		for k := 0; k < w; k++ {
+			ar.a[k] = ar.clampLow(int32(rowOffset+k) * g)
+			ar.b[k] = ar.clampLow(int32(rowOffset+k+1) * g)
+		}
+	}
+	if cfg.Subst != nil {
+		ar.lut = make([][256]int8, w)
+		for k, b := range querySplit {
+			ar.lut[k] = cfg.Subst.Row(b)
+		}
+	}
+	if cfg.TrackDivergence {
+		ar.aInf = make([]int32, w)
+		ar.aSup = make([]int32, w)
+		ar.bInf = make([]int32, w)
+		ar.bSup = make([]int32, w)
+		ar.dInfOut = make([]int32, w)
+		ar.dSupOut = make([]int32, w)
+		ar.bestInf = make([]int32, w)
+		ar.bestSup = make([]int32, w)
+		// Boundary paths run straight down column 0: the path to
+		// D[row][0] has divergence extrema [-row, 0].
+		for k := 0; k < w; k++ {
+			ar.aInf[k] = -int32(rowOffset + k)
+			ar.bInf[k] = -int32(rowOffset + k + 1)
+		}
+	}
+	return ar
+}
+
+// clampLow saturates a value at the negative register rail, flagging
+// the run only when the clamp could influence the result.
+func (ar *array) clampLow(v int32) int32 {
+	if v <= -ar.maxScore {
+		if !ar.negSafe {
+			ar.saturated = true
+		}
+		return -ar.maxScore
+	}
+	return v
+}
+
+// step advances the whole array by one clock. The first element receives
+// (sbIn, cIn, vIn) — the streamed database base, the border-column score
+// (zero when the strip is leftmost) and the valid flag. Elements are
+// updated right-to-left so each reads its left neighbor's
+// previous-cycle registered outputs, exactly as flip-flop transfer
+// works in hardware.
+func (ar *array) step(sbIn byte, cIn, cInfIn, cSupIn int32, vIn bool) {
+	for j := ar.width - 1; j >= 0; j-- {
+		var (
+			sb         byte
+			c          int32
+			cInf, cSup int32
+			v          bool
+		)
+		if j == 0 {
+			sb, c, v = sbIn, cIn, vIn
+			cInf, cSup = cInfIn, cSupIn
+		} else {
+			sb, c, v = ar.sbOut[j-1], ar.dOut[j-1], ar.vOut[j-1]
+			if ar.trackDiv {
+				cInf, cSup = ar.dInfOut[j-1], ar.dSupOut[j-1]
+			}
+		}
+		if !v {
+			ar.vOut[j] = false
+			continue
+		}
+		// Substitution path: A + (match ? Co : Su), or A + the element's
+		// lookup-table row entry under matrix scoring.
+		var d int32
+		switch {
+		case ar.lut != nil:
+			d = ar.a[j] + int32(ar.lut[j][sb])
+		case ar.sp[j] == sb:
+			d = ar.a[j] + ar.co
+		default:
+			d = ar.a[j] + ar.su
+		}
+		src := srcDiag
+		// Gap path: max(B, C) + In/Re. B (the element's own previous D)
+		// wins the gap tie, C must be strictly greater.
+		gap := ar.b[j]
+		gapSrc := srcB
+		if c > gap {
+			gap = c
+			gapSrc = srcC
+		}
+		gap += ar.g
+		if gap > d {
+			d = gap
+			src = gapSrc
+		}
+		if d < 0 {
+			if !ar.anchored {
+				d = 0
+			} else {
+				d = ar.clampLow(d)
+			}
+		}
+		if d >= ar.maxScore {
+			d = ar.maxScore
+			ar.saturated = true
+		}
+		// Register updates.
+		if ar.track {
+			ar.cl[j]++
+			if ar.trackDiv {
+				// Propagate the chosen predecessor's divergence extrema
+				// and fold in this cell's own diagonal.
+				var pInf, pSup int32
+				switch src {
+				case srcDiag:
+					pInf, pSup = ar.aInf[j], ar.aSup[j]
+				case srcB:
+					pInf, pSup = ar.bInf[j], ar.bSup[j]
+				default:
+					pInf, pSup = cInf, cSup
+				}
+				dd := ar.cl[j] - int32(ar.rowOff+j+1)
+				if dd < pInf {
+					pInf = dd
+				}
+				if dd > pSup {
+					pSup = dd
+				}
+				ar.aInf[j], ar.aSup[j] = cInf, cSup
+				ar.bInf[j], ar.bSup[j] = pInf, pSup
+				ar.dInfOut[j], ar.dSupOut[j] = pInf, pSup
+				if d > ar.bs[j] {
+					ar.bestInf[j], ar.bestSup[j] = pInf, pSup
+				}
+			}
+			if d > ar.bs[j] {
+				ar.bs[j] = d
+				ar.bc[j] = ar.cl[j]
+			}
+		} else if d > ar.bs[j] {
+			ar.bs[j] = d
+		}
+		ar.a[j] = c // this cycle's C is next cycle's diagonal
+		ar.b[j] = d
+		ar.dOut[j] = d
+		ar.sbOut[j] = sb
+		ar.vOut[j] = true
+	}
+}
+
+// Predecessor selector codes for the divergence mux.
+const (
+	srcDiag = iota
+	srcB
+	srcC
+)
+
+// lastD returns the registered D output of the last element — the
+// border-column value captured into board SRAM while partitioning.
+func (ar *array) lastD() (int32, bool) {
+	return ar.dOut[ar.width-1], ar.vOut[ar.width-1]
+}

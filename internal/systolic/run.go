@@ -1,0 +1,171 @@
+package systolic
+
+import "fmt"
+
+// Run streams the database sequence through the simulated array and
+// returns the best local-alignment score with its coordinates, exactly
+// as the paper's architecture reports them to the host. Queries longer
+// than the array are processed in strips (figure 7) with the border
+// column kept in simulated board SRAM between strips.
+func Run(cfg Config, query, db []byte) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, n := len(query), len(db)
+	var res Result
+	if m == 0 || n == 0 {
+		return res, nil
+	}
+	strips := (m + cfg.Elements - 1) / cfg.Elements
+	res.Stats.Strips = strips
+
+	// Negative-rail safety for the anchored datapath: clamping scores at
+	// -(2^bits - 1) cannot change the result when no clamped path can
+	// climb back to a non-negative value, i.e. when the best possible
+	// gain min(m, n) * Match stays below the rail. Every prefix of the
+	// true optimum scores >= 0, so it is never clamped.
+	minDim := m
+	if n < minDim {
+		minDim = n
+	}
+	rail := int64(1)<<uint(cfg.ScoreBits) - 1
+	negSafe := int64(minDim)*int64(cfg.Scoring.Match) < rail
+
+	// Border columns exchanged between strips, D[i][strip boundary] for
+	// i = 0..n. Hardware double-buffers these in board SRAM: one column
+	// is read while the next is written. Divergence tracking stores two
+	// extra words per border row.
+	var prevBorder, nextBorder []int32
+	var prevBInf, prevBSup, nextBInf, nextBSup []int32
+	if strips > 1 {
+		prevBorder = make([]int32, n+1)
+		nextBorder = make([]int32, n+1)
+		res.Stats.BorderWords = 2 * (n + 1)
+		if cfg.TrackDivergence {
+			prevBInf = make([]int32, n+1)
+			prevBSup = make([]int32, n+1)
+			nextBInf = make([]int32, n+1)
+			nextBSup = make([]int32, n+1)
+			res.Stats.BorderWords = 6 * (n + 1)
+		}
+	}
+
+	for p := 0; p < strips; p++ {
+		lo := p * cfg.Elements
+		hi := lo + cfg.Elements
+		if hi > m {
+			hi = m
+		}
+		ar := newArray(cfg, query[lo:hi], lo, negSafe)
+		w := ar.width
+		// One strip: n + w - 1 clocks drain the wavefront, plus the
+		// configured query-reload overhead.
+		for k := 0; k < n+w-1; k++ {
+			var (
+				sbIn            byte
+				cIn, cInf, cSup int32
+				vIn             bool
+			)
+			if k < n {
+				sbIn, vIn = db[k], true
+				switch {
+				case p > 0:
+					cIn = prevBorder[k+1]
+					if cfg.TrackDivergence {
+						cInf, cSup = prevBInf[k+1], prevBSup[k+1]
+					}
+				case cfg.Anchored:
+					// Row-0 boundary of the anchored recurrence; its
+					// path runs along row 0, divergence extrema [0, k+1].
+					cIn = ar.clampLow(int32(k+1) * int32(cfg.Scoring.Gap))
+					cSup = int32(k + 1)
+				}
+			}
+			ar.step(sbIn, cIn, cInf, cSup, vIn)
+			if p < strips-1 {
+				if d, ok := ar.lastD(); ok {
+					// The last element just produced border row k-w+2.
+					nextBorder[k-w+2] = d
+					if cfg.TrackDivergence {
+						last := ar.width - 1
+						nextBInf[k-w+2] = ar.dInfOut[last]
+						nextBSup[k-w+2] = ar.dSupOut[last]
+					}
+				}
+			}
+		}
+		res.Stats.Cycles += uint64(n+w-1) + uint64(cfg.ReloadCycles)
+		res.Stats.Cells += uint64(n) * uint64(w)
+		if ar.saturated {
+			res.Stats.Saturated = true
+		}
+		// Global-best control logic (figure 9): scan the per-element best
+		// registers in element order; a strictly greater Bs takes over.
+		// Element j holds query base lo+j and computes matrix row lo+j+1,
+		// with Bc recording the database position (column) of its best,
+		// so ties resolve to the smallest row, then the smallest column —
+		// the same discipline as the software scan align.LocalScore.
+		for j := 0; j < w; j++ {
+			if v := int(ar.bs[j]); v > res.Score {
+				res.Score = v
+				if cfg.TrackCoords {
+					res.EndI = lo + j + 1
+					res.EndJ = int(ar.bc[j])
+				}
+				if cfg.TrackDivergence {
+					res.InfDiv = int(ar.bestInf[j])
+					res.SupDiv = int(ar.bestSup[j])
+				}
+			}
+		}
+		prevBorder, nextBorder = nextBorder, prevBorder
+		prevBInf, nextBInf = nextBInf, prevBInf
+		prevBSup, nextBSup = nextBSup, prevBSup
+	}
+	if res.Stats.Saturated {
+		return res, fmt.Errorf(
+			"systolic: %d-bit score registers saturated at %d; rerun with wider ScoreBits",
+			cfg.ScoreBits, int(int32(1)<<uint(cfg.ScoreBits)-1))
+	}
+	return res, nil
+}
+
+// GCUPS returns the giga-cell-updates-per-second this run achieves at
+// the given clock frequency — the throughput metric used across the
+// paper's sec. 4 comparisons.
+func (s Stats) GCUPS(clockHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / clockHz
+	return float64(s.Cells) / seconds / 1e9
+}
+
+// Seconds models the wall-clock time of the run at the given clock.
+func (s Stats) Seconds(clockHz float64) float64 {
+	return float64(s.Cycles) / clockHz
+}
+
+// EstimateStats predicts the Stats of Run(cfg, query, db) for sequence
+// lengths m and n without simulating: the cycle count of the strip
+// schedule is a closed form. Verified cycle-for-cycle against Run in the
+// package tests; used by the benchmark harness to model configurations
+// too large to simulate (e.g. the sec. 4 comparative table).
+func EstimateStats(cfg Config, m, n int) Stats {
+	var st Stats
+	if m <= 0 || n <= 0 {
+		return st
+	}
+	strips := (m + cfg.Elements - 1) / cfg.Elements
+	st.Strips = strips
+	st.Cells = uint64(m) * uint64(n)
+	if strips > 1 {
+		st.BorderWords = 2 * (n + 1)
+	}
+	// strips-1 full strips of width N, one tail strip of the remainder.
+	full := strips - 1
+	tail := m - full*cfg.Elements
+	st.Cycles = uint64(full)*uint64(n+cfg.Elements-1) + uint64(n+tail-1) +
+		uint64(strips)*uint64(cfg.ReloadCycles)
+	return st
+}

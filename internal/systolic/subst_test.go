@@ -1,0 +1,94 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/protein"
+)
+
+func substCfg(n int, m *protein.SubstMatrix) Config {
+	c := DefaultConfig()
+	c.Elements = n
+	c.Subst = m
+	c.Scoring = align.LinearScoring{Match: 1, Mismatch: -1, Gap: m.Gap}
+	return c
+}
+
+func TestSubstArrayMatchesSoftware(t *testing.T) {
+	g := protein.NewGenerator(41)
+	rng := rand.New(rand.NewSource(42))
+	m := protein.BLOSUM62(-8)
+	for trial := 0; trial < 60; trial++ {
+		q := g.Random(1 + rng.Intn(50))
+		db := g.Random(1 + rng.Intn(80))
+		res, err := Run(substCfg(64, m), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := protein.LocalScore(q, db, m)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("subst array %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestSubstArrayWithPartitioning(t *testing.T) {
+	g := protein.NewGenerator(43)
+	rng := rand.New(rand.NewSource(44))
+	m := protein.PAM250(-10)
+	for trial := 0; trial < 40; trial++ {
+		q := g.Random(1 + rng.Intn(90))
+		db := g.Random(1 + rng.Intn(90))
+		elements := 1 + rng.Intn(13)
+		res, err := Run(substCfg(elements, m), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := protein.LocalScore(q, db, m)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("subst array(N=%d) %d (%d,%d) != software %d (%d,%d)",
+				elements, res.Score, res.EndI, res.EndJ, score, i, j)
+		}
+	}
+}
+
+func TestSubstConfigValidation(t *testing.T) {
+	m := protein.BLOSUM62(-8)
+	c := substCfg(10, m)
+	// Matrix scoring ignores Match/Mismatch, so an otherwise-invalid
+	// Scoring passes as long as the gap is negative.
+	c.Scoring = align.LinearScoring{Match: 0, Mismatch: 0, Gap: -8}
+	if err := c.Validate(); err != nil {
+		t.Errorf("matrix-scored config rejected: %v", err)
+	}
+	c.Scoring.Gap = 0
+	if err := c.Validate(); err == nil {
+		t.Error("non-negative gap must be rejected")
+	}
+}
+
+func TestSubstHomologWorkload(t *testing.T) {
+	// The SAMBA-style scenario: a protein query against a database
+	// holding a diverged homolog.
+	g := protein.NewGenerator(45)
+	m := protein.BLOSUM62(-8)
+	q := g.Random(120)
+	db := g.Random(3000)
+	hom := g.Mutate(q, 0.25)
+	copy(db[1500:], hom)
+	res, err := Run(substCfg(128, m), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, i, j := protein.LocalScore(q, db, m)
+	if res.Score != score || res.EndI != i || res.EndJ != j {
+		t.Fatalf("array %d (%d,%d) != software %d (%d,%d)",
+			res.Score, res.EndI, res.EndJ, score, i, j)
+	}
+	if res.EndJ < 1500 || res.EndJ > 1700 {
+		t.Errorf("homolog not located: end at %d", res.EndJ)
+	}
+}

@@ -1,0 +1,341 @@
+package systolic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func cfgN(n int) Config {
+	c := DefaultConfig()
+	c.Elements = n
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Elements: 0, Scoring: align.DefaultLinear(), ScoreBits: 16},
+		{Elements: 10, Scoring: align.DefaultLinear(), ScoreBits: 1},
+		{Elements: 10, Scoring: align.DefaultLinear(), ScoreBits: 40},
+		{Elements: 10, Scoring: align.LinearScoring{Match: 0, Mismatch: -1, Gap: -2}, ScoreBits: 16},
+		{Elements: 10, Scoring: align.DefaultLinear(), ScoreBits: 16, ReloadCycles: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid: %+v", i, c)
+		}
+	}
+}
+
+func TestPaperFigure2OnArray(t *testing.T) {
+	// The array must reproduce the figure 2 example: score 3 at (7,7).
+	res, err := Run(cfgN(100), []byte("TATGGAC"), []byte("TAGTGACT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 3 || res.EndI != 7 || res.EndJ != 7 {
+		t.Errorf("got %d at (%d,%d), want 3 at (7,7)", res.Score, res.EndI, res.EndJ)
+	}
+	if res.Stats.Strips != 1 {
+		t.Errorf("strips = %d, want 1", res.Stats.Strips)
+	}
+	// Single strip of width 7 over 8 database bases: 8+7-1 cycles.
+	if res.Stats.Cycles != 14 {
+		t.Errorf("cycles = %d, want 14", res.Stats.Cycles)
+	}
+	if res.Stats.Cells != 56 {
+		t.Errorf("cells = %d, want 56", res.Stats.Cells)
+	}
+	if res.Stats.BorderWords != 0 {
+		t.Errorf("border words = %d, want 0 for single strip", res.Stats.BorderWords)
+	}
+}
+
+func TestMatchesSoftwareSingleStrip(t *testing.T) {
+	// Invariant 2 of DESIGN.md, array at least as wide as the query.
+	rng := rand.New(rand.NewSource(101))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 100; trial++ {
+		q := randDNA(rng, 1+rng.Intn(40))
+		db := randDNA(rng, 1+rng.Intn(80))
+		res, err := Run(cfgN(64), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("array %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestMatchesSoftwareWithPartitioning(t *testing.T) {
+	// Invariant 2 with queries longer than the array (figure 7).
+	rng := rand.New(rand.NewSource(102))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 80; trial++ {
+		q := randDNA(rng, 1+rng.Intn(120))
+		db := randDNA(rng, 1+rng.Intn(120))
+		elements := 1 + rng.Intn(17)
+		res, err := Run(cfgN(elements), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(q, db, sc)
+		if res.Score != score || res.EndI != i || res.EndJ != j {
+			t.Fatalf("array(N=%d) %d (%d,%d) != software %d (%d,%d) for %s / %s",
+				elements, res.Score, res.EndI, res.EndJ, score, i, j, q, db)
+		}
+	}
+}
+
+func TestPartitionInvariance(t *testing.T) {
+	// The result must not depend on the number of elements (E10).
+	rng := rand.New(rand.NewSource(103))
+	q := randDNA(rng, 97) // deliberately not a multiple of anything
+	db := randDNA(rng, 211)
+	want, err := Run(cfgN(128), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7, 13, 32, 96, 97, 100} {
+		got, err := Run(cfgN(n), q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score || got.EndI != want.EndI || got.EndJ != want.EndJ {
+			t.Errorf("N=%d: %d (%d,%d) != reference %d (%d,%d)",
+				n, got.Score, got.EndI, got.EndJ, want.Score, want.EndI, want.EndJ)
+		}
+		wantStrips := (97 + n - 1) / n
+		if got.Stats.Strips != wantStrips {
+			t.Errorf("N=%d: strips = %d, want %d", n, got.Stats.Strips, wantStrips)
+		}
+		if got.Stats.Cells != 97*211 {
+			t.Errorf("N=%d: cells = %d, want %d", n, got.Stats.Cells, 97*211)
+		}
+	}
+}
+
+func TestCycleCountFormula(t *testing.T) {
+	// Full strips of width N cost n+N-1 cycles; the tail strip costs
+	// n+w-1. ReloadCycles is charged once per strip.
+	cases := []struct {
+		m, n, elements, reload int
+		want                   uint64
+	}{
+		{7, 8, 100, 0, 14},        // single strip: 8+7-1
+		{100, 1000, 100, 0, 1099}, // exact fit: 1000+100-1
+		{200, 1000, 100, 0, 2198}, // two strips
+		{150, 1000, 100, 0, 1099 + 1049},
+		{150, 1000, 100, 25, 1099 + 1049 + 50},
+		{1, 1, 1, 0, 1},
+	}
+	rng := rand.New(rand.NewSource(104))
+	for _, c := range cases {
+		cfg := cfgN(c.elements)
+		cfg.ReloadCycles = c.reload
+		res, err := Run(cfg, randDNA(rng, c.m), randDNA(rng, c.n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Cycles != c.want {
+			t.Errorf("m=%d n=%d N=%d reload=%d: cycles = %d, want %d",
+				c.m, c.n, c.elements, c.reload, res.Stats.Cycles, c.want)
+		}
+	}
+}
+
+func TestBorderSRAMAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	q := randDNA(rng, 50)
+	db := randDNA(rng, 300)
+	res, err := Run(cfgN(20), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * (300 + 1); res.Stats.BorderWords != want {
+		t.Errorf("border words = %d, want %d", res.Stats.BorderWords, want)
+	}
+}
+
+func TestScoreOnlyElement(t *testing.T) {
+	cfg := cfgN(32)
+	cfg.TrackCoords = false
+	q := []byte("TATGGAC")
+	db := []byte("TAGTGACT")
+	res, err := Run(cfg, q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 3 {
+		t.Errorf("score = %d, want 3", res.Score)
+	}
+	if res.EndI != 0 || res.EndJ != 0 {
+		t.Errorf("score-only element should not report coordinates: (%d,%d)", res.EndI, res.EndJ)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	// A long perfect match overflows narrow registers.
+	q := []byte(strings.Repeat("ACGT", 20)) // self-score 80 > 2^4-1
+	cfg := cfgN(128)
+	cfg.ScoreBits = 4
+	res, err := Run(cfg, q, q)
+	if err == nil {
+		t.Fatal("expected saturation error")
+	}
+	if !res.Stats.Saturated {
+		t.Error("Saturated flag not set")
+	}
+	// With wide registers the same input is exact.
+	cfg.ScoreBits = 16
+	res, err = Run(cfg, q, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 80 {
+		t.Errorf("score = %d, want 80", res.Score)
+	}
+}
+
+func TestSaturationBoundary(t *testing.T) {
+	// Scores strictly below the ceiling must not be flagged.
+	q := []byte("ACGTACG") // self-score 7 == 2^3-1 exactly -> saturates
+	cfg := cfgN(16)
+	cfg.ScoreBits = 3
+	if _, err := Run(cfg, q, q); err == nil {
+		t.Error("score equal to register maximum must be treated as saturation")
+	}
+	q = q[:6] // self-score 6 < 7 -> fine
+	if res, err := Run(cfg, q, q); err != nil || res.Score != 6 {
+		t.Errorf("got %v, %v; want score 6", res, err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res, err := Run(cfgN(10), nil, []byte("ACGT"))
+	if err != nil || res.Score != 0 || res.Stats.Cycles != 0 {
+		t.Errorf("empty query: %+v, %v", res, err)
+	}
+	res, err = Run(cfgN(10), []byte("ACGT"), nil)
+	if err != nil || res.Score != 0 || res.Stats.Cycles != 0 {
+		t.Errorf("empty database: %+v, %v", res, err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{}, []byte("A"), []byte("A")); err == nil {
+		t.Error("zero config must be rejected")
+	}
+}
+
+func TestPropertyMatchesSoftware(t *testing.T) {
+	// Randomized invariant 2 via testing/quick, including degenerate
+	// shapes the fixed-seed loops may miss.
+	sc := align.DefaultLinear()
+	f := func(rawQ, rawDB []byte, rawN uint8) bool {
+		q := mapDNA(rawQ)
+		db := mapDNA(rawDB)
+		n := int(rawN%31) + 1
+		res, err := Run(cfgN(n), q, db)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.LocalScore(q, db, sc)
+		if len(q) == 0 || len(db) == 0 {
+			return res.Score == 0
+		}
+		return res.Score == score && res.EndI == i && res.EndJ == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mapDNA(raw []byte) []byte {
+	const bases = "ACGT"
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = bases[b&3]
+	}
+	return out
+}
+
+func TestGCUPSAndSeconds(t *testing.T) {
+	s := Stats{Cycles: 1000, Cells: 100_000}
+	if got := s.Seconds(1e6); got != 0.001 {
+		t.Errorf("Seconds = %v, want 0.001", got)
+	}
+	if got := s.GCUPS(1e6); got != 0.1 {
+		t.Errorf("GCUPS = %v, want 0.1", got)
+	}
+	if (Stats{}).GCUPS(1e6) != 0 {
+		t.Error("zero-cycle GCUPS should be 0")
+	}
+}
+
+func TestWavefrontTiming(t *testing.T) {
+	// Cycle-level check of the dataflow: with a width-3 strip, the last
+	// element's first valid output appears exactly at clock 3 (0-based
+	// cycle 2), confirming one anti-diagonal per clock.
+	cfg := cfgN(3)
+	ar := newArray(cfg, []byte("ACG"), 0, false)
+	db := []byte("ACGT")
+	for k := 0; k < 3; k++ {
+		var sb byte
+		v := false
+		if k < len(db) {
+			sb, v = db[k], true
+		}
+		ar.step(sb, 0, 0, 0, v)
+		_, ok := ar.lastD()
+		if wantOK := k >= 2; ok != wantOK {
+			t.Errorf("cycle %d: last element valid = %v, want %v", k, ok, wantOK)
+		}
+	}
+	// After 3 cycles the last element computed D[1][3]: prefix "A" vs
+	// "ACG" -> best local ending there is 0 (A vs G mismatch).
+	if d, ok := ar.lastD(); !ok || d != 0 {
+		t.Errorf("lastD = %d,%v", d, ok)
+	}
+}
+
+func TestEstimateStatsMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(150)
+		n := 1 + rng.Intn(150)
+		cfg := cfgN(1 + rng.Intn(40))
+		cfg.ReloadCycles = rng.Intn(10)
+		res, err := Run(cfg, randDNA(rng, m), randDNA(rng, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateStats(cfg, m, n)
+		if est.Cycles != res.Stats.Cycles || est.Cells != res.Stats.Cells ||
+			est.Strips != res.Stats.Strips || est.BorderWords != res.Stats.BorderWords {
+			t.Fatalf("estimate %+v != measured %+v (m=%d n=%d N=%d reload=%d)",
+				est, res.Stats, m, n, cfg.Elements, cfg.ReloadCycles)
+		}
+	}
+	if st := EstimateStats(cfgN(4), 0, 10); st.Cycles != 0 || st.Cells != 0 {
+		t.Errorf("empty estimate: %+v", st)
+	}
+}

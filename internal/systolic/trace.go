@@ -1,0 +1,78 @@
+package systolic
+
+import (
+	"fmt"
+	"io"
+)
+
+// Trace runs the array on a (small) workload and writes a per-clock
+// register dump: for every cycle, each element's D output, valid flag,
+// and the Bs/Cl/Bc coordinate registers. This is the waveform-level
+// view used to debug the datapath — the textual analogue of inspecting
+// the generated circuit of figures 8/9 in a simulator.
+//
+// The output grows as cycles × elements; Trace refuses queries above
+// 64 bases or databases above 256 bases, and runs a single strip (the
+// array is sized to the query).
+func Trace(cfg Config, query, db []byte, w io.Writer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(query) > 64 || len(db) > 256 {
+		return Result{}, fmt.Errorf("systolic: trace limited to 64 query and 256 database bases (got %d, %d)",
+			len(query), len(db))
+	}
+	m, n := len(query), len(db)
+	var res Result
+	if m == 0 || n == 0 {
+		return res, nil
+	}
+	ar := newArray(cfg, query, 0, true)
+	fmt.Fprintf(w, "array of %d elements, query %q, database %q\n", ar.width, query, db)
+	fmt.Fprint(w, "clk |")
+	for j := 0; j < ar.width; j++ {
+		fmt.Fprintf(w, " PE%-2d(%c) D/Bs/Cl/Bc |", j, query[j])
+	}
+	fmt.Fprintln(w)
+	for k := 0; k < n+ar.width-1; k++ {
+		var (
+			sb byte
+			c  int32
+			v  bool
+		)
+		if k < n {
+			sb, v = db[k], true
+			if cfg.Anchored {
+				c = ar.clampLow(int32(k+1) * int32(cfg.Scoring.Gap))
+			}
+		}
+		ar.step(sb, c, 0, 0, v)
+		fmt.Fprintf(w, "%3d |", k)
+		for j := 0; j < ar.width; j++ {
+			if ar.vOut[j] {
+				fmt.Fprintf(w, " %4d %4d %3d %3d   |", ar.dOut[j], ar.bs[j], ar.cl[j], ar.bc[j])
+			} else {
+				fmt.Fprint(w, "    -    -   -   -   |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	res.Stats.Cycles = uint64(n + ar.width - 1)
+	res.Stats.Cells = uint64(n) * uint64(m)
+	res.Stats.Strips = 1
+	for j := 0; j < ar.width; j++ {
+		if v := int(ar.bs[j]); v > res.Score {
+			res.Score = v
+			if cfg.TrackCoords {
+				res.EndI = j + 1
+				res.EndJ = int(ar.bc[j])
+			}
+		}
+	}
+	fmt.Fprintf(w, "best score %d at (%d,%d)\n", res.Score, res.EndI, res.EndJ)
+	if ar.saturated {
+		res.Stats.Saturated = true
+		return res, fmt.Errorf("systolic: trace run saturated %d-bit registers", cfg.ScoreBits)
+	}
+	return res, nil
+}

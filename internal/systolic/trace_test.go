@@ -1,0 +1,71 @@
+package systolic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceFigure2(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Trace(cfgN(16), []byte("TATGGAC"), []byte("TAGTGACT"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 3 || res.EndI != 7 || res.EndJ != 7 {
+		t.Errorf("trace result %d (%d,%d), want 3 (7,7)", res.Score, res.EndI, res.EndJ)
+	}
+	out := buf.String()
+	// 8 + 7 - 1 = 14 clock rows plus header and summary.
+	if got := strings.Count(out, "\n"); got != 17 {
+		t.Errorf("trace has %d lines, want 17:\n%s", got, out)
+	}
+	if !strings.Contains(out, "best score 3 at (7,7)") {
+		t.Errorf("trace missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "PE0 (T)") && !strings.Contains(out, "PE0 (T)") {
+		// Header should name each element's query base.
+		if !strings.Contains(out, "(T)") {
+			t.Errorf("trace header missing query bases:\n%s", out)
+		}
+	}
+}
+
+func TestTraceMatchesRun(t *testing.T) {
+	var buf bytes.Buffer
+	q := []byte("GATTACA")
+	db := []byte("ACGTGATTACAGG")
+	res, err := Trace(cfgN(8), q, db, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cfgN(8), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != want.Score || res.EndI != want.EndI || res.EndJ != want.EndJ ||
+		res.Stats.Cycles != want.Stats.Cycles {
+		t.Errorf("trace %+v != run %+v", res, want)
+	}
+}
+
+func TestTraceLimits(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, 300)
+	for i := range big {
+		big[i] = 'A'
+	}
+	if _, err := Trace(cfgN(16), big[:100], []byte("ACGT"), &buf); err == nil {
+		t.Error("oversized query must be refused")
+	}
+	if _, err := Trace(cfgN(16), []byte("ACGT"), big, &buf); err == nil {
+		t.Error("oversized database must be refused")
+	}
+	if _, err := Trace(Config{}, []byte("A"), []byte("A"), &buf); err == nil {
+		t.Error("invalid config must be refused")
+	}
+	res, err := Trace(cfgN(4), nil, []byte("ACGT"), &buf)
+	if err != nil || res.Score != 0 {
+		t.Errorf("empty query: %+v %v", res, err)
+	}
+}

@@ -1,0 +1,138 @@
+package systolic
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteVCD runs the array on a (small) workload and writes an IEEE 1364
+// Value Change Dump of every element's registers — the waveform view a
+// hardware engineer loads into GTKWave to debug the datapath, emitted
+// straight from the simulation. Signals per element: the D output, the
+// valid flag, and the Bs/Cl/Bc coordinate registers; plus the streamed
+// database byte at the array input. One clock per timestep.
+//
+// Size limits match Trace: 64 query bases, 256 database bases, single
+// strip.
+func WriteVCD(cfg Config, query, db []byte, w io.Writer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(query) > 64 || len(db) > 256 {
+		return Result{}, fmt.Errorf("systolic: VCD limited to 64 query and 256 database bases (got %d, %d)",
+			len(query), len(db))
+	}
+	m, n := len(query), len(db)
+	var res Result
+	if m == 0 || n == 0 {
+		return res, nil
+	}
+	ar := newArray(cfg, query, 0, true)
+
+	// Signal table: id runes from '!' upward (VCD identifier alphabet).
+	nextID := 0
+	newID := func() string {
+		id := ""
+		v := nextID
+		for {
+			id += string(rune('!' + v%94))
+			v /= 94
+			if v == 0 {
+				break
+			}
+		}
+		nextID++
+		return id
+	}
+	type signal struct {
+		id, name string
+		width    int
+		read     func() int64
+		last     int64
+		dumped   bool
+	}
+	var signals []*signal
+	add := func(name string, width int, read func() int64) {
+		signals = append(signals, &signal{id: newID(), name: name, width: width, read: read})
+	}
+	add("sb_in", 8, nil) // set per cycle below
+	for j := 0; j < ar.width; j++ {
+		j := j
+		add(fmt.Sprintf("pe%d_d", j), cfg.ScoreBits, func() int64 { return int64(ar.dOut[j]) })
+		add(fmt.Sprintf("pe%d_valid", j), 1, func() int64 {
+			if ar.vOut[j] {
+				return 1
+			}
+			return 0
+		})
+		add(fmt.Sprintf("pe%d_bs", j), cfg.ScoreBits, func() int64 { return int64(ar.bs[j]) })
+		add(fmt.Sprintf("pe%d_cl", j), 32, func() int64 { return int64(ar.cl[j]) })
+		add(fmt.Sprintf("pe%d_bc", j), 32, func() int64 { return int64(ar.bc[j]) })
+	}
+
+	fmt.Fprintln(w, "$comment swfpga systolic array simulation $end")
+	fmt.Fprintln(w, "$timescale 1ns $end")
+	fmt.Fprintln(w, "$scope module array $end")
+	for _, s := range signals {
+		fmt.Fprintf(w, "$var wire %d %s %s $end\n", s.width, s.id, s.name)
+	}
+	fmt.Fprintln(w, "$upscope $end")
+	fmt.Fprintln(w, "$enddefinitions $end")
+
+	dump := func(t int, sbIn byte) {
+		fmt.Fprintf(w, "#%d\n", t)
+		for k, s := range signals {
+			var v int64
+			if k == 0 {
+				v = int64(sbIn)
+			} else {
+				v = s.read()
+			}
+			if s.dumped && v == s.last {
+				continue
+			}
+			s.last, s.dumped = v, true
+			if s.width == 1 {
+				fmt.Fprintf(w, "%d%s\n", v&1, s.id)
+				continue
+			}
+			fmt.Fprintf(w, "b%s %s\n", strconv.FormatInt(v&((1<<uint(s.width))-1), 2), s.id)
+		}
+	}
+
+	for k := 0; k < n+ar.width-1; k++ {
+		var (
+			sb byte
+			c  int32
+			v  bool
+		)
+		if k < n {
+			sb, v = db[k], true
+			if cfg.Anchored {
+				c = ar.clampLow(int32(k+1) * int32(cfg.Scoring.Gap))
+			}
+		}
+		ar.step(sb, c, 0, 0, v)
+		dump(k, sb)
+	}
+	fmt.Fprintf(w, "#%d\n", n+ar.width-1)
+
+	res.Stats.Cycles = uint64(n + ar.width - 1)
+	res.Stats.Cells = uint64(n) * uint64(m)
+	res.Stats.Strips = 1
+	for j := 0; j < ar.width; j++ {
+		if v := int(ar.bs[j]); v > res.Score {
+			res.Score = v
+			if cfg.TrackCoords {
+				res.EndI = j + 1
+				res.EndJ = int(ar.bc[j])
+			}
+		}
+	}
+	if ar.saturated {
+		res.Stats.Saturated = true
+		return res, fmt.Errorf("systolic: VCD run saturated %d-bit registers", cfg.ScoreBits)
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package systolic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVCDStructure(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := WriteVCD(cfgN(16), []byte("TATGGAC"), []byte("TAGTGACT"), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 3 || res.EndI != 7 || res.EndJ != 7 {
+		t.Errorf("VCD result %d (%d,%d), want 3 (7,7)", res.Score, res.EndI, res.EndJ)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module array $end",
+		"$enddefinitions $end",
+		"pe0_d", "pe6_bc", "sb_in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// 1 input + 5 signals per element for 7 elements.
+	if got := strings.Count(out, "$var wire"); got != 1+5*7 {
+		t.Errorf("VCD declares %d signals, want %d", got, 36)
+	}
+	// 14 clocks: timestamps #0..#14 inclusive.
+	if !strings.Contains(out, "#0\n") || !strings.Contains(out, "#14\n") {
+		t.Error("VCD missing timestamps")
+	}
+}
+
+func TestVCDChangeOnlyDumping(t *testing.T) {
+	var buf bytes.Buffer
+	// All-mismatch input: every D stays 0, so after the first dump the D
+	// signals never reappear.
+	if _, err := WriteVCD(cfgN(8), []byte("AAAA"), []byte("TTTT"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// pe0_d's identifier is the second id ('"'); its value line "b0 \""
+	// must appear exactly once.
+	lines := strings.Split(out, "\n")
+	var id string
+	for _, l := range lines {
+		if strings.Contains(l, " pe0_d ") {
+			parts := strings.Fields(l) // $var wire W id name $end
+			id = parts[3]
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("pe0_d declaration not found")
+	}
+	count := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "b") && strings.HasSuffix(l, " "+id) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("pe0_d dumped %d times, want 1 (change-only)", count)
+	}
+}
+
+func TestVCDLimits(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{'A'}, 300)
+	if _, err := WriteVCD(cfgN(8), big[:100], []byte("ACGT"), &buf); err == nil {
+		t.Error("oversized query must be refused")
+	}
+	if _, err := WriteVCD(cfgN(8), []byte("ACGT"), big, &buf); err == nil {
+		t.Error("oversized database must be refused")
+	}
+	if res, err := WriteVCD(cfgN(8), nil, []byte("ACGT"), &buf); err != nil || res.Score != 0 {
+		t.Errorf("empty query: %+v %v", res, err)
+	}
+	if _, err := WriteVCD(Config{}, []byte("A"), []byte("A"), &buf); err == nil {
+		t.Error("invalid config must be refused")
+	}
+}
+
+func TestVCDMatchesRun(t *testing.T) {
+	var buf bytes.Buffer
+	q := []byte("GATTACA")
+	db := []byte("ACGTGATTACAGG")
+	res, err := WriteVCD(cfgN(8), q, db, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(cfgN(8), q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != want.Score || res.EndI != want.EndI || res.EndJ != want.EndJ {
+		t.Errorf("VCD %+v != run %+v", res, want)
+	}
+}

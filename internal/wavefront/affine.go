@@ -1,0 +1,149 @@
+package wavefront
+
+import (
+	"sync"
+
+	"swfpga/internal/align"
+)
+
+// PipelineAffine runs the figure-3 schedule over Gotoh's affine-gap
+// recurrences: each worker owns a strip of query rows and streams two
+// border rows — H and the vertical-gap lane F — to the next worker, the
+// same dual-channel handoff the affine systolic array's partitioning
+// uses. Returns the best local score and its end coordinates, exactly
+// matching align.AffineLocalScore.
+func PipelineAffine(cfg Config, s, t []byte, sc align.AffineScoring) (Best, error) {
+	cfg = cfg.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return Best{}, err
+	}
+	m, n := len(s), len(t)
+	if m == 0 || n == 0 {
+		return Best{}, nil
+	}
+	workers := cfg.Workers
+	if workers > m {
+		workers = m
+	}
+	bests := make([]Best, workers)
+	// Channel p carries blocks of interleaved (H, F) border pairs from
+	// worker p-1 to p.
+	chans := make([]chan []int32, workers+1)
+	for p := 1; p < workers; p++ {
+		chans[p] = make(chan []int32, 4)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		rlo := p * m / workers
+		rhi := (p + 1) * m / workers
+		wg.Add(1)
+		go func(p, rlo, rhi int) {
+			defer wg.Done()
+			runStripAffine(cfg, s, t, sc, rlo, rhi, chans[p], chans[p+1], &bests[p])
+		}(p, rlo, rhi)
+	}
+	wg.Wait()
+	var total Best
+	for _, b := range bests {
+		total.Merge(b)
+	}
+	return total, nil
+}
+
+// runStripAffine computes rows (rlo, rhi] of the Gotoh matrices. Border
+// blocks interleave H and F values: block[2k] = H[rlo][j], block[2k+1] =
+// F[rlo][j].
+func runStripAffine(cfg Config, s, t []byte, sc align.AffineScoring, rlo, rhi int, in <-chan []int32, out chan<- []int32, best *Best) {
+	h := rhi - rlo
+	n := len(t)
+	co := int32(sc.Match)
+	su := int32(sc.Mismatch)
+	open := int32(sc.GapOpen)
+	ext := int32(sc.GapExtend)
+	const rail = int32(-1) << 29
+
+	leftH := make([]int32, h) // H[rlo+1+k][j-1]
+	leftE := make([]int32, h) // E[rlo+1+k][j-1]
+	for k := range leftE {
+		leftE[k] = rail
+	}
+	var diagTop int32 // H[rlo][j-1]
+	var outBlock []int32
+	var inBlock []int32
+	inPos := 0
+
+	bestScore, bestI, bestJ := int32(0), 0, 0
+	for j := 1; j <= n; j++ {
+		var topH, topF int32
+		topF = rail
+		if in != nil {
+			if inPos == len(inBlock) {
+				inBlock = <-in
+				inPos = 0
+			}
+			topH, topF = inBlock[inPos], inBlock[inPos+1]
+			inPos += 2
+		}
+		diag := diagTop
+		upH, upF := topH, topF
+		tb := t[j-1]
+		for k := 0; k < h; k++ {
+			// E lane (gap consuming t): from the element's own row.
+			e := leftH[k] + open
+			if x := leftE[k] + ext; x > e {
+				e = x
+			}
+			if e < rail {
+				e = rail
+			}
+			// F lane (gap consuming s): from the row above.
+			f := upH + open
+			if x := upF + ext; x > f {
+				f = x
+			}
+			if f < rail {
+				f = rail
+			}
+			// H lane.
+			var hv int32
+			if s[rlo+k] == tb {
+				hv = diag + co
+			} else {
+				hv = diag + su
+			}
+			if e > hv {
+				hv = e
+			}
+			if f > hv {
+				hv = f
+			}
+			if hv < 0 {
+				hv = 0
+			}
+			diag = leftH[k]
+			leftH[k] = hv
+			leftE[k] = e
+			upH, upF = hv, f
+			if hv > bestScore {
+				bestScore, bestI, bestJ = hv, rlo+k+1, j
+			} else if hv == bestScore && hv > 0 && rlo+k+1 < bestI {
+				bestI, bestJ = rlo+k+1, j
+			}
+		}
+		diagTop = topH
+		if out != nil {
+			outBlock = append(outBlock, upH, upF)
+			if len(outBlock) >= 2*cfg.BlockCols {
+				out <- outBlock
+				outBlock = make([]int32, 0, 2*cfg.BlockCols)
+			}
+		}
+	}
+	if out != nil {
+		if len(outBlock) > 0 {
+			out <- outBlock
+		}
+		close(out)
+	}
+	best.Consider(int(bestScore), bestI, bestJ)
+}

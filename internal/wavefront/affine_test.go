@@ -1,0 +1,83 @@
+package wavefront
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func TestPipelineAffineMatchesGotoh(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	sc := align.DefaultAffine()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(150))
+		u := randDNA(rng, 1+rng.Intn(150))
+		workers := 1 + rng.Intn(8)
+		got, err := PipelineAffine(smallCfg(workers), s, u, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AffineLocalScore(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Fatalf("affine pipeline(w=%d) %+v != gotoh %d (%d,%d) for %s / %s",
+				workers, got, score, i, j, s, u)
+		}
+	}
+}
+
+func TestPipelineAffineLinearReduction(t *testing.T) {
+	// GapOpen == GapExtend: the affine pipeline equals the linear one.
+	rng := rand.New(rand.NewSource(222))
+	aff := align.AffineScoring{Match: 1, Mismatch: -1, GapOpen: -2, GapExtend: -2}
+	for trial := 0; trial < 30; trial++ {
+		s := randDNA(rng, 1+rng.Intn(100))
+		u := randDNA(rng, 1+rng.Intn(100))
+		a, err := PipelineAffine(smallCfg(4), s, u, aff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Pipeline(smallCfg(4), s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score != l.Score || a.I != l.I || a.J != l.J {
+			t.Fatalf("affine %+v != linear %+v", a, l)
+		}
+	}
+}
+
+func TestPipelineAffineEdges(t *testing.T) {
+	sc := align.DefaultAffine()
+	if b, err := PipelineAffine(smallCfg(4), nil, []byte("ACGT"), sc); err != nil || b.Score != 0 {
+		t.Errorf("empty query: %+v %v", b, err)
+	}
+	if b, err := PipelineAffine(smallCfg(4), []byte("ACGT"), nil, sc); err != nil || b.Score != 0 {
+		t.Errorf("empty database: %+v %v", b, err)
+	}
+	if _, err := PipelineAffine(smallCfg(4), []byte("A"), []byte("A"), align.AffineScoring{}); err == nil {
+		t.Error("invalid scoring must be rejected")
+	}
+}
+
+func TestPipelineAffineProperty(t *testing.T) {
+	sc := align.DefaultAffine()
+	f := func(rawS, rawT []byte, w uint8) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		workers := int(w%7) + 1
+		got, err := PipelineAffine(smallCfg(workers), s, u, sc)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AffineLocalScore(s, u, sc)
+		if len(s) == 0 || len(u) == 0 {
+			return got.Score == 0
+		}
+		return got.Score == score && got.I == i && got.J == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package wavefront
+
+import "sync"
+
+// Pipeline computes the best local score and end coordinates with the
+// figure-3 schedule: worker p owns a contiguous strip of query rows and
+// streams its strip's bottom border to worker p+1 in blocks of
+// BlockCols values. At steady state all workers are busy on staggered
+// column ranges, exactly like the processors of figure 3(c).
+func Pipeline(cfg Config, s, t []byte) (Best, error) {
+	return pipeline(cfg, s, t, false)
+}
+
+// PipelineAnchored runs the same schedule over the anchored recurrence
+// (no zero clamp, gap-accumulated borders): the parallel form of the
+// reverse phase of the linear-space local pipeline.
+func PipelineAnchored(cfg Config, s, t []byte) (Best, error) {
+	return pipeline(cfg, s, t, true)
+}
+
+func pipeline(cfg Config, s, t []byte, anchored bool) (Best, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Best{}, err
+	}
+	m, n := len(s), len(t)
+	if m == 0 || n == 0 {
+		return Best{}, nil
+	}
+	workers := cfg.Workers
+	if workers > m {
+		workers = m
+	}
+	bests := make([]Best, workers)
+	var wg sync.WaitGroup
+	// Channel p carries blocks of border values from worker p-1 to p.
+	chans := make([]chan []int32, workers+1)
+	for p := 1; p < workers; p++ {
+		chans[p] = make(chan []int32, 4)
+	}
+	for p := 0; p < workers; p++ {
+		// Strip of 1-based query rows (rlo, rhi].
+		rlo := p * m / workers
+		rhi := (p + 1) * m / workers
+		wg.Add(1)
+		go func(p, rlo, rhi int) {
+			defer wg.Done()
+			runStrip(cfg, s, t, rlo, rhi, anchored, chans[p], chans[p+1], &bests[p])
+		}(p, rlo, rhi)
+	}
+	wg.Wait()
+	var total Best
+	for _, b := range bests {
+		total.Merge(b)
+	}
+	return total, nil
+}
+
+// runStrip computes rows (rlo, rhi] of the matrix. in delivers blocks of
+// D[rlo][j] values from the strip above (nil for the first strip, whose
+// upper border is row 0: zeros locally, accumulated gap penalties when
+// anchored); out receives this strip's bottom border D[rhi][j] (nil for
+// the last strip).
+func runStrip(cfg Config, s, t []byte, rlo, rhi int, anchored bool, in <-chan []int32, out chan<- []int32, best *Best) {
+	h := rhi - rlo
+	n := len(t)
+	co := int32(cfg.Scoring.Match)
+	su := int32(cfg.Scoring.Mismatch)
+	g := int32(cfg.Scoring.Gap)
+
+	// left[k] holds D[rlo+1+k][j-1] for the column processed so far.
+	left := make([]int32, h)
+	// diagTop holds D[rlo][j-1].
+	var diagTop int32
+	if anchored {
+		// Column-0 boundary carries accumulated gap penalties.
+		diagTop = int32(rlo) * g
+		for k := range left {
+			left[k] = int32(rlo+k+1) * g
+		}
+	}
+	var outBlock []int32
+	var inBlock []int32
+	inPos := 0
+
+	bestScore, bestI, bestJ := int32(0), 0, 0
+	if anchored && rlo == 0 {
+		// The anchored best starts from the empty alignment at (0, 0);
+		// positive row-0 cells cannot exist (they are all gap runs), so
+		// only (0,0) needs seeding, and it belongs to the first strip.
+		bestScore, bestI, bestJ = 0, 0, 0
+	}
+	for j := 1; j <= n; j++ {
+		// Upper border value D[rlo][j].
+		var top int32
+		if in != nil {
+			if inPos == len(inBlock) {
+				inBlock = <-in
+				inPos = 0
+			}
+			top = inBlock[inPos]
+			inPos++
+		} else if anchored {
+			top = int32(j) * g
+		}
+		diag := diagTop
+		up := top
+		tb := t[j-1]
+		for k := 0; k < h; k++ {
+			var d int32
+			if s[rlo+k] == tb {
+				d = diag + co
+			} else {
+				d = diag + su
+			}
+			if v := up + g; v > d {
+				d = v
+			}
+			if v := left[k] + g; v > d {
+				d = v
+			}
+			if d < 0 && !anchored {
+				d = 0
+			}
+			diag = left[k]
+			left[k] = d
+			up = d
+			if d > bestScore {
+				bestScore, bestI, bestJ = d, rlo+k+1, j
+			} else if d == bestScore && d > 0 && rlo+k+1 < bestI {
+				// Equal scores prefer the smaller row (then smaller
+				// column, which the j-ascending scan gives for free),
+				// matching align.LocalScore exactly.
+				bestI, bestJ = rlo+k+1, j
+			}
+		}
+		diagTop = top
+		if out != nil {
+			outBlock = append(outBlock, left[h-1])
+			if len(outBlock) == cfg.BlockCols {
+				out <- outBlock
+				outBlock = make([]int32, 0, cfg.BlockCols)
+			}
+		}
+	}
+	if out != nil {
+		if len(outBlock) > 0 {
+			out <- outBlock
+		}
+		close(out)
+	}
+	best.Consider(int(bestScore), bestI, bestJ)
+}

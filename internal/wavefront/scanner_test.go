@@ -1,0 +1,39 @@
+package wavefront
+
+import (
+	"math/rand"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+)
+
+func TestScannerDrivesLinearPipeline(t *testing.T) {
+	// The three-phase linear-space local alignment with both scans on
+	// the parallel pipeline must match the sequential pipeline exactly.
+	var _ linear.Scanner = Scanner{}
+	rng := rand.New(rand.NewSource(206))
+	sc := align.DefaultLinear()
+	ps := Scanner{Cfg: smallCfg(4)}
+	for trial := 0; trial < 40; trial++ {
+		s := randDNA(rng, 1+rng.Intn(120))
+		u := randDNA(rng, 1+rng.Intn(120))
+		got, _, err := linear.Local(s, u, sc, ps)
+		if err != nil {
+			t.Fatalf("parallel-scanned Local(%s,%s): %v", s, u, err)
+		}
+		want, _, err := linear.Local(s, u, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score || got.SStart != want.SStart || got.TStart != want.TStart ||
+			got.SEnd != want.SEnd || got.TEnd != want.TEnd {
+			t.Fatalf("parallel %+v != sequential %+v", got, want)
+		}
+		if got.Score > 0 {
+			if err := got.Validate(s, u, sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

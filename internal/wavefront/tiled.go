@@ -1,0 +1,201 @@
+package wavefront
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tiled computes the best local score and end coordinates by cutting the
+// matrix into TileRows×TileCols tiles and scheduling them as a
+// dependency graph: tile (r,c) becomes runnable once (r-1,c) and (r,c-1)
+// have finished, and a pool of workers drains the ready queue. Border
+// state is O(m + n + tiles): each tile consumes and overwrites the
+// border slots of its row and column, which is safe because a slot's
+// next consumer cannot start before its producer finished.
+func Tiled(cfg Config, s, t []byte) (Best, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Best{}, err
+	}
+	m, n := len(s), len(t)
+	if m == 0 || n == 0 {
+		return Best{}, nil
+	}
+	tr, tc := cfg.TileRows, cfg.TileCols
+	rb := (m + tr - 1) / tr // tile rows
+	cb := (n + tc - 1) / tc // tile cols
+
+	g := &tileGraph{
+		s: s, t: t, cfg: cfg,
+		tr: tr, tc: tc, rb: rb, cb: cb,
+		// top[c] holds the bottom border of the most recently completed
+		// tile in column block c: D[r*tr][span of c].
+		top: make([][]int32, cb),
+		// lft[r] holds the right border of the most recently completed
+		// tile in row block r: D[span of r][c*tc].
+		lft: make([][]int32, rb),
+		// corner[r*(cb+1)+c] holds D at the tile-corner lattice point.
+		corner: make([]int32, (rb+1)*(cb+1)),
+		deps:   make([]int32, rb*cb),
+		ready:  make(chan int, rb*cb),
+		bests:  make([]Best, cfg.Workers),
+	}
+	for c := 0; c < cb; c++ {
+		g.top[c] = make([]int32, g.colSpan(c))
+	}
+	for r := 0; r < rb; r++ {
+		g.lft[r] = make([]int32, g.rowSpan(r))
+	}
+	for r := 0; r < rb; r++ {
+		for c := 0; c < cb; c++ {
+			d := int32(0)
+			if r > 0 {
+				d++
+			}
+			if c > 0 {
+				d++
+			}
+			g.deps[r*cb+c] = d
+		}
+	}
+	g.ready <- 0 // tile (0,0)
+	g.pending.Store(int32(rb * cb))
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	var total Best
+	for _, b := range g.bests {
+		total.Merge(b)
+	}
+	return total, nil
+}
+
+type tileGraph struct {
+	s, t   []byte
+	cfg    Config
+	tr, tc int
+	rb, cb int
+
+	top    [][]int32
+	lft    [][]int32
+	corner []int32
+	deps   []int32
+
+	ready   chan int
+	pending atomic.Int32
+	bests   []Best
+}
+
+func (g *tileGraph) rowSpan(r int) int {
+	lo := r * g.tr
+	hi := lo + g.tr
+	if hi > len(g.s) {
+		hi = len(g.s)
+	}
+	return hi - lo
+}
+
+func (g *tileGraph) colSpan(c int) int {
+	lo := c * g.tc
+	hi := lo + g.tc
+	if hi > len(g.t) {
+		hi = len(g.t)
+	}
+	return hi - lo
+}
+
+// worker drains the ready queue until every tile has completed.
+func (g *tileGraph) worker(w int) {
+	for id := range g.ready {
+		g.compute(id, &g.bests[w])
+		// Release dependents.
+		r, c := id/g.cb, id%g.cb
+		if c+1 < g.cb {
+			if atomic.AddInt32(&g.deps[id+1], -1) == 0 {
+				g.ready <- id + 1
+			}
+		}
+		if r+1 < g.rb {
+			if atomic.AddInt32(&g.deps[id+g.cb], -1) == 0 {
+				g.ready <- id + g.cb
+			}
+		}
+		if g.pending.Add(-1) == 0 {
+			close(g.ready)
+		}
+	}
+}
+
+// compute runs the DP over one tile, consuming the borders left by its
+// neighbors and overwriting them with its own.
+func (g *tileGraph) compute(id int, best *Best) {
+	r, c := id/g.cb, id%g.cb
+	rlo := r * g.tr // 0-based: tile covers rows (rlo, rlo+h]
+	clo := c * g.tc
+	h := g.rowSpan(r)
+	wdt := g.colSpan(c)
+
+	co := int32(g.cfg.Scoring.Match)
+	su := int32(g.cfg.Scoring.Mismatch)
+	gp := int32(g.cfg.Scoring.Gap)
+
+	// top[c] holds D[rlo][clo+1 .. clo+wdt] (zero-initialized for tile
+	// row 0, since tile (0,c) is the first to touch it); lft[r] holds
+	// D[rlo+1 .. rlo+h][clo] likewise.
+	top := g.top[c]
+	lft := g.lft[r]
+
+	bestScore, bestI, bestJ := int32(0), 0, 0
+	// row[x] holds D[i][clo+1+x] for the current i; sweep rows downward.
+	// diagCarry is D[i-1][clo]: the corner for the first row, then the
+	// pre-overwrite left-border value of the previous row.
+	row := top
+	diagCarry := g.corner[r*(g.cb+1)+c]
+	for k := 0; k < h; k++ {
+		i := rlo + k + 1
+		sb := g.s[i-1]
+		diag := diagCarry
+		oldLeft := lft[k]
+		left := oldLeft
+		for x := 0; x < wdt; x++ {
+			j := clo + x + 1
+			up := row[x]
+			var d int32
+			if sb == g.t[j-1] {
+				d = diag + co
+			} else {
+				d = diag + su
+			}
+			if v := up + gp; v > d {
+				d = v
+			}
+			if v := left + gp; v > d {
+				d = v
+			}
+			if d < 0 {
+				d = 0
+			}
+			diag = up
+			left = d
+			row[x] = d
+			if d > bestScore {
+				bestScore, bestI, bestJ = d, i, j
+			} else if d == bestScore && d > 0 && (i < bestI || (i == bestI && j < bestJ)) {
+				bestI, bestJ = i, j
+			}
+		}
+		lft[k] = left       // right border of this tile, row i
+		diagCarry = oldLeft // the consumed left-border value feeds row i+1's diagonal
+	}
+	// row now holds the bottom border D[rlo+h][...]; it already lives in
+	// g.top[c]. Record the bottom-right corner for tile (r+1, c+1).
+	g.corner[(r+1)*(g.cb+1)+(c+1)] = row[wdt-1]
+	best.Consider(int(bestScore), bestI, bestJ)
+}

@@ -1,0 +1,131 @@
+// Package wavefront implements the software-parallel Smith-Waterman
+// scan of paper sec. 2.4 (figure 3): the similarity matrix's
+// anti-diagonal dependence pattern is exploited by pipelining strips of
+// the matrix across goroutines. Two schedules are provided:
+//
+//   - Pipeline: the literal figure-3 organization. Each worker owns a
+//     strip of query rows; border values flow to the next worker in
+//     blocks over channels, so workers advance in a staggered wave.
+//   - Tiled: a tile-graph schedule. The matrix is cut into R×C tiles;
+//     a tile becomes runnable when its upper and left neighbors finish,
+//     and a worker pool drains the ready queue. This generalizes the
+//     wavefront to arbitrary worker counts and improves locality.
+//
+// Both compute exactly what the paper's hardware computes — the best
+// local score and its end coordinates — in memory linear in m+n.
+package wavefront
+
+import (
+	"fmt"
+	"runtime"
+
+	"swfpga/internal/align"
+)
+
+// Best accumulates the running best score with the library's canonical
+// tie-break: higher score first, then smaller row, then smaller column.
+// Using an explicit comparator makes the parallel schedules report the
+// same cell as the sequential scan regardless of completion order.
+type Best struct {
+	// Score is the best similarity score seen (0 if none positive).
+	Score int
+	// I, J are the 1-based end coordinates of the best score.
+	I, J int
+}
+
+// Consider merges one cell into the running best.
+func (b *Best) Consider(score, i, j int) {
+	if score > b.Score {
+		b.Score, b.I, b.J = score, i, j
+		return
+	}
+	if score == b.Score && score > 0 {
+		if i < b.I || (i == b.I && j < b.J) {
+			b.I, b.J = i, j
+		}
+	}
+}
+
+// Merge combines another worker's best into b.
+func (b *Best) Merge(o Best) {
+	if o.Score > 0 {
+		b.Consider(o.Score, o.I, o.J)
+	}
+}
+
+// Config controls the parallel schedules.
+type Config struct {
+	// Workers is the number of goroutines (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Scoring is the linear gap model.
+	Scoring align.LinearScoring
+	// BlockCols is the channel-transfer granularity of the Pipeline
+	// schedule (border values per message; default 512).
+	BlockCols int
+	// TileRows and TileCols set the tile shape of the Tiled schedule
+	// (default 256×512).
+	TileRows, TileCols int
+}
+
+// DefaultConfig returns a configuration suitable for the host.
+func DefaultConfig() Config {
+	return Config{
+		Workers:   runtime.GOMAXPROCS(0),
+		Scoring:   align.DefaultLinear(),
+		BlockCols: 512,
+		TileRows:  256,
+		TileCols:  512,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BlockCols <= 0 {
+		c.BlockCols = 512
+	}
+	if c.TileRows <= 0 {
+		c.TileRows = 256
+	}
+	if c.TileCols <= 0 {
+		c.TileCols = 512
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Scoring.Validate(); err != nil {
+		return err
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("wavefront: negative worker count %d", c.Workers)
+	}
+	return nil
+}
+
+// Scanner adapts the parallel pipeline to the linear.Scanner interface,
+// so the three-phase linear-space pipeline can run its scan phases
+// multi-core — the pure-software deployment of sec. 2.4.
+type Scanner struct {
+	// Cfg configures the schedule; its Scoring field is overridden per
+	// call by the scoring the pipeline passes in.
+	Cfg Config
+}
+
+// BestLocal implements the forward scan on the parallel pipeline.
+func (ps Scanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	cfg := ps.Cfg
+	cfg.Scoring = sc
+	b, err := Pipeline(cfg, s, t)
+	return b.Score, b.I, b.J, err
+}
+
+// BestAnchored implements the reverse scan on the parallel pipeline.
+func (ps Scanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	cfg := ps.Cfg
+	cfg.Scoring = sc
+	b, err := PipelineAnchored(cfg, s, t)
+	return b.Score, b.I, b.J, err
+}

@@ -1,0 +1,264 @@
+package wavefront
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"swfpga/internal/align"
+)
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	const bases = "ACGT"
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func smallCfg(workers int) Config {
+	c := DefaultConfig()
+	c.Workers = workers
+	c.BlockCols = 8
+	c.TileRows = 8
+	c.TileCols = 8
+	return c
+}
+
+func TestBestConsider(t *testing.T) {
+	var b Best
+	b.Consider(0, 5, 5) // zero scores never take coordinates
+	if b.Score != 0 || b.I != 0 || b.J != 0 {
+		t.Errorf("zero score recorded: %+v", b)
+	}
+	b.Consider(3, 7, 2)
+	b.Consider(3, 5, 9) // same score, smaller row wins
+	if b.I != 5 || b.J != 9 {
+		t.Errorf("tie-break by row failed: %+v", b)
+	}
+	b.Consider(3, 5, 4) // same score and row, smaller column wins
+	if b.J != 4 {
+		t.Errorf("tie-break by column failed: %+v", b)
+	}
+	b.Consider(2, 1, 1) // lower score never replaces
+	if b.Score != 3 {
+		t.Errorf("lower score replaced best: %+v", b)
+	}
+	var other Best
+	other.Consider(4, 9, 9)
+	b.Merge(other)
+	if b.Score != 4 || b.I != 9 {
+		t.Errorf("merge failed: %+v", b)
+	}
+	b.Merge(Best{}) // merging an empty best is a no-op
+	if b.Score != 4 {
+		t.Errorf("empty merge changed best: %+v", b)
+	}
+}
+
+func TestPipelineMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(150))
+		u := randDNA(rng, 1+rng.Intn(150))
+		workers := 1 + rng.Intn(8)
+		got, err := Pipeline(smallCfg(workers), s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Fatalf("pipeline(w=%d) %+v != sequential %d (%d,%d)", workers, got, score, i, j)
+		}
+	}
+}
+
+func TestTiledMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(150))
+		u := randDNA(rng, 1+rng.Intn(150))
+		workers := 1 + rng.Intn(8)
+		got, err := Tiled(smallCfg(workers), s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Fatalf("tiled(w=%d) %+v != sequential %d (%d,%d)", workers, got, score, i, j)
+		}
+	}
+}
+
+func TestMoreWorkersThanRows(t *testing.T) {
+	s := []byte("ACG")
+	u := []byte("ACGTACGT")
+	got, err := Pipeline(smallCfg(16), s, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, i, j := align.LocalScore(s, u, align.DefaultLinear())
+	if got.Score != score || got.I != i || got.J != j {
+		t.Errorf("got %+v, want %d (%d,%d)", got, score, i, j)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	for _, f := range []func(Config, []byte, []byte) (Best, error){Pipeline, Tiled} {
+		b, err := f(smallCfg(4), nil, []byte("ACGT"))
+		if err != nil || b.Score != 0 {
+			t.Errorf("empty query: %+v, %v", b, err)
+		}
+		b, err = f(smallCfg(4), []byte("ACGT"), nil)
+		if err != nil || b.Score != 0 {
+			t.Errorf("empty database: %+v, %v", b, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scoring = align.LinearScoring{Match: 0, Mismatch: -1, Gap: -2}
+	if _, err := Pipeline(cfg, []byte("A"), []byte("A")); err == nil {
+		t.Error("invalid scoring should be rejected")
+	}
+	if _, err := Tiled(cfg, []byte("A"), []byte("A")); err == nil {
+		t.Error("invalid scoring should be rejected")
+	}
+	if err := (Config{Workers: -1, Scoring: align.DefaultLinear()}).Validate(); err == nil {
+		t.Error("negative workers should be rejected")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := Config{Scoring: align.DefaultLinear()}.withDefaults()
+	if c.Workers <= 0 || c.BlockCols <= 0 || c.TileRows <= 0 || c.TileCols <= 0 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestTiledOddShapes(t *testing.T) {
+	// Tile sizes that do not divide the sequence lengths.
+	rng := rand.New(rand.NewSource(203))
+	sc := align.DefaultLinear()
+	s := randDNA(rng, 101)
+	u := randDNA(rng, 67)
+	for _, tile := range []struct{ r, c int }{{1, 1}, {3, 5}, {101, 67}, {200, 200}, {7, 64}} {
+		cfg := DefaultConfig()
+		cfg.Workers = 4
+		cfg.TileRows, cfg.TileCols = tile.r, tile.c
+		got, err := Tiled(cfg, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Errorf("tile %dx%d: %+v != %d (%d,%d)", tile.r, tile.c, got, score, i, j)
+		}
+	}
+}
+
+func TestPipelineBlockGranularities(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	sc := align.DefaultLinear()
+	s := randDNA(rng, 90)
+	u := randDNA(rng, 333)
+	for _, bc := range []int{1, 2, 7, 333, 1000} {
+		cfg := DefaultConfig()
+		cfg.Workers = 5
+		cfg.BlockCols = bc
+		got, err := Pipeline(cfg, s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.LocalScore(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Errorf("blockCols %d: %+v != %d (%d,%d)", bc, got, score, i, j)
+		}
+	}
+}
+
+func TestParallelProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawS, rawT []byte, w uint8) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		workers := int(w%7) + 1
+		p, err1 := Pipeline(smallCfg(workers), s, u)
+		ti, err2 := Tiled(smallCfg(workers), s, u)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		score, i, j := align.LocalScore(s, u, sc)
+		if len(s) == 0 || len(u) == 0 {
+			return p.Score == 0 && ti.Score == 0
+		}
+		return p.Score == score && p.I == i && p.J == j &&
+			ti.Score == score && ti.I == i && ti.J == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mapDNA(raw []byte) []byte {
+	const bases = "ACGT"
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = bases[b&3]
+	}
+	return out
+}
+
+func TestPipelineAnchoredMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	sc := align.DefaultLinear()
+	for trial := 0; trial < 60; trial++ {
+		s := randDNA(rng, 1+rng.Intn(150))
+		u := randDNA(rng, 1+rng.Intn(150))
+		workers := 1 + rng.Intn(8)
+		got, err := PipelineAnchored(smallCfg(workers), s, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		score, i, j := align.AnchoredBest(s, u, sc)
+		if got.Score != score || got.I != i || got.J != j {
+			t.Fatalf("anchored pipeline(w=%d) %+v != sequential %d (%d,%d) for %s / %s",
+				workers, got, score, i, j, s, u)
+		}
+	}
+}
+
+func TestPipelineAnchoredHopeless(t *testing.T) {
+	got, err := PipelineAnchored(smallCfg(4), []byte("AAAA"), []byte("TTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Score != 0 || got.I != 0 || got.J != 0 {
+		t.Errorf("hopeless anchored: %+v, want 0 at (0,0)", got)
+	}
+}
+
+func TestPipelineAnchoredProperty(t *testing.T) {
+	sc := align.DefaultLinear()
+	f := func(rawS, rawT []byte, w uint8) bool {
+		s := mapDNA(rawS)
+		u := mapDNA(rawT)
+		workers := int(w%7) + 1
+		got, err := PipelineAnchored(smallCfg(workers), s, u)
+		if err != nil {
+			return false
+		}
+		score, i, j := align.AnchoredBest(s, u, sc)
+		if len(s) == 0 || len(u) == 0 {
+			return got.Score == 0
+		}
+		return got.Score == score && got.I == i && got.J == j
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
