@@ -1,0 +1,48 @@
+# Build, test, and analysis gates for swfpga. `make check` is the full
+# pre-merge gate CI runs; each target also works standalone.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+# Concurrent packages that get a dedicated -race run.
+RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/...
+
+# package:target pairs for the fuzz smoke. `go test -fuzz` takes one
+# target per invocation, so the smoke loops over them.
+FUZZ_TARGETS := \
+	internal/align:FuzzLocalEnginesAgree \
+	internal/align:FuzzGlobalScoreConsistent \
+	internal/align:FuzzBandedFullBand \
+	internal/linear:FuzzLinearPipelines \
+	internal/linear:FuzzMyersMiller \
+	internal/linear:FuzzAffineRestricted \
+	internal/seq:FuzzPackedRoundTrip \
+	internal/seq:FuzzFASTARoundTrip \
+	internal/systolic:FuzzArrayMatchesSoftware \
+	internal/systolic:FuzzAffineArrayMatchesGotoh
+
+.PHONY: build vet swvet test race fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+swvet:
+	$(GO) run ./cmd/swvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "--- fuzz ./$$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
+	done
+
+check: build vet swvet test race

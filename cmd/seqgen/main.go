@@ -37,16 +37,22 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := seq.WriteFASTA(w, *width, records...); err != nil {
 		fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -75,13 +75,14 @@ func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := io.MultiWriter(os.Stdout, f)
 	fmt.Fprintf(f, "=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
-	if err := e.Run(w, cfg); err != nil {
-		return err
+	runErr := e.Run(w, cfg)
+	cerr := f.Close()
+	if runErr != nil {
+		return runErr
 	}
-	return f.Close()
+	return cerr
 }
 
 func fatal(err error) {

@@ -63,8 +63,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		res, err = systolic.WriteVCD(cfg, s, t, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	case *trace:
 		res, err = systolic.Trace(cfg, s, t, os.Stdout)
 	case *affine:

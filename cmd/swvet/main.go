@@ -1,0 +1,139 @@
+// Command swvet runs the repository's static-analysis suite
+// (internal/analysis) over the module: repo-specific rules that protect
+// the paper-reproduction invariants the compiler cannot check —
+// saturating score arithmetic in the hardware models, model/oracle
+// import independence, allocation-free DP inner loops, no dropped
+// errors, and goroutine hygiene in the concurrent layers.
+//
+// Usage:
+//
+//	swvet ./...          # analyze the whole module (the CI gate)
+//	swvet ./internal/systolic ./cmd/swsim
+//	swvet -list          # print the rules and exit
+//
+// Findings are printed as "file:line: [rule] message"; the exit status
+// is 1 when there are findings, 2 on load/type errors, 0 otherwise. A
+// finding can be suppressed with a "//swvet:ignore <rule>" comment on
+// the offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swfpga/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzer rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, modulePath, err := findModule()
+	if err != nil {
+		fatal(err)
+	}
+	passes, err := analysis.LoadModule(root, modulePath)
+	if err != nil {
+		fatal(err)
+	}
+	passes = filterPasses(passes, root, flag.Args())
+	if len(passes) == 0 {
+		fatal(fmt.Errorf("no packages match %s", strings.Join(flag.Args(), " ")))
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	findings := analysis.RunAll(passes)
+	for _, d := range findings {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "swvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and returns the module root and path.
+func findModule() (root, modulePath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterPasses narrows the loaded packages to the requested patterns.
+// "./..." (or no arguments) keeps everything; "./dir" or "./dir/..."
+// keeps the package(s) at or below dir, resolved against the working
+// directory.
+func filterPasses(passes []*analysis.Pass, root string, args []string) []*analysis.Pass {
+	var prefixes []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return passes
+		}
+		clean := strings.TrimSuffix(arg, "/...")
+		abs, err := filepath.Abs(clean)
+		if err != nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		if rel == "." {
+			return passes
+		}
+		prefixes = append(prefixes, filepath.ToSlash(rel))
+	}
+	if len(prefixes) == 0 {
+		return passes
+	}
+	var out []*analysis.Pass
+	for _, p := range passes {
+		for _, pre := range prefixes {
+			if p.RelPath == pre || strings.HasPrefix(p.RelPath, pre+"/") {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swvet:", err)
+	os.Exit(2)
+}

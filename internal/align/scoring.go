@@ -11,98 +11,26 @@
 // s[i-1], t[j-1].
 package align
 
-import "fmt"
+import "swfpga/internal/scoring"
+
+// The score models live in the leaf package internal/scoring so that
+// the hardware model (internal/systolic) can share them without
+// importing this package — the model and this software oracle must stay
+// independent for the cross-check tests to mean anything. The aliases
+// below keep align the conventional entry point for software callers.
 
 // LinearScoring is the linear gap model of the paper: a fixed reward for
 // a match, penalty for a mismatch, and per-base gap penalty.
-type LinearScoring struct {
-	// Match is the score for two identical bases (paper: +1).
-	Match int
-	// Mismatch is the score for two different bases (paper: -1).
-	Mismatch int
-	// Gap is the penalty added per gap position (paper: -2).
-	Gap int
-}
-
-// DefaultLinear returns the scoring used throughout the paper:
-// +1 match, -1 mismatch, -2 gap.
-func DefaultLinear() LinearScoring {
-	return LinearScoring{Match: 1, Mismatch: -1, Gap: -2}
-}
-
-// Validate rejects scoring parameters under which local alignment
-// degenerates (non-positive match reward, or non-negative mismatch/gap
-// making arbitrary extension free).
-func (sc LinearScoring) Validate() error {
-	if sc.Match <= 0 {
-		return fmt.Errorf("align: match score %d must be positive", sc.Match)
-	}
-	if sc.Mismatch >= sc.Match {
-		return fmt.Errorf("align: mismatch score %d must be below match score %d", sc.Mismatch, sc.Match)
-	}
-	if sc.Gap >= 0 {
-		return fmt.Errorf("align: gap penalty %d must be negative", sc.Gap)
-	}
-	return nil
-}
-
-// Score returns the substitution score p(a, b) of equation (1).
-func (sc LinearScoring) Score(a, b byte) int {
-	if a == b {
-		return sc.Match
-	}
-	return sc.Mismatch
-}
+type LinearScoring = scoring.LinearScoring
 
 // AffineScoring is Gotoh's affine gap model: a gap of length k costs
 // GapOpen + (k-1)*GapExtend.
-type AffineScoring struct {
-	// Match is the score for two identical bases.
-	Match int
-	// Mismatch is the score for two different bases.
-	Mismatch int
-	// GapOpen is the (negative) cost of the first base of a gap.
-	GapOpen int
-	// GapExtend is the (negative) cost of each further base.
-	GapExtend int
-}
+type AffineScoring = scoring.AffineScoring
+
+// DefaultLinear returns the scoring used throughout the paper:
+// +1 match, -1 mismatch, -2 gap.
+func DefaultLinear() LinearScoring { return scoring.DefaultLinear() }
 
 // DefaultAffine returns a conventional DNA affine scoring:
 // +1 match, -1 mismatch, -3 open, -1 extend.
-func DefaultAffine() AffineScoring {
-	return AffineScoring{Match: 1, Mismatch: -1, GapOpen: -3, GapExtend: -1}
-}
-
-// Validate rejects degenerate affine parameters.
-func (sc AffineScoring) Validate() error {
-	if sc.Match <= 0 {
-		return fmt.Errorf("align: match score %d must be positive", sc.Match)
-	}
-	if sc.Mismatch >= sc.Match {
-		return fmt.Errorf("align: mismatch score %d must be below match score %d", sc.Mismatch, sc.Match)
-	}
-	if sc.GapOpen >= 0 || sc.GapExtend >= 0 {
-		return fmt.Errorf("align: gap costs (open %d, extend %d) must be negative", sc.GapOpen, sc.GapExtend)
-	}
-	if sc.GapExtend < sc.GapOpen {
-		return fmt.Errorf("align: gap extend %d below gap open %d", sc.GapExtend, sc.GapOpen)
-	}
-	return nil
-}
-
-// Score returns the substitution score of the model.
-func (sc AffineScoring) Score(a, b byte) int {
-	if a == b {
-		return sc.Match
-	}
-	return sc.Mismatch
-}
-
-// Linear reports whether the affine model collapses to a linear model
-// (GapOpen == GapExtend), and returns that model.
-func (sc AffineScoring) Linear() (LinearScoring, bool) {
-	if sc.GapOpen != sc.GapExtend {
-		return LinearScoring{}, false
-	}
-	return LinearScoring{Match: sc.Match, Mismatch: sc.Mismatch, Gap: sc.GapOpen}, true
-}
+func DefaultAffine() AffineScoring { return scoring.DefaultAffine() }

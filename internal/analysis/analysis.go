@@ -1,0 +1,157 @@
+// Package analysis is the repository's static-analysis layer: a
+// stdlib-only driver (go/parser + go/types, no external dependencies)
+// that loads every package of the module and runs a suite of
+// repo-specific analyzers over the type-checked syntax trees.
+//
+// The analyzers enforce the invariants the paper's claims rest on and
+// the compiler cannot check:
+//
+//   - satarith: score arithmetic in the hardware models must go through
+//     the audited saturating helpers (DESIGN.md §1's fixed-width
+//     saturating datapath).
+//   - layering: the cycle-accurate model and the software oracle must
+//     not import each other, so the cross-check tests stay meaningful;
+//     leaf packages stay leaves.
+//   - hotalloc: no allocations inside the innermost DP loops of the
+//     software engines.
+//   - droppederr: no silently discarded error returns in cmd/ and
+//     internal/.
+//   - goroutinehygiene: goroutine launches in the concurrent packages
+//     must not capture loop variables and must have a visible join.
+//
+// Findings are reported as "file:line: [rule] message". A finding can be
+// suppressed — with justification, in review — by putting a
+// "//swvet:ignore <rule>" comment on the offending line or the line
+// above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Rule is the analyzer name, printed in brackets.
+	Rule string
+	// Message describes the violation and the expected fix.
+	Message string
+}
+
+// String formats the finding as "file:line: [rule] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and suppressions.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(*Pass) []Diagnostic
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Layering,
+		SatArith,
+		HotAlloc,
+		DroppedErr,
+		GoroutineHygiene,
+	}
+}
+
+// report appends a diagnostic for node under the pass's file set.
+func (p *Pass) report(node ast.Node, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(node.Pos()),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// RunAll executes every analyzer over every package, drops suppressed
+// findings, and returns the rest sorted by position.
+func RunAll(pkgs []*Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := pkg.suppressions()
+		for _, a := range All() {
+			for _, d := range a.Run(pkg) {
+				if sup.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// suppression marks rules silenced at specific file lines.
+type suppression map[string]map[int][]string // filename -> line -> rules ("" = all)
+
+func (s suppression) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, rule := range lines[d.Pos.Line] {
+		if rule == "" || rule == d.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans the package comments for "//swvet:ignore [rule]"
+// markers. A marker silences matching findings on its own line and on
+// the line below it (so it can sit above the flagged statement).
+func (p *Pass) suppressions() suppression {
+	sup := suppression{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "swvet:ignore") {
+					continue
+				}
+				rule := strings.TrimSpace(strings.TrimPrefix(text, "swvet:ignore"))
+				if i := strings.IndexAny(rule, " \t"); i >= 0 {
+					rule = rule[:i] // allow a trailing justification
+				}
+				pos := p.Fset.Position(c.Pos())
+				if sup[pos.Filename] == nil {
+					sup[pos.Filename] = map[int][]string{}
+				}
+				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], rule)
+				sup[pos.Filename][pos.Line+1] = append(sup[pos.Filename][pos.Line+1], rule)
+			}
+		}
+	}
+	return sup
+}
+
+// under reports whether the package's module-relative path is path
+// itself or nested below it.
+func (p *Pass) under(path string) bool {
+	return p.RelPath == path || strings.HasPrefix(p.RelPath, path+"/")
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// runCase loads the fixture module under testdata/<name>, runs the full
+// analyzer suite, and compares the findings (with fixture-relative
+// paths) against testdata/<name>/expect.golden.
+func runCase(t *testing.T, name string) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
+	passes, err := LoadModule(root, "fixture")
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	var b strings.Builder
+	for _, d := range RunAll(passes) {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("relativize %s: %v", d.Pos.Filename, err)
+		}
+		fmt.Fprintf(&b, "%s:%d: [%s] %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Rule, d.Message)
+	}
+	got := b.String()
+
+	golden := filepath.Join(root, "expect.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestSatArith(t *testing.T)         { runCase(t, "satarith") }
+func TestLayering(t *testing.T)         { runCase(t, "layering") }
+func TestHotAlloc(t *testing.T)         { runCase(t, "hotalloc") }
+func TestDroppedErr(t *testing.T)       { runCase(t, "droppederr") }
+func TestGoroutineHygiene(t *testing.T) { runCase(t, "goroutinehygiene") }
+func TestSuppression(t *testing.T)      { runCase(t, "suppress") }
+
+// TestTopoOrderCycle checks that the loader reports import cycles
+// instead of recursing forever.
+func TestTopoOrderCycle(t *testing.T) {
+	_, err := topoOrder(map[string][]string{
+		"a": {"b"},
+		"b": {"a"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+// TestModuleRel pins the import-path mapping the loader and the
+// layering analyzer both depend on.
+func TestModuleRel(t *testing.T) {
+	cases := []struct {
+		imp, mod, rel string
+		ok            bool
+	}{
+		{"swfpga", "swfpga", "", true},
+		{"swfpga/internal/seq", "swfpga", "internal/seq", true},
+		{"swfpgax/internal/seq", "swfpga", "", false},
+		{"fmt", "swfpga", "", false},
+	}
+	for _, c := range cases {
+		rel, ok := moduleRel(c.imp, c.mod)
+		if rel != c.rel || ok != c.ok {
+			t.Errorf("moduleRel(%q, %q) = %q, %v; want %q, %v", c.imp, c.mod, rel, ok, c.rel, c.ok)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags calls whose error result is silently discarded — a
+// bare call statement, `defer f.Close()`, or `go f()` — in cmd/ and
+// internal/ packages. An explicit `_ = f.Close()` is a visible,
+// reviewable decision and is not flagged.
+//
+// Whitelisted: fmt.Print*/Fprint* (the repository's report and trace
+// streams are best-effort by convention — durable outputs must check
+// the error at Close/Flush, which this rule does flag) and the
+// never-failing strings.Builder / bytes.Buffer writers.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no silently discarded error returns in cmd/ and internal/",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) []Diagnostic {
+	if !p.under("cmd") && !p.under("internal") {
+		return nil
+	}
+
+	var out []Diagnostic
+	check := func(call *ast.CallExpr, how string) {
+		t := p.Info.TypeOf(call)
+		if t == nil || !hasErrorResult(t) {
+			return
+		}
+		if droppedErrWhitelisted(p, call) {
+			return
+		}
+		out = append(out, p.report(call, "droppederr",
+			"%s discards the error returned by %s; handle it or assign it to _ explicitly",
+			how, callName(p, call)))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "call statement")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "defer")
+			case *ast.GoStmt:
+				check(n.Call, "go statement")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasErrorResult reports whether a call result type includes an error.
+func hasErrorResult(t types.Type) bool {
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErr(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}
+
+// droppedErrWhitelisted reports calls whose dropped error is accepted
+// repository convention.
+func droppedErrWhitelisted(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt printers.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := p.Info.Uses[id].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+			name := sel.Sel.Name
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+	}
+	// Methods on never-failing in-memory writers.
+	if s, ok := p.Info.Selections[sel]; ok {
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			return full == "strings.Builder" || full == "bytes.Buffer"
+		}
+	}
+	return false
+}
+
+// callName renders the called function for the diagnostic message.
+func callName(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the call"
+}

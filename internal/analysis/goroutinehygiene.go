@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// goroutinePackages are the concurrent fan-out layers of the search
+// service; goroutine launches there must follow the repository's
+// worker-pool shape.
+var goroutinePackages = []string{"internal/search", "internal/wavefront", "internal/host"}
+
+// GoroutineHygiene flags `go` statements in the concurrent packages
+// that (a) launch a closure capturing an enclosing loop variable —
+// workers must receive their identity as parameters, which keeps
+// per-iteration state explicit and survives any toolchain's loop
+// semantics — or (b) run inside a function with no visible join (no
+// WaitGroup Wait, channel receive, or channel range), which is how
+// leaked goroutines are born.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutinehygiene",
+	Doc:  "goroutines in concurrent packages must not capture loop variables and need a visible join",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Pass) []Diagnostic {
+	applies := false
+	for _, pkg := range goroutinePackages {
+		if p.under(pkg) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hasJoin := containsJoin(p, fn.Body)
+			var loopVars []map[types.Object]bool
+			inScope := func(obj types.Object) bool {
+				for _, set := range loopVars {
+					if set[obj] {
+						return true
+					}
+				}
+				return false
+			}
+			var walk func(ast.Node)
+			walk = func(n ast.Node) {
+				ast.Inspect(n, func(c ast.Node) bool {
+					switch c := c.(type) {
+					case *ast.RangeStmt:
+						set := map[types.Object]bool{}
+						for _, e := range []ast.Expr{c.Key, c.Value} {
+							if id, ok := e.(*ast.Ident); ok {
+								if obj := p.Info.Defs[id]; obj != nil {
+									set[obj] = true
+								}
+							}
+						}
+						loopVars = append(loopVars, set)
+						walk(c.Body)
+						loopVars = loopVars[:len(loopVars)-1]
+						return false
+					case *ast.ForStmt:
+						set := map[types.Object]bool{}
+						if init, ok := c.Init.(*ast.AssignStmt); ok {
+							for _, e := range init.Lhs {
+								if id, ok := e.(*ast.Ident); ok {
+									if obj := p.Info.Defs[id]; obj != nil {
+										set[obj] = true
+									}
+								}
+							}
+						}
+						loopVars = append(loopVars, set)
+						walk(c.Body)
+						loopVars = loopVars[:len(loopVars)-1]
+						return false
+					case *ast.GoStmt:
+						if !hasJoin {
+							out = append(out, p.report(c, "goroutinehygiene",
+								"goroutine launched in %s, which has no visible join (WaitGroup Wait, channel receive or range); leaked goroutines start here",
+								fn.Name.Name))
+						}
+						if lit, ok := c.Call.Fun.(*ast.FuncLit); ok {
+							captured := map[string]bool{}
+							ast.Inspect(lit.Body, func(b ast.Node) bool {
+								if id, ok := b.(*ast.Ident); ok {
+									if obj := p.Info.Uses[id]; obj != nil && inScope(obj) && !captured[obj.Name()] {
+										captured[obj.Name()] = true
+										out = append(out, p.report(id, "goroutinehygiene",
+											"goroutine closure captures loop variable %s; pass it as a parameter instead",
+											obj.Name()))
+									}
+								}
+								return true
+							})
+						}
+					}
+					return true
+				})
+			}
+			walk(fn.Body)
+		}
+	}
+	return out
+}
+
+// containsJoin reports whether body shows a synchronization point a
+// reviewer can see: a .Wait() call, a channel receive, or a range over
+// a channel.
+func containsJoin(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

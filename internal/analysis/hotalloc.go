@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotAllocPackages hold the software DP engines whose innermost loops
+// are the measured hot paths (the paper's software baseline and its
+// parallel forms). Allocating there turns an O(mn) scan into an
+// allocator benchmark.
+var hotAllocPackages = []string{"internal/align", "internal/linear", "internal/wavefront"}
+
+// hotAllocDepth is the loop-nesting depth treated as "innermost DP
+// loop": the engines are row×column sweeps, so depth 2 and below is the
+// per-cell path.
+const hotAllocDepth = 2
+
+// HotAlloc flags make/append/new calls and closure literals at loop
+// depth >= 2 in the DP engine packages. Per-row work at depth 1
+// (reusing buffers, draining channels) is fine; per-cell allocation is
+// not.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no allocations inside the innermost DP loops of the software engines",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) []Diagnostic {
+	applies := false
+	for _, pkg := range hotAllocPackages {
+		if p.under(pkg) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+
+	isAllocBuiltin := func(call *ast.CallExpr) (string, bool) {
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "append", "new":
+				return b.Name(), true
+			}
+		}
+		return "", false
+	}
+
+	var out []Diagnostic
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.ForStmt:
+				if c.Init != nil {
+					walk(c.Init, depth)
+				}
+				if c.Cond != nil {
+					walk(c.Cond, depth)
+				}
+				if c.Post != nil {
+					walk(c.Post, depth)
+				}
+				walk(c.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				walk(c.X, depth)
+				walk(c.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if name, ok := isAllocBuiltin(c); ok && depth >= hotAllocDepth {
+					out = append(out, p.report(c, "hotalloc",
+						"%s inside an innermost DP loop (depth %d); hoist the allocation out of the hot path",
+						name, depth))
+				}
+			case *ast.FuncLit:
+				if depth >= hotAllocDepth {
+					out = append(out, p.report(c, "hotalloc",
+						"closure literal inside an innermost DP loop (depth %d); hoist it out of the hot path",
+						depth))
+				}
+				// Loop depth does not carry into the closure body.
+				walk(c.Body, 0)
+				return false
+			}
+			return true
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				walk(fn.Body, 0)
+			}
+		}
+	}
+	return out
+}

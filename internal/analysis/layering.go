@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// layeringRule bans one import edge: packages at or below From must not
+// import packages at or below To.
+type layeringRule struct {
+	From, To string
+	Why      string
+}
+
+// layeringRules is the repository's import DAG contract. The heart of
+// it is model-vs-oracle independence: the cycle-accurate hardware model
+// (internal/systolic) and the software baselines (internal/align,
+// internal/linear) may only meet in test files — their agreement is
+// what crosscheck_test.go establishes, and a production import in
+// either direction would make that circular.
+var layeringRules = []layeringRule{
+	{"internal/systolic", "internal/align",
+		"the hardware model must stay independent of the software oracle it is cross-checked against"},
+	{"internal/systolic", "internal/linear",
+		"the hardware model must stay independent of the linear-space software pipeline"},
+	{"internal/align", "internal/systolic",
+		"the software oracle must stay independent of the hardware model it verifies"},
+	{"internal/linear", "internal/systolic",
+		"the software pipeline must reach the array only through the linear.Scanner seam (internal/host)"},
+	{"internal/fpga", "internal/align",
+		"the resource/timing model must stay independent of the software oracle"},
+}
+
+// leafPackages may import nothing from the module at all: seq is the
+// base alphabet layer every engine shares, and scoring exists precisely
+// so model and oracle can share parameter types without seeing each
+// other.
+var leafPackages = []string{"internal/seq", "internal/scoring"}
+
+// Layering enforces the import DAG above on non-test files.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the repository import DAG (model/oracle independence, leaf packages)",
+	Run:  runLayering,
+}
+
+func runLayering(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	check := func(f *ast.File) {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			rel, ok := moduleRel(path, p.ModulePath)
+			if !ok {
+				continue
+			}
+			for _, leaf := range leafPackages {
+				if p.under(leaf) {
+					out = append(out, p.report(imp, "layering",
+						"%s is a leaf package and must not import %s (keep it dependency-free)",
+						leaf, path))
+				}
+			}
+			for _, r := range layeringRules {
+				if p.under(r.From) && (rel == r.To || strings.HasPrefix(rel, r.To+"/")) {
+					out = append(out, p.report(imp, "layering",
+						"%s must not import %s: %s", r.From, path, r.Why))
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		check(f)
+	}
+	return out
+}

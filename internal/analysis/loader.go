@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pass is one type-checked package handed to the analyzers. Test files
+// are excluded on purpose: the cross-check tests legitimately combine
+// the hardware model with the software oracle, and analyzer rules apply
+// to production code only.
+type Pass struct {
+	// Fset maps node positions to files.
+	Fset *token.FileSet
+	// Files are the parsed non-test files of the package.
+	Files []*ast.File
+	// Pkg and Info carry the go/types results.
+	Pkg  *types.Package
+	Info *types.Info
+	// ModulePath is the module's import path (e.g. "swfpga").
+	ModulePath string
+	// RelPath is the package path relative to the module root
+	// ("internal/systolic"; "" for the root package).
+	RelPath string
+	// Dir is the package directory on disk.
+	Dir string
+}
+
+// LoadModule parses and type-checks every non-test package under root,
+// which must be the root of a module named modulePath. It needs no
+// go.mod machinery: intra-module imports resolve to the loaded
+// packages, everything else resolves through the source importer (the
+// standard library compiled from GOROOT source) — stdlib-only by
+// construction, as the analyzers themselves are.
+func LoadModule(root, modulePath string) ([]*Pass, error) {
+	fset := token.NewFileSet()
+
+	type rawPkg struct {
+		rel     string
+		dir     string
+		files   []*ast.File
+		imports []string // intra-module relative paths
+	}
+	raw := map[string]*rawPkg{}
+
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		p := raw[rel]
+		if p == nil {
+			p = &rawPkg{rel: rel, dir: dir}
+			raw[rel] = p
+		}
+		p.files = append(p.files, file)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Record intra-module imports for the dependency order.
+	for _, p := range raw {
+		seen := map[string]bool{}
+		for _, f := range p.files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if rel, ok := moduleRel(path, modulePath); ok && !seen[rel] {
+					seen[rel] = true
+					p.imports = append(p.imports, rel)
+				}
+			}
+		}
+	}
+
+	deps := map[string][]string{}
+	for rel, p := range raw {
+		deps[rel] = p.imports
+	}
+	order, err := topoOrder(deps)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		modulePath: modulePath,
+		loaded:     map[string]*types.Package{},
+		std:        importer.ForCompiler(fset, "source", nil),
+	}
+	var passes []*Pass
+	for _, rel := range order {
+		p := raw[rel]
+		importPath := modulePath
+		if rel != "" {
+			importPath = modulePath + "/" + rel
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		// Deterministic file order for deterministic diagnostics.
+		files := append([]*ast.File(nil), p.files...)
+		sort.Slice(files, func(i, j int) bool {
+			return fset.File(files[i].Pos()).Name() < fset.File(files[j].Pos()).Name()
+		})
+		pkg, err := conf.Check(importPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+		}
+		imp.loaded[importPath] = pkg
+		passes = append(passes, &Pass{
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			ModulePath: modulePath,
+			RelPath:    rel,
+			Dir:        p.dir,
+		})
+	}
+	return passes, nil
+}
+
+// moduleRel reports whether importPath lies inside the module and
+// returns its module-relative form.
+func moduleRel(importPath, modulePath string) (string, bool) {
+	if importPath == modulePath {
+		return "", true
+	}
+	if strings.HasPrefix(importPath, modulePath+"/") {
+		return importPath[len(modulePath)+1:], true
+	}
+	return "", false
+}
+
+// topoOrder sorts the package keys so every package follows its
+// intra-module dependencies (alphabetical among independents, for
+// deterministic output).
+func topoOrder(deps map[string][]string) ([]string, error) {
+	keys := make([]string, 0, len(deps))
+	for k := range deps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(k string) error {
+		switch state[k] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %q", k)
+		}
+		state[k] = visiting
+		ds := append([]string(nil), deps[k]...)
+		sort.Strings(ds)
+		for _, d := range ds {
+			if _, ok := deps[d]; !ok {
+				return fmt.Errorf("package %q imports %q, which has no source in the module", k, d)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[k] = done
+		order = append(order, k)
+		return nil
+	}
+	for _, k := range keys {
+		if err := visit(k); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves imports during type checking: intra-module
+// paths must already be loaded (guaranteed by the topological order);
+// everything else goes to the standard library source importer.
+type moduleImporter struct {
+	modulePath string
+	loaded     map[string]*types.Package
+	std        types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.loaded[path]; ok {
+		return p, nil
+	}
+	if _, ok := moduleRel(path, m.modulePath); ok {
+		return nil, fmt.Errorf("module package %q not loaded (dependency order bug)", path)
+	}
+	return m.std.Import(path)
+}

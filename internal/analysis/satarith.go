@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// satArithPackages are the hardware-model packages whose score datapath
+// must use saturating fixed-width arithmetic (DESIGN.md §1): every +, -
+// or * on score-typed values must go through the audited helpers.
+var satArithPackages = []string{"internal/systolic", "internal/fpga"}
+
+// satArithHelperFile is the one file per package where raw score
+// arithmetic is permitted — it defines the saturating helpers
+// themselves.
+const satArithHelperFile = "sat.go"
+
+// SatArith flags raw +, -, * (binary, compound-assign and ++/--) on
+// values of a package-local named type `score` (or `Score`) inside the
+// hardware-model packages, outside the helper file. Comparisons,
+// conversions, shifts and unary negation are allowed: they cannot
+// silently wrap a value that the helpers and the architectural clamp
+// points keep within the register rails.
+var SatArith = &Analyzer{
+	Name: "satarith",
+	Doc:  "score arithmetic in hardware models must use the saturating helpers",
+	Run:  runSatArith,
+}
+
+func runSatArith(p *Pass) []Diagnostic {
+	applies := false
+	for _, pkg := range satArithPackages {
+		if p.under(pkg) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+
+	isScore := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		if obj.Pkg() != p.Pkg {
+			return false
+		}
+		return obj.Name() == "score" || obj.Name() == "Score"
+	}
+	scoreOperand := func(exprs ...ast.Expr) bool {
+		for _, e := range exprs {
+			if t := p.Info.TypeOf(e); t != nil && isScore(t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) == satArithHelperFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.MUL:
+					if scoreOperand(n.X, n.Y) {
+						out = append(out, p.report(n, "satarith",
+							"raw %s on score-typed operands; use the saturating helpers in %s",
+							n.Op, satArithHelperFile))
+					}
+				}
+			case *ast.AssignStmt:
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+					if scoreOperand(n.Lhs...) {
+						out = append(out, p.report(n, "satarith",
+							"raw %s on a score-typed value; use the saturating helpers in %s",
+							n.Tok, satArithHelperFile))
+					}
+				}
+			case *ast.IncDecStmt:
+				if scoreOperand(n.X) {
+					out = append(out, p.report(n, "satarith",
+						"raw %s on a score-typed value; use the saturating helpers in %s",
+						n.Tok, satArithHelperFile))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"fixture/internal/lib"
+)
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	f.Close()         // finding: error silently dropped
+	defer f.Close()   // finding: deferred call drops the error
+	lib.Flush()       // finding: single error result discarded
+	go lib.Flush()    // finding: goroutine discards the error
+
+	_ = f.Close() // explicit discard is a visible decision: allowed
+
+	fmt.Println("done")        // whitelisted: best-effort report stream
+	fmt.Fprintf(os.Stderr, "x") // whitelisted
+
+	var sb strings.Builder
+	sb.WriteString("ok") // whitelisted: Builder writes cannot fail
+	fmt.Println(sb.String())
+}

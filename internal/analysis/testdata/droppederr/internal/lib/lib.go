@@ -1,0 +1,13 @@
+package lib
+
+import "errors"
+
+// Flush pretends to push buffered state somewhere durable.
+func Flush() error { return errors.New("flush failed") }
+
+// Pair has a non-error trailing result; discarding it is not our rule's business.
+func Pair() (int, bool) { return 0, false }
+
+func useThem() {
+	Pair() // no finding: no error result
+}

@@ -1,0 +1,39 @@
+package search
+
+import "sync"
+
+// Bad: the goroutine closes over the loop variable and the function has
+// no visible join, so the loop may finish before any worker runs.
+func FanOutBad(queries []string, out []string) {
+	for i, q := range queries {
+		go func() { // finding: no join
+			out[i] = q // findings: i and q captured
+		}()
+	}
+}
+
+// Good: pre-bound arguments plus a WaitGroup join.
+func FanOutGood(queries []string, out []string) {
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			out[i] = q
+		}(i, q)
+	}
+	wg.Wait()
+}
+
+// Good: channel receive counts as a visible join.
+func Collect(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(v int) { ch <- v }(i)
+	}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += <-ch
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+package align
+
+// Bad: allocations and closures in the innermost DP loop.
+func DPBad(a, b []byte) int {
+	best := 0
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(b); j++ {
+			row := make([]int, 4) // finding: make in inner loop
+			row = append(row, i)  // finding: append in inner loop
+			f := func() int { return j } // finding: closure in inner loop
+			best += row[0] + f()
+		}
+	}
+	return best
+}
+
+// Good: allocations hoisted above the inner loop.
+func DPGood(a, b []byte) int {
+	row := make([]int, len(b)+1)
+	best := 0
+	for i := 0; i < len(a); i++ {
+		scratch := make([]int, 2) // depth 1: allowed
+		for j := 0; j < len(b); j++ {
+			row[j] = i + j
+			best += row[j] + scratch[0]
+		}
+	}
+	return best
+}
+
+// Good: a closure body starts a fresh depth count, so a single loop
+// inside it is not "innermost" on its own.
+func ClosureResets(n int) func() []int {
+	return func() []int {
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+}

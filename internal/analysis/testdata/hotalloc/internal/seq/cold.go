@@ -1,0 +1,12 @@
+package seq
+
+// Outside the hot-path packages: nested-loop allocation is fine here.
+func Tables(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		for j := 0; j < n; j++ {
+			out[i] = append(out[i], make([]int, 1)...)
+		}
+	}
+	return out
+}

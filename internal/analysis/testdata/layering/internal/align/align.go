@@ -1,0 +1,6 @@
+package align
+
+import "fixture/internal/scoring"
+
+// Importing the shared leaf package is the sanctioned shape.
+func Score(sc scoring.Linear) int { return sc.Match }

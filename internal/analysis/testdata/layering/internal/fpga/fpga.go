@@ -1,0 +1,8 @@
+package fpga
+
+import (
+	"fixture/internal/align" // banned: resource model must not see the oracle
+	"fixture/internal/scoring"
+)
+
+func Model(sc int) int { return align.Score(scoring.Linear{Match: sc}) }

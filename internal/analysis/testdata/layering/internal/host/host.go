@@ -1,0 +1,14 @@
+package host
+
+import (
+	"fixture/internal/align"
+	"fixture/internal/linear"
+	"fixture/internal/scoring"
+	"fixture/internal/systolic"
+)
+
+// The integration layer may see both sides; that is its whole job.
+func Pipeline(x int) int {
+	sc := scoring.Linear{Match: x}
+	return align.Score(sc) + linear.Scan() + systolic.Run(sc)
+}

@@ -1,0 +1,4 @@
+package linear
+
+// Leaf-free package the violations below can point at.
+func Scan() int { return 0 }

@@ -1,0 +1,4 @@
+package scoring
+
+// Linear is a stand-in score model.
+type Linear struct{ Match int }

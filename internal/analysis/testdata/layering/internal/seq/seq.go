@@ -1,0 +1,5 @@
+package seq
+
+import "fixture/internal/linear" // banned: seq is a leaf package
+
+func Bases() int { return linear.Scan() }

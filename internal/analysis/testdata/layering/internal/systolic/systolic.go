@@ -1,0 +1,9 @@
+package systolic
+
+import (
+	"fixture/internal/align"   // banned: model must not see the oracle
+	"fixture/internal/linear"  // banned: model must not see the software pipeline
+	"fixture/internal/scoring" // allowed: shared leaf
+)
+
+func Run(sc scoring.Linear) int { return align.Score(sc) + linear.Scan() }

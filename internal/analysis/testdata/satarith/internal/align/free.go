@@ -1,0 +1,9 @@
+package align
+
+// Score-typed arithmetic outside the hardware-model packages is not
+// satarith's business, even with an identically named type.
+type score int
+
+func unrestricted(a, b score) score {
+	return a + b
+}

@@ -1,0 +1,17 @@
+package systolic
+
+// score mirrors the real package's datapath type; raw arithmetic on it
+// is only allowed in this helper file.
+type score int32
+
+func satAdd(a, b score) score {
+	s := int64(a) + int64(b) // allowed: int64, not score
+	if s > int64(int32(1<<30)) {
+		return score(1 << 30)
+	}
+	return score(s)
+}
+
+func satMul(a, b score) score {
+	return score(int64(a) * int64(b))
+}

@@ -206,8 +206,14 @@ func ReadFASTAFile(path string) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadFASTA(f)
+	recs, err := ReadFASTA(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // Record is a named protein sequence.

@@ -60,8 +60,14 @@ func ReadFASTAFile(path string) ([]Sequence, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadFASTA(f)
+	recs, err := ReadFASTA(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // WriteFASTA writes records in FASTA format with lines wrapped at
@@ -98,7 +104,7 @@ func WriteFASTAFile(path string, width int, records ...Sequence) error {
 		return err
 	}
 	if err := WriteFASTA(f, width, records...); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

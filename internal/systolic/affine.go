@@ -3,7 +3,7 @@ package systolic
 import (
 	"fmt"
 
-	"swfpga/internal/align"
+	"swfpga/internal/scoring"
 )
 
 // Affine-gap systolic array: the Gotoh datapath used by the sec. 4
@@ -27,7 +27,7 @@ type AffineConfig struct {
 	// Elements is the number of processing elements.
 	Elements int
 	// Scoring is Gotoh's affine model.
-	Scoring align.AffineScoring
+	Scoring scoring.AffineScoring
 	// ScoreBits is the score register width; scores saturate at
 	// 2^ScoreBits - 1. Must leave headroom below zero for the E/F
 	// tracks, which dip to GapOpen.
@@ -46,7 +46,7 @@ type AffineConfig struct {
 // DefaultAffineConfig mirrors the prototype shape with the conventional
 // affine DNA scoring.
 func DefaultAffineConfig() AffineConfig {
-	return AffineConfig{Elements: 100, Scoring: align.DefaultAffine(), ScoreBits: 16}
+	return AffineConfig{Elements: 100, Scoring: scoring.DefaultAffine(), ScoreBits: 16}
 }
 
 // Validate checks configuration sanity.
@@ -80,22 +80,22 @@ type affineArray struct {
 	width int
 	sp    []byte
 
-	aH []int32 // diagonal H register (previous C input)
-	bH []int32 // own previous H (same row, previous column)
-	bE []int32 // own previous E
+	aH []score // diagonal H register (previous C input)
+	bH []score // own previous H (same row, previous column)
+	bE []score // own previous E
 
-	bs []int32 // best H seen by this element
+	bs []score // best H seen by this element
 	cl []int32 // current database position
 	bc []int32 // database position of the best H
 
-	hOut  []int32 // registered H toward the right neighbor
-	fOut  []int32 // registered F toward the right neighbor
+	hOut  []score // registered H toward the right neighbor
+	fOut  []score // registered F toward the right neighbor
 	sbOut []byte
 	vOut  []bool
 
-	maxScore          int32
-	co, su, open, ext int32
-	negRail           int32
+	maxScore          score
+	co, su, open, ext score
+	negRail           score
 	rowOff            int
 	anchored          bool
 	trackDiv          bool
@@ -114,11 +114,11 @@ type affineArray struct {
 }
 
 // gapRunScore returns open + (k-1)*ext for k >= 1, 0 for k == 0.
-func gapRunScore(k int, open, ext int32) int32 {
+func gapRunScore(k int, open, ext score) score {
 	if k == 0 {
 		return 0
 	}
-	return open + int32(k-1)*ext
+	return satAdd(open, satMul(score(k-1), ext))
 }
 
 func newAffineArray(cfg AffineConfig, querySplit []byte, rowOffset int) *affineArray {
@@ -126,22 +126,22 @@ func newAffineArray(cfg AffineConfig, querySplit []byte, rowOffset int) *affineA
 	ar := &affineArray{
 		width: w,
 		sp:    querySplit,
-		aH:    make([]int32, w),
-		bH:    make([]int32, w),
-		bE:    make([]int32, w),
-		bs:    make([]int32, w),
+		aH:    make([]score, w),
+		bH:    make([]score, w),
+		bE:    make([]score, w),
+		bs:    make([]score, w),
 		cl:    make([]int32, w),
 		bc:    make([]int32, w),
-		hOut:  make([]int32, w),
-		fOut:  make([]int32, w),
+		hOut:  make([]score, w),
+		fOut:  make([]score, w),
 		sbOut: make([]byte, w),
 		vOut:  make([]bool, w),
 
-		maxScore: int32(1)<<uint(cfg.ScoreBits) - 1,
-		co:       int32(cfg.Scoring.Match),
-		su:       int32(cfg.Scoring.Mismatch),
-		open:     int32(cfg.Scoring.GapOpen),
-		ext:      int32(cfg.Scoring.GapExtend),
+		maxScore: railFor(cfg.ScoreBits),
+		co:       score(cfg.Scoring.Match),
+		su:       score(cfg.Scoring.Mismatch),
+		open:     score(cfg.Scoring.GapOpen),
+		ext:      score(cfg.Scoring.GapExtend),
 	}
 	ar.negRail = -(ar.maxScore / 2)
 	ar.rowOff = rowOffset
@@ -180,7 +180,7 @@ func newAffineArray(cfg AffineConfig, querySplit []byte, rowOffset int) *affineA
 
 // clampRail saturates at the negative rail (benign for boundary runs:
 // they can never climb back above zero within register range).
-func (ar *affineArray) clampRail(v int32) int32 {
+func (ar *affineArray) clampRail(v score) score {
 	if v < ar.negRail {
 		return ar.negRail
 	}
@@ -190,11 +190,11 @@ func (ar *affineArray) clampRail(v int32) int32 {
 // step advances the affine array one clock. The first element receives
 // the streamed base plus the border H and F values (and, with
 // divergence tracking, their path metadata).
-func (ar *affineArray) step(sbIn byte, hIn, fIn int32, meta [4]int32, vIn bool) {
+func (ar *affineArray) step(sbIn byte, hIn, fIn score, meta [4]int32, vIn bool) {
 	for j := ar.width - 1; j >= 0; j-- {
 		var (
 			sb           byte
-			cH, cF       int32
+			cH, cF       score
 			cHInf, cHSup int32
 			cFInf, cFSup int32
 			v            bool
@@ -214,9 +214,9 @@ func (ar *affineArray) step(sbIn byte, hIn, fIn int32, meta [4]int32, vIn bool) 
 			continue
 		}
 		// E: the element's own previous column.
-		e := ar.bH[j] + ar.open
+		e := satAdd(ar.bH[j], ar.open)
 		eFromH := true
-		if x := ar.bE[j] + ar.ext; x > e {
+		if x := satAdd(ar.bE[j], ar.ext); x > e {
 			e = x
 			eFromH = false
 		}
@@ -224,9 +224,9 @@ func (ar *affineArray) step(sbIn byte, hIn, fIn int32, meta [4]int32, vIn bool) 
 			e = ar.negRail
 		}
 		// F: the upstream neighbor's H and F.
-		f := cH + ar.open
+		f := satAdd(cH, ar.open)
 		fFromH := true
-		if x := cF + ar.ext; x > f {
+		if x := satAdd(cF, ar.ext); x > f {
 			f = x
 			fFromH = false
 		}
@@ -234,11 +234,11 @@ func (ar *affineArray) step(sbIn byte, hIn, fIn int32, meta [4]int32, vIn bool) 
 			f = ar.negRail
 		}
 		// H.
-		var h int32
+		var h score
 		if ar.sp[j] == sb {
-			h = ar.aH[j] + ar.co
+			h = satAdd(ar.aH[j], ar.co)
 		} else {
-			h = ar.aH[j] + ar.su
+			h = satAdd(ar.aH[j], ar.su)
 		}
 		hSrc := 0 // 0 diag, 1 E, 2 F
 		if e > h {
@@ -350,13 +350,13 @@ func RunAffine(cfg AffineConfig, query, db []byte) (Result, error) {
 		}
 	}
 
-	var prevH, prevF, nextH, nextF []int32
+	var prevH, prevF, nextH, nextF []score
 	var prevMeta, nextMeta [][4]int32
 	if strips > 1 {
-		prevH = make([]int32, n+1)
-		prevF = make([]int32, n+1)
-		nextH = make([]int32, n+1)
-		nextF = make([]int32, n+1)
+		prevH = make([]score, n+1)
+		prevF = make([]score, n+1)
+		nextH = make([]score, n+1)
+		nextF = make([]score, n+1)
 		res.Stats.BorderWords = 4 * (n + 1)
 		if cfg.TrackDivergence {
 			prevMeta = make([][4]int32, n+1)
@@ -376,7 +376,7 @@ func RunAffine(cfg AffineConfig, query, db []byte) (Result, error) {
 		for k := 0; k < n+w-1; k++ {
 			var (
 				sbIn     byte
-				hIn, fIn int32
+				hIn, fIn score
 				meta     [4]int32
 				vIn      bool
 			)

@@ -32,7 +32,7 @@ package systolic
 import (
 	"fmt"
 
-	"swfpga/internal/align"
+	"swfpga/internal/scoring"
 )
 
 // Config parameterizes the simulated array.
@@ -42,7 +42,7 @@ type Config struct {
 	Elements int
 	// Scoring gives the coincidence (Co), substitution (Su) and
 	// insertion/removal (In/Re) constants of figure 6.
-	Scoring align.LinearScoring
+	Scoring scoring.LinearScoring
 	// ScoreBits is the width of the score registers. Scores saturate at
 	// 2^ScoreBits - 1 as hardware registers would; the run is flagged if
 	// saturation occurs. Default 16 (SAMBA used 12-bit datapaths).
@@ -92,7 +92,7 @@ type SubstScorer interface {
 func DefaultConfig() Config {
 	return Config{
 		Elements:    100,
-		Scoring:     align.DefaultLinear(),
+		Scoring:     scoring.DefaultLinear(),
 		ScoreBits:   16,
 		TrackCoords: true,
 	}
@@ -168,13 +168,13 @@ type array struct {
 	sp  []byte      // fixed query bases (SP registers)
 	lut [][256]int8 // per-element substitution rows (matrix scoring)
 
-	a  []int32 // A: diagonal score register
-	b  []int32 // B: own previous D (the element's matrix row neighbor)
-	bs []int32 // Bs: best score seen by this element
+	a  []score // A: diagonal score register
+	b  []score // B: own previous D (the element's matrix row neighbor)
+	bs []score // Bs: best score seen by this element
 	cl []int32 // Cl: cells computed (current database position)
 	bc []int32 // Bc: Cl value when Bs was last improved
 
-	dOut  []int32 // registered D output toward the right neighbor
+	dOut  []score // registered D output toward the right neighbor
 	sbOut []byte  // registered database base toward the right neighbor
 	vOut  []bool  // registered valid flag toward the right neighbor
 
@@ -188,8 +188,8 @@ type array struct {
 	bestInf    []int32
 	bestSup    []int32
 
-	maxScore  int32
-	co, su, g int32
+	maxScore  score
+	co, su, g score
 	rowOff    int
 	track     bool
 	trackDiv  bool
@@ -208,19 +208,19 @@ func newArray(cfg Config, querySplit []byte, rowOffset int, negSafe bool) *array
 	ar := &array{
 		width: w,
 		sp:    querySplit,
-		a:     make([]int32, w),
-		b:     make([]int32, w),
-		bs:    make([]int32, w),
+		a:     make([]score, w),
+		b:     make([]score, w),
+		bs:    make([]score, w),
 		cl:    make([]int32, w),
 		bc:    make([]int32, w),
-		dOut:  make([]int32, w),
+		dOut:  make([]score, w),
 		sbOut: make([]byte, w),
 		vOut:  make([]bool, w),
 
-		maxScore: int32(1)<<uint(cfg.ScoreBits) - 1,
-		co:       int32(cfg.Scoring.Match),
-		su:       int32(cfg.Scoring.Mismatch),
-		g:        int32(cfg.Scoring.Gap),
+		maxScore: railFor(cfg.ScoreBits),
+		co:       score(cfg.Scoring.Match),
+		su:       score(cfg.Scoring.Mismatch),
+		g:        score(cfg.Scoring.Gap),
 		rowOff:   rowOffset,
 		track:    cfg.TrackCoords,
 		trackDiv: cfg.TrackDivergence,
@@ -232,10 +232,10 @@ func newArray(cfg Config, querySplit []byte, rowOffset int, negSafe bool) *array
 		// boundary registers carry accumulated gap penalties instead of
 		// zeros: A starts as D[row-1][0], B as D[row][0], both clamped
 		// at the register rail like any other score.
-		g := int32(cfg.Scoring.Gap)
+		g := score(cfg.Scoring.Gap)
 		for k := 0; k < w; k++ {
-			ar.a[k] = ar.clampLow(int32(rowOffset+k) * g)
-			ar.b[k] = ar.clampLow(int32(rowOffset+k+1) * g)
+			ar.a[k] = ar.clampLow(satMul(score(rowOffset+k), g))
+			ar.b[k] = ar.clampLow(satMul(score(rowOffset+k+1), g))
 		}
 	}
 	if cfg.Subst != nil {
@@ -265,7 +265,7 @@ func newArray(cfg Config, querySplit []byte, rowOffset int, negSafe bool) *array
 
 // clampLow saturates a value at the negative register rail, flagging
 // the run only when the clamp could influence the result.
-func (ar *array) clampLow(v int32) int32 {
+func (ar *array) clampLow(v score) score {
 	if v <= -ar.maxScore {
 		if !ar.negSafe {
 			ar.saturated = true
@@ -281,11 +281,11 @@ func (ar *array) clampLow(v int32) int32 {
 // updated right-to-left so each reads its left neighbor's
 // previous-cycle registered outputs, exactly as flip-flop transfer
 // works in hardware.
-func (ar *array) step(sbIn byte, cIn, cInfIn, cSupIn int32, vIn bool) {
+func (ar *array) step(sbIn byte, cIn score, cInfIn, cSupIn int32, vIn bool) {
 	for j := ar.width - 1; j >= 0; j-- {
 		var (
 			sb         byte
-			c          int32
+			c          score
 			cInf, cSup int32
 			v          bool
 		)
@@ -304,14 +304,14 @@ func (ar *array) step(sbIn byte, cIn, cInfIn, cSupIn int32, vIn bool) {
 		}
 		// Substitution path: A + (match ? Co : Su), or A + the element's
 		// lookup-table row entry under matrix scoring.
-		var d int32
+		var d score
 		switch {
 		case ar.lut != nil:
-			d = ar.a[j] + int32(ar.lut[j][sb])
+			d = satAdd(ar.a[j], score(ar.lut[j][sb]))
 		case ar.sp[j] == sb:
-			d = ar.a[j] + ar.co
+			d = satAdd(ar.a[j], ar.co)
 		default:
-			d = ar.a[j] + ar.su
+			d = satAdd(ar.a[j], ar.su)
 		}
 		src := srcDiag
 		// Gap path: max(B, C) + In/Re. B (the element's own previous D)
@@ -322,7 +322,7 @@ func (ar *array) step(sbIn byte, cIn, cInfIn, cSupIn int32, vIn bool) {
 			gap = c
 			gapSrc = srcC
 		}
-		gap += ar.g
+		gap = satAdd(gap, ar.g)
 		if gap > d {
 			d = gap
 			src = gapSrc
@@ -391,6 +391,6 @@ const (
 
 // lastD returns the registered D output of the last element — the
 // border-column value captured into board SRAM while partitioning.
-func (ar *array) lastD() (int32, bool) {
+func (ar *array) lastD() (score, bool) {
 	return ar.dOut[ar.width-1], ar.vOut[ar.width-1]
 }

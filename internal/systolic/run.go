@@ -35,11 +35,11 @@ func Run(cfg Config, query, db []byte) (Result, error) {
 	// i = 0..n. Hardware double-buffers these in board SRAM: one column
 	// is read while the next is written. Divergence tracking stores two
 	// extra words per border row.
-	var prevBorder, nextBorder []int32
+	var prevBorder, nextBorder []score
 	var prevBInf, prevBSup, nextBInf, nextBSup []int32
 	if strips > 1 {
-		prevBorder = make([]int32, n+1)
-		nextBorder = make([]int32, n+1)
+		prevBorder = make([]score, n+1)
+		nextBorder = make([]score, n+1)
 		res.Stats.BorderWords = 2 * (n + 1)
 		if cfg.TrackDivergence {
 			prevBInf = make([]int32, n+1)
@@ -62,9 +62,10 @@ func Run(cfg Config, query, db []byte) (Result, error) {
 		// configured query-reload overhead.
 		for k := 0; k < n+w-1; k++ {
 			var (
-				sbIn            byte
-				cIn, cInf, cSup int32
-				vIn             bool
+				sbIn       byte
+				cIn        score
+				cInf, cSup int32
+				vIn        bool
 			)
 			if k < n {
 				sbIn, vIn = db[k], true
@@ -77,7 +78,7 @@ func Run(cfg Config, query, db []byte) (Result, error) {
 				case cfg.Anchored:
 					// Row-0 boundary of the anchored recurrence; its
 					// path runs along row 0, divergence extrema [0, k+1].
-					cIn = ar.clampLow(int32(k+1) * int32(cfg.Scoring.Gap))
+					cIn = ar.clampLow(satMul(score(k+1), score(cfg.Scoring.Gap)))
 					cSup = int32(k + 1)
 				}
 			}

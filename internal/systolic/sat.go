@@ -1,0 +1,56 @@
+package systolic
+
+// score is the value a simulated score-datapath register carries. It is
+// a distinct named type (not a plain int32) so the satarith rule of
+// cmd/swvet can tell score arithmetic apart from coordinate and counter
+// arithmetic: every +, - or * whose operands are score-typed must go
+// through the saturating helpers in this file, which compute at full
+// precision and saturate at the type's rails. The configured register
+// rails (±(2^ScoreBits - 1)) are narrower than the type's rails and are
+// applied at the architectural clamp points of the datapath (the
+// register-write stage and the boundary loads); the helpers guarantee
+// the intermediate adder/multiplier outputs between those points can
+// never wrap silently, exactly as a hardware adder is sized wider than
+// the registers it feeds.
+//
+// This file is the only place raw arithmetic on score values is
+// permitted; swvet enforces that mechanically.
+type score int32
+
+const (
+	scoreTypeMax score = 1<<31 - 1
+	scoreTypeMin score = -1 << 31
+)
+
+// railFor returns the positive register rail 2^bits - 1 of a datapath
+// with bits-wide score registers.
+func railFor(bits int) score {
+	return score(int32(1)<<uint(bits) - 1)
+}
+
+// satAdd returns a + b, computed at full precision and saturated at the
+// score type's rails.
+func satAdd(a, b score) score {
+	s := int64(a) + int64(b)
+	if s > int64(scoreTypeMax) {
+		return scoreTypeMax
+	}
+	if s < int64(scoreTypeMin) {
+		return scoreTypeMin
+	}
+	return score(s)
+}
+
+// satMul returns a * b, computed at full precision and saturated at the
+// score type's rails. It is used for the closed-form gap-run boundary
+// values (k gap penalties accumulated along row or column 0).
+func satMul(a, b score) score {
+	p := int64(a) * int64(b)
+	if p > int64(scoreTypeMax) {
+		return scoreTypeMax
+	}
+	if p < int64(scoreTypeMin) {
+		return scoreTypeMin
+	}
+	return score(p)
+}

@@ -104,13 +104,13 @@ func WriteVCD(cfg Config, query, db []byte, w io.Writer) (Result, error) {
 	for k := 0; k < n+ar.width-1; k++ {
 		var (
 			sb byte
-			c  int32
+			c  score
 			v  bool
 		)
 		if k < n {
 			sb, v = db[k], true
 			if cfg.Anchored {
-				c = ar.clampLow(int32(k+1) * int32(cfg.Scoring.Gap))
+				c = ar.clampLow(satMul(score(k+1), score(cfg.Scoring.Gap)))
 			}
 		}
 		ar.step(sb, c, 0, 0, v)
