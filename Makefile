@@ -21,7 +21,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh
 
-.PHONY: build vet swvet test race fuzz-smoke check
+.PHONY: build vet swvet test race chaos-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Seeded fault-injection runs of the fault-tolerant cluster scan under
+# the race detector (DESIGN.md §7): every chaos property test replays
+# deterministic fault schedules and asserts bit-identical results.
+chaos-smoke:
+	$(GO) test -race ./internal/host -run 'Chaos' -count=1
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -45,4 +51,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet test race
+check: build vet swvet test race chaos-smoke

@@ -4,6 +4,7 @@
 package swfpga_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -339,7 +340,7 @@ func BenchmarkSearch(b *testing.B) {
 	b.SetBytes(int64(len(q)) * int64(16*20_000))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := search.Search(db, q, search.Options{Workers: 4}, nil); err != nil {
+		if _, err := search.Search(context.Background(), db, q, search.Options{Workers: 4}, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

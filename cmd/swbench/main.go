@@ -4,11 +4,14 @@
 //
 //	swbench -list
 //	swbench -run headline -scale 0.01
+//	swbench -run faults -scale 0.02
 //	swbench -all -scale 0.01
 //
 // At -scale 1 the headline experiment uses the paper's full 100 BP x
 // 10 MBP workload, which simulates one billion cell updates and takes a
-// few seconds per engine.
+// few seconds per engine. The faults experiment injects seeded board
+// faults into the distributed scan and checks the result stays
+// bit-identical while the cluster retries, quarantines, and degrades.
 package main
 
 import (

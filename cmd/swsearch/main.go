@@ -3,16 +3,24 @@
 //
 //	swsearch -query query.fa -db database.fa -k 10 -retrieve
 //	swsearch -q ACGTACGT -db database.fa -engine fpga -elements 100
+//	swsearch -q ACGTACGT -db database.fa -engine cluster -boards 4 -fault-rate 0.05
+//
+// Interrupting the process (SIGINT/SIGTERM) cancels the scan cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 
 	"swfpga/internal/align"
 	"swfpga/internal/cliutil"
 	"swfpga/internal/evalue"
+	"swfpga/internal/faults"
 	"swfpga/internal/host"
 	"swfpga/internal/linear"
 	"swfpga/internal/protein"
@@ -30,12 +38,18 @@ func main() {
 		perRecord  = flag.Int("per-record", 1, "non-overlapping hits per record")
 		retrieve   = flag.Bool("retrieve", false, "retrieve and print full alignments")
 		workers    = flag.Int("workers", 0, "concurrent records (0 = GOMAXPROCS)")
-		engine     = flag.String("engine", "software", "scan engine: software | fpga")
+		engine     = flag.String("engine", "software", "scan engine: software | fpga | cluster")
 		elements   = flag.Int("elements", 100, "array elements per simulated board (fpga engine)")
+		boards     = flag.Int("boards", 4, "boards per simulated cluster (cluster engine)")
+		faultRate  = flag.Float64("fault-rate", 0, "injected fault rate per chunk transfer (cluster engine)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed (cluster engine)")
 		translated = flag.Bool("translated", false, "protein query vs DNA database (all six reading frames, BLOSUM62)")
 		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *dbFile == "" {
 		fatal(fmt.Errorf("missing -db database file"))
@@ -45,7 +59,7 @@ func main() {
 		fatal(err)
 	}
 	if *translated {
-		runTranslated(*qArg, *qFile, db, *topK, *minScore, *workers)
+		runTranslated(ctx, *qArg, *qFile, db, *topK, *minScore, *workers)
 		return
 	}
 	query, err := cliutil.LoadSequence(*qArg, *qFile, "query")
@@ -54,6 +68,7 @@ func main() {
 	}
 
 	var newScanner func() linear.Scanner
+	var clusters []*host.Cluster
 	switch *engine {
 	case "software":
 	case "fpga":
@@ -61,6 +76,25 @@ func main() {
 			d := host.NewDevice()
 			d.Array.Elements = *elements
 			return d
+		}
+	case "cluster":
+		// Each worker gets its own fault-tolerant cluster (a scanner is
+		// not shared between goroutines); the fault reports of all of
+		// them are merged after the search. The factory runs inside the
+		// worker goroutines, so registration is mutex-guarded.
+		var mu sync.Mutex
+		newScanner = func() linear.Scanner {
+			c := host.NewCluster(*boards)
+			for _, d := range c.Devices {
+				d.Array.Elements = *elements
+			}
+			if *faultRate > 0 {
+				c.InjectFaults(faults.MustRandom(*faultSeed, faults.Split(*faultRate)))
+			}
+			mu.Lock()
+			clusters = append(clusters, c)
+			mu.Unlock()
+			return c
 		}
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
@@ -81,9 +115,16 @@ func main() {
 		opts.Stats = &params
 		fmt.Printf("statistics: lambda %.4f, K %.4f (gapped, calibrated by simulation)\n", params.Lambda, params.K)
 	}
-	hits, err := search.Search(db, query, opts, newScanner)
+	hits, err := search.Search(ctx, db, query, opts, newScanner)
 	if err != nil {
 		fatal(err)
+	}
+	if len(clusters) > 0 {
+		var agg host.FaultReport
+		for _, c := range clusters {
+			agg.Merge(c.TotalFaults())
+		}
+		fmt.Printf("fault tolerance: %s\n\n", agg)
 	}
 
 	fmt.Printf("%d hits for %d BP query against %d records\n\n", len(hits), len(query), len(db))
@@ -106,7 +147,7 @@ func main() {
 
 // runTranslated scans a protein query against the six reading frames of
 // every DNA record.
-func runTranslated(qArg, qFile string, db []seq.Sequence, topK, minScore, workers int) {
+func runTranslated(ctx context.Context, qArg, qFile string, db []seq.Sequence, topK, minScore, workers int) {
 	var query []byte
 	switch {
 	case qArg != "":
@@ -127,7 +168,7 @@ func runTranslated(qArg, qFile string, db []seq.Sequence, topK, minScore, worker
 	default:
 		fatal(fmt.Errorf("missing protein query"))
 	}
-	hits, err := search.TranslatedSearch(db, query, search.TranslatedOptions{
+	hits, err := search.TranslatedSearch(ctx, db, query, search.TranslatedOptions{
 		MinScore: minScore, TopK: topK, Workers: workers,
 	})
 	if err != nil {

@@ -1,0 +1,47 @@
+package search
+
+// Work-queue and retry shapes from the fault-tolerant cluster
+// dispatcher: a master hands chunks to boards, failed attempts are
+// retried, and the master joins on a buffered result channel.
+
+type job struct{ idx, attempt int }
+
+type outcome struct {
+	j   job
+	err error
+}
+
+// Good: the launch passes the job as a parameter and the master joins
+// on a buffered result channel, so an early abort never strands a
+// sender and the loop variable is bound at spawn time.
+func DispatchGood(jobs []job, run func(job) error) int {
+	resCh := make(chan outcome, len(jobs))
+	inflight := 0
+	for _, j := range jobs {
+		inflight++
+		go func(j job) {
+			resCh <- outcome{j: j, err: run(j)}
+		}(j)
+	}
+	failed := 0
+	for ; inflight > 0; inflight-- {
+		if r := <-resCh; r.err != nil {
+			failed++
+		}
+	}
+	return failed
+}
+
+// Bad: each retry goroutine closes over the loop variable and nothing
+// in the function waits for the retries to finish.
+func RetryBad(pending []job, run func(job) error) {
+	for _, j := range pending {
+		go func() { // finding: no join
+			for a := 0; a < 3; a++ {
+				if run(j) == nil { // finding: j captured
+					return
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,287 @@
+// Package faults is a deterministic fault-injection layer for the
+// simulated accelerator boards. Real FPGA deployments of the paper's
+// architecture sit behind a PCI link and board SRAM, both of which fail
+// in practice: transfers abort, boards hang, SRAM bits flip, and whole
+// boards die. The injector decides, per board operation, whether one of
+// those fault classes strikes — driven either by a seeded random
+// process (Random) or an explicit replayable schedule (Schedule) — so
+// the fault-tolerant cluster in internal/host can be exercised, and its
+// bit-identical-result invariant property-tested, under fully
+// reproducible fault workloads.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class enumerates the injected fault classes.
+type Class uint8
+
+const (
+	// None is the absence of a fault.
+	None Class = iota
+	// PCI is a transient host-link transfer error: the streamed chunk is
+	// aborted mid-flight and the attempt fails immediately.
+	PCI
+	// Hang is a board that stops responding: the call blocks until the
+	// caller's deadline fires (or a watchdog reports it when the caller
+	// set no deadline).
+	Hang
+	// BitFlip is a transient SRAM upset in the streamed database chunk.
+	// With checksum verification enabled it is detected host-side and
+	// the attempt fails; without it the board silently computes over the
+	// corrupted chunk.
+	BitFlip
+	// Dead is a permanent board death: the faulting board fails this and
+	// every subsequent operation.
+	Dead
+)
+
+// String names the class for reports.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case PCI:
+		return "pci-transfer"
+	case Hang:
+		return "hang"
+	case BitFlip:
+		return "sram-bitflip"
+	case Dead:
+		return "board-dead"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Transient reports whether a retry (possibly on another board) can
+// succeed after this fault.
+func (c Class) Transient() bool {
+	return c == PCI || c == Hang || c == BitFlip
+}
+
+// Op identifies one board operation about to execute: which board, the
+// board-local call sequence number, and the database-side length of the
+// streamed chunk. A board performs one operation at a time, so (Board,
+// Call) pairs are unique and board-local call order is deterministic.
+type Op struct {
+	// Board is the board's cluster index (0 for a standalone device).
+	Board int
+	// Call is the board-local operation sequence number, starting at 0.
+	Call int
+	// Bases is the database-side length of the streamed chunk.
+	Bases int
+}
+
+// Error is the device-visible manifestation of an injected fault.
+type Error struct {
+	// Class is the injected fault class.
+	Class Class
+	// Board and Call locate the faulted operation.
+	Board, Call int
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s on board %d call %d", e.Class, e.Board, e.Call)
+}
+
+// ClassOf extracts the injected fault class from an error chain (None
+// when err carries no injected fault).
+func ClassOf(err error) Class {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Class
+	}
+	return None
+}
+
+// Injector decides the fault, if any, striking one operation.
+// Implementations must be safe for concurrent use: a cluster consults
+// one injector from every board's dispatch goroutine.
+type Injector interface {
+	Inject(Op) Class
+}
+
+// Rates configures the per-operation probability of each fault class
+// for the random injector.
+type Rates struct {
+	// PCI, Hang, BitFlip and Dead are per-operation probabilities.
+	PCI, Hang, BitFlip, Dead float64
+}
+
+// Total is the combined per-operation fault probability.
+func (r Rates) Total() float64 {
+	return r.PCI + r.Hang + r.BitFlip + r.Dead
+}
+
+// Validate rejects probabilities outside [0,1].
+func (r Rates) Validate() error {
+	for _, p := range []float64{r.PCI, r.Hang, r.BitFlip, r.Dead} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faults: rate %v outside [0,1]", p)
+		}
+	}
+	if t := r.Total(); t > 1 {
+		return fmt.Errorf("faults: total fault rate %v exceeds 1", t)
+	}
+	return nil
+}
+
+// Split spreads a total fault rate across the classes in the mix a
+// deployed board plausibly sees: transfer errors dominate (40%), hangs
+// and bit flips follow (30% / 20%), permanent deaths are rare (10%).
+func Split(rate float64) Rates {
+	return Rates{
+		PCI:     0.4 * rate,
+		Hang:    0.3 * rate,
+		BitFlip: 0.2 * rate,
+		Dead:    0.1 * rate,
+	}
+}
+
+// Random is the seeded deterministic injector: the decision for an
+// operation is a pure function of (seed, board, call), so a run with
+// the same seed and the same board-local call sequences realizes the
+// same fault schedule regardless of goroutine interleaving. Dead boards
+// are sticky: once an operation draws Dead, every later operation on
+// that board faults too.
+type Random struct {
+	seed  int64
+	rates Rates
+
+	mu   sync.Mutex
+	dead map[int]bool
+}
+
+// NewRandom builds a random injector. Rates must validate.
+func NewRandom(seed int64, r Rates) (*Random, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &Random{seed: seed, rates: r, dead: make(map[int]bool)}, nil
+}
+
+// MustRandom is NewRandom for statically known rates.
+func MustRandom(seed int64, r Rates) *Random {
+	inj, err := NewRandom(seed, r)
+	if err != nil {
+		panic(err)
+	}
+	return inj
+}
+
+// Inject implements Injector.
+func (rnd *Random) Inject(op Op) Class {
+	rnd.mu.Lock()
+	defer rnd.mu.Unlock()
+	if rnd.dead[op.Board] {
+		return Dead
+	}
+	u := unitDraw(rnd.seed, op.Board, op.Call)
+	switch r := rnd.rates; {
+	case u < r.PCI:
+		return PCI
+	case u < r.PCI+r.Hang:
+		return Hang
+	case u < r.PCI+r.Hang+r.BitFlip:
+		return BitFlip
+	case u < r.Total():
+		rnd.dead[op.Board] = true
+		return Dead
+	}
+	return None
+}
+
+// unitDraw hashes (seed, board, call) into [0,1) with a splitmix64
+// finalizer — stateless, so concurrent draws need no shared RNG stream.
+func unitDraw(seed int64, board, call int) float64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15
+	x ^= uint64(board)*0xbf58476d1ce4e5b9 + uint64(call)*0x94d049bb133111eb
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Board and Call locate the operation the fault strikes.
+	Board, Call int
+	// Class is the injected fault.
+	Class Class
+}
+
+// Schedule is an explicit fault schedule: exact (board, call) pairs
+// fault with the given class, everything else runs clean. Dead events
+// are sticky from their call onward, matching Random. Schedules make
+// fault regressions replayable byte-for-byte.
+type Schedule struct {
+	mu     sync.Mutex
+	events map[[2]int]Class
+	deadAt map[int]int
+}
+
+// NewSchedule builds a schedule from explicit events.
+func NewSchedule(events ...Event) *Schedule {
+	s := &Schedule{events: make(map[[2]int]Class), deadAt: make(map[int]int)}
+	for _, e := range events {
+		s.events[[2]int{e.Board, e.Call}] = e.Class
+		if e.Class == Dead {
+			if at, ok := s.deadAt[e.Board]; !ok || e.Call < at {
+				s.deadAt[e.Board] = e.Call
+			}
+		}
+	}
+	return s
+}
+
+// Inject implements Injector.
+func (s *Schedule) Inject(op Op) Class {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at, ok := s.deadAt[op.Board]; ok && op.Call >= at {
+		return Dead
+	}
+	return s.events[[2]int{op.Board, op.Call}]
+}
+
+// Recorder wraps an injector and records every realized fault, so a
+// random run's schedule can be inspected or replayed through
+// NewSchedule.
+type Recorder struct {
+	// Inner is the recorded injector.
+	Inner Injector
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Inject implements Injector.
+func (r *Recorder) Inject(op Op) Class {
+	c := r.Inner.Inject(op)
+	if c != None {
+		r.mu.Lock()
+		r.events = append(r.events, Event{Board: op.Board, Call: op.Call, Class: c})
+		r.mu.Unlock()
+	}
+	return c
+}
+
+// Events returns the realized faults ordered by (board, call).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Board != out[j].Board {
+			return out[i].Board < out[j].Board
+		}
+		return out[i].Call < out[j].Call
+	})
+	return out
+}

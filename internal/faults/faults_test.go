@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRandomIsDeterministic(t *testing.T) {
+	mk := func() *Random { return MustRandom(42, Rates{PCI: 0.05, Hang: 0.03, BitFlip: 0.02, Dead: 0.01}) }
+	a, b := mk(), mk()
+	for board := 0; board < 4; board++ {
+		for call := 0; call < 500; call++ {
+			op := Op{Board: board, Call: call, Bases: 100}
+			if ca, cb := a.Inject(op), b.Inject(op); ca != cb {
+				t.Fatalf("board %d call %d: %s != %s across identical injectors", board, call, ca, cb)
+			}
+		}
+	}
+}
+
+func TestRandomIsConcurrencySafeAndOrderIndependent(t *testing.T) {
+	// Draws are pure in (seed, board, call) aside from dead stickiness,
+	// so injecting the same ops from many goroutines must realize the
+	// same schedule as a sequential pass.
+	rates := Rates{PCI: 0.08, Hang: 0.04, BitFlip: 0.04, Dead: 0}
+	seq := MustRandom(7, rates)
+	want := map[Op]Class{}
+	for board := 0; board < 3; board++ {
+		for call := 0; call < 200; call++ {
+			op := Op{Board: board, Call: call}
+			want[op] = seq.Inject(op)
+		}
+	}
+	conc := MustRandom(7, rates)
+	var wg sync.WaitGroup
+	errs := make(chan string, 600)
+	for board := 0; board < 3; board++ {
+		wg.Add(1)
+		go func(board int) {
+			defer wg.Done()
+			for call := 0; call < 200; call++ {
+				op := Op{Board: board, Call: call}
+				if got := conc.Inject(op); got != want[op] {
+					errs <- fmt.Sprintf("op %+v: %s != %s", op, got, want[op])
+				}
+			}
+		}(board)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+func TestRandomRatesRoughlyMatch(t *testing.T) {
+	inj := MustRandom(1, Rates{PCI: 0.1})
+	faults := 0
+	const n = 20000
+	for call := 0; call < n; call++ {
+		if inj.Inject(Op{Board: 0, Call: call}) != None {
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.08 || got > 0.12 {
+		t.Errorf("realized fault rate %.4f far from configured 0.10", got)
+	}
+}
+
+func TestRandomDeadIsSticky(t *testing.T) {
+	inj := MustRandom(3, Rates{Dead: 0.2})
+	deadFrom := -1
+	for call := 0; call < 200; call++ {
+		c := inj.Inject(Op{Board: 1, Call: call})
+		if deadFrom < 0 && c == Dead {
+			deadFrom = call
+			continue
+		}
+		if deadFrom >= 0 && c != Dead {
+			t.Fatalf("call %d drew %s after board died at call %d", call, c, deadFrom)
+		}
+	}
+	if deadFrom < 0 {
+		t.Fatal("board never died at Dead rate 0.2 over 200 calls")
+	}
+	// Other boards are unaffected until their own draw kills them.
+	if c := inj.Inject(Op{Board: 2, Call: 0}); c == Dead && unitDraw(3, 2, 0) >= 0.2 {
+		t.Error("death leaked across boards")
+	}
+}
+
+func TestScheduleRepaysExactly(t *testing.T) {
+	s := NewSchedule(
+		Event{Board: 0, Call: 2, Class: PCI},
+		Event{Board: 1, Call: 0, Class: BitFlip},
+		Event{Board: 2, Call: 1, Class: Dead},
+	)
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{Op{Board: 0, Call: 0}, None},
+		{Op{Board: 0, Call: 2}, PCI},
+		{Op{Board: 1, Call: 0}, BitFlip},
+		{Op{Board: 1, Call: 1}, None},
+		{Op{Board: 2, Call: 0}, None},
+		{Op{Board: 2, Call: 1}, Dead},
+		{Op{Board: 2, Call: 5}, Dead}, // sticky
+	}
+	for _, c := range cases {
+		if got := s.Inject(c.op); got != c.want {
+			t.Errorf("Inject(%+v) = %s, want %s", c.op, got, c.want)
+		}
+	}
+}
+
+func TestRecorderRoundTripsThroughSchedule(t *testing.T) {
+	rec := &Recorder{Inner: MustRandom(11, Rates{PCI: 0.1, Hang: 0.05, Dead: 0.02})}
+	ops := []Op{}
+	for board := 0; board < 2; board++ {
+		for call := 0; call < 100; call++ {
+			ops = append(ops, Op{Board: board, Call: call})
+		}
+	}
+	realized := map[Op]Class{}
+	for _, op := range ops {
+		realized[op] = rec.Inject(op)
+	}
+	replay := NewSchedule(rec.Events()...)
+	for _, op := range ops {
+		if got := replay.Inject(op); got != realized[op] {
+			t.Fatalf("replayed %+v = %s, want %s", op, got, realized[op])
+		}
+	}
+}
+
+func TestRatesValidate(t *testing.T) {
+	if err := (Rates{PCI: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Rates{PCI: 0.6, Hang: 0.6}).Validate(); err == nil {
+		t.Error("total above 1 accepted")
+	}
+	if err := Split(0.1).Validate(); err != nil {
+		t.Errorf("Split(0.1) invalid: %v", err)
+	}
+	if got := Split(0.1).Total(); got < 0.0999 || got > 0.1001 {
+		t.Errorf("Split(0.1) total %v != 0.1", got)
+	}
+	if _, err := NewRandom(1, Rates{Dead: 2}); err == nil {
+		t.Error("NewRandom accepted invalid rates")
+	}
+}
+
+func TestErrorClassOf(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", &Error{Class: Hang, Board: 3, Call: 7})
+	if ClassOf(err) != Hang {
+		t.Errorf("ClassOf through wrap = %s, want hang", ClassOf(err))
+	}
+	if ClassOf(errors.New("plain")) != None {
+		t.Error("plain error classified as fault")
+	}
+	if !Hang.Transient() || !PCI.Transient() || !BitFlip.Transient() {
+		t.Error("transient classes misclassified")
+	}
+	if Dead.Transient() {
+		t.Error("Dead classified transient")
+	}
+}

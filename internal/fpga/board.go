@@ -61,6 +61,17 @@ func (b Board) DatabaseFits(bases int, partitioned bool) error {
 	return nil
 }
 
+// FaultRecoverySeconds models the host-link time lost to one faulted
+// streamed comparison over an n-base database chunk: the aborted stream
+// still occupied the link for the packed chunk bytes, and recovering
+// costs a reset handshake (one setup latency in each direction) before
+// the retry can start. The fault-tolerant cluster in internal/host
+// charges this per failed attempt so its reports account modeled retry
+// time, not just retry counts.
+func (b Board) FaultRecoverySeconds(bases int) float64 {
+	return b.TransferSeconds((bases+3)/4) + 2*b.PCILatency
+}
+
 // ResultBytes is the size of the architecture's output: a 32-bit score
 // and two 32-bit coordinates.
 const ResultBytes = 12

@@ -194,6 +194,24 @@ func TestBoardTransfers(t *testing.T) {
 	}
 }
 
+func TestFaultRecoverySeconds(t *testing.T) {
+	b := DefaultBoard()
+	// Recovery of a faulted 1 MBP stream costs the aborted chunk
+	// transfer plus a two-way reset handshake — strictly more than the
+	// clean transfer of the same chunk.
+	clean := b.TransferSeconds((1_000_000 + 3) / 4)
+	rec := b.FaultRecoverySeconds(1_000_000)
+	if rec <= clean {
+		t.Errorf("recovery %v s not above clean transfer %v s", rec, clean)
+	}
+	if want := clean + 2*b.PCILatency; rec != want {
+		t.Errorf("recovery %v s != transfer + reset handshake %v s", rec, want)
+	}
+	if got := b.FaultRecoverySeconds(0); got != 2*b.PCILatency {
+		t.Errorf("zero-chunk recovery %v s != reset handshake alone", got)
+	}
+}
+
 func TestDatabaseFits(t *testing.T) {
 	b := DefaultBoard()
 	// 10 MBP packed is 2.5 MB — fits the 8 MB SRAM when the query fits

@@ -1,13 +1,15 @@
 package host
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"swfpga/internal/align"
+	"swfpga/internal/faults"
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
-	"time"
 )
 
 // Cluster distributes the forward scan of a long database across
@@ -21,18 +23,45 @@ import (
 // local alignment can have, so an alignment straddling a chunk boundary
 // is always contained whole in some chunk and the distributed result is
 // bit-identical to a single-board scan.
+//
+// The cluster is fault tolerant (see Policy and DESIGN.md §7): chunks
+// are dispatched through a work queue rather than pinned to boards,
+// failed attempts retry with exponential backoff, boards that keep
+// failing are quarantined and their chunks redistributed, and when no
+// healthy board remains the scan completes on the software scanner —
+// in every case the result stays bit-identical to a single-board scan.
 type Cluster struct {
 	// Devices are the member boards (at least one).
 	Devices []*Device
+	// Policy configures fault tolerance; the zero value gives sensible
+	// defaults (see Policy).
+	Policy Policy
+
+	// mu guards the fault-report accumulators.
+	mu    sync.Mutex
+	last  FaultReport
+	total FaultReport
 }
 
 // NewCluster builds a cluster of n identical prototype boards.
 func NewCluster(n int) *Cluster {
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		c.Devices = append(c.Devices, NewDevice())
+		d := NewDevice()
+		d.ID = i
+		c.Devices = append(c.Devices, d)
 	}
 	return c
+}
+
+// InjectFaults points every board at the injector (and renumbers board
+// IDs to the cluster indices the injector's schedule uses). A nil
+// injector removes fault injection.
+func (c *Cluster) InjectFaults(inj faults.Injector) {
+	for i, d := range c.Devices {
+		d.ID = i
+		d.Faults = inj
+	}
 }
 
 // Validate checks every member board.
@@ -51,65 +80,71 @@ func (c *Cluster) Validate() error {
 // maxSpan bounds the database-side length of any positive-scoring local
 // alignment: with matches ≤ m and each database gap costing -Gap against
 // the at most m*Match the matches contribute, the span cannot exceed
-// m*(1 + Match/-Gap).
-func maxSpan(m int, sc align.LinearScoring) int {
-	return m + (m*sc.Match)/(-sc.Gap) + 1
+// m*(1 + Match/-Gap). A non-negative gap penalty has no such bound (any
+// span extends for free), so it is rejected rather than divided by.
+func maxSpan(m int, sc align.LinearScoring) (int, error) {
+	if sc.Gap >= 0 {
+		return 0, fmt.Errorf("host: gap penalty %d must be negative to bound the chunk overlap", sc.Gap)
+	}
+	return m + (m*sc.Match)/(-sc.Gap) + 1, nil
 }
 
-// BestLocal implements the distributed forward scan: the database is cut
-// into len(Devices) chunks (overlapping by maxSpan), each board scans
-// its chunk concurrently, and the bests are merged with the global
-// tie-break (highest score, then smallest row, then smallest column) —
-// the decision the master node makes in phase 3 of [3].
-func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	if err := c.Validate(); err != nil {
-		return 0, 0, 0, err
-	}
-	if len(s) == 0 || len(t) == 0 {
-		return 0, 0, 0, nil
-	}
-	workers := len(c.Devices)
-	if workers > len(t) {
-		workers = len(t)
-	}
-	chunk := (len(t) + workers - 1) / workers
-	overlap := maxSpan(len(s), sc)
+// part is one chunk's best in global database coordinates.
+type part struct {
+	score, i, j int
+}
 
-	type part struct {
-		score, i, j int
-		err         error
-	}
-	parts := make([]part, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk + overlap
-		if hi > len(t) {
-			hi = len(t)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			score, i, j, err := c.Devices[w].BestLocal(s, t[lo:hi], sc)
-			parts[w] = part{score, i, j + lo, err} // global database coordinate
-			if score == 0 {
-				parts[w].j = 0
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+// mergeParts applies the master's global tie-break (highest score, then
+// smallest row, then smallest column) — the decision the master node
+// makes in phase 3 of [3].
+func mergeParts(parts []part) part {
 	var best part
 	for _, p := range parts {
-		if p.err != nil {
-			return 0, 0, 0, p.err
-		}
 		if p.score > best.score ||
 			(p.score == best.score && p.score > 0 &&
 				(p.i < best.i || (p.i == best.i && p.j < best.j))) {
 			best = p
 		}
 	}
-	return best.score, best.i, best.j, nil
+	return best
+}
+
+// BestLocal implements the distributed forward scan as a linear.Scanner;
+// see BestLocalCtx for the fault-tolerant dispatch it performs. The
+// fault report of the call is retained (LastFaults / TotalFaults).
+func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	score, i, j, _, err := c.BestLocalCtx(context.Background(), s, t, sc)
+	return score, i, j, err
+}
+
+// BestAnchored runs the anchored reverse scan on a healthy board with
+// the same retry/quarantine/degradation policy as the forward scan,
+// completing the linear.Scanner contract so a fault-tolerant cluster
+// can drop in wherever a single board would (e.g. as a search engine).
+func (c *Cluster) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	var rev FaultReport
+	score, i, j, err := c.anchoredResilient(context.Background(), s, t, sc, &rev)
+	c.mu.Lock()
+	c.last = rev.clone()
+	c.total.merge(rev)
+	c.mu.Unlock()
+	return score, i, j, err
+}
+
+// LastFaults returns the fault report of the most recent distributed
+// scan.
+func (c *Cluster) LastFaults() FaultReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last.clone()
+}
+
+// TotalFaults returns the fault report accumulated across every
+// distributed scan this cluster ran.
+func (c *Cluster) TotalFaults() FaultReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total.clone()
 }
 
 // ClusterReport is the outcome of a distributed pipeline run.
@@ -121,25 +156,34 @@ type ClusterReport struct {
 	// ScanSeconds is the modeled wall time of the distributed forward
 	// scan: the slowest board's share (boards run concurrently).
 	ScanSeconds float64
-	// ReverseSeconds is the modeled reverse-scan time on the master's
-	// board.
+	// ReverseSeconds is the modeled reverse-scan time.
 	ReverseSeconds float64
 	// HostSeconds is the measured retrieval time.
 	HostSeconds float64
+	// Faults reports the fault-tolerance activity of the run (retries,
+	// quarantines, software degradation).
+	Faults FaultReport
 }
 
 // Pipeline runs the full linear-space local alignment with the forward
-// scan distributed over the cluster, the reverse scan on the first
+// scan distributed over the cluster, the reverse scan on a healthy
 // board (it covers only the prefixes ending at the located
 // coordinates), and retrieval on the master host.
 func (c *Cluster) Pipeline(s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
+	return c.PipelineCtx(context.Background(), s, t, sc)
+}
+
+// PipelineCtx is Pipeline with cancellation: ctx aborts the distributed
+// scan between (and for hung boards, during) chunk dispatches.
+func (c *Cluster) PipelineCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
 	var rep ClusterReport
 	// Snapshot per-device compute time to attribute the scan cost.
 	before := make([]float64, len(c.Devices))
 	for i, d := range c.Devices {
 		before[i] = d.Metrics.ComputeSeconds
 	}
-	score, endI, endJ, err := c.BestLocal(s, t, sc)
+	score, endI, endJ, frep, err := c.BestLocalCtx(ctx, s, t, sc)
+	rep.Faults = frep
 	if err != nil {
 		return rep, fmt.Errorf("host: distributed forward scan: %w", err)
 	}
@@ -152,13 +196,30 @@ func (c *Cluster) Pipeline(s, t []byte, sc align.LinearScoring) (ClusterReport, 
 	if score == 0 {
 		return rep, nil
 	}
-	master := c.Devices[0]
-	beforeRev := master.Metrics.ComputeSeconds
-	revScore, revI, revJ, err := master.BestAnchored(seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
+	revStart := time.Now()
+	beforeRev := make([]float64, len(c.Devices))
+	for i, d := range c.Devices {
+		beforeRev[i] = d.Metrics.ComputeSeconds
+	}
+	var revRep FaultReport
+	revScore, revI, revJ, err := c.anchoredResilient(ctx, seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc, &revRep)
+	rep.Faults.merge(revRep)
+	c.mu.Lock()
+	c.total.merge(revRep)
+	c.last = rep.Faults.clone()
+	c.mu.Unlock()
 	if err != nil {
 		return rep, fmt.Errorf("host: reverse scan: %w", err)
 	}
-	rep.ReverseSeconds = master.Metrics.ComputeSeconds - beforeRev
+	for i, d := range c.Devices {
+		if dt := d.Metrics.ComputeSeconds - beforeRev[i]; dt > rep.ReverseSeconds {
+			rep.ReverseSeconds = dt
+		}
+	}
+	if rep.ReverseSeconds == 0 && revRep.Degraded {
+		// Degraded reverse scan ran on the host: report its wall time.
+		rep.ReverseSeconds = time.Since(revStart).Seconds()
+	}
 	if revScore != score {
 		return rep, fmt.Errorf("host: reverse scan score %d != forward %d", revScore, score)
 	}

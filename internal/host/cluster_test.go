@@ -64,10 +64,15 @@ func TestClusterDistributesWork(t *testing.T) {
 	if _, _, _, err := c.BestLocal(q, db, align.DefaultLinear()); err != nil {
 		t.Fatal(err)
 	}
-	for i, d := range c.Devices {
-		if d.Metrics.Calls != 1 {
-			t.Errorf("device %d ran %d scans, want 1", i, d.Metrics.Calls)
-		}
+	// Dispatch is a work queue, not a static 1:1 assignment, so a fast
+	// board may take more than one chunk; the scan totals must still be
+	// exactly one call per chunk across the cluster.
+	totalCalls := 0
+	for _, d := range c.Devices {
+		totalCalls += d.Metrics.Calls
+	}
+	if totalCalls != 4 {
+		t.Errorf("cluster ran %d scans for 4 chunks", totalCalls)
 	}
 	// Overlap means slightly more than m*n total cells, but bounded.
 	mn := uint64(len(q)) * uint64(len(db))
@@ -75,7 +80,11 @@ func TestClusterDistributesWork(t *testing.T) {
 	if total < mn {
 		t.Errorf("total cells %d below matrix size %d", total, mn)
 	}
-	overlapBound := mn + uint64(4*maxSpan(len(q), align.DefaultLinear())*len(q))
+	span, err := maxSpan(len(q), align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapBound := mn + uint64(4*span*len(q))
 	if total > overlapBound {
 		t.Errorf("total cells %d exceed overlap bound %d", total, overlapBound)
 	}

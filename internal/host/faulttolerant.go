@@ -1,0 +1,496 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"swfpga/internal/align"
+	"swfpga/internal/faults"
+	"swfpga/internal/linear"
+)
+
+// Policy configures the cluster's fault tolerance. The zero value is a
+// usable default: three retries per chunk, quarantine after three
+// consecutive board failures, chunk checksums on, software fallback
+// allowed, no per-chunk deadline.
+type Policy struct {
+	// ChunkTimeout is the per-chunk dispatch deadline; a board that does
+	// not answer within it counts as a failed attempt. 0 disables the
+	// deadline (hung boards are then caught by the modeled watchdog).
+	ChunkTimeout time.Duration
+	// MaxRetries bounds the re-dispatches of one chunk after transient
+	// failures (default 3; negative means no retries).
+	MaxRetries int
+	// Backoff is the base of the exponential backoff a retried chunk
+	// waits before re-dispatch: attempt k waits Backoff << (k-1), capped
+	// at 8×. Default 200µs; negative disables the wait.
+	Backoff time.Duration
+	// QuarantineAfter is the consecutive-failure count that trips a
+	// board's circuit breaker: the board is quarantined for the rest of
+	// the scan and its chunks are redistributed (default 3). Permanent
+	// board deaths quarantine immediately.
+	QuarantineAfter int
+	// DisableChecksum turns off the host-side chunk checksum: injected
+	// SRAM bit flips are then computed over silently instead of failing
+	// the attempt. Only useful for demonstrating why verification is
+	// part of the contract.
+	DisableChecksum bool
+	// DisableFallback forbids the graceful degradation to the software
+	// scanner: a chunk that exhausts its retries (or finds no healthy
+	// board) then fails the scan instead.
+	DisableFallback bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	} else if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 200 * time.Microsecond
+	} else if p.Backoff < 0 {
+		p.Backoff = 0
+	}
+	if p.QuarantineAfter <= 0 {
+		p.QuarantineAfter = 3
+	}
+	return p
+}
+
+// backoffFor is the wait before re-dispatching a chunk on its k-th
+// retry (k starting at 1): Backoff doubling per attempt, capped at 8×.
+func (p Policy) backoffFor(attempt int) time.Duration {
+	if p.Backoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 3 {
+		shift = 3
+	}
+	return p.Backoff << shift
+}
+
+// FaultReport is the observability surface of one distributed scan:
+// what faulted, what was retried or redistributed, which boards were
+// quarantined, and whether the scan had to degrade to software.
+type FaultReport struct {
+	// Chunks is the number of database chunks dispatched.
+	Chunks int
+	// Retries counts chunk re-dispatches after failed attempts.
+	Retries int
+	// Redispatches counts retries that moved to a different board than
+	// the one that failed.
+	Redispatches int
+	// PCIErrors, Timeouts, ChecksumErrors and BoardDeaths break the
+	// failed attempts down by detection path (timeouts cover injected
+	// hangs and genuine chunk deadline misses).
+	PCIErrors, Timeouts, ChecksumErrors, BoardDeaths int
+	// Quarantined lists the boards whose circuit breaker tripped.
+	Quarantined []int
+	// SoftwareChunks counts chunks completed by the software fallback,
+	// and SoftwareSeconds is their measured host wall time.
+	SoftwareChunks  int
+	SoftwareSeconds float64
+	// Degraded is set when any part of the scan fell back to software.
+	Degraded bool
+	// ModeledRetrySeconds is the modeled time lost to fault handling:
+	// aborted transfers and reset handshakes, expired chunk deadlines,
+	// and backoff waits.
+	ModeledRetrySeconds float64
+}
+
+// Faulted is the total number of failed attempts.
+func (r FaultReport) Faulted() int {
+	return r.PCIErrors + r.Timeouts + r.ChecksumErrors + r.BoardDeaths
+}
+
+// String summarizes the report in one line.
+func (r FaultReport) String() string {
+	return fmt.Sprintf(
+		"chunks %d, faults %d (pci %d, timeout %d, checksum %d, dead %d), retries %d (%d redispatched), quarantined %d, software chunks %d, degraded %v, modeled retry time %.6f s",
+		r.Chunks, r.Faulted(), r.PCIErrors, r.Timeouts, r.ChecksumErrors, r.BoardDeaths,
+		r.Retries, r.Redispatches, len(r.Quarantined), r.SoftwareChunks, r.Degraded,
+		r.ModeledRetrySeconds)
+}
+
+// clone deep-copies the report.
+func (r FaultReport) clone() FaultReport {
+	r.Quarantined = append([]int(nil), r.Quarantined...)
+	return r
+}
+
+// merge folds another report into r (counter sums, quarantine union).
+func (r *FaultReport) merge(o FaultReport) {
+	r.Chunks += o.Chunks
+	r.Retries += o.Retries
+	r.Redispatches += o.Redispatches
+	r.PCIErrors += o.PCIErrors
+	r.Timeouts += o.Timeouts
+	r.ChecksumErrors += o.ChecksumErrors
+	r.BoardDeaths += o.BoardDeaths
+	r.SoftwareChunks += o.SoftwareChunks
+	r.SoftwareSeconds += o.SoftwareSeconds
+	r.Degraded = r.Degraded || o.Degraded
+	r.ModeledRetrySeconds += o.ModeledRetrySeconds
+	have := make(map[int]bool, len(r.Quarantined))
+	for _, b := range r.Quarantined {
+		have[b] = true
+	}
+	for _, b := range o.Quarantined {
+		if !have[b] {
+			r.Quarantined = append(r.Quarantined, b)
+			have[b] = true
+		}
+	}
+}
+
+// Merge folds another report into r — the exported form for callers
+// aggregating reports across scans or worker clusters.
+func (r *FaultReport) Merge(o FaultReport) { r.merge(o) }
+
+// chunkJob is one chunk attempt waiting for a board.
+type chunkJob struct {
+	idx, lo, hi int
+	attempt     int
+	exclude     int // board to avoid (checksum re-dispatch); -1 = none
+	lastBoard   int // board of the previous failed attempt; -1 = none
+	backoff     time.Duration
+}
+
+// attemptResult is what a board reports back to the master.
+type attemptResult struct {
+	board int
+	job   chunkJob
+	p     part
+	err   error
+}
+
+// BestLocalCtx runs the distributed forward scan with fault-tolerant
+// per-chunk dispatch: chunks flow through a work queue to whichever
+// board is idle and healthy, failed attempts retry with exponential
+// backoff (re-dispatching checksum failures to a different board),
+// boards exceeding the consecutive-failure breaker are quarantined, and
+// chunks that no board can complete fall back to the software scanner.
+// The returned FaultReport records that activity; the result is
+// bit-identical to a single-board scan in every non-error outcome.
+func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, FaultReport, error) {
+	var rep FaultReport
+	if err := c.Validate(); err != nil {
+		return 0, 0, 0, rep, err
+	}
+	if len(s) == 0 || len(t) == 0 {
+		return 0, 0, 0, rep, nil
+	}
+	overlap, err := maxSpan(len(s), sc)
+	if err != nil {
+		return 0, 0, 0, rep, err
+	}
+	pol := c.Policy.withDefaults()
+	for i, d := range c.Devices {
+		d.ID = i
+		d.Checksum = !pol.DisableChecksum
+	}
+
+	workers := len(c.Devices)
+	if workers > len(t) {
+		workers = len(t)
+	}
+	chunk := (len(t) + workers - 1) / workers
+	pending := make([]chunkJob, 0, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk + overlap
+		if hi > len(t) {
+			hi = len(t)
+		}
+		pending = append(pending, chunkJob{idx: w, lo: lo, hi: hi, exclude: -1, lastBoard: -1})
+	}
+	chunks := len(pending)
+	rep.Chunks = chunks
+
+	parts := make([]part, chunks)
+	done := make([]bool, chunks)
+	completed := 0
+	quarantined := make([]bool, len(c.Devices))
+	consec := make([]int, len(c.Devices))
+	idle := make([]int, 0, len(c.Devices))
+	for b := range c.Devices {
+		idle = append(idle, b)
+	}
+	healthy := func() int {
+		n := 0
+		for _, q := range quarantined {
+			if !q {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Buffered so an in-flight board can always deliver its result even
+	// if the master has already returned on a hard error — no goroutine
+	// is ever stuck on the send.
+	resCh := make(chan attemptResult, len(c.Devices))
+	inflight := 0
+	launch := func(b int, j chunkJob) {
+		inflight++
+		go func(b int, j chunkJob) {
+			if j.backoff > 0 {
+				timer := time.NewTimer(j.backoff)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+				}
+			}
+			cctx := ctx
+			cancel := func() {}
+			if pol.ChunkTimeout > 0 {
+				cctx, cancel = context.WithTimeout(ctx, pol.ChunkTimeout)
+			}
+			score, i, jj, err := c.Devices[b].BestLocalCtx(cctx, s, t[j.lo:j.hi], sc)
+			cancel()
+			r := attemptResult{board: b, job: j, err: err}
+			if err == nil && score > 0 {
+				r.p = part{score: score, i: i, j: jj + j.lo} // global database coordinate
+			}
+			resCh <- r
+		}(b, j)
+	}
+
+	// software completes a chunk on the host scanner — the graceful
+	// degradation path. Bit-identical by DESIGN.md invariant §5.2.
+	software := func(j chunkJob) {
+		t0 := time.Now()
+		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(s, t[j.lo:j.hi], sc)
+		rep.SoftwareSeconds += time.Since(t0).Seconds()
+		if score > 0 {
+			parts[j.idx] = part{score: score, i: i, j: jj + j.lo}
+		}
+		done[j.idx] = true
+		completed++
+		rep.SoftwareChunks++
+		rep.Degraded = true
+	}
+
+	for completed < chunks {
+		// Assign pending chunks to idle healthy boards, preferring a
+		// different board than the one whose checksum failed.
+		for len(idle) > 0 && len(pending) > 0 {
+			j := pending[0]
+			pick := -1
+			for k, b := range idle {
+				if b != j.exclude {
+					pick = k
+					break
+				}
+			}
+			if pick < 0 {
+				if healthy() > 1 {
+					break // wait for a non-excluded board to free up
+				}
+				pick = 0 // the excluded board is the only one left
+			}
+			b := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			pending = pending[1:]
+			if j.lastBoard >= 0 && j.lastBoard != b {
+				rep.Redispatches++
+			}
+			launch(b, j)
+		}
+		if inflight == 0 {
+			break // no healthy board can take the remaining chunks
+		}
+		r := <-resCh
+		inflight--
+		if r.err == nil {
+			parts[r.job.idx] = r.p
+			done[r.job.idx] = true
+			completed++
+			consec[r.board] = 0
+			idle = append(idle, r.board)
+			continue
+		}
+
+		// Classify the failed attempt.
+		class := faults.ClassOf(r.err)
+		switch {
+		case class == faults.PCI:
+			rep.PCIErrors++
+			rep.ModeledRetrySeconds += c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi - r.job.lo)
+		case class == faults.Hang:
+			rep.Timeouts++
+			rep.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
+		case class == faults.BitFlip:
+			rep.ChecksumErrors++
+			rep.ModeledRetrySeconds += c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi - r.job.lo)
+		case class == faults.Dead:
+			rep.BoardDeaths++
+		case errors.Is(r.err, context.DeadlineExceeded):
+			rep.Timeouts++
+			rep.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
+		case ctx.Err() != nil:
+			return 0, 0, 0, rep, ctx.Err()
+		default:
+			// A genuine device condition (e.g. score-register
+			// saturation) would fail identically anywhere: abort.
+			return 0, 0, 0, rep, r.err
+		}
+
+		// Per-board circuit breaker.
+		consec[r.board]++
+		if class == faults.Dead || consec[r.board] >= pol.QuarantineAfter {
+			if !quarantined[r.board] {
+				quarantined[r.board] = true
+				rep.Quarantined = append(rep.Quarantined, r.board)
+			}
+		} else {
+			idle = append(idle, r.board)
+		}
+
+		// Bounded retry with exponential backoff; checksum failures
+		// re-dispatch to a different board when one exists.
+		if r.job.attempt < pol.MaxRetries {
+			rep.Retries++
+			next := r.job
+			next.attempt++
+			next.lastBoard = r.board
+			next.exclude = -1
+			if class == faults.BitFlip {
+				next.exclude = r.board
+			}
+			next.backoff = pol.backoffFor(next.attempt)
+			rep.ModeledRetrySeconds += next.backoff.Seconds()
+			pending = append(pending, next)
+			continue
+		}
+		if pol.DisableFallback {
+			return 0, 0, 0, rep, fmt.Errorf("host: chunk %d failed after %d retries: %w",
+				r.job.idx, pol.MaxRetries, r.err)
+		}
+		software(r.job)
+	}
+
+	// Chunks no healthy board could take complete on the host.
+	if completed < chunks {
+		if pol.DisableFallback {
+			return 0, 0, 0, rep, fmt.Errorf("host: %d chunk(s) undispatchable: all boards quarantined",
+				chunks-completed)
+		}
+		for _, j := range pending {
+			software(j)
+		}
+		for idx := range done {
+			if !done[idx] {
+				// An in-flight-failed chunk re-collected above covers
+				// this; defensive completeness for any dropped job.
+				lo := idx * chunk
+				hi := lo + chunk + overlap
+				if hi > len(t) {
+					hi = len(t)
+				}
+				software(chunkJob{idx: idx, lo: lo, hi: hi})
+			}
+		}
+	}
+
+	best := mergeParts(parts)
+	c.record(rep)
+	return best.score, best.i, best.j, rep.clone(), nil
+}
+
+// record folds a scan's fault report into the cluster accumulators.
+func (c *Cluster) record(rep FaultReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last = rep.clone()
+	c.total.merge(rep)
+}
+
+// anchoredResilient runs the reverse (anchored) scan on a healthy
+// board, retrying across boards on transient faults and degrading to
+// the software scanner when none succeeds. Activity is recorded into
+// rev; the caller merges it into the run's report.
+func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.LinearScoring, rev *FaultReport) (int, int, int, error) {
+	pol := c.Policy.withDefaults()
+	quarantined := make([]bool, len(c.Devices))
+	consec := make([]int, len(c.Devices))
+	attempts := 0
+	budget := (pol.MaxRetries + 1) * len(c.Devices)
+	for b := 0; attempts < budget; b = (b + 1) % len(c.Devices) {
+		if quarantined[b] {
+			if allTrue(quarantined) {
+				break
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, 0, 0, err
+		}
+		attempts++
+		cctx := ctx
+		cancel := func() {}
+		if pol.ChunkTimeout > 0 {
+			cctx, cancel = context.WithTimeout(ctx, pol.ChunkTimeout)
+		}
+		score, i, j, err := c.Devices[b].BestAnchoredCtx(cctx, s, t, sc)
+		cancel()
+		if err == nil {
+			return score, i, j, nil
+		}
+		class := faults.ClassOf(err)
+		switch {
+		case class == faults.PCI:
+			rev.PCIErrors++
+			rev.ModeledRetrySeconds += c.Devices[b].Board.FaultRecoverySeconds(len(t))
+		case class == faults.Hang:
+			rev.Timeouts++
+			rev.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
+		case class == faults.BitFlip:
+			rev.ChecksumErrors++
+			rev.ModeledRetrySeconds += c.Devices[b].Board.FaultRecoverySeconds(len(t))
+		case class == faults.Dead:
+			rev.BoardDeaths++
+		case errors.Is(err, context.DeadlineExceeded):
+			rev.Timeouts++
+			rev.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
+		case ctx.Err() != nil:
+			return 0, 0, 0, ctx.Err()
+		default:
+			return 0, 0, 0, err
+		}
+		rev.Retries++
+		consec[b]++
+		if class == faults.Dead || consec[b] >= pol.QuarantineAfter {
+			if !quarantined[b] {
+				quarantined[b] = true
+				rev.Quarantined = append(rev.Quarantined, b)
+			}
+			if allTrue(quarantined) {
+				break
+			}
+		}
+	}
+	if pol.DisableFallback {
+		return 0, 0, 0, fmt.Errorf("host: reverse scan found no healthy board")
+	}
+	t0 := time.Now()
+	score, i, j, err := linear.ScanSoftware{}.BestAnchored(s, t, sc)
+	rev.SoftwareSeconds += time.Since(t0).Seconds()
+	rev.SoftwareChunks++
+	rev.Degraded = true
+	return score, i, j, err
+}
+
+func allTrue(v []bool) bool {
+	for _, b := range v {
+		if !b {
+			return false
+		}
+	}
+	return true
+}

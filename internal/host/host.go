@@ -9,10 +9,12 @@
 package host
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"swfpga/internal/align"
+	"swfpga/internal/faults"
 	"swfpga/internal/fpga"
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
@@ -33,11 +35,20 @@ type Metrics struct {
 	TransferSeconds float64
 	// BytesIn and BytesOut are the modeled PCI byte counts.
 	BytesIn, BytesOut int
+	// Faults counts injected-fault attempts, and FaultSeconds is the
+	// modeled host-link time those lost attempts consumed (aborted
+	// streams plus reset handshakes; see fpga.Board.FaultRecoverySeconds).
+	Faults       int
+	FaultSeconds float64
 }
 
 // Device is a simulated FPGA accelerator board: the systolic array plus
 // the board's communication and timing models. It implements
 // linear.Scanner, so it can drive the three-phase pipeline directly.
+//
+// A Device serves one operation at a time (the cluster dispatcher and
+// the per-worker search engines both respect this); Metrics and the
+// fault-schedule call counter rely on that ownership.
 type Device struct {
 	// Array configures the systolic array (element count, scoring,
 	// register width). The Scoring and Anchored fields are set per call.
@@ -48,16 +59,89 @@ type Device struct {
 	Timing fpga.TimingModel
 	// Metrics accumulates modeled costs across calls.
 	Metrics Metrics
+	// ID names this board in a cluster and in fault schedules.
+	ID int
+	// Faults, when non-nil, is consulted before every scan and may make
+	// the attempt fail (or, for bit flips without checksums, silently
+	// corrupt the streamed chunk). Nil means a perfect board.
+	Faults faults.Injector
+	// Checksum models the host verifying a CRC of the streamed chunk
+	// against the board's readback: injected bit flips are then detected
+	// and surface as a *faults.Error instead of corrupting the result.
+	// NewDevice enables it.
+	Checksum bool
+
+	// calls is the board-local operation sequence number for fault
+	// scheduling.
+	calls int
 }
 
 // NewDevice assembles the paper's prototype: a 100-element array on the
 // xc2vp70 board with the paper-calibrated timing model.
 func NewDevice() *Device {
 	return &Device{
-		Array:  systolic.DefaultConfig(),
-		Board:  fpga.DefaultBoard(),
-		Timing: fpga.CalibratedTiming(),
+		Array:    systolic.DefaultConfig(),
+		Board:    fpga.DefaultBoard(),
+		Timing:   fpga.CalibratedTiming(),
+		Checksum: true,
 	}
+}
+
+// injectFault consults the injector for the next operation over an
+// n-base chunk. It returns a corrupted copy of t for undetected bit
+// flips, or the fault error ending this attempt (nil, nil on a clean
+// operation). Hangs block until the caller's deadline fires, modeling a
+// board that stops responding; without a deadline a watchdog reports
+// them immediately.
+func (d *Device) injectFault(ctx context.Context, t []byte) ([]byte, error) {
+	if d.Faults == nil {
+		return nil, nil
+	}
+	op := faults.Op{Board: d.ID, Call: d.calls, Bases: len(t)}
+	d.calls++
+	class := d.Faults.Inject(op)
+	if class == faults.None {
+		return nil, nil
+	}
+	ferr := &faults.Error{Class: class, Board: op.Board, Call: op.Call}
+	switch class {
+	case faults.Hang:
+		if _, hasDeadline := ctx.Deadline(); hasDeadline {
+			<-ctx.Done()
+		}
+		d.Metrics.Faults++
+		return nil, ferr
+	case faults.BitFlip:
+		if !d.Checksum && len(t) > 0 {
+			// No chunk verification: the board computes over the
+			// corrupted chunk and the wrong result leaks silently.
+			corrupted := append([]byte(nil), t...)
+			i := (op.Call*2654435761 + op.Board) % len(t)
+			corrupted[i] = flipBase(corrupted[i])
+			return corrupted, nil
+		}
+		fallthrough
+	default: // PCI, detected BitFlip, Dead
+		d.Metrics.Faults++
+		d.Metrics.FaultSeconds += d.Board.FaultRecoverySeconds(len(t))
+		return nil, ferr
+	}
+}
+
+// flipBase models a single-bit upset in the 2-bit packed base encoding:
+// the stored base becomes a different valid base.
+func flipBase(b byte) byte {
+	switch b {
+	case 'A':
+		return 'C'
+	case 'C':
+		return 'G'
+	case 'G':
+		return 'T'
+	case 'T':
+		return 'A'
+	}
+	return b
 }
 
 // Validate checks the device composition.
@@ -72,13 +156,21 @@ func (d *Device) Validate() error {
 }
 
 // run executes one scan on the array and charges its modeled costs.
-func (d *Device) run(s, t []byte, sc align.LinearScoring, anchored, divergence bool) (systolic.Result, error) {
+func (d *Device) run(ctx context.Context, s, t []byte, sc align.LinearScoring, anchored, divergence bool) (systolic.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return systolic.Result{}, err
+	}
 	cfg := d.Array
 	cfg.Scoring = sc
 	cfg.Anchored = anchored
 	cfg.TrackDivergence = divergence
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
+	}
+	if corrupted, err := d.injectFault(ctx, t); err != nil {
+		return systolic.Result{}, err
+	} else if corrupted != nil {
+		t = corrupted
 	}
 	res, err := systolic.Run(cfg, s, t)
 	if err != nil {
@@ -97,14 +189,25 @@ func (d *Device) run(s, t []byte, sc align.LinearScoring, anchored, divergence b
 
 // BestLocal implements linear.Scanner on the accelerator.
 func (d *Device) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	res, err := d.run(s, t, sc, false, false)
+	return d.BestLocalCtx(context.Background(), s, t, sc)
+}
+
+// BestLocalCtx is BestLocal with cancellation: the scan is not started
+// once ctx is done, and a hung board blocks only until the deadline.
+func (d *Device) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	res, err := d.run(ctx, s, t, sc, false, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
 
 // BestAnchored implements linear.Scanner on the accelerator using the
 // anchored datapath variant (see systolic.Config.Anchored).
 func (d *Device) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	res, err := d.run(s, t, sc, true, false)
+	return d.BestAnchoredCtx(context.Background(), s, t, sc)
+}
+
+// BestAnchoredCtx is BestAnchored with cancellation.
+func (d *Device) BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	res, err := d.run(ctx, s, t, sc, true, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
 
@@ -112,7 +215,7 @@ func (d *Device) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, in
 // anchored scan with the Z-align divergence registers enabled, so the
 // accelerator also reports the retrieval band.
 func (d *Device) BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
-	res, err := d.run(s, t, sc, true, true)
+	res, err := d.run(context.Background(), s, t, sc, true, true)
 	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
 }
 
@@ -129,6 +232,11 @@ func (d *Device) runAffine(s, t []byte, sc align.AffineScoring, anchored, diverg
 	}
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
+	}
+	if corrupted, err := d.injectFault(context.Background(), t); err != nil {
+		return systolic.Result{}, err
+	} else if corrupted != nil {
+		t = corrupted
 	}
 	res, err := systolic.RunAffine(cfg, s, t)
 	if err != nil {

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+	"swfpga/internal/seq"
+)
+
+// failingScanner errors on every scan and counts the attempts.
+type failingScanner struct{ calls *atomic.Int64 }
+
+func (f failingScanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	f.calls.Add(1)
+	return 0, 0, 0, errors.New("boom")
+}
+
+func (f failingScanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	f.calls.Add(1)
+	return 0, 0, 0, errors.New("boom")
+}
+
+func TestSearchCancelledContext(t *testing.T) {
+	g := seq.NewGenerator(41)
+	db := []seq.Sequence{g.RandomSequence("r0", 200), g.RandomSequence("r1", 200)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Search(ctx, db, []byte("ACGT"), Options{}, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled search: %v, want context.Canceled", err)
+	}
+	if _, err := TranslatedSearch(ctx, db, []byte("MKVL"), TranslatedOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled translated search: %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchFirstErrorCancelsRemainingWork(t *testing.T) {
+	g := seq.NewGenerator(42)
+	db := make([]seq.Sequence, 300)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("r%03d", i), 100)
+	}
+	var calls atomic.Int64
+	_, err := Search(context.Background(), db, []byte("ACGTACGT"), Options{Workers: 3},
+		func() linear.Scanner { return failingScanner{calls: &calls} })
+	if err == nil {
+		t.Fatal("failing scanner must surface an error")
+	}
+	// Each worker stops scanning at its first error and the producer is
+	// cancelled, so only a handful of the 300 records are ever attempted.
+	if n := calls.Load(); n >= int64(len(db)) {
+		t.Errorf("%d scans attempted after the first error; cancellation did not stop the search", n)
+	}
+}

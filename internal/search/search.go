@@ -8,6 +8,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -74,8 +75,10 @@ func (o Options) withDefaults() Options {
 // Search scans query against every record of db. newScanner supplies
 // each worker its own scan engine (engines may be stateful, e.g. a
 // simulated accelerator board accumulating metrics); a nil factory uses
-// the software scanner.
-func Search(db []seq.Sequence, query []byte, opts Options, newScanner func() linear.Scanner) ([]Hit, error) {
+// the software scanner. Cancelling ctx stops the scan between records;
+// the first worker error cancels the remaining work instead of letting
+// every queued record run to completion.
+func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, newScanner func() linear.Scanner) ([]Hit, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
@@ -94,6 +97,8 @@ func Search(db []seq.Sequence, query []byte, opts Options, newScanner func() lin
 		return nil, nil
 	}
 
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	jobs := make(chan int)
 	hitsPerRecord := make([][]Hit, len(db))
 	errs := make([]error, workers)
@@ -104,20 +109,26 @@ func Search(db []seq.Sequence, query []byte, opts Options, newScanner func() lin
 			defer wg.Done()
 			scanner := newScanner()
 			for idx := range jobs {
-				if errs[w] != nil {
+				if errs[w] != nil || scanCtx.Err() != nil {
 					continue // keep draining so the producer never blocks
 				}
 				hs, err := scanRecord(db[idx], idx, query, opts, scanner)
 				if err != nil {
 					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
+					cancel() // stop the producer and the other workers
 					continue
 				}
 				hitsPerRecord[idx] = hs
 			}
 		}(w)
 	}
+producer:
 	for idx := range db {
-		jobs <- idx
+		select {
+		case jobs <- idx:
+		case <-scanCtx.Done():
+			break producer
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -125,6 +136,9 @@ func Search(db []seq.Sequence, query []byte, opts Options, newScanner func() lin
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
 	}
 
 	var out []Hit

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestSearchRanksPlantedRecords(t *testing.T) {
 	query := g.Random(60)
 	planted := map[int]bool{2: true, 5: true, 9: true}
 	db := makeDB(g, query, 12, 2000, planted)
-	hits, err := Search(db, query, Options{MinScore: 30, Workers: 3}, nil)
+	hits, err := Search(context.Background(), db, query, Options{MinScore: 30, Workers: 3}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSearchTopK(t *testing.T) {
 	g := seq.NewGenerator(902)
 	query := g.Random(40)
 	db := makeDB(g, query, 10, 1000, map[int]bool{1: true, 3: true, 7: true})
-	hits, err := Search(db, query, Options{TopK: 2}, nil)
+	hits, err := Search(context.Background(), db, query, Options{TopK: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSearchRetrieveValidAlignments(t *testing.T) {
 	g := seq.NewGenerator(903)
 	query := g.Random(50)
 	db := makeDB(g, query, 6, 1500, map[int]bool{0: true, 4: true})
-	hits, err := Search(db, query, Options{MinScore: 25, Retrieve: true}, nil)
+	hits, err := Search(context.Background(), db, query, Options{MinScore: 25, Retrieve: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestSearchScoreOnlyHasNoOps(t *testing.T) {
 	g := seq.NewGenerator(904)
 	query := g.Random(30)
 	db := makeDB(g, query, 3, 500, map[int]bool{1: true})
-	hits, err := Search(db, query, Options{MinScore: 15}, nil)
+	hits, err := Search(context.Background(), db, query, Options{MinScore: 15}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestSearchPerRecordNearBest(t *testing.T) {
 	rec := g.RandomSequence("multi", 2000)
 	seq.PlantMotif(rec.Data, query, 300)
 	seq.PlantMotif(rec.Data, query, 1500)
-	hits, err := Search([]seq.Sequence{rec}, query, Options{PerRecord: 2, MinScore: 30, Retrieve: true}, nil)
+	hits, err := Search(context.Background(), []seq.Sequence{rec}, query, Options{PerRecord: 2, MinScore: 30, Retrieve: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestSearchDeviceMatchesSoftware(t *testing.T) {
 	query := g.Random(45)
 	db := makeDB(g, query, 8, 800, map[int]bool{2: true, 6: true})
 	opts := Options{MinScore: 20, Workers: 4}
-	sw, err := Search(db, query, opts, nil)
+	sw, err := Search(context.Background(), db, query, opts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := Search(db, query, opts, func() linear.Scanner { return host.NewDevice() })
+	hw, err := Search(context.Background(), db, query, opts, func() linear.Scanner { return host.NewDevice() })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,17 +155,17 @@ func TestSearchDeviceMatchesSoftware(t *testing.T) {
 func TestSearchErrors(t *testing.T) {
 	g := seq.NewGenerator(907)
 	db := []seq.Sequence{g.RandomSequence("a", 100)}
-	if _, err := Search(db, nil, Options{}, nil); err == nil {
+	if _, err := Search(context.Background(), db, nil, Options{}, nil); err == nil {
 		t.Error("empty query should fail")
 	}
 	bad := Options{Scoring: align.LinearScoring{Match: 0, Mismatch: -1, Gap: -1}}
-	if _, err := Search(db, []byte("ACGT"), bad, nil); err == nil {
+	if _, err := Search(context.Background(), db, []byte("ACGT"), bad, nil); err == nil {
 		t.Error("invalid scoring should fail")
 	}
 	// A saturating device propagates its error.
 	q := g.Random(300)
 	sat := []seq.Sequence{{ID: "self", Data: q}}
-	_, err := Search(sat, q, Options{}, func() linear.Scanner {
+	_, err := Search(context.Background(), sat, q, Options{}, func() linear.Scanner {
 		d := host.NewDevice()
 		d.Array.ScoreBits = 4
 		return d
@@ -175,7 +176,7 @@ func TestSearchErrors(t *testing.T) {
 }
 
 func TestSearchEmptyDatabase(t *testing.T) {
-	hits, err := Search(nil, []byte("ACGT"), Options{}, nil)
+	hits, err := Search(context.Background(), nil, []byte("ACGT"), Options{}, nil)
 	if err != nil || hits != nil {
 		t.Errorf("empty database: %v %v", hits, err)
 	}
@@ -193,7 +194,7 @@ func TestSearchTieBreakDeterministic(t *testing.T) {
 		{ID: "three", Data: append([]byte{}, rec...)},
 	}
 	for trial := 0; trial < 5; trial++ {
-		hits, err := Search(db, query, Options{Workers: 3}, nil)
+		hits, err := Search(context.Background(), db, query, Options{Workers: 3}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func TestSearchEValueAnnotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := Search(db, query, Options{MinScore: 5, Stats: &params}, nil)
+	hits, err := Search(context.Background(), db, query, Options{MinScore: 5, Stats: &params}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestSearchEValueAnnotation(t *testing.T) {
 		}
 	}
 	// Without Stats the fields stay zero.
-	plain, err := Search(db, query, Options{MinScore: 5}, nil)
+	plain, err := Search(context.Background(), db, query, Options{MinScore: 5}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

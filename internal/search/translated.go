@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -47,7 +48,9 @@ type TranslatedOptions struct {
 // the same matrix-scored scan the accelerator executes. Each record is
 // translated in all six frames, split into open frames at stop codons,
 // and each fragment of at least MinFragment residues is scanned.
-func TranslatedSearch(db []seq.Sequence, query []byte, opts TranslatedOptions) ([]TranslatedHit, error) {
+// Cancelling ctx stops the scan between records, and the first worker
+// error cancels the remaining work.
+func TranslatedSearch(ctx context.Context, db []seq.Sequence, query []byte, opts TranslatedOptions) ([]TranslatedHit, error) {
 	if opts.Matrix == nil {
 		opts.Matrix = protein.BLOSUM62(-8)
 	}
@@ -77,6 +80,8 @@ func TranslatedSearch(db []seq.Sequence, query []byte, opts TranslatedOptions) (
 		return nil, nil
 	}
 
+	scanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	jobs := make(chan int)
 	perRecord := make([][]TranslatedHit, len(db))
 	errs := make([]error, workers)
@@ -86,20 +91,26 @@ func TranslatedSearch(db []seq.Sequence, query []byte, opts TranslatedOptions) (
 		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
-				if errs[w] != nil {
-					continue
+				if errs[w] != nil || scanCtx.Err() != nil {
+					continue // keep draining so the producer never blocks
 				}
 				hs, err := scanTranslated(db[idx], idx, query, opts)
 				if err != nil {
 					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
+					cancel() // stop the producer and the other workers
 					continue
 				}
 				perRecord[idx] = hs
 			}
 		}(w)
 	}
+producer:
 	for idx := range db {
-		jobs <- idx
+		select {
+		case jobs <- idx:
+		case <-scanCtx.Done():
+			break producer
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -107,6 +118,9 @@ func TranslatedSearch(db []seq.Sequence, query []byte, opts TranslatedOptions) (
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
 	}
 
 	var out []TranslatedHit

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"swfpga/internal/protein"
@@ -47,7 +48,7 @@ func TestTranslatedSearchFindsEmbeddedGene(t *testing.T) {
 		{ID: "with-gene", Data: rec0},
 		g.RandomSequence("unrelated", 400),
 	}
-	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 100, Workers: 2})
+	hits, err := TranslatedSearch(context.Background(), db, query, TranslatedOptions{MinScore: 100, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestTranslatedSearchReverseStrand(t *testing.T) {
 	// reverse complement, so frames 3-5 see it.
 	rec := append(append(g.Random(30), seq.ReverseComplement(gene)...), g.Random(30)...)
 	db := []seq.Sequence{{ID: "rev", Data: rec}}
-	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 80})
+	hits, err := TranslatedSearch(context.Background(), db, query, TranslatedOptions{MinScore: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,17 +90,17 @@ func TestTranslatedSearchReverseStrand(t *testing.T) {
 func TestTranslatedSearchOptionsAndErrors(t *testing.T) {
 	g := seq.NewGenerator(75)
 	db := []seq.Sequence{g.RandomSequence("a", 300)}
-	if _, err := TranslatedSearch(db, []byte("MKU"), TranslatedOptions{}); err == nil {
+	if _, err := TranslatedSearch(context.Background(), db, []byte("MKU"), TranslatedOptions{}); err == nil {
 		t.Error("invalid query residues should fail")
 	}
-	if _, err := TranslatedSearch(db, nil, TranslatedOptions{}); err == nil {
+	if _, err := TranslatedSearch(context.Background(), db, nil, TranslatedOptions{}); err == nil {
 		t.Error("empty query should fail")
 	}
 	bad := TranslatedOptions{Matrix: protein.BLOSUM62(0)}
-	if _, err := TranslatedSearch(db, []byte("MKV"), bad); err == nil {
+	if _, err := TranslatedSearch(context.Background(), db, []byte("MKV"), bad); err == nil {
 		t.Error("invalid matrix should fail")
 	}
-	hits, err := TranslatedSearch(nil, []byte("MKVL"), TranslatedOptions{})
+	hits, err := TranslatedSearch(context.Background(), nil, []byte("MKVL"), TranslatedOptions{})
 	if err != nil || hits != nil {
 		t.Errorf("empty db: %v %v", hits, err)
 	}
@@ -115,7 +116,7 @@ func TestTranslatedSearchTopK(t *testing.T) {
 		rec := append(append(g.Random(12), gene...), g.Random(12)...)
 		db = append(db, seq.Sequence{ID: string(rune('a' + i)), Data: rec})
 	}
-	hits, err := TranslatedSearch(db, query, TranslatedOptions{MinScore: 50, TopK: 2})
+	hits, err := TranslatedSearch(context.Background(), db, query, TranslatedOptions{MinScore: 50, TopK: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
