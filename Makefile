@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Concurrent packages that get a dedicated -race run.
-RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/...
+RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/... ./internal/telemetry/...
 
 # package:target pairs for the fuzz smoke. `go test -fuzz` takes one
 # target per invocation, so the smoke loops over them.
@@ -21,7 +21,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh
 
-.PHONY: build vet swvet test race chaos-smoke fuzz-smoke check
+.PHONY: build vet swvet test race chaos-smoke telemetry-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ race:
 chaos-smoke:
 	$(GO) test -race ./internal/host -run 'Chaos' -count=1
 
+# Live-introspection smoke (DESIGN.md §8): a real swsearch run serving
+# /metrics, /debug/vars and /debug/pprof on an ephemeral port, scraped
+# while it lingers; also checks the JSONL trace and run manifest.
+telemetry-smoke:
+	bash scripts/telemetry_smoke.sh
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -51,4 +57,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet test race chaos-smoke
+check: build vet swvet test race chaos-smoke telemetry-smoke

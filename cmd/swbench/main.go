@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"path/filepath"
 
 	"swfpga/internal/bench"
+	"swfpga/internal/cliutil"
 )
 
 func main() {
@@ -35,9 +37,16 @@ func main() {
 		reps    = flag.Int("reps", 1, "repetitions for host-software measurements")
 		outDir  = flag.String("o", "", "also write each report to <dir>/<id>.txt")
 	)
+	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
+	if _, err := tel.Start(context.Background(), "swbench"); err != nil {
+		fatal(err)
+	}
+	defer closeTelemetry(tel)
+
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Workers: *workers, Reps: *reps}
+	tel.Describe(fmt.Sprintf("scale %g, seed %d", *scale, *seed), "bench")
 	switch {
 	case *list:
 		for _, e := range bench.Experiments() {
@@ -86,6 +95,14 @@ func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
 		return runErr
 	}
 	return cerr
+}
+
+// closeTelemetry flushes the telemetry sinks; a flush failure is worth
+// a non-zero exit (a half-written trace must not look healthy).
+func closeTelemetry(tel *cliutil.Telemetry) {
+	if err := tel.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -4,8 +4,12 @@
 //	swsearch -query query.fa -db database.fa -k 10 -retrieve
 //	swsearch -q ACGTACGT -db database.fa -engine fpga -elements 100
 //	swsearch -q ACGTACGT -db database.fa -engine cluster -boards 4 -fault-rate 0.05
+//	swsearch -q ACGTACGT -db database.fa -telemetry-addr :9090 -trace run.jsonl
 //
 // Interrupting the process (SIGINT/SIGTERM) cancels the scan cleanly.
+// -telemetry-addr serves /metrics, /debug/vars and /debug/pprof live;
+// -trace writes a JSONL span trace and -manifest a run summary (see
+// DESIGN.md §8).
 package main
 
 import (
@@ -46,10 +50,15 @@ func main() {
 		translated = flag.Bool("translated", false, "protein query vs DNA database (all six reading frames, BLOSUM62)")
 		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
 	)
+	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx, err := tel.Start(ctx, "swsearch")
+	if err != nil {
+		fatal(err)
+	}
 
 	if *dbFile == "" {
 		fatal(fmt.Errorf("missing -db database file"))
@@ -60,12 +69,16 @@ func main() {
 	}
 	if *translated {
 		runTranslated(ctx, *qArg, *qFile, db, *topK, *minScore, *workers)
+		if err := tel.Close(); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	query, err := cliutil.LoadSequence(*qArg, *qFile, "query")
 	if err != nil {
 		fatal(err)
 	}
+	tel.Describe(fmt.Sprintf("%d BP query vs %d records", len(query), len(db)), *engine)
 
 	var newScanner func() linear.Scanner
 	var clusters []*host.Cluster
@@ -125,6 +138,7 @@ func main() {
 			agg.Merge(c.TotalFaults())
 		}
 		fmt.Printf("fault tolerance: %s\n\n", agg)
+		tel.Note("fault tolerance: %s", agg)
 	}
 
 	fmt.Printf("%d hits for %d BP query against %d records\n\n", len(hits), len(query), len(db))
@@ -142,6 +156,9 @@ func main() {
 		if *retrieve && h.Result.Ops != nil {
 			fmt.Printf("\n%s\n\n", h.Result.Format(query, db[h.RecordIndex].Data))
 		}
+	}
+	if err := tel.Close(); err != nil {
+		fatal(err)
 	}
 }
 

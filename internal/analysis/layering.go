@@ -32,10 +32,12 @@ var layeringRules = []layeringRule{
 }
 
 // leafPackages may import nothing from the module at all: seq is the
-// base alphabet layer every engine shares, and scoring exists precisely
-// so model and oracle can share parameter types without seeing each
-// other.
-var leafPackages = []string{"internal/seq", "internal/scoring"}
+// base alphabet layer every engine shares, scoring exists precisely so
+// model and oracle can share parameter types without seeing each other,
+// and telemetry must stay importable from every layer without creating
+// a cycle — instrumentation that drags in pipeline code stops being
+// instrumentation.
+var leafPackages = []string{"internal/seq", "internal/scoring", "internal/telemetry"}
 
 // Layering enforces the import DAG above on non-test files.
 var Layering = &Analyzer{

@@ -1,0 +1,35 @@
+package host
+
+// server abstracts the blocking-serve/async-shutdown pair of
+// net/http.Server so the fixture stays stdlib-free; the shapes below
+// are the ones internal/telemetry's introspection endpoint uses.
+type server interface {
+	Serve() error
+	Shutdown() error
+}
+
+// Good: the serve goroutine's exit error flows into errCh, and the
+// returned stop closure joins on it — a caller calling stop() observes
+// both shutdown completion and the serve error. This is the repo's
+// canonical HTTP-server shutdown shape.
+func ServeGood(srv server) (stop func() error) {
+	errCh := make(chan error, 1)
+	go func(s server) {
+		errCh <- s.Serve()
+	}(srv)
+	return func() error {
+		if err := srv.Shutdown(); err != nil {
+			return err
+		}
+		return <-errCh
+	}
+}
+
+// Bad: fire-and-forget serve loop. Shutdown never learns whether Serve
+// returned, so the goroutine (and any error it exits with) leaks.
+func ServeBad(srv server) (stop func() error) {
+	go func(s server) { // finding: no join
+		_ = s.Serve()
+	}(srv)
+	return srv.Shutdown
+}

@@ -14,7 +14,8 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-bits", "ablation-elements", "ablation-splitting",
 		"affine", "cluster", "extrapolate", "faults", "figure1", "figure2",
 		"headline", "intro-3mbp", "memory", "pci", "pipeline", "protein",
-		"restricted", "significance", "table1", "table2", "wavefront",
+		"restricted", "significance", "table1", "table2",
+		"telemetry-overhead", "wavefront",
 	}
 	got := Experiments()
 	if len(got) != len(want) {

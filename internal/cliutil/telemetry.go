@@ -1,0 +1,131 @@
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"swfpga/internal/telemetry"
+)
+
+// Telemetry bundles the observability flags shared by the CLI tools
+// (-telemetry-addr, -trace, -manifest, -telemetry-linger) and the
+// machinery they turn on: the live /metrics + /debug HTTP endpoint,
+// the JSONL span trace, and the end-of-run manifest. Everything is off
+// by default; with all flags empty Start and Close are no-ops and the
+// instrumented pipeline runs on its nil-span fast path.
+type Telemetry struct {
+	// Addr, TracePath, ManifestDir and Linger are bound to the flags.
+	Addr        string
+	TracePath   string
+	ManifestDir string
+	Linger      time.Duration
+
+	server   *telemetry.Server
+	traceF   *os.File
+	tracer   *telemetry.Tracer
+	root     *telemetry.Span
+	manifest *telemetry.RunManifest
+}
+
+// TelemetryFlags registers the shared observability flags on the
+// default flag set. Call before flag.Parse.
+func TelemetryFlags() *Telemetry {
+	t := &Telemetry{}
+	flag.StringVar(&t.Addr, "telemetry-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on host:port (port 0 picks one; empty disables)")
+	flag.StringVar(&t.TracePath, "trace", "",
+		"write a JSONL span trace of the run to this file")
+	flag.StringVar(&t.ManifestDir, "manifest", "",
+		"write a run manifest (workload + metric snapshot) under this directory")
+	flag.DurationVar(&t.Linger, "telemetry-linger", 0,
+		"keep the telemetry endpoint up this long after the run (lets scrapers catch the final state)")
+	return t
+}
+
+// Start turns on whatever the flags asked for and returns the context
+// instrumented code should run under. With -trace the context carries
+// the run's root span; with -telemetry-addr the bound address is
+// announced on stderr as "telemetry: listening on <addr>" (scripts
+// parse that line, so combined with port 0 no port coordination is
+// needed).
+func (t *Telemetry) Start(ctx context.Context, tool string) (context.Context, error) {
+	if t.Addr != "" {
+		srv, err := telemetry.ListenAndServe(t.Addr, telemetry.Default())
+		if err != nil {
+			return ctx, err
+		}
+		t.server = srv
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+	}
+	if t.ManifestDir != "" {
+		t.manifest = telemetry.NewRunManifest(tool)
+	}
+	if t.TracePath != "" {
+		f, err := os.Create(t.TracePath)
+		if err != nil {
+			return ctx, fmt.Errorf("trace: %w", err)
+		}
+		t.traceF = f
+		t.tracer = telemetry.NewTracer(telemetry.NewJSONLWriter(f))
+		ctx, t.root = t.tracer.Root(ctx, tool)
+	}
+	return ctx, nil
+}
+
+// Describe records what ran into the manifest (no-op without
+// -manifest).
+func (t *Telemetry) Describe(workload, engine string) {
+	if t.manifest != nil {
+		t.manifest.Workload = workload
+		t.manifest.Engine = engine
+	}
+}
+
+// Note attaches a free-form context line to the manifest (no-op
+// without -manifest).
+func (t *Telemetry) Note(format string, args ...any) {
+	if t.manifest != nil {
+		t.manifest.Notes = append(t.manifest.Notes, fmt.Sprintf(format, args...))
+	}
+}
+
+// Close ends the run: the root span is closed and the trace file
+// flushed, the manifest is finalized and written, and — after the
+// optional linger window — the HTTP endpoint shuts down cleanly. The
+// first error encountered is returned.
+func (t *Telemetry) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.root.End()
+	if t.tracer != nil {
+		keep(t.tracer.Err())
+	}
+	if t.traceF != nil {
+		keep(t.traceF.Close())
+	}
+	if t.manifest != nil {
+		t.manifest.Finish(telemetry.Default())
+		path, err := t.manifest.WriteFile(t.ManifestDir)
+		keep(err)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "telemetry: manifest written to %s\n", path)
+		}
+	}
+	if t.server != nil {
+		if t.Linger > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on %s\n", t.Linger, t.server.Addr())
+			time.Sleep(t.Linger)
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		keep(t.server.Shutdown(sctx))
+		cancel()
+	}
+	return firstErr
+}

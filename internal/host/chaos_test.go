@@ -35,7 +35,7 @@ func TestChaosClusterBitIdentical(t *testing.T) {
 				c := NewCluster(boards)
 				c.Policy = chaosPolicy()
 				c.InjectFaults(faults.MustRandom(seed*31+int64(boards), faults.Split(rate)))
-				score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+				score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 				if err != nil {
 					t.Fatalf("rate %.2f boards %d seed %d: %v", rate, boards, seed, err)
 				}
@@ -65,7 +65,7 @@ func TestChaosAllBoardsDeadDegradesToSoftware(t *testing.T) {
 	c := NewCluster(3)
 	c.Policy = chaosPolicy()
 	c.InjectFaults(faults.MustRandom(1, faults.Rates{Dead: 1}))
-	score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+	score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestChaosBoundaryStraddlingUnderFaults(t *testing.T) {
 		c := NewCluster(2)
 		c.Policy = chaosPolicy()
 		c.InjectFaults(faults.MustRandom(seed, faults.Split(0.25)))
-		score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+		score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -147,7 +147,7 @@ func TestChaosSeededScheduleRegression(t *testing.T) {
 			faults.Event{Board: 0, Call: 0, Class: faults.PCI},
 			faults.Event{Board: 1, Call: 0, Class: faults.Dead},
 		))
-		score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+		score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func TestChaosChecksumDetectsBitFlip(t *testing.T) {
 	c := NewCluster(1)
 	c.Policy = chaosPolicy()
 	c.InjectFaults(faults.NewSchedule(flip))
-	score, _, _, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+	score, _, _, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestChaosChecksumDetectsBitFlip(t *testing.T) {
 	c.Policy = chaosPolicy()
 	c.Policy.DisableChecksum = true
 	c.InjectFaults(faults.NewSchedule(flip))
-	score, _, _, rep, err = c.BestLocalCtx(context.Background(), q, db, sc)
+	score, _, _, rep, err = c.BestLocalReport(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestChaosBitFlipRescansOnSecondBoard(t *testing.T) {
 	c := NewCluster(2)
 	c.Policy = chaosPolicy()
 	c.InjectFaults(faults.NewSchedule(faults.Event{Board: 0, Call: 0, Class: faults.BitFlip}))
-	score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+	score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestChaosHangsTimeOutAndRecover(t *testing.T) {
 		faults.Event{Board: 1, Call: 0, Class: faults.Hang},
 	))
 	start := time.Now()
-	score, i, j, rep, err := c.BestLocalCtx(context.Background(), q, db, sc)
+	score, i, j, rep, err := c.BestLocalReport(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestChaosDisableFallbackSurfacesExhaustion(t *testing.T) {
 	c.Policy = chaosPolicy()
 	c.Policy.DisableFallback = true
 	c.InjectFaults(faults.MustRandom(1, faults.Rates{Dead: 1}))
-	_, _, _, _, err := c.BestLocalCtx(context.Background(), q, db, align.DefaultLinear())
+	_, _, _, _, err := c.BestLocalReport(context.Background(), q, db, align.DefaultLinear())
 	if err == nil {
 		t.Fatal("all-dead cluster with fallback disabled must error")
 	}
@@ -307,7 +307,7 @@ func TestChaosContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	c := NewCluster(2)
-	if _, _, _, _, err := c.BestLocalCtx(ctx, q, db, align.DefaultLinear()); err == nil {
+	if _, _, _, _, err := c.BestLocalReport(ctx, q, db, align.DefaultLinear()); err == nil {
 		t.Fatal("cancelled context must fail the scan")
 	}
 }

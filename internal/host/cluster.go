@@ -10,6 +10,7 @@ import (
 	"swfpga/internal/faults"
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
 )
 
 // Cluster distributes the forward scan of a long database across
@@ -110,10 +111,17 @@ func mergeParts(parts []part) part {
 }
 
 // BestLocal implements the distributed forward scan as a linear.Scanner;
-// see BestLocalCtx for the fault-tolerant dispatch it performs. The
+// see BestLocalReport for the fault-tolerant dispatch it performs. The
 // fault report of the call is retained (LastFaults / TotalFaults).
 func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	score, i, j, _, err := c.BestLocalCtx(context.Background(), s, t, sc)
+	return c.BestLocalCtx(context.Background(), s, t, sc)
+}
+
+// BestLocalCtx implements linear.ScannerCtx: the distributed forward
+// scan under the caller's context, with the fault report retained on
+// the cluster (LastFaults / TotalFaults) rather than returned.
+func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	score, i, j, _, err := c.BestLocalReport(ctx, s, t, sc)
 	return score, i, j, err
 }
 
@@ -122,12 +130,14 @@ func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int,
 // completing the linear.Scanner contract so a fault-tolerant cluster
 // can drop in wherever a single board would (e.g. as a search engine).
 func (c *Cluster) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	return c.BestAnchoredCtx(context.Background(), s, t, sc)
+}
+
+// BestAnchoredCtx implements linear.ScannerCtx for the reverse scan.
+func (c *Cluster) BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	var rev FaultReport
-	score, i, j, err := c.anchoredResilient(context.Background(), s, t, sc, &rev)
-	c.mu.Lock()
-	c.last = rev.clone()
-	c.total.merge(rev)
-	c.mu.Unlock()
+	score, i, j, err := c.anchoredResilient(ctx, s, t, sc, &rev)
+	c.record(rev)
 	return score, i, j, err
 }
 
@@ -165,6 +175,17 @@ type ClusterReport struct {
 	Faults FaultReport
 }
 
+// ModeledTotalSeconds is the modeled end-to-end latency of the
+// distributed run, including what fault handling cost: the slowest
+// board's scan share, the reverse scan, host retrieval, the modeled
+// retry/recovery time, and the wall time of software-fallback chunks.
+// A degraded run therefore reports honestly slower totals than a clean
+// one instead of silently dropping the recovery terms.
+func (r ClusterReport) ModeledTotalSeconds() float64 {
+	return r.ScanSeconds + r.ReverseSeconds + r.HostSeconds +
+		r.Faults.ModeledRetrySeconds + r.Faults.SoftwareSeconds
+}
+
 // Pipeline runs the full linear-space local alignment with the forward
 // scan distributed over the cluster, the reverse scan on a healthy
 // board (it covers only the prefixes ending at the located
@@ -177,12 +198,16 @@ func (c *Cluster) Pipeline(s, t []byte, sc align.LinearScoring) (ClusterReport, 
 // scan between (and for hung boards, during) chunk dispatches.
 func (c *Cluster) PipelineCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
 	var rep ClusterReport
+	ctx, span := telemetry.StartSpan(ctx, "cluster.pipeline")
+	span.SetInt("query_len", int64(len(s)))
+	span.SetInt("db_len", int64(len(t)))
+	defer span.End()
 	// Snapshot per-device compute time to attribute the scan cost.
 	before := make([]float64, len(c.Devices))
 	for i, d := range c.Devices {
 		before[i] = d.Metrics.ComputeSeconds
 	}
-	score, endI, endJ, frep, err := c.BestLocalCtx(ctx, s, t, sc)
+	score, endI, endJ, frep, err := c.BestLocalReport(ctx, s, t, sc)
 	rep.Faults = frep
 	if err != nil {
 		return rep, fmt.Errorf("host: distributed forward scan: %w", err)
@@ -225,9 +250,13 @@ func (c *Cluster) PipelineCtx(ctx context.Context, s, t []byte, sc align.LinearS
 	}
 	startI, startJ := endI-revI, endJ-revJ
 	rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
+	_, rspan := telemetry.StartSpan(ctx, "host.retrieve")
 	t0 := time.Now()
 	sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
 	rep.HostSeconds = time.Since(t0).Seconds()
+	telemetry.HostSeconds.Add(rep.HostSeconds)
+	rspan.SetInt("score", int64(sub.Score))
+	rspan.End()
 	if sub.Score != score {
 		return rep, fmt.Errorf("host: retrieval score %d != scan score %d", sub.Score, score)
 	}

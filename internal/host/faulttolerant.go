@@ -9,6 +9,7 @@ import (
 	"swfpga/internal/align"
 	"swfpga/internal/faults"
 	"swfpga/internal/linear"
+	"swfpga/internal/telemetry"
 )
 
 // Policy configures the cluster's fault tolerance. The zero value is a
@@ -151,6 +152,38 @@ func (r *FaultReport) merge(o FaultReport) {
 // aggregating reports across scans or worker clusters.
 func (r *FaultReport) Merge(o FaultReport) { r.merge(o) }
 
+// classifyFailure books one failed scan attempt into the report and
+// the telemetry registry (swfpga_chunk_failures_total by detection
+// path, plus the modeled recovery time). recovery is the board's
+// fault-recovery cost for the chunk, timeout the per-chunk deadline in
+// seconds. ok is false when err is not a fault condition — the caller
+// must then abort the scan (checking ctx first).
+func classifyFailure(rep *FaultReport, err error, recovery, timeout float64) (class faults.Class, ok bool) {
+	class = faults.ClassOf(err)
+	label := class.String()
+	switch {
+	case class == faults.PCI:
+		rep.PCIErrors++
+		rep.ModeledRetrySeconds += recovery
+	case class == faults.Hang:
+		rep.Timeouts++
+		rep.ModeledRetrySeconds += timeout
+	case class == faults.BitFlip:
+		rep.ChecksumErrors++
+		rep.ModeledRetrySeconds += recovery
+	case class == faults.Dead:
+		rep.BoardDeaths++
+	case errors.Is(err, context.DeadlineExceeded):
+		rep.Timeouts++
+		rep.ModeledRetrySeconds += timeout
+		label = "deadline"
+	default:
+		return class, false
+	}
+	telemetry.ChunkFailures.With(label).Add(1)
+	return class, true
+}
+
 // chunkJob is one chunk attempt waiting for a board.
 type chunkJob struct {
 	idx, lo, hi int
@@ -168,7 +201,7 @@ type attemptResult struct {
 	err   error
 }
 
-// BestLocalCtx runs the distributed forward scan with fault-tolerant
+// BestLocalReport runs the distributed forward scan with fault-tolerant
 // per-chunk dispatch: chunks flow through a work queue to whichever
 // board is idle and healthy, failed attempts retry with exponential
 // backoff (re-dispatching checksum failures to a different board),
@@ -176,7 +209,9 @@ type attemptResult struct {
 // chunks that no board can complete fall back to the software scanner.
 // The returned FaultReport records that activity; the result is
 // bit-identical to a single-board scan in every non-error outcome.
-func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, FaultReport, error) {
+// (BestLocalCtx is the linear.ScannerCtx-conforming form without the
+// report return.)
+func (c *Cluster) BestLocalReport(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, FaultReport, error) {
 	var rep FaultReport
 	if err := c.Validate(); err != nil {
 		return 0, 0, 0, rep, err
@@ -188,6 +223,15 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 	if err != nil {
 		return 0, 0, 0, rep, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "cluster.scan")
+	span.SetInt("bases", int64(len(t)))
+	span.SetInt("boards", int64(len(c.Devices)))
+	defer func() {
+		span.SetInt("chunks", int64(rep.Chunks))
+		span.SetInt("retries", int64(rep.Retries))
+		span.SetInt("software_chunks", int64(rep.SoftwareChunks))
+		span.End()
+	}()
 	pol := c.Policy.withDefaults()
 	for i, d := range c.Devices {
 		d.ID = i
@@ -266,14 +310,21 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 	software := func(j chunkJob) {
 		t0 := time.Now()
 		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(s, t[j.lo:j.hi], sc)
-		rep.SoftwareSeconds += time.Since(t0).Seconds()
+		dt := time.Since(t0).Seconds()
+		rep.SoftwareSeconds += dt
+		telemetry.HostSeconds.Add(dt)
 		if score > 0 {
 			parts[j.idx] = part{score: score, i: i, j: jj + j.lo}
 		}
 		done[j.idx] = true
 		completed++
 		rep.SoftwareChunks++
-		rep.Degraded = true
+		telemetry.SoftwareChunks.Inc()
+		if !rep.Degraded {
+			rep.Degraded = true
+			telemetry.DegradedRuns.Inc()
+		}
+		span.Event(fmt.Sprintf("chunk %d degraded to software", j.idx))
 	}
 
 	for completed < chunks {
@@ -299,6 +350,7 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 			pending = pending[1:]
 			if j.lastBoard >= 0 && j.lastBoard != b {
 				rep.Redispatches++
+				telemetry.Redispatches.Inc()
 			}
 			launch(b, j)
 		}
@@ -317,25 +369,13 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 		}
 
 		// Classify the failed attempt.
-		class := faults.ClassOf(r.err)
-		switch {
-		case class == faults.PCI:
-			rep.PCIErrors++
-			rep.ModeledRetrySeconds += c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi - r.job.lo)
-		case class == faults.Hang:
-			rep.Timeouts++
-			rep.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
-		case class == faults.BitFlip:
-			rep.ChecksumErrors++
-			rep.ModeledRetrySeconds += c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi - r.job.lo)
-		case class == faults.Dead:
-			rep.BoardDeaths++
-		case errors.Is(r.err, context.DeadlineExceeded):
-			rep.Timeouts++
-			rep.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
-		case ctx.Err() != nil:
-			return 0, 0, 0, rep, ctx.Err()
-		default:
+		class, ok := classifyFailure(&rep, r.err,
+			c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi-r.job.lo),
+			pol.ChunkTimeout.Seconds())
+		if !ok {
+			if ctx.Err() != nil {
+				return 0, 0, 0, rep, ctx.Err()
+			}
 			// A genuine device condition (e.g. score-register
 			// saturation) would fail identically anywhere: abort.
 			return 0, 0, 0, rep, r.err
@@ -347,6 +387,8 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 			if !quarantined[r.board] {
 				quarantined[r.board] = true
 				rep.Quarantined = append(rep.Quarantined, r.board)
+				telemetry.Quarantines.Inc()
+				span.Event(fmt.Sprintf("board %d quarantined after %s", r.board, class))
 			}
 		} else {
 			idle = append(idle, r.board)
@@ -356,6 +398,7 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 		// re-dispatch to a different board when one exists.
 		if r.job.attempt < pol.MaxRetries {
 			rep.Retries++
+			telemetry.Retries.Inc()
 			next := r.job
 			next.attempt++
 			next.lastBoard = r.board
@@ -417,6 +460,9 @@ func (c *Cluster) record(rep FaultReport) {
 // rev; the caller merges it into the run's report.
 func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.LinearScoring, rev *FaultReport) (int, int, int, error) {
 	pol := c.Policy.withDefaults()
+	ctx, span := telemetry.StartSpan(ctx, "cluster.reverse")
+	span.SetInt("bases", int64(len(t)))
+	defer span.End()
 	quarantined := make([]bool, len(c.Devices))
 	consec := make([]int, len(c.Devices))
 	attempts := 0
@@ -442,33 +488,24 @@ func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.L
 		if err == nil {
 			return score, i, j, nil
 		}
-		class := faults.ClassOf(err)
-		switch {
-		case class == faults.PCI:
-			rev.PCIErrors++
-			rev.ModeledRetrySeconds += c.Devices[b].Board.FaultRecoverySeconds(len(t))
-		case class == faults.Hang:
-			rev.Timeouts++
-			rev.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
-		case class == faults.BitFlip:
-			rev.ChecksumErrors++
-			rev.ModeledRetrySeconds += c.Devices[b].Board.FaultRecoverySeconds(len(t))
-		case class == faults.Dead:
-			rev.BoardDeaths++
-		case errors.Is(err, context.DeadlineExceeded):
-			rev.Timeouts++
-			rev.ModeledRetrySeconds += pol.ChunkTimeout.Seconds()
-		case ctx.Err() != nil:
-			return 0, 0, 0, ctx.Err()
-		default:
+		class, ok := classifyFailure(rev, err,
+			c.Devices[b].Board.FaultRecoverySeconds(len(t)),
+			pol.ChunkTimeout.Seconds())
+		if !ok {
+			if ctx.Err() != nil {
+				return 0, 0, 0, ctx.Err()
+			}
 			return 0, 0, 0, err
 		}
 		rev.Retries++
+		telemetry.Retries.Inc()
 		consec[b]++
 		if class == faults.Dead || consec[b] >= pol.QuarantineAfter {
 			if !quarantined[b] {
 				quarantined[b] = true
 				rev.Quarantined = append(rev.Quarantined, b)
+				telemetry.Quarantines.Inc()
+				span.Event(fmt.Sprintf("board %d quarantined after %s", b, class))
 			}
 			if allTrue(quarantined) {
 				break
@@ -480,9 +517,16 @@ func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.L
 	}
 	t0 := time.Now()
 	score, i, j, err := linear.ScanSoftware{}.BestAnchored(s, t, sc)
-	rev.SoftwareSeconds += time.Since(t0).Seconds()
+	dt := time.Since(t0).Seconds()
+	rev.SoftwareSeconds += dt
+	telemetry.HostSeconds.Add(dt)
 	rev.SoftwareChunks++
-	rev.Degraded = true
+	telemetry.SoftwareChunks.Inc()
+	if !rev.Degraded {
+		rev.Degraded = true
+		telemetry.DegradedRuns.Inc()
+	}
+	span.Event("reverse scan degraded to software")
 	return score, i, j, err
 }
 

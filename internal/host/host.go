@@ -19,9 +19,17 @@ import (
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
 	"swfpga/internal/systolic"
+	"swfpga/internal/telemetry"
 )
 
-// Metrics accumulates the modeled cost of accelerator use.
+// Metrics accumulates the modeled cost of accelerator use for one
+// device. It is a per-board compatibility view: the same quantities
+// (summed across all boards in the process) flow into the global
+// telemetry registry — swfpga_scan_calls_total, _cells_updated_total,
+// _modeled_compute_seconds_total and friends — which is what the
+// /metrics exposition and the run manifest report. Per-board
+// attribution (the cluster's slowest-board scan time, fault schedules)
+// still reads this struct.
 type Metrics struct {
 	// Calls counts scan invocations.
 	Calls int
@@ -104,6 +112,10 @@ func (d *Device) injectFault(ctx context.Context, t []byte) ([]byte, error) {
 		return nil, nil
 	}
 	ferr := &faults.Error{Class: class, Board: op.Board, Call: op.Call}
+	telemetry.Faults.With(class.String()).Add(1)
+	if span := telemetry.SpanFromContext(ctx); span != nil {
+		span.Event(fmt.Sprintf("fault %s board %d call %d", class, op.Board, op.Call))
+	}
 	switch class {
 	case faults.Hang:
 		if _, hasDeadline := ctx.Deadline(); hasDeadline {
@@ -123,7 +135,9 @@ func (d *Device) injectFault(ctx context.Context, t []byte) ([]byte, error) {
 		fallthrough
 	default: // PCI, detected BitFlip, Dead
 		d.Metrics.Faults++
-		d.Metrics.FaultSeconds += d.Board.FaultRecoverySeconds(len(t))
+		recovery := d.Board.FaultRecoverySeconds(len(t))
+		d.Metrics.FaultSeconds += recovery
+		telemetry.FaultSeconds.Add(recovery)
 		return nil, ferr
 	}
 }
@@ -167,24 +181,54 @@ func (d *Device) run(ctx context.Context, s, t []byte, sc align.LinearScoring, a
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "device.scan")
+	span.SetInt("board", int64(d.ID))
+	span.SetInt("bases", int64(len(t)))
+	if anchored {
+		span.SetStr("phase", "reverse")
+	} else {
+		span.SetStr("phase", "forward")
+	}
 	if corrupted, err := d.injectFault(ctx, t); err != nil {
+		span.SetStr("outcome", "fault")
+		span.End()
 		return systolic.Result{}, err
 	} else if corrupted != nil {
 		t = corrupted
 	}
-	res, err := systolic.Run(cfg, s, t)
+	res, err := systolic.RunCtx(ctx, cfg, s, t)
 	if err != nil {
+		span.SetStr("outcome", "error")
+		span.End()
 		return systolic.Result{}, err
 	}
-	plan := d.Board.PlanComparison(len(s), len(t))
+	d.charge(res, len(s), len(t), span)
+	return res, nil
+}
+
+// charge books one successful scan into the per-device Metrics view and
+// the global telemetry registry, and closes the device span.
+func (d *Device) charge(res systolic.Result, m, n int, span *telemetry.Span) {
+	plan := d.Board.PlanComparison(m, n)
+	compute := d.Timing.Seconds(res.Stats)
+	transfer := plan.InSeconds + plan.OutSeconds
 	d.Metrics.Calls++
 	d.Metrics.Cells += res.Stats.Cells
 	d.Metrics.Cycles += res.Stats.Cycles
-	d.Metrics.ComputeSeconds += d.Timing.Seconds(res.Stats)
-	d.Metrics.TransferSeconds += plan.InSeconds + plan.OutSeconds
+	d.Metrics.ComputeSeconds += compute
+	d.Metrics.TransferSeconds += transfer
 	d.Metrics.BytesIn += plan.InBytes
 	d.Metrics.BytesOut += plan.OutBytes
-	return res, nil
+
+	telemetry.ScanCalls.Inc()
+	telemetry.ComputeSeconds.Add(compute)
+	telemetry.TransferSeconds.Add(transfer)
+	telemetry.BytesIn.Add(int64(plan.InBytes))
+	telemetry.BytesOut.Add(int64(plan.OutBytes))
+	telemetry.ChunkSeconds.Observe(compute + transfer)
+	telemetry.UpdateModeledGCUPS()
+	span.SetFloat("modeled_seconds", compute+transfer)
+	span.End()
 }
 
 // BestLocal implements linear.Scanner on the accelerator.
@@ -221,7 +265,7 @@ func (d *Device) BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (in
 
 // runAffine executes one scan on the Gotoh array variant, charging the
 // same modeled costs as run.
-func (d *Device) runAffine(s, t []byte, sc align.AffineScoring, anchored, divergence bool) (systolic.Result, error) {
+func (d *Device) runAffine(ctx context.Context, s, t []byte, sc align.AffineScoring, anchored, divergence bool) (systolic.Result, error) {
 	cfg := systolic.AffineConfig{
 		Elements:        d.Array.Elements,
 		Scoring:         sc,
@@ -233,36 +277,36 @@ func (d *Device) runAffine(s, t []byte, sc align.AffineScoring, anchored, diverg
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
 	}
-	if corrupted, err := d.injectFault(context.Background(), t); err != nil {
+	ctx, span := telemetry.StartSpan(ctx, "device.scan.affine")
+	span.SetInt("board", int64(d.ID))
+	span.SetInt("bases", int64(len(t)))
+	if corrupted, err := d.injectFault(ctx, t); err != nil {
+		span.SetStr("outcome", "fault")
+		span.End()
 		return systolic.Result{}, err
 	} else if corrupted != nil {
 		t = corrupted
 	}
-	res, err := systolic.RunAffine(cfg, s, t)
+	res, err := systolic.RunAffineCtx(ctx, cfg, s, t)
 	if err != nil {
+		span.SetStr("outcome", "error")
+		span.End()
 		return systolic.Result{}, err
 	}
-	plan := d.Board.PlanComparison(len(s), len(t))
-	d.Metrics.Calls++
-	d.Metrics.Cells += res.Stats.Cells
-	d.Metrics.Cycles += res.Stats.Cycles
-	d.Metrics.ComputeSeconds += d.Timing.Seconds(res.Stats)
-	d.Metrics.TransferSeconds += plan.InSeconds + plan.OutSeconds
-	d.Metrics.BytesIn += plan.InBytes
-	d.Metrics.BytesOut += plan.OutBytes
+	d.charge(res, len(s), len(t), span)
 	return res, nil
 }
 
 // BestAffineLocal implements linear.AffineScanner on the Gotoh array.
 func (d *Device) BestAffineLocal(s, t []byte, sc align.AffineScoring) (int, int, int, error) {
-	res, err := d.runAffine(s, t, sc, false, false)
+	res, err := d.runAffine(context.Background(), s, t, sc, false, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
 
 // BestAffineAnchoredDivergence implements linear.AffineScanner: the
 // anchored Gotoh datapath with divergence registers.
 func (d *Device) BestAffineAnchoredDivergence(s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
-	res, err := d.runAffine(s, t, sc, true, true)
+	res, err := d.runAffine(context.Background(), s, t, sc, true, true)
 	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
 }
 
@@ -280,12 +324,19 @@ type Report struct {
 	// HostSeconds is the measured wall time of the host-side retrieval
 	// (phase 3, Hirschberg).
 	HostSeconds float64
+	// FaultSeconds is the modeled recovery time charged by scan attempts
+	// that faulted during this run (aborted streams plus reset
+	// handshakes; see fpga.Board.FaultRecoverySeconds). Zero on a
+	// healthy board.
+	FaultSeconds float64
 }
 
 // ModeledTotalSeconds is the modeled end-to-end latency: accelerator
-// compute, board traffic, and host retrieval.
+// compute, board traffic, host retrieval, and — on a faulty board —
+// the recovery time of failed attempts. Omitting the last term made a
+// degraded run look as fast as a clean one.
 func (r Report) ModeledTotalSeconds() float64 {
-	return r.AcceleratorSeconds + r.TransferSeconds + r.HostSeconds
+	return r.AcceleratorSeconds + r.TransferSeconds + r.HostSeconds + r.FaultSeconds
 }
 
 // Pipeline runs the complete linear-space local alignment with both
@@ -294,13 +345,25 @@ func (r Report) ModeledTotalSeconds() float64 {
 // scan over the reversed prefixes (accelerator) → Hirschberg retrieval
 // between the located coordinates (host software, measured wall time).
 func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
+	return PipelineCtx(context.Background(), d, s, t, sc)
+}
+
+// PipelineCtx is Pipeline under the caller's context: cancellation
+// reaches a scan in flight, and when the context carries a telemetry
+// span the run is traced as host.pipeline → device.scan (forward) →
+// device.scan (reverse) → host.retrieve.
+func PipelineCtx(ctx context.Context, d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
 	if err := d.Validate(); err != nil {
 		return Report{}, err
 	}
+	ctx, span := telemetry.StartSpan(ctx, "host.pipeline")
+	span.SetInt("query_len", int64(len(s)))
+	span.SetInt("db_len", int64(len(t)))
+	defer span.End()
 	before := d.Metrics
 	var rep Report
 	// Phase 1: end coordinates, on the accelerator.
-	score, endI, endJ, err := d.BestLocal(s, t, sc)
+	score, endI, endJ, err := d.BestLocalCtx(ctx, s, t, sc)
 	if err != nil {
 		return Report{}, fmt.Errorf("host: forward scan: %w", err)
 	}
@@ -309,7 +372,7 @@ func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
 	if score > 0 {
 		// Phase 2: start coordinates, on the accelerator over the
 		// reversed prefixes ending at (endI, endJ).
-		revScore, revI, revJ, err := d.BestAnchored(seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
+		revScore, revI, revJ, err := d.BestAnchoredCtx(ctx, seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
 		if err != nil {
 			return Report{}, fmt.Errorf("host: reverse scan: %w", err)
 		}
@@ -320,9 +383,13 @@ func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
 		startI, startJ := endI-revI, endJ-revJ
 		rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
 		// Phase 3: retrieval on the host, measured.
+		_, rspan := telemetry.StartSpan(ctx, "host.retrieve")
 		t0 := time.Now()
 		sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
 		rep.HostSeconds = time.Since(t0).Seconds()
+		telemetry.HostSeconds.Add(rep.HostSeconds)
+		rspan.SetInt("score", int64(sub.Score))
+		rspan.End()
 		if sub.Score != score {
 			return Report{}, fmt.Errorf("host: retrieval score %d != scan score %d", sub.Score, score)
 		}
@@ -335,6 +402,7 @@ func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
 	}
 	rep.AcceleratorSeconds = d.Metrics.ComputeSeconds - before.ComputeSeconds
 	rep.TransferSeconds = d.Metrics.TransferSeconds - before.TransferSeconds
+	rep.FaultSeconds = d.Metrics.FaultSeconds - before.FaultSeconds
 	return rep, nil
 }
 
@@ -379,6 +447,9 @@ func (d *Device) BatchScan(query []byte, records [][]byte, sc align.LinearScorin
 		d.Metrics.Calls++
 		d.Metrics.Cells += res.Stats.Cells
 		d.Metrics.Cycles += res.Stats.Cycles
+		telemetry.ScanCalls.Inc()
+		telemetry.CellsUpdated.Add(int64(res.Stats.Cells))
+		telemetry.ArrayCycles.Add(int64(res.Stats.Cycles))
 		out = append(out, res)
 	}
 	plan.TransferSeconds = d.Board.TransferSeconds(plan.BytesIn) + d.Board.TransferSeconds(plan.BytesOut)
@@ -386,5 +457,10 @@ func (d *Device) BatchScan(query []byte, records [][]byte, sc align.LinearScorin
 	d.Metrics.TransferSeconds += plan.TransferSeconds
 	d.Metrics.BytesIn += plan.BytesIn
 	d.Metrics.BytesOut += plan.BytesOut
+	telemetry.ComputeSeconds.Add(plan.ComputeSeconds)
+	telemetry.TransferSeconds.Add(plan.TransferSeconds)
+	telemetry.BytesIn.Add(int64(plan.BytesIn))
+	telemetry.BytesOut.Add(int64(plan.BytesOut))
+	telemetry.UpdateModeledGCUPS()
 	return out, plan, nil
 }

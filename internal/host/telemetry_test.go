@@ -1,0 +1,187 @@
+package host
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/faults"
+	"swfpga/internal/telemetry"
+)
+
+// traceShape renders the reconstructed span forest as an indented name
+// listing — the structural fingerprint the golden assertions compare.
+func traceShape(t *testing.T, buf *bytes.Buffer) string {
+	t.Helper()
+	recs, err := telemetry.ReadTrace(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots, err := telemetry.BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range roots {
+		r.Walk(func(depth int, n *telemetry.SpanNode) {
+			fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), n.Name)
+		})
+	}
+	return b.String()
+}
+
+// TestPipelineGoldenTrace runs a small fixed scan under a tracer and
+// pins the span tree the JSONL trace reconstructs to — the round-trip
+// acceptance check of the observability contract.
+func TestPipelineGoldenTrace(t *testing.T) {
+	telemetry.Default().Reset()
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(telemetry.NewJSONLWriter(&buf))
+	ctx, root := tr.Root(context.Background(), "test")
+
+	d := NewDevice()
+	d.Array.Elements = 4
+	s := []byte("ACGTACGT")
+	db := []byte("TTACGTACGTTT")
+	rep, err := PipelineCtx(ctx, d, s, db, align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Score <= 0 {
+		t.Fatalf("expected a positive-score alignment, got %+v", rep.Result)
+	}
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `test
+  host.pipeline
+    device.scan
+      systolic.run
+    device.scan
+      systolic.run
+    host.retrieve
+`
+	if got := traceShape(t, &buf); got != want {
+		t.Errorf("span tree:\n%s\nwant:\n%s", got, want)
+	}
+	if calls := telemetry.ScanCalls.Value(); calls != 2 {
+		t.Errorf("swfpga_scan_calls_total = %d, want 2 (forward + reverse)", calls)
+	}
+	if telemetry.CellsUpdated.Value() == 0 {
+		t.Error("swfpga_cells_updated_total stayed 0")
+	}
+	telemetry.Default().Reset()
+}
+
+// TestClusterTraceRecordsFaultEvents checks the fault path shows up in
+// the trace as events, not just counters.
+func TestClusterTraceRecordsFaultEvents(t *testing.T) {
+	telemetry.Default().Reset()
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(telemetry.NewJSONLWriter(&buf))
+	ctx, root := tr.Root(context.Background(), "test")
+
+	c := NewCluster(2)
+	for _, d := range c.Devices {
+		d.Array.Elements = 4
+	}
+	c.InjectFaults(faults.NewSchedule(
+		faults.Event{Board: 0, Call: 0, Class: faults.PCI},
+	))
+	q := []byte("ACGTACGT")
+	db := bytes.Repeat([]byte("ACGT"), 64)
+	_, _, _, rep, err := c.BestLocalReport(ctx, q, db, align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PCIErrors == 0 {
+		t.Fatalf("schedule did not fire: %+v", rep)
+	}
+	root.End()
+
+	recs, err := telemetry.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faultEvents int
+	for _, r := range recs {
+		for _, e := range r.Events {
+			if strings.Contains(e.Msg, "fault pci-transfer") {
+				faultEvents++
+			}
+		}
+	}
+	if faultEvents == 0 {
+		t.Error("no fault event recorded in the trace")
+	}
+	if telemetry.ChunkFailures.Value("pci-transfer") == 0 {
+		t.Error("swfpga_chunk_failures_total{class=pci-transfer} stayed 0")
+	}
+	if telemetry.Retries.Value() == 0 {
+		t.Error("swfpga_chunk_retries_total stayed 0")
+	}
+	telemetry.Default().Reset()
+}
+
+// TestReportModeledTotalIncludesFaultSeconds pins the single-device
+// report arithmetic: recovery time must be part of the modeled total.
+func TestReportModeledTotalIncludesFaultSeconds(t *testing.T) {
+	r := Report{AcceleratorSeconds: 1, TransferSeconds: 2, HostSeconds: 3, FaultSeconds: 4}
+	if got := r.ModeledTotalSeconds(); got != 10 {
+		t.Errorf("ModeledTotalSeconds() = %g, want 10 (fault recovery included)", got)
+	}
+}
+
+// TestClusterModeledTotalIncludesFaultRecovery is the regression test
+// for the silent omission: a degraded run's modeled total must exceed
+// the sum of its phase times by exactly the fault-handling time.
+func TestClusterModeledTotalIncludesFaultRecovery(t *testing.T) {
+	telemetry.Default().Reset()
+	c := NewCluster(2)
+	for _, d := range c.Devices {
+		d.Array.Elements = 4
+	}
+	// Board 0 dies permanently; enough consecutive failures on board 1
+	// quarantine it too, forcing software fallback (degradation).
+	c.InjectFaults(faults.NewSchedule(
+		faults.Event{Board: 0, Call: 0, Class: faults.Dead},
+		faults.Event{Board: 1, Call: 0, Class: faults.PCI},
+		faults.Event{Board: 1, Call: 1, Class: faults.PCI},
+		faults.Event{Board: 1, Call: 2, Class: faults.PCI},
+		faults.Event{Board: 1, Call: 3, Class: faults.PCI},
+		faults.Event{Board: 1, Call: 4, Class: faults.PCI},
+		faults.Event{Board: 1, Call: 5, Class: faults.PCI},
+	))
+	q := []byte("ACGTACGT")
+	db := bytes.Repeat([]byte("ACGT"), 64)
+	rep, err := c.Pipeline(q, db, align.DefaultLinear())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Faults.Degraded {
+		t.Fatalf("expected a degraded run, got %s", rep.Faults)
+	}
+	phases := rep.ScanSeconds + rep.ReverseSeconds + rep.HostSeconds
+	faultTime := rep.Faults.ModeledRetrySeconds + rep.Faults.SoftwareSeconds
+	if faultTime <= 0 {
+		t.Fatalf("expected positive fault-handling time, report %s", rep.Faults)
+	}
+	got := rep.ModeledTotalSeconds()
+	want := phases + faultTime
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("ModeledTotalSeconds() = %g, want %g (phases %g + fault %g)",
+			got, want, phases, faultTime)
+	}
+	if telemetry.DegradedRuns.Value() == 0 {
+		t.Error("swfpga_degraded_runs_total stayed 0")
+	}
+	if telemetry.SoftwareChunks.Value() == 0 {
+		t.Error("swfpga_software_chunks_total stayed 0")
+	}
+	telemetry.Default().Reset()
+}

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/align"
@@ -36,6 +37,46 @@ type Scanner interface {
 	// BestAnchored returns the best score and 1-based end coordinates of
 	// alignments anchored at (0,0) (used for the reverse phase).
 	BestAnchored(s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
+}
+
+// ScannerCtx is the optional context-aware extension of Scanner:
+// engines that support cancellation and telemetry (the simulated
+// accelerator board and the fault-tolerant cluster) implement it, and
+// the ...Ctx pipeline entry points thread the caller's context through
+// this seam so spans nest and cancellation reaches a scan in flight.
+type ScannerCtx interface {
+	Scanner
+	// BestLocalCtx is BestLocal under ctx.
+	BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
+	// BestAnchoredCtx is BestAnchored under ctx.
+	BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
+}
+
+// boundScanner adapts a ScannerCtx back to the plain Scanner seam with
+// a fixed context, so the ctx-less pipeline internals stay unchanged.
+type boundScanner struct {
+	ctx context.Context
+	s   ScannerCtx
+}
+
+func (b boundScanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	return b.s.BestLocalCtx(b.ctx, s, t, sc)
+}
+
+func (b boundScanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	return b.s.BestAnchoredCtx(b.ctx, s, t, sc)
+}
+
+// withCtx binds ctx into scanner when the engine supports it; plain
+// scanners (e.g. ScanSoftware) pass through untouched.
+func withCtx(ctx context.Context, scanner Scanner) Scanner {
+	if scanner == nil {
+		return nil
+	}
+	if cs, ok := scanner.(ScannerCtx); ok {
+		return boundScanner{ctx: ctx, s: cs}
+	}
+	return scanner
 }
 
 // DivergenceScanner extends Scanner with the divergence-tracking
@@ -144,6 +185,19 @@ func Local(s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, 
 		Ops: sub.Ops,
 	}
 	return r, ph, nil
+}
+
+// LocalCtx is Local with the caller's context threaded through the
+// scanner seam (cancellation and telemetry reach context-aware
+// engines; plain scanners behave exactly as under Local).
+func LocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, Phases, error) {
+	return Local(s, t, sc, withCtx(ctx, scanner))
+}
+
+// LocalScoreOnlyCtx is LocalScoreOnly with the caller's context
+// threaded through the scanner seam.
+func LocalScoreOnlyCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (Phases, error) {
+	return LocalScoreOnly(s, t, sc, withCtx(ctx, scanner))
 }
 
 // LocalScoreOnly runs only phase 1 and reports the score and end

@@ -2,9 +2,16 @@ package linear
 
 import (
 	"container/heap"
+	"context"
 
 	"swfpga/internal/align"
 )
+
+// NearBestCtx is NearBest with the caller's context threaded through
+// the scanner seam (see ScannerCtx).
+func NearBestCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scanner) ([]align.Result, error) {
+	return NearBest(s, t, sc, k, minScore, withCtx(ctx, scanner))
+}
 
 // NearBest finds up to k local alignments that do not overlap in the
 // database sequence, each scoring at least minScore, in descending score

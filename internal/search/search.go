@@ -18,6 +18,8 @@ import (
 	"swfpga/internal/evalue"
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+	"time"
 )
 
 // Hit is one reported match.
@@ -96,6 +98,11 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 	if workers == 0 {
 		return nil, nil
 	}
+	ctx, span := telemetry.StartSpan(ctx, "search")
+	span.SetInt("records", int64(len(db)))
+	span.SetInt("query_len", int64(len(query)))
+	span.SetInt("workers", int64(workers))
+	defer span.End()
 
 	scanCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -112,7 +119,7 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 				if errs[w] != nil || scanCtx.Err() != nil {
 					continue // keep draining so the producer never blocks
 				}
-				hs, err := scanRecord(db[idx], idx, query, opts, scanner)
+				hs, err := scanRecord(scanCtx, db[idx], idx, query, opts, scanner)
 				if err != nil {
 					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
 					cancel() // stop the producer and the other workers
@@ -164,13 +171,24 @@ producer:
 			out[i].BitScore = opts.Stats.BitScore(out[i].Result.Score)
 		}
 	}
+	span.SetInt("hits", int64(len(out)))
 	return out, nil
 }
 
-// scanRecord produces the hits of one database record.
-func scanRecord(rec seq.Sequence, idx int, query []byte, opts Options, scanner linear.Scanner) ([]Hit, error) {
+// scanRecord produces the hits of one database record. Each record gets
+// its own span and a wall-time observation (swfpga_record_wall_seconds)
+// so slow records stand out in the trace and the histogram.
+func scanRecord(ctx context.Context, rec seq.Sequence, idx int, query []byte, opts Options, scanner linear.Scanner) ([]Hit, error) {
+	ctx, span := telemetry.StartSpan(ctx, "search.record")
+	span.SetInt("index", int64(idx))
+	span.SetInt("bases", int64(len(rec.Data)))
+	t0 := time.Now()
+	defer func() {
+		telemetry.RecordSeconds.Observe(time.Since(t0).Seconds())
+		span.End()
+	}()
 	if opts.PerRecord > 1 {
-		results, err := linear.NearBest(query, rec.Data, opts.Scoring, opts.PerRecord, opts.MinScore, scanner)
+		results, err := linear.NearBestCtx(ctx, query, rec.Data, opts.Scoring, opts.PerRecord, opts.MinScore, scanner)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +202,7 @@ func scanRecord(rec seq.Sequence, idx int, query []byte, opts Options, scanner l
 		return hits, nil
 	}
 	if opts.Retrieve {
-		r, _, err := linear.Local(query, rec.Data, opts.Scoring, scanner)
+		r, _, err := linear.LocalCtx(ctx, query, rec.Data, opts.Scoring, scanner)
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +211,7 @@ func scanRecord(rec seq.Sequence, idx int, query []byte, opts Options, scanner l
 		}
 		return []Hit{{RecordID: rec.ID, RecordIndex: idx, Result: r}}, nil
 	}
-	ph, err := linear.LocalScoreOnly(query, rec.Data, opts.Scoring, scanner)
+	ph, err := linear.LocalScoreOnlyCtx(ctx, query, rec.Data, opts.Scoring, scanner)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -53,6 +54,31 @@ func (s Summary) String() string {
 		return fmt.Sprintf("%.3f s", s.Mean)
 	}
 	return fmt.Sprintf("%.3f ± %.3f s (n=%d)", s.Mean, s.StdDev, s.N)
+}
+
+// Quantile returns the exact q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation between order statistics (the R-7 estimator). It is the
+// oracle the telemetry histogram's bucketed estimate is tested against.
+// An empty sample yields 0; xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // TimeRepeat runs fn reps times (at least once) and summarizes the

@@ -1,9 +1,11 @@
 package systolic
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/scoring"
+	"swfpga/internal/telemetry"
 )
 
 // Affine-gap systolic array: the Gotoh datapath used by the sec. 4
@@ -318,6 +320,16 @@ func (ar *affineArray) step(sbIn byte, hIn, fIn score, meta [4]int32, vIn bool) 
 		ar.sbOut[j] = sb
 		ar.vOut[j] = true
 	}
+}
+
+// RunAffineCtx is RunAffine with observability: a "systolic.affine"
+// span under the context's tracer plus the registry counters, exactly
+// as RunCtx does for the linear array.
+func RunAffineCtx(ctx context.Context, cfg AffineConfig, query, db []byte) (Result, error) {
+	_, span := telemetry.StartSpan(ctx, "systolic.affine")
+	res, err := RunAffine(cfg, query, db)
+	recordRun(span, cfg.Elements, res)
+	return res, err
 }
 
 // RunAffine streams the database through the affine array and returns

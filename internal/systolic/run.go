@@ -1,6 +1,53 @@
 package systolic
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"swfpga/internal/telemetry"
+)
+
+// RunCtx is Run with observability: it opens a "systolic.run" span
+// under the context's tracer (a no-op when telemetry is disabled) and
+// feeds the run's counters — cells, cycles, strips, PE occupancy —
+// into the telemetry registry. The metric updates are a handful of
+// atomics per run, never per cell, so the instrumented path stays
+// within the <2% overhead budget the swbench telemetry-overhead
+// experiment guards.
+func RunCtx(ctx context.Context, cfg Config, query, db []byte) (Result, error) {
+	_, span := telemetry.StartSpan(ctx, "systolic.run")
+	res, err := Run(cfg, query, db)
+	recordRun(span, cfg.Elements, res)
+	return res, err
+}
+
+// recordRun charges one array run to the span and the registry; shared
+// by the linear and affine entry points.
+func recordRun(span *telemetry.Span, elements int, res Result) {
+	st := res.Stats
+	telemetry.CellsUpdated.Add(int64(st.Cells))
+	telemetry.ArrayCycles.Add(int64(st.Cycles))
+	telemetry.StripsTotal.Add(int64(st.Strips))
+	if occ := st.Occupancy(elements); occ > 0 {
+		telemetry.PEOccupancy.Observe(occ)
+	}
+	span.SetInt("cells", int64(st.Cells))
+	span.SetInt("cycles", int64(st.Cycles))
+	span.SetInt("strips", int64(st.Strips))
+	span.SetInt("score", int64(res.Score))
+	span.End()
+}
+
+// Occupancy is the fraction of PE-cycles that performed cell updates:
+// cells / (cycles × elements). Wavefront fill/drain on each strip and
+// the query-reload overhead are the loss terms; the paper's long-
+// database workloads keep this near 1.
+func (s Stats) Occupancy(elements int) float64 {
+	if s.Cycles == 0 || elements <= 0 {
+		return 0
+	}
+	return float64(s.Cells) / (float64(s.Cycles) * float64(elements))
+}
 
 // Run streams the database sequence through the simulated array and
 // returns the best local-alignment score with its coordinates, exactly

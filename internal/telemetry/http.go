@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishExpvar exposes the Default registry under the expvar name
+// "swfpga_metrics" exactly once (expvar.Publish panics on duplicates,
+// and tests may start several servers in one process).
+var publishExpvar = sync.OnceFunc(func() {
+	expvar.Publish("swfpga_metrics", expvar.Func(func() any {
+		return Default().Snapshot()
+	}))
+})
+
+// Handler returns the live-introspection mux for a registry:
+//
+//	/metrics          Prometheus text exposition
+//	/debug/vars       expvar JSON (includes the swfpga_metrics map)
+//	/debug/pprof/...  the standard pprof handlers
+func Handler(reg *Registry) http.Handler {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is abort the response.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is the live-introspection endpoint started by the
+// -telemetry-addr CLI flag. Close it with Shutdown; the serve
+// goroutine's exit error is joined there (the shape the swvet
+// goroutinehygiene fixture pins).
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	errCh chan error
+}
+
+// ListenAndServe starts serving reg on addr (host:port; port 0 picks a
+// free port — read the result from Addr).
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:    ln,
+		srv:   &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second},
+		errCh: make(chan error, 1),
+	}
+	go func(srv *http.Server, ln net.Listener, errCh chan<- error) {
+		errCh <- srv.Serve(ln)
+	}(s.srv, ln, s.errCh)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops the server gracefully and joins the serve goroutine,
+// returning any error either side produced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serr := <-s.errCh; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	Default().Reset()
+	ScanCalls.Add(7)
+	CellsUpdated.Add(12345)
+
+	srv, err := ListenAndServe("127.0.0.1:0", Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"swfpga_scan_calls_total 7",
+		"swfpga_cells_updated_total 12345",
+		"# TYPE swfpga_chunk_modeled_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars struct {
+		Metrics map[string]float64 `json:"swfpga_metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Metrics["swfpga_scan_calls_total"] != 7 {
+		t.Errorf("expvar swfpga_metrics = %v", vars.Metrics)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	Default().Reset()
+}
+
+func TestServerPortZeroAddr(t *testing.T) {
+	srv, err := ListenAndServe("127.0.0.1:0", Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(srv.Addr(), ":0") {
+		t.Errorf("Addr() = %q, want the bound port", srv.Addr())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunManifest(t *testing.T) {
+	Default().Reset()
+	ScanCalls.Add(2)
+	m := NewRunManifest("swtest")
+	m.Workload = "tiny"
+	m.Engine = "software"
+	m.Notes = append(m.Notes, "a note")
+	m.Finish(Default())
+
+	dir := t.TempDir()
+	path, err := m.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"run manifest: swtest", "workload: tiny", "engine:   software",
+		"note:     a note", "swfpga_scan_calls_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("manifest missing %q:\n%s", want, out)
+		}
+	}
+	Default().Reset()
+}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// SpanRecord is the serialized form of one completed span — the unit of
+// the JSONL trace format (one JSON object per line).
+type SpanRecord struct {
+	// ID is unique within one trace; Parent is the ID of the enclosing
+	// span, 0 for a root.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name identifies the operation (the span taxonomy is documented in
+	// DESIGN.md §8).
+	Name string `json:"name"`
+	// Start is the wall-clock start in Unix nanoseconds; Dur the span
+	// duration in nanoseconds.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+	// Attrs carries the typed attributes (ints, floats, strings).
+	Attrs map[string]any `json:"attrs,omitempty"`
+	// Events are the timestamped messages attached to the span.
+	Events []EventRecord `json:"events,omitempty"`
+}
+
+// EventRecord is the serialized form of one span event.
+type EventRecord struct {
+	At  int64  `json:"at_ns"`
+	Msg string `json:"msg"`
+}
+
+// JSONLWriter is a SpanSink writing one JSON object per line. It is
+// safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a sink writing the JSONL trace to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteSpan implements SpanSink.
+func (j *JSONLWriter) WriteSpan(r SpanRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(r)
+}
+
+// ReadTrace parses a JSONL trace back into span records, in file order
+// (which is span-completion order).
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// SpanNode is one span with its children, reconstructed from a trace.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode
+}
+
+// BuildTree reconstructs the span forest of a trace: roots (parent 0)
+// in start order, children of every node in start order. A record
+// whose parent never appears in the trace is an error — a trace that
+// lost spans cannot be trusted for attribution.
+func BuildTree(recs []SpanRecord) ([]*SpanNode, error) {
+	nodes := make(map[uint64]*SpanNode, len(recs))
+	for _, r := range recs {
+		if r.ID == 0 {
+			return nil, fmt.Errorf("telemetry: span with id 0")
+		}
+		if _, dup := nodes[r.ID]; dup {
+			return nil, fmt.Errorf("telemetry: duplicate span id %d", r.ID)
+		}
+		nodes[r.ID] = &SpanNode{SpanRecord: r}
+	}
+	var roots []*SpanNode
+	for _, r := range recs {
+		n := nodes[r.ID]
+		if r.Parent == 0 {
+			roots = append(roots, n)
+			continue
+		}
+		p, ok := nodes[r.Parent]
+		if !ok {
+			return nil, fmt.Errorf("telemetry: span %d (%s) references missing parent %d",
+				r.ID, r.Name, r.Parent)
+		}
+		p.Children = append(p.Children, n)
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			if ns[i].Start != ns[j].Start {
+				return ns[i].Start < ns[j].Start
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	byStart(roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return roots, nil
+}
+
+// Walk visits the node and its descendants depth-first in start order.
+func (n *SpanNode) Walk(visit func(depth int, n *SpanNode)) {
+	var rec func(depth int, n *SpanNode)
+	rec = func(depth int, n *SpanNode) {
+		visit(depth, n)
+		for _, c := range n.Children {
+			rec(depth+1, c)
+		}
+	}
+	rec(0, n)
+}

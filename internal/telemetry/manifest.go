@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RunManifest is the human-readable summary of one instrumented run,
+// written under reports/ so every future perf PR has a measured
+// baseline to diff against.
+type RunManifest struct {
+	// Tool names the producing command (swsearch, swbench, …).
+	Tool string
+	// Workload and Engine describe what ran ("100 BP x 10 MBP", "fpga").
+	Workload, Engine string
+	// Started is when the run began; WallSeconds its measured duration.
+	Started     time.Time
+	WallSeconds float64
+	// Notes are free-form context lines (fault summaries, trace paths).
+	Notes []string
+	// Metrics is the registry snapshot at the end of the run.
+	Metrics map[string]float64
+}
+
+// NewRunManifest starts a manifest for tool, stamping the start time.
+func NewRunManifest(tool string) *RunManifest {
+	return &RunManifest{Tool: tool, Started: time.Now()}
+}
+
+// Finish stamps the duration and captures the registry snapshot,
+// refreshing the derived throughput gauges first.
+func (m *RunManifest) Finish(reg *Registry) {
+	m.WallSeconds = time.Since(m.Started).Seconds()
+	UpdateModeledGCUPS()
+	if cells := CellsUpdated.Value(); cells > 0 && m.WallSeconds > 0 {
+		WallGCUPS.Set(float64(cells) / m.WallSeconds / 1e9)
+	}
+	m.Metrics = reg.Snapshot()
+}
+
+// WriteTo renders the manifest as text.
+func (m *RunManifest) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run manifest: %s\n", m.Tool)
+	fmt.Fprintf(&b, "started:  %s\n", m.Started.Format(time.RFC3339))
+	fmt.Fprintf(&b, "wall:     %.3f s\n", m.WallSeconds)
+	if m.Workload != "" {
+		fmt.Fprintf(&b, "workload: %s\n", m.Workload)
+	}
+	if m.Engine != "" {
+		fmt.Fprintf(&b, "engine:   %s\n", m.Engine)
+	}
+	for _, n := range m.Notes {
+		fmt.Fprintf(&b, "note:     %s\n", n)
+	}
+	if len(m.Metrics) > 0 {
+		fmt.Fprintf(&b, "\nmetrics at end of run:\n")
+		keys := make([]string, 0, len(m.Metrics))
+		for k := range m.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-44s %g\n", k, m.Metrics[k])
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteFile writes the manifest under dir as <tool>-manifest.txt and
+// returns the path.
+func (m *RunManifest) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("telemetry: manifest dir: %w", err)
+	}
+	path := filepath.Join(dir, m.Tool+"-manifest.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("telemetry: manifest: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,457 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is the registry's view of one instrument.
+type metric interface {
+	metricName() string
+	// expose writes the Prometheus text-format block of the metric.
+	expose(w io.Writer) error
+	// snapshot adds the metric's current values into out, keyed by the
+	// exposition series name.
+	snapshot(out map[string]float64)
+	// reset zeroes the metric in place (registrations survive, so
+	// package-level handles stay valid across test resets).
+	reset()
+}
+
+// Registry holds named metrics and renders them for the sinks. The
+// process-global instance is Default(); tests reset it in place with
+// Reset rather than swapping it out, so the package-level instruments
+// in pipeline.go remain valid.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]metric
+	ordered []metric
+}
+
+// NewRegistry returns an empty registry (tests; production code uses
+// Default).
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry every pipeline metric is
+// registered in.
+func Default() *Registry { return defaultRegistry }
+
+// register adds m, panicking on duplicate names — metric names are
+// compile-time constants, so a duplicate is a programming error.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := m.metricName()
+	if _, dup := r.byName[name]; dup {
+		panic("telemetry: duplicate metric " + name)
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	sort.Slice(r.ordered, func(i, j int) bool {
+		return r.ordered[i].metricName() < r.ordered[j].metricName()
+	})
+}
+
+// Reset zeroes every registered metric in place. Test hook.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.ordered {
+		m.reset()
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (HELP/TYPE comments plus one line per series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if err := m.expose(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current value of every series, keyed by its
+// exposition name (histograms contribute _sum/_count plus quantile
+// summaries). The expvar sink and the run manifest render this map.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		m.snapshot(out)
+	}
+	return out
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers an integer counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) reset()             { c.v.Store(0) }
+func (c *Counter) snapshot(out map[string]float64) {
+	out[c.name] = float64(c.v.Load())
+}
+func (c *Counter) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+		c.name, c.help, c.name, c.name, c.v.Load())
+	return err
+}
+
+// FloatCounter is a monotonically increasing float metric (modeled
+// seconds accumulate here).
+type FloatCounter struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewFloatCounter registers a float counter.
+func (r *Registry) NewFloatCounter(name, help string) *FloatCounter {
+	c := &FloatCounter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// addFloatBits atomically adds v to a float64 stored as uint64 bits.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Add accumulates v (must be non-negative).
+func (c *FloatCounter) Add(v float64) { addFloatBits(&c.bits, v) }
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) metricName() string { return c.name }
+func (c *FloatCounter) reset()             { c.bits.Store(0) }
+func (c *FloatCounter) snapshot(out map[string]float64) {
+	out[c.name] = c.Value()
+}
+func (c *FloatCounter) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n",
+		c.name, c.help, c.name, c.name, c.Value())
+	return err
+}
+
+// Gauge is a float metric that can move in both directions.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) reset()             { g.bits.Store(0) }
+func (g *Gauge) snapshot(out map[string]float64) {
+	out[g.name] = g.Value()
+}
+func (g *Gauge) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+		g.name, g.help, g.name, g.name, g.Value())
+	return err
+}
+
+// CounterVec is a family of counters split by one label (e.g. fault
+// class). Children are created on first use; callers on hot paths
+// should cache the child from With rather than re-resolving the label.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*atomic.Int64
+}
+
+// NewCounterVec registers a one-label counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label,
+		children: map[string]*atomic.Int64{}}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter cell for the label value.
+func (v *CounterVec) With(value string) *atomic.Int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[value]
+	if c == nil {
+		c = new(atomic.Int64)
+		v.children[value] = c
+	}
+	return c
+}
+
+// Value returns the child's current count (0 if never used).
+func (v *CounterVec) Value(value string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[value]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// Total sums every child.
+func (v *CounterVec) Total() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var t int64
+	for _, c := range v.children {
+		t += c.Load()
+	}
+	return t
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+func (v *CounterVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, c := range v.children {
+		c.Store(0)
+	}
+}
+
+// sortedLabels returns the label values in stable order.
+func (v *CounterVec) sortedLabels() []string {
+	ls := make([]string, 0, len(v.children))
+	for l := range v.children {
+		ls = append(ls, l)
+	}
+	sort.Strings(ls)
+	return ls
+}
+
+func (v *CounterVec) snapshot(out map[string]float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, l := range v.sortedLabels() {
+		out[fmt.Sprintf("%s{%s=%q}", v.name, v.label, l)] = float64(v.children[l].Load())
+	}
+}
+func (v *CounterVec) expose(w io.Writer) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	for _, l := range v.sortedLabels() {
+		fmt.Fprintf(&b, "%s{%s=%q} %d\n", v.name, v.label, l, v.children[l].Load())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Histogram is a fixed-bucket distribution with an atomic cell per
+// bucket: Observe is lock-free and allocation-free, suitable for the
+// per-chunk and per-record paths.
+type Histogram struct {
+	name, help string
+	// bounds are the inclusive upper bounds of the first len(bounds)
+	// buckets; an implicit +Inf bucket catches the rest.
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// NewHistogram registers a histogram with the given bucket upper
+// bounds, which must be strictly increasing and non-empty.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram " + name + " bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{
+		name: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.register(h)
+	return h
+}
+
+// LinearBounds returns n strictly increasing bounds start, start+width,
+// … — a convenience for ratio-style histograms.
+func LinearBounds(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBounds returns n bounds start, start*factor, … for
+// latency-style histograms spanning orders of magnitude.
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// bucketOf returns the index of the first bucket whose bound admits v
+// (len(bounds) for the +Inf bucket).
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketOf(v)].Add(1)
+	addFloatBits(&h.sum, v)
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing bucket — the usual
+// Prometheus-style histogram estimate. The error is bounded by the
+// bucket width (pinned against the exact internal/stats.Quantile in the
+// package tests). An empty histogram returns 0; a quantile landing in
+// the +Inf bucket returns the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.count.Store(0)
+}
+func (h *Histogram) snapshot(out map[string]float64) {
+	out[h.name+"_count"] = float64(h.count.Load())
+	out[h.name+"_sum"] = h.Sum()
+	if h.count.Load() > 0 {
+		out[h.name+"_p50"] = h.Quantile(0.5)
+		out[h.name+"_p99"] = h.Quantile(0.99)
+	}
+}
+func (h *Histogram) expose(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.name, formatBound(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(&b, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(&b, "%s_count %d\n", h.name, h.count.Load())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"swfpga/internal/stats"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a test counter")
+	g := r.NewGauge("test_gauge", "a test gauge")
+	v := r.NewCounterVec("test_by_class", "a labeled counter", "class")
+	c.Add(3)
+	c.Inc()
+	g.Set(2.5)
+	v.With("pci").Add(2)
+	v.With("hang").Add(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_total counter", "test_total 4",
+		"# TYPE test_gauge gauge", "test_gauge 2.5",
+		`test_by_class{class="hang"} 1`, `test_by_class{class="pci"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics render in sorted name order.
+	if strings.Index(out, "test_by_class") > strings.Index(out, "test_gauge") {
+		t.Error("metrics not sorted by name")
+	}
+
+	snap := r.Snapshot()
+	if snap["test_total"] != 4 || snap["test_gauge"] != 2.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if snap[`test_by_class{class="pci"}`] != 2 {
+		t.Errorf("vec snapshot = %v", snap)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || v.Total() != 0 {
+		t.Error("Reset must zero metrics in place")
+	}
+	c.Inc()
+	if c.Value() != 1 {
+		t.Error("handles must stay live across Reset")
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 106.05",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 106.05 {
+		t.Errorf("Count/Sum = %d/%g", h.Count(), h.Sum())
+	}
+}
+
+// TestHistogramQuantileVsExact pins the histogram's interpolated
+// quantiles against the exact order-statistic quantile of
+// internal/stats: the estimate must land within one bucket width of
+// the true value for a spread of distributions.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dists := map[string]func() float64{
+		"uniform":     func() float64 { return rng.Float64() * 10 },
+		"exponential": func() float64 { return rng.ExpFloat64() },
+		"bimodal": func() float64 {
+			if rng.Intn(2) == 0 {
+				return 0.5 + rng.Float64()*0.2
+			}
+			return 7 + rng.Float64()*0.2
+		},
+	}
+	bounds := LinearBounds(0.25, 0.25, 48) // 0.25 .. 12 in 0.25 steps
+	for name, draw := range dists {
+		r := NewRegistry()
+		h := r.NewHistogram("q_"+name, "quantile test", bounds)
+		xs := make([]float64, 5000)
+		for i := range xs {
+			xs[i] = draw()
+			h.Observe(xs[i])
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+			exact := stats.Quantile(xs, q)
+			est := h.Quantile(q)
+			// One bucket width of slack, plus the tail bucket clamp.
+			if diff := est - exact; diff < -0.26 || diff > 0.26 {
+				t.Errorf("%s q%.2f: histogram %.4f vs exact %.4f (diff %.4f)",
+					name, q, est, exact, diff)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("edge_seconds", "edges", []float64{1, 2})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	h.Observe(100) // lands in +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 2", got)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	r.NewCounter("dup_total", "second")
+}
+
+// TestConcurrentMetrics hammers every metric kind from many goroutines;
+// run under -race this is the data-race gate for the lock-free paths,
+// and the totals check that no update is lost.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "counter")
+	f := r.NewFloatCounter("conc_seconds_total", "float counter")
+	g := r.NewGauge("conc_gauge", "gauge")
+	v := r.NewCounterVec("conc_by_class", "vec", "class")
+	h := r.NewHistogram("conc_hist", "hist", ExponentialBounds(1e-6, 4, 16))
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cell := v.With("a")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				f.Add(0.001)
+				g.Set(float64(i))
+				cell.Add(1)
+				h.Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if got := f.Value(); got < 0.001*want*0.999 || got > 0.001*want*1.001 {
+		t.Errorf("float counter = %g, want ~%g", got, 0.001*want)
+	}
+	if v.Value("a") != want {
+		t.Errorf("vec = %d, want %d", v.Value("a"), want)
+	}
+	if h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+}

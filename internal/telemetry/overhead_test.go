@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// disabledPath is the per-chunk instrumentation sequence as the
+// pipeline executes it when no tracer is installed: a span that never
+// materializes plus the always-on atomic metric updates.
+func disabledPath(ctx context.Context) {
+	ctx, span := StartSpan(ctx, "device.scan")
+	span.SetInt("board", 1)
+	span.SetStr("phase", "forward")
+	_, child := StartSpan(ctx, "systolic.run")
+	child.SetInt("cells", 1_000_000)
+	child.End()
+	span.End()
+}
+
+// TestDisabledPathDoesNotAllocate is the enforced form of the overhead
+// contract: with no span in the context the entire instrumentation
+// path must be allocation-free.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(1000, func() { disabledPath(ctx) }); avg != 0 {
+		t.Errorf("disabled span path allocates %.1f objects/op, want 0", avg)
+	}
+	r := NewRegistry()
+	c := r.NewCounter("alloc_total", "c")
+	f := r.NewFloatCounter("alloc_seconds_total", "f")
+	h := r.NewHistogram("alloc_hist", "h", ExponentialBounds(1e-6, 4, 16))
+	if avg := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		f.Add(0.5)
+		h.Observe(0.01)
+	}); avg != 0 {
+		t.Errorf("metric update path allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// BenchmarkTelemetryDisabled prices the nil-sink fast path — the cost
+// every un-instrumented run pays. The acceptance bar is 0 B/op.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledPath(ctx)
+	}
+}
+
+// BenchmarkTelemetryEnabled prices the same sequence with a live
+// tracer discarding records (nil sink), isolating span construction.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tr := NewTracer(nil)
+	ctx, root := tr.Root(context.Background(), "bench")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disabledPath(ctx)
+	}
+}
+
+// BenchmarkCounterAdd prices one atomic counter update — the unit the
+// per-scan charging path is built from.
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.NewCounter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve prices one lock-free histogram sample.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.NewHistogram("bench_hist", "bench", ExponentialBounds(1e-6, 4, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-5)
+	}
+}

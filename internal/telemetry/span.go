@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one typed span attribute. Exactly one of the value fields is
+// meaningful, selected by Kind; keeping the union flat avoids boxing
+// values into interfaces on the recording path.
+type Attr struct {
+	Key   string
+	Kind  AttrKind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// AttrKind selects the live field of an Attr.
+type AttrKind uint8
+
+// Attr kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindStr
+)
+
+// value returns the attribute as a JSON-friendly value.
+func (a Attr) value() any {
+	switch a.Kind {
+	case KindFloat:
+		return a.Float
+	case KindStr:
+		return a.Str
+	default:
+		return a.Int
+	}
+}
+
+// Event is one timestamped message attached to a span (the
+// fault/quarantine/degradation notices of the cluster dispatch).
+type Event struct {
+	At  time.Time
+	Msg string
+}
+
+// Span is one timed operation in the scan pipeline. Spans form a tree
+// through parent links; they are created with Tracer.Root or StartSpan
+// and recorded to the tracer's sink when End is called.
+//
+// A span is owned by the goroutine that started it: attribute setters
+// and End must not race. Child spans may live on other goroutines (the
+// cluster dispatch does exactly that); only the tracer's sink is
+// shared, and it serializes internally.
+//
+// All methods are nil-safe no-ops, so instrumented code never branches
+// on whether telemetry is enabled.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	events []Event
+	ended  bool
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindInt, Int: v})
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindFloat, Float: v})
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindStr, Str: v})
+}
+
+// Event records a timestamped message on the span.
+func (s *Span) Event(msg string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{At: s.tr.now(), Msg: msg})
+}
+
+// End closes the span and hands its record to the tracer's sink. A
+// second End is ignored.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tr.record(s)
+}
+
+// SpanSink receives completed span records. Implementations must be
+// safe for concurrent use only if shared outside a Tracer (the Tracer
+// serializes its own writes).
+type SpanSink interface {
+	WriteSpan(SpanRecord) error
+}
+
+// Tracer mints span IDs and forwards completed spans to a sink. A nil
+// sink is allowed: spans are then built and discarded, which the
+// overhead benchmark uses to price the recording path alone.
+type Tracer struct {
+	sink SpanSink
+
+	mu     sync.Mutex // serializes sink writes and err
+	err    error
+	nextID atomic.Uint64
+	// clock is overridable by tests for deterministic timestamps.
+	clock func() time.Time
+}
+
+// NewTracer returns a tracer recording completed spans to sink.
+func NewTracer(sink SpanSink) *Tracer {
+	return &Tracer{sink: sink, clock: time.Now}
+}
+
+// Root opens a top-level span and returns a context carrying it; every
+// StartSpan under that context nests beneath it.
+func (t *Tracer) Root(ctx context.Context, name string) (context.Context, *Span) {
+	s := t.start(name, 0)
+	return WithSpan(ctx, s), s
+}
+
+// Err returns the first sink-write error, if any: trace output is
+// best-effort during the run, but callers must surface this before
+// trusting a trace file.
+func (t *Tracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) now() time.Time { return t.clock() }
+
+// start builds a live span. IDs start at 1 so parent==0 means "root".
+func (t *Tracer) start(name string, parent uint64) *Span {
+	return &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  t.now(),
+	}
+}
+
+// record serializes the completed span into the sink.
+func (t *Tracer) record(s *Span) {
+	end := t.now()
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.UnixNano(),
+		Dur:    end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.Key] = a.value()
+		}
+	}
+	for _, e := range s.events {
+		rec.Events = append(rec.Events, EventRecord{At: e.At.UnixNano(), Msg: e.Msg})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return
+	}
+	if err := t.sink.WriteSpan(rec); err != nil && t.err == nil {
+		t.err = err
+	}
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClock is a deterministic monotonic clock for trace tests.
+func testClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestStartSpanWithoutTracerIsNil(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "anything")
+	if span != nil {
+		t.Fatalf("expected nil span without a tracer in context")
+	}
+	if ctx != context.Background() {
+		t.Fatalf("disabled StartSpan must return the context unchanged")
+	}
+	// Every method must be a safe no-op on the nil span.
+	span.SetInt("k", 1)
+	span.SetFloat("k", 1)
+	span.SetStr("k", "v")
+	span.Event("e")
+	span.End()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLWriter(&buf))
+	tr.clock = testClock()
+
+	ctx, root := tr.Root(context.Background(), "root")
+	root.SetStr("tool", "test")
+	c1ctx, c1 := StartSpan(ctx, "child1")
+	_, g1 := StartSpan(c1ctx, "grand1")
+	g1.SetInt("cells", 42)
+	g1.End()
+	c1.Event("one event")
+	c1.End()
+	_, c2 := StartSpan(ctx, "child2")
+	c2.SetFloat("seconds", 0.25)
+	c2.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	roots, err := BuildTree(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	var shape strings.Builder
+	roots[0].Walk(func(depth int, n *SpanNode) {
+		fmt.Fprintf(&shape, "%s%s\n", strings.Repeat("  ", depth), n.Name)
+	})
+	want := "root\n  child1\n    grand1\n  child2\n"
+	if shape.String() != want {
+		t.Errorf("span tree:\n%s\nwant:\n%s", shape.String(), want)
+	}
+	// Typed attributes and events survive the round trip.
+	g := roots[0].Children[0].Children[0]
+	if v, ok := g.Attrs["cells"].(float64); !ok || v != 42 {
+		t.Errorf("grand1 cells attr = %v, want 42", g.Attrs["cells"])
+	}
+	c := roots[0].Children[0]
+	if len(c.Events) != 1 || c.Events[0].Msg != "one event" {
+		t.Errorf("child1 events = %+v", c.Events)
+	}
+	if roots[0].Attrs["tool"] != "test" {
+		t.Errorf("root tool attr = %v", roots[0].Attrs["tool"])
+	}
+}
+
+// TestSpanTreeProperty builds random span trees, ends the spans, and
+// checks the reconstruction: every parent link is honored and every
+// node's children come back sorted by start time.
+func TestSpanTreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var buf bytes.Buffer
+		tr := NewTracer(NewJSONLWriter(&buf))
+		tr.clock = testClock()
+
+		type live struct {
+			ctx  context.Context
+			span *Span
+			name string
+		}
+		ctx, root := tr.Root(context.Background(), "root")
+		open := []live{{ctx, root, "root"}}
+		wantParent := map[string]string{} // child name -> parent name
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			p := open[rng.Intn(len(open))]
+			name := fmt.Sprintf("s%d", i)
+			cctx, cs := StartSpan(p.ctx, name)
+			wantParent[name] = p.name
+			open = append(open, live{cctx, cs, name})
+			// Randomly close a non-root span early; closed spans keep
+			// minting children through their retained context, which is
+			// legal (the parent link is by ID, not liveness).
+			if rng.Intn(3) == 0 && len(open) > 1 {
+				k := 1 + rng.Intn(len(open)-1)
+				open[k].span.End()
+			}
+		}
+		for _, l := range open {
+			l.span.End() // double-End is a no-op
+		}
+		root.End()
+
+		recs, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != n+1 {
+			t.Fatalf("trial %d: got %d records, want %d", trial, len(recs), n+1)
+		}
+		roots, err := BuildTree(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(roots) != 1 || roots[0].Name != "root" {
+			t.Fatalf("trial %d: bad roots %+v", trial, roots)
+		}
+		roots[0].Walk(func(_ int, node *SpanNode) {
+			var last int64
+			for _, c := range node.Children {
+				if got := wantParent[c.Name]; got != node.Name {
+					t.Fatalf("trial %d: span %s under %s, want parent %s",
+						trial, c.Name, node.Name, got)
+				}
+				if c.Start < last {
+					t.Fatalf("trial %d: children of %s not in start order", trial, node.Name)
+				}
+				last = c.Start
+			}
+		})
+	}
+}
+
+func TestBuildTreeRejectsBrokenTraces(t *testing.T) {
+	if _, err := BuildTree([]SpanRecord{{ID: 1}, {ID: 1}}); err == nil {
+		t.Error("duplicate IDs should fail")
+	}
+	if _, err := BuildTree([]SpanRecord{{ID: 0}}); err == nil {
+		t.Error("zero ID should fail")
+	}
+	if _, err := BuildTree([]SpanRecord{{ID: 2, Parent: 9}}); err == nil {
+		t.Error("missing parent should fail")
+	}
+}
+
+// errSink fails every write; the tracer must keep the first error.
+type errSink struct{ n int }
+
+func (s *errSink) WriteSpan(SpanRecord) error {
+	s.n++
+	return fmt.Errorf("write %d failed", s.n)
+}
+
+func TestTracerKeepsFirstSinkError(t *testing.T) {
+	tr := NewTracer(&errSink{})
+	_, root := tr.Root(context.Background(), "r")
+	_, c := StartSpan(WithSpan(context.Background(), root), "c")
+	c.End()
+	root.End()
+	if err := tr.Err(); err == nil || err.Error() != "write 1 failed" {
+		t.Errorf("Err() = %v, want the first write error", err)
+	}
+}

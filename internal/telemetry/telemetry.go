@@ -1,0 +1,51 @@
+// Package telemetry is the observability layer of the scan pipeline:
+// hierarchical spans threaded through context.Context, typed
+// counters/gauges/histograms in a process-global (but test-resettable)
+// registry, and sinks for each consumer — a JSONL trace writer for
+// post-hoc analysis, a Prometheus-style text exposition plus expvar and
+// pprof served over HTTP, and a human run manifest written under
+// reports/.
+//
+// The package is deliberately stdlib-only and imports nothing from the
+// module (it is a leaf package, enforced by the swvet layering rule),
+// so every layer — search, host, systolic, bench, the CLIs — can
+// instrument itself without bending the import DAG.
+//
+// Overhead contract: when no tracer is installed in the context,
+// StartSpan returns a nil *Span and every Span method is a nil-safe
+// no-op — the disabled path performs no allocations (pinned by
+// BenchmarkTelemetryDisabled and TestDisabledPathAllocatesNothing).
+// Metric updates are single atomic operations and are charged per scan
+// or per chunk, never per cell, so the always-on counters stay invisible
+// next to the O(mn) work they count.
+package telemetry
+
+import "context"
+
+// spanKey carries the active *Span in a context.
+type spanKey struct{}
+
+// WithSpan returns a context carrying span as the active parent.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when the context
+// carries none (telemetry disabled).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// context carrying the child. When the context has no active span —
+// telemetry disabled — it returns ctx unchanged and a nil *Span, whose
+// methods are all no-ops; this is the zero-allocation fast path.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.tr.start(name, parent.id)
+	return WithSpan(ctx, child), child
+}

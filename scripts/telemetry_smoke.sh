@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the live-introspection stack (DESIGN.md §8):
+# builds swsearch + seqgen, runs an fpga-engine scan with the telemetry
+# endpoint on an ephemeral port, scrapes /metrics, /debug/vars and
+# /debug/pprof while the server lingers, and checks that the JSONL
+# trace and the run manifest landed on disk with the expected content.
+# Run via `make telemetry-smoke` (part of `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+	# The tool sits in its linger window once we are done scraping;
+	# SIGKILL because the run's signal handler only cancels the scan.
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -9 "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "telemetry-smoke: $*" >&2
+	echo "--- swsearch stderr ---" >&2
+	cat "$work/stderr.log" >&2 || true
+	exit 1
+}
+
+go build -o "$work/swsearch" ./cmd/swsearch
+go build -o "$work/seqgen" ./cmd/seqgen
+
+"$work/seqgen" -n 20000 -id db -seed 3 -o "$work/db.fa"
+
+"$work/swsearch" -q ACGTACGTACGTACGT -db "$work/db.fa" \
+	-engine fpga -elements 32 \
+	-telemetry-addr 127.0.0.1:0 -telemetry-linger 60s \
+	-trace "$work/trace.jsonl" -manifest "$work" \
+	>"$work/stdout.log" 2>"$work/stderr.log" &
+pid=$!
+
+# The tool announces the bound port on stderr; with :0 above no port
+# coordination is needed and parallel CI jobs cannot collide.
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's/^telemetry: listening on //p' "$work/stderr.log" | head -n 1)"
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "swsearch exited before announcing the endpoint"
+	sleep 0.1
+done
+[ -n "$addr" ] || fail "no 'telemetry: listening on' line within 10s"
+
+# The linger announcement means the scan is done: metrics are final and
+# the trace and manifest are already flushed to disk.
+lingering=""
+for _ in $(seq 1 300); do
+	if grep -q '^telemetry: lingering' "$work/stderr.log"; then
+		lingering=yes
+		break
+	fi
+	kill -0 "$pid" 2>/dev/null || fail "swsearch exited before the linger window"
+	sleep 0.1
+done
+[ -n "$lingering" ] || fail "scan did not finish within 30s"
+
+curl -fsS "http://$addr/metrics" >"$work/metrics.txt" || fail "/metrics scrape failed"
+for series in swfpga_scan_calls_total swfpga_cells_updated_total swfpga_array_cycles_total; do
+	awk -v s="$series" '$1 == s && $2 + 0 > 0 { found = 1 } END { exit !found }' \
+		"$work/metrics.txt" || fail "/metrics: $series missing or zero"
+done
+grep -q '^# TYPE swfpga_chunk_modeled_seconds histogram' "$work/metrics.txt" ||
+	fail "/metrics: chunk-latency histogram missing"
+
+curl -fsS "http://$addr/debug/vars" >"$work/vars.json" || fail "/debug/vars scrape failed"
+grep -q '"swfpga_metrics"' "$work/vars.json" || fail "/debug/vars: swfpga_metrics var missing"
+
+curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null || fail "/debug/pprof/cmdline scrape failed"
+
+[ -s "$work/trace.jsonl" ] || fail "trace file empty"
+for span in swsearch search search.record device.scan systolic.run; do
+	grep -q "\"name\":\"$span\"" "$work/trace.jsonl" || fail "trace: span $span missing"
+done
+
+manifest="$work/swsearch-manifest.txt"
+[ -s "$manifest" ] || fail "manifest not written"
+grep -q '^run manifest: swsearch' "$manifest" || fail "manifest header missing"
+grep -q 'swfpga_scan_calls_total' "$manifest" || fail "manifest metric snapshot missing"
+
+echo "telemetry-smoke: ok (endpoint $addr, $(wc -l <"$work/trace.jsonl") spans traced)"
