@@ -21,7 +21,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh
 
-.PHONY: build vet swvet test race chaos-smoke telemetry-smoke fuzz-smoke check
+.PHONY: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,14 @@ chaos-smoke:
 telemetry-smoke:
 	bash scripts/telemetry_smoke.sh
 
+# Engine-layer smoke (DESIGN.md §9): the zero-alloc assertion on the
+# pooled DP-row hot path, the conformance suite over every registered
+# backend, and the pooled-vs-unpooled comparison at search scale.
+bench-smoke:
+	$(GO) test ./internal/align -run TestScanHotPathZeroAlloc -count=1
+	$(GO) test ./internal/engine/... -count=1
+	$(GO) run ./cmd/swbench -run alloc -scale 0.02
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -57,4 +65,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet test race chaos-smoke telemetry-smoke
+check: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke

@@ -180,7 +180,7 @@ func BenchmarkPipeline(b *testing.B) {
 	})
 	b.Run("software", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := linear.Local(s, t, sc, nil); err != nil {
+			if _, _, err := linear.Local(context.Background(), s, t, sc, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -297,7 +297,7 @@ func BenchmarkCluster(b *testing.B) {
 			b.SetBytes(int64(len(q)) * int64(len(db)))
 			for i := 0; i < b.N; i++ {
 				c := host.NewCluster(boards)
-				if _, _, _, err := c.BestLocal(q, db, sc); err != nil {
+				if _, _, _, err := c.BestLocal(context.Background(), q, db, sc); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -315,14 +315,14 @@ func BenchmarkRetrieval(b *testing.B) {
 	sc := align.DefaultLinear()
 	b.Run("hirschberg", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := linear.Local(s, t, sc, nil); err != nil {
+			if _, _, err := linear.Local(context.Background(), s, t, sc, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("divergence-banded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := linear.LocalRestricted(s, t, sc, nil); err != nil {
+			if _, _, err := linear.LocalRestricted(context.Background(), s, t, sc, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -8,16 +8,21 @@
 // Modes: local (Smith-Waterman), global (Needleman-Wunsch), score
 // (score and coordinates only — the paper's FPGA output contract).
 // Space: quadratic (full matrix traceback) or linear (Hirschberg /
-// three-phase pipeline, paper sec. 2.3).
+// three-phase pipeline, paper sec. 2.3). In linear space the scan
+// phases run on the backend named by -engine (internal/engine
+// registry), e.g. -engine systolic to route them through the simulated
+// accelerator.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"swfpga/internal/align"
 	"swfpga/internal/cliutil"
+	"swfpga/internal/engine"
 	"swfpga/internal/linear"
 	"swfpga/internal/protein"
 )
@@ -38,6 +43,7 @@ func main() {
 		gapExt   = flag.Int("gapext", -1, "affine gap extend")
 		matrix   = flag.String("matrix", "", "protein substitution matrix: blosum62 | pam250 (sequences are amino acids)")
 	)
+	sel := cliutil.EngineFlags()
 	flag.Parse()
 
 	if *matrix != "" {
@@ -55,6 +61,13 @@ func main() {
 	}
 	sc := align.LinearScoring{Match: *match, Mismatch: *mismatch, Gap: *gap}
 	if err := sc.Validate(); err != nil {
+		fatal(err)
+	}
+
+	// The scan engine executes the forward/reverse scan phases of the
+	// linear-space paths; quadratic-space modes run in plain software.
+	eng, err := engine.New(sel.Resolve())
+	if err != nil {
 		fatal(err)
 	}
 
@@ -86,15 +99,18 @@ func main() {
 
 	switch *mode {
 	case "score":
-		score, i, j := align.LocalScore(s, t, sc)
-		fmt.Printf("score\t%d\nend\t(%d,%d)\n", score, i, j)
+		ph, err := linear.LocalScoreOnly(context.Background(), s, t, sc, eng)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("score\t%d\nend\t(%d,%d)\n", ph.Score, ph.EndI, ph.EndJ)
 	case "local":
 		var r align.Result
 		if *space == "quadratic" {
 			r = align.LocalAlign(s, t, sc)
 		} else {
 			var err error
-			r, _, err = linear.Local(s, t, sc, nil)
+			r, _, err = linear.Local(context.Background(), s, t, sc, eng)
 			if err != nil {
 				fatal(err)
 			}

@@ -2,14 +2,17 @@
 // database and ranks the hits — the paper's workload as a tool.
 //
 //	swsearch -query query.fa -db database.fa -k 10 -retrieve
-//	swsearch -q ACGTACGT -db database.fa -engine fpga -elements 100
+//	swsearch -q ACGTACGT -db database.fa -engine systolic -elements 100
 //	swsearch -q ACGTACGT -db database.fa -engine cluster -boards 4 -fault-rate 0.05
+//	swsearch -q ACGTACGT -db database.fa -engine systolic -batch 32
 //	swsearch -q ACGTACGT -db database.fa -telemetry-addr :9090 -trace run.jsonl
 //
-// Interrupting the process (SIGINT/SIGTERM) cancels the scan cleanly.
-// -telemetry-addr serves /metrics, /debug/vars and /debug/pprof live;
-// -trace writes a JSONL span trace and -manifest a run summary (see
-// DESIGN.md §8).
+// The scan backend is chosen by name from the internal/engine registry
+// (-engine lists the registered names); "fpga" is accepted as a legacy
+// alias for systolic. Interrupting the process (SIGINT/SIGTERM) cancels
+// the scan cleanly. -telemetry-addr serves /metrics, /debug/vars and
+// /debug/pprof live; -trace writes a JSONL span trace and -manifest a
+// run summary (see DESIGN.md §8).
 package main
 
 import (
@@ -23,10 +26,8 @@ import (
 
 	"swfpga/internal/align"
 	"swfpga/internal/cliutil"
+	"swfpga/internal/engine"
 	"swfpga/internal/evalue"
-	"swfpga/internal/faults"
-	"swfpga/internal/host"
-	"swfpga/internal/linear"
 	"swfpga/internal/protein"
 	"swfpga/internal/search"
 	"swfpga/internal/seq"
@@ -42,14 +43,11 @@ func main() {
 		perRecord  = flag.Int("per-record", 1, "non-overlapping hits per record")
 		retrieve   = flag.Bool("retrieve", false, "retrieve and print full alignments")
 		workers    = flag.Int("workers", 0, "concurrent records (0 = GOMAXPROCS)")
-		engine     = flag.String("engine", "software", "scan engine: software | fpga | cluster")
-		elements   = flag.Int("elements", 100, "array elements per simulated board (fpga engine)")
-		boards     = flag.Int("boards", 4, "boards per simulated cluster (cluster engine)")
-		faultRate  = flag.Float64("fault-rate", 0, "injected fault rate per chunk transfer (cluster engine)")
-		faultSeed  = flag.Int64("fault-seed", 1, "fault-injection seed (cluster engine)")
+		batch      = flag.Int("batch", 0, "records per dispatch on batch-capable engines (0/1 = per record)")
 		translated = flag.Bool("translated", false, "protein query vs DNA database (all six reading frames, BLOSUM62)")
 		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
 	)
+	sel := cliutil.EngineFlags()
 	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
@@ -78,39 +76,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tel.Describe(fmt.Sprintf("%d BP query vs %d records", len(query), len(db)), *engine)
+	name, cfg := sel.Resolve()
+	tel.Describe(fmt.Sprintf("%d BP query vs %d records", len(query), len(db)), name)
 
-	var newScanner func() linear.Scanner
-	var clusters []*host.Cluster
-	switch *engine {
-	case "software":
-	case "fpga":
-		newScanner = func() linear.Scanner {
-			d := host.NewDevice()
-			d.Array.Elements = *elements
-			return d
+	// Each worker gets its own engine instance (engines may be stateful —
+	// a simulated board accumulates metrics — so they are never shared
+	// between goroutines). The factory records every instance it builds
+	// so per-engine fault reports can be merged after the search; it runs
+	// inside the worker goroutines, so recording is mutex-guarded.
+	base := search.EngineFactory(name, cfg)
+	var (
+		mu    sync.Mutex
+		built []engine.Engine
+	)
+	factory := func() (engine.Engine, error) {
+		e, err := base()
+		if err != nil {
+			return nil, err
 		}
-	case "cluster":
-		// Each worker gets its own fault-tolerant cluster (a scanner is
-		// not shared between goroutines); the fault reports of all of
-		// them are merged after the search. The factory runs inside the
-		// worker goroutines, so registration is mutex-guarded.
-		var mu sync.Mutex
-		newScanner = func() linear.Scanner {
-			c := host.NewCluster(*boards)
-			for _, d := range c.Devices {
-				d.Array.Elements = *elements
-			}
-			if *faultRate > 0 {
-				c.InjectFaults(faults.MustRandom(*faultSeed, faults.Split(*faultRate)))
-			}
-			mu.Lock()
-			clusters = append(clusters, c)
-			mu.Unlock()
-			return c
-		}
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		mu.Lock()
+		built = append(built, e)
+		mu.Unlock()
+		return e, nil
 	}
 
 	opts := search.Options{
@@ -119,6 +106,7 @@ func main() {
 		PerRecord: *perRecord,
 		Retrieve:  *retrieve,
 		Workers:   *workers,
+		Batch:     *batch,
 	}
 	if *withEvalue {
 		params, err := evalue.CalibrateGapped(align.DefaultLinear(), len(query), 4096, 48, 1)
@@ -128,15 +116,22 @@ func main() {
 		opts.Stats = &params
 		fmt.Printf("statistics: lambda %.4f, K %.4f (gapped, calibrated by simulation)\n", params.Lambda, params.K)
 	}
-	hits, err := search.Search(ctx, db, query, opts, newScanner)
+	hits, err := search.Search(ctx, db, query, opts, factory)
 	if err != nil {
 		fatal(err)
 	}
-	if len(clusters) > 0 {
-		var agg host.FaultReport
-		for _, c := range clusters {
-			agg.Merge(c.TotalFaults())
+
+	// Fault-capable engines expose their reports through capability
+	// negotiation; merge across all worker instances.
+	var agg engine.FaultReport
+	faulty := false
+	for _, e := range built {
+		if f := engine.FaulterFor(e); f != nil {
+			agg.Merge(f.TotalFaults())
+			faulty = true
 		}
+	}
+	if faulty {
 		fmt.Printf("fault tolerance: %s\n\n", agg)
 		tel.Note("fault tolerance: %s", agg)
 	}

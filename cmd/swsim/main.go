@@ -7,14 +7,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"swfpga/internal/align"
 	"swfpga/internal/cliutil"
+	"swfpga/internal/engine"
 	"swfpga/internal/fpga"
-	"swfpga/internal/host"
 	"swfpga/internal/systolic"
 )
 
@@ -117,22 +118,23 @@ func main() {
 }
 
 // runCluster distributes the forward scan across several boards and
-// reports the modeled per-board breakdown.
+// reports the modeled per-board breakdown. The cluster is built through
+// the engine registry; the breakdown comes from its Introspector.
 func runCluster(boards, elements int, s, t []byte) {
-	c := host.NewCluster(boards)
-	for _, d := range c.Devices {
-		d.Array.Elements = elements
+	eng, err := engine.New("cluster", engine.Config{Boards: boards, Elements: elements})
+	if err != nil {
+		fatal(err)
 	}
-	score, i, j, err := c.BestLocal(s, t, align.DefaultLinear())
+	score, i, j, err := eng.BestLocal(context.Background(), s, t, align.DefaultLinear())
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("score\t%d\nend\t(%d,%d)\nboards\t%d\n", score, i, j, boards)
 	var slowest float64
-	for k, d := range c.Devices {
-		fmt.Printf("board %d\tcells %d\tmodeled %.6f s\n", k, d.Metrics.Cells, d.Metrics.ComputeSeconds)
-		if d.Metrics.ComputeSeconds > slowest {
-			slowest = d.Metrics.ComputeSeconds
+	for k, m := range engine.IntrospectorFor(eng).BoardMetrics() {
+		fmt.Printf("board %d\tcells %d\tmodeled %.6f s\n", k, m.Cells, m.ComputeSeconds)
+		if m.ComputeSeconds > slowest {
+			slowest = m.ComputeSeconds
 		}
 	}
 	fmt.Printf("modeled scan time\t%.6f s (slowest board)\n", slowest)

@@ -5,6 +5,7 @@
 package swfpga_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -76,7 +77,7 @@ func TestGrandEquivalenceLinear(t *testing.T) {
 		engines = append(engines, engine{"wavefront-tiled", tb.Score, tb.I, tb.J})
 
 		c := host.NewCluster(3)
-		cs, ci, cj, err := c.BestLocal(s, u, sc)
+		cs, ci, cj, err := c.BestLocal(context.Background(), s, u, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +92,11 @@ func TestGrandEquivalenceLinear(t *testing.T) {
 
 		// Full-alignment pipelines.
 		quad := align.LocalAlign(s, u, sc)
-		hir, _, err := linear.Local(s, u, sc, nil)
+		hir, _, err := linear.Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, _, err := linear.LocalRestricted(s, u, sc, nil)
+		res, _, err := linear.LocalRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -172,13 +173,13 @@ func TestGrandEquivalenceAffine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		restricted, _, err := linear.LocalAffineRestricted(s, u, sc, nil)
+		restricted, _, err := linear.LocalAffineRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		dev := host.NewDevice()
 		dev.Array.Elements = 16
-		hwRestricted, _, err := linear.LocalAffineRestricted(s, u, sc, dev)
+		hwRestricted, _, err := linear.LocalAffineRestricted(context.Background(), s, u, sc, dev)
 		if err != nil {
 			t.Fatal(err)
 		}

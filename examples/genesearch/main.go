@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,7 +49,7 @@ func main() {
 	// Scan on the accelerator: near-best non-overlapping hits.
 	dev := host.NewDevice()
 	sc := align.DefaultLinear()
-	hits, err := linear.NearBest(query, db, sc, *topK, *queryLen/3, dev)
+	hits, err := linear.NearBest(context.Background(), query, db, sc, *topK, *queryLen/3, dev)
 	if err != nil {
 		log.Fatal(err)
 	}

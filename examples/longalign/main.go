@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,7 +39,7 @@ func main() {
 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	r, phases, err := linear.Local(a, b, align.DefaultLinear(), nil)
+	r, phases, err := linear.Local(context.Background(), a, b, align.DefaultLinear(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 
 	// 3. Three-phase linear-space local alignment (paper sec. 2.3):
 	// forward scan, reverse scan, Hirschberg retrieval.
-	r, phases, err := linear.Local(s, t, sc, nil)
+	r, phases, err := linear.Local(context.Background(), s, t, sc, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

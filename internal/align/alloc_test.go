@@ -1,0 +1,76 @@
+package align
+
+import (
+	"testing"
+
+	"swfpga/internal/pool"
+)
+
+// TestScanHotPathZeroAlloc is the acceptance check of the DP-row
+// pooling: once the arenas are warm, the steady-state scan entry points
+// — the per-record hot path of a database search — perform zero heap
+// allocations.
+func TestScanHotPathZeroAlloc(t *testing.T) {
+	if !pool.Enabled() {
+		t.Skip("pooling disabled")
+	}
+	s := []byte("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	d := []byte("TTACGTACGTACGTGGACGTACGTACGTACGTTTACGTACGT")
+	lin := DefaultLinear()
+	aff := DefaultAffine()
+
+	scans := []struct {
+		name string
+		run  func()
+	}{
+		{"LocalScore", func() { LocalScore(s, d, lin) }},
+		{"LocalScoreColMajor", func() { LocalScoreColMajor(s, d, lin) }},
+		{"AnchoredBest", func() { AnchoredBest(s, d, lin) }},
+		{"AnchoredBestDivergence", func() { AnchoredBestDivergence(s, d, lin) }},
+		{"AffineLocalScore", func() { AffineLocalScore(s, d, aff) }},
+		{"AffineGlobalScore", func() { AffineGlobalScore(s, d, aff) }},
+		{"AffineAnchoredBest", func() { AffineAnchoredBest(s, d, aff) }},
+		{"AffineAnchoredBestDivergence", func() { AffineAnchoredBestDivergence(s, d, aff) }},
+	}
+	for _, tc := range scans {
+		t.Run(tc.name, func(t *testing.T) {
+			// Warm the arena buckets this scan uses.
+			for i := 0; i < 8; i++ {
+				tc.run()
+			}
+			if allocs := testing.AllocsPerRun(100, tc.run); allocs > 0 {
+				t.Errorf("%s allocated %.1f times per op, want 0 (pooled hot path)", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkLocalScorePooled / Unpooled measure the pooling win on the
+// steady-state forward scan (the swbench "alloc" experiment reports the
+// same comparison at workload scale).
+func BenchmarkLocalScorePooled(b *testing.B) {
+	benchmarkLocalScore(b, true)
+}
+
+func BenchmarkLocalScoreUnpooled(b *testing.B) {
+	benchmarkLocalScore(b, false)
+}
+
+func benchmarkLocalScore(b *testing.B, pooled bool) {
+	prev := pool.SetEnabled(pooled)
+	defer pool.SetEnabled(prev)
+	s := make([]byte, 100)
+	d := make([]byte, 4096)
+	for i := range s {
+		s[i] = "ACGT"[i%4]
+	}
+	for i := range d {
+		d[i] = "ACGT"[(i/3)%4]
+	}
+	sc := DefaultLinear()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalScore(s, d, sc)
+	}
+}

@@ -1,6 +1,10 @@
 package align
 
-import "fmt"
+import (
+	"fmt"
+
+	"swfpga/internal/pool"
+)
 
 // Support for the divergence-bounded retrieval of Z-align (the paper's
 // reference [3], described in sec. 2.4): during the scan phase the
@@ -41,9 +45,14 @@ func Divergence(ops []Op) (inf, sup int) {
 // scan phase maintains. O(n) memory.
 func AnchoredBestDivergence(s, t []byte, sc LinearScoring) (score, endI, endJ, infDiv, supDiv int) {
 	n := len(t)
-	row := make([]int, n+1)
-	rowInf := make([]int, n+1) // divergence minimum of the tracked path
-	rowSup := make([]int, n+1) // divergence maximum
+	row := pool.Ints(n + 1)
+	rowInf := pool.Ints(n + 1) // divergence minimum of the tracked path
+	rowSup := pool.Ints(n + 1) // divergence maximum
+	defer func() {
+		pool.PutInts(row)
+		pool.PutInts(rowInf)
+		pool.PutInts(rowSup)
+	}()
 	for j := 1; j <= n; j++ {
 		row[j] = j * sc.Gap
 		rowSup[j] = j // path along row 0: divergence climbs to +j

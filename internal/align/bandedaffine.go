@@ -1,6 +1,10 @@
 package align
 
-import "fmt"
+import (
+	"fmt"
+
+	"swfpga/internal/pool"
+)
 
 // Affine-gap counterparts of the divergence-banded retrieval machinery:
 // the paper's intro motivates Z-align [3] on affine-gap comparisons of
@@ -19,12 +23,20 @@ func AffineAnchoredBestDivergence(s, t []byte, sc AffineScoring) (score, endI, e
 		}
 		return sc.GapOpen + (k-1)*sc.GapExtend
 	}
-	h := make([]int, n+1)
-	f := make([]int, n+1)
-	hInf := make([]int, n+1)
-	hSup := make([]int, n+1)
-	fInf := make([]int, n+1)
-	fSup := make([]int, n+1)
+	h := pool.Ints(n + 1)
+	f := pool.Ints(n + 1)
+	hInf := pool.Ints(n + 1)
+	hSup := pool.Ints(n + 1)
+	fInf := pool.Ints(n + 1)
+	fSup := pool.Ints(n + 1)
+	defer func() {
+		pool.PutInts(h)
+		pool.PutInts(f)
+		pool.PutInts(hInf)
+		pool.PutInts(hSup)
+		pool.PutInts(fInf)
+		pool.PutInts(fSup)
+	}()
 	for j := 1; j <= n; j++ {
 		h[j] = gapRun(j)
 		hSup[j] = j

@@ -9,6 +9,8 @@ package align
 //	F[i][j] = max(H[i-1][j] + open, F[i-1][j] + extend)
 //	H[i][j] = max(0, H[i-1][j-1] + p(i,j), E[i][j], F[i][j])   (local)
 
+import "swfpga/internal/pool"
+
 // negInf is a safely-additive minus infinity for DP initialization.
 const negInf = int(^uint(0)>>2) * -1
 
@@ -150,8 +152,12 @@ func AffineLocalScore(s, t []byte, sc AffineScoring) (score, endI, endJ int) {
 	if m == 0 || n == 0 {
 		return 0, 0, 0
 	}
-	h := make([]int, n+1)
-	f := make([]int, n+1)
+	h := pool.Ints(n + 1)
+	f := pool.Ints(n + 1)
+	defer func() {
+		pool.PutInts(h)
+		pool.PutInts(f)
+	}()
 	for j := 0; j <= n; j++ {
 		f[j] = negInf
 	}
@@ -203,8 +209,12 @@ func AffineGlobalScore(s, t []byte, sc AffineScoring) int {
 	case n == 0:
 		return sc.GapOpen + (m-1)*sc.GapExtend
 	}
-	h := make([]int, n+1)
-	f := make([]int, n+1)
+	h := pool.Ints(n + 1)
+	f := pool.Ints(n + 1)
+	defer func() {
+		pool.PutInts(h)
+		pool.PutInts(f)
+	}()
 	for j := 1; j <= n; j++ {
 		h[j] = sc.GapOpen + (j-1)*sc.GapExtend
 		f[j] = negInf
@@ -253,8 +263,12 @@ func AffineAnchoredBest(s, t []byte, sc AffineScoring) (score, endI, endJ int) {
 		}
 		return sc.GapOpen + (k-1)*sc.GapExtend
 	}
-	h := make([]int, n+1)
-	f := make([]int, n+1)
+	h := pool.Ints(n + 1)
+	f := pool.Ints(n + 1)
+	defer func() {
+		pool.PutInts(h)
+		pool.PutInts(f)
+	}()
 	for j := 1; j <= n; j++ {
 		h[j] = gapRun(j)
 		f[j] = negInf

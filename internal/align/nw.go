@@ -1,5 +1,7 @@
 package align
 
+import "swfpga/internal/pool"
+
 // GlobalMatrix computes the full Needleman-Wunsch matrix: row 0 and
 // column 0 carry accumulated gap penalties, and no cell clamps at zero.
 func GlobalMatrix(s, t []byte, sc LinearScoring) *Matrix {
@@ -57,7 +59,8 @@ func GlobalScore(s, t []byte, sc LinearScoring) int {
 // is preferred.
 func AnchoredBest(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
 	n := len(t)
-	row := make([]int, n+1)
+	row := pool.Ints(n + 1)
+	defer pool.PutInts(row)
 	for j := 1; j <= n; j++ {
 		row[j] = j * sc.Gap
 	}

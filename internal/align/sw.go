@@ -1,6 +1,10 @@
 package align
 
-import "fmt"
+import (
+	"fmt"
+
+	"swfpga/internal/pool"
+)
 
 // Matrix is a dense (m+1)x(n+1) similarity matrix, the D of equation (1).
 // It is exposed so tests and tools can reproduce the paper's figure 2.
@@ -158,7 +162,8 @@ func LocalScore(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
 	// occupies the inner loop, mirroring how it streams through the
 	// systolic array one base per clock.
 	n := len(t)
-	row := make([]int, n+1)
+	row := pool.Ints(n + 1)
+	defer pool.PutInts(row)
 	for i := 1; i <= len(s); i++ {
 		diag := 0 // D[i-1][0]
 		sb := s[i-1]
@@ -197,7 +202,8 @@ func LocalScoreColMajor(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
 		return 0, 0, 0
 	}
 	m := len(s)
-	col := make([]int, m+1)
+	col := pool.Ints(m + 1)
+	defer pool.PutInts(col)
 	for j := 1; j <= len(t); j++ {
 		diag := 0
 		tb := t[j-1]

@@ -29,6 +29,25 @@ var layeringRules = []layeringRule{
 		"the software pipeline must reach the array only through the linear.Scanner seam (internal/host)"},
 	{"internal/fpga", "internal/align",
 		"the resource/timing model must stay independent of the software oracle"},
+
+	// Backend containment: scan backends (the simulated board host, the
+	// wavefront schedule, the raw systolic model) are reachable from the
+	// search layer and the tools only through the internal/engine
+	// registry — capability negotiation is the single front door, and a
+	// direct construction would bypass it. internal/bench deliberately
+	// stays outside this rule: the paper-evaluation harness measures
+	// backend internals (pipeline phases, cluster reports) that the
+	// negotiated interface intentionally does not expose.
+	{"internal/search", "internal/host",
+		"the search layer selects backends through the internal/engine registry, never by constructing them"},
+	{"internal/search", "internal/wavefront",
+		"the search layer selects backends through the internal/engine registry, never by constructing them"},
+	{"internal/search", "internal/systolic",
+		"the search layer selects backends through the internal/engine registry, never by constructing them"},
+	{"cmd", "internal/host",
+		"tools select scan backends by name (-engine) through the internal/engine registry"},
+	{"cmd", "internal/wavefront",
+		"tools select scan backends by name (-engine) through the internal/engine registry"},
 }
 
 // leafPackages may import nothing from the module at all: seq is the
@@ -36,8 +55,14 @@ var layeringRules = []layeringRule{
 // model and oracle can share parameter types without seeing each other,
 // and telemetry must stay importable from every layer without creating
 // a cycle — instrumentation that drags in pipeline code stops being
-// instrumentation.
-var leafPackages = []string{"internal/seq", "internal/scoring", "internal/telemetry"}
+// instrumentation. pool (the DP-row arenas) and engine/sched (the
+// shared chunk scheduler) are shared by every scan layer for the same
+// reason: a dependency from either into pipeline code would be a cycle
+// waiting to happen.
+var leafPackages = []string{
+	"internal/seq", "internal/scoring", "internal/telemetry",
+	"internal/pool", "internal/engine/sched",
+}
 
 // Layering enforces the import DAG above on non-test files.
 var Layering = &Analyzer{

@@ -13,14 +13,14 @@ func main() {
 	if err != nil {
 		return
 	}
-	f.Close()         // finding: error silently dropped
-	defer f.Close()   // finding: deferred call drops the error
-	lib.Flush()       // finding: single error result discarded
-	go lib.Flush()    // finding: goroutine discards the error
+	f.Close()       // finding: error silently dropped
+	defer f.Close() // finding: deferred call drops the error
+	lib.Flush()     // finding: single error result discarded
+	go lib.Flush()  // finding: goroutine discards the error
 
 	_ = f.Close() // explicit discard is a visible decision: allowed
 
-	fmt.Println("done")        // whitelisted: best-effort report stream
+	fmt.Println("done")         // whitelisted: best-effort report stream
 	fmt.Fprintf(os.Stderr, "x") // whitelisted
 
 	var sb strings.Builder

@@ -5,8 +5,8 @@ func DPBad(a, b []byte) int {
 	best := 0
 	for i := 0; i < len(a); i++ {
 		for j := 0; j < len(b); j++ {
-			row := make([]int, 4) // finding: make in inner loop
-			row = append(row, i)  // finding: append in inner loop
+			row := make([]int, 4)        // finding: make in inner loop
+			row = append(row, i)         // finding: append in inner loop
 			f := func() int { return j } // finding: closure in inner loop
 			best += row[0] + f()
 		}

@@ -1,0 +1,12 @@
+package main
+
+import (
+	"fixture/internal/engine" // allowed: tools select backends by name
+	"fixture/internal/scoring"
+	"fixture/internal/wavefront" // banned: direct backend use from a tool
+)
+
+func main() {
+	sc := scoring.Linear{Match: 1}
+	_ = engine.New(sc) + wavefront.Scan(sc)
+}

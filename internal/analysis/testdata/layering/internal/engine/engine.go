@@ -1,0 +1,10 @@
+package engine
+
+// The registry layer is the one place allowed to see every backend.
+import (
+	"fixture/internal/host"      // allowed: engine is the front door
+	"fixture/internal/scoring"   // allowed: shared leaf
+	"fixture/internal/wavefront" // allowed: engine is the front door
+)
+
+func New(sc scoring.Linear) int { return host.Pipeline(sc.Match) + wavefront.Scan(sc) }

@@ -1,0 +1,5 @@
+package pool
+
+import "fixture/internal/seq" // banned: pool is a leaf
+
+func Rows() int { return seq.Bases() }

@@ -1,0 +1,9 @@
+package search
+
+import (
+	"fixture/internal/engine" // allowed: the registry is the front door
+	"fixture/internal/host"   // banned: search must go through the registry
+	"fixture/internal/scoring"
+)
+
+func Search(sc scoring.Linear) int { return engine.New(sc) + host.Pipeline(sc.Match) }

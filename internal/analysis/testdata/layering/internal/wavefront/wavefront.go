@@ -1,0 +1,5 @@
+package wavefront
+
+import "fixture/internal/scoring" // allowed: shared leaf
+
+func Scan(sc scoring.Linear) int { return sc.Match * 2 }

@@ -1,12 +1,12 @@
 package systolic
 
 func badArith(a, b score, n int32) score {
-	d := a + b        // raw add on scores
-	d = d - score(1)  // raw sub
-	d = d * b         // raw mul
-	d += a            // raw compound add
-	d++               // raw increment
-	n = n + 1         // fine: int32, not score
+	d := a + b       // raw add on scores
+	d = d - score(1) // raw sub
+	d = d * b        // raw mul
+	d += a           // raw compound add
+	d++              // raw increment
+	n = n + 1        // fine: int32, not score
 	_ = n
 	if a > b { // comparisons are fine
 		return satAdd(d, a)

@@ -3,8 +3,8 @@ package systolic
 func goodArith(a, b score, counts []int32) score {
 	d := satAdd(a, b)
 	d = satMul(d, b)
-	counts[0]++          // coordinate counter, not a score
-	x := counts[0] * 2   // int32 arithmetic is unrestricted
+	counts[0]++        // coordinate counter, not a score
+	x := counts[0] * 2 // int32 arithmetic is unrestricted
 	_ = x
 	if d < 0 {
 		d = 0

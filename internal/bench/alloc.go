@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+
+	"swfpga/internal/pool"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "alloc",
+		Title:    "DP-row pooling: allocations on the search hot path",
+		Artifact: "engine-layer ablation / DESIGN.md §9",
+		Run:      runAlloc,
+	})
+}
+
+// runAlloc measures what the buffer pool buys at workload scale: the
+// same database search (the headline 100 BP query against a 10 MBP
+// database, split into records) run once with the arenas disabled and
+// once enabled, comparing wall time and heap traffic. The per-call
+// proof is align's TestScanHotPathZeroAlloc; this is the same story at
+// search scale, where every record used to cost fresh DP rows.
+func runAlloc(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	query := gen.Random(100)
+	records := cfg.scaled(2000)
+	recLen := 5000 // records x recLen = the paper's 10 MBP at scale 1
+	db := make([]seq.Sequence, records)
+	for i := range db {
+		db[i] = gen.RandomSequence(fmt.Sprintf("r%05d", i), recLen)
+	}
+	opts := search.Options{MinScore: 25, Workers: cfg.Workers}
+	fmt.Fprintf(w, "workload: %d BP query vs %d records x %d BP, %d workers\n\n",
+		len(query), records, recLen, cfg.Workers)
+
+	type outcome struct {
+		seconds float64
+		mallocs uint64
+		bytes   uint64
+	}
+	run := func(pooled bool) (outcome, error) {
+		prev := pool.SetEnabled(pooled)
+		defer pool.SetEnabled(prev)
+		pool.ResetStats()
+		// Warm-up pass so the enabled run measures steady state (arenas
+		// populated), matching how a long-lived search service behaves.
+		if _, err := search.Search(context.Background(), db[:min(records, 16)], query, opts, nil); err != nil {
+			return outcome{}, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		var runErr error
+		sec := measure(func() {
+			_, runErr = search.Search(context.Background(), db, query, opts, nil)
+		})
+		if runErr != nil {
+			return outcome{}, runErr
+		}
+		runtime.ReadMemStats(&after)
+		return outcome{
+			seconds: sec,
+			mallocs: after.Mallocs - before.Mallocs,
+			bytes:   after.TotalAlloc - before.TotalAlloc,
+		}, nil
+	}
+
+	unpooled, err := run(false)
+	if err != nil {
+		return err
+	}
+	pooled, err := run(true)
+	if err != nil {
+		return err
+	}
+	gets, misses, _ := pool.Stats()
+
+	tw := table(w)
+	fmt.Fprintln(tw, "arenas\ttime\theap objects\theap bytes\tobjects/record")
+	for _, row := range []struct {
+		name string
+		o    outcome
+	}{{"off", unpooled}, {"on", pooled}} {
+		fmt.Fprintf(tw, "%s\t%.3f s\t%d\t%s\t%.1f\n",
+			row.name, row.o.seconds, row.o.mallocs, formatBytes(row.o.bytes),
+			float64(row.o.mallocs)/float64(records))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	hitRate := 0.0
+	if gets > 0 {
+		hitRate = 100 * float64(gets-misses) / float64(gets)
+	}
+	fmt.Fprintf(w, "\narena gets %d, misses %d (%.1f%% served from the pool)\n", gets, misses, hitRate)
+	if unpooled.mallocs > 0 {
+		fmt.Fprintf(w, "pooling removes %.1f%% of heap objects and %.1f%% of bytes on the scan path\n",
+			100*(1-float64(pooled.mallocs)/float64(unpooled.mallocs)),
+			100*(1-float64(pooled.bytes)/float64(unpooled.bytes)))
+	}
+	return nil
+}
+
+// formatBytes prints a byte count with a binary unit.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

@@ -12,7 +12,7 @@ var smokeCfg = Config{Seed: 7, Scale: 0.002, Workers: 2}
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"ablation-bits", "ablation-elements", "ablation-splitting",
-		"affine", "cluster", "extrapolate", "faults", "figure1", "figure2",
+		"affine", "alloc", "cluster", "extrapolate", "faults", "figure1", "figure2",
 		"headline", "intro-3mbp", "memory", "pci", "pipeline", "protein",
 		"restricted", "significance", "table1", "table2",
 		"telemetry-overhead", "wavefront",

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,7 +41,7 @@ func runCluster(w io.Writer, cfg Config) error {
 	for _, boards := range []int{1, 2, 4, 8} {
 		c := host.NewCluster(boards)
 		before := make([]float64, boards)
-		score, i, j, err := c.BestLocal(query, db, sc)
+		score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
 		if err != nil {
 			return err
 		}

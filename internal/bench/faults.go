@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -43,7 +44,7 @@ func runFaults(w io.Writer, cfg Config) error {
 			if rate > 0 {
 				c.InjectFaults(faults.MustRandom(cfg.Seed*1000+int64(boards), faults.Split(rate)))
 			}
-			score, i, j, err := c.BestLocal(query, db, sc)
+			score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
 			if err != nil {
 				return fmt.Errorf("boards %d rate %.2f: %w", boards, rate, err)
 			}
@@ -64,7 +65,7 @@ func runFaults(w io.Writer, cfg Config) error {
 	c := host.NewCluster(4)
 	c.Policy = pol
 	c.InjectFaults(faults.MustRandom(cfg.Seed, faults.Rates{Dead: 1}))
-	score, i, j, err := c.BestLocal(query, db, sc)
+	score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
 	if err != nil {
 		return fmt.Errorf("all boards dead: %w", err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -157,7 +158,7 @@ func runPCI(w io.Writer, cfg Config) error {
 	sc := align.DefaultLinear()
 	naiveDev := host.NewDevice()
 	for _, rec := range records {
-		if _, _, _, err := naiveDev.BestLocal(query, rec, sc); err != nil {
+		if _, _, _, err := naiveDev.BestLocal(context.Background(), query, rec, sc); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -39,7 +40,7 @@ func runPipeline(w io.Writer, cfg Config) error {
 	var swRes align.Result
 	swSec := measure(func() {
 		var lerr error
-		swRes, _, lerr = linear.Local(a, b, sc, nil)
+		swRes, _, lerr = linear.Local(context.Background(), a, b, sc, nil)
 		if lerr != nil {
 			err = lerr
 		}

@@ -1,0 +1,62 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"swfpga/internal/engine"
+)
+
+// EngineSelection holds the engine-related flags shared by the tools.
+// Call EngineFlags before flag.Parse and Resolve after it.
+type EngineSelection struct {
+	name      *string
+	elements  *int
+	scoreBits *int
+	boards    *int
+	workers   *int
+	faultRate *float64
+	faultSeed *int64
+}
+
+// EngineFlags registers the shared backend-selection flags: one -engine
+// flag naming a registered backend plus the construction knobs the
+// backends understand. Every tool that scans sequences selects its
+// backend this way; none construct devices or clusters directly.
+func EngineFlags() *EngineSelection {
+	return &EngineSelection{
+		name: flag.String("engine", "software",
+			fmt.Sprintf("scan engine: %s", strings.Join(engine.Names(), " | "))),
+		elements:  flag.Int("elements", 0, "array elements per simulated board (0 = backend default)"),
+		scoreBits: flag.Int("score-bits", 0, "score register width in bits (0 = backend default)"),
+		boards:    flag.Int("boards", 0, "boards per simulated cluster (0 = backend default)"),
+		workers:   flag.Int("engine-workers", 0, "wavefront engine worker goroutines (0 = GOMAXPROCS)"),
+		faultRate: flag.Float64("fault-rate", 0, "injected fault rate per chunk transfer (cluster engines)"),
+		faultSeed: flag.Int64("fault-seed", 0, "fault-injection seed (0 = backend default)"),
+	}
+}
+
+// Resolve maps the parsed flags onto a registry name and construction
+// config. The legacy name "fpga" is accepted as an alias for the
+// systolic backend.
+func (s *EngineSelection) Resolve() (string, engine.Config) {
+	name := *s.name
+	if name == "fpga" {
+		name = "systolic"
+	}
+	return name, engine.Config{
+		Elements:  *s.elements,
+		ScoreBits: *s.scoreBits,
+		Boards:    *s.boards,
+		Workers:   *s.workers,
+		FaultRate: *s.faultRate,
+		FaultSeed: *s.faultSeed,
+	}
+}
+
+// Name reports the resolved backend name (after alias mapping).
+func (s *EngineSelection) Name() string {
+	name, _ := s.Resolve()
+	return name
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"context"
+
+	"swfpga/internal/align"
+	"swfpga/internal/faults"
+	"swfpga/internal/host"
+	"swfpga/internal/linear"
+	"swfpga/internal/wavefront"
+)
+
+// The five deployments of the paper's comparator, all behind one
+// registry: the sequential software reference (sec. 2.1), the simulated
+// systolic board (sec. 3–5), the multi-core wavefront schedule
+// (sec. 2.4), and the distributed cluster in clean and chaos-hardened
+// configurations (sec. 5, DESIGN.md §7).
+func init() {
+	Register("software", newSoftware)
+	Register("systolic", newSystolic)
+	Register("wavefront", newWavefront)
+	Register("cluster", newCluster)
+	Register("faulttolerant", newFaultTolerant)
+}
+
+// softwareEngine is the sequential reference scanner — the oracle every
+// other backend is bit-identical to.
+type softwareEngine struct {
+	linear.ScanSoftware
+}
+
+func newSoftware(cfg Config) (Engine, error) {
+	return softwareEngine{}, nil
+}
+
+func (softwareEngine) Name() string { return "software" }
+
+func (softwareEngine) Capabilities() Capabilities {
+	return Capabilities{Divergence: true, Affine: true}
+}
+
+// systolicEngine is one simulated accelerator board. The embedded
+// Device serves the full scan contract; BatchScan adds the record-
+// batching fast path.
+type systolicEngine struct {
+	*host.Device
+}
+
+func newSystolic(cfg Config) (Engine, error) {
+	d := host.NewDevice()
+	if cfg.Elements > 0 {
+		d.Array.Elements = cfg.Elements
+	}
+	if cfg.ScoreBits > 0 {
+		d.Array.ScoreBits = cfg.ScoreBits
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return systolicEngine{Device: d}, nil
+}
+
+func (systolicEngine) Name() string { return "systolic" }
+
+func (systolicEngine) Capabilities() Capabilities {
+	return Capabilities{Divergence: true, Affine: true, Batch: true}
+}
+
+// BatchScan implements Batcher on the device's coalesced-DMA batch
+// path (one query upload for the whole batch).
+func (e systolicEngine) BatchScan(ctx context.Context, query []byte, records [][]byte, sc align.LinearScoring) ([]BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, _, err := e.Device.BatchScan(query, records, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = BatchResult{Score: r.Score, EndI: r.EndI, EndJ: r.EndJ}
+	}
+	return out, nil
+}
+
+// BoardMetrics implements Introspector for the single simulated board.
+func (e systolicEngine) BoardMetrics() []BoardMetrics {
+	return []BoardMetrics{e.Device.Metrics}
+}
+
+// wavefrontEngine is the multi-core software schedule: forward and
+// anchored scans only, each call parallel across GOMAXPROCS (or
+// Config.Workers) goroutines.
+type wavefrontEngine struct {
+	wavefront.Scanner
+	Unsupported
+}
+
+func newWavefront(cfg Config) (Engine, error) {
+	ws := wavefront.Scanner{}
+	ws.Cfg.Workers = cfg.Workers
+	return wavefrontEngine{Scanner: ws}, nil
+}
+
+func (wavefrontEngine) Name() string { return "wavefront" }
+
+func (wavefrontEngine) Capabilities() Capabilities {
+	return Capabilities{Parallel: true}
+}
+
+// clusterEngine distributes the forward scan across boards with the
+// fault-tolerant dispatch of internal/host; with a zero fault rate the
+// injector is absent and the scan is simply distributed.
+type clusterEngine struct {
+	*host.Cluster
+	Unsupported
+	name string
+}
+
+func buildCluster(name string, cfg Config, rate float64, seed int64) (Engine, error) {
+	boards := cfg.Boards
+	if boards <= 0 {
+		boards = 4
+	}
+	c := host.NewCluster(boards)
+	for _, d := range c.Devices {
+		if cfg.Elements > 0 {
+			d.Array.Elements = cfg.Elements
+		}
+		if cfg.ScoreBits > 0 {
+			d.Array.ScoreBits = cfg.ScoreBits
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if rate > 0 {
+		c.InjectFaults(faults.MustRandom(seed, faults.Split(rate)))
+	}
+	return clusterEngine{Cluster: c, name: name}, nil
+}
+
+func newCluster(cfg Config) (Engine, error) {
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return buildCluster("cluster", cfg, cfg.FaultRate, seed)
+}
+
+// newFaultTolerant is the chaos-hardened cluster: fault injection is
+// always on (default rate 0.05) so the retry/quarantine/fallback
+// machinery is exercised on every scan — while the results stay
+// bit-identical to software.
+func newFaultTolerant(cfg Config) (Engine, error) {
+	rate := cfg.FaultRate
+	if rate <= 0 {
+		rate = 0.05
+	}
+	seed := cfg.FaultSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return buildCluster("faulttolerant", cfg, rate, seed)
+}
+
+func (e clusterEngine) Name() string { return e.name }
+
+// BoardMetrics implements Introspector across the cluster's boards.
+func (e clusterEngine) BoardMetrics() []BoardMetrics {
+	out := make([]BoardMetrics, len(e.Cluster.Devices))
+	for i, d := range e.Cluster.Devices {
+		out[i] = d.Metrics
+	}
+	return out
+}
+
+func (clusterEngine) Capabilities() Capabilities {
+	return Capabilities{Faulty: true, Parallel: true}
+}

@@ -1,0 +1,203 @@
+// Package conformance is the executable contract of the engine layer:
+// every registered backend must agree bit-for-bit with the sequential
+// software oracle on the golden scan cases — including empty and 1-bp
+// inputs and reads containing ambiguous 'N' bases — and must be honest
+// about the operations it does not support (ErrUnsupported, predicted
+// by Capabilities). Fault-modeling backends are held to the same
+// standard under their seeded fault schedules: recovery machinery may
+// retry, redispatch and degrade, but never change a result.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/engine"
+	"swfpga/internal/linear"
+)
+
+// Case is one golden scan scenario. Sequences are raw byte strings:
+// the scan contract compares bytes, so 'N' mismatches every other base
+// and matches itself, identically on every backend.
+type Case struct {
+	Name string
+	S, T []byte
+}
+
+// Cases returns the golden scenarios every backend must agree on.
+func Cases() []Case {
+	return []Case{
+		{"empty_both", []byte(""), []byte("")},
+		{"empty_query", []byte(""), []byte("ACGTACGT")},
+		{"empty_database", []byte("ACGT"), []byte("")},
+		{"one_bp_match", []byte("A"), []byte("A")},
+		{"one_bp_mismatch", []byte("A"), []byte("C")},
+		{"one_bp_vs_long", []byte("G"), []byte("ATTCGGATCCGA")},
+		{"exact_substring", []byte("GATTACA"), []byte("TTGATTACATT")},
+		{"with_gaps", []byte("ACGTACGTAC"), []byte("ACGTTTACGTAC")},
+		{"n_containing_read", []byte("ACGNNACGT"), []byte("TTACGNNACGTTT")},
+		{"n_only", []byte("NNNN"), []byte("ANNNNA")},
+		{"no_similarity", []byte("AAAA"), []byte("TTTTTTTT")},
+		{"repetitive", []byte("ATATATATAT"), []byte("TATATATATATATA")},
+		{"long_noisy",
+			[]byte("ACGTACGTTGCAACGTACGTACGTTGCANACGTACGT"),
+			[]byte("TTGCAACGTACGTACGTTGCANACGTACGTTTTACGTACGTTGCAACGTACG")},
+	}
+}
+
+// oracle is the software reference every backend is compared against.
+var oracle = linear.ScanSoftware{}
+
+// Run drives the full conformance suite against the named backend,
+// constructing a fresh engine per scenario from cfg.
+func Run(t *testing.T, name string, cfg engine.Config) {
+	t.Helper()
+	build := func(t *testing.T) engine.Engine {
+		t.Helper()
+		e, err := engine.New(name, cfg)
+		if err != nil {
+			t.Fatalf("engine.New(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("engine.New(%q).Name() = %q", name, e.Name())
+		}
+		return e
+	}
+	caps := build(t).Capabilities()
+	ctx := context.Background()
+	lin := align.DefaultLinear()
+	aff := align.DefaultAffine()
+
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			e := build(t)
+
+			// Forward scan: bit-identical to the oracle, always.
+			ws, wi, wj, err := oracle.BestLocal(ctx, c.S, c.T, lin)
+			if err != nil {
+				t.Fatalf("oracle BestLocal: %v", err)
+			}
+			gs, gi, gj, err := e.BestLocal(ctx, c.S, c.T, lin)
+			if err != nil {
+				t.Fatalf("BestLocal: %v", err)
+			}
+			if gs != ws || gi != wi || gj != wj {
+				t.Errorf("BestLocal = (%d,%d,%d), oracle (%d,%d,%d)", gs, gi, gj, ws, wi, wj)
+			}
+
+			// Anchored (reverse-phase) scan.
+			ws, wi, wj, err = oracle.BestAnchored(ctx, c.S, c.T, lin)
+			if err != nil {
+				t.Fatalf("oracle BestAnchored: %v", err)
+			}
+			gs, gi, gj, err = e.BestAnchored(ctx, c.S, c.T, lin)
+			if err != nil {
+				t.Fatalf("BestAnchored: %v", err)
+			}
+			if gs != ws || gi != wi || gj != wj {
+				t.Errorf("BestAnchored = (%d,%d,%d), oracle (%d,%d,%d)", gs, gi, gj, ws, wi, wj)
+			}
+
+			// Divergence-extended anchored scan: identical when the
+			// capability is advertised, ErrUnsupported when not.
+			ws, wi, wj, wInf, wSup, err := oracle.BestAnchoredDivergence(ctx, c.S, c.T, lin)
+			if err != nil {
+				t.Fatalf("oracle BestAnchoredDivergence: %v", err)
+			}
+			gs, gi, gj, gInf, gSup, err := e.BestAnchoredDivergence(ctx, c.S, c.T, lin)
+			if caps.Divergence {
+				if err != nil {
+					t.Fatalf("BestAnchoredDivergence: %v", err)
+				}
+				if gs != ws || gi != wi || gj != wj || gInf != wInf || gSup != wSup {
+					t.Errorf("BestAnchoredDivergence = (%d,%d,%d,%d,%d), oracle (%d,%d,%d,%d,%d)",
+						gs, gi, gj, gInf, gSup, ws, wi, wj, wInf, wSup)
+				}
+			} else if !errors.Is(err, engine.ErrUnsupported) {
+				t.Errorf("BestAnchoredDivergence err = %v; capability off, want ErrUnsupported", err)
+			}
+
+			// Affine-gap scans.
+			was, wai, waj, err := oracle.BestAffineLocal(ctx, c.S, c.T, aff)
+			if err != nil {
+				t.Fatalf("oracle BestAffineLocal: %v", err)
+			}
+			gas, gai, gaj, err := e.BestAffineLocal(ctx, c.S, c.T, aff)
+			if caps.Affine {
+				if err != nil {
+					t.Fatalf("BestAffineLocal: %v", err)
+				}
+				if gas != was || gai != wai || gaj != waj {
+					t.Errorf("BestAffineLocal = (%d,%d,%d), oracle (%d,%d,%d)", gas, gai, gaj, was, wai, waj)
+				}
+			} else if !errors.Is(err, engine.ErrUnsupported) {
+				t.Errorf("BestAffineLocal err = %v; capability off, want ErrUnsupported", err)
+			}
+
+			ws, wi, wj, wInf, wSup, err = oracle.BestAffineAnchoredDivergence(ctx, c.S, c.T, aff)
+			if err != nil {
+				t.Fatalf("oracle BestAffineAnchoredDivergence: %v", err)
+			}
+			gs, gi, gj, gInf, gSup, err = e.BestAffineAnchoredDivergence(ctx, c.S, c.T, aff)
+			if caps.Affine {
+				if err != nil {
+					t.Fatalf("BestAffineAnchoredDivergence: %v", err)
+				}
+				if gs != ws || gi != wi || gj != wj || gInf != wInf || gSup != wSup {
+					t.Errorf("BestAffineAnchoredDivergence = (%d,%d,%d,%d,%d), oracle (%d,%d,%d,%d,%d)",
+						gs, gi, gj, gInf, gSup, ws, wi, wj, wInf, wSup)
+				}
+			} else if !errors.Is(err, engine.ErrUnsupported) {
+				t.Errorf("BestAffineAnchoredDivergence err = %v; capability off, want ErrUnsupported", err)
+			}
+		})
+	}
+
+	t.Run("capability_honesty", func(t *testing.T) {
+		e := build(t)
+		if caps.Batch {
+			if engine.BatcherFor(e) == nil {
+				t.Errorf("Batch capability advertised but BatcherFor returned nil")
+			}
+		} else if _, ok := e.(engine.Batcher); ok {
+			t.Errorf("Batcher implemented but Batch capability not advertised")
+		}
+		if caps.Faulty {
+			if engine.FaulterFor(e) == nil {
+				t.Errorf("Faulty capability advertised but FaulterFor returned nil")
+			}
+		}
+	})
+
+	if caps.Batch {
+		t.Run("batch_matches_oracle", func(t *testing.T) {
+			e := build(t)
+			b := engine.BatcherFor(e)
+			query := []byte("ACGTACGTAC")
+			var records [][]byte
+			for _, c := range Cases() {
+				records = append(records, c.T)
+			}
+			got, err := b.BatchScan(ctx, query, records, lin)
+			if err != nil {
+				t.Fatalf("BatchScan: %v", err)
+			}
+			if len(got) != len(records) {
+				t.Fatalf("BatchScan returned %d results for %d records", len(got), len(records))
+			}
+			for i, rec := range records {
+				ws, wi, wj, err := oracle.BestLocal(ctx, query, rec, lin)
+				if err != nil {
+					t.Fatalf("oracle record %d: %v", i, err)
+				}
+				if got[i].Score != ws || got[i].EndI != wi || got[i].EndJ != wj {
+					t.Errorf("record %d: batch (%d,%d,%d), oracle (%d,%d,%d)",
+						i, got[i].Score, got[i].EndI, got[i].EndJ, ws, wi, wj)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/engine"
+)
+
+// TestConformanceAllBackends runs the golden suite against every
+// registered backend. The cluster backends run under a seeded fault
+// schedule (8% per-operation fault rate, 10% for the dedicated chaos
+// configuration's default) — the results must remain bit-identical to
+// the software oracle through every retry, redispatch and software
+// fallback the schedule provokes.
+func TestConformanceAllBackends(t *testing.T) {
+	names := engine.Names()
+	want := []string{"cluster", "faulttolerant", "software", "systolic", "wavefront"}
+	if len(names) != len(want) {
+		t.Fatalf("registered engines %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registered engines %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			Run(t, name, engine.Config{FaultRate: 0.08, FaultSeed: 7})
+		})
+	}
+}
+
+// TestFaultyBackendsAcrossSeeds re-runs the bit-identical check for the
+// fault-modeling backends under several fault schedules, so the
+// equivalence does not hinge on one lucky seed.
+func TestFaultyBackendsAcrossSeeds(t *testing.T) {
+	for _, name := range []string{"cluster", "faulttolerant"} {
+		for _, seed := range []int64{1, 2, 3, 11} {
+			seed := seed
+			t.Run(name, func(t *testing.T) {
+				Run(t, name, engine.Config{FaultRate: 0.10, FaultSeed: seed, Boards: 3})
+			})
+		}
+	}
+}
+
+// TestSaturationContract pins the narrow-register contract: a scan
+// whose true score exceeds the register rail must either fail cleanly
+// (naming saturation) or return the oracle's exact result — silently
+// wrong scores are forbidden.
+func TestSaturationContract(t *testing.T) {
+	// 64 identical bases score far beyond a 6-bit rail (2^6-1 = 63).
+	s := []byte(strings.Repeat("ACGT", 16))
+	tdb := []byte(strings.Repeat("ACGT", 16))
+	lin := align.DefaultLinear()
+	ctx := context.Background()
+	ws, wi, wj, err := oracle.BestLocal(ctx, s, tdb, lin)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	for _, name := range engine.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, err := engine.New(name, engine.Config{ScoreBits: 6, FaultSeed: 5})
+			if err != nil {
+				t.Fatalf("engine.New: %v", err)
+			}
+			gs, gi, gj, err := e.BestLocal(ctx, s, tdb, lin)
+			if err != nil {
+				if !strings.Contains(err.Error(), "saturated") {
+					t.Errorf("error %q does not name saturation", err)
+				}
+				return
+			}
+			if gs != ws || gi != wi || gj != wj {
+				t.Errorf("silent wrong result (%d,%d,%d), oracle (%d,%d,%d)", gs, gi, gj, ws, wi, wj)
+			}
+		})
+	}
+}
+
+// TestUnknownEngine pins the self-repairing error of a mistyped name.
+func TestUnknownEngine(t *testing.T) {
+	_, err := engine.New("quantum", engine.Config{})
+	if err == nil || !strings.Contains(err.Error(), "software") {
+		t.Errorf("unknown engine error %v should list registered names", err)
+	}
+}
+
+// TestUnsupportedIsSentinel pins errors.Is interop for the capability
+// backstop.
+func TestUnsupportedIsSentinel(t *testing.T) {
+	e, err := engine.New("wavefront", engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = e.BestAffineLocal(context.Background(), []byte("A"), []byte("A"), align.DefaultAffine())
+	if !errors.Is(err, engine.ErrUnsupported) {
+		t.Errorf("wavefront affine err = %v, want ErrUnsupported", err)
+	}
+}

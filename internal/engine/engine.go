@@ -1,0 +1,145 @@
+// Package engine is the single front door to the scan backends: the
+// software reference scanner, the simulated systolic board, the
+// multi-core wavefront schedule, and the (fault-tolerant) board
+// cluster. Each backend registers a named factory at init time; tools
+// select one by name (the -engine flag) and discover what it can do
+// through capability negotiation instead of type switches.
+//
+// The Engine interface is the union of the scan contracts the pipeline
+// layers need — forward/anchored scans, divergence-extended anchored
+// scans, and the affine-gap variants — all context-first. A backend
+// that does not implement an operation embeds Unsupported and the call
+// reports ErrUnsupported, which the capability flags predict: callers
+// check Capabilities() to pick a code path, and the error is the
+// honest backstop when they don't.
+//
+// Only this package may import the backend packages (internal/host,
+// internal/wavefront, internal/systolic); the layering is enforced by
+// the repo's static analysis (internal/analysis, swvet).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Capabilities declares what a backend can do, negotiated before any
+// scan is dispatched.
+type Capabilities struct {
+	// Divergence: the anchored scan can report the Z-align divergence
+	// band (BestAnchoredDivergence), enabling restricted-memory
+	// retrieval.
+	Divergence bool
+	// Affine: the Gotoh affine-gap datapath is available
+	// (BestAffineLocal, BestAffineAnchoredDivergence).
+	Affine bool
+	// Batch: the backend amortizes per-call transfer cost across many
+	// records (it implements Batcher).
+	Batch bool
+	// Faulty: the backend models board faults and exposes fault reports
+	// (it implements Faulter); results remain bit-identical to software
+	// in every non-error outcome.
+	Faulty bool
+	// Parallel: one scan call uses multiple OS threads on its own, so a
+	// caller gains little by stacking per-record workers on top.
+	Parallel bool
+}
+
+// String lists the set capabilities, for -engine listings and logs.
+func (c Capabilities) String() string {
+	out := ""
+	add := func(on bool, name string) {
+		if !on {
+			return
+		}
+		if out != "" {
+			out += ","
+		}
+		out += name
+	}
+	add(c.Divergence, "divergence")
+	add(c.Affine, "affine")
+	add(c.Batch, "batch")
+	add(c.Faulty, "faulty")
+	add(c.Parallel, "parallel")
+	if out == "" {
+		return "basic"
+	}
+	return out
+}
+
+// Config parameterizes backend construction. The zero value builds
+// every backend with its library defaults.
+type Config struct {
+	// Elements is the processing-element count of each simulated array
+	// (0 = the systolic default, 100).
+	Elements int
+	// ScoreBits is the score register width in bits (0 = default, 16).
+	ScoreBits int
+	// Boards is the cluster size (0 = default, 4).
+	Boards int
+	// Workers is the wavefront goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// FaultRate is the injected fault probability per board operation;
+	// used by the cluster backends (the faulttolerant backend defaults
+	// to 0.05 when 0 — it exists to exercise the recovery machinery).
+	FaultRate float64
+	// FaultSeed seeds the fault injector (0 = seed 1) so fault
+	// schedules — and therefore scan results and reports — reproduce.
+	FaultSeed int64
+}
+
+// ErrUnsupported reports an operation outside a backend's capability
+// set. Callers that negotiated Capabilities never see it.
+var ErrUnsupported = errors.New("engine: operation not supported by this backend")
+
+// Factory builds one engine instance. Instances are not safe for
+// concurrent use unless documented otherwise; per-worker callers (the
+// database search) construct one engine per goroutine.
+type Factory func(cfg Config) (Engine, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register installs a named backend factory. It panics on a duplicate
+// name — registration happens in init functions, where a collision is
+// a programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of %q", name))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("engine: nil factory for %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named engine. Unknown names list the registered
+// backends in the error, so a mistyped -engine flag is self-repairing.
+func New(name string, cfg Config) (Engine, error) {
+	regMu.RLock()
+	f := registry[name]
+	regMu.RUnlock()
+	if f == nil {
+		return nil, fmt.Errorf("engine: unknown engine %q (have %v)", name, Names())
+	}
+	return f(cfg)
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

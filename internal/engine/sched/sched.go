@@ -1,0 +1,413 @@
+// Package sched is the shared chunk scheduler: one master dispatch
+// loop behind both the fault-tolerant cluster scan (internal/host) and
+// the per-record database search (internal/search), which previously
+// each carried their own copy of the same worker-pool machinery.
+//
+// The loop implements the paper's host-side dispatch discipline: a
+// FIFO of pending tasks, an idle-worker list, bounded retries with
+// exponential backoff, a per-worker consecutive-failure circuit
+// breaker (quarantine), optional per-attempt deadlines, redispatch
+// away from a worker that corrupted a result, and an out-of-band
+// fallback for tasks no healthy worker can complete. Cancel-on-first-
+// error falls out of the default policy: with no Classify hook every
+// failure aborts the run and cancels the remaining work.
+//
+// sched itself emits no telemetry — the hooks do. Callers keep their
+// existing swfpga_* span and metric names by booking them inside
+// Classify/OnRetry/OnQuarantine/Fallback, so the dashboards pinned by
+// the golden span-tree tests survive the extraction unchanged.
+//
+// The package is a leaf: it imports nothing from the module, so any
+// layer may build on it.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Config is the dispatch policy of one run. The zero value of every
+// field is a sensible "off": no retries, no backoff, no quarantine, no
+// attempt deadline.
+type Config struct {
+	// Workers is the number of dispatch slots (required, > 0).
+	Workers int
+	// MaxRetries bounds re-dispatches of one task after classified
+	// failures.
+	MaxRetries int
+	// Backoff is the base of the exponential backoff before a retry:
+	// attempt k waits Backoff << min(k-1, 3).
+	Backoff time.Duration
+	// QuarantineAfter is the consecutive-failure count that trips a
+	// worker's circuit breaker; 0 disables the breaker (workers are then
+	// quarantined only by an explicit Decision).
+	QuarantineAfter int
+	// AttemptTimeout is the per-attempt deadline applied to the context
+	// passed to Do; 0 disables it.
+	AttemptTimeout time.Duration
+}
+
+// backoffFor is the wait before the k-th retry of a task (k starting
+// at 1): base doubling per attempt, capped at 8×.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 3 {
+		shift = 3
+	}
+	return base << shift
+}
+
+// Task identifies one unit of work flowing through the scheduler.
+type Task struct {
+	// Index is the task's position in the caller's work list.
+	Index int
+	// Attempt is 0 on the first dispatch and increments per retry.
+	Attempt int
+	// LastWorker is the worker of the previous failed attempt (-1 on the
+	// first dispatch) — callers use it to count redispatches.
+	LastWorker int
+	// Backoff is the wait this attempt observes before running.
+	Backoff time.Duration
+
+	// avoid is the worker this task prefers not to run on (checksum
+	// redispatch); -1 means none.
+	avoid int
+}
+
+// Decision is a Classify hook's verdict on one failed attempt.
+type Decision struct {
+	// Abort stops the whole run and returns the attempt's error (or the
+	// run context's error when it is already cancelled).
+	Abort bool
+	// Quarantine trips the worker's circuit breaker immediately,
+	// independent of the consecutive-failure count.
+	Quarantine bool
+	// AvoidWorker asks the retry to run on a different worker when one
+	// is available.
+	AvoidWorker bool
+}
+
+// Hooks connects the scheduler to the caller's work, bookkeeping and
+// telemetry. Only Do is required.
+type Hooks struct {
+	// Do runs one attempt of a task on a worker. The context carries the
+	// run's cancellation and the per-attempt deadline.
+	Do func(ctx context.Context, worker int, t Task) error
+	// Classify judges a failed attempt. A nil hook aborts on every error
+	// — the cancel-on-first-error policy of the database search.
+	Classify func(worker int, t Task, err error) Decision
+	// OnAssign observes every dispatch just before the attempt launches.
+	OnAssign func(worker int, t Task)
+	// OnRetry observes a re-enqueued task (Attempt and Backoff already
+	// advanced) together with the error that caused the retry.
+	OnRetry func(t Task, err error)
+	// OnQuarantine observes a worker's circuit breaker tripping.
+	OnQuarantine func(worker int, err error)
+	// Fallback completes a task out of band after its retries are
+	// exhausted or no healthy worker remains. A nil hook turns those
+	// conditions into *ExhaustedError / *UndispatchableError.
+	Fallback func(t Task)
+}
+
+// ExhaustedError reports a task that failed its final attempt with no
+// Fallback configured.
+type ExhaustedError struct {
+	Task Task
+	Err  error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("sched: task %d failed after %d attempt(s): %v", e.Task.Index, e.Task.Attempt+1, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// UndispatchableError reports tasks left over when every worker is
+// quarantined and no Fallback is configured.
+type UndispatchableError struct {
+	Remaining int
+}
+
+func (e *UndispatchableError) Error() string {
+	return fmt.Sprintf("sched: %d task(s) undispatchable: all workers quarantined", e.Remaining)
+}
+
+// result is what an attempt goroutine reports back to the master.
+type result struct {
+	worker int
+	t      Task
+	err    error
+}
+
+// Run dispatches tasks [0, tasks) across cfg.Workers workers under the
+// configured retry/quarantine policy and blocks until every task is
+// completed (by a worker or the Fallback hook) or the run aborts. On
+// abort the remaining in-flight attempts are cancelled and drained
+// before Run returns, so no goroutine outlives the call.
+func Run(ctx context.Context, tasks int, cfg Config, h Hooks) error {
+	if h.Do == nil {
+		panic("sched: Hooks.Do is required")
+	}
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("sched: config needs at least one worker")
+	}
+	if tasks <= 0 {
+		return nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	pending := make([]Task, 0, tasks)
+	for i := 0; i < tasks; i++ {
+		pending = append(pending, Task{Index: i, LastWorker: -1, avoid: -1})
+	}
+	completed := 0
+	quarantined := make([]bool, cfg.Workers)
+	consec := make([]int, cfg.Workers)
+	idle := make([]int, 0, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		idle = append(idle, w)
+	}
+	healthy := func() int {
+		n := 0
+		for _, q := range quarantined {
+			if !q {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Buffered so an in-flight worker can always deliver its result even
+	// while the master is between receives — no attempt goroutine is
+	// ever stuck on the send.
+	resCh := make(chan result, cfg.Workers)
+	inflight := 0
+	launch := func(w int, t Task) {
+		inflight++
+		go func(w int, t Task) {
+			if t.Backoff > 0 {
+				timer := time.NewTimer(t.Backoff)
+				select {
+				case <-timer.C:
+				case <-runCtx.Done():
+					timer.Stop()
+				}
+			}
+			actx := runCtx
+			cancelAttempt := func() {}
+			if cfg.AttemptTimeout > 0 {
+				actx, cancelAttempt = context.WithTimeout(runCtx, cfg.AttemptTimeout)
+			}
+			err := h.Do(actx, w, t)
+			cancelAttempt()
+			resCh <- result{worker: w, t: t, err: err}
+		}(w, t)
+	}
+
+	var abortErr error
+	for completed < tasks {
+		// Assign pending tasks to idle healthy workers, preferring a
+		// worker other than the one a task is avoiding.
+		for len(idle) > 0 && len(pending) > 0 {
+			t := pending[0]
+			pick := -1
+			for k, w := range idle {
+				if w != t.avoid {
+					pick = k
+					break
+				}
+			}
+			if pick < 0 {
+				if healthy() > 1 {
+					break // wait for a non-avoided worker to free up
+				}
+				pick = 0 // the avoided worker is the only one left
+			}
+			w := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			pending = pending[1:]
+			if h.OnAssign != nil {
+				h.OnAssign(w, t)
+			}
+			launch(w, t)
+		}
+		if inflight == 0 {
+			break // no healthy worker can take the remaining tasks
+		}
+		r := <-resCh
+		inflight--
+		if r.err == nil {
+			completed++
+			consec[r.worker] = 0
+			idle = append(idle, r.worker)
+			continue
+		}
+
+		d := Decision{Abort: true}
+		if h.Classify != nil {
+			d = h.Classify(r.worker, r.t, r.err)
+		}
+		if d.Abort {
+			if err := ctx.Err(); err != nil {
+				abortErr = err
+			} else {
+				abortErr = r.err
+			}
+			break
+		}
+
+		// Per-worker circuit breaker.
+		consec[r.worker]++
+		if d.Quarantine || (cfg.QuarantineAfter > 0 && consec[r.worker] >= cfg.QuarantineAfter) {
+			if !quarantined[r.worker] {
+				quarantined[r.worker] = true
+				if h.OnQuarantine != nil {
+					h.OnQuarantine(r.worker, r.err)
+				}
+			}
+		} else {
+			idle = append(idle, r.worker)
+		}
+
+		// Bounded retry with exponential backoff.
+		if r.t.Attempt < cfg.MaxRetries {
+			next := r.t
+			next.Attempt++
+			next.LastWorker = r.worker
+			next.avoid = -1
+			if d.AvoidWorker {
+				next.avoid = r.worker
+			}
+			next.Backoff = backoffFor(cfg.Backoff, next.Attempt)
+			if h.OnRetry != nil {
+				h.OnRetry(next, r.err)
+			}
+			pending = append(pending, next)
+			continue
+		}
+		if h.Fallback == nil {
+			abortErr = &ExhaustedError{Task: r.t, Err: r.err}
+			break
+		}
+		h.Fallback(r.t)
+		completed++
+	}
+
+	if abortErr != nil {
+		// Cancel the stragglers and join them; their results are
+		// discarded without invoking any hook.
+		cancel()
+		for inflight > 0 {
+			<-resCh
+			inflight--
+		}
+		return abortErr
+	}
+
+	// Tasks no healthy worker could take complete out of band.
+	if completed < tasks {
+		if h.Fallback == nil {
+			return &UndispatchableError{Remaining: tasks - completed}
+		}
+		for _, t := range pending {
+			h.Fallback(t)
+			completed++
+		}
+	}
+	return nil
+}
+
+// RotateHooks connects RunOne to the caller's single task.
+type RotateHooks struct {
+	// Do runs one attempt on a worker.
+	Do func(ctx context.Context, worker int) error
+	// Classify judges a failed attempt; nil aborts on every error.
+	Classify func(worker int, err error) Decision
+	// OnQuarantine observes a worker's circuit breaker tripping.
+	OnQuarantine func(worker int, err error)
+}
+
+// RunOne retries a single task across workers in round-robin order —
+// the anchored (reverse) scan's discipline, where the task is
+// indivisible and the only recovery is trying another board. The
+// attempt budget is (MaxRetries+1) × Workers; quarantined workers are
+// skipped, and the loop ends early once every worker is quarantined.
+// A non-nil return is either the run context's error, an aborting
+// attempt error, or *ExhaustedError once the budget or the healthy
+// workers run out.
+func RunOne(ctx context.Context, cfg Config, h RotateHooks) error {
+	if h.Do == nil {
+		panic("sched: RotateHooks.Do is required")
+	}
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("sched: config needs at least one worker")
+	}
+	quarantined := make([]bool, cfg.Workers)
+	consec := make([]int, cfg.Workers)
+	attempts := 0
+	budget := (cfg.MaxRetries + 1) * cfg.Workers
+	var lastErr error
+	var lastWorker = -1
+	for w := 0; attempts < budget; w = (w + 1) % cfg.Workers {
+		if quarantined[w] {
+			if allTrue(quarantined) {
+				break
+			}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		attempts++
+		actx := ctx
+		cancelAttempt := func() {}
+		if cfg.AttemptTimeout > 0 {
+			actx, cancelAttempt = context.WithTimeout(ctx, cfg.AttemptTimeout)
+		}
+		err := h.Do(actx, w)
+		cancelAttempt()
+		if err == nil {
+			return nil
+		}
+		lastErr, lastWorker = err, w
+
+		d := Decision{Abort: true}
+		if h.Classify != nil {
+			d = h.Classify(w, err)
+		}
+		if d.Abort {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return err
+		}
+		consec[w]++
+		if d.Quarantine || (cfg.QuarantineAfter > 0 && consec[w] >= cfg.QuarantineAfter) {
+			if !quarantined[w] {
+				quarantined[w] = true
+				if h.OnQuarantine != nil {
+					h.OnQuarantine(w, err)
+				}
+			}
+			if allTrue(quarantined) {
+				break
+			}
+		}
+	}
+	return &ExhaustedError{Task: Task{Attempt: attempts - 1, LastWorker: lastWorker}, Err: lastErr}
+}
+
+func allTrue(v []bool) bool {
+	for _, b := range v {
+		if !b {
+			return false
+		}
+	}
+	return true
+}

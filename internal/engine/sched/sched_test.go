@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCompletesEveryTaskOnce(t *testing.T) {
+	const tasks = 37
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	err := Run(context.Background(), tasks, Config{Workers: 4}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			seen[task.Index]++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != tasks {
+		t.Fatalf("completed %d distinct tasks, want %d", len(seen), tasks)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d ran %d times, want 1", idx, n)
+		}
+	}
+}
+
+func TestRunNilClassifyAbortsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := Run(context.Background(), 100, Config{Workers: 2}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			calls.Add(1)
+			if task.Index == 3 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run() = %v, want %v", err, boom)
+	}
+	if n := calls.Load(); n >= 100 {
+		t.Errorf("abort did not cancel remaining work: %d attempts ran", n)
+	}
+}
+
+func TestRunReturnsCtxErrOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := Run(ctx, 50, Config{Workers: 2}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			if task.Index == 0 {
+				cancel()
+			}
+			return ctx.Err()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRetriesThenSucceeds(t *testing.T) {
+	flaky := errors.New("transient")
+	var mu sync.Mutex
+	failures := map[int]int{2: 2} // task 2 fails twice, then succeeds
+	var retries []Task
+	err := Run(context.Background(), 5, Config{Workers: 2, MaxRetries: 3}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if failures[task.Index] > 0 {
+				failures[task.Index]--
+				return flaky
+			}
+			return nil
+		},
+		Classify: func(worker int, task Task, err error) Decision { return Decision{} },
+		OnRetry:  func(task Task, err error) { retries = append(retries, task) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retries) != 2 {
+		t.Fatalf("OnRetry fired %d times, want 2", len(retries))
+	}
+	if retries[0].Attempt != 1 || retries[1].Attempt != 2 {
+		t.Errorf("retry attempts = %d, %d; want 1, 2", retries[0].Attempt, retries[1].Attempt)
+	}
+	if retries[0].LastWorker < 0 {
+		t.Error("retry lost its LastWorker")
+	}
+}
+
+func TestRunAvoidWorkerRedispatches(t *testing.T) {
+	bad := errors.New("checksum")
+	var mu sync.Mutex
+	var firstWorker, retryWorker = -1, -1
+	err := Run(context.Background(), 1, Config{Workers: 3, MaxRetries: 3}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if task.Attempt == 0 {
+				firstWorker = worker
+				return bad
+			}
+			retryWorker = worker
+			return nil
+		},
+		Classify: func(worker int, task Task, err error) Decision {
+			return Decision{AvoidWorker: true}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstWorker == retryWorker {
+		t.Errorf("retry ran on the avoided worker %d", firstWorker)
+	}
+}
+
+func TestRunQuarantineStopsAssignment(t *testing.T) {
+	dead := errors.New("dead")
+	var mu sync.Mutex
+	attempts := make(map[int]int) // worker -> attempts
+	var quarantinedWorker = -1
+	err := Run(context.Background(), 8, Config{Workers: 2, MaxRetries: 3, QuarantineAfter: 3}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			attempts[worker]++
+			mu.Unlock()
+			if worker == 0 {
+				return dead
+			}
+			return nil
+		},
+		Classify: func(worker int, task Task, err error) Decision {
+			return Decision{Quarantine: true} // immediate breaker
+		},
+		OnQuarantine: func(worker int, err error) { quarantinedWorker = worker },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantinedWorker != 0 {
+		t.Fatalf("quarantined worker = %d, want 0", quarantinedWorker)
+	}
+	if attempts[0] != 1 {
+		t.Errorf("worker 0 received %d attempts after quarantine, want 1", attempts[0])
+	}
+}
+
+func TestRunConsecutiveFailureBreaker(t *testing.T) {
+	flaky := errors.New("pci")
+	var quarantines atomic.Int64
+	err := Run(context.Background(), 4, Config{Workers: 1, MaxRetries: 10, QuarantineAfter: 2}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			return flaky
+		},
+		Classify:     func(worker int, task Task, err error) Decision { return Decision{} },
+		OnQuarantine: func(worker int, err error) { quarantines.Add(1) },
+		Fallback:     func(task Task) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantines.Load() != 1 {
+		t.Errorf("breaker tripped %d times, want 1", quarantines.Load())
+	}
+}
+
+func TestRunFallbackCompletesLeftovers(t *testing.T) {
+	dead := errors.New("dead")
+	var mu sync.Mutex
+	fellBack := make(map[int]bool)
+	err := Run(context.Background(), 6, Config{Workers: 2, MaxRetries: 1, QuarantineAfter: 1}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			return dead
+		},
+		Classify: func(worker int, task Task, err error) Decision {
+			return Decision{Quarantine: true}
+		},
+		Fallback: func(task Task) {
+			mu.Lock()
+			fellBack[task.Index] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fellBack) != 6 {
+		t.Errorf("fallback completed %d tasks, want all 6", len(fellBack))
+	}
+}
+
+func TestRunExhaustedWithoutFallback(t *testing.T) {
+	flaky := errors.New("transient")
+	err := Run(context.Background(), 1, Config{Workers: 1, MaxRetries: 2}, Hooks{
+		Do:       func(ctx context.Context, worker int, task Task) error { return flaky },
+		Classify: func(worker int, task Task, err error) Decision { return Decision{} },
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("Run() = %v, want *ExhaustedError", err)
+	}
+	if !errors.Is(err, flaky) {
+		t.Errorf("ExhaustedError does not wrap the cause: %v", err)
+	}
+	if ex.Task.Attempt != 2 {
+		t.Errorf("exhausted at attempt %d, want 2", ex.Task.Attempt)
+	}
+}
+
+func TestRunUndispatchableWithoutFallback(t *testing.T) {
+	dead := errors.New("dead")
+	err := Run(context.Background(), 5, Config{Workers: 2, MaxRetries: 50, QuarantineAfter: 1}, Hooks{
+		Do:       func(ctx context.Context, worker int, task Task) error { return dead },
+		Classify: func(worker int, task Task, err error) Decision { return Decision{Quarantine: true} },
+	})
+	var ue *UndispatchableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Run() = %v, want *UndispatchableError", err)
+	}
+	if ue.Remaining == 0 {
+		t.Error("UndispatchableError reports zero remaining tasks")
+	}
+}
+
+func TestRunAttemptTimeout(t *testing.T) {
+	err := Run(context.Background(), 1, Config{Workers: 1, AttemptTimeout: 5 * time.Millisecond}, Hooks{
+		Do: func(ctx context.Context, worker int, task Task) error {
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run() = %v, want deadline exceeded", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	base := 100 * time.Microsecond
+	want := []time.Duration{0, base, 2 * base, 4 * base, 8 * base, 8 * base, 8 * base}
+	for attempt, w := range want {
+		if got := backoffFor(base, attempt); got != w {
+			t.Errorf("backoffFor(%v, %d) = %v, want %v", base, attempt, got, w)
+		}
+	}
+	if got := backoffFor(0, 5); got != 0 {
+		t.Errorf("backoffFor(0, 5) = %v, want 0", got)
+	}
+}
+
+func TestRunOneRotatesToHealthyWorker(t *testing.T) {
+	flaky := errors.New("transient")
+	var workers []int
+	err := RunOne(context.Background(), Config{Workers: 3, MaxRetries: 2}, RotateHooks{
+		Do: func(ctx context.Context, worker int) error {
+			workers = append(workers, worker)
+			if worker == 0 {
+				return flaky
+			}
+			return nil
+		},
+		Classify: func(worker int, err error) Decision { return Decision{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1}
+	if len(workers) != len(want) || workers[0] != want[0] || workers[1] != want[1] {
+		t.Errorf("attempt order = %v, want %v", workers, want)
+	}
+}
+
+func TestRunOneExhaustsBudget(t *testing.T) {
+	flaky := errors.New("transient")
+	var attempts int
+	err := RunOne(context.Background(), Config{Workers: 2, MaxRetries: 1, QuarantineAfter: 100}, RotateHooks{
+		Do: func(ctx context.Context, worker int) error {
+			attempts++
+			return flaky
+		},
+		Classify: func(worker int, err error) Decision { return Decision{} },
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("RunOne() = %v, want *ExhaustedError", err)
+	}
+	if attempts != 4 { // (MaxRetries+1) × Workers
+		t.Errorf("budget allowed %d attempts, want 4", attempts)
+	}
+}
+
+func TestRunOneStopsWhenAllQuarantined(t *testing.T) {
+	dead := errors.New("dead")
+	var attempts, quarantines int
+	err := RunOne(context.Background(), Config{Workers: 3, MaxRetries: 50}, RotateHooks{
+		Do: func(ctx context.Context, worker int) error {
+			attempts++
+			return dead
+		},
+		Classify:     func(worker int, err error) Decision { return Decision{Quarantine: true} },
+		OnQuarantine: func(worker int, err error) { quarantines++ },
+	})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("RunOne() = %v, want *ExhaustedError", err)
+	}
+	if attempts != 3 || quarantines != 3 {
+		t.Errorf("attempts = %d, quarantines = %d; want 3 and 3", attempts, quarantines)
+	}
+}
+
+func TestRunOneAbortPassesErrorThrough(t *testing.T) {
+	hard := errors.New("saturation")
+	err := RunOne(context.Background(), Config{Workers: 2}, RotateHooks{
+		Do: func(ctx context.Context, worker int) error { return hard },
+	})
+	if !errors.Is(err, hard) {
+		t.Fatalf("RunOne() = %v, want %v", err, hard)
+	}
+	var ex *ExhaustedError
+	if errors.As(err, &ex) {
+		t.Error("abort was misreported as exhaustion")
+	}
+}

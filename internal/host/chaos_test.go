@@ -322,13 +322,13 @@ func TestChaosFaultReportAccumulates(t *testing.T) {
 	c := NewCluster(2)
 	c.Policy = chaosPolicy()
 	c.InjectFaults(faults.NewSchedule(faults.Event{Board: 0, Call: 0, Class: faults.PCI}))
-	if _, _, _, err := c.BestLocal(q, db, sc); err != nil {
+	if _, _, _, err := c.BestLocal(context.Background(), q, db, sc); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.LastFaults(); got.PCIErrors != 1 {
 		t.Errorf("last report missed the PCI fault: %s", got)
 	}
-	if _, _, _, err := c.BestLocal(q, db, sc); err != nil {
+	if _, _, _, err := c.BestLocal(context.Background(), q, db, sc); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.TotalFaults(); got.Chunks != 4 || got.PCIErrors != 1 {

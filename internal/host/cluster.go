@@ -110,17 +110,12 @@ func mergeParts(parts []part) part {
 	return best
 }
 
-// BestLocal implements the distributed forward scan as a linear.Scanner;
-// see BestLocalReport for the fault-tolerant dispatch it performs. The
-// fault report of the call is retained (LastFaults / TotalFaults).
-func (c *Cluster) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return c.BestLocalCtx(context.Background(), s, t, sc)
-}
-
-// BestLocalCtx implements linear.ScannerCtx: the distributed forward
-// scan under the caller's context, with the fault report retained on
-// the cluster (LastFaults / TotalFaults) rather than returned.
-func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+// BestLocal implements the distributed forward scan as a linear.Scanner
+// under the caller's context; see BestLocalReport for the
+// fault-tolerant dispatch it performs. The fault report of the call is
+// retained on the cluster (LastFaults / TotalFaults) rather than
+// returned.
+func (c *Cluster) BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	score, i, j, _, err := c.BestLocalReport(ctx, s, t, sc)
 	return score, i, j, err
 }
@@ -129,12 +124,7 @@ func (c *Cluster) BestLocalCtx(ctx context.Context, s, t []byte, sc align.Linear
 // the same retry/quarantine/degradation policy as the forward scan,
 // completing the linear.Scanner contract so a fault-tolerant cluster
 // can drop in wherever a single board would (e.g. as a search engine).
-func (c *Cluster) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return c.BestAnchoredCtx(context.Background(), s, t, sc)
-}
-
-// BestAnchoredCtx implements linear.ScannerCtx for the reverse scan.
-func (c *Cluster) BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (c *Cluster) BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	var rev FaultReport
 	score, i, j, err := c.anchoredResilient(ctx, s, t, sc, &rev)
 	c.record(rev)

@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestClusterMatchesSingleScan(t *testing.T) {
 		db := randDNA(rng, 1+rng.Intn(400))
 		for _, boards := range []int{1, 2, 3, 5} {
 			c := NewCluster(boards)
-			score, i, j, err := c.BestLocal(q, db, sc)
+			score, i, j, err := c.BestLocal(context.Background(), q, db, sc)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -39,7 +40,7 @@ func TestClusterBoundaryStraddlingAlignment(t *testing.T) {
 	seq.PlantMotif(db, q, 470) // spans [470, 530), straddling 500
 	sc := align.DefaultLinear()
 	c := NewCluster(2)
-	score, i, j, err := c.BestLocal(q, db, sc)
+	score, i, j, err := c.BestLocal(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestClusterDistributesWork(t *testing.T) {
 	q := g.Random(50)
 	db := g.Random(2000)
 	c := NewCluster(4)
-	if _, _, _, err := c.BestLocal(q, db, align.DefaultLinear()); err != nil {
+	if _, _, _, err := c.BestLocal(context.Background(), q, db, align.DefaultLinear()); err != nil {
 		t.Fatal(err)
 	}
 	// Dispatch is a work queue, not a static 1:1 assignment, so a fast
@@ -111,7 +112,7 @@ func TestClusterPipelineEndToEnd(t *testing.T) {
 	if err := rep.Result.Validate(a, b, sc); err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := linear.Local(a, b, sc, nil)
+	want, _, err := linear.Local(context.Background(), a, b, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestClusterPipelineHopeless(t *testing.T) {
 
 func TestClusterValidation(t *testing.T) {
 	c := &Cluster{}
-	if _, _, _, err := c.BestLocal([]byte("A"), []byte("A"), align.DefaultLinear()); err == nil {
+	if _, _, _, err := c.BestLocal(context.Background(), []byte("A"), []byte("A"), align.DefaultLinear()); err == nil {
 		t.Error("empty cluster must be rejected")
 	}
 	c = NewCluster(2)
@@ -163,17 +164,17 @@ func TestClusterErrorPropagation(t *testing.T) {
 		d.Array.ScoreBits = 4 // saturates on self-similarity
 	}
 	db := append(append([]byte{}, g.Random(300)...), q...)
-	if _, _, _, err := c.BestLocal(q, db, align.DefaultLinear()); err == nil {
+	if _, _, _, err := c.BestLocal(context.Background(), q, db, align.DefaultLinear()); err == nil {
 		t.Error("member saturation must propagate")
 	}
 }
 
 func TestClusterEmptyInputs(t *testing.T) {
 	c := NewCluster(2)
-	if score, _, _, err := c.BestLocal(nil, []byte("ACGT"), align.DefaultLinear()); err != nil || score != 0 {
+	if score, _, _, err := c.BestLocal(context.Background(), nil, []byte("ACGT"), align.DefaultLinear()); err != nil || score != 0 {
 		t.Errorf("empty query: %d %v", score, err)
 	}
-	if score, _, _, err := c.BestLocal([]byte("ACGT"), nil, align.DefaultLinear()); err != nil || score != 0 {
+	if score, _, _, err := c.BestLocal(context.Background(), []byte("ACGT"), nil, align.DefaultLinear()); err != nil || score != 0 {
 		t.Errorf("empty database: %d %v", score, err)
 	}
 }
@@ -182,7 +183,7 @@ func TestClusterMoreBoardsThanBases(t *testing.T) {
 	c := NewCluster(8)
 	q := []byte("ACG")
 	db := []byte("ACGT")
-	score, i, j, err := c.BestLocal(q, db, align.DefaultLinear())
+	score, i, j, err := c.BestLocal(context.Background(), q, db, align.DefaultLinear())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"swfpga/internal/align"
+	"swfpga/internal/engine/sched"
 	"swfpga/internal/faults"
 	"swfpga/internal/linear"
 	"swfpga/internal/telemetry"
@@ -59,19 +60,6 @@ func (p Policy) withDefaults() Policy {
 		p.QuarantineAfter = 3
 	}
 	return p
-}
-
-// backoffFor is the wait before re-dispatching a chunk on its k-th
-// retry (k starting at 1): Backoff doubling per attempt, capped at 8×.
-func (p Policy) backoffFor(attempt int) time.Duration {
-	if p.Backoff <= 0 || attempt <= 0 {
-		return 0
-	}
-	shift := attempt - 1
-	if shift > 3 {
-		shift = 3
-	}
-	return p.Backoff << shift
 }
 
 // FaultReport is the observability surface of one distributed scan:
@@ -184,33 +172,20 @@ func classifyFailure(rep *FaultReport, err error, recovery, timeout float64) (cl
 	return class, true
 }
 
-// chunkJob is one chunk attempt waiting for a board.
-type chunkJob struct {
-	idx, lo, hi int
-	attempt     int
-	exclude     int // board to avoid (checksum re-dispatch); -1 = none
-	lastBoard   int // board of the previous failed attempt; -1 = none
-	backoff     time.Duration
-}
-
-// attemptResult is what a board reports back to the master.
-type attemptResult struct {
-	board int
-	job   chunkJob
-	p     part
-	err   error
-}
-
 // BestLocalReport runs the distributed forward scan with fault-tolerant
-// per-chunk dispatch: chunks flow through a work queue to whichever
-// board is idle and healthy, failed attempts retry with exponential
-// backoff (re-dispatching checksum failures to a different board),
-// boards exceeding the consecutive-failure breaker are quarantined, and
-// chunks that no board can complete fall back to the software scanner.
-// The returned FaultReport records that activity; the result is
-// bit-identical to a single-board scan in every non-error outcome.
-// (BestLocalCtx is the linear.ScannerCtx-conforming form without the
-// report return.)
+// per-chunk dispatch: chunks flow through the shared scheduler
+// (internal/engine/sched) to whichever board is idle and healthy,
+// failed attempts retry with exponential backoff (re-dispatching
+// checksum failures to a different board), boards exceeding the
+// consecutive-failure breaker are quarantined, and chunks that no board
+// can complete fall back to the software scanner. The returned
+// FaultReport records that activity; the result is bit-identical to a
+// single-board scan in every non-error outcome. (BestLocal is the
+// linear.Scanner-conforming form without the report return.)
+//
+// All swfpga_* telemetry of the scan — the cluster.scan span, the
+// chunk-failure/retry/quarantine counters — is booked here, inside the
+// scheduler hooks; sched itself emits nothing.
 func (c *Cluster) BestLocalReport(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, FaultReport, error) {
 	var rep FaultReport
 	if err := c.Validate(); err != nil {
@@ -238,207 +213,111 @@ func (c *Cluster) BestLocalReport(ctx context.Context, s, t []byte, sc align.Lin
 		d.Checksum = !pol.DisableChecksum
 	}
 
-	workers := len(c.Devices)
-	if workers > len(t) {
-		workers = len(t)
+	chunks := len(c.Devices)
+	if chunks > len(t) {
+		chunks = len(t)
 	}
-	chunk := (len(t) + workers - 1) / workers
-	pending := make([]chunkJob, 0, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk + overlap
+	chunk := (len(t) + chunks - 1) / chunks
+	bounds := func(idx int) (lo, hi int) {
+		lo = idx * chunk
+		hi = lo + chunk + overlap
 		if hi > len(t) {
 			hi = len(t)
 		}
-		pending = append(pending, chunkJob{idx: w, lo: lo, hi: hi, exclude: -1, lastBoard: -1})
+		return lo, hi
 	}
-	chunks := len(pending)
 	rep.Chunks = chunks
-
 	parts := make([]part, chunks)
-	done := make([]bool, chunks)
-	completed := 0
-	quarantined := make([]bool, len(c.Devices))
-	consec := make([]int, len(c.Devices))
-	idle := make([]int, 0, len(c.Devices))
-	for b := range c.Devices {
-		idle = append(idle, b)
-	}
-	healthy := func() int {
-		n := 0
-		for _, q := range quarantined {
-			if !q {
-				n++
-			}
-		}
-		return n
-	}
-
-	// Buffered so an in-flight board can always deliver its result even
-	// if the master has already returned on a hard error — no goroutine
-	// is ever stuck on the send.
-	resCh := make(chan attemptResult, len(c.Devices))
-	inflight := 0
-	launch := func(b int, j chunkJob) {
-		inflight++
-		go func(b int, j chunkJob) {
-			if j.backoff > 0 {
-				timer := time.NewTimer(j.backoff)
-				select {
-				case <-timer.C:
-				case <-ctx.Done():
-					timer.Stop()
-				}
-			}
-			cctx := ctx
-			cancel := func() {}
-			if pol.ChunkTimeout > 0 {
-				cctx, cancel = context.WithTimeout(ctx, pol.ChunkTimeout)
-			}
-			score, i, jj, err := c.Devices[b].BestLocalCtx(cctx, s, t[j.lo:j.hi], sc)
-			cancel()
-			r := attemptResult{board: b, job: j, err: err}
-			if err == nil && score > 0 {
-				r.p = part{score: score, i: i, j: jj + j.lo} // global database coordinate
-			}
-			resCh <- r
-		}(b, j)
-	}
 
 	// software completes a chunk on the host scanner — the graceful
 	// degradation path. Bit-identical by DESIGN.md invariant §5.2.
-	software := func(j chunkJob) {
+	software := func(tk sched.Task) {
+		lo, hi := bounds(tk.Index)
 		t0 := time.Now()
-		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(s, t[j.lo:j.hi], sc)
+		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(context.Background(), s, t[lo:hi], sc)
 		dt := time.Since(t0).Seconds()
 		rep.SoftwareSeconds += dt
 		telemetry.HostSeconds.Add(dt)
 		if score > 0 {
-			parts[j.idx] = part{score: score, i: i, j: jj + j.lo}
+			parts[tk.Index] = part{score: score, i: i, j: jj + lo}
 		}
-		done[j.idx] = true
-		completed++
 		rep.SoftwareChunks++
 		telemetry.SoftwareChunks.Inc()
 		if !rep.Degraded {
 			rep.Degraded = true
 			telemetry.DegradedRuns.Inc()
 		}
-		span.Event(fmt.Sprintf("chunk %d degraded to software", j.idx))
+		span.Event(fmt.Sprintf("chunk %d degraded to software", tk.Index))
 	}
 
-	for completed < chunks {
-		// Assign pending chunks to idle healthy boards, preferring a
-		// different board than the one whose checksum failed.
-		for len(idle) > 0 && len(pending) > 0 {
-			j := pending[0]
-			pick := -1
-			for k, b := range idle {
-				if b != j.exclude {
-					pick = k
-					break
-				}
+	h := sched.Hooks{
+		// Do computes one chunk on a board. Each chunk index is in
+		// flight at most once, so the parts slot is raced by nobody;
+		// the scheduler's join publishes the writes to the master.
+		Do: func(actx context.Context, b int, tk sched.Task) error {
+			lo, hi := bounds(tk.Index)
+			score, i, jj, err := c.Devices[b].BestLocal(actx, s, t[lo:hi], sc)
+			if err == nil && score > 0 {
+				parts[tk.Index] = part{score: score, i: i, j: jj + lo} // global database coordinate
 			}
-			if pick < 0 {
-				if healthy() > 1 {
-					break // wait for a non-excluded board to free up
-				}
-				pick = 0 // the excluded board is the only one left
+			return err
+		},
+		Classify: func(b int, tk sched.Task, err error) sched.Decision {
+			lo, hi := bounds(tk.Index)
+			class, ok := classifyFailure(&rep, err,
+				c.Devices[b].Board.FaultRecoverySeconds(hi-lo),
+				pol.ChunkTimeout.Seconds())
+			if !ok {
+				// A genuine device condition (e.g. score-register
+				// saturation) would fail identically anywhere: abort.
+				return sched.Decision{Abort: true}
 			}
-			b := idle[pick]
-			idle = append(idle[:pick], idle[pick+1:]...)
-			pending = pending[1:]
-			if j.lastBoard >= 0 && j.lastBoard != b {
+			return sched.Decision{
+				// Permanent board deaths quarantine immediately; checksum
+				// failures prefer a different board on retry.
+				Quarantine:  class == faults.Dead,
+				AvoidWorker: class == faults.BitFlip,
+			}
+		},
+		OnAssign: func(b int, tk sched.Task) {
+			if tk.LastWorker >= 0 && tk.LastWorker != b {
 				rep.Redispatches++
 				telemetry.Redispatches.Inc()
 			}
-			launch(b, j)
-		}
-		if inflight == 0 {
-			break // no healthy board can take the remaining chunks
-		}
-		r := <-resCh
-		inflight--
-		if r.err == nil {
-			parts[r.job.idx] = r.p
-			done[r.job.idx] = true
-			completed++
-			consec[r.board] = 0
-			idle = append(idle, r.board)
-			continue
-		}
-
-		// Classify the failed attempt.
-		class, ok := classifyFailure(&rep, r.err,
-			c.Devices[r.board].Board.FaultRecoverySeconds(r.job.hi-r.job.lo),
-			pol.ChunkTimeout.Seconds())
-		if !ok {
-			if ctx.Err() != nil {
-				return 0, 0, 0, rep, ctx.Err()
-			}
-			// A genuine device condition (e.g. score-register
-			// saturation) would fail identically anywhere: abort.
-			return 0, 0, 0, rep, r.err
-		}
-
-		// Per-board circuit breaker.
-		consec[r.board]++
-		if class == faults.Dead || consec[r.board] >= pol.QuarantineAfter {
-			if !quarantined[r.board] {
-				quarantined[r.board] = true
-				rep.Quarantined = append(rep.Quarantined, r.board)
-				telemetry.Quarantines.Inc()
-				span.Event(fmt.Sprintf("board %d quarantined after %s", r.board, class))
-			}
-		} else {
-			idle = append(idle, r.board)
-		}
-
-		// Bounded retry with exponential backoff; checksum failures
-		// re-dispatch to a different board when one exists.
-		if r.job.attempt < pol.MaxRetries {
+		},
+		OnRetry: func(tk sched.Task, err error) {
 			rep.Retries++
 			telemetry.Retries.Inc()
-			next := r.job
-			next.attempt++
-			next.lastBoard = r.board
-			next.exclude = -1
-			if class == faults.BitFlip {
-				next.exclude = r.board
-			}
-			next.backoff = pol.backoffFor(next.attempt)
-			rep.ModeledRetrySeconds += next.backoff.Seconds()
-			pending = append(pending, next)
-			continue
-		}
-		if pol.DisableFallback {
-			return 0, 0, 0, rep, fmt.Errorf("host: chunk %d failed after %d retries: %w",
-				r.job.idx, pol.MaxRetries, r.err)
-		}
-		software(r.job)
+			rep.ModeledRetrySeconds += tk.Backoff.Seconds()
+		},
+		OnQuarantine: func(b int, err error) {
+			rep.Quarantined = append(rep.Quarantined, b)
+			telemetry.Quarantines.Inc()
+			span.Event(fmt.Sprintf("board %d quarantined after %s", b, faults.ClassOf(err)))
+		},
 	}
-
-	// Chunks no healthy board could take complete on the host.
-	if completed < chunks {
-		if pol.DisableFallback {
-			return 0, 0, 0, rep, fmt.Errorf("host: %d chunk(s) undispatchable: all boards quarantined",
-				chunks-completed)
+	if !pol.DisableFallback {
+		h.Fallback = software
+	}
+	err = sched.Run(ctx, chunks, sched.Config{
+		Workers:         len(c.Devices),
+		MaxRetries:      pol.MaxRetries,
+		Backoff:         pol.Backoff,
+		QuarantineAfter: pol.QuarantineAfter,
+		AttemptTimeout:  pol.ChunkTimeout,
+	}, h)
+	if err != nil {
+		var ex *sched.ExhaustedError
+		var un *sched.UndispatchableError
+		switch {
+		case errors.As(err, &ex):
+			err = fmt.Errorf("host: chunk %d failed after %d retries: %w",
+				ex.Task.Index, pol.MaxRetries, ex.Err)
+		case errors.As(err, &un):
+			err = fmt.Errorf("host: %d chunk(s) undispatchable: all boards quarantined",
+				un.Remaining)
 		}
-		for _, j := range pending {
-			software(j)
-		}
-		for idx := range done {
-			if !done[idx] {
-				// An in-flight-failed chunk re-collected above covers
-				// this; defensive completeness for any dropped job.
-				lo := idx * chunk
-				hi := lo + chunk + overlap
-				if hi > len(t) {
-					hi = len(t)
-				}
-				software(chunkJob{idx: idx, lo: lo, hi: hi})
-			}
-		}
+		return 0, 0, 0, rep, err
 	}
 
 	best := mergeParts(parts)
@@ -455,68 +334,57 @@ func (c *Cluster) record(rep FaultReport) {
 }
 
 // anchoredResilient runs the reverse (anchored) scan on a healthy
-// board, retrying across boards on transient faults and degrading to
-// the software scanner when none succeeds. Activity is recorded into
-// rev; the caller merges it into the run's report.
+// board, rotating across boards on transient faults (sched.RunOne) and
+// degrading to the software scanner when none succeeds. Activity is
+// recorded into rev; the caller merges it into the run's report.
 func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.LinearScoring, rev *FaultReport) (int, int, int, error) {
 	pol := c.Policy.withDefaults()
 	ctx, span := telemetry.StartSpan(ctx, "cluster.reverse")
 	span.SetInt("bases", int64(len(t)))
 	defer span.End()
-	quarantined := make([]bool, len(c.Devices))
-	consec := make([]int, len(c.Devices))
-	attempts := 0
-	budget := (pol.MaxRetries + 1) * len(c.Devices)
-	for b := 0; attempts < budget; b = (b + 1) % len(c.Devices) {
-		if quarantined[b] {
-			if allTrue(quarantined) {
-				break
+	var score, i, j int
+	err := sched.RunOne(ctx, sched.Config{
+		Workers:         len(c.Devices),
+		MaxRetries:      pol.MaxRetries,
+		QuarantineAfter: pol.QuarantineAfter,
+		AttemptTimeout:  pol.ChunkTimeout,
+	}, sched.RotateHooks{
+		Do: func(actx context.Context, b int) error {
+			var derr error
+			score, i, j, derr = c.Devices[b].BestAnchored(actx, s, t, sc)
+			return derr
+		},
+		Classify: func(b int, derr error) sched.Decision {
+			class, ok := classifyFailure(rev, derr,
+				c.Devices[b].Board.FaultRecoverySeconds(len(t)),
+				pol.ChunkTimeout.Seconds())
+			if !ok {
+				return sched.Decision{Abort: true}
 			}
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return 0, 0, 0, err
-		}
-		attempts++
-		cctx := ctx
-		cancel := func() {}
-		if pol.ChunkTimeout > 0 {
-			cctx, cancel = context.WithTimeout(ctx, pol.ChunkTimeout)
-		}
-		score, i, j, err := c.Devices[b].BestAnchoredCtx(cctx, s, t, sc)
-		cancel()
-		if err == nil {
-			return score, i, j, nil
-		}
-		class, ok := classifyFailure(rev, err,
-			c.Devices[b].Board.FaultRecoverySeconds(len(t)),
-			pol.ChunkTimeout.Seconds())
-		if !ok {
-			if ctx.Err() != nil {
-				return 0, 0, 0, ctx.Err()
-			}
-			return 0, 0, 0, err
-		}
-		rev.Retries++
-		telemetry.Retries.Inc()
-		consec[b]++
-		if class == faults.Dead || consec[b] >= pol.QuarantineAfter {
-			if !quarantined[b] {
-				quarantined[b] = true
-				rev.Quarantined = append(rev.Quarantined, b)
-				telemetry.Quarantines.Inc()
-				span.Event(fmt.Sprintf("board %d quarantined after %s", b, class))
-			}
-			if allTrue(quarantined) {
-				break
-			}
-		}
+			// The reverse scan is indivisible: every classified failure
+			// is another attempt at the same task.
+			rev.Retries++
+			telemetry.Retries.Inc()
+			return sched.Decision{Quarantine: class == faults.Dead}
+		},
+		OnQuarantine: func(b int, derr error) {
+			rev.Quarantined = append(rev.Quarantined, b)
+			telemetry.Quarantines.Inc()
+			span.Event(fmt.Sprintf("board %d quarantined after %s", b, faults.ClassOf(derr)))
+		},
+	})
+	if err == nil {
+		return score, i, j, nil
+	}
+	var ex *sched.ExhaustedError
+	if !errors.As(err, &ex) {
+		return 0, 0, 0, err // aborted: context or hard device error
 	}
 	if pol.DisableFallback {
 		return 0, 0, 0, fmt.Errorf("host: reverse scan found no healthy board")
 	}
 	t0 := time.Now()
-	score, i, j, err := linear.ScanSoftware{}.BestAnchored(s, t, sc)
+	score, i, j, err = linear.ScanSoftware{}.BestAnchored(context.Background(), s, t, sc)
 	dt := time.Since(t0).Seconds()
 	rev.SoftwareSeconds += dt
 	telemetry.HostSeconds.Add(dt)
@@ -528,13 +396,4 @@ func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.L
 	}
 	span.Event("reverse scan degraded to software")
 	return score, i, j, err
-}
-
-func allTrue(v []bool) bool {
-	for _, b := range v {
-		if !b {
-			return false
-		}
-	}
-	return true
 }

@@ -231,26 +231,17 @@ func (d *Device) charge(res systolic.Result, m, n int, span *telemetry.Span) {
 	span.End()
 }
 
-// BestLocal implements linear.Scanner on the accelerator.
-func (d *Device) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return d.BestLocalCtx(context.Background(), s, t, sc)
-}
-
-// BestLocalCtx is BestLocal with cancellation: the scan is not started
-// once ctx is done, and a hung board blocks only until the deadline.
-func (d *Device) BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+// BestLocal implements linear.Scanner on the accelerator, with
+// cancellation: the scan is not started once ctx is done, and a hung
+// board blocks only until the deadline.
+func (d *Device) BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	res, err := d.run(ctx, s, t, sc, false, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
 
 // BestAnchored implements linear.Scanner on the accelerator using the
 // anchored datapath variant (see systolic.Config.Anchored).
-func (d *Device) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return d.BestAnchoredCtx(context.Background(), s, t, sc)
-}
-
-// BestAnchoredCtx is BestAnchored with cancellation.
-func (d *Device) BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (d *Device) BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	res, err := d.run(ctx, s, t, sc, true, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
@@ -258,8 +249,8 @@ func (d *Device) BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.Line
 // BestAnchoredDivergence implements linear.DivergenceScanner: the
 // anchored scan with the Z-align divergence registers enabled, so the
 // accelerator also reports the retrieval band.
-func (d *Device) BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
-	res, err := d.run(context.Background(), s, t, sc, true, true)
+func (d *Device) BestAnchoredDivergence(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
+	res, err := d.run(ctx, s, t, sc, true, true)
 	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
 }
 
@@ -298,15 +289,15 @@ func (d *Device) runAffine(ctx context.Context, s, t []byte, sc align.AffineScor
 }
 
 // BestAffineLocal implements linear.AffineScanner on the Gotoh array.
-func (d *Device) BestAffineLocal(s, t []byte, sc align.AffineScoring) (int, int, int, error) {
-	res, err := d.runAffine(context.Background(), s, t, sc, false, false)
+func (d *Device) BestAffineLocal(ctx context.Context, s, t []byte, sc align.AffineScoring) (int, int, int, error) {
+	res, err := d.runAffine(ctx, s, t, sc, false, false)
 	return res.Score, res.EndI, res.EndJ, err
 }
 
 // BestAffineAnchoredDivergence implements linear.AffineScanner: the
 // anchored Gotoh datapath with divergence registers.
-func (d *Device) BestAffineAnchoredDivergence(s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
-	res, err := d.runAffine(context.Background(), s, t, sc, true, true)
+func (d *Device) BestAffineAnchoredDivergence(ctx context.Context, s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
+	res, err := d.runAffine(ctx, s, t, sc, true, true)
 	return res.Score, res.EndI, res.EndJ, res.InfDiv, res.SupDiv, err
 }
 
@@ -363,7 +354,7 @@ func PipelineCtx(ctx context.Context, d *Device, s, t []byte, sc align.LinearSco
 	before := d.Metrics
 	var rep Report
 	// Phase 1: end coordinates, on the accelerator.
-	score, endI, endJ, err := d.BestLocalCtx(ctx, s, t, sc)
+	score, endI, endJ, err := d.BestLocal(ctx, s, t, sc)
 	if err != nil {
 		return Report{}, fmt.Errorf("host: forward scan: %w", err)
 	}
@@ -372,7 +363,7 @@ func PipelineCtx(ctx context.Context, d *Device, s, t []byte, sc align.LinearSco
 	if score > 0 {
 		// Phase 2: start coordinates, on the accelerator over the
 		// reversed prefixes ending at (endI, endJ).
-		revScore, revI, revJ, err := d.BestAnchoredCtx(ctx, seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
+		revScore, revI, revJ, err := d.BestAnchored(ctx, seq.Reverse(s[:endI]), seq.Reverse(t[:endJ]), sc)
 		if err != nil {
 			return Report{}, fmt.Errorf("host: reverse scan: %w", err)
 		}

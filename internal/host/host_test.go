@@ -1,6 +1,7 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,11 +38,11 @@ func TestDeviceMatchesSoftwareScanner(t *testing.T) {
 			var ds, di, dj, ss, si, sj int
 			var derr, serr error
 			if anchored {
-				ds, di, dj, derr = d.BestAnchored(q, db, sc)
-				ss, si, sj, serr = soft.BestAnchored(q, db, sc)
+				ds, di, dj, derr = d.BestAnchored(context.Background(), q, db, sc)
+				ss, si, sj, serr = soft.BestAnchored(context.Background(), q, db, sc)
 			} else {
-				ds, di, dj, derr = d.BestLocal(q, db, sc)
-				ss, si, sj, serr = soft.BestLocal(q, db, sc)
+				ds, di, dj, derr = d.BestLocal(context.Background(), q, db, sc)
+				ss, si, sj, serr = soft.BestLocal(context.Background(), q, db, sc)
 			}
 			if derr != nil || serr != nil {
 				t.Fatal(derr, serr)
@@ -58,7 +59,7 @@ func TestDeviceAccumulatesMetrics(t *testing.T) {
 	d := NewDevice()
 	q := []byte("TATGGAC")
 	db := []byte("TAGTGACT")
-	if _, _, _, err := d.BestLocal(q, db, align.DefaultLinear()); err != nil {
+	if _, _, _, err := d.BestLocal(context.Background(), q, db, align.DefaultLinear()); err != nil {
 		t.Fatal(err)
 	}
 	m := d.Metrics
@@ -71,7 +72,7 @@ func TestDeviceAccumulatesMetrics(t *testing.T) {
 	if m.BytesOut != fpga.ResultBytes {
 		t.Errorf("bytes out = %d, want %d", m.BytesOut, fpga.ResultBytes)
 	}
-	if _, _, _, err := d.BestLocal(q, db, align.DefaultLinear()); err != nil {
+	if _, _, _, err := d.BestLocal(context.Background(), q, db, align.DefaultLinear()); err != nil {
 		t.Fatal(err)
 	}
 	if d.Metrics.Calls != 2 || d.Metrics.Cells != 112 {
@@ -93,7 +94,7 @@ func TestPipelineMatchesSoftwareLocal(t *testing.T) {
 		if err != nil {
 			t.Fatalf("pipeline(%s,%s): %v", q, db, err)
 		}
-		want, _, err := linear.Local(q, db, sc, nil)
+		want, _, err := linear.Local(context.Background(), q, db, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,14 +208,14 @@ func TestNearBestOnDevice(t *testing.T) {
 	seq.PlantMotif(db, motif, 100)
 	seq.PlantMotif(db, motif, 400)
 	d := NewDevice()
-	hits, err := linear.NearBest(s, db, align.DefaultLinear(), 2, 15, d)
+	hits, err := linear.NearBest(context.Background(), s, db, align.DefaultLinear(), 2, 15, d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 2 {
 		t.Fatalf("got %d hits, want 2", len(hits))
 	}
-	wantHits, err := linear.NearBest(s, db, align.DefaultLinear(), 2, 15, nil)
+	wantHits, err := linear.NearBest(context.Background(), s, db, align.DefaultLinear(), 2, 15, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,11 +257,11 @@ func TestRestrictedPipelineOnDevice(t *testing.T) {
 		db := randDNA(rng, 1+rng.Intn(70))
 		d := NewDevice()
 		d.Array.Elements = 16
-		hw, hwInfo, err := linear.LocalRestricted(q, db, sc, d)
+		hw, hwInfo, err := linear.LocalRestricted(context.Background(), q, db, sc, d)
 		if err != nil {
 			t.Fatalf("hardware restricted(%s,%s): %v", q, db, err)
 		}
-		sw, _, err := linear.LocalRestricted(q, db, sc, nil)
+		sw, _, err := linear.LocalRestricted(context.Background(), q, db, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -287,7 +288,7 @@ func TestRestrictedPipelineHomologOnDevice(t *testing.T) {
 	}
 	sc := align.DefaultLinear()
 	d := NewDevice()
-	r, info, err := linear.LocalRestricted(a, b, sc, d)
+	r, info, err := linear.LocalRestricted(context.Background(), a, b, sc, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestBatchScanResultsMatchSingles(t *testing.T) {
 	// The batch uploads the query once; the naive path pays it per call.
 	naive := NewDevice()
 	for _, rec := range records {
-		if _, _, _, err := naive.BestLocal(query, rec, sc); err != nil {
+		if _, _, _, err := naive.BestLocal(context.Background(), query, rec, sc); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -369,11 +370,11 @@ func TestAffineRestrictedPipelineOnDevice(t *testing.T) {
 		db := randDNA(rng, 1+rng.Intn(60))
 		d := NewDevice()
 		d.Array.Elements = 16
-		hw, _, err := linear.LocalAffineRestricted(q, db, sc, d)
+		hw, _, err := linear.LocalAffineRestricted(context.Background(), q, db, sc, d)
 		if err != nil {
 			t.Fatalf("hardware affine restricted(%s,%s): %v", q, db, err)
 		}
-		sw, _, err := linear.LocalAffineRestricted(q, db, sc, nil)
+		sw, _, err := linear.LocalAffineRestricted(context.Background(), q, db, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -398,7 +399,7 @@ func TestAffineRestrictedHomologOnDevice(t *testing.T) {
 	}
 	sc := align.DefaultAffine()
 	d := NewDevice()
-	r, info, err := linear.LocalAffineRestricted(a, b, sc, d)
+	r, info, err := linear.LocalAffineRestricted(context.Background(), a, b, sc, d)
 	if err != nil {
 		t.Fatal(err)
 	}

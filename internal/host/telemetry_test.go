@@ -80,6 +80,18 @@ func TestPipelineGoldenTrace(t *testing.T) {
 
 // TestClusterTraceRecordsFaultEvents checks the fault path shows up in
 // the trace as events, not just counters.
+//
+// Telemetry ownership after the engine/sched extraction — the chunk
+// dispatch loop moved into internal/engine/sched, but the scheduler
+// itself emits nothing: every span and metric stays booked in this
+// package's hooks, so the names observers scrape are unchanged.
+//
+//	old (inline master loop)        new (sched hook)         name, unchanged
+//	per-chunk retry bookkeeping  →  Hooks.OnRetry            swfpga_chunk_retries_total
+//	redispatch-on-new-board      →  Hooks.OnAssign           swfpga_chunk_redispatches_total
+//	quarantine + span event      →  Hooks.OnQuarantine       swfpga_board_quarantines_total
+//	fault classification         →  Hooks.Classify           swfpga_chunk_failures_total{class}
+//	scan/reverse spans           →  around sched.Run/RunOne  cluster.scan, cluster.reverse
 func TestClusterTraceRecordsFaultEvents(t *testing.T) {
 	telemetry.Default().Reset()
 	var buf bytes.Buffer

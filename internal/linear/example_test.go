@@ -1,6 +1,7 @@
 package linear_test
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/align"
@@ -12,7 +13,7 @@ import (
 func ExampleLocal() {
 	s := []byte("TATGGAC")
 	t := []byte("TAGTGACT")
-	r, phases, err := linear.Local(s, t, align.DefaultLinear(), nil)
+	r, phases, err := linear.Local(context.Background(), s, t, align.DefaultLinear(), nil)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"testing"
 
 	"swfpga/internal/align"
@@ -19,11 +20,11 @@ func FuzzLinearPipelines(f *testing.F) {
 		sc := align.DefaultLinear()
 		want, _, _ := align.LocalScore(s, u, sc)
 
-		r1, _, err := Local(s, u, sc, nil)
+		r1, _, err := Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, _, err := LocalRestricted(s, u, sc, nil)
+		r2, _, err := LocalRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func FuzzAffineRestricted(f *testing.F) {
 		s := mapDNA(data[:cut])
 		u := mapDNA(data[cut:])
 		sc := align.DefaultAffine()
-		r, _, err := LocalAffineRestricted(s, u, sc, nil)
+		r, _, err := LocalAffineRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -26,58 +26,29 @@ type Phases struct {
 }
 
 // Scanner is the score+coordinates engine used for the two scan phases.
-// The software implementation is ScanSoftware; internal/host provides an
-// accelerator-backed one.
+// Every method takes the caller's context: engines that support
+// cancellation (the simulated accelerator board, the cluster) honor it
+// mid-scan, and plain software engines check it at entry — there is no
+// separate ctx-less interface anymore. The software implementation is
+// ScanSoftware; internal/engine provides the accelerator-backed ones.
 type Scanner interface {
 	// BestLocal returns the best local score and its 1-based end
 	// coordinates over the similarity matrix of s (query) and t
 	// (database). Errors are device conditions (e.g. score-register
-	// saturation on an accelerator); the software scanner never fails.
-	BestLocal(s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
+	// saturation on an accelerator) or context cancellation; the
+	// software scanner fails only on a cancelled context.
+	BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
 	// BestAnchored returns the best score and 1-based end coordinates of
 	// alignments anchored at (0,0) (used for the reverse phase).
-	BestAnchored(s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
+	BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
 }
 
-// ScannerCtx is the optional context-aware extension of Scanner:
-// engines that support cancellation and telemetry (the simulated
-// accelerator board and the fault-tolerant cluster) implement it, and
-// the ...Ctx pipeline entry points thread the caller's context through
-// this seam so spans nest and cancellation reaches a scan in flight.
-type ScannerCtx interface {
-	Scanner
-	// BestLocalCtx is BestLocal under ctx.
-	BestLocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
-	// BestAnchoredCtx is BestAnchored under ctx.
-	BestAnchoredCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ int, err error)
-}
-
-// boundScanner adapts a ScannerCtx back to the plain Scanner seam with
-// a fixed context, so the ctx-less pipeline internals stay unchanged.
-type boundScanner struct {
-	ctx context.Context
-	s   ScannerCtx
-}
-
-func (b boundScanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return b.s.BestLocalCtx(b.ctx, s, t, sc)
-}
-
-func (b boundScanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
-	return b.s.BestAnchoredCtx(b.ctx, s, t, sc)
-}
-
-// withCtx binds ctx into scanner when the engine supports it; plain
-// scanners (e.g. ScanSoftware) pass through untouched.
-func withCtx(ctx context.Context, scanner Scanner) Scanner {
-	if scanner == nil {
-		return nil
-	}
-	if cs, ok := scanner.(ScannerCtx); ok {
-		return boundScanner{ctx: ctx, s: cs}
-	}
-	return scanner
-}
+// ScannerCtx is a deprecated alias for Scanner, kept so code written
+// against the pre-unification seam keeps compiling. Scanner itself is
+// context-aware now.
+//
+// Deprecated: use Scanner.
+type ScannerCtx = Scanner
 
 // DivergenceScanner extends Scanner with the divergence-tracking
 // reverse scan of the Z-align pipeline (paper sec. 2.4, reference [3]):
@@ -88,7 +59,7 @@ type DivergenceScanner interface {
 	Scanner
 	// BestAnchoredDivergence returns the anchored best plus the path's
 	// divergence extrema.
-	BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (score, endI, endJ, infDiv, supDiv int, err error)
+	BestAnchoredDivergence(ctx context.Context, s, t []byte, sc align.LinearScoring) (score, endI, endJ, infDiv, supDiv int, err error)
 }
 
 // AffineScanner is the affine-gap counterpart of DivergenceScanner: the
@@ -96,56 +67,73 @@ type DivergenceScanner interface {
 type AffineScanner interface {
 	// BestAffineLocal returns the best Gotoh local score and its end
 	// coordinates.
-	BestAffineLocal(s, t []byte, sc align.AffineScoring) (score, endI, endJ int, err error)
+	BestAffineLocal(ctx context.Context, s, t []byte, sc align.AffineScoring) (score, endI, endJ int, err error)
 	// BestAffineAnchoredDivergence returns the anchored affine best with
 	// the optimal path's divergence extrema.
-	BestAffineAnchoredDivergence(s, t []byte, sc align.AffineScoring) (score, endI, endJ, infDiv, supDiv int, err error)
+	BestAffineAnchoredDivergence(ctx context.Context, s, t []byte, sc align.AffineScoring) (score, endI, endJ, infDiv, supDiv int, err error)
 }
 
 // ScanSoftware is the pure-software Scanner: the optimized linear-memory
-// scans of internal/align.
+// scans of internal/align. Context is checked once at entry — a
+// software scan runs to completion once started.
 type ScanSoftware struct{}
 
 // BestLocal implements Scanner.
-func (ScanSoftware) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (ScanSoftware) BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	score, i, j := align.LocalScore(s, t, sc)
 	return score, i, j, nil
 }
 
 // BestAnchored implements Scanner.
-func (ScanSoftware) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (ScanSoftware) BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	score, i, j := align.AnchoredBest(s, t, sc)
 	return score, i, j, nil
 }
 
 // BestAnchoredDivergence implements DivergenceScanner.
-func (ScanSoftware) BestAnchoredDivergence(s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
+func (ScanSoftware) BestAnchoredDivergence(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
 	score, i, j, inf, sup := align.AnchoredBestDivergence(s, t, sc)
 	return score, i, j, inf, sup, nil
 }
 
 // BestAffineLocal implements AffineScanner.
-func (ScanSoftware) BestAffineLocal(s, t []byte, sc align.AffineScoring) (int, int, int, error) {
+func (ScanSoftware) BestAffineLocal(ctx context.Context, s, t []byte, sc align.AffineScoring) (int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	score, i, j := align.AffineLocalScore(s, t, sc)
 	return score, i, j, nil
 }
 
 // BestAffineAnchoredDivergence implements AffineScanner.
-func (ScanSoftware) BestAffineAnchoredDivergence(s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
+func (ScanSoftware) BestAffineAnchoredDivergence(ctx context.Context, s, t []byte, sc align.AffineScoring) (int, int, int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, 0, 0, err
+	}
 	score, i, j, inf, sup := align.AffineAnchoredBestDivergence(s, t, sc)
 	return score, i, j, inf, sup, nil
 }
 
 // Local computes the best local alignment of s and t in linear memory
 // using the three-phase method of paper sec. 2.3, with both scan phases
-// executed by scanner. The returned Result carries a full transcript.
-func Local(s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, Phases, error) {
+// executed by scanner under ctx. The returned Result carries a full
+// transcript.
+func Local(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, Phases, error) {
 	var ph Phases
 	if scanner == nil {
 		scanner = ScanSoftware{}
 	}
 	// Phase 1: forward scan of the whole matrix for the end coordinates.
-	score, endI, endJ, err := scanner.BestLocal(s, t, sc)
+	score, endI, endJ, err := scanner.BestLocal(ctx, s, t, sc)
 	if err != nil {
 		return align.Result{}, ph, fmt.Errorf("linear: forward scan: %w", err)
 	}
@@ -158,7 +146,7 @@ func Local(s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, 
 	// anchored at the end cell, to find where the alignment begins.
 	sRev := seq.Reverse(s[:endI])
 	tRev := seq.Reverse(t[:endJ])
-	revScore, revI, revJ, err := scanner.BestAnchored(sRev, tRev, sc)
+	revScore, revI, revJ, err := scanner.BestAnchored(ctx, sRev, tRev, sc)
 	if err != nil {
 		return align.Result{}, ph, fmt.Errorf("linear: reverse scan: %w", err)
 	}
@@ -187,26 +175,21 @@ func Local(s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, 
 	return r, ph, nil
 }
 
-// LocalCtx is Local with the caller's context threaded through the
-// scanner seam (cancellation and telemetry reach context-aware
-// engines; plain scanners behave exactly as under Local).
+// LocalCtx is a deprecated alias for Local, which now takes the context
+// directly.
+//
+// Deprecated: use Local.
 func LocalCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (align.Result, Phases, error) {
-	return Local(s, t, sc, withCtx(ctx, scanner))
-}
-
-// LocalScoreOnlyCtx is LocalScoreOnly with the caller's context
-// threaded through the scanner seam.
-func LocalScoreOnlyCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (Phases, error) {
-	return LocalScoreOnly(s, t, sc, withCtx(ctx, scanner))
+	return Local(ctx, s, t, sc, scanner)
 }
 
 // LocalScoreOnly runs only phase 1 and reports the score and end
 // coordinates — precisely the paper's FPGA output contract.
-func LocalScoreOnly(s, t []byte, sc align.LinearScoring, scanner Scanner) (Phases, error) {
+func LocalScoreOnly(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (Phases, error) {
 	if scanner == nil {
 		scanner = ScanSoftware{}
 	}
-	score, endI, endJ, err := scanner.BestLocal(s, t, sc)
+	score, endI, endJ, err := scanner.BestLocal(ctx, s, t, sc)
 	if err != nil {
 		return Phases{}, err
 	}
@@ -214,4 +197,12 @@ func LocalScoreOnly(s, t []byte, sc align.LinearScoring, scanner Scanner) (Phase
 		Score: score, EndI: endI, EndJ: endJ,
 		Cells: uint64(len(s)) * uint64(len(t)),
 	}, nil
+}
+
+// LocalScoreOnlyCtx is a deprecated alias for LocalScoreOnly, which now
+// takes the context directly.
+//
+// Deprecated: use LocalScoreOnly.
+func LocalScoreOnlyCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner Scanner) (Phases, error) {
+	return LocalScoreOnly(ctx, s, t, sc, scanner)
 }

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -18,9 +19,9 @@ func TestLocalMatchesQuadratic(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		s := randDNA(rng, rng.Intn(50))
 		u := randDNA(rng, rng.Intn(50))
-		r, ph, err := Local(s, u, sc, nil)
+		r, ph, err := Local(context.Background(), s, u, sc, nil)
 		if err != nil {
-			t.Fatalf("Local(%s,%s): %v", s, u, err)
+			t.Fatalf("Local(context.Background(), %s,%s): %v", s, u, err)
 		}
 		want := align.LocalAlign(s, u, sc)
 		if r.Score != want.Score {
@@ -48,7 +49,7 @@ func TestLocalPhaseCoordinatesConsistent(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		s := randDNA(rng, 1+rng.Intn(60))
 		u := randDNA(rng, 1+rng.Intn(60))
-		_, ph, err := Local(s, u, sc, nil)
+		_, ph, err := Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,11 +65,11 @@ func TestLocalPhaseCoordinatesConsistent(t *testing.T) {
 
 func TestLocalEmptyAndHopeless(t *testing.T) {
 	sc := align.DefaultLinear()
-	r, ph, err := Local(nil, []byte("ACGT"), sc, nil)
+	r, ph, err := Local(context.Background(), nil, []byte("ACGT"), sc, nil)
 	if err != nil || r.Score != 0 || ph.Score != 0 {
 		t.Errorf("empty query: %+v %+v %v", r, ph, err)
 	}
-	r, _, err = Local([]byte("AAAA"), []byte("TTTT"), sc, nil)
+	r, _, err = Local(context.Background(), []byte("AAAA"), []byte("TTTT"), sc, nil)
 	if err != nil || r.Score != 0 {
 		t.Errorf("hopeless: %+v %v", r, err)
 	}
@@ -82,7 +83,7 @@ func TestLocalPlantedMotifCoordinates(t *testing.T) {
 	seq.PlantMotif(s, motif, 100)
 	seq.PlantMotif(u, motif, 300)
 	sc := align.DefaultLinear()
-	r, _, err := Local(s, u, sc, nil)
+	r, _, err := Local(context.Background(), s, u, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestLocalPlantedMotifCoordinates(t *testing.T) {
 func TestLocalScoreOnlyMatchesScan(t *testing.T) {
 	s := []byte("TATGGAC")
 	u := []byte("TAGTGACT")
-	ph, err := LocalScoreOnly(s, u, align.DefaultLinear(), nil)
+	ph, err := LocalScoreOnly(context.Background(), s, u, align.DefaultLinear(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestLocalProperty(t *testing.T) {
 	f := func(rawS, rawT []byte) bool {
 		s := mapDNA(rawS)
 		u := mapDNA(rawT)
-		r, _, err := Local(s, u, sc, nil)
+		r, _, err := Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			return false
 		}
@@ -136,7 +137,7 @@ func TestLocalHomologousLarge(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := align.DefaultLinear()
-	r, _, err := Local(a, b, sc, nil)
+	r, _, err := Local(context.Background(), a, b, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

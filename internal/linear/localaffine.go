@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/align"
@@ -55,7 +56,7 @@ func LocalAffine(s, t []byte, sc align.AffineScoring) (align.Result, Phases, err
 // divergences and the alignment is recovered by a banded affine global
 // alignment inside them — the exact configuration the paper's intro
 // cites (affine-gap megabase comparisons in user-restricted memory).
-func LocalAffineRestricted(s, t []byte, sc align.AffineScoring, scanner AffineScanner) (align.Result, RestrictedInfo, error) {
+func LocalAffineRestricted(ctx context.Context, s, t []byte, sc align.AffineScoring, scanner AffineScanner) (align.Result, RestrictedInfo, error) {
 	var info RestrictedInfo
 	if err := sc.Validate(); err != nil {
 		return align.Result{}, info, err
@@ -63,7 +64,7 @@ func LocalAffineRestricted(s, t []byte, sc align.AffineScoring, scanner AffineSc
 	if scanner == nil {
 		scanner = ScanSoftware{}
 	}
-	score, endI, endJ, err := scanner.BestAffineLocal(s, t, sc)
+	score, endI, endJ, err := scanner.BestAffineLocal(ctx, s, t, sc)
 	if err != nil {
 		return align.Result{}, info, fmt.Errorf("linear: affine forward scan: %w", err)
 	}
@@ -74,7 +75,7 @@ func LocalAffineRestricted(s, t []byte, sc align.AffineScoring, scanner AffineSc
 	}
 	sRev := seq.Reverse(s[:endI])
 	tRev := seq.Reverse(t[:endJ])
-	revScore, revI, revJ, infR, supR, err := scanner.BestAffineAnchoredDivergence(sRev, tRev, sc)
+	revScore, revI, revJ, infR, supR, err := scanner.BestAffineAnchoredDivergence(ctx, sRev, tRev, sc)
 	if err != nil {
 		return align.Result{}, info, fmt.Errorf("linear: affine reverse scan: %w", err)
 	}

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -122,9 +123,9 @@ func TestLocalAffineRestrictedMatchesQuadratic(t *testing.T) {
 	for trial := 0; trial < 120; trial++ {
 		s := randDNA(rng, rng.Intn(50))
 		u := randDNA(rng, rng.Intn(50))
-		r, info, err := LocalAffineRestricted(s, u, sc, nil)
+		r, info, err := LocalAffineRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
-			t.Fatalf("LocalAffineRestricted(%s,%s): %v", s, u, err)
+			t.Fatalf("LocalAffineRestricted(context.Background(), %s,%s): %v", s, u, err)
 		}
 		want, _, _ := align.AffineLocalScore(s, u, sc)
 		if r.Score != want {
@@ -153,7 +154,7 @@ func TestLocalAffineRestrictedNarrowBandHomologs(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := align.DefaultAffine()
-	r, info, err := LocalAffineRestricted(a, b, sc, nil)
+	r, info, err := LocalAffineRestricted(context.Background(), a, b, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,10 +7,12 @@ import (
 	"swfpga/internal/align"
 )
 
-// NearBestCtx is NearBest with the caller's context threaded through
-// the scanner seam (see ScannerCtx).
+// NearBestCtx is a deprecated alias for NearBest, which now takes the
+// context directly.
+//
+// Deprecated: use NearBest.
 func NearBestCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scanner) ([]align.Result, error) {
-	return NearBest(s, t, sc, k, minScore, withCtx(ctx, scanner))
+	return NearBest(ctx, s, t, sc, k, minScore, scanner)
 }
 
 // NearBest finds up to k local alignments that do not overlap in the
@@ -23,7 +25,7 @@ func NearBestCtx(ctx context.Context, s, t []byte, sc align.LinearScoring, k, mi
 // score inside it, and windows are expanded best-first, so the i-th
 // result is the true i-th best non-overlapping alignment under this
 // splitting scheme. Memory stays linear throughout.
-func NearBest(s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scanner) ([]align.Result, error) {
+func NearBest(ctx context.Context, s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scanner) ([]align.Result, error) {
 	if k <= 0 {
 		return nil, nil
 	}
@@ -38,7 +40,7 @@ func NearBest(s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scan
 		if hi-lo == 0 {
 			return nil
 		}
-		score, _, _, err := scanner.BestLocal(s, t[lo:hi], sc)
+		score, _, _, err := scanner.BestLocal(ctx, s, t[lo:hi], sc)
 		if err != nil {
 			return err
 		}
@@ -53,7 +55,7 @@ func NearBest(s, t []byte, sc align.LinearScoring, k, minScore int, scanner Scan
 	var out []align.Result
 	for wq.Len() > 0 && len(out) < k {
 		w := heap.Pop(&wq).(window)
-		r, _, err := Local(s, t[w.lo:w.hi], sc, scanner)
+		r, _, err := Local(ctx, s, t[w.lo:w.hi], sc, scanner)
 		if err != nil {
 			return nil, err
 		}

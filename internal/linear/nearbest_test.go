@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"testing"
 
 	"swfpga/internal/align"
@@ -19,7 +20,7 @@ func TestNearBestFindsPlantedCopies(t *testing.T) {
 		seq.PlantMotif(u, motif, pos)
 	}
 	sc := align.DefaultLinear()
-	hits, err := NearBest(s, u, sc, 3, 20, nil)
+	hits, err := NearBest(context.Background(), s, u, sc, 3, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestNearBestDescendingAndDisjoint(t *testing.T) {
 	s := g.Random(60)
 	u := g.Random(3000)
 	sc := align.DefaultLinear()
-	hits, err := NearBest(s, u, sc, 8, 5, nil)
+	hits, err := NearBest(context.Background(), s, u, sc, 8, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestNearBestFirstHitIsGlobalBest(t *testing.T) {
 	s := g.Random(40)
 	u := g.Random(800)
 	sc := align.DefaultLinear()
-	hits, err := NearBest(s, u, sc, 1, 1, nil)
+	hits, err := NearBest(context.Background(), s, u, sc, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,15 +85,15 @@ func TestNearBestFirstHitIsGlobalBest(t *testing.T) {
 
 func TestNearBestBoundsAndEmpty(t *testing.T) {
 	sc := align.DefaultLinear()
-	if hits, err := NearBest([]byte("ACGT"), []byte("ACGT"), sc, 0, 1, nil); err != nil || hits != nil {
+	if hits, err := NearBest(context.Background(), []byte("ACGT"), []byte("ACGT"), sc, 0, 1, nil); err != nil || hits != nil {
 		t.Errorf("k=0: %v %v", hits, err)
 	}
-	hits, err := NearBest([]byte("AAAA"), []byte("TTTT"), sc, 5, 1, nil)
+	hits, err := NearBest(context.Background(), []byte("AAAA"), []byte("TTTT"), sc, 5, 1, nil)
 	if err != nil || len(hits) != 0 {
 		t.Errorf("hopeless input: %v %v", hits, err)
 	}
 	// minScore below 1 is clamped: zero-score alignments are never reported.
-	hits, err = NearBest([]byte("AAAA"), []byte("TTTT"), sc, 5, -10, nil)
+	hits, err = NearBest(context.Background(), []byte("AAAA"), []byte("TTTT"), sc, 5, -10, nil)
 	if err != nil || len(hits) != 0 {
 		t.Errorf("clamped minScore: %v %v", hits, err)
 	}

@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/align"
@@ -29,13 +30,13 @@ type RestrictedInfo struct {
 // alignment restricted to those divergences — so retrieval memory is
 // proportional to the alignment's drift off its diagonal rather than to
 // the product of the sequence lengths.
-func LocalRestricted(s, t []byte, sc align.LinearScoring, scanner DivergenceScanner) (align.Result, RestrictedInfo, error) {
+func LocalRestricted(ctx context.Context, s, t []byte, sc align.LinearScoring, scanner DivergenceScanner) (align.Result, RestrictedInfo, error) {
 	var info RestrictedInfo
 	if scanner == nil {
 		scanner = ScanSoftware{}
 	}
 	// Phase 1: forward scan (same as Local).
-	score, endI, endJ, err := scanner.BestLocal(s, t, sc)
+	score, endI, endJ, err := scanner.BestLocal(ctx, s, t, sc)
 	if err != nil {
 		return align.Result{}, info, fmt.Errorf("linear: forward scan: %w", err)
 	}
@@ -47,7 +48,7 @@ func LocalRestricted(s, t []byte, sc align.LinearScoring, scanner DivergenceScan
 	// Phase 2: reverse scan with divergence tracking.
 	sRev := seq.Reverse(s[:endI])
 	tRev := seq.Reverse(t[:endJ])
-	revScore, revI, revJ, infR, supR, err := scanner.BestAnchoredDivergence(sRev, tRev, sc)
+	revScore, revI, revJ, infR, supR, err := scanner.BestAnchoredDivergence(ctx, sRev, tRev, sc)
 	if err != nil {
 		return align.Result{}, info, fmt.Errorf("linear: reverse scan: %w", err)
 	}

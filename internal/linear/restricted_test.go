@@ -1,6 +1,7 @@
 package linear
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -15,9 +16,9 @@ func TestLocalRestrictedMatchesQuadratic(t *testing.T) {
 	for trial := 0; trial < 150; trial++ {
 		s := randDNA(rng, rng.Intn(60))
 		u := randDNA(rng, rng.Intn(60))
-		r, info, err := LocalRestricted(s, u, sc, nil)
+		r, info, err := LocalRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
-			t.Fatalf("LocalRestricted(%s,%s): %v", s, u, err)
+			t.Fatalf("LocalRestricted(context.Background(), %s,%s): %v", s, u, err)
 		}
 		wantScore, _, _ := align.LocalScore(s, u, sc)
 		if r.Score != wantScore {
@@ -38,11 +39,11 @@ func TestLocalRestrictedAgreesWithLocal(t *testing.T) {
 	for trial := 0; trial < 60; trial++ {
 		s := randDNA(rng, 1+rng.Intn(80))
 		u := randDNA(rng, 1+rng.Intn(80))
-		a, _, err := Local(s, u, sc, nil)
+		a, _, err := Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := LocalRestricted(s, u, sc, nil)
+		b, _, err := LocalRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestLocalRestrictedBandIsNarrowForHomologs(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc := align.DefaultLinear()
-	r, info, err := LocalRestricted(a, b, sc, nil)
+	r, info, err := LocalRestricted(context.Background(), a, b, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestLocalRestrictedBandIsNarrowForHomologs(t *testing.T) {
 }
 
 func TestLocalRestrictedHopeless(t *testing.T) {
-	r, info, err := LocalRestricted([]byte("AAAA"), []byte("TTTT"), align.DefaultLinear(), nil)
+	r, info, err := LocalRestricted(context.Background(), []byte("AAAA"), []byte("TTTT"), align.DefaultLinear(), nil)
 	if err != nil || r.Score != 0 || info.Phases.Score != 0 {
 		t.Errorf("hopeless: %+v %+v %v", r, info, err)
 	}
@@ -91,7 +92,7 @@ func TestLocalRestrictedProperty(t *testing.T) {
 	f := func(rawS, rawT []byte) bool {
 		s := mapDNA(rawS)
 		u := mapDNA(rawT)
-		r, _, err := LocalRestricted(s, u, sc, nil)
+		r, _, err := LocalRestricted(context.Background(), s, u, sc, nil)
 		if err != nil {
 			return false
 		}

@@ -1,0 +1,156 @@
+// Package pool provides size-bucketed sync.Pool arenas for the DP
+// hot paths. A linear-space scan allocates one or a handful of rows
+// per record; under a database search that is one garbage row per
+// record per worker, and the allocator — not the cell loop — starts
+// showing up in profiles. The arenas here recycle those rows so the
+// steady-state scan path performs zero heap allocations (asserted by
+// the align package's zero-alloc test and the swbench "alloc"
+// experiment).
+//
+// Slices are bucketed by capacity rounded up to a power of two; Get
+// returns a zeroed slice of the requested length, so callers can swap
+// `make([]int, n)` for `pool.Ints(n)` without re-auditing their
+// initialization. Put accepts only slices whose capacity is an exact
+// bucket size (anything else is dropped), which makes double-rounding
+// bugs impossible rather than merely unlikely.
+//
+// The package is a leaf: it imports nothing from the module, so every
+// layer — align, linear, wavefront, host, search — can share one set
+// of arenas without creating an import cycle.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// maxBucket bounds what the arenas retain: slices needing more than
+// 2^maxBucket elements bypass the pool entirely so a single huge scan
+// cannot pin hundreds of megabytes in the arena.
+const maxBucket = 24
+
+var (
+	enabled atomic.Bool
+
+	gets   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+)
+
+func init() { enabled.Store(true) }
+
+// SetEnabled switches pooling on or off globally and reports the
+// previous state. With pooling off, Get degrades to plain make and Put
+// drops its argument — the knob the swbench "alloc" experiment uses to
+// measure the pooled-vs-unpooled difference on identical code paths.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether the arenas are active.
+func Enabled() bool { return enabled.Load() }
+
+// Stats returns the cumulative arena traffic: Get calls served, Get
+// calls that missed the pool (allocated fresh), and Put calls that
+// retained a slice. Counters are global across all arenas.
+func Stats() (getCalls, missCount, putCalls int64) {
+	return gets.Load(), misses.Load(), puts.Load()
+}
+
+// ResetStats zeroes the traffic counters.
+func ResetStats() {
+	gets.Store(0)
+	misses.Store(0)
+	puts.Store(0)
+}
+
+// Arena is one size-bucketed recycler for []T. The zero value is ready
+// to use. An Arena is safe for concurrent use by multiple goroutines.
+type Arena[T any] struct {
+	// buckets[b] holds *[]T with capacity exactly 1<<b.
+	buckets [maxBucket + 1]sync.Pool
+	// boxes recycles the *[]T header boxes themselves so the Get/Put
+	// round trip allocates nothing in steady state.
+	boxes sync.Pool
+}
+
+// bucketOf maps a length to the smallest power-of-two bucket holding it.
+func bucketOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed slice of length n, recycled when the arena has
+// one of a suitable capacity.
+func (a *Arena[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	b := bucketOf(n)
+	if b > maxBucket || !enabled.Load() {
+		return make([]T, n)
+	}
+	gets.Add(1)
+	if v := a.buckets[b].Get(); v != nil {
+		h := v.(*[]T)
+		s := (*h)[:n]
+		*h = nil
+		a.boxes.Put(h)
+		clear(s)
+		return s
+	}
+	misses.Add(1)
+	return make([]T, n, 1<<b)
+}
+
+// Put returns a slice to the arena. Only slices whose capacity is an
+// exact bucket size (as produced by Get) are retained; anything else —
+// including every slice handed out while pooling was disabled — is
+// dropped. The caller must not use s after Put.
+func (a *Arena[T]) Put(s []T) {
+	c := cap(s)
+	if c == 0 || !enabled.Load() {
+		return
+	}
+	b := bucketOf(c)
+	if b > maxBucket || c != 1<<b {
+		return
+	}
+	puts.Add(1)
+	var h *[]T
+	if v := a.boxes.Get(); v != nil {
+		h = v.(*[]T)
+	} else {
+		h = new([]T)
+	}
+	*h = s[:c]
+	a.buckets[b].Put(h)
+}
+
+// The package-level arenas cover the element types of the repository's
+// hot paths: []int DP rows (align), []int32 wavefront rows and border
+// blocks, and []byte chunk staging buffers.
+var (
+	intArena   Arena[int]
+	int32Arena Arena[int32]
+	byteArena  Arena[byte]
+)
+
+// Ints returns a zeroed []int of length n from the shared arena.
+func Ints(n int) []int { return intArena.Get(n) }
+
+// PutInts recycles a slice obtained from Ints.
+func PutInts(s []int) { intArena.Put(s) }
+
+// Int32s returns a zeroed []int32 of length n from the shared arena.
+func Int32s(n int) []int32 { return int32Arena.Get(n) }
+
+// PutInt32s recycles a slice obtained from Int32s.
+func PutInt32s(s []int32) { int32Arena.Put(s) }
+
+// Bytes returns a zeroed []byte of length n from the shared arena.
+func Bytes(n int) []byte { return byteArena.Get(n) }
+
+// PutBytes recycles a slice obtained from Bytes.
+func PutBytes(s []byte) { byteArena.Put(s) }

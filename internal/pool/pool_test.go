@@ -1,0 +1,140 @@
+package pool
+
+import (
+	"testing"
+)
+
+func TestGetReturnsZeroedRequestedLength(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 1023, 1024, 1025} {
+		s := Ints(n)
+		if len(s) != n {
+			t.Fatalf("Ints(%d): len = %d", n, len(s))
+		}
+		for i := range s {
+			s[i] = i + 1
+		}
+		PutInts(s)
+		s2 := Ints(n)
+		for i, v := range s2 {
+			if v != 0 {
+				t.Fatalf("Ints(%d) after recycle: s[%d] = %d, want 0", n, i, v)
+			}
+		}
+		PutInts(s2)
+	}
+}
+
+func TestGetZeroAndNegative(t *testing.T) {
+	if s := Ints(0); s != nil {
+		t.Errorf("Ints(0) = %v, want nil", s)
+	}
+	if s := Bytes(-1); s != nil {
+		t.Errorf("Bytes(-1) = %v, want nil", s)
+	}
+}
+
+func TestBucketRounding(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.n); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Capacity is the bucket size, so a recycled slice can grow to the
+	// bucket boundary without reallocating.
+	s := Int32s(5)
+	if cap(s) != 8 {
+		t.Errorf("Int32s(5) cap = %d, want 8", cap(s))
+	}
+	PutInt32s(s)
+}
+
+func TestPutRejectsForeignCapacities(t *testing.T) {
+	// A slice whose capacity is not an exact bucket size must be
+	// dropped, not filed into the wrong bucket.
+	odd := make([]int, 5, 6)
+	PutInts(odd) // must not panic or poison the arena
+	s := Ints(5)
+	if cap(s) != 8 {
+		t.Errorf("after foreign Put, Ints(5) cap = %d, want 8", cap(s))
+	}
+	PutInts(s)
+}
+
+func TestDisableBypassesArena(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	s := Ints(10)
+	if len(s) != 10 {
+		t.Fatalf("disabled Ints(10): len = %d", len(s))
+	}
+	// cap is whatever make chose — and Put must drop it silently.
+	PutInts(s)
+	if !prev {
+		t.Error("pooling unexpectedly disabled at test entry")
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	ResetStats()
+	s := Bytes(100)
+	PutBytes(s)
+	s = Bytes(100) // served from the pool
+	PutBytes(s)
+	g, m, p := Stats()
+	if g != 2 || p != 2 {
+		t.Errorf("Stats() gets=%d puts=%d, want 2 and 2", g, p)
+	}
+	if m < 1 || m > 2 {
+		t.Errorf("Stats() misses=%d, want 1 or 2", m)
+	}
+	ResetStats()
+}
+
+func TestHugeSlicesBypass(t *testing.T) {
+	n := (1 << maxBucket) + 1
+	s := Bytes(n)
+	if len(s) != n {
+		t.Fatalf("Bytes(huge): len = %d", len(s))
+	}
+	PutBytes(s) // dropped, not retained
+}
+
+// TestRoundTripZeroAlloc is the package's own steady-state contract:
+// once warm, a Get/Put cycle performs no heap allocations.
+func TestRoundTripZeroAlloc(t *testing.T) {
+	// Warm the bucket and the header-box pool.
+	for i := 0; i < 16; i++ {
+		PutInts(Ints(512))
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		s := Ints(512)
+		s[0] = 1
+		PutInts(s)
+	})
+	if allocs > 0 {
+		t.Errorf("Get/Put round trip allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkIntsPooled(b *testing.B) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	for i := 0; i < b.N; i++ {
+		s := Ints(4096)
+		s[0] = 1
+		PutInts(s)
+	}
+}
+
+func BenchmarkIntsUnpooled(b *testing.B) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	for i := 0; i < b.N; i++ {
+		s := Ints(4096)
+		s[0] = 1
+		PutInts(s)
+	}
+}

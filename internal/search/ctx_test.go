@@ -8,19 +8,25 @@ import (
 	"testing"
 
 	"swfpga/internal/align"
-	"swfpga/internal/linear"
+	"swfpga/internal/engine"
 	"swfpga/internal/seq"
 )
 
 // failingScanner errors on every scan and counts the attempts.
-type failingScanner struct{ calls *atomic.Int64 }
+type failingScanner struct {
+	engine.Unsupported
+	calls *atomic.Int64
+}
 
-func (f failingScanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (failingScanner) Name() string                      { return "failing" }
+func (failingScanner) Capabilities() engine.Capabilities { return engine.Capabilities{} }
+
+func (f failingScanner) BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	f.calls.Add(1)
 	return 0, 0, 0, errors.New("boom")
 }
 
-func (f failingScanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (f failingScanner) BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
 	f.calls.Add(1)
 	return 0, 0, 0, errors.New("boom")
 }
@@ -46,7 +52,7 @@ func TestSearchFirstErrorCancelsRemainingWork(t *testing.T) {
 	}
 	var calls atomic.Int64
 	_, err := Search(context.Background(), db, []byte("ACGTACGT"), Options{Workers: 3},
-		func() linear.Scanner { return failingScanner{calls: &calls} })
+		func() (engine.Engine, error) { return failingScanner{calls: &calls}, nil })
 	if err == nil {
 		t.Fatal("failing scanner must surface an error")
 	}

@@ -1,0 +1,109 @@
+package search
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"swfpga/internal/engine"
+	"swfpga/internal/seq"
+)
+
+// TestHitOrderFullyDeterministic pins the canonical hit order — score
+// descending, then record index, then start coordinate, then end
+// coordinate — on a database engineered for ties at every level:
+// identical records (same score, different record index) and repeated
+// motifs within one record (same score and record, different starts).
+// The order must be byte-stable across worker counts and repeated runs.
+func TestHitOrderFullyDeterministic(t *testing.T) {
+	g := seq.NewGenerator(777)
+	motif := g.Random(40)
+	// Record "twins": identical content, so identical best hits that can
+	// only be ordered by record index.
+	twin := g.RandomSequence("twin-a", 800)
+	seq.PlantMotif(twin.Data, motif, 200)
+	twinB := seq.Sequence{ID: "twin-b", Data: append([]byte{}, twin.Data...)}
+	// One record with the motif planted twice: same score, same record,
+	// distinguished only by start coordinate.
+	double := g.RandomSequence("double", 1600)
+	seq.PlantMotif(double.Data, motif, 100)
+	seq.PlantMotif(double.Data, motif, 1000)
+	db := []seq.Sequence{twin, double, twinB}
+
+	var pinned []Hit
+	for _, workers := range []int{1, 2, 3} {
+		for trial := 0; trial < 4; trial++ {
+			hits, err := Search(context.Background(), db, motif,
+				Options{MinScore: 30, PerRecord: 2, Workers: workers}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hits) < 4 {
+				t.Fatalf("workers=%d: only %d hits", workers, len(hits))
+			}
+			if pinned == nil {
+				pinned = hits
+				// The engineered ties must be ordered by the documented
+				// tie-break chain.
+				if hits[0].RecordIndex > hits[1].RecordIndex &&
+					hits[0].Result.Score == hits[1].Result.Score {
+					t.Errorf("equal-score hits not in record order: %+v then %+v", hits[0], hits[1])
+				}
+				for i := 1; i < len(hits); i++ {
+					a, b := hits[i-1], hits[i]
+					if b.Result.Score > a.Result.Score {
+						t.Fatalf("scores not descending at %d", i)
+					}
+					if b.Result.Score == a.Result.Score && a.RecordIndex == b.RecordIndex &&
+						b.Result.TStart < a.Result.TStart {
+						t.Fatalf("same record, same score, starts not ascending at %d", i)
+					}
+				}
+				continue
+			}
+			if !reflect.DeepEqual(hits, pinned) {
+				t.Fatalf("workers=%d trial %d: hit order changed:\n%+v\nwant\n%+v",
+					workers, trial, hits, pinned)
+			}
+		}
+	}
+}
+
+// TestBatchedSearchMatchesPerRecord pins the batching contract: on an
+// engine with the Batch capability, grouping records per dispatch
+// changes the transfer economics but not one bit of the ranked output.
+func TestBatchedSearchMatchesPerRecord(t *testing.T) {
+	g := seq.NewGenerator(778)
+	query := g.Random(50)
+	db := makeDB(g, query, 13, 700, map[int]bool{1: true, 6: true, 11: true})
+	factory := EngineFactory("systolic", engine.Config{})
+	base, err := Search(context.Background(), db, query, Options{MinScore: 20}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 {
+		t.Fatal("no hits to compare")
+	}
+	for _, batch := range []int{2, 4, 13, 100} {
+		got, err := Search(context.Background(), db, query,
+			Options{MinScore: 20, Batch: batch}, factory)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("batch=%d: hits differ from per-record scan:\n%+v\nwant\n%+v", batch, got, base)
+		}
+	}
+	// Batching quietly steps aside on engines without the capability.
+	plain, err := Search(context.Background(), db, query, Options{MinScore: 20, Batch: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softBase, err := Search(context.Background(), db, query, Options{MinScore: 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, softBase) {
+		t.Error("Batch option changed results on a non-batching engine")
+	}
+}

@@ -2,9 +2,10 @@
 // of the paper's evaluation generalized to multi-record databases: a
 // query is compared against every record of a FASTA database, records
 // are scanned concurrently, and hits are ranked by score. The scan
-// engine is pluggable (pure software or a simulated accelerator board
-// per worker), mirroring how the proposed architecture would sit inside
-// a sequence-database service.
+// engine is pluggable through the internal/engine registry (pure
+// software, the simulated accelerator, the wavefront schedule or a
+// board cluster per worker), mirroring how the proposed architecture
+// would sit inside a sequence-database service.
 package search
 
 import (
@@ -12,14 +13,15 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"swfpga/internal/align"
+	"swfpga/internal/engine"
+	"swfpga/internal/engine/sched"
 	"swfpga/internal/evalue"
 	"swfpga/internal/linear"
 	"swfpga/internal/seq"
 	"swfpga/internal/telemetry"
-	"time"
 )
 
 // Hit is one reported match.
@@ -53,6 +55,12 @@ type Options struct {
 	// Workers is the number of records scanned concurrently
 	// (default GOMAXPROCS).
 	Workers int
+	// Batch groups this many records per dispatch when the engine
+	// advertises the Batch capability (score-only, single-hit searches):
+	// the query is uploaded to the board once per batch instead of once
+	// per record, the SWAPHI-style amortization. 0 or 1 scans record by
+	// record — the paper's single-pair contract.
+	Batch int
 	// Stats, when set, annotates every hit with its expect value and bit
 	// score for the (query x record) search space.
 	Stats *evalue.Params
@@ -71,16 +79,33 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Batch < 1 {
+		o.Batch = 1
+	}
 	return o
 }
 
-// Search scans query against every record of db. newScanner supplies
-// each worker its own scan engine (engines may be stateful, e.g. a
-// simulated accelerator board accumulating metrics); a nil factory uses
-// the software scanner. Cancelling ctx stops the scan between records;
-// the first worker error cancels the remaining work instead of letting
-// every queued record run to completion.
-func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, newScanner func() linear.Scanner) ([]Hit, error) {
+// Factory builds one scan engine per worker (engines may be stateful —
+// a simulated board accumulates metrics — so they are never shared
+// between goroutines). A nil Factory selects the software engine.
+type Factory func() (engine.Engine, error)
+
+// EngineFactory adapts a registry name and construction config into a
+// per-worker Factory.
+func EngineFactory(name string, cfg engine.Config) Factory {
+	return func() (engine.Engine, error) { return engine.New(name, cfg) }
+}
+
+// Search scans query against every record of db. newEngine supplies
+// each worker its own scan engine; a nil factory uses the software
+// engine. Cancelling ctx stops the scan between records; the first
+// worker error cancels the remaining work instead of letting every
+// queued record run to completion (the scheduler's default policy).
+//
+// Hit order is fully deterministic: score descending, then record
+// index, start and end coordinates ascending — independent of worker
+// count and completion order.
+func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, newEngine Factory) ([]Hit, error) {
 	opts = opts.withDefaults()
 	if err := opts.Scoring.Validate(); err != nil {
 		return nil, err
@@ -88,8 +113,8 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 	if len(query) == 0 {
 		return nil, fmt.Errorf("search: empty query")
 	}
-	if newScanner == nil {
-		newScanner = func() linear.Scanner { return linear.ScanSoftware{} }
+	if newEngine == nil {
+		newEngine = EngineFactory("software", engine.Config{})
 	}
 	workers := opts.Workers
 	if workers > len(db) {
@@ -104,63 +129,81 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 	span.SetInt("workers", int64(workers))
 	defer span.End()
 
-	scanCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	jobs := make(chan int)
-	hitsPerRecord := make([][]Hit, len(db))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			scanner := newScanner()
-			for idx := range jobs {
-				if errs[w] != nil || scanCtx.Err() != nil {
-					continue // keep draining so the producer never blocks
-				}
-				hs, err := scanRecord(scanCtx, db[idx], idx, query, opts, scanner)
-				if err != nil {
-					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
-					cancel() // stop the producer and the other workers
-					continue
-				}
-				hitsPerRecord[idx] = hs
+	// Each worker's engine is built lazily on its first task. A worker
+	// has at most one attempt in flight, and consecutive attempts on a
+	// worker are sequenced through the scheduler's master loop, so the
+	// slot needs no lock.
+	engines := make([]engine.Engine, workers)
+	engineFor := func(w int) (engine.Engine, error) {
+		if engines[w] == nil {
+			e, err := newEngine()
+			if err != nil {
+				return nil, err
 			}
-		}(w)
-	}
-producer:
-	for idx := range db {
-		select {
-		case jobs <- idx:
-		case <-scanCtx.Done():
-			break producer
+			if e == nil {
+				return nil, fmt.Errorf("search: engine factory returned nil")
+			}
+			engines[w] = e
 		}
+		return engines[w], nil
 	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+
+	// Batching (SWAPHI-style) applies only to the score-only single-hit
+	// path on engines that advertise it; otherwise every task is one
+	// record. The negotiation probes one engine up front.
+	batch := 1
+	if opts.Batch > 1 && opts.PerRecord == 1 && !opts.Retrieve {
+		probe, err := newEngine()
 		if err != nil {
 			return nil, err
 		}
+		if engine.BatcherFor(probe) != nil {
+			batch = opts.Batch
+			engines[0] = probe // don't waste the probe
+		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("search: %w", err)
+	tasks := (len(db) + batch - 1) / batch
+
+	hitsPerRecord := make([][]Hit, len(db))
+	err := sched.Run(ctx, tasks, sched.Config{Workers: workers}, sched.Hooks{
+		// Classify is nil: the first record error aborts the run and
+		// cancels the in-flight scans.
+		Do: func(sctx context.Context, w int, tk sched.Task) error {
+			e, err := engineFor(w)
+			if err != nil {
+				return err
+			}
+			lo := tk.Index * batch
+			hi := lo + batch
+			if hi > len(db) {
+				hi = len(db)
+			}
+			if batch > 1 {
+				if err := scanBatch(sctx, db, lo, hi, query, opts, e, hitsPerRecord); err != nil {
+					return err
+				}
+			} else {
+				hs, err := scanRecord(sctx, db[lo], lo, query, opts, e)
+				if err != nil {
+					return fmt.Errorf("search: record %q: %w", db[lo].ID, err)
+				}
+				hitsPerRecord[lo] = hs
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("search: %w", cerr)
+		}
+		return nil, err
 	}
 
 	var out []Hit
 	for _, hs := range hitsPerRecord {
 		out = append(out, hs...)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Result.Score != out[j].Result.Score {
-			return out[i].Result.Score > out[j].Result.Score
-		}
-		if out[i].RecordIndex != out[j].RecordIndex {
-			return out[i].RecordIndex < out[j].RecordIndex
-		}
-		return out[i].Result.TStart < out[j].Result.TStart
-	})
+	sortHits(out)
 	if opts.TopK > 0 && len(out) > opts.TopK {
 		out = out[:opts.TopK]
 	}
@@ -173,6 +216,66 @@ producer:
 	}
 	span.SetInt("hits", int64(len(out)))
 	return out, nil
+}
+
+// sortHits applies the canonical deterministic hit order: score
+// descending, then record index, then start coordinates (database,
+// query), then end coordinates. Every field of the comparison is a
+// scan output, so the order is a pure function of the inputs —
+// independent of worker count, batching and completion order.
+func sortHits(out []Hit) {
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Result.Score != b.Result.Score {
+			return a.Result.Score > b.Result.Score
+		}
+		if a.RecordIndex != b.RecordIndex {
+			return a.RecordIndex < b.RecordIndex
+		}
+		if a.Result.TStart != b.Result.TStart {
+			return a.Result.TStart < b.Result.TStart
+		}
+		if a.Result.SStart != b.Result.SStart {
+			return a.Result.SStart < b.Result.SStart
+		}
+		if a.Result.TEnd != b.Result.TEnd {
+			return a.Result.TEnd < b.Result.TEnd
+		}
+		return a.Result.SEnd < b.Result.SEnd
+	})
+}
+
+// scanBatch scans records [lo, hi) through the engine's batch fast
+// path: one query upload amortized across the batch. Only the
+// score-only single-hit search uses it, so each record yields at most
+// one end-coordinate hit — the same Hit shape as the per-record path.
+// hitsPerRecord slots are written per record index, each owned by
+// exactly one in-flight task.
+func scanBatch(ctx context.Context, db []seq.Sequence, lo, hi int, query []byte, opts Options, e engine.Engine, hitsPerRecord [][]Hit) error {
+	ctx, span := telemetry.StartSpan(ctx, "search.batch")
+	span.SetInt("records", int64(hi-lo))
+	span.SetInt("index", int64(lo))
+	defer span.End()
+	records := make([][]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		records[i-lo] = db[i].Data
+	}
+	results, err := engine.BatcherFor(e).BatchScan(ctx, query, records, opts.Scoring)
+	if err != nil {
+		return fmt.Errorf("search: records %q..%q: %w", db[lo].ID, db[hi-1].ID, err)
+	}
+	for i, r := range results {
+		if r.Score < opts.MinScore {
+			continue
+		}
+		idx := lo + i
+		hitsPerRecord[idx] = []Hit{{
+			RecordID: db[idx].ID, RecordIndex: idx,
+			Result: align.Result{Score: r.Score, SEnd: r.EndI, TEnd: r.EndJ,
+				SStart: r.EndI, TStart: r.EndJ},
+		}}
+	}
+	return nil
 }
 
 // scanRecord produces the hits of one database record. Each record gets
@@ -188,7 +291,7 @@ func scanRecord(ctx context.Context, rec seq.Sequence, idx int, query []byte, op
 		span.End()
 	}()
 	if opts.PerRecord > 1 {
-		results, err := linear.NearBestCtx(ctx, query, rec.Data, opts.Scoring, opts.PerRecord, opts.MinScore, scanner)
+		results, err := linear.NearBest(ctx, query, rec.Data, opts.Scoring, opts.PerRecord, opts.MinScore, scanner)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +305,7 @@ func scanRecord(ctx context.Context, rec seq.Sequence, idx int, query []byte, op
 		return hits, nil
 	}
 	if opts.Retrieve {
-		r, _, err := linear.LocalCtx(ctx, query, rec.Data, opts.Scoring, scanner)
+		r, _, err := linear.Local(ctx, query, rec.Data, opts.Scoring, scanner)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +314,7 @@ func scanRecord(ctx context.Context, rec seq.Sequence, idx int, query []byte, op
 		}
 		return []Hit{{RecordID: rec.ID, RecordIndex: idx, Result: r}}, nil
 	}
-	ph, err := linear.LocalScoreOnlyCtx(ctx, query, rec.Data, opts.Scoring, scanner)
+	ph, err := linear.LocalScoreOnly(ctx, query, rec.Data, opts.Scoring, scanner)
 	if err != nil {
 		return nil, err
 	}

@@ -6,9 +6,8 @@ import (
 	"testing"
 
 	"swfpga/internal/align"
+	"swfpga/internal/engine"
 	"swfpga/internal/evalue"
-	"swfpga/internal/host"
-	"swfpga/internal/linear"
 	"swfpga/internal/seq"
 )
 
@@ -137,7 +136,7 @@ func TestSearchDeviceMatchesSoftware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hw, err := Search(context.Background(), db, query, opts, func() linear.Scanner { return host.NewDevice() })
+	hw, err := Search(context.Background(), db, query, opts, EngineFactory("systolic", engine.Config{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +164,7 @@ func TestSearchErrors(t *testing.T) {
 	// A saturating device propagates its error.
 	q := g.Random(300)
 	sat := []seq.Sequence{{ID: "self", Data: q}}
-	_, err := Search(context.Background(), sat, q, Options{}, func() linear.Scanner {
-		d := host.NewDevice()
-		d.Array.ScoreBits = 4
-		return d
-	})
+	_, err := Search(context.Background(), sat, q, Options{}, EngineFactory("systolic", engine.Config{ScoreBits: 4}))
 	if err == nil {
 		t.Error("device saturation should propagate")
 	}

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
+	"swfpga/internal/engine/sched"
 	"swfpga/internal/protein"
 	"swfpga/internal/seq"
 )
@@ -80,47 +80,28 @@ func TranslatedSearch(ctx context.Context, db []seq.Sequence, query []byte, opts
 		return nil, nil
 	}
 
-	scanCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	jobs := make(chan int)
+	// One record per scheduler task; the nil Classify hook gives the
+	// same cancel-on-first-error policy as the DNA search.
 	perRecord := make([][]TranslatedHit, len(db))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for idx := range jobs {
-				if errs[w] != nil || scanCtx.Err() != nil {
-					continue // keep draining so the producer never blocks
-				}
-				hs, err := scanTranslated(db[idx], idx, query, opts)
-				if err != nil {
-					errs[w] = fmt.Errorf("search: record %q: %w", db[idx].ID, err)
-					cancel() // stop the producer and the other workers
-					continue
-				}
-				perRecord[idx] = hs
+	err := sched.Run(ctx, len(db), sched.Config{Workers: workers}, sched.Hooks{
+		Do: func(sctx context.Context, w int, tk sched.Task) error {
+			if err := sctx.Err(); err != nil {
+				return err
 			}
-		}(w)
-	}
-producer:
-	for idx := range db {
-		select {
-		case jobs <- idx:
-		case <-scanCtx.Done():
-			break producer
+			idx := tk.Index
+			hs, err := scanTranslated(db[idx], idx, query, opts)
+			if err != nil {
+				return fmt.Errorf("search: record %q: %w", db[idx].ID, err)
+			}
+			perRecord[idx] = hs
+			return nil
+		},
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("search: %w", cerr)
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("search: %w", err)
+		return nil, err
 	}
 
 	var out []TranslatedHit

@@ -1,6 +1,10 @@
 package wavefront
 
-import "sync"
+import (
+	"sync"
+
+	"swfpga/internal/pool"
+)
 
 // Pipeline computes the best local score and end coordinates with the
 // figure-3 schedule: worker p owns a contiguous strip of query rows and
@@ -69,7 +73,8 @@ func runStrip(cfg Config, s, t []byte, rlo, rhi int, anchored bool, in <-chan []
 	g := int32(cfg.Scoring.Gap)
 
 	// left[k] holds D[rlo+1+k][j-1] for the column processed so far.
-	left := make([]int32, h)
+	left := pool.Int32s(h)
+	defer pool.PutInt32s(left)
 	// diagTop holds D[rlo][j-1].
 	var diagTop int32
 	if anchored {
@@ -79,7 +84,13 @@ func runStrip(cfg Config, s, t []byte, rlo, rhi int, anchored bool, in <-chan []
 			left[k] = int32(rlo+k+1) * g
 		}
 	}
+	// Border blocks are pooled: the sender draws a block from the arena,
+	// ownership transfers over the channel, and the receiver returns the
+	// block once it has consumed it.
 	var outBlock []int32
+	if out != nil {
+		outBlock = pool.Int32s(cfg.BlockCols)[:0]
+	}
 	var inBlock []int32
 	inPos := 0
 
@@ -95,6 +106,7 @@ func runStrip(cfg Config, s, t []byte, rlo, rhi int, anchored bool, in <-chan []
 		var top int32
 		if in != nil {
 			if inPos == len(inBlock) {
+				pool.PutInt32s(inBlock)
 				inBlock = <-in
 				inPos = 0
 			}
@@ -139,15 +151,18 @@ func runStrip(cfg Config, s, t []byte, rlo, rhi int, anchored bool, in <-chan []
 			outBlock = append(outBlock, left[h-1])
 			if len(outBlock) == cfg.BlockCols {
 				out <- outBlock
-				outBlock = make([]int32, 0, cfg.BlockCols)
+				outBlock = pool.Int32s(cfg.BlockCols)[:0]
 			}
 		}
 	}
 	if out != nil {
 		if len(outBlock) > 0 {
 			out <- outBlock
+		} else {
+			pool.PutInt32s(outBlock)
 		}
 		close(out)
 	}
+	pool.PutInt32s(inBlock)
 	best.Consider(int(bestScore), bestI, bestJ)
 }

@@ -1,6 +1,7 @@
 package wavefront
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,11 +19,11 @@ func TestScannerDrivesLinearPipeline(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		s := randDNA(rng, 1+rng.Intn(120))
 		u := randDNA(rng, 1+rng.Intn(120))
-		got, _, err := linear.Local(s, u, sc, ps)
+		got, _, err := linear.Local(context.Background(), s, u, sc, ps)
 		if err != nil {
 			t.Fatalf("parallel-scanned Local(%s,%s): %v", s, u, err)
 		}
-		want, _, err := linear.Local(s, u, sc, nil)
+		want, _, err := linear.Local(context.Background(), s, u, sc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package wavefront
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -114,8 +115,12 @@ type Scanner struct {
 	Cfg Config
 }
 
-// BestLocal implements the forward scan on the parallel pipeline.
-func (ps Scanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+// BestLocal implements the forward scan on the parallel pipeline. The
+// context is checked at entry; a launched wave runs to completion.
+func (ps Scanner) BestLocal(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	cfg := ps.Cfg
 	cfg.Scoring = sc
 	b, err := Pipeline(cfg, s, t)
@@ -123,7 +128,10 @@ func (ps Scanner) BestLocal(s, t []byte, sc align.LinearScoring) (int, int, int,
 }
 
 // BestAnchored implements the reverse scan on the parallel pipeline.
-func (ps Scanner) BestAnchored(s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+func (ps Scanner) BestAnchored(ctx context.Context, s, t []byte, sc align.LinearScoring) (int, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, 0, err
+	}
 	cfg := ps.Cfg
 	cfg.Scoring = sc
 	b, err := PipelineAnchored(cfg, s, t)
