@@ -18,10 +18,11 @@ FUZZ_TARGETS := \
 	internal/linear:FuzzAffineRestricted \
 	internal/seq:FuzzPackedRoundTrip \
 	internal/seq:FuzzFASTARoundTrip \
+	internal/seq:FuzzScanReadAgree \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh
 
-.PHONY: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke fuzz-smoke check
+.PHONY: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke stream-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -58,6 +59,13 @@ bench-smoke:
 	$(GO) test ./internal/engine/... -count=1
 	$(GO) run ./cmd/swbench -run alloc -scale 0.02
 
+# Reduced-memory smoke (DESIGN.md §10): streams a 128 MiB generated
+# database (including an unwrapped 18 MiB record) under a 16 MiB budget
+# and asserts the hits are bit-identical to the in-memory search while
+# peak heap growth stays bounded by the budget, not the database.
+stream-smoke:
+	SWFPGA_STREAM_SMOKE=1 $(GO) test ./internal/search -run TestStreamSmokeHeapBudget -count=1 -v
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -65,4 +73,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke
+check: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke stream-smoke

@@ -2,6 +2,7 @@
 // database and ranks the hits — the paper's workload as a tool.
 //
 //	swsearch -query query.fa -db database.fa -k 10 -retrieve
+//	swsearch -q ACGTACGT -db huge.fa -max-memory 64MiB
 //	swsearch -q ACGTACGT -db database.fa -engine systolic -elements 100
 //	swsearch -q ACGTACGT -db database.fa -engine cluster -boards 4 -fault-rate 0.05
 //	swsearch -q ACGTACGT -db database.fa -engine systolic -batch 32
@@ -9,10 +10,13 @@
 //
 // The scan backend is chosen by name from the internal/engine registry
 // (-engine lists the registered names); "fpga" is accepted as a legacy
-// alias for systolic. Interrupting the process (SIGINT/SIGTERM) cancels
-// the scan cleanly. -telemetry-addr serves /metrics, /debug/vars and
-// /debug/pprof live; -trace writes a JSONL span trace and -manifest a
-// run summary (see DESIGN.md §8).
+// alias for systolic. By default the database streams through a
+// bounded-memory prefetch window (-max-memory sets the budget for
+// records in flight); -stream=false, -retrieve, -translated and -batch
+// load it in memory instead. Interrupting the process (SIGINT/SIGTERM)
+// cancels the scan cleanly. -telemetry-addr serves /metrics,
+// /debug/vars and /debug/pprof live; -trace writes a JSONL span trace
+// and -manifest a run summary (see DESIGN.md §8).
 package main
 
 import (
@@ -46,6 +50,8 @@ func main() {
 		batch      = flag.Int("batch", 0, "records per dispatch on batch-capable engines (0/1 = per record)")
 		translated = flag.Bool("translated", false, "protein query vs DNA database (all six reading frames, BLOSUM62)")
 		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
+		stream     = flag.Bool("stream", true, "stream the database in bounded memory (-retrieve, -translated and -batch load it in memory)")
+		maxMem     = flag.String("max-memory", "256MiB", "streaming budget for parsed records in flight (e.g. 64MiB, 1GiB)")
 	)
 	sel := cliutil.EngineFlags()
 	tel := cliutil.TelemetryFlags()
@@ -61,11 +67,11 @@ func main() {
 	if *dbFile == "" {
 		fatal(fmt.Errorf("missing -db database file"))
 	}
-	db, err := seq.ReadFASTAFile(*dbFile)
-	if err != nil {
-		fatal(err)
-	}
 	if *translated {
+		db, err := seq.ReadFASTAFile(*dbFile)
+		if err != nil {
+			fatal(err)
+		}
 		runTranslated(ctx, *qArg, *qFile, db, *topK, *minScore, *workers)
 		if err := tel.Close(); err != nil {
 			fatal(err)
@@ -77,7 +83,6 @@ func main() {
 		fatal(err)
 	}
 	name, cfg := sel.Resolve()
-	tel.Describe(fmt.Sprintf("%d BP query vs %d records", len(query), len(db)), name)
 
 	// Each worker gets its own engine instance (engines may be stateful —
 	// a simulated board accumulates metrics — so they are never shared
@@ -116,9 +121,47 @@ func main() {
 		opts.Stats = &params
 		fmt.Printf("statistics: lambda %.4f, K %.4f (gapped, calibrated by simulation)\n", params.Lambda, params.K)
 	}
-	hits, err := search.Search(ctx, db, query, opts, factory)
-	if err != nil {
-		fatal(err)
+
+	// Default path: stream the database through a bounded prefetch
+	// window instead of loading it. Alignment retrieval needs record
+	// data for printing and batching needs the records up front, so
+	// those paths load the database in memory as before.
+	var (
+		hits    []search.Hit
+		db      []seq.Sequence
+		records int
+	)
+	if *stream && !*retrieve && *batch <= 1 {
+		budget, err := cliutil.ParseBytes(*maxMem)
+		if err != nil {
+			fatal(fmt.Errorf("-max-memory: %w", err))
+		}
+		tel.Describe(fmt.Sprintf("%d BP query vs streamed database (budget %s)", len(query), *maxMem), name)
+		f, err := os.Open(*dbFile)
+		if err != nil {
+			fatal(err)
+		}
+		src := &countingSource{src: seq.NewFASTASource(f)}
+		hits, err = search.Stream(ctx, src, query,
+			search.StreamOptions{Options: opts, MaxMemoryBytes: budget}, factory)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		records = src.n
+	} else {
+		db, err = seq.ReadFASTAFile(*dbFile)
+		if err != nil {
+			fatal(err)
+		}
+		tel.Describe(fmt.Sprintf("%d BP query vs %d records", len(query), len(db)), name)
+		hits, err = search.Search(ctx, db, query, opts, factory)
+		if err != nil {
+			fatal(err)
+		}
+		records = len(db)
 	}
 
 	// Fault-capable engines expose their reports through capability
@@ -136,7 +179,7 @@ func main() {
 		tel.Note("fault tolerance: %s", agg)
 	}
 
-	fmt.Printf("%d hits for %d BP query against %d records\n\n", len(hits), len(query), len(db))
+	fmt.Printf("%d hits for %d BP query against %d records\n\n", len(hits), len(query), records)
 	fmt.Printf("%-4s %-20s %-7s %-18s %-12s %s\n", "#", "record", "score", "span (record)", "end (i,j)", "E-value / bits")
 	for i, h := range hits {
 		stats := ""
@@ -155,6 +198,21 @@ func main() {
 	if err := tel.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// countingSource counts records as they stream past, so the summary
+// line can report the database size without ever holding the database.
+type countingSource struct {
+	src seq.RecordSource
+	n   int
+}
+
+func (c *countingSource) Next() (seq.Sequence, error) {
+	rec, err := c.src.Next()
+	if err == nil {
+		c.n++
+	}
+	return rec, err
 }
 
 // runTranslated scans a protein query against the six reading frames of

@@ -173,6 +173,32 @@ func TestCLISwsimVCD(t *testing.T) {
 	}
 }
 
+// TestCLISwsearchStreamMatchesInMemory pins the CLI's streaming default
+// to the in-memory scan: the same database under a tight -max-memory
+// budget must print identical hits, and -stream=false must take the
+// legacy path without changing the output.
+func TestCLISwsearchStreamMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.fa")
+	seqgen := tool(t, "seqgen")
+	var db string
+	for i, seed := range []string{"41", "42", "43", "44"} {
+		db += run(t, seqgen, "-n", "2000", "-id", "s"+string(rune('a'+i)), "-seed", seed)
+	}
+	if err := os.WriteFile(dbPath, []byte(db), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-q", "ACGTACGTACGTACGTACGTACGT", "-db", dbPath, "-min", "5", "-k", "0"}
+	streamed := run(t, tool(t, "swsearch"), append(args, "-max-memory", "4KiB")...)
+	inMemory := run(t, tool(t, "swsearch"), append(args, "-stream=false")...)
+	if streamed != inMemory {
+		t.Errorf("streamed output diverges from in-memory:\n--- streamed ---\n%s--- in-memory ---\n%s", streamed, inMemory)
+	}
+	if !strings.Contains(streamed, "against 4 records") {
+		t.Errorf("streamed run lost the record count:\n%s", streamed)
+	}
+}
+
 func TestCLISwsearchEvalueAndTranslated(t *testing.T) {
 	dir := t.TempDir()
 	dbPath := filepath.Join(dir, "db.fa")

@@ -157,6 +157,13 @@ func LocalScore(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
 	if len(s) == 0 || len(t) == 0 {
 		return 0, 0, 0
 	}
+	// The DP row is held over the shorter sequence, so scanning a
+	// multi-megabyte database record against a short query costs O(query)
+	// memory, not a record-sized row — the requirement of the streaming
+	// search, whose whole-scan footprint is budgeted.
+	if len(s) < len(t) {
+		return localScoreQueryRow(s, t, sc)
+	}
 	// row[j] holds D[i][j] for the current row i; previous-row values are
 	// consumed in place with a single diagonal temporary. The database
 	// occupies the inner loop, mirroring how it streams through the
@@ -183,6 +190,42 @@ func LocalScore(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
 			row[j] = best
 			diag = up
 			if best > score {
+				score, endI, endJ = best, i, j
+			}
+		}
+	}
+	return score, endI, endJ
+}
+
+// localScoreQueryRow is LocalScore with the DP state held over s: the
+// column-major recurrence of LocalScoreColMajor, but with an explicit
+// tie comparison reproducing LocalScore's row-major selection (the
+// maximal cell with the smallest i, then the smallest j) bit for bit.
+// Because j only grows across the traversal, a later candidate with an
+// equal score beats the incumbent exactly when its i is smaller.
+func localScoreQueryRow(s, t []byte, sc LinearScoring) (score, endI, endJ int) {
+	m := len(s)
+	col := pool.Ints(m + 1)
+	defer pool.PutInts(col)
+	for j := 1; j <= len(t); j++ {
+		diag := 0
+		tb := t[j-1]
+		for i := 1; i <= m; i++ {
+			left := col[i]
+			up := col[i-1]
+			best := 0
+			if v := diag + sc.Score(s[i-1], tb); v > best {
+				best = v
+			}
+			if v := up + sc.Gap; v > best {
+				best = v
+			}
+			if v := left + sc.Gap; v > best {
+				best = v
+			}
+			col[i] = best
+			diag = left
+			if best > score || (best == score && best > 0 && i < endI) {
 				score, endI, endJ = best, i, j
 			}
 		}

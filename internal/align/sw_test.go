@@ -1,6 +1,7 @@
 package align
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -117,6 +118,39 @@ func TestLocalScoreMatchesMatrix(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		s := randDNA(rng, 1+rng.Intn(60))
 		u := randDNA(rng, 1+rng.Intn(60))
+		wantScore, wantI, wantJ := LocalMatrix(s, u, sc).Best()
+		score, i, j := LocalScore(s, u, sc)
+		if score != wantScore || i != wantI || j != wantJ {
+			t.Fatalf("LocalScore(%s,%s) = %d (%d,%d), matrix best %d (%d,%d)",
+				s, u, score, i, j, wantScore, wantI, wantJ)
+		}
+	}
+}
+
+// TestLocalScoreQueryRowTieBreak hammers the query-sized-row
+// orientation (taken whenever the query is shorter than the database)
+// with tie-heavy inputs: homopolymers make every diagonal cell maximal,
+// so any deviation from the row-major "smallest i, then smallest j"
+// rule shows up immediately against the full-matrix reference.
+func TestLocalScoreQueryRowTieBreak(t *testing.T) {
+	sc := DefaultLinear()
+	homo := func(n int) []byte { return bytes.Repeat([]byte{'A'}, n) }
+	cases := [][2][]byte{
+		{homo(4), homo(30)},
+		{homo(1), homo(7)},
+		{[]byte("ACAC"), []byte("ACACACACACAC")},
+		{[]byte("TTT"), []byte("GGTTTGGTTTGG")},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(12)
+		cases = append(cases, [2][]byte{randDNA(rng, m), randDNA(rng, m+1+rng.Intn(40))})
+	}
+	for _, c := range cases {
+		s, u := c[0], c[1]
+		if len(s) >= len(u) {
+			t.Fatalf("case %s/%s does not exercise the transposed path", s, u)
+		}
 		wantScore, wantI, wantJ := LocalMatrix(s, u, sc).Best()
 		score, i, j := LocalScore(s, u, sc)
 		if score != wantScore || i != wantI || j != wantJ {

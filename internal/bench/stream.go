@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "stream",
+		Title:    "Streaming search: peak heap vs memory budget",
+		Artifact: "reduced-memory scan / DESIGN.md §10",
+		Run:      runStream,
+	})
+}
+
+// runStream measures the reduced-memory claim at workload scale: the
+// same database search run in-memory (load everything, then scan) and
+// streamed under shrinking -max-memory budgets, comparing peak heap,
+// wall time and producer stalls. The hits must be bit-identical in
+// every mode — the budget buys memory, never answers.
+func runStream(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	query := gen.Random(100)
+	const records = 64
+	recLen := cfg.scaled(1 << 20) // 64 MiB database at scale 1
+
+	f, err := os.CreateTemp("", "swfpga-stream-*.fa")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.Remove(f.Name()) }()
+	var dbBytes int64
+	motif := query[:40]
+	for i := 0; i < records; i++ {
+		rec := gen.RandomSequence(fmt.Sprintf("r%05d", i), recLen)
+		// Plant the query's prefix in every eighth record so the
+		// conformance check compares a non-empty hit list.
+		if i%8 == 0 && recLen > len(motif) {
+			seq.PlantMotif(rec.Data, motif, recLen/3)
+		}
+		if err := seq.WriteFASTA(f, 80, rec); err != nil {
+			_ = f.Close()
+			return err
+		}
+		dbBytes += int64(len(rec.Data))
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	opts := search.Options{MinScore: 25, Workers: cfg.Workers}
+	fmt.Fprintf(w, "workload: %d BP query vs %d records x %d BP (%s database), %d workers\n\n",
+		len(query), records, recLen, formatBytes(uint64(dbBytes)), cfg.Workers)
+
+	// peakDuring samples HeapAlloc while fn runs and reports the peak
+	// growth over the post-GC baseline.
+	peakDuring := func(fn func() error) (uint64, float64, error) {
+		defer debug.SetGCPercent(debug.SetGCPercent(20))
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		peak := base.HeapAlloc
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			var ms runtime.MemStats
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					runtime.ReadMemStats(&ms)
+					if ms.HeapAlloc > peak {
+						peak = ms.HeapAlloc
+					}
+				}
+			}
+		}()
+		var runErr error
+		sec := measure(func() { runErr = fn() })
+		close(stop)
+		<-done
+		return peak - base.HeapAlloc, sec, runErr
+	}
+
+	type outcome struct {
+		label   string
+		peak    uint64
+		seconds float64
+		stalls  int64
+		hits    []search.Hit
+	}
+	var outcomes []outcome
+
+	// In-memory reference: the whole database resident, then scanned.
+	{
+		var hits []search.Hit
+		peak, sec, err := peakDuring(func() error {
+			db, err := seq.ReadFASTAFile(f.Name())
+			if err != nil {
+				return err
+			}
+			hits, err = search.Search(context.Background(), db, query, opts, nil)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{label: "in-memory", peak: peak, seconds: sec, hits: hits})
+	}
+
+	// Streamed at shrinking budgets: half, an eighth, and a single
+	// record's worth of window.
+	for _, b := range []struct {
+		label  string
+		budget int64
+	}{
+		{"stream 1/2 db", dbBytes / 2},
+		{"stream 1/8 db", dbBytes / 8},
+		{"stream 1 rec", int64(recLen)},
+	} {
+		var hits []search.Hit
+		stalls0 := telemetry.StreamStalls.Value()
+		peak, sec, err := peakDuring(func() error {
+			sf, err := os.Open(f.Name())
+			if err != nil {
+				return err
+			}
+			hits, err = search.Stream(context.Background(), seq.NewFASTASource(sf), query,
+				search.StreamOptions{Options: opts, MaxMemoryBytes: b.budget}, nil)
+			if cerr := sf.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, outcome{
+			label: b.label, peak: peak, seconds: sec,
+			stalls: telemetry.StreamStalls.Value() - stalls0, hits: hits,
+		})
+	}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "mode\tbudget\tpeak heap\ttime\tstalls\thits")
+	budgets := []string{"-", formatBytes(uint64(dbBytes / 2)), formatBytes(uint64(dbBytes / 8)), formatBytes(uint64(recLen))}
+	for i, o := range outcomes {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f s\t%d\t%d\n",
+			o.label, budgets[i], formatBytes(o.peak), o.seconds, o.stalls, len(o.hits))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	identical := true
+	for _, o := range outcomes[1:] {
+		if !reflect.DeepEqual(o.hits, outcomes[0].hits) {
+			identical = false
+		}
+	}
+	fmt.Fprintf(w, "\nhits bit-identical across all modes: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("bench stream: streamed hits diverge from the in-memory search")
+	}
+	if last := outcomes[len(outcomes)-1]; last.peak < outcomes[0].peak {
+		fmt.Fprintf(w, "tightest budget cuts peak heap %.1fx below the in-memory scan\n",
+			float64(outcomes[0].peak)/float64(last.peak))
+	}
+	return nil
+}

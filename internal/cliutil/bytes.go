@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// byteSuffixes maps size suffixes to their multipliers. Binary (KiB)
+// and decimal (KB) prefixes are both accepted; matching is
+// case-insensitive and longest-suffix-first.
+var byteSuffixes = []struct {
+	suffix string
+	mult   float64
+}{
+	{"tib", 1 << 40}, {"gib", 1 << 30}, {"mib", 1 << 20}, {"kib", 1 << 10},
+	{"tb", 1e12}, {"gb", 1e9}, {"mb", 1e6}, {"kb", 1e3},
+	{"t", 1 << 40}, {"g", 1 << 30}, {"m", 1 << 20}, {"k", 1 << 10},
+	{"b", 1},
+}
+
+// ParseBytes parses a human-readable byte size: "268435456", "256MiB",
+// "1.5GiB", "64MB", "512k". A bare number is bytes. Negative sizes are
+// rejected.
+func ParseBytes(s string) (int64, error) {
+	in := strings.TrimSpace(s)
+	if in == "" {
+		return 0, fmt.Errorf("empty byte size")
+	}
+	low := strings.ToLower(in)
+	mult := 1.0
+	num := low
+	for _, sx := range byteSuffixes {
+		if strings.HasSuffix(low, sx.suffix) {
+			mult = sx.mult
+			num = strings.TrimSpace(low[:len(low)-len(sx.suffix)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("byte size %q must not be negative", s)
+	}
+	n := v * mult
+	if n > float64(1<<62) {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return int64(n), nil
+}

@@ -1,0 +1,38 @@
+package cliutil
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"268435456", 268435456},
+		{"256MiB", 256 << 20},
+		{"256mib", 256 << 20},
+		{" 64 KiB ", 64 << 10},
+		{"1.5GiB", 3 << 29},
+		{"2GB", 2e9},
+		{"10kb", 10_000},
+		{"512k", 512 << 10},
+		{"1g", 1 << 30},
+		{"100B", 100},
+		{"1TiB", 1 << 40},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "MiB", "-1KiB", "1.2.3MB", "lots", "1QiB"} {
+		if v, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error", bad, v)
+		}
+	}
+}

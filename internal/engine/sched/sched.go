@@ -72,6 +72,9 @@ type Task struct {
 	LastWorker int
 	// Backoff is the wait this attempt observes before running.
 	Backoff time.Duration
+	// Cost is the task's byte cost charged against a streaming run's
+	// budget (zero for Run's counted tasks).
+	Cost int64
 
 	// avoid is the worker this task prefers not to run on (checksum
 	// redispatch); -1 means none.
@@ -148,6 +151,10 @@ type result struct {
 // completed (by a worker or the Fallback hook) or the run aborts. On
 // abort the remaining in-flight attempts are cancelled and drained
 // before Run returns, so no goroutine outlives the call.
+//
+// Run is the counted, fully-materialized spelling of RunStream: a
+// zero-cost counting source with no byte budget admits every task up
+// front, reproducing the original eager dispatch loop exactly.
 func Run(ctx context.Context, tasks int, cfg Config, h Hooks) error {
 	if h.Do == nil {
 		panic("sched: Hooks.Do is required")
@@ -158,169 +165,17 @@ func Run(ctx context.Context, tasks int, cfg Config, h Hooks) error {
 	if tasks <= 0 {
 		return nil
 	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	pending := make([]Task, 0, tasks)
-	for i := 0; i < tasks; i++ {
-		pending = append(pending, Task{Index: i, LastWorker: -1, avoid: -1})
-	}
-	completed := 0
-	quarantined := make([]bool, cfg.Workers)
-	consec := make([]int, cfg.Workers)
-	idle := make([]int, 0, cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
-		idle = append(idle, w)
-	}
-	healthy := func() int {
-		n := 0
-		for _, q := range quarantined {
-			if !q {
-				n++
+	produced := 0
+	return RunStream(ctx, StreamConfig{Config: cfg}, StreamHooks{
+		Hooks: h,
+		Next: func(context.Context) (int64, bool, error) {
+			if produced >= tasks {
+				return 0, false, nil
 			}
-		}
-		return n
-	}
-
-	// Buffered so an in-flight worker can always deliver its result even
-	// while the master is between receives — no attempt goroutine is
-	// ever stuck on the send.
-	resCh := make(chan result, cfg.Workers)
-	inflight := 0
-	launch := func(w int, t Task) {
-		inflight++
-		go func(w int, t Task) {
-			if t.Backoff > 0 {
-				timer := time.NewTimer(t.Backoff)
-				select {
-				case <-timer.C:
-				case <-runCtx.Done():
-					timer.Stop()
-				}
-			}
-			actx := runCtx
-			cancelAttempt := func() {}
-			if cfg.AttemptTimeout > 0 {
-				actx, cancelAttempt = context.WithTimeout(runCtx, cfg.AttemptTimeout)
-			}
-			err := h.Do(actx, w, t)
-			cancelAttempt()
-			resCh <- result{worker: w, t: t, err: err}
-		}(w, t)
-	}
-
-	var abortErr error
-	for completed < tasks {
-		// Assign pending tasks to idle healthy workers, preferring a
-		// worker other than the one a task is avoiding.
-		for len(idle) > 0 && len(pending) > 0 {
-			t := pending[0]
-			pick := -1
-			for k, w := range idle {
-				if w != t.avoid {
-					pick = k
-					break
-				}
-			}
-			if pick < 0 {
-				if healthy() > 1 {
-					break // wait for a non-avoided worker to free up
-				}
-				pick = 0 // the avoided worker is the only one left
-			}
-			w := idle[pick]
-			idle = append(idle[:pick], idle[pick+1:]...)
-			pending = pending[1:]
-			if h.OnAssign != nil {
-				h.OnAssign(w, t)
-			}
-			launch(w, t)
-		}
-		if inflight == 0 {
-			break // no healthy worker can take the remaining tasks
-		}
-		r := <-resCh
-		inflight--
-		if r.err == nil {
-			completed++
-			consec[r.worker] = 0
-			idle = append(idle, r.worker)
-			continue
-		}
-
-		d := Decision{Abort: true}
-		if h.Classify != nil {
-			d = h.Classify(r.worker, r.t, r.err)
-		}
-		if d.Abort {
-			if err := ctx.Err(); err != nil {
-				abortErr = err
-			} else {
-				abortErr = r.err
-			}
-			break
-		}
-
-		// Per-worker circuit breaker.
-		consec[r.worker]++
-		if d.Quarantine || (cfg.QuarantineAfter > 0 && consec[r.worker] >= cfg.QuarantineAfter) {
-			if !quarantined[r.worker] {
-				quarantined[r.worker] = true
-				if h.OnQuarantine != nil {
-					h.OnQuarantine(r.worker, r.err)
-				}
-			}
-		} else {
-			idle = append(idle, r.worker)
-		}
-
-		// Bounded retry with exponential backoff.
-		if r.t.Attempt < cfg.MaxRetries {
-			next := r.t
-			next.Attempt++
-			next.LastWorker = r.worker
-			next.avoid = -1
-			if d.AvoidWorker {
-				next.avoid = r.worker
-			}
-			next.Backoff = backoffFor(cfg.Backoff, next.Attempt)
-			if h.OnRetry != nil {
-				h.OnRetry(next, r.err)
-			}
-			pending = append(pending, next)
-			continue
-		}
-		if h.Fallback == nil {
-			abortErr = &ExhaustedError{Task: r.t, Err: r.err}
-			break
-		}
-		h.Fallback(r.t)
-		completed++
-	}
-
-	if abortErr != nil {
-		// Cancel the stragglers and join them; their results are
-		// discarded without invoking any hook.
-		cancel()
-		for inflight > 0 {
-			<-resCh
-			inflight--
-		}
-		return abortErr
-	}
-
-	// Tasks no healthy worker could take complete out of band.
-	if completed < tasks {
-		if h.Fallback == nil {
-			return &UndispatchableError{Remaining: tasks - completed}
-		}
-		for _, t := range pending {
-			h.Fallback(t)
-			completed++
-		}
-	}
-	return nil
+			produced++
+			return 0, true, nil
+		},
+	})
 }
 
 // RotateHooks connects RunOne to the caller's single task.

@@ -1,0 +1,296 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// StreamConfig is the dispatch policy of a streaming run: the retry and
+// quarantine machinery of Config plus a byte budget bounding how much
+// task data may be admitted but not yet completed.
+type StreamConfig struct {
+	Config
+	// BudgetBytes bounds the summed Cost of tasks in flight (admitted
+	// and not yet completed). Admission is decided before the next
+	// task's cost is known — a FASTA source must parse a record to learn
+	// its size — so the window may overshoot the budget by at most one
+	// task. <= 0 disables the bound: the source is drained eagerly,
+	// which is exactly Run's pre-materialized behavior.
+	BudgetBytes int64
+}
+
+// StreamHooks connects a streaming run to its lazy task source and to
+// the caller's window telemetry. Only Do and Next are required.
+type StreamHooks struct {
+	Hooks
+	// Next produces the cost of the next task, or ok=false when the
+	// source is exhausted. A non-nil error aborts the run (the error is
+	// returned after in-flight attempts are drained). Next is called
+	// only from the master loop, never concurrently. Required.
+	Next func(ctx context.Context) (cost int64, ok bool, err error)
+	// OnAdmit observes a task entering the window; inflightBytes already
+	// includes its cost.
+	OnAdmit func(t Task, inflightBytes int64)
+	// OnRelease observes a task completing (by worker or Fallback);
+	// inflightBytes already excludes its cost.
+	OnRelease func(t Task, inflightBytes int64)
+	// OnStall observes the producer blocking on the byte budget: fired
+	// once per stall, when the next task would be pulled but
+	// inflightBytes has reached BudgetBytes.
+	OnStall func(inflightBytes int64)
+}
+
+// RunStream dispatches a lazily-produced task stream across cfg.Workers
+// workers under the configured retry/quarantine policy, pulling from
+// h.Next only while the byte budget has room. It blocks until the
+// source is exhausted and every admitted task has completed (by a
+// worker or the Fallback hook), or the run aborts; on abort the
+// remaining in-flight attempts are cancelled and drained before
+// RunStream returns, so no goroutine outlives the call.
+func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
+	if h.Do == nil {
+		panic("sched: Hooks.Do is required")
+	}
+	if h.Next == nil {
+		panic("sched: StreamHooks.Next is required")
+	}
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("sched: config needs at least one worker")
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		pending       []Task
+		produced      int
+		completed     int
+		inflightBytes int64
+		sourceDone    bool
+		stalled       bool
+	)
+	quarantined := make([]bool, cfg.Workers)
+	consec := make([]int, cfg.Workers)
+	idle := make([]int, 0, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		idle = append(idle, w)
+	}
+	healthy := func() int {
+		n := 0
+		for _, q := range quarantined {
+			if !q {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Buffered so an in-flight worker can always deliver its result even
+	// while the master is between receives — no attempt goroutine is
+	// ever stuck on the send.
+	resCh := make(chan result, cfg.Workers)
+	inflight := 0
+	launch := func(w int, t Task) {
+		inflight++
+		go func(w int, t Task) {
+			if t.Backoff > 0 {
+				timer := time.NewTimer(t.Backoff)
+				select {
+				case <-timer.C:
+				case <-runCtx.Done():
+					timer.Stop()
+				}
+			}
+			actx := runCtx
+			cancelAttempt := func() {}
+			if cfg.AttemptTimeout > 0 {
+				actx, cancelAttempt = context.WithTimeout(runCtx, cfg.AttemptTimeout)
+			}
+			err := h.Do(actx, w, t)
+			cancelAttempt()
+			resCh <- result{worker: w, t: t, err: err}
+		}(w, t)
+	}
+
+	// admit pulls tasks from the source into the pending window while
+	// the byte budget has room.
+	admit := func() error {
+		for !sourceDone {
+			if cfg.BudgetBytes > 0 && inflightBytes >= cfg.BudgetBytes {
+				if !stalled {
+					stalled = true
+					if h.OnStall != nil {
+						h.OnStall(inflightBytes)
+					}
+				}
+				return nil
+			}
+			cost, ok, err := h.Next(runCtx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				sourceDone = true
+				return nil
+			}
+			t := Task{Index: produced, LastWorker: -1, avoid: -1, Cost: cost}
+			produced++
+			inflightBytes += cost
+			pending = append(pending, t)
+			if h.OnAdmit != nil {
+				h.OnAdmit(t, inflightBytes)
+			}
+		}
+		return nil
+	}
+
+	// release retires a completed task from the window, reopening the
+	// budget for the producer.
+	release := func(t Task) {
+		inflightBytes -= t.Cost
+		stalled = false
+		if h.OnRelease != nil {
+			h.OnRelease(t, inflightBytes)
+		}
+	}
+
+	var abortErr error
+	for {
+		if err := admit(); err != nil {
+			abortErr = err
+			break
+		}
+		if sourceDone && completed == produced {
+			break
+		}
+		// Assign pending tasks to idle healthy workers, preferring a
+		// worker other than the one a task is avoiding.
+		for len(idle) > 0 && len(pending) > 0 {
+			t := pending[0]
+			pick := -1
+			for k, w := range idle {
+				if w != t.avoid {
+					pick = k
+					break
+				}
+			}
+			if pick < 0 {
+				if healthy() > 1 {
+					break // wait for a non-avoided worker to free up
+				}
+				pick = 0 // the avoided worker is the only one left
+			}
+			w := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			pending = pending[1:]
+			if h.OnAssign != nil {
+				h.OnAssign(w, t)
+			}
+			launch(w, t)
+		}
+		if inflight == 0 {
+			break // no healthy worker can take the remaining tasks
+		}
+		r := <-resCh
+		inflight--
+		if r.err == nil {
+			completed++
+			consec[r.worker] = 0
+			idle = append(idle, r.worker)
+			release(r.t)
+			continue
+		}
+
+		d := Decision{Abort: true}
+		if h.Classify != nil {
+			d = h.Classify(r.worker, r.t, r.err)
+		}
+		if d.Abort {
+			if err := ctx.Err(); err != nil {
+				abortErr = err
+			} else {
+				abortErr = r.err
+			}
+			break
+		}
+
+		// Per-worker circuit breaker.
+		consec[r.worker]++
+		if d.Quarantine || (cfg.QuarantineAfter > 0 && consec[r.worker] >= cfg.QuarantineAfter) {
+			if !quarantined[r.worker] {
+				quarantined[r.worker] = true
+				if h.OnQuarantine != nil {
+					h.OnQuarantine(r.worker, r.err)
+				}
+			}
+		} else {
+			idle = append(idle, r.worker)
+		}
+
+		// Bounded retry with exponential backoff. A retried task keeps
+		// its cost in the window: its data is still live.
+		if r.t.Attempt < cfg.MaxRetries {
+			next := r.t
+			next.Attempt++
+			next.LastWorker = r.worker
+			next.avoid = -1
+			if d.AvoidWorker {
+				next.avoid = r.worker
+			}
+			next.Backoff = backoffFor(cfg.Backoff, next.Attempt)
+			if h.OnRetry != nil {
+				h.OnRetry(next, r.err)
+			}
+			pending = append(pending, next)
+			continue
+		}
+		if h.Fallback == nil {
+			abortErr = &ExhaustedError{Task: r.t, Err: r.err}
+			break
+		}
+		h.Fallback(r.t)
+		completed++
+		release(r.t)
+	}
+
+	if abortErr != nil {
+		// Cancel the stragglers and join them; their results are
+		// discarded without invoking any hook.
+		cancel()
+		for inflight > 0 {
+			<-resCh
+			inflight--
+		}
+		return abortErr
+	}
+
+	// Tasks no healthy worker could take complete out of band — along
+	// with whatever the source has not yet produced.
+	if completed < produced || !sourceDone {
+		if h.Fallback == nil {
+			return &UndispatchableError{Remaining: produced - completed}
+		}
+		for _, t := range pending {
+			h.Fallback(t)
+			completed++
+			release(t)
+		}
+		pending = nil
+		for !sourceDone {
+			cost, ok, err := h.Next(runCtx)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			// Never enters the window: completed out of band immediately,
+			// so neither OnAdmit nor OnRelease observes it.
+			h.Fallback(Task{Index: produced, LastWorker: -1, avoid: -1, Cost: cost})
+			produced++
+			completed++
+		}
+	}
+	return nil
+}

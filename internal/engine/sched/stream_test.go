@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// streamSource returns a Next hook producing n tasks of the given cost.
+func streamSource(n int, cost int64) func(context.Context) (int64, bool, error) {
+	produced := 0
+	return func(context.Context) (int64, bool, error) {
+		if produced >= n {
+			return 0, false, nil
+		}
+		produced++
+		return cost, true, nil
+	}
+}
+
+func TestRunStreamCompletesEveryTask(t *testing.T) {
+	const tasks = 23
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 3}, BudgetBytes: 64}, StreamHooks{
+		Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			seen[task.Index]++
+			mu.Unlock()
+			return nil
+		}},
+		Next: streamSource(tasks, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != tasks {
+		t.Fatalf("completed %d distinct tasks, want %d", len(seen), tasks)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d ran %d times, want 1", idx, n)
+		}
+	}
+}
+
+// TestRunStreamBudgetBoundsWindow pins the admission discipline: the
+// window never holds more than BudgetBytes plus one task (the overshoot
+// allowed because a task's cost is only known after it is produced),
+// the producer stalls at the budget, and the window drains to zero.
+func TestRunStreamBudgetBoundsWindow(t *testing.T) {
+	const (
+		tasks  = 10
+		cost   = 10
+		budget = 25
+	)
+	// Admission and the hooks below all run on the master goroutine, so
+	// no locking is needed.
+	var maxBytes, lastBytes int64
+	stalls := 0
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2}, BudgetBytes: budget}, StreamHooks{
+		Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error { return nil }},
+		Next:  streamSource(tasks, cost),
+		OnAdmit: func(task Task, bytes int64) {
+			if bytes > maxBytes {
+				maxBytes = bytes
+			}
+			lastBytes = bytes
+		},
+		OnRelease: func(task Task, bytes int64) { lastBytes = bytes },
+		OnStall:   func(bytes int64) { stalls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 25 at cost 10 admits exactly three tasks before stalling.
+	if maxBytes != 30 {
+		t.Errorf("max window = %d bytes, want 30 (budget %d + one-task overshoot)", maxBytes, budget)
+	}
+	if stalls == 0 {
+		t.Error("producer never stalled despite a saturated budget")
+	}
+	if lastBytes != 0 {
+		t.Errorf("window holds %d bytes after the run, want 0", lastBytes)
+	}
+}
+
+func TestRunStreamSourceErrorAborts(t *testing.T) {
+	bad := errors.New("parse failure")
+	produced := 0
+	var mu sync.Mutex
+	completions := 0
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2}, BudgetBytes: 8}, StreamHooks{
+		Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+			mu.Lock()
+			completions++
+			mu.Unlock()
+			return nil
+		}},
+		Next: func(context.Context) (int64, bool, error) {
+			if produced == 4 {
+				return 0, false, bad
+			}
+			produced++
+			return 4, true, nil
+		},
+	})
+	if !errors.Is(err, bad) {
+		t.Fatalf("RunStream() = %v, want %v", err, bad)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if completions > 4 {
+		t.Errorf("%d completions from a 4-task source", completions)
+	}
+}
+
+// TestRunStreamRetryKeepsCost verifies a retried task is not released
+// from the window until it finally completes: its record data stays
+// live across attempts, so its bytes must stay charged.
+func TestRunStreamRetryKeepsCost(t *testing.T) {
+	flaky := errors.New("transient")
+	first := true
+	var mu sync.Mutex
+	var releases []int64
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 1, MaxRetries: 2}, BudgetBytes: 100}, StreamHooks{
+		Hooks: Hooks{
+			Do: func(ctx context.Context, worker int, task Task) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if first {
+					first = false
+					return flaky
+				}
+				return nil
+			},
+			Classify: func(worker int, task Task, err error) Decision { return Decision{} },
+		},
+		Next:      streamSource(1, 42),
+		OnRelease: func(task Task, bytes int64) { releases = append(releases, bytes) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(releases) != 1 || releases[0] != 0 {
+		t.Errorf("releases = %v, want one release draining to 0", releases)
+	}
+}
+
+// TestRunStreamFallbackDrainsSource checks that when every worker is
+// quarantined the rest of the stream — admitted or not — completes
+// through the Fallback hook, preserving Run's every-task-completes
+// contract.
+func TestRunStreamFallbackDrainsSource(t *testing.T) {
+	dead := errors.New("dead")
+	var mu sync.Mutex
+	fellBack := make(map[int]bool)
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2, QuarantineAfter: 1}, BudgetBytes: 10}, StreamHooks{
+		Hooks: Hooks{
+			Do:       func(ctx context.Context, worker int, task Task) error { return dead },
+			Classify: func(worker int, task Task, err error) Decision { return Decision{Quarantine: true} },
+			Fallback: func(task Task) {
+				mu.Lock()
+				fellBack[task.Index] = true
+				mu.Unlock()
+			},
+		},
+		Next: streamSource(9, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fellBack) != 9 {
+		t.Errorf("fallback completed %d tasks, want all 9", len(fellBack))
+	}
+}
+
+// TestRunStreamUnlimitedBudgetDrainsEagerly pins the Run-compat
+// behavior: with no budget the whole source is admitted before any
+// result is awaited.
+func TestRunStreamUnlimitedBudgetDrainsEagerly(t *testing.T) {
+	admitted := 0
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	done := make(chan error, 1)
+	go func() {
+		done <- RunStream(context.Background(), StreamConfig{Config: Config{Workers: 1}}, StreamHooks{
+			Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+				once.Do(func() { close(started) })
+				<-release
+				return nil
+			}},
+			Next:    streamSource(50, 1),
+			OnAdmit: func(Task, int64) { admitted++ },
+		})
+	}()
+	<-started
+	// The single worker is blocked on its first task, yet the producer
+	// must already have drained the source.
+	if admitted != 50 {
+		t.Errorf("admitted %d tasks while the worker was blocked, want all 50", admitted)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

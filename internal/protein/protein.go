@@ -10,13 +10,12 @@
 package protein
 
 import (
-	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"os"
-	"strings"
+
+	"swfpga/internal/seq"
 )
 
 // Alphabet is the amino-acid alphabet accepted here: the 20 standard
@@ -156,48 +155,51 @@ func parseMatrix(name string, gap int, tri [][]int8) *SubstMatrix {
 	return m
 }
 
+// NormalizeInto validates residues and appends their upper-case forms
+// to dst, returning the extended slice — the accumulating spelling of
+// Normalize for the streaming FASTA parser.
+func NormalizeInto(dst, rs []byte) ([]byte, error) {
+	for i, r := range rs {
+		idx := indexOf[r]
+		if idx < 0 {
+			return dst, fmt.Errorf("%w: byte %q at position %d", ErrInvalidResidue, r, i)
+		}
+		dst = append(dst, Alphabet[idx])
+	}
+	return dst, nil
+}
+
 // ReadFASTA parses amino-acid FASTA records (validated against the
 // protein alphabet; Stop markers are rejected — databases of translated
-// fragments should be split before writing).
+// fragments should be split before writing). The record grammar — and
+// the unbounded line length — comes from the shared seq.FASTAScanner;
+// only the alphabet validation is protein-specific.
 func ReadFASTA(r io.Reader) ([]Record, error) {
-	var (
-		out  []Record
-		cur  *Record
-		line int
-	)
-	flush := func() {
-		if cur != nil {
-			out = append(out, *cur)
-			cur = nil
-		}
-	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line++
-		b := bytes.TrimSpace(sc.Bytes())
-		if len(b) == 0 {
-			continue
-		}
-		if b[0] == '>' {
-			flush()
-			cur = &Record{ID: strings.TrimSpace(string(b[1:]))}
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("protein: FASTA line %d: data before first header", line)
-		}
-		norm, err := Normalize(b)
+	sc := seq.NewFASTAScanner(r)
+	var out []Record
+	for {
+		var residues []byte
+		var cbErr error
+		id, ok, err := sc.Next(func(line int, b []byte) error {
+			var nerr error
+			residues, nerr = NormalizeInto(residues, b)
+			if nerr != nil {
+				cbErr = fmt.Errorf("protein: FASTA line %d: %w", line, nerr)
+				return cbErr
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("protein: FASTA line %d: %w", line, err)
+			if err == cbErr {
+				return nil, err
+			}
+			return nil, fmt.Errorf("protein: %w", err)
 		}
-		cur.Residues = append(cur.Residues, norm...)
+		if !ok {
+			return out, nil
+		}
+		out = append(out, Record{ID: id, Residues: residues})
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("protein: reading FASTA: %w", err)
-	}
-	flush()
-	return out, nil
 }
 
 // ReadFASTAFile reads protein records from disk.

@@ -198,6 +198,46 @@ func TestProteinFASTA(t *testing.T) {
 	}
 }
 
+// TestProteinFASTADegenerateHeaders pins the same degenerate-record
+// semantics the DNA parser guarantees: bare '>' is an empty ID, a
+// header-only record has empty Residues, CRLF parses like LF — the
+// shared scanner keeps the two packages' grammars identical.
+func TestProteinFASTADegenerateHeaders(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(">\nMKVL\n>header-only\n>tail\r\nACD\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].ID != "" || string(recs[0].Residues) != "MKVL" {
+		t.Errorf("bare '>' record = %q %q", recs[0].ID, recs[0].Residues)
+	}
+	if recs[1].ID != "header-only" || len(recs[1].Residues) != 0 {
+		t.Errorf("header-only record = %q with %d residues, want empty", recs[1].ID, len(recs[1].Residues))
+	}
+	if recs[2].ID != "tail" || string(recs[2].Residues) != "ACD" {
+		t.Errorf("CRLF record = %q %q", recs[2].ID, recs[2].Residues)
+	}
+}
+
+// TestProteinFASTALongUnwrappedLine holds the protein parser to the
+// same no-line-ceiling contract as the DNA one, exercised through a
+// line far longer than the scanner's read buffer.
+func TestProteinFASTALongUnwrappedLine(t *testing.T) {
+	long := strings.Repeat("MKVLAWGRT", 40000) // 360 KB on one line
+	recs, err := ReadFASTA(strings.NewReader(">big\n" + long + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0].Residues) != len(long) {
+		t.Fatalf("got %d records, %d residues (want %d)", len(recs), len(recs[0].Residues), len(long))
+	}
+	if string(recs[0].Residues) != long {
+		t.Error("long record corrupted")
+	}
+}
+
 func TestProteinFASTAFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "p.fa")

@@ -1,0 +1,186 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"swfpga/internal/engine"
+	"swfpga/internal/engine/sched"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+// StreamOptions controls a streaming search.
+type StreamOptions struct {
+	Options
+	// MaxMemoryBytes bounds the parsed record data admitted to the
+	// prefetch window (records in flight between the parser and the scan
+	// workers). The producer stalls at the budget and resumes as scanned
+	// records are released, so peak memory tracks the budget instead of
+	// the database size. Because a record's size is only known after
+	// parsing it, the window may overshoot by one record; a single
+	// record larger than the budget still streams (alone). <= 0 leaves
+	// the window unbounded.
+	MaxMemoryBytes int64
+}
+
+// streamRecordOverhead is the per-record bookkeeping charge added to a
+// record's data bytes when it is admitted, so header-only records are
+// not free and the budget tracks real footprint, not just bases.
+const streamRecordOverhead = 64
+
+// Stream scans query against every record produced by src, holding at
+// most opts.MaxMemoryBytes of parsed record data in flight. It is the
+// bounded-memory spelling of Search: hits, their statistics and their
+// order are bit-identical to Search over the same records — the paper's
+// reduced-memory contract, where the database streams through the
+// accelerator instead of residing in host memory.
+//
+// Records stream record by record regardless of Options.Batch (batch
+// negotiation needs the whole database up front). The first parse or
+// scan error cancels the in-flight work and is returned.
+func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts StreamOptions, newEngine Factory) ([]Hit, error) {
+	o := opts.Options.withDefaults()
+	if err := o.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("search: nil record source")
+	}
+	if newEngine == nil {
+		newEngine = EngineFactory("software", engine.Config{})
+	}
+	workers := o.Workers
+
+	ctx, span := telemetry.StartSpan(ctx, "search")
+	span.SetInt("query_len", int64(len(query)))
+	span.SetInt("workers", int64(workers))
+	span.SetInt("streaming", 1)
+	defer span.End()
+	defer telemetry.StreamBufferBytes.Set(0)
+
+	// Each worker's engine is built lazily on its first task. A worker
+	// has at most one attempt in flight, and consecutive attempts on a
+	// worker are sequenced through the scheduler's master loop, so the
+	// slot needs no lock.
+	engines := make([]engine.Engine, workers)
+	engineFor := func(w int) (engine.Engine, error) {
+		if engines[w] == nil {
+			e, err := newEngine()
+			if err != nil {
+				return nil, err
+			}
+			if e == nil {
+				return nil, fmt.Errorf("search: engine factory returned nil")
+			}
+			engines[w] = e
+		}
+		return engines[w], nil
+	}
+
+	// window holds admitted records by index until they are scanned and
+	// released; shared between the master (admit/release) and the
+	// workers (scan), hence the lock.
+	var (
+		winMu  sync.Mutex
+		window = map[int]seq.Sequence{}
+	)
+	var (
+		hitsMu        sync.Mutex
+		hitsPerRecord = map[int][]Hit{}
+	)
+	// lens collects record lengths for the statistics pass; written only
+	// by the master goroutine, read after the run completes.
+	var lens []int
+
+	err := sched.RunStream(ctx, sched.StreamConfig{
+		Config:      sched.Config{Workers: workers},
+		BudgetBytes: opts.MaxMemoryBytes,
+	}, sched.StreamHooks{
+		Hooks: sched.Hooks{
+			// Classify is nil: the first record error aborts the run and
+			// cancels the in-flight scans.
+			Do: func(sctx context.Context, w int, tk sched.Task) error {
+				e, err := engineFor(w)
+				if err != nil {
+					return err
+				}
+				winMu.Lock()
+				rec := window[tk.Index]
+				winMu.Unlock()
+				hs, err := scanRecord(sctx, rec, tk.Index, query, o, e)
+				if err != nil {
+					return fmt.Errorf("search: record %q: %w", rec.ID, err)
+				}
+				if len(hs) > 0 {
+					hitsMu.Lock()
+					hitsPerRecord[tk.Index] = hs
+					hitsMu.Unlock()
+				}
+				return nil
+			},
+		},
+		Next: func(nctx context.Context) (int64, bool, error) {
+			_, pspan := telemetry.StartSpan(nctx, "search.parse")
+			defer pspan.End()
+			rec, err := src.Next()
+			if err == io.EOF {
+				return 0, false, nil
+			}
+			if err != nil {
+				return 0, false, fmt.Errorf("search: %w", err)
+			}
+			idx := len(lens)
+			pspan.SetInt("index", int64(idx))
+			pspan.SetInt("bases", int64(len(rec.Data)))
+			winMu.Lock()
+			window[idx] = rec
+			winMu.Unlock()
+			lens = append(lens, len(rec.Data))
+			return int64(len(rec.Data)) + streamRecordOverhead, true, nil
+		},
+		OnAdmit: func(_ sched.Task, bytes int64) {
+			telemetry.StreamBufferBytes.Set(float64(bytes))
+		},
+		OnRelease: func(tk sched.Task, bytes int64) {
+			telemetry.StreamBufferBytes.Set(float64(bytes))
+			winMu.Lock()
+			delete(window, tk.Index)
+			winMu.Unlock()
+		},
+		OnStall: func(int64) { telemetry.StreamStalls.Add(1) },
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("search: %w", cerr)
+		}
+		return nil, err
+	}
+
+	// Identical ranking pipeline to Search: concatenate in record order,
+	// then the canonical sort — hit order is a pure function of the
+	// records, independent of window size and completion order.
+	var out []Hit
+	for i := 0; i < len(lens); i++ {
+		out = append(out, hitsPerRecord[i]...)
+	}
+	sortHits(out)
+	if o.TopK > 0 && len(out) > o.TopK {
+		out = out[:o.TopK]
+	}
+	if o.Stats != nil {
+		for i := range out {
+			n := lens[out[i].RecordIndex]
+			out[i].EValue = o.Stats.EValue(len(query), n, out[i].Result.Score)
+			out[i].BitScore = o.Stats.BitScore(out[i].Result.Score)
+		}
+	}
+	span.SetInt("records", int64(len(lens)))
+	span.SetInt("hits", int64(len(out)))
+	return out, nil
+}

@@ -2,55 +2,22 @@ package seq
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 )
 
 // ReadFASTA parses all records from a FASTA stream. Blank lines are
 // ignored; sequence lines are validated and normalized to upper case.
+// Line length is unbounded — records may be wrapped or not.
 func ReadFASTA(r io.Reader) ([]Sequence, error) {
-	var (
-		out  []Sequence
-		cur  *Sequence
-		data []byte
-		line int
-	)
-	flush := func() {
-		if cur != nil {
-			cur.Data = data
-			out = append(out, *cur)
-			cur, data = nil, nil
-		}
+	var out []Sequence
+	if err := ScanFASTA(r, func(rec Sequence) error {
+		out = append(out, rec)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line++
-		b := bytes.TrimSpace(sc.Bytes())
-		if len(b) == 0 {
-			continue
-		}
-		if b[0] == '>' {
-			flush()
-			cur = &Sequence{ID: strings.TrimSpace(string(b[1:]))}
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("seq: FASTA line %d: sequence data before first header", line)
-		}
-		norm, err := Normalize(b)
-		if err != nil {
-			return nil, fmt.Errorf("seq: FASTA line %d: %w", line, err)
-		}
-		data = append(data, norm...)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("seq: reading FASTA: %w", err)
-	}
-	flush()
 	return out, nil
 }
 
@@ -114,46 +81,22 @@ func WriteFASTAFile(path string, width int, records ...Sequence) error {
 // whole database in memory — the access pattern a 100 MBP database scan
 // needs. fn returning an error stops the scan and propagates the error.
 func ScanFASTA(r io.Reader, fn func(Sequence) error) error {
-	var (
-		cur  *Sequence
-		data []byte
-		line int
-	)
-	flush := func() error {
-		if cur == nil {
+	return scanFASTASource(NewFASTASource(r), fn)
+}
+
+// scanFASTASource drains a source through fn (shared by ScanFASTA and
+// the small-buffer test paths).
+func scanFASTASource(src RecordSource, fn func(Sequence) error) error {
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
 			return nil
 		}
-		cur.Data = data
-		err := fn(*cur)
-		cur, data = nil, nil
-		return err
-	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	for sc.Scan() {
-		line++
-		b := bytes.TrimSpace(sc.Bytes())
-		if len(b) == 0 {
-			continue
-		}
-		if b[0] == '>' {
-			if err := flush(); err != nil {
-				return err
-			}
-			cur = &Sequence{ID: strings.TrimSpace(string(b[1:]))}
-			continue
-		}
-		if cur == nil {
-			return fmt.Errorf("seq: FASTA line %d: sequence data before first header", line)
-		}
-		norm, err := Normalize(b)
 		if err != nil {
-			return fmt.Errorf("seq: FASTA line %d: %w", line, err)
+			return err
 		}
-		data = append(data, norm...)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("seq: reading FASTA: %w", err)
-	}
-	return flush()
 }

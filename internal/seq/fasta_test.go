@@ -61,6 +61,100 @@ func TestReadFASTAEmptySequence(t *testing.T) {
 	}
 }
 
+// TestReadFASTAHugeUnwrappedLine is the regression test for the 16 MiB
+// line ceiling: the old bufio.Scanner parsers (sc.Buffer(..., 1<<24))
+// failed with "token too long" on any unwrapped sequence line past
+// 16 MiB — exactly the genome-scale contigs the streaming scan targets.
+// The shared chunked scanner has no ceiling.
+func TestReadFASTAHugeUnwrappedLine(t *testing.T) {
+	const n = 1<<24 + 5 // one base past the old parsers' max token
+	huge := bytes.Repeat([]byte("ACGT"), n/4+1)[:n]
+	var in bytes.Buffer
+	in.WriteString(">small\nTTTT\n>huge unwrapped\n")
+	in.Write(huge)
+	in.WriteString("\n>after\nGG\n")
+
+	recs, err := ReadFASTA(bytes.NewReader(in.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadFASTA on a >16 MiB line: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].ID != "huge unwrapped" || recs[1].Len() != n {
+		t.Errorf("huge record = %q, %d bases (want %d)", recs[1].ID, recs[1].Len(), n)
+	}
+	if !bytes.Equal(recs[1].Data, huge) {
+		t.Error("huge record data corrupted")
+	}
+	if recs[2].ID != "after" || recs[2].String() != "GG" {
+		t.Errorf("record after the huge line = %q %q", recs[2].ID, recs[2].String())
+	}
+
+	// The streaming path sees the same bytes.
+	count := 0
+	if err := ScanFASTA(bytes.NewReader(in.Bytes()), func(rec Sequence) error {
+		count++
+		return nil
+	}); err != nil || count != 3 {
+		t.Errorf("ScanFASTA: %d records, %v", count, err)
+	}
+}
+
+// TestFASTADegenerateHeaders pins the previously untested semantics of
+// degenerate records: a bare '>' yields an empty ID, a header-only
+// record yields empty Data, and both are ordinary records.
+func TestFASTADegenerateHeaders(t *testing.T) {
+	in := ">\nACGT\n>header-only\n>tail\nGG\n"
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].ID != "" || recs[0].String() != "ACGT" {
+		t.Errorf("bare '>' record = %q %q, want empty ID with data", recs[0].ID, recs[0].String())
+	}
+	if recs[1].ID != "header-only" || recs[1].Len() != 0 {
+		t.Errorf("header-only record = %q with %d bases, want empty Data", recs[1].ID, recs[1].Len())
+	}
+	if recs[2].ID != "tail" || recs[2].String() != "GG" {
+		t.Errorf("record 2 = %q %q", recs[2].ID, recs[2].String())
+	}
+}
+
+// TestFASTACRLF pins that Windows line endings parse identically to
+// Unix ones, in both the buffered and the streaming parser.
+func TestFASTACRLF(t *testing.T) {
+	unix := ">a one\nACGT\nGG\n>b\nTT\n"
+	dos := strings.ReplaceAll(unix, "\n", "\r\n")
+	want, err := ReadFASTA(strings.NewReader(unix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(strings.NewReader(dos))
+	if err != nil {
+		t.Fatalf("CRLF input: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CRLF: %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("CRLF record %d = %q %q, want %q %q",
+				i, got[i].ID, got[i].String(), want[i].ID, want[i].String())
+		}
+	}
+	var streamed []Sequence
+	if err := ScanFASTA(strings.NewReader(dos), func(rec Sequence) error {
+		streamed = append(streamed, rec)
+		return nil
+	}); err != nil || len(streamed) != len(want) {
+		t.Errorf("ScanFASTA CRLF: %d records, %v", len(streamed), err)
+	}
+}
+
 func TestWriteFASTAWrapping(t *testing.T) {
 	var buf bytes.Buffer
 	rec := Sequence{ID: "x", Data: []byte("ACGTACGTAC")}

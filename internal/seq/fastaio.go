@@ -1,0 +1,201 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// defaultFASTABuffer is the read-buffer size of the FASTA scanner: one
+// bufio window, also the granularity at which sequence lines are
+// streamed to the caller.
+const defaultFASTABuffer = 64 << 10
+
+// asciiSpace is the whitespace cutset the FASTA grammar ignores at line
+// edges (the ASCII subset of bytes.TrimSpace — sequence bytes are ASCII
+// by construction, and a non-ASCII byte fails validation anyway).
+const asciiSpace = " \t\r\n\v\f"
+
+// FASTAScanner splits a FASTA stream into records without ever
+// buffering a whole sequence line: data reaches the caller in chunks of
+// at most the read-buffer size. That removes the fixed line ceiling of
+// the old bufio.Scanner parsers (any unwrapped record line past 16 MiB
+// — routine for genome-scale contigs — failed with "token too long")
+// and keeps the parser's own memory flat no matter how the input is
+// wrapped. Header lines are buffered whole (they are IDs, not data).
+//
+// The scanner is shared by every FASTA parser in the repository: the
+// DNA readers here and the protein reader build their alphabet-specific
+// validation on top of it.
+type FASTAScanner struct {
+	r    *bufio.Reader
+	line int // 1-based number of the line currently being read
+
+	pendingID   string // header of the record after the current one
+	havePending bool
+	done        bool
+	err         error // sticky failure; all later calls re-report it
+
+	hdr []byte // reused accumulator for the current header line
+	ws  []byte // whitespace held back at a chunk edge inside a data line
+}
+
+// NewFASTAScanner returns a scanner over r with the default read
+// buffer.
+func NewFASTAScanner(r io.Reader) *FASTAScanner {
+	return NewFASTAScannerSize(r, defaultFASTABuffer)
+}
+
+// NewFASTAScannerSize sets the read-buffer (and therefore chunk) size —
+// the injectable limit tests use to drive every chunk-boundary path
+// without allocating multi-MiB inputs. The size bounds only how much is
+// read at once, never how long a line may be.
+func NewFASTAScannerSize(r io.Reader, size int) *FASTAScanner {
+	return &FASTAScanner{r: bufio.NewReaderSize(r, size)}
+}
+
+// Next advances to the next record. The record's sequence data is
+// streamed through chunk in input order, annotated with the 1-based
+// line number each piece came from; chunk slices are reused between
+// calls, so callers must copy what they keep. Next returns the record's
+// header (the text after '>', space-trimmed) and ok=true, or ok=false
+// once the stream is exhausted.
+//
+// Errors returned by chunk abort the scan and are returned verbatim;
+// the scanner's own errors (malformed layout, read failures) carry no
+// package prefix so each caller can attribute them.
+func (s *FASTAScanner) Next(chunk func(line int, data []byte) error) (id string, ok bool, err error) {
+	if s.err != nil {
+		return "", false, s.err
+	}
+	if s.done {
+		return "", false, nil
+	}
+	if s.havePending {
+		id, s.havePending = s.pendingID, false
+	} else {
+		// First record: everything before the first header must be
+		// whitespace.
+		first, sawHeader, err := s.consume(func(line int, data []byte) error {
+			return fmt.Errorf("FASTA line %d: sequence data before first header", line)
+		})
+		if err != nil {
+			s.err = err
+			return "", false, err
+		}
+		if !sawHeader {
+			s.done = true
+			return "", false, nil
+		}
+		id = first
+	}
+	next, sawHeader, err := s.consume(chunk)
+	if err != nil {
+		s.err = err
+		return "", false, err
+	}
+	if sawHeader {
+		s.pendingID, s.havePending = next, true
+	} else {
+		s.done = true
+	}
+	return id, true, nil
+}
+
+// consume processes lines until it reads a complete header line
+// (returning its id) or the stream ends. Sequence data encountered on
+// the way is streamed to onData.
+func (s *FASTAScanner) consume(onData func(line int, data []byte) error) (id string, sawHeader bool, err error) {
+	for {
+		isHeader, sawLine, eof, err := s.scanLine(onData)
+		if err != nil {
+			return "", false, err
+		}
+		if isHeader {
+			h := bytes.Trim(s.hdr, asciiSpace)
+			return strings.Trim(string(h[1:]), asciiSpace), true, nil
+		}
+		if eof && !sawLine {
+			return "", false, nil
+		}
+		if eof {
+			// The final (unterminated) line was data or blank; the
+			// stream ends here.
+			return "", false, nil
+		}
+	}
+}
+
+// scanLine reads one line in buffer-sized chunks. Data lines are
+// streamed to onData with edge whitespace trimmed — leading whitespace
+// is skipped, trailing whitespace is held back until the line either
+// ends (dropped) or continues with more data (emitted, so interior
+// whitespace still reaches validation exactly as a buffered parser
+// would deliver it). Header lines accumulate whole into s.hdr.
+func (s *FASTAScanner) scanLine(onData func(line int, data []byte) error) (isHeader, sawLine, eof bool, err error) {
+	s.line++
+	s.ws = s.ws[:0]
+	started := false // seen a non-whitespace byte on this line
+	for {
+		b, rerr := s.r.ReadSlice('\n')
+		lineDone := false
+		switch rerr {
+		case nil:
+			b = b[:len(b)-1] // drop the terminator
+			lineDone = true
+		case bufio.ErrBufferFull:
+			// The line continues past the buffer; keep streaming.
+		case io.EOF:
+			lineDone, eof = true, true
+		default:
+			return false, started, false, fmt.Errorf("reading FASTA: %w", rerr)
+		}
+		if !started {
+			b = bytes.TrimLeft(b, asciiSpace)
+			if len(b) > 0 {
+				started = true
+				isHeader = b[0] == '>'
+				if isHeader {
+					s.hdr = s.hdr[:0]
+				}
+			}
+		}
+		if len(b) > 0 {
+			if isHeader {
+				s.hdr = append(s.hdr, b...)
+			} else if err := s.emitData(b, onData); err != nil {
+				return false, started, false, err
+			}
+		}
+		if lineDone {
+			if eof && !started && len(s.ws) == 0 && len(b) == 0 {
+				// Nothing at all on this line: pure end of stream.
+				return isHeader, started, eof, nil
+			}
+			return isHeader, started, eof, nil
+		}
+	}
+}
+
+// emitData forwards one chunk of a sequence line, holding trailing
+// whitespace back until the line's fate is known.
+func (s *FASTAScanner) emitData(b []byte, onData func(line int, data []byte) error) error {
+	core := bytes.TrimRight(b, asciiSpace)
+	if len(core) > 0 {
+		if len(s.ws) > 0 {
+			// The held whitespace turned out to be interior; deliver it
+			// so validation sees the same bytes a buffered parser would.
+			if err := onData(s.line, s.ws); err != nil {
+				return err
+			}
+			s.ws = s.ws[:0]
+		}
+		if err := onData(s.line, core); err != nil {
+			return err
+		}
+	}
+	s.ws = append(s.ws, b[len(core):]...)
+	return nil
+}

@@ -1,0 +1,160 @@
+package seq
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// collect drains a scanner with the given buffer size into materialized
+// records, normalizing chunks the way FASTASource does.
+func collect(t *testing.T, input string, bufSize int) ([]Sequence, error) {
+	t.Helper()
+	return collectSource(newFASTASourceSize(strings.NewReader(input), bufSize))
+}
+
+func collectSource(src RecordSource) ([]Sequence, error) {
+	var out []Sequence
+	err := scanFASTASource(src, func(rec Sequence) error {
+		out = append(out, rec)
+		return nil
+	})
+	return out, err
+}
+
+// TestScannerSmallBuffer drives every chunk-boundary path with a
+// 16-byte read buffer (the injectable limit): lines, headers and edge
+// whitespace all span chunks, without allocating multi-MiB inputs.
+func TestScannerSmallBuffer(t *testing.T) {
+	in := ">record-one with a header far longer than the buffer\n" +
+		"ACGTACGTACGTACGTACGTACGTACGTACGTACGT\n" + // line > buffer
+		"acgt\n" +
+		"\n" +
+		">r2\n" +
+		"GG  \nTT\n" // trailing spaces dropped at the line end
+	recs, err := collect(t, in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].ID != "record-one with a header far longer than the buffer" {
+		t.Errorf("id 0 = %q", recs[0].ID)
+	}
+	want := "ACGTACGTACGTACGTACGTACGTACGTACGTACGT" + "ACGT"
+	if recs[0].String() != want {
+		t.Errorf("data 0 = %q, want %q", recs[0].String(), want)
+	}
+	if recs[1].ID != "r2" || recs[1].String() != "GGTT" {
+		t.Errorf("record 1 = %q %q", recs[1].ID, recs[1].String())
+	}
+}
+
+// TestScannerAgreesAcrossBufferSizes pins that the chunked parse is a
+// pure function of the bytes, not of how they arrive.
+func TestScannerAgreesAcrossBufferSizes(t *testing.T) {
+	g := NewGenerator(11)
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, 13, g.RandomSequence("a", 257), g.RandomSequence("b", 1), g.RandomSequence("c", 64)); err != nil {
+		t.Fatal(err)
+	}
+	in := buf.String() + ">tail\n" + strings.Repeat("ACGT", 40) + "\n"
+	ref, err := collect(t, in, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{16, 17, 31, 64, 251} {
+		got, err := collect(t, in, size)
+		if err != nil {
+			t.Fatalf("buffer %d: %v", size, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("buffer %d: %d records, want %d", size, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].ID != ref[i].ID || !bytes.Equal(got[i].Data, ref[i].Data) {
+				t.Errorf("buffer %d: record %d differs", size, i)
+			}
+		}
+	}
+}
+
+// TestScannerInteriorWhitespaceStillFails pins that edge-trimming does
+// not silently accept whitespace inside a sequence line — the buffered
+// parsers rejected it through validation, and so must the chunked one,
+// even when the whitespace straddles a chunk boundary.
+func TestScannerInteriorWhitespaceStillFails(t *testing.T) {
+	in := ">x\nACGT     ACGT\n"
+	for _, size := range []int{16, 1 << 16} {
+		if _, err := collect(t, in, size); err == nil {
+			t.Errorf("buffer %d: interior whitespace should fail validation", size)
+		}
+	}
+}
+
+func TestScannerChunkCallbackError(t *testing.T) {
+	sentinel := errors.New("stop")
+	sc := NewFASTAScannerSize(strings.NewReader(">a\nACGT\n>b\nGG\n"), 16)
+	_, _, err := sc.Next(func(line int, data []byte) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	// The failure is sticky: the scan cannot resume mid-record.
+	if _, ok, err := sc.Next(func(int, []byte) error { return nil }); ok || !errors.Is(err, sentinel) {
+		t.Errorf("after failure: ok=%v err=%v, want sticky error", ok, err)
+	}
+}
+
+func TestScannerHeaderOnlyAtEOF(t *testing.T) {
+	sc := NewFASTAScanner(strings.NewReader(">last")) // no trailing newline
+	id, ok, err := sc.Next(func(int, []byte) error { return nil })
+	if err != nil || !ok || id != "last" {
+		t.Fatalf("Next = %q %v %v", id, ok, err)
+	}
+	if _, ok, err := sc.Next(func(int, []byte) error { return nil }); ok || err != nil {
+		t.Fatalf("second Next = ok=%v err=%v, want end of stream", ok, err)
+	}
+}
+
+func TestScannerDataBeforeHeader(t *testing.T) {
+	sc := NewFASTAScanner(strings.NewReader("ACGT\n>x\nAC\n"))
+	_, _, err := sc.Next(func(int, []byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "before first header") {
+		t.Fatalf("err = %v, want data-before-header", err)
+	}
+}
+
+func TestFASTASourceStreams(t *testing.T) {
+	src := NewFASTASource(strings.NewReader(">a\nAC\nGT\n>b\nTTTT\n"))
+	a, err := src.Next()
+	if err != nil || a.ID != "a" || a.String() != "ACGT" {
+		t.Fatalf("first = %+v, %v", a, err)
+	}
+	b, err := src.Next()
+	if err != nil || b.ID != "b" || b.String() != "TTTT" {
+		t.Fatalf("second = %+v, %v", b, err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("end = %v, want io.EOF", err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("end is not sticky: %v", err)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := []Sequence{MustNew("a", "ACGT"), MustNew("b", "TT")}
+	src := SliceSource(recs)
+	for i := range recs {
+		got, err := src.Next()
+		if err != nil || got.ID != recs[i].ID {
+			t.Fatalf("record %d = %+v, %v", i, got, err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("end = %v, want io.EOF", err)
+	}
+}

@@ -51,6 +51,48 @@ func FuzzFASTARoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzScanReadAgree holds ScanFASTA and ReadFASTA to one grammar on
+// arbitrary (mostly invalid) input: the same records in the same order,
+// or failures on the same input. The two share the chunked scanner now,
+// so this pins the shared path against regressions that reintroduce a
+// split.
+func FuzzScanReadAgree(f *testing.F) {
+	f.Add([]byte(">a\nACGT\n>b\nTT\nGG\n"))
+	f.Add([]byte("ACGT\n"))
+	f.Add([]byte(">\r\nacgt\r\n"))
+	f.Add([]byte(">x\nAC GT\n"))
+	f.Add([]byte(">only"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return
+		}
+		read, readErr := ReadFASTA(bytes.NewReader(raw))
+		var scanned []Sequence
+		scanErr := ScanFASTA(bytes.NewReader(raw), func(rec Sequence) error {
+			scanned = append(scanned, rec)
+			return nil
+		})
+		if (readErr == nil) != (scanErr == nil) {
+			t.Fatalf("error disagreement: ReadFASTA=%v ScanFASTA=%v", readErr, scanErr)
+		}
+		if readErr != nil {
+			if readErr.Error() != scanErr.Error() {
+				t.Fatalf("different errors: %q vs %q", readErr, scanErr)
+			}
+			return
+		}
+		if len(read) != len(scanned) {
+			t.Fatalf("record count: read %d, scanned %d", len(read), len(scanned))
+		}
+		for i := range read {
+			if read[i].ID != scanned[i].ID || !bytes.Equal(read[i].Data, scanned[i].Data) {
+				t.Fatalf("record %d differs: %q/%q vs %q/%q",
+					i, read[i].ID, read[i].String(), scanned[i].ID, scanned[i].String())
+			}
+		}
+	})
+}
+
 // trimmed normalizes an id the way the reader will (surrounding space
 // is not preserved by the format).
 func trimmed(id string) string {

@@ -60,14 +60,36 @@ func (p Packed) Unpack() []byte {
 	return out
 }
 
-// Slice returns a packed copy of bases [lo, hi).
+// Slice returns a packed copy of bases [lo, hi). A byte-aligned lower
+// bound (lo%4 == 0) is served by a word copy instead of repacking base
+// by base — the common case when chunking a database sequence at
+// word-aligned offsets.
 func (p Packed) Slice(lo, hi int) Packed {
 	if lo < 0 || hi > p.n || lo > hi {
 		panic(fmt.Sprintf("seq: packed slice [%d,%d) out of range [0,%d]", lo, hi, p.n))
 	}
-	out := Packed{words: make([]byte, (hi-lo+3)/4), n: hi - lo}
+	n := hi - lo
+	out := Packed{words: make([]byte, (n+3)/4), n: n}
+	if n == 0 {
+		return out
+	}
+	if lo%4 == 0 {
+		copy(out.words, p.words[lo/4:])
+		// The source word may carry bases past hi; keep the packed form
+		// canonical (Pack zeroes the tail bits) by masking them off.
+		if r := n % 4; r != 0 {
+			out.words[len(out.words)-1] &= byte(1<<uint(2*r)) - 1
+		}
+		return out
+	}
+	p.sliceInto(out, lo, hi)
+	return out
+}
+
+// sliceInto is the unaligned repack: base-by-base extraction into out.
+// It is also the reference the fast path is tested against.
+func (p Packed) sliceInto(out Packed, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		out.words[(i-lo)/4] |= p.CodeAt(i) << uint(2*((i-lo)%4))
 	}
-	return out
 }

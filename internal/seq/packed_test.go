@@ -2,6 +2,7 @@ package seq
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -58,6 +59,42 @@ func TestPackedSlice(t *testing.T) {
 			got := string(p.Slice(lo, hi).Unpack())
 			if got != in[lo:hi] {
 				t.Errorf("Slice(%d,%d) = %q, want %q", lo, hi, got, in[lo:hi])
+			}
+		}
+	}
+}
+
+// TestPackedSliceFastPathEquivalence holds the byte-aligned word-copy
+// fast path to the base-by-base repack over random lo/hi, including the
+// canonical-form invariant: the copied representation must be
+// byte-identical to a fresh Pack of the same bases (no stray bits past
+// the slice end).
+func TestPackedSliceFastPathEquivalence(t *testing.T) {
+	g := NewGenerator(43)
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		p := MustPack(g.Random(n))
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n-lo+1)
+
+		got := p.Slice(lo, hi)
+		want := Packed{words: make([]byte, (hi-lo+3)/4), n: hi - lo}
+		p.sliceInto(want, lo, hi)
+		if got.n != want.n || !bytes.Equal(got.words, want.words) {
+			t.Fatalf("Slice(%d,%d) of %d bases: words %v, reference %v", lo, hi, n, got.words, want.words)
+		}
+		if repacked := MustPack(got.Unpack()); !bytes.Equal(got.words, repacked.words) {
+			t.Fatalf("Slice(%d,%d) not canonical: %v vs repacked %v", lo, hi, got.words, repacked.words)
+		}
+	}
+	// Every aligned offset and tail remainder, deterministically.
+	in := g.Random(21)
+	p := MustPack(in)
+	for lo := 0; lo <= len(in); lo += 4 {
+		for hi := lo; hi <= len(in); hi++ {
+			if got := string(p.Slice(lo, hi).Unpack()); got != string(in[lo:hi]) {
+				t.Errorf("aligned Slice(%d,%d) = %q, want %q", lo, hi, got, in[lo:hi])
 			}
 		}
 	}

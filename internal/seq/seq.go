@@ -95,6 +95,21 @@ func Normalize(bases []byte) ([]byte, error) {
 	return out, nil
 }
 
+// NormalizeInto validates bases and appends their upper-case forms to
+// dst, returning the extended slice — the accumulating spelling of
+// Normalize for streaming parsers that assemble a record across
+// chunks without an intermediate per-line copy.
+func NormalizeInto(dst, bases []byte) ([]byte, error) {
+	for i, b := range bases {
+		c := codeOf[b]
+		if c == 0xFF {
+			return dst, fmt.Errorf("%w: byte %q at position %d", ErrInvalidBase, b, i)
+		}
+		dst = append(dst, baseOf[c])
+	}
+	return dst, nil
+}
+
 // Validate reports whether every byte of bases is a DNA base
 // (either case). It allocates nothing.
 func Validate(bases []byte) error {

@@ -1,0 +1,79 @@
+package seq
+
+import (
+	"fmt"
+	"io"
+)
+
+// RecordSource yields database records in order — the seam between the
+// streaming search pipeline and wherever the records live. A source is
+// pull-based and single-consumer: Next returns the next record, then
+// io.EOF once the stream is exhausted. Returned records are owned by
+// the caller (their Data is never reused by the source), so a consumer
+// may hold and release them on its own schedule.
+type RecordSource interface {
+	Next() (Sequence, error)
+}
+
+// sliceSource adapts an in-memory database to the RecordSource seam.
+type sliceSource struct {
+	recs []Sequence
+	i    int
+}
+
+// SliceSource returns a RecordSource over an already-loaded database.
+func SliceSource(recs []Sequence) RecordSource {
+	return &sliceSource{recs: recs}
+}
+
+func (s *sliceSource) Next() (Sequence, error) {
+	if s.i >= len(s.recs) {
+		return Sequence{}, io.EOF
+	}
+	rec := s.recs[s.i]
+	s.i++
+	return rec, nil
+}
+
+// FASTASource streams validated DNA records off a FASTA reader one at a
+// time — the access pattern a multi-GB database scan needs. Only the
+// record currently being parsed is in memory; the stream position
+// advances with each Next.
+type FASTASource struct {
+	sc *FASTAScanner
+}
+
+// NewFASTASource returns a streaming source over r.
+func NewFASTASource(r io.Reader) *FASTASource {
+	return &FASTASource{sc: NewFASTAScanner(r)}
+}
+
+// newFASTASourceSize injects a small scanner buffer (tests).
+func newFASTASourceSize(r io.Reader, size int) *FASTASource {
+	return &FASTASource{sc: NewFASTAScannerSize(r, size)}
+}
+
+// Next parses and returns the next record, or io.EOF at end of stream.
+func (s *FASTASource) Next() (Sequence, error) {
+	var data []byte
+	var cbErr error
+	id, ok, err := s.sc.Next(func(line int, b []byte) error {
+		var nerr error
+		data, nerr = NormalizeInto(data, b)
+		if nerr != nil {
+			cbErr = fmt.Errorf("seq: FASTA line %d: %w", line, nerr)
+			return cbErr
+		}
+		return nil
+	})
+	if err != nil {
+		if err == cbErr {
+			return Sequence{}, err
+		}
+		return Sequence{}, fmt.Errorf("seq: %w", err)
+	}
+	if !ok {
+		return Sequence{}, io.EOF
+	}
+	return Sequence{ID: id, Data: data}, nil
+}

@@ -99,6 +99,17 @@ var (
 		"measured wall latency per database record scanned (seconds)",
 		ExponentialBounds(1e-5, 4, 16))
 
+	// StreamBufferBytes is the parsed-record data currently admitted to
+	// a streaming search's prefetch window (bounded by -max-memory).
+	StreamBufferBytes = Default().NewGauge(
+		"swfpga_stream_buffer_bytes",
+		"record bytes admitted to the streaming search window")
+	// StreamStalls counts producer stalls: the streaming parser blocked
+	// because the window had reached its memory budget.
+	StreamStalls = Default().NewCounter(
+		"swfpga_stream_prefetch_stalls_total",
+		"streaming-search producer stalls at the memory budget")
+
 	// ModeledGCUPS and WallGCUPS track throughput: cell updates per
 	// modeled accelerator second vs per measured wall second of the
 	// enclosing scan. The distinction matters — the modeled figure is
