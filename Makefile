@@ -22,7 +22,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh
 
-.PHONY: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke stream-smoke fuzz-smoke check
+.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,11 @@ vet:
 
 swvet:
 	$(GO) run ./cmd/swvet ./...
+
+# Suppression audit: every //swvet:ignore marker must carry a written
+# justification; a bare marker fails the gate.
+swvet-ignores:
+	$(GO) run ./cmd/swvet -ignores ./...
 
 test:
 	$(GO) test ./...
@@ -73,4 +78,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet test race chaos-smoke telemetry-smoke bench-smoke stream-smoke
+check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke

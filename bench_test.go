@@ -173,7 +173,7 @@ func BenchmarkPipeline(b *testing.B) {
 	b.Run("accelerated", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			dev := host.NewDevice()
-			if _, err := host.Pipeline(dev, s, t, sc); err != nil {
+			if _, err := host.Pipeline(context.Background(), dev, s, t, sc); err != nil {
 				b.Fatal(err)
 			}
 		}

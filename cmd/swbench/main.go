@@ -40,10 +40,11 @@ func main() {
 	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
-	if _, err := tel.Start(context.Background(), "swbench"); err != nil {
+	ctx, err := tel.Start(context.Background(), "swbench")
+	if err != nil {
 		fatal(err)
 	}
-	defer closeTelemetry(tel)
+	defer closeTelemetry(ctx, tel)
 
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Workers: *workers, Reps: *reps}
 	tel.Describe(fmt.Sprintf("scale %g, seed %d", *scale, *seed), "bench")
@@ -55,7 +56,7 @@ func main() {
 	case *all:
 		for _, e := range bench.Experiments() {
 			fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
-			if err := runOne(e, cfg, *outDir); err != nil {
+			if err := runOne(ctx, e, cfg, *outDir); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
@@ -66,7 +67,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
-		if err := runOne(e, cfg, *outDir); err != nil {
+		if err := runOne(ctx, e, cfg, *outDir); err != nil {
 			fatal(err)
 		}
 	default:
@@ -76,9 +77,9 @@ func main() {
 }
 
 // runOne executes an experiment, teeing the report into outDir when set.
-func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
+func runOne(ctx context.Context, e bench.Experiment, cfg bench.Config, outDir string) error {
 	if outDir == "" {
-		return e.Run(os.Stdout, cfg)
+		return e.Run(ctx, os.Stdout, cfg)
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -89,7 +90,7 @@ func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
 	}
 	w := io.MultiWriter(os.Stdout, f)
 	fmt.Fprintf(f, "=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
-	runErr := e.Run(w, cfg)
+	runErr := e.Run(ctx, w, cfg)
 	cerr := f.Close()
 	if runErr != nil {
 		return runErr
@@ -99,8 +100,8 @@ func runOne(e bench.Experiment, cfg bench.Config, outDir string) error {
 
 // closeTelemetry flushes the telemetry sinks; a flush failure is worth
 // a non-zero exit (a half-written trace must not look healthy).
-func closeTelemetry(tel *cliutil.Telemetry) {
-	if err := tel.Close(); err != nil {
+func closeTelemetry(ctx context.Context, tel *cliutil.Telemetry) {
+	if err := tel.Close(ctx); err != nil {
 		fatal(err)
 	}
 }

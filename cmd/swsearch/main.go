@@ -73,7 +73,7 @@ func main() {
 			fatal(err)
 		}
 		runTranslated(ctx, *qArg, *qFile, db, *topK, *minScore, *workers)
-		if err := tel.Close(); err != nil {
+		if err := tel.Close(ctx); err != nil {
 			fatal(err)
 		}
 		return
@@ -195,7 +195,7 @@ func main() {
 			fmt.Printf("\n%s\n\n", h.Result.Format(query, db[h.RecordIndex].Data))
 		}
 	}
-	if err := tel.Close(); err != nil {
+	if err := tel.Close(ctx); err != nil {
 		fatal(err)
 	}
 }

@@ -3,21 +3,31 @@
 // the paper-reproduction invariants the compiler cannot check —
 // saturating score arithmetic in the hardware models, model/oracle
 // import independence, allocation-free DP inner loops, no dropped
-// errors, and goroutine hygiene in the concurrent layers.
+// errors, goroutine hygiene in the concurrent layers, and (cross-
+// package, via the fact store) context threading, the bounded-memory
+// streaming contract, and the telemetry-name registry.
 //
 // Usage:
 //
-//	swvet ./...          # analyze the whole module (the CI gate)
+//	swvet ./...                  # analyze the whole module (the CI gate)
 //	swvet ./internal/systolic ./cmd/swsim
-//	swvet -list          # print the rules and exit
+//	swvet -format=json ./...     # machine-readable findings
+//	swvet -format=github ./...   # GitHub Actions workflow annotations
+//	swvet -ignores ./...         # audit the //swvet:ignore suppressions
+//	swvet -list                  # print the rules and exit
 //
-// Findings are printed as "file:line: [rule] message"; the exit status
-// is 1 when there are findings, 2 on load/type errors, 0 otherwise. A
-// finding can be suppressed with a "//swvet:ignore <rule>" comment on
-// the offending line or the line above it.
+// Findings are printed as "file:line: [rule] message" (or as a JSON
+// array, or as ::error annotations, per -format); the exit status is 1
+// when there are findings, 2 on load/type errors, 0 otherwise. A
+// finding can be suppressed with a "//swvet:ignore <rule>
+// <justification>" comment on the offending line or the line above it;
+// -ignores lists every such marker and fails the ones whose
+// justification is empty, so a suppression can never be quieter than
+// the finding it hides.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +39,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzer rules and exit")
+	format := flag.String("format", "text", "output format: text, json, or github (workflow annotations)")
+	ignores := flag.Bool("ignores", false, "audit //swvet:ignore markers instead of running the analyzers")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +48,11 @@ func main() {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json, or github)", *format))
 	}
 
 	root, modulePath, err := findModule()
@@ -46,8 +63,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	passes = filterPasses(passes, root, flag.Args())
-	if len(passes) == 0 {
+	selected := filterPasses(passes, root, flag.Args())
+	if len(selected) == 0 {
 		fatal(fmt.Errorf("no packages match %s", strings.Join(flag.Args(), " ")))
 	}
 
@@ -55,17 +72,100 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings := analysis.RunAll(passes)
-	for _, d := range findings {
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+
+	if *ignores {
+		os.Exit(auditIgnores(selected, cwd, *format))
+	}
+
+	// The analyzers always run over the whole module — cross-package
+	// facts (which imported functions block, the registered telemetry
+	// names) only exist if the exporting package's pass ran — and the
+	// package selection filters what gets *reported*, not what gets
+	// analyzed.
+	findings := filterFindings(analysis.RunAll(passes), selected)
+	for i := range findings {
+		findings[i].Pos.Filename = relativize(cwd, findings[i].Pos.Filename)
+	}
+	switch *format {
+	case "json":
+		printJSON(findings)
+	case "github":
+		for _, d := range findings {
+			fmt.Printf("::error file=%s,line=%d,title=swvet %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
 		}
-		fmt.Println(d)
+	default:
+		for _, d := range findings {
+			fmt.Println(d)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "swvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -format=json wire shape, one object per finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func printJSON(findings []analysis.Diagnostic) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, d := range findings {
+		out = append(out, jsonFinding{
+			File:    filepath.ToSlash(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// auditIgnores lists every //swvet:ignore marker and returns exit
+// status 1 when any lacks a justification.
+func auditIgnores(passes []*analysis.Pass, cwd, format string) int {
+	igs := analysis.Ignores(passes)
+	bare := 0
+	for _, ig := range igs {
+		file := relativize(cwd, ig.Pos.Filename)
+		rule := ig.Rule
+		if rule == "" {
+			rule = "(all rules)"
+		}
+		switch {
+		case ig.Justification == "" && format == "github":
+			fmt.Printf("::error file=%s,line=%d,title=swvet unjustified suppression::swvet:ignore %s has no justification; say why the finding is wrong here\n",
+				file, ig.Pos.Line, rule)
+			bare++
+		case ig.Justification == "":
+			fmt.Printf("%s:%d: [%s] UNJUSTIFIED — add the reason after the rule name\n", file, ig.Pos.Line, rule)
+			bare++
+		default:
+			fmt.Printf("%s:%d: [%s] %s\n", file, ig.Pos.Line, rule, ig.Justification)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "swvet: %d suppression(s), %d unjustified\n", len(igs), bare)
+	if bare > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites path relative to cwd when it lies below it.
+func relativize(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
 }
 
 // findModule walks up from the working directory to the enclosing
@@ -128,6 +228,22 @@ func filterPasses(passes []*analysis.Pass, root string, args []string) []*analys
 				out = append(out, p)
 				break
 			}
+		}
+	}
+	return out
+}
+
+// filterFindings keeps the findings located in one of the selected
+// packages' directories.
+func filterFindings(findings []analysis.Diagnostic, selected []*analysis.Pass) []analysis.Diagnostic {
+	dirs := map[string]bool{}
+	for _, p := range selected {
+		dirs[p.Dir] = true
+	}
+	var out []analysis.Diagnostic
+	for _, d := range findings {
+		if dirs[filepath.Dir(d.Pos.Filename)] {
+			out = append(out, d)
 		}
 	}
 	return out

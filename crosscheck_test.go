@@ -102,7 +102,7 @@ func TestGrandEquivalenceLinear(t *testing.T) {
 		}
 		dev := host.NewDevice()
 		dev.Array.Elements = 16
-		hw, err := host.Pipeline(dev, s, u, sc)
+		hw, err := host.Pipeline(context.Background(), dev, s, u, sc)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,7 +53,7 @@ func main() {
 			c.Policy = host.Policy{ChunkTimeout: 5 * time.Millisecond}
 			c.InjectFaults(faults.MustRandom(*faultSeed+int64(boards), faults.Split(*faultRate)))
 		}
-		rep, err := c.Pipeline(query, db, sc)
+		rep, err := c.Pipeline(context.Background(), query, db, sc)
 		if err != nil {
 			log.Fatal(err)
 		}

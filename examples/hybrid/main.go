@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 	fmt.Printf("device: %s\n", rep)
 	fmt.Printf("workload: homologous pair %d x %d BP\n\n", len(a), len(b))
 
-	out, err := host.Pipeline(dev, a, b, align.DefaultLinear())
+	out, err := host.Pipeline(context.Background(), dev, a, b, align.DefaultLinear())
 	if err != nil {
 		log.Fatal(err)
 	}

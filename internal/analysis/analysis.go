@@ -18,6 +18,21 @@
 //     internal/.
 //   - goroutinehygiene: goroutine launches in the concurrent packages
 //     must not capture loop variables and must have a visible join.
+//   - ctxflow: blocking exported APIs in internal/ are ctx-first, the
+//     received context is threaded to every blocking callee, and
+//     context.Background()/TODO() stay confined to cmd/ and tests.
+//   - memceiling: whole-input loads (io.ReadAll, os.ReadFile,
+//     seq.ReadFASTA, ...) are banned outside an explicit allowlist, so
+//     the bounded-memory streaming path cannot silently regress.
+//   - telemetrynames: every swfpga_* metric name and every span name is
+//     a constant from the internal/telemetry/names.go registry, and
+//     every registered name is documented in DESIGN.md.
+//
+// The last three rules see across package boundaries: the loader
+// type-checks the module in dependency order and analyzers propagate
+// per-package facts (see facts.go), so ctxflow knows which imported
+// functions block and telemetrynames knows the registered name set
+// while checking their callers.
 //
 // Findings are reported as "file:line: [rule] message". A finding can be
 // suppressed — with justification, in review — by putting a
@@ -66,6 +81,9 @@ func All() []*Analyzer {
 		HotAlloc,
 		DroppedErr,
 		GoroutineHygiene,
+		CtxFlow,
+		MemCeiling,
+		TelemetryNames,
 	}
 }
 
@@ -79,8 +97,15 @@ func (p *Pass) report(node ast.Node, rule, format string, args ...any) Diagnosti
 }
 
 // RunAll executes every analyzer over every package, drops suppressed
-// findings, and returns the rest sorted by position.
+// findings, and returns the rest sorted by position. The packages must
+// be in dependency order (LoadModule returns them that way): fact-
+// propagating analyzers rely on dependencies being analyzed before
+// their dependents.
 func RunAll(pkgs []*Pass) []Diagnostic {
+	facts := newFacts()
+	for _, pkg := range pkgs {
+		pkg.facts = facts
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup := pkg.suppressions()
@@ -121,11 +146,24 @@ func (s suppression) covers(d Diagnostic) bool {
 	return false
 }
 
-// suppressions scans the package comments for "//swvet:ignore [rule]"
-// markers. A marker silences matching findings on its own line and on
-// the line below it (so it can sit above the flagged statement).
-func (p *Pass) suppressions() suppression {
-	sup := suppression{}
+// Ignore is one "//swvet:ignore" marker: an explicit decision to
+// silence an analyzer at a specific line. The audit mode (swvet
+// -ignores) lists them and fails any marker whose justification is
+// empty — a suppression nobody can defend in review is a finding in
+// its own right.
+type Ignore struct {
+	// Pos locates the marker comment.
+	Pos token.Position
+	// Rule is the silenced analyzer ("" silences all rules).
+	Rule string
+	// Justification is the free text after the rule name.
+	Justification string
+}
+
+// ignoreMarkers scans the package comments for "//swvet:ignore [rule]
+// [justification]" markers.
+func (p *Pass) ignoreMarkers() []Ignore {
+	var out []Ignore
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -134,18 +172,46 @@ func (p *Pass) suppressions() suppression {
 				if !strings.HasPrefix(text, "swvet:ignore") {
 					continue
 				}
-				rule := strings.TrimSpace(strings.TrimPrefix(text, "swvet:ignore"))
-				if i := strings.IndexAny(rule, " \t"); i >= 0 {
-					rule = rule[:i] // allow a trailing justification
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "swvet:ignore"))
+				ig := Ignore{Pos: p.Fset.Position(c.Pos()), Rule: rest}
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					ig.Rule = rest[:i]
+					ig.Justification = strings.TrimSpace(rest[i:])
 				}
-				pos := p.Fset.Position(c.Pos())
-				if sup[pos.Filename] == nil {
-					sup[pos.Filename] = map[int][]string{}
-				}
-				sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], rule)
-				sup[pos.Filename][pos.Line+1] = append(sup[pos.Filename][pos.Line+1], rule)
+				out = append(out, ig)
 			}
 		}
+	}
+	return out
+}
+
+// Ignores collects every suppression marker in the given packages,
+// sorted by position — the input to the swvet -ignores audit.
+func Ignores(pkgs []*Pass) []Ignore {
+	var out []Ignore
+	for _, pkg := range pkgs {
+		out = append(out, pkg.ignoreMarkers()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// suppressions indexes the package's markers by line. A marker
+// silences matching findings on its own line and on the line below it
+// (so it can sit above the flagged statement).
+func (p *Pass) suppressions() suppression {
+	sup := suppression{}
+	for _, ig := range p.ignoreMarkers() {
+		if sup[ig.Pos.Filename] == nil {
+			sup[ig.Pos.Filename] = map[int][]string{}
+		}
+		sup[ig.Pos.Filename][ig.Pos.Line] = append(sup[ig.Pos.Filename][ig.Pos.Line], ig.Rule)
+		sup[ig.Pos.Filename][ig.Pos.Line+1] = append(sup[ig.Pos.Filename][ig.Pos.Line+1], ig.Rule)
 	}
 	return sup
 }

@@ -52,7 +52,34 @@ func TestLayering(t *testing.T)         { runCase(t, "layering") }
 func TestHotAlloc(t *testing.T)         { runCase(t, "hotalloc") }
 func TestDroppedErr(t *testing.T)       { runCase(t, "droppederr") }
 func TestGoroutineHygiene(t *testing.T) { runCase(t, "goroutinehygiene") }
+func TestCtxFlow(t *testing.T)          { runCase(t, "ctxflow") }
+func TestMemCeiling(t *testing.T)       { runCase(t, "memceiling") }
+func TestTelemetryNames(t *testing.T)   { runCase(t, "telemetrynames") }
 func TestSuppression(t *testing.T)      { runCase(t, "suppress") }
+
+// TestIgnoresAudit pins the suppression audit against the suppress
+// fixture: both markers are collected in position order, the rule and
+// justification are split correctly, and the bare marker is the one
+// the -ignores gate would fail.
+func TestIgnoresAudit(t *testing.T) {
+	passes, err := LoadModule(filepath.Join("testdata", "suppress"), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	igs := Ignores(passes)
+	if len(igs) != 2 {
+		t.Fatalf("want 2 markers, got %d: %+v", len(igs), igs)
+	}
+	if igs[0].Rule != "satarith" || igs[0].Justification != "boundary constant, audited by hand" {
+		t.Errorf("first marker: got rule %q justification %q", igs[0].Rule, igs[0].Justification)
+	}
+	if igs[1].Rule != "satarith" || igs[1].Justification != "" {
+		t.Errorf("second marker must be the unjustified one: %+v", igs[1])
+	}
+	if igs[0].Pos.Line >= igs[1].Pos.Line {
+		t.Errorf("markers must be sorted by position: %d then %d", igs[0].Pos.Line, igs[1].Pos.Line)
+	}
+}
 
 // TestTopoOrderCycle checks that the loader reports import cycles
 // instead of recursing forever.

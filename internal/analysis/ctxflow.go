@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the pipeline-wide cancellation contract (DESIGN.md
+// §6): every long-lived call path — scans, streams, cluster dispatch —
+// must be abortable from the caller, which is only true if contexts are
+// accepted first and threaded all the way down.
+//
+// Three rules, the last two cross-package via facts:
+//
+//  1. ctx-position: a context.Context parameter must be the first
+//     parameter (everywhere in the module).
+//  2. background-confinement: context.Background() and context.TODO()
+//     may appear only in cmd/, examples/, tests (not loaded), and the
+//     explicitly allowlisted packages below. Library code that mints
+//     its own root context severs the cancellation chain.
+//  3. blocking-exported: an exported function in internal/ that
+//     (transitively, across packages) reaches a context-taking callee
+//     is itself blocking and must be ctx-first. This is what catches a
+//     ctx dropped mid-chain: a wrapper that swallows the context would
+//     otherwise hide an unbounded scan behind a cancellable-looking
+//     API.
+//
+// Each package exports a fact mapping its functions to {ctx-first,
+// blocking}; dependents fold imported facts into their own fixpoint.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-first blocking APIs, threaded contexts, Background confined to cmd/ and tests",
+	Run:  runCtxFlow,
+}
+
+// ctxflowAllow lists packages exempt from rules 2 and 3 — places that
+// legitimately own a context root — with the justification review
+// demands. Keep this list short.
+var ctxflowAllow = map[string]string{
+	"internal/engine/conformance": "test harness driven by *testing.T; there is no caller context to thread",
+}
+
+// ctxFuncInfo is the per-function fact: CtxFirst marks a leading
+// context.Context parameter, Blocking marks functions that reach a
+// context-taking callee (directly or through any chain of module
+// functions).
+type ctxFuncInfo struct {
+	CtxFirst bool
+	Blocking bool
+}
+
+// ctxflowFact maps types.Func full names (as in (*types.Func).FullName)
+// to their info; it is the fact one package exports for its dependents.
+type ctxflowFact map[string]ctxFuncInfo
+
+func runCtxFlow(p *Pass) []Diagnostic {
+	var out []Diagnostic
+
+	// Collect this package's function declarations.
+	type fn struct {
+		decl *ast.FuncDecl
+		obj  *types.Func
+		info ctxFuncInfo
+	}
+	var fns []*fn
+	byObj := map[*types.Func]*fn{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			f := &fn{decl: fd, obj: obj}
+			sig := obj.Type().(*types.Signature)
+			if pos := ctxParamPos(sig); pos >= 0 {
+				f.info.CtxFirst = pos == 0
+				f.info.Blocking = true
+				if pos != 0 {
+					out = append(out, p.report(fd.Name, "ctxflow",
+						"%s takes context.Context as parameter %d; context must be the first parameter",
+						fd.Name.Name, pos+1))
+				}
+			}
+			fns = append(fns, f)
+			byObj[obj] = f
+		}
+	}
+
+	// calleeBlocking resolves whether a called function blocks: its own
+	// signature takes a context, a dependency's fact says so, or (for
+	// this package, during the fixpoint) the local table says so.
+	calleeBlocking := func(callee *types.Func) bool {
+		if ctxParamPos(callee.Type().(*types.Signature)) >= 0 {
+			return true
+		}
+		if local, ok := byObj[callee]; ok {
+			return local.info.Blocking
+		}
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return false
+		}
+		rel, ok := moduleRel(pkg.Path(), p.ModulePath)
+		if !ok || rel == p.RelPath {
+			return false
+		}
+		raw, ok := p.ImportFact("ctxflow", rel)
+		if !ok {
+			return false
+		}
+		fact, ok := raw.(ctxflowFact)
+		if !ok {
+			return false
+		}
+		return fact[callee.FullName()].Blocking
+	}
+
+	// Fixpoint: blocking-ness flows up the local call graph (mutual
+	// recursion converges because the set only grows).
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if f.info.Blocking || f.decl.Body == nil {
+				continue
+			}
+			ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+				if f.info.Blocking {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calledFunc(p, call); callee != nil && calleeBlocking(callee) {
+					f.info.Blocking = true
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Rule 3: exported blocking APIs in internal/ must be ctx-first.
+	if _, allowed := ctxflowAllow[p.RelPath]; p.under("internal") && !allowed {
+		for _, f := range fns {
+			if !f.info.Blocking || f.info.CtxFirst || !f.obj.Exported() {
+				continue
+			}
+			if ctxParamPos(f.obj.Type().(*types.Signature)) >= 0 {
+				continue // already reported under rule 1
+			}
+			if implementsStdlibShape(f.obj) {
+				continue
+			}
+			out = append(out, p.report(f.decl.Name, "ctxflow",
+				"exported %s reaches a context-taking callee but is not ctx-first; accept a leading context.Context and thread it",
+				f.decl.Name.Name))
+		}
+	}
+
+	// Rule 2: Background/TODO confinement.
+	if !p.under("cmd") && !p.under("examples") {
+		if _, allowed := ctxflowAllow[p.RelPath]; !allowed {
+			for _, file := range p.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calledFunc(p, call)
+					if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+						return true
+					}
+					if name := callee.Name(); name == "Background" || name == "TODO" {
+						out = append(out, p.report(call, "ctxflow",
+							"context.%s() in library code severs the cancellation chain; thread the caller's context instead (Background belongs in cmd/ and tests)",
+							name))
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	fact := ctxflowFact{}
+	for _, f := range fns {
+		fact[f.obj.FullName()] = f.info
+	}
+	p.ExportFact("ctxflow", fact)
+	return out
+}
+
+// ctxParamPos returns the index of the first context.Context parameter,
+// or -1.
+func ctxParamPos(sig *types.Signature) int {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calledFunc resolves a call expression to the function or method
+// object it invokes (including interface methods, whose signatures are
+// what matters here), or nil for calls through function values.
+func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// implementsStdlibShape reports method shapes pinned by ubiquitous
+// stdlib interfaces (io, fmt, http): they cannot grow a leading context
+// without breaking the interface, and their contexts arrive by other
+// means (an http.Request, a construction-time field).
+func implementsStdlibShape(obj *types.Func) bool {
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	switch obj.Name() {
+	case "Close", "Flush", "String", "Error":
+		return sig.Params().Len() == 0
+	case "Read", "Write":
+		return sig.Params().Len() == 1
+	case "ServeHTTP":
+		return sig.Params().Len() == 2
+	}
+	return strings.HasPrefix(obj.Name(), "Fuzz") // harness shapes
+}

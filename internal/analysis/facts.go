@@ -1,0 +1,54 @@
+package analysis
+
+// Cross-package fact propagation. The loader type-checks the module in
+// topological dependency order, so by the time an analyzer sees package
+// P every fact its dependencies exported is already in the store:
+// analyzers export one fact value per (analyzer, package) while running
+// on the dependency and import it while running on the dependent —
+// stdlib-only fact flow, mirroring golang.org/x/tools' analysis facts
+// without the dependency.
+//
+// A fact is any analyzer-defined value. The store is keyed by analyzer
+// name plus module-relative package path, so analyzers cannot read (or
+// clobber) each other's facts by accident.
+
+// factKey addresses one exported fact.
+type factKey struct {
+	analyzer string
+	pkg      string // module-relative package path
+}
+
+// Facts is the store shared by every Pass of one RunAll invocation.
+type Facts struct {
+	m map[factKey]any
+}
+
+// newFacts returns an empty store.
+func newFacts() *Facts {
+	return &Facts{m: map[factKey]any{}}
+}
+
+// ExportFact publishes the named analyzer's fact for this pass's
+// package, replacing any previous value. Call it once per package, at
+// the end of the analyzer's Run. Keyed by analyzer name (not the
+// *Analyzer) so Run functions can call it without an initialization
+// cycle through their own declaration.
+func (p *Pass) ExportFact(analyzer string, v any) {
+	if p.facts == nil {
+		p.facts = newFacts() // standalone Pass (tests); self-contained store
+	}
+	p.facts.m[factKey{analyzer, p.RelPath}] = v
+}
+
+// ImportFact returns the fact the named analyzer exported for the
+// package at the module-relative path rel, or (nil, false) when that
+// package has not been analyzed yet (only possible for
+// non-dependencies — the topological load order guarantees
+// dependencies run first).
+func (p *Pass) ImportFact(analyzer, rel string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	v, ok := p.facts.m[factKey{analyzer, rel}]
+	return v, ok
+}

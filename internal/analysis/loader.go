@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -32,6 +34,13 @@ type Pass struct {
 	RelPath string
 	// Dir is the package directory on disk.
 	Dir string
+	// Root is the module root directory (for repository-level inputs
+	// like DESIGN.md that cross-file analyzers check against).
+	Root string
+
+	// facts is the cross-package fact store shared by all passes of one
+	// RunAll invocation (see facts.go).
+	facts *Facts
 }
 
 // LoadModule parses and type-checks every non-test package under root,
@@ -69,6 +78,9 @@ func LoadModule(root, modulePath string) ([]*Pass, error) {
 		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			return err
+		}
+		if !buildTagsMatch(file) {
+			return nil // excluded by its //go:build constraint
 		}
 		dir := filepath.Dir(path)
 		rel, err := filepath.Rel(root, dir)
@@ -152,9 +164,38 @@ func LoadModule(root, modulePath string) ([]*Pass, error) {
 			ModulePath: modulePath,
 			RelPath:    rel,
 			Dir:        p.dir,
+			Root:       root,
 		})
 	}
 	return passes, nil
+}
+
+// buildTagsMatch evaluates the file's //go:build constraint (if any)
+// against the host platform plus the release tags every supported
+// toolchain satisfies. Files the build would exclude — generator
+// sources tagged `ignore`, foreign-platform shims — must not reach the
+// type checker, where their duplicate symbols or missing imports would
+// abort the whole load.
+func buildTagsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let the build complain, not the loader
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // moduleRel reports whether importPath lies inside the module and

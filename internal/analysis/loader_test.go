@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes files (path -> contents) under a fresh
+// temporary module root and returns it.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadModuleMalformedSource checks that a syntax error surfaces as
+// a load error naming the broken file instead of a panic or a silently
+// skipped package.
+func TestLoadModuleMalformedSource(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/bad/bad.go": "package bad\n\nfunc Broken( {\n",
+	})
+	_, err := LoadModule(root, "fixture")
+	if err == nil {
+		t.Fatal("want parse error for malformed source, got nil")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error should name the broken file: %v", err)
+	}
+}
+
+// TestLoadModuleTypecheckError checks that type errors are reported
+// with the package's import path.
+func TestLoadModuleTypecheckError(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/bad/bad.go": "package bad\n\nvar X = undefinedIdent\n",
+	})
+	_, err := LoadModule(root, "fixture")
+	if err == nil {
+		t.Fatal("want typecheck error, got nil")
+	}
+	if !strings.Contains(err.Error(), "typecheck fixture/internal/bad") {
+		t.Errorf("error should carry the failing import path: %v", err)
+	}
+}
+
+// TestLoadModuleBuildTagExcluded checks that files excluded by their
+// //go:build constraint never reach the type checker: the generator
+// source below would otherwise fail the load twice over (duplicate
+// symbol and an unresolvable import).
+func TestLoadModuleBuildTagExcluded(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/pkg/pkg.go": "package pkg\n\n// V is the production declaration.\nvar V = 1\n",
+		"internal/pkg/gen.go": "//go:build ignore\n\npackage pkg\n\nimport \"no/such/import\"\n\nvar V = no.Such\n",
+	})
+	passes, err := LoadModule(root, "fixture")
+	if err != nil {
+		t.Fatalf("excluded file must not be loaded: %v", err)
+	}
+	if len(passes) != 1 {
+		t.Fatalf("want 1 package, got %d", len(passes))
+	}
+	if n := len(passes[0].Files); n != 1 {
+		t.Errorf("want the tag-excluded file skipped (1 file), got %d", n)
+	}
+}
+
+// TestLoadModuleBuildTagMatching checks the opposite case: a
+// constraint the host satisfies (a go1-prefixed release tag) keeps the
+// file in the package.
+func TestLoadModuleBuildTagMatching(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/pkg/pkg.go": "package pkg\n\nvar V = 1\n",
+		"internal/pkg/new.go": "//go:build go1.21\n\npackage pkg\n\nvar W = 2\n",
+	})
+	passes, err := LoadModule(root, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(passes[0].Files); n != 2 {
+		t.Errorf("want both files loaded, got %d", n)
+	}
+}
+
+// TestLoadModuleEmpty checks that a module with no Go files (or only
+// test files, which the loader skips by design) yields zero passes and
+// no error.
+func TestLoadModuleEmpty(t *testing.T) {
+	for name, files := range map[string]map[string]string{
+		"no files":        {"README.md": "nothing to analyze\n"},
+		"only test files": {"internal/p/p_test.go": "package p\n"},
+	} {
+		passes, err := LoadModule(writeModule(t, files), "fixture")
+		if err != nil {
+			t.Errorf("%s: want nil error, got %v", name, err)
+		}
+		if len(passes) != 0 {
+			t.Errorf("%s: want 0 passes, got %d", name, len(passes))
+		}
+	}
+}
+
+// TestLoadModuleMissingDep checks that importing a module package with
+// no source in the tree is a load error (the dependency order would
+// otherwise be unsound).
+func TestLoadModuleMissingDep(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"internal/a/a.go": "package a\n\nimport _ \"fixture/internal/gone\"\n",
+	})
+	_, err := LoadModule(root, "fixture")
+	if err == nil || !strings.Contains(err.Error(), "no source in the module") {
+		t.Fatalf("want missing-dependency error, got %v", err)
+	}
+}
+
+// TestFactsStandalonePass checks the facts fallback for a Pass that
+// was not created by RunAll: exporting allocates a private store, and
+// importing from an empty pass reports absence instead of panicking.
+func TestFactsStandalonePass(t *testing.T) {
+	p := &Pass{RelPath: "internal/x"}
+	if _, ok := p.ImportFact("ctxflow", "internal/y"); ok {
+		t.Error("import from empty store must report absence")
+	}
+	p.ExportFact("ctxflow", 42)
+	v, ok := p.ImportFact("ctxflow", "internal/x")
+	if !ok || v != 42 {
+		t.Errorf("round trip: got %v, %v", v, ok)
+	}
+	if _, ok := p.ImportFact("memceiling", "internal/x"); ok {
+		t.Error("facts must be namespaced per analyzer")
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MemCeiling protects the reduced-memory contract (DESIGN.md §10): the
+// scan pipeline streams the database in bounded memory, so a call that
+// slurps a whole input — io.ReadAll, os.ReadFile, the convenience FASTA
+// readers — reintroduces exactly the O(database) footprint the paper's
+// architecture exists to avoid. Such calls are banned throughout
+// internal/ except in the allowlisted packages below, each of which
+// handles inputs that are small by contract or measures the in-memory
+// baseline on purpose.
+var MemCeiling = &Analyzer{
+	Name: "memceiling",
+	Doc:  "no whole-input loads (io.ReadAll, os.ReadFile, seq.ReadFASTA, ...) outside the allowlist",
+	Run:  runMemCeiling,
+}
+
+// memCeilingBanned lists the whole-input loaders. Module-internal
+// entries name the package by module-relative path.
+var memCeilingBanned = []struct {
+	pkg, fn string // import path ("" + rel path for module packages)
+	rel     bool   // pkg is module-relative
+}{
+	{"io", "ReadAll", false},
+	{"io/ioutil", "ReadAll", false},
+	{"io/ioutil", "ReadFile", false},
+	{"os", "ReadFile", false},
+	{"internal/seq", "ReadFASTA", true},
+	{"internal/seq", "ReadFASTAFile", true},
+	{"internal/protein", "ReadFASTA", true},
+	{"internal/protein", "ReadFASTAFile", true},
+}
+
+// memCeilingAllow maps allowlisted package paths to the justification
+// the allowlist entry must carry. Additions need review: every entry is
+// a place the streaming guarantee does not reach.
+var memCeilingAllow = map[string]string{
+	"internal/seq":      "owns the parsers; ReadFASTAFile is the documented non-streaming convenience entry",
+	"internal/protein":  "parses queries and scoring matrices, which are query-sized by contract, never database-sized",
+	"internal/cliutil":  "resolves query flags; inputs are single query records, not databases",
+	"internal/bench":    "the stream experiment deliberately measures the in-memory baseline against the streaming path",
+	"internal/analysis": "reads DESIGN.md, a repository document a few KiB long, never sequence data",
+}
+
+func runMemCeiling(p *Pass) []Diagnostic {
+	if !p.under("internal") {
+		return nil
+	}
+	if _, allowed := memCeilingAllow[p.RelPath]; allowed {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calledFunc(p, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			path := callee.Pkg().Path()
+			rel, inModule := moduleRel(path, p.ModulePath)
+			for _, b := range memCeilingBanned {
+				match := false
+				if b.rel {
+					match = inModule && rel == b.pkg && callee.Name() == b.fn
+				} else {
+					match = path == b.pkg && callee.Name() == b.fn
+				}
+				if match {
+					out = append(out, p.report(call, "memceiling",
+						"%s.%s loads the whole input into memory and breaks the bounded-memory streaming contract; use the streaming scanner (or add a justified allowlist entry)",
+						displayPkg(b.pkg), b.fn))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// displayPkg renders the banned package for the message ("seq" for
+// module paths, "io" for stdlib).
+func displayPkg(pkg string) string {
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		return pkg[i+1:]
+	}
+	return pkg
+}

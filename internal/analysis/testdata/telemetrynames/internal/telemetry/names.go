@@ -1,0 +1,13 @@
+package telemetry
+
+// Registered names; the analyzer cross-checks these against the
+// fixture's DESIGN.md.
+const (
+	// NameScans is documented in DESIGN.md: no finding.
+	NameScans = "swfpga_scans_total"
+	// NameOrphan is registered but missing from DESIGN.md: the
+	// exhaustiveness check must flag it.
+	NameOrphan = "swfpga_orphan_total"
+	// SpanScan is the fixture's one span name.
+	SpanScan = "scan"
+)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,7 +31,7 @@ func init() {
 	})
 }
 
-func runAblationSplitting(w io.Writer, cfg Config) error {
+func runAblationSplitting(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	n := cfg.scaled(1_000_000)
 	arr := systolic.DefaultConfig()
@@ -60,7 +61,7 @@ func runAblationSplitting(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationBits(w io.Writer, cfg Config) error {
+func runAblationBits(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	n := cfg.scaled(40_000)
@@ -101,7 +102,7 @@ func runAblationBits(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAblationElements(w io.Writer, cfg Config) error {
+func runAblationElements(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	dev := fpga.Paper()
 	m, n := 2_000, cfg.scaled(10_000_000)

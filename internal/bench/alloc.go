@@ -26,7 +26,7 @@ func init() {
 // once enabled, comparing wall time and heap traffic. The per-call
 // proof is align's TestScanHotPathZeroAlloc; this is the same story at
 // search scale, where every record used to cost fresh DP rows.
-func runAlloc(w io.Writer, cfg Config) error {
+func runAlloc(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	query := gen.Random(100)
@@ -51,7 +51,7 @@ func runAlloc(w io.Writer, cfg Config) error {
 		pool.ResetStats()
 		// Warm-up pass so the enabled run measures steady state (arenas
 		// populated), matching how a long-lived search service behaves.
-		if _, err := search.Search(context.Background(), db[:min(records, 16)], query, opts, nil); err != nil {
+		if _, err := search.Search(ctx, db[:min(records, 16)], query, opts, nil); err != nil {
 			return outcome{}, err
 		}
 		var before, after runtime.MemStats
@@ -59,7 +59,7 @@ func runAlloc(w io.Writer, cfg Config) error {
 		runtime.ReadMemStats(&before)
 		var runErr error
 		sec := measure(func() {
-			_, runErr = search.Search(context.Background(), db, query, opts, nil)
+			_, runErr = search.Search(ctx, db, query, opts, nil)
 		})
 		if runErr != nil {
 			return outcome{}, runErr

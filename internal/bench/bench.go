@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -68,8 +69,9 @@ type Experiment struct {
 	Title string
 	// Artifact names the paper table/figure/section reproduced.
 	Artifact string
-	// Run writes the report to w.
-	Run func(w io.Writer, cfg Config) error
+	// Run writes the report to w. It runs under ctx: cancellation
+	// aborts the workload between (and inside) measured scans.
+	Run func(ctx context.Context, w io.Writer, cfg Config) error
 }
 
 var registry = map[string]Experiment{}
@@ -109,11 +111,12 @@ func ids() []string {
 	return out
 }
 
-// RunAll executes every experiment in order.
-func RunAll(w io.Writer, cfg Config) error {
+// RunAll executes every experiment in order under the caller's
+// context.
+func RunAll(ctx context.Context, w io.Writer, cfg Config) error {
 	for _, e := range Experiments() {
 		fmt.Fprintf(w, "=== %s — %s (%s)\n", e.ID, e.Title, e.Artifact)
-		if err := e.Run(w, cfg); err != nil {
+		if err := e.Run(ctx, w, cfg); err != nil {
 			return fmt.Errorf("bench: %s: %w", e.ID, err)
 		}
 		fmt.Fprintln(w)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -46,7 +47,7 @@ func TestEveryExperimentRunsAtSmokeScale(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf, smokeCfg); err != nil {
+			if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if buf.Len() == 0 {
@@ -58,7 +59,7 @@ func TestEveryExperimentRunsAtSmokeScale(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	var buf bytes.Buffer
-	if err := RunAll(&buf, smokeCfg); err != nil {
+	if err := RunAll(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -75,7 +76,7 @@ func TestHeadlineReportsAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -89,7 +90,7 @@ func TestHeadlineReportsAgreement(t *testing.T) {
 func TestFigure2OutputContainsMatrix(t *testing.T) {
 	var buf bytes.Buffer
 	e, _ := ByID("figure2")
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -104,7 +105,7 @@ func TestFigure2OutputContainsMatrix(t *testing.T) {
 func TestTable2OutputCalibrated(t *testing.T) {
 	var buf bytes.Buffer
 	e, _ := ByID("table2")
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

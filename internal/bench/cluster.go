@@ -27,7 +27,7 @@ func init() {
 	})
 }
 
-func runCluster(w io.Writer, cfg Config) error {
+func runCluster(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	query := gen.Random(100)
@@ -41,7 +41,7 @@ func runCluster(w io.Writer, cfg Config) error {
 	for _, boards := range []int{1, 2, 4, 8} {
 		c := host.NewCluster(boards)
 		before := make([]float64, boards)
-		score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
+		score, i, j, err := c.BestLocal(ctx, query, db, sc)
 		if err != nil {
 			return err
 		}
@@ -71,7 +71,7 @@ func runCluster(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runAffineArray(w io.Writer, cfg Config) error {
+func runAffineArray(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	query := gen.Random(100)

@@ -26,7 +26,7 @@ func init() {
 // stays bit-identical to the fault-free single-board scan while the
 // report accounts for the recovery work. A final all-boards-dead row
 // demonstrates graceful degradation to the software scanner.
-func runFaults(w io.Writer, cfg Config) error {
+func runFaults(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	query := gen.Random(100)
@@ -44,7 +44,7 @@ func runFaults(w io.Writer, cfg Config) error {
 			if rate > 0 {
 				c.InjectFaults(faults.MustRandom(cfg.Seed*1000+int64(boards), faults.Split(rate)))
 			}
-			score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
+			score, i, j, err := c.BestLocal(ctx, query, db, sc)
 			if err != nil {
 				return fmt.Errorf("boards %d rate %.2f: %w", boards, rate, err)
 			}
@@ -65,7 +65,7 @@ func runFaults(w io.Writer, cfg Config) error {
 	c := host.NewCluster(4)
 	c.Policy = pol
 	c.InjectFaults(faults.MustRandom(cfg.Seed, faults.Rates{Dead: 1}))
-	score, i, j, err := c.BestLocal(context.Background(), query, db, sc)
+	score, i, j, err := c.BestLocal(ctx, query, db, sc)
 	if err != nil {
 		return fmt.Errorf("all boards dead: %w", err)
 	}

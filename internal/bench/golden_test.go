@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestFigure1Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != figure1Golden {
@@ -56,7 +57,7 @@ func TestFigure2Golden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	if buf.String() != figure2Golden {
@@ -71,7 +72,7 @@ func TestMemoryGoldenRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.Run(&buf, smokeCfg); err != nil {
+	if err := e.Run(context.Background(), &buf, smokeCfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

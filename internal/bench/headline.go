@@ -40,7 +40,7 @@ func init() {
 // published speedup of 246.9 and the 0.79 s hardware run.
 const paperSoftwareSeconds = 195.9
 
-func runHeadline(w io.Writer, cfg Config) error {
+func runHeadline(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	queryLen := 100
@@ -94,7 +94,7 @@ func runHeadline(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runExtrapolate(w io.Writer, cfg Config) error {
+func runExtrapolate(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	sc := align.DefaultLinear()
@@ -128,7 +128,7 @@ func runExtrapolate(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runPCI(w io.Writer, cfg Config) error {
+func runPCI(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	board := fpga.DefaultBoard()
 	m, n := 100, cfg.scaled(10_000_000)
@@ -158,7 +158,7 @@ func runPCI(w io.Writer, cfg Config) error {
 	sc := align.DefaultLinear()
 	naiveDev := host.NewDevice()
 	for _, rec := range records {
-		if _, _, _, err := naiveDev.BestLocal(context.Background(), query, rec, sc); err != nil {
+		if _, _, _, err := naiveDev.BestLocal(ctx, query, rec, sc); err != nil {
 			return err
 		}
 	}

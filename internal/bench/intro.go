@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,7 +25,7 @@ func init() {
 // under an affine gap model.
 const introZAlignSeconds = 13 * 3600.0
 
-func runIntro3MBP(w io.Writer, cfg Config) error {
+func runIntro3MBP(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	sc := align.DefaultAffine()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,7 +30,7 @@ func init() {
 	})
 }
 
-func runFigure1(w io.Writer, cfg Config) error {
+func runFigure1(ctx context.Context, w io.Writer, cfg Config) error {
 	s := []byte("ACTTGTCCGA")
 	t := []byte("ATTGTCAGGA")
 	ops := []align.Op{
@@ -48,7 +49,7 @@ func runFigure1(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runFigure2(w io.Writer, cfg Config) error {
+func runFigure2(ctx context.Context, w io.Writer, cfg Config) error {
 	s := []byte("TATGGAC")
 	t := []byte("TAGTGACT")
 	sc := align.DefaultLinear()
@@ -77,7 +78,7 @@ func runFigure2(w io.Writer, cfg Config) error {
 	return nil
 }
 
-func runMemory(w io.Writer, cfg Config) error {
+func runMemory(ctx context.Context, w io.Writer, cfg Config) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "sequence sizes\tfull matrix (sec. 2.2)\tlinear scan (sec. 2.3)\thirschberg retrieval")
 	sizes := []struct {

@@ -20,7 +20,7 @@ func init() {
 	})
 }
 
-func runPipeline(w io.Writer, cfg Config) error {
+func runPipeline(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	n := cfg.scaled(20_000)
@@ -32,7 +32,7 @@ func runPipeline(w io.Writer, cfg Config) error {
 	sc := align.DefaultLinear()
 
 	dev := host.NewDevice()
-	rep, err := host.Pipeline(dev, a, b, sc)
+	rep, err := host.Pipeline(ctx, dev, a, b, sc)
 	if err != nil {
 		return err
 	}
@@ -40,7 +40,7 @@ func runPipeline(w io.Writer, cfg Config) error {
 	var swRes align.Result
 	swSec := measure(func() {
 		var lerr error
-		swRes, _, lerr = linear.Local(context.Background(), a, b, sc, nil)
+		swRes, _, lerr = linear.Local(ctx, a, b, sc, nil)
 		if lerr != nil {
 			err = lerr
 		}

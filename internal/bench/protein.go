@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ func init() {
 	})
 }
 
-func runProtein(w io.Writer, cfg Config) error {
+func runProtein(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	g := protein.NewGenerator(cfg.Seed)
 	m := protein.BLOSUM62(-8)

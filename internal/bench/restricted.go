@@ -19,7 +19,7 @@ func init() {
 	})
 }
 
-func runRestricted(w io.Writer, cfg Config) error {
+func runRestricted(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	sc := align.DefaultLinear()
@@ -39,14 +39,14 @@ func runRestricted(w io.Writer, cfg Config) error {
 		}
 		var hirsch align.Result
 		var herr error
-		hSec := measure(func() { hirsch, _, herr = linear.Local(context.Background(), a, b, sc, nil) })
+		hSec := measure(func() { hirsch, _, herr = linear.Local(ctx, a, b, sc, nil) })
 		if herr != nil {
 			return herr
 		}
 		var banded align.Result
 		var info linear.RestrictedInfo
 		var berr error
-		bSec := measure(func() { banded, info, berr = linear.LocalRestricted(context.Background(), a, b, sc, nil) })
+		bSec := measure(func() { banded, info, berr = linear.LocalRestricted(ctx, a, b, sc, nil) })
 		if berr != nil {
 			return berr
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -19,7 +20,7 @@ func init() {
 	})
 }
 
-func runSignificance(w io.Writer, cfg Config) error {
+func runSignificance(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	sc := align.DefaultLinear()
 	ungapped, err := evalue.UngappedLambdaDNA(sc)

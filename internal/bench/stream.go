@@ -29,7 +29,7 @@ func init() {
 // streamed under shrinking -max-memory budgets, comparing peak heap,
 // wall time and producer stalls. The hits must be bit-identical in
 // every mode — the budget buys memory, never answers.
-func runStream(w io.Writer, cfg Config) error {
+func runStream(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	query := gen.Random(100)
@@ -115,7 +115,7 @@ func runStream(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			hits, err = search.Search(context.Background(), db, query, opts, nil)
+			hits, err = search.Search(ctx, db, query, opts, nil)
 			return err
 		})
 		if err != nil {
@@ -141,7 +141,7 @@ func runStream(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			hits, err = search.Stream(context.Background(), seq.NewFASTASource(sf), query,
+			hits, err = search.Stream(ctx, seq.NewFASTASource(sf), query,
 				search.StreamOptions{Options: opts, MaxMemoryBytes: b.budget}, nil)
 			if cerr := sf.Close(); err == nil {
 				err = cerr

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -85,7 +86,7 @@ var table1Rows = []architecture{
 	},
 }
 
-func runTable1(w io.Writer, cfg Config) error {
+func runTable1(ctx context.Context, w io.Writer, cfg Config) error {
 	tw := table(w)
 	fmt.Fprintln(tw, "architecture\tdevice\telements\tworkload\tsplicing\talignment info\tmodeled time\tGCUPS\tmodeled speedup\tpublished")
 	for _, a := range table1Rows {
@@ -121,7 +122,7 @@ func bp(n int) string {
 	}
 }
 
-func runTable2(w io.Writer, cfg Config) error {
+func runTable2(ctx context.Context, w io.Writer, cfg Config) error {
 	dev := fpga.Paper()
 	var reports []fpga.Report
 	counts := []int{25, 50, 100, 125, 140, fpga.MaxElements(dev, fpga.CoordinateElement)}

@@ -35,7 +35,7 @@ const overheadAssertFloor = 1_000_000
 // keeps its minimum over the repetitions — the standard estimator for
 // "cost without interference" — and at paper-relevant sizes the
 // enabled run must stay within 2% of disabled.
-func runTelemetryOverhead(w io.Writer, cfg Config) error {
+func runTelemetryOverhead(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	queryLen := 100
@@ -51,7 +51,7 @@ func runTelemetryOverhead(w io.Writer, cfg Config) error {
 	}
 	// Warm-up: page in the workload and let the simulator's allocations
 	// settle before either variant is timed.
-	if _, err := host.Pipeline(d, query, db, sc); err != nil {
+	if _, err := host.Pipeline(ctx, d, query, db, sc); err != nil {
 		return err
 	}
 
@@ -60,7 +60,7 @@ func runTelemetryOverhead(w io.Writer, cfg Config) error {
 	for r := 0; r < reps; r++ {
 		// Interleave the variants so drift (thermal, GC) hits both.
 		t0 := time.Now()
-		if _, err := host.PipelineCtx(context.Background(), d, query, db, sc); err != nil {
+		if _, err := host.Pipeline(ctx, d, query, db, sc); err != nil {
 			return err
 		}
 		if dt := time.Since(t0).Seconds(); dt < disabled {
@@ -69,9 +69,9 @@ func runTelemetryOverhead(w io.Writer, cfg Config) error {
 
 		counter := &countingSink{}
 		tr := telemetry.NewTracer(counter)
-		ctx, root := tr.Root(context.Background(), "overhead")
+		ctx, root := tr.Root(ctx, telemetry.SpanBenchOverhead)
 		t0 = time.Now()
-		if _, err := host.PipelineCtx(ctx, d, query, db, sc); err != nil {
+		if _, err := host.Pipeline(ctx, d, query, db, sc); err != nil {
 			return err
 		}
 		root.End()

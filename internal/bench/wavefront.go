@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -19,7 +20,7 @@ func init() {
 	})
 }
 
-func runWavefront(w io.Writer, cfg Config) error {
+func runWavefront(ctx context.Context, w io.Writer, cfg Config) error {
 	cfg = cfg.withDefaults()
 	gen := seq.NewGenerator(cfg.Seed)
 	m := cfg.scaled(20_000)

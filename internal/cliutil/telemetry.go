@@ -94,9 +94,10 @@ func (t *Telemetry) Note(format string, args ...any) {
 
 // Close ends the run: the root span is closed and the trace file
 // flushed, the manifest is finalized and written, and — after the
-// optional linger window — the HTTP endpoint shuts down cleanly. The
-// first error encountered is returned.
-func (t *Telemetry) Close() error {
+// optional linger window — the HTTP endpoint shuts down cleanly (the
+// shutdown deadline derives from ctx, so a cancelled CLI still bounds
+// the drain). The first error encountered is returned.
+func (t *Telemetry) Close(ctx context.Context) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -123,7 +124,7 @@ func (t *Telemetry) Close() error {
 			fmt.Fprintf(os.Stderr, "telemetry: lingering %s on %s\n", t.Linger, t.server.Addr())
 			time.Sleep(t.Linger)
 		}
-		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		keep(t.server.Shutdown(sctx))
 		cancel()
 	}

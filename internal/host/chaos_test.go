@@ -86,7 +86,7 @@ func TestChaosAllBoardsDeadDegradesToSoftware(t *testing.T) {
 	}
 
 	// The full pipeline degrades too, and reports it.
-	crep, err := c.Pipeline(q, db, sc)
+	crep, err := c.Pipeline(context.Background(), q, db, sc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -179,16 +179,12 @@ func (r ClusterReport) ModeledTotalSeconds() float64 {
 // Pipeline runs the full linear-space local alignment with the forward
 // scan distributed over the cluster, the reverse scan on a healthy
 // board (it covers only the prefixes ending at the located
-// coordinates), and retrieval on the master host.
-func (c *Cluster) Pipeline(s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
-	return c.PipelineCtx(context.Background(), s, t, sc)
-}
-
-// PipelineCtx is Pipeline with cancellation: ctx aborts the distributed
-// scan between (and for hung boards, during) chunk dispatches.
-func (c *Cluster) PipelineCtx(ctx context.Context, s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
+// coordinates), and retrieval on the master host. ctx aborts the
+// distributed scan between (and for hung boards, during) chunk
+// dispatches.
+func (c *Cluster) Pipeline(ctx context.Context, s, t []byte, sc align.LinearScoring) (ClusterReport, error) {
 	var rep ClusterReport
-	ctx, span := telemetry.StartSpan(ctx, "cluster.pipeline")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanClusterPipeline)
 	span.SetInt("query_len", int64(len(s)))
 	span.SetInt("db_len", int64(len(t)))
 	defer span.End()
@@ -240,7 +236,7 @@ func (c *Cluster) PipelineCtx(ctx context.Context, s, t []byte, sc align.LinearS
 	}
 	startI, startJ := endI-revI, endJ-revJ
 	rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
-	_, rspan := telemetry.StartSpan(ctx, "host.retrieve")
+	_, rspan := telemetry.StartSpan(ctx, telemetry.SpanHostRetrieve)
 	t0 := time.Now()
 	sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
 	rep.HostSeconds = time.Since(t0).Seconds()

@@ -105,7 +105,7 @@ func TestClusterPipelineEndToEnd(t *testing.T) {
 	seq.PlantMotif(b, mut[:280], 9_000)
 	sc := align.DefaultLinear()
 	c := NewCluster(3)
-	rep, err := c.Pipeline(a, b, sc)
+	rep, err := c.Pipeline(context.Background(), a, b, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestClusterPipelineEndToEnd(t *testing.T) {
 	// Distribution should cut the modeled forward-scan wall time versus a
 	// single board covering the whole database.
 	single := NewCluster(1)
-	srep, err := single.Pipeline(a, b, sc)
+	srep, err := single.Pipeline(context.Background(), a, b, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestClusterPipelineEndToEnd(t *testing.T) {
 
 func TestClusterPipelineHopeless(t *testing.T) {
 	c := NewCluster(2)
-	rep, err := c.Pipeline([]byte("AAAA"), []byte("TTTT"), align.DefaultLinear())
+	rep, err := c.Pipeline(context.Background(), []byte("AAAA"), []byte("TTTT"), align.DefaultLinear())
 	if err != nil || rep.Result.Score != 0 {
 		t.Errorf("hopeless: %+v %v", rep, err)
 	}

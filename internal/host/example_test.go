@@ -1,6 +1,7 @@
 package host_test
 
 import (
+	"context"
 	"fmt"
 
 	"swfpga/internal/align"
@@ -11,7 +12,7 @@ import (
 // retrieval on the host.
 func ExamplePipeline() {
 	dev := host.NewDevice()
-	rep, err := host.Pipeline(dev, []byte("TATGGAC"), []byte("TAGTGACT"), align.DefaultLinear())
+	rep, err := host.Pipeline(context.Background(), dev, []byte("TATGGAC"), []byte("TAGTGACT"), align.DefaultLinear())
 	if err != nil {
 		panic(err)
 	}

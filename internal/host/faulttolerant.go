@@ -198,7 +198,7 @@ func (c *Cluster) BestLocalReport(ctx context.Context, s, t []byte, sc align.Lin
 	if err != nil {
 		return 0, 0, 0, rep, err
 	}
-	ctx, span := telemetry.StartSpan(ctx, "cluster.scan")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanClusterScan)
 	span.SetInt("bases", int64(len(t)))
 	span.SetInt("boards", int64(len(c.Devices)))
 	defer func() {
@@ -234,7 +234,7 @@ func (c *Cluster) BestLocalReport(ctx context.Context, s, t []byte, sc align.Lin
 	software := func(tk sched.Task) {
 		lo, hi := bounds(tk.Index)
 		t0 := time.Now()
-		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(context.Background(), s, t[lo:hi], sc)
+		score, i, jj, _ := linear.ScanSoftware{}.BestLocal(ctx, s, t[lo:hi], sc)
 		dt := time.Since(t0).Seconds()
 		rep.SoftwareSeconds += dt
 		telemetry.HostSeconds.Add(dt)
@@ -339,7 +339,7 @@ func (c *Cluster) record(rep FaultReport) {
 // recorded into rev; the caller merges it into the run's report.
 func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.LinearScoring, rev *FaultReport) (int, int, int, error) {
 	pol := c.Policy.withDefaults()
-	ctx, span := telemetry.StartSpan(ctx, "cluster.reverse")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanClusterReverse)
 	span.SetInt("bases", int64(len(t)))
 	defer span.End()
 	var score, i, j int
@@ -384,7 +384,7 @@ func (c *Cluster) anchoredResilient(ctx context.Context, s, t []byte, sc align.L
 		return 0, 0, 0, fmt.Errorf("host: reverse scan found no healthy board")
 	}
 	t0 := time.Now()
-	score, i, j, err = linear.ScanSoftware{}.BestAnchored(context.Background(), s, t, sc)
+	score, i, j, err = linear.ScanSoftware{}.BestAnchored(ctx, s, t, sc)
 	dt := time.Since(t0).Seconds()
 	rev.SoftwareSeconds += dt
 	telemetry.HostSeconds.Add(dt)

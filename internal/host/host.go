@@ -181,7 +181,7 @@ func (d *Device) run(ctx context.Context, s, t []byte, sc align.LinearScoring, a
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
 	}
-	ctx, span := telemetry.StartSpan(ctx, "device.scan")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanDeviceScan)
 	span.SetInt("board", int64(d.ID))
 	span.SetInt("bases", int64(len(t)))
 	if anchored {
@@ -268,7 +268,7 @@ func (d *Device) runAffine(ctx context.Context, s, t []byte, sc align.AffineScor
 	if err := d.Board.DatabaseFits(len(t), len(s) > cfg.Elements); err != nil {
 		return systolic.Result{}, err
 	}
-	ctx, span := telemetry.StartSpan(ctx, "device.scan.affine")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanDeviceScanAffine)
 	span.SetInt("board", int64(d.ID))
 	span.SetInt("bases", int64(len(t)))
 	if corrupted, err := d.injectFault(ctx, t); err != nil {
@@ -335,19 +335,15 @@ func (r Report) ModeledTotalSeconds() float64 {
 // phase structure of sec. 2.3: forward scan (accelerator) → reverse
 // scan over the reversed prefixes (accelerator) → Hirschberg retrieval
 // between the located coordinates (host software, measured wall time).
-func Pipeline(d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
-	return PipelineCtx(context.Background(), d, s, t, sc)
-}
-
-// PipelineCtx is Pipeline under the caller's context: cancellation
-// reaches a scan in flight, and when the context carries a telemetry
-// span the run is traced as host.pipeline → device.scan (forward) →
-// device.scan (reverse) → host.retrieve.
-func PipelineCtx(ctx context.Context, d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
+// It runs under the caller's context — cancellation reaches a scan in
+// flight, and when the context carries a telemetry span the run is
+// traced as host.pipeline → device.scan (forward) → device.scan
+// (reverse) → host.retrieve.
+func Pipeline(ctx context.Context, d *Device, s, t []byte, sc align.LinearScoring) (Report, error) {
 	if err := d.Validate(); err != nil {
 		return Report{}, err
 	}
-	ctx, span := telemetry.StartSpan(ctx, "host.pipeline")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanHostPipeline)
 	span.SetInt("query_len", int64(len(s)))
 	span.SetInt("db_len", int64(len(t)))
 	defer span.End()
@@ -374,7 +370,7 @@ func PipelineCtx(ctx context.Context, d *Device, s, t []byte, sc align.LinearSco
 		startI, startJ := endI-revI, endJ-revJ
 		rep.Phases.StartI, rep.Phases.StartJ = startI, startJ
 		// Phase 3: retrieval on the host, measured.
-		_, rspan := telemetry.StartSpan(ctx, "host.retrieve")
+		_, rspan := telemetry.StartSpan(ctx, telemetry.SpanHostRetrieve)
 		t0 := time.Now()
 		sub := linear.Global(s[startI:endI], t[startJ:endJ], sc)
 		rep.HostSeconds = time.Since(t0).Seconds()

@@ -90,7 +90,7 @@ func TestPipelineMatchesSoftwareLocal(t *testing.T) {
 		db := randDNA(rng, 1+rng.Intn(80))
 		d := NewDevice()
 		d.Array.Elements = 24
-		rep, err := Pipeline(d, q, db, sc)
+		rep, err := Pipeline(context.Background(), d, q, db, sc)
 		if err != nil {
 			t.Fatalf("pipeline(%s,%s): %v", q, db, err)
 		}
@@ -121,7 +121,7 @@ func TestPipelineHomologsEndToEnd(t *testing.T) {
 	}
 	sc := align.DefaultLinear()
 	d := NewDevice()
-	rep, err := Pipeline(d, a, b, sc)
+	rep, err := Pipeline(context.Background(), d, a, b, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestPipelineHomologsEndToEnd(t *testing.T) {
 
 func TestPipelineHopelessInput(t *testing.T) {
 	d := NewDevice()
-	rep, err := Pipeline(d, []byte("AAAA"), []byte("TTTT"), align.DefaultLinear())
+	rep, err := Pipeline(context.Background(), d, []byte("AAAA"), []byte("TTTT"), align.DefaultLinear())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestPipelineSaturationSurfaces(t *testing.T) {
 	d := NewDevice()
 	d.Array.ScoreBits = 4
 	q := randDNA(rand.New(rand.NewSource(403)), 100)
-	if _, err := Pipeline(d, q, q, align.DefaultLinear()); err == nil {
+	if _, err := Pipeline(context.Background(), d, q, q, align.DefaultLinear()); err == nil {
 		t.Error("saturation must surface as a pipeline error")
 	}
 }
@@ -172,7 +172,7 @@ func TestPipelineRejectsOversizeDatabase(t *testing.T) {
 	d.Board.Device.SRAMBytes = 16 // absurdly small board
 	q := []byte("ACGTACGT")
 	db := randDNA(rand.New(rand.NewSource(404)), 1000)
-	if _, err := Pipeline(d, q, db, align.DefaultLinear()); err == nil {
+	if _, err := Pipeline(context.Background(), d, q, db, align.DefaultLinear()); err == nil {
 		t.Error("database exceeding board SRAM must be rejected")
 	}
 }

@@ -46,7 +46,7 @@ func TestPipelineGoldenTrace(t *testing.T) {
 	d.Array.Elements = 4
 	s := []byte("ACGTACGT")
 	db := []byte("TTACGTACGTTT")
-	rep, err := PipelineCtx(ctx, d, s, db, align.DefaultLinear())
+	rep, err := Pipeline(ctx, d, s, db, align.DefaultLinear())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestPipelineGoldenTrace(t *testing.T) {
 		t.Errorf("span tree:\n%s\nwant:\n%s", got, want)
 	}
 	if calls := telemetry.ScanCalls.Value(); calls != 2 {
-		t.Errorf("swfpga_scan_calls_total = %d, want 2 (forward + reverse)", calls)
+		t.Errorf("%s = %d, want 2 (forward + reverse)", telemetry.NameScanCalls, calls)
 	}
 	if telemetry.CellsUpdated.Value() == 0 {
-		t.Error("swfpga_cells_updated_total stayed 0")
+		t.Errorf("%s stayed 0", telemetry.NameCellsUpdated)
 	}
 	telemetry.Default().Reset()
 }
@@ -132,10 +132,10 @@ func TestClusterTraceRecordsFaultEvents(t *testing.T) {
 		t.Error("no fault event recorded in the trace")
 	}
 	if telemetry.ChunkFailures.Value("pci-transfer") == 0 {
-		t.Error("swfpga_chunk_failures_total{class=pci-transfer} stayed 0")
+		t.Errorf("%s{class=pci-transfer} stayed 0", telemetry.NameChunkFailures)
 	}
 	if telemetry.Retries.Value() == 0 {
-		t.Error("swfpga_chunk_retries_total stayed 0")
+		t.Errorf("%s stayed 0", telemetry.NameRetries)
 	}
 	telemetry.Default().Reset()
 }
@@ -171,7 +171,7 @@ func TestClusterModeledTotalIncludesFaultRecovery(t *testing.T) {
 	))
 	q := []byte("ACGTACGT")
 	db := bytes.Repeat([]byte("ACGT"), 64)
-	rep, err := c.Pipeline(q, db, align.DefaultLinear())
+	rep, err := c.Pipeline(context.Background(), q, db, align.DefaultLinear())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +190,10 @@ func TestClusterModeledTotalIncludesFaultRecovery(t *testing.T) {
 			got, want, phases, faultTime)
 	}
 	if telemetry.DegradedRuns.Value() == 0 {
-		t.Error("swfpga_degraded_runs_total stayed 0")
+		t.Errorf("%s stayed 0", telemetry.NameDegradedRuns)
 	}
 	if telemetry.SoftwareChunks.Value() == 0 {
-		t.Error("swfpga_software_chunks_total stayed 0")
+		t.Errorf("%s stayed 0", telemetry.NameSoftwareChunks)
 	}
 	telemetry.Default().Reset()
 }

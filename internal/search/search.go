@@ -123,7 +123,7 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 	if workers == 0 {
 		return nil, nil
 	}
-	ctx, span := telemetry.StartSpan(ctx, "search")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearch)
 	span.SetInt("records", int64(len(db)))
 	span.SetInt("query_len", int64(len(query)))
 	span.SetInt("workers", int64(workers))
@@ -252,7 +252,7 @@ func sortHits(out []Hit) {
 // hitsPerRecord slots are written per record index, each owned by
 // exactly one in-flight task.
 func scanBatch(ctx context.Context, db []seq.Sequence, lo, hi int, query []byte, opts Options, e engine.Engine, hitsPerRecord [][]Hit) error {
-	ctx, span := telemetry.StartSpan(ctx, "search.batch")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchBatch)
 	span.SetInt("records", int64(hi-lo))
 	span.SetInt("index", int64(lo))
 	defer span.End()
@@ -282,7 +282,7 @@ func scanBatch(ctx context.Context, db []seq.Sequence, lo, hi int, query []byte,
 // its own span and a wall-time observation (swfpga_record_wall_seconds)
 // so slow records stand out in the trace and the histogram.
 func scanRecord(ctx context.Context, rec seq.Sequence, idx int, query []byte, opts Options, scanner linear.Scanner) ([]Hit, error) {
-	ctx, span := telemetry.StartSpan(ctx, "search.record")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchRecord)
 	span.SetInt("index", int64(idx))
 	span.SetInt("bases", int64(len(rec.Data)))
 	t0 := time.Now()

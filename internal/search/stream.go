@@ -57,7 +57,7 @@ func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts Stream
 	}
 	workers := o.Workers
 
-	ctx, span := telemetry.StartSpan(ctx, "search")
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearch)
 	span.SetInt("query_len", int64(len(query)))
 	span.SetInt("workers", int64(workers))
 	span.SetInt("streaming", 1)
@@ -126,7 +126,7 @@ func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts Stream
 			},
 		},
 		Next: func(nctx context.Context) (int64, bool, error) {
-			_, pspan := telemetry.StartSpan(nctx, "search.parse")
+			_, pspan := telemetry.StartSpan(nctx, telemetry.SpanSearchParse)
 			defer pspan.End()
 			rec, err := src.Next()
 			if err == io.EOF {

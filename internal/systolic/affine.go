@@ -326,7 +326,7 @@ func (ar *affineArray) step(sbIn byte, hIn, fIn score, meta [4]int32, vIn bool) 
 // span under the context's tracer plus the registry counters, exactly
 // as RunCtx does for the linear array.
 func RunAffineCtx(ctx context.Context, cfg AffineConfig, query, db []byte) (Result, error) {
-	_, span := telemetry.StartSpan(ctx, "systolic.affine")
+	_, span := telemetry.StartSpan(ctx, telemetry.SpanSystolicAffine)
 	res, err := RunAffine(cfg, query, db)
 	recordRun(span, cfg.Elements, res)
 	return res, err

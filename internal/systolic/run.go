@@ -15,7 +15,7 @@ import (
 // within the <2% overhead budget the swbench telemetry-overhead
 // experiment guards.
 func RunCtx(ctx context.Context, cfg Config, query, db []byte) (Result, error) {
-	_, span := telemetry.StartSpan(ctx, "systolic.run")
+	_, span := telemetry.StartSpan(ctx, telemetry.SpanSystolicRun)
 	res, err := Run(cfg, query, db)
 	recordRun(span, cfg.Elements, res)
 	return res, err

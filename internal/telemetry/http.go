@@ -13,10 +13,10 @@ import (
 )
 
 // publishExpvar exposes the Default registry under the expvar name
-// "swfpga_metrics" exactly once (expvar.Publish panics on duplicates,
+// NameExpvarMetrics exactly once (expvar.Publish panics on duplicates,
 // and tests may start several servers in one process).
 var publishExpvar = sync.OnceFunc(func() {
-	expvar.Publish("swfpga_metrics", expvar.Func(func() any {
+	expvar.Publish(NameExpvarMetrics, expvar.Func(func() any {
 		return Default().Snapshot()
 	}))
 })

@@ -48,9 +48,9 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("/metrics status %d", code)
 	}
 	for _, want := range []string{
-		"swfpga_scan_calls_total 7",
-		"swfpga_cells_updated_total 12345",
-		"# TYPE swfpga_chunk_modeled_seconds histogram",
+		NameScanCalls + " 7",
+		NameCellsUpdated + " 12345",
+		"# TYPE " + NameChunkSeconds + " histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -61,14 +61,16 @@ func TestServerEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/debug/vars status %d", code)
 	}
-	var vars struct {
-		Metrics map[string]float64 `json:"swfpga_metrics"`
-	}
+	var vars map[string]json.RawMessage
 	if err := json.Unmarshal([]byte(body), &vars); err != nil {
 		t.Fatalf("/debug/vars is not JSON: %v", err)
 	}
-	if vars.Metrics["swfpga_scan_calls_total"] != 7 {
-		t.Errorf("expvar swfpga_metrics = %v", vars.Metrics)
+	var metrics map[string]float64
+	if err := json.Unmarshal(vars[NameExpvarMetrics], &metrics); err != nil {
+		t.Fatalf("expvar %s is not a metric map: %v", NameExpvarMetrics, err)
+	}
+	if metrics[NameScanCalls] != 7 {
+		t.Errorf("expvar %s = %v", NameExpvarMetrics, metrics)
 	}
 
 	code, _ = get(t, base+"/debug/pprof/cmdline")
@@ -114,7 +116,7 @@ func TestRunManifest(t *testing.T) {
 	out := string(data)
 	for _, want := range []string{
 		"run manifest: swtest", "workload: tiny", "engine:   software",
-		"note:     a note", "swfpga_scan_calls_total",
+		"note:     a note", NameScanCalls,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("manifest missing %q:\n%s", want, out)

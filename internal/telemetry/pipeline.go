@@ -9,105 +9,105 @@ var (
 	// ScanCalls counts accelerator scan invocations (one systolic pass
 	// over one database chunk or record).
 	ScanCalls = Default().NewCounter(
-		"swfpga_scan_calls_total",
+		NameScanCalls,
 		"accelerator scan invocations")
 	// CellsUpdated counts similarity-matrix cell updates performed by
 	// the simulated array.
 	CellsUpdated = Default().NewCounter(
-		"swfpga_cells_updated_total",
+		NameCellsUpdated,
 		"similarity-matrix cell updates computed by the array")
 	// ArrayCycles counts simulated array clock steps.
 	ArrayCycles = Default().NewCounter(
-		"swfpga_array_cycles_total",
+		NameArrayCycles,
 		"simulated systolic-array clock steps")
 	// StripsTotal counts query strips (figure 7 splitting) streamed.
 	StripsTotal = Default().NewCounter(
-		"swfpga_strips_total",
+		NameStrips,
 		"query strips streamed through the array")
 	// ComputeSeconds accumulates modeled array execution time.
 	ComputeSeconds = Default().NewFloatCounter(
-		"swfpga_modeled_compute_seconds_total",
+		NameComputeSeconds,
 		"modeled array execution time (seconds)")
 	// TransferSeconds accumulates modeled PCI link time.
 	TransferSeconds = Default().NewFloatCounter(
-		"swfpga_modeled_transfer_seconds_total",
+		NameTransferSeconds,
 		"modeled PCI transfer time (seconds)")
 	// HostSeconds accumulates measured host wall time spent in the
 	// pipeline's software phases (retrieval, degraded chunks).
 	HostSeconds = Default().NewFloatCounter(
-		"swfpga_host_seconds_total",
+		NameHostSeconds,
 		"measured host wall time in software pipeline phases (seconds)")
 	// BytesIn / BytesOut count modeled PCI traffic.
 	BytesIn = Default().NewCounter(
-		"swfpga_pci_bytes_in_total",
+		NamePCIBytesIn,
 		"modeled bytes streamed to the board")
 	BytesOut = Default().NewCounter(
-		"swfpga_pci_bytes_out_total",
+		NamePCIBytesOut,
 		"modeled bytes returned to the host")
 
 	// Faults counts injected faults detected at the device, by class
 	// (pci, hang, bitflip, dead).
 	Faults = Default().NewCounterVec(
-		"swfpga_faults_total",
+		NameFaults,
 		"injected board faults detected at the device", "class")
 	// FaultSeconds accumulates the modeled link time lost to aborted
 	// streams and reset handshakes.
 	FaultSeconds = Default().NewFloatCounter(
-		"swfpga_modeled_fault_seconds_total",
+		NameFaultSeconds,
 		"modeled link time lost to fault recovery (seconds)")
 	// ChunkFailures counts failed chunk attempts as classified by the
 	// cluster dispatcher (includes genuine chunk-deadline misses).
 	ChunkFailures = Default().NewCounterVec(
-		"swfpga_chunk_failures_total",
+		NameChunkFailures,
 		"failed chunk attempts classified by the cluster dispatcher", "class")
 	// Retries / Redispatches / Quarantines count cluster recovery
 	// actions; SoftwareChunks counts chunks completed by the software
 	// fallback and DegradedRuns the scans that needed it.
 	Retries = Default().NewCounter(
-		"swfpga_retries_total",
+		NameRetries,
 		"chunk re-dispatches after failed attempts")
 	Redispatches = Default().NewCounter(
-		"swfpga_redispatches_total",
+		NameRedispatches,
 		"retries that moved to a different board")
 	Quarantines = Default().NewCounter(
-		"swfpga_quarantines_total",
+		NameQuarantines,
 		"boards quarantined by the circuit breaker")
 	SoftwareChunks = Default().NewCounter(
-		"swfpga_software_chunks_total",
+		NameSoftwareChunks,
 		"chunks completed by the software fallback")
 	DegradedRuns = Default().NewCounter(
-		"swfpga_degraded_runs_total",
+		NameDegradedRuns,
 		"scans that degraded to the software scanner")
 
 	// ChunkSeconds is the modeled latency distribution of one
 	// accelerator scan call (compute plus transfer).
 	ChunkSeconds = Default().NewHistogram(
-		"swfpga_chunk_modeled_seconds",
+		NameChunkSeconds,
 		"modeled per-scan latency: array compute plus PCI transfer (seconds)",
 		ExponentialBounds(1e-6, 4, 16))
 	// PEOccupancy is the fraction of PE-cycles that performed cell
 	// updates in one array run — wavefront fill/drain and query reload
 	// are the loss terms.
 	PEOccupancy = Default().NewHistogram(
-		"swfpga_pe_occupancy_ratio",
+		NamePEOccupancy,
 		"fraction of PE-cycles doing cell updates per array run",
 		LinearBounds(0.05, 0.05, 20))
 	// RecordSeconds is the measured wall latency of scanning one
 	// database record end to end (including queueing inside the engine).
 	RecordSeconds = Default().NewHistogram(
-		"swfpga_record_wall_seconds",
+		NameRecordSeconds,
 		"measured wall latency per database record scanned (seconds)",
 		ExponentialBounds(1e-5, 4, 16))
 
 	// StreamBufferBytes is the parsed-record data currently admitted to
 	// a streaming search's prefetch window (bounded by -max-memory).
 	StreamBufferBytes = Default().NewGauge(
-		"swfpga_stream_buffer_bytes",
+		NameStreamBufferBytes,
 		"record bytes admitted to the streaming search window")
 	// StreamStalls counts producer stalls: the streaming parser blocked
 	// because the window had reached its memory budget.
 	StreamStalls = Default().NewCounter(
-		"swfpga_stream_prefetch_stalls_total",
+		NameStreamStalls,
 		"streaming-search producer stalls at the memory budget")
 
 	// ModeledGCUPS and WallGCUPS track throughput: cell updates per
@@ -116,10 +116,10 @@ var (
 	// what the paper's hardware would sustain, the wall figure is what
 	// this host's simulation achieves.
 	ModeledGCUPS = Default().NewGauge(
-		"swfpga_modeled_gcups",
+		NameModeledGCUPS,
 		"modeled accelerator throughput (giga cell updates per modeled second)")
 	WallGCUPS = Default().NewGauge(
-		"swfpga_wall_gcups",
+		NameWallGCUPS,
 		"achieved simulation throughput (giga cell updates per wall second)")
 )
 

@@ -73,7 +73,7 @@ grep -q '^# TYPE swfpga_chunk_modeled_seconds histogram' "$work/metrics.txt" ||
 	fail "/metrics: chunk-latency histogram missing"
 
 curl -fsS "http://$addr/debug/vars" >"$work/vars.json" || fail "/debug/vars scrape failed"
-grep -q '"swfpga_metrics"' "$work/vars.json" || fail "/debug/vars: swfpga_metrics var missing"
+grep -q 'swfpga_metrics' "$work/vars.json" || fail "/debug/vars: swfpga_metrics var missing"
 
 curl -fsS "http://$addr/debug/pprof/cmdline" >/dev/null || fail "/debug/pprof/cmdline scrape failed"
 
