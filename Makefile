@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Concurrent packages that get a dedicated -race run.
-RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/... ./internal/telemetry/...
+RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/... ./internal/telemetry/... ./internal/server/... ./internal/engine/sched/...
 
 # package:target pairs for the fuzz smoke. `go test -fuzz` takes one
 # target per invocation, so the smoke loops over them.
@@ -20,9 +20,10 @@ FUZZ_TARGETS := \
 	internal/seq:FuzzFASTARoundTrip \
 	internal/seq:FuzzScanReadAgree \
 	internal/systolic:FuzzArrayMatchesSoftware \
-	internal/systolic:FuzzAffineArrayMatchesGotoh
+	internal/systolic:FuzzAffineArrayMatchesGotoh \
+	internal/server:FuzzDecodeRequest
 
-.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke fuzz-smoke check
+.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -71,6 +72,12 @@ bench-smoke:
 stream-smoke:
 	SWFPGA_STREAM_SMOKE=1 $(GO) test ./internal/search -run TestStreamSmokeHeapBudget -count=1 -v
 
+# Daemon smoke (DESIGN.md §11): a real swservd on an ephemeral port
+# under a seeded fault schedule — concurrent search burst, align,
+# engines/healthz/metrics scrapes, then SIGTERM and a clean drain.
+servd-smoke:
+	bash scripts/servd_smoke.sh
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -78,4 +85,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke
+check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke

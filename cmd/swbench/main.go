@@ -40,7 +40,11 @@ func main() {
 	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
-	ctx, err := tel.Start(context.Background(), "swbench")
+	// Experiments can run for minutes; SIGINT/SIGTERM cancels the
+	// in-flight experiment cleanly instead of killing the process.
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+	ctx, err := tel.Start(ctx, "swbench")
 	if err != nil {
 		fatal(err)
 	}

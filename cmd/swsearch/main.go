@@ -14,7 +14,9 @@
 // bounded-memory prefetch window (-max-memory sets the budget for
 // records in flight); -stream=false, -retrieve, -translated and -batch
 // load it in memory instead. Interrupting the process (SIGINT/SIGTERM)
-// cancels the scan cleanly. -telemetry-addr serves /metrics,
+// or exceeding -timeout cancels the scan cleanly — a deadline reached
+// mid-stream is an error, never a truncated hit list. -telemetry-addr
+// serves /metrics,
 // /debug/vars and /debug/pprof live; -trace writes a JSONL span trace
 // and -manifest a run summary (see DESIGN.md §8).
 package main
@@ -24,9 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 
 	"swfpga/internal/align"
 	"swfpga/internal/cliutil"
@@ -52,13 +52,22 @@ func main() {
 		withEvalue = flag.Bool("evalue", false, "calibrate Karlin-Altschul statistics and report E-values")
 		stream     = flag.Bool("stream", true, "stream the database in bounded memory (-retrieve, -translated and -batch load it in memory)")
 		maxMem     = flag.String("max-memory", "256MiB", "streaming budget for parsed records in flight (e.g. 64MiB, 1GiB)")
+		timeout    = flag.Duration("timeout", 0, "abort the search after this long (0 = no deadline)")
 	)
 	sel := cliutil.EngineFlags()
 	tel := cliutil.TelemetryFlags()
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background())
 	defer stop()
+	if *timeout > 0 {
+		// The deadline rides the same context as the interrupt: whichever
+		// fires first cancels the scan mid-stream, and the search layer
+		// reports it as an error — never as a truncated result.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	ctx, err := tel.Start(ctx, "swsearch")
 	if err != nil {
 		fatal(err)

@@ -224,3 +224,42 @@ func TestCLISwalignLinearAffine(t *testing.T) {
 		t.Errorf("linear-space affine:\n%s", out)
 	}
 }
+
+// TestCLISwsearchTimeout pins the -timeout contract: a deadline that
+// fires mid-stream is a clean error and a non-zero exit — never a
+// success with a partial hit list.
+func TestCLISwsearchTimeout(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.fa")
+	seqgen := tool(t, "seqgen")
+	db := ""
+	for i := 0; i < 4; i++ {
+		db += run(t, seqgen, "-n", "120000", "-id", "big"+string(rune('a'+i)), "-seed", string(rune('1'+i)))
+	}
+	if err := os.WriteFile(dbPath, []byte(db), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-q", "ACGTACGTACGTACGTACGTACGTACGTACGT", "-db", dbPath}
+
+	// Sanity: without a deadline the same scan succeeds.
+	out := run(t, tool(t, "swsearch"), args...)
+	if !strings.Contains(out, "against 4 records") {
+		t.Fatalf("control run:\n%s", out)
+	}
+
+	cmd := exec.Command(tool(t, "swsearch"), append(args, "-timeout", "1ms")...)
+	raw, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("swsearch -timeout 1ms exited 0 on a scan that takes far longer:\n%s", raw)
+	}
+	if _, isExit := err.(*exec.ExitError); !isExit {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	if !strings.Contains(got, "deadline") {
+		t.Errorf("timeout failure should name the deadline:\n%s", got)
+	}
+	if strings.Contains(got, "hits for") {
+		t.Errorf("timed-out run printed a hit summary (partial results reported as success):\n%s", got)
+	}
+}

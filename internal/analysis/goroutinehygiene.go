@@ -8,7 +8,7 @@ import (
 // goroutinePackages are the concurrent fan-out layers of the search
 // service; goroutine launches there must follow the repository's
 // worker-pool shape.
-var goroutinePackages = []string{"internal/search", "internal/wavefront", "internal/host"}
+var goroutinePackages = []string{"internal/search", "internal/wavefront", "internal/host", "internal/server"}
 
 // GoroutineHygiene flags `go` statements in the concurrent packages
 // that (a) launch a closure capturing an enclosing loop variable —

@@ -1,0 +1,29 @@
+package server
+
+// dispatcher abstracts the daemon's long-lived scheduler goroutine: a
+// blocking run loop started at construction and joined at drain time.
+type dispatcher interface {
+	Run() error
+}
+
+// NewGood is the daemon's canonical shape: the run goroutine's exit
+// error flows into done, and the returned drain closure receives it —
+// the goroutine cannot outlive the server because drain joins it.
+func NewGood(d dispatcher) (drain func() error) {
+	done := make(chan error, 1)
+	go func(d dispatcher) {
+		done <- d.Run()
+	}(d)
+	return func() error {
+		return <-done
+	}
+}
+
+// NewBad starts the run loop with nothing joining it: whether it exited
+// (and with what error) is unobservable, so a drain can return while
+// the scheduler still runs.
+func NewBad(d dispatcher) {
+	go func(d dispatcher) { // finding: no join
+		_ = d.Run()
+	}(d)
+}

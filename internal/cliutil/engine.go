@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"swfpga/internal/engine"
 )
@@ -18,6 +19,7 @@ type EngineSelection struct {
 	workers   *int
 	faultRate *float64
 	faultSeed *int64
+	chunkTO   *time.Duration
 }
 
 // EngineFlags registers the shared backend-selection flags: one -engine
@@ -34,6 +36,7 @@ func EngineFlags() *EngineSelection {
 		workers:   flag.Int("engine-workers", 0, "wavefront engine worker goroutines (0 = GOMAXPROCS)"),
 		faultRate: flag.Float64("fault-rate", 0, "injected fault rate per chunk transfer (cluster engines)"),
 		faultSeed: flag.Int64("fault-seed", 0, "fault-injection seed (0 = backend default)"),
+		chunkTO:   flag.Duration("chunk-timeout", 0, "per-chunk dispatch deadline of cluster engines (0 = none)"),
 	}
 }
 
@@ -46,12 +49,13 @@ func (s *EngineSelection) Resolve() (string, engine.Config) {
 		name = "systolic"
 	}
 	return name, engine.Config{
-		Elements:  *s.elements,
-		ScoreBits: *s.scoreBits,
-		Boards:    *s.boards,
-		Workers:   *s.workers,
-		FaultRate: *s.faultRate,
-		FaultSeed: *s.faultSeed,
+		Elements:     *s.elements,
+		ScoreBits:    *s.scoreBits,
+		Boards:       *s.boards,
+		Workers:      *s.workers,
+		FaultRate:    *s.faultRate,
+		FaultSeed:    *s.faultSeed,
+		ChunkTimeout: *s.chunkTO,
 	}
 }
 

@@ -1,0 +1,18 @@
+package cliutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext derives a context cancelled on the first SIGINT or
+// SIGTERM — the shutdown wiring every long-running tool shares
+// (swsearch cancels its scan, swservd starts its drain). The returned
+// stop function releases the signal registration; after the first
+// signal the handler is removed, so a second signal kills the process
+// the default way — an operator can always escalate.
+func SignalContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+}

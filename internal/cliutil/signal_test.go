@@ -1,0 +1,55 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextCancelsOnSIGTERM delivers a real SIGTERM to the test
+// process and checks the derived context cancels. NotifyContext has the
+// signal registered before it returns, so the handler (not the default
+// fatal disposition) receives it.
+func TestSignalContextCancelsOnSIGTERM(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+		if !errors.Is(ctx.Err(), context.Canceled) {
+			t.Fatalf("ctx.Err() = %v, want Canceled", ctx.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGTERM")
+	}
+}
+
+// TestSignalContextStopReleases pins that stop() cancels the context
+// and releases the registration without a signal ever arriving.
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop() did not cancel the context")
+	}
+}
+
+// TestSignalContextInheritsParent pins that parent cancellation flows
+// through.
+func TestSignalContextInheritsParent(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := SignalContext(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}

@@ -134,6 +134,7 @@ func buildCluster(name string, cfg Config, rate float64, seed int64) (Engine, er
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	c.Policy.ChunkTimeout = cfg.ChunkTimeout
 	if rate > 0 {
 		c.InjectFaults(faults.MustRandom(seed, faults.Split(rate)))
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Capabilities declares what a backend can do, negotiated before any
@@ -89,6 +90,12 @@ type Config struct {
 	// FaultSeed seeds the fault injector (0 = seed 1) so fault
 	// schedules — and therefore scan results and reports — reproduce.
 	FaultSeed int64
+	// ChunkTimeout is the per-chunk dispatch deadline of the cluster
+	// backends (host.Policy.ChunkTimeout). 0 keeps the library default
+	// of no per-chunk deadline — fine for one-shot tools, but callers
+	// that scan under a request deadline should set it: without one, an
+	// injected board hang blocks until the whole request deadline.
+	ChunkTimeout time.Duration
 }
 
 // ErrUnsupported reports an operation outside a backend's capability

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// liveQueue is the canonical live-source shape: a bounded channel of
+// task costs, a capacity-1 token channel, and a non-blocking Next poll.
+type liveQueue struct {
+	ch    chan int64
+	ready chan struct{}
+}
+
+func newLiveQueue(depth int) *liveQueue {
+	return &liveQueue{ch: make(chan int64, depth), ready: make(chan struct{}, 1)}
+}
+
+// push enqueues one task cost and signals the parked run.
+func (q *liveQueue) push(cost int64) {
+	q.ch <- cost
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+// close ends the source: queue first, then the token channel, so a
+// parked run wakes into the closed queue.
+func (q *liveQueue) close() {
+	close(q.ch)
+	close(q.ready)
+}
+
+// next is the non-blocking poll RunStream's live mode expects.
+func (q *liveQueue) next(context.Context) (int64, bool, error) {
+	select {
+	case cost, ok := <-q.ch:
+		if !ok {
+			return 0, false, nil
+		}
+		return cost, true, nil
+	default:
+		return 0, false, ErrNoTask
+	}
+}
+
+// TestRunStreamLiveSourceCompletesArrivals pins the live-source
+// contract: tasks fed over time — including across fully idle gaps —
+// all complete, and closing the source returns the run cleanly.
+func TestRunStreamLiveSourceCompletesArrivals(t *testing.T) {
+	q := newLiveQueue(8)
+	var mu sync.Mutex
+	seen := map[int]int{}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2}}, StreamHooks{
+			Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+				mu.Lock()
+				seen[task.Index]++
+				mu.Unlock()
+				return nil
+			}},
+			Next:  q.next,
+			Ready: q.ready,
+		})
+	}()
+
+	// Two bursts separated by an idle window long enough for the run to
+	// park on Ready between them.
+	for i := 0; i < 5; i++ {
+		q.push(10)
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		q.push(10)
+	}
+	q.close()
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 9 {
+		t.Fatalf("completed %d distinct tasks, want 9", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Errorf("task %d ran %d times, want 1", idx, n)
+		}
+	}
+}
+
+// TestRunStreamLiveBudgetStalls pins that the byte budget governs a
+// live source exactly as it does a finite one: with every task in the
+// queue up front, admission stalls at the budget and resumes as
+// completions release bytes.
+func TestRunStreamLiveBudgetStalls(t *testing.T) {
+	q := newLiveQueue(10)
+	for i := 0; i < 10; i++ {
+		q.push(10)
+	}
+	q.close()
+
+	var maxBytes int64
+	stalls := 0
+	gate := make(chan struct{})
+	var started atomic.Int32
+	err := RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2}, BudgetBytes: 25}, StreamHooks{
+		Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+			if started.Add(1) <= 2 {
+				<-gate // hold the first two so the window must fill
+			}
+			return nil
+		}},
+		Next:  q.next,
+		Ready: q.ready,
+		OnAdmit: func(task Task, bytes int64) {
+			if bytes > maxBytes {
+				maxBytes = bytes
+			}
+			if bytes >= 25 && stalls == 0 {
+				close(gate)
+			}
+		},
+		OnStall: func(int64) { stalls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxBytes != 30 {
+		t.Errorf("max window = %d bytes, want 30 (budget 25 + one-task overshoot)", maxBytes)
+	}
+	if stalls == 0 {
+		t.Error("producer never stalled at the budget")
+	}
+}
+
+// TestRunStreamLiveIdleCancel pins that cancelling the context releases
+// a run parked on an idle live source.
+func TestRunStreamLiveIdleCancel(t *testing.T) {
+	q := newLiveQueue(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunStream(ctx, StreamConfig{Config: Config{Workers: 1}}, StreamHooks{
+			Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error { return nil }},
+			Next:  q.next,
+			Ready: q.ready,
+		})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the run park
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("idle cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not return after cancel while idle")
+	}
+}
+
+// TestRunStreamLiveCloseWhileInflight pins the drain order a server
+// relies on: the source may close while attempts are in flight, and the
+// run still completes every admitted task before returning.
+func TestRunStreamLiveCloseWhileInflight(t *testing.T) {
+	q := newLiveQueue(4)
+	release := make(chan struct{})
+	var completed atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- RunStream(context.Background(), StreamConfig{Config: Config{Workers: 2}}, StreamHooks{
+			Hooks: Hooks{Do: func(ctx context.Context, worker int, task Task) error {
+				<-release
+				completed.Add(1)
+				return nil
+			}},
+			Next:  q.next,
+			Ready: q.ready,
+		})
+	}()
+	q.push(1)
+	q.push(1)
+	q.push(1)
+	time.Sleep(10 * time.Millisecond) // let attempts launch
+	q.close()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := completed.Load(); n != 3 {
+		t.Fatalf("completed %d tasks, want all 3 admitted before close", n)
+	}
+}

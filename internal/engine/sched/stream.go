@@ -2,9 +2,16 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrNoTask is the sentinel a live source's Next returns when no task is
+// ready at this instant but the source is not exhausted. It is
+// meaningful only on runs with StreamHooks.Ready set; a finite source
+// returning it aborts the run like any other error.
+var ErrNoTask = errors.New("sched: no task ready")
 
 // StreamConfig is the dispatch policy of a streaming run: the retry and
 // quarantine machinery of Config plus a byte budget bounding how much
@@ -39,6 +46,18 @@ type StreamHooks struct {
 	// once per stall, when the next task would be pulled but
 	// inflightBytes has reached BudgetBytes.
 	OnStall func(inflightBytes int64)
+	// Ready, when non-nil, marks the run live-sourced: tasks arrive over
+	// time (a server's request queue) instead of from a finite stream.
+	// Next becomes a non-blocking poll — it returns ErrNoTask when
+	// nothing is queued right now — and the run, instead of treating an
+	// empty source as exhausted, parks on Ready until the producer sends
+	// a token (one non-blocking send per enqueued task suffices; a
+	// buffered channel of capacity 1 coalesces bursts). ok=false from
+	// Next still means the source is closed for good; close Ready only
+	// after the source is closed, to release a parked run. Live runs
+	// otherwise keep every RunStream guarantee: byte-budget admission,
+	// retry/quarantine policy, and full drain before returning.
+	Ready <-chan struct{}
 }
 
 // RunStream dispatches a lazily-produced task stream across cfg.Workers
@@ -113,6 +132,12 @@ func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
 		}(w, t)
 	}
 
+	live := h.Ready != nil
+	// ready is nilled once the source closes so a closed channel cannot
+	// spin the select loops below (a receive on nil blocks forever,
+	// which removes the case).
+	ready := h.Ready
+
 	// admit pulls tasks from the source into the pending window while
 	// the byte budget has room.
 	admit := func() error {
@@ -128,6 +153,9 @@ func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
 			}
 			cost, ok, err := h.Next(runCtx)
 			if err != nil {
+				if live && errors.Is(err, ErrNoTask) {
+					return nil // momentarily empty; park on Ready
+				}
 				return err
 			}
 			if !ok {
@@ -161,6 +189,9 @@ func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
 			abortErr = err
 			break
 		}
+		if sourceDone {
+			ready = nil
+		}
 		if sourceDone && completed == produced {
 			break
 		}
@@ -190,9 +221,46 @@ func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
 			launch(w, t)
 		}
 		if inflight == 0 {
-			break // no healthy worker can take the remaining tasks
+			if ready == nil || len(pending) > 0 {
+				break // source exhausted, or no healthy worker can take the remaining tasks
+			}
+			// Live-sourced and fully idle: park until the producer
+			// signals a task (or closes the source), or the run is
+			// cancelled.
+			select {
+			case _, open := <-ready:
+				if !open {
+					sourceDone = true
+					ready = nil
+				}
+			case <-runCtx.Done():
+				abortErr = ctx.Err()
+				if abortErr == nil {
+					abortErr = runCtx.Err()
+				}
+			}
+			if abortErr != nil {
+				break
+			}
+			continue
 		}
-		r := <-resCh
+		var r result
+		if ready != nil {
+			// A token may arrive while results are pending; consume it
+			// and loop back to admit so a parked producer is never
+			// starved behind slow completions.
+			select {
+			case r = <-resCh:
+			case _, open := <-ready:
+				if !open {
+					sourceDone = true
+					ready = nil
+				}
+				continue
+			}
+		} else {
+			r = <-resCh
+		}
 		inflight--
 		if r.err == nil {
 			completed++
@@ -280,6 +348,9 @@ func RunStream(ctx context.Context, cfg StreamConfig, h StreamHooks) error {
 		for !sourceDone {
 			cost, ok, err := h.Next(runCtx)
 			if err != nil {
+				if live && errors.Is(err, ErrNoTask) {
+					break // best-effort drain: whatever is queued right now
+				}
 				return err
 			}
 			if !ok {

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"swfpga/internal/telemetry"
+)
+
+// BreakerConfig parameterizes the degradation circuit breaker. The
+// breaker watches the fault rate reported by fault-capable engines
+// (failed chunk attempts per dispatched chunk) and, when boards
+// misbehave persistently, routes requests to the software oracle
+// instead — the results stay bit-identical, only the modeled
+// acceleration is lost.
+type BreakerConfig struct {
+	// Threshold is the windowed mean fault rate that trips the breaker
+	// (default 0.2: one failed attempt per five chunks).
+	Threshold float64
+	// Window is how many recent requests the mean is taken over; the
+	// breaker only trips once the window is full (default 4).
+	Window int
+	// Cooldown is how long the breaker stays open before half-opening
+	// to probe the boards with one real request (default 10s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.2
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is the three-state machine. The clock is injected so tests
+// drive the cooldown deterministically.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	rates    []float64
+	openedAt time.Time
+	probing  bool
+	probeAt  time.Time
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// route decides which engine a request runs on. Non-fault-capable
+// engines pass through untouched. For fault-capable ones: closed passes
+// through, open degrades to software until the cooldown elapses, then
+// one request at a time probes the real engine (half-open) while the
+// rest stay degraded. A probe whose observation never arrives (the
+// request died before the scan) is re-armed after another cooldown, so
+// a lost probe cannot wedge the breaker.
+func (b *breaker) route(name string, faulty bool) (string, bool) {
+	if !faulty {
+		return name, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return name, false
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.setState(breakerHalfOpen)
+			b.probing = true
+			b.probeAt = b.now()
+			return name, false
+		}
+		return "software", true
+	default: // breakerHalfOpen
+		if !b.probing || b.now().Sub(b.probeAt) >= b.cfg.Cooldown {
+			b.probing = true
+			b.probeAt = b.now()
+			return name, false
+		}
+		return "software", true
+	}
+}
+
+// observe feeds one non-degraded request's fault rate back. In
+// half-open state the outcome resolves the probe: a clean run closes
+// the breaker, a faulty one re-opens it for another cooldown. Closed,
+// it slides the rate window and trips once the windowed mean crosses
+// the threshold.
+func (b *breaker) observe(rate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if rate <= b.cfg.Threshold {
+			b.rates = nil
+			b.setState(breakerClosed)
+		} else {
+			b.openedAt = b.now()
+			b.setState(breakerOpen)
+		}
+	case breakerClosed:
+		b.rates = append(b.rates, rate)
+		if len(b.rates) > b.cfg.Window {
+			b.rates = b.rates[len(b.rates)-b.cfg.Window:]
+		}
+		if len(b.rates) == b.cfg.Window && mean(b.rates) > b.cfg.Threshold {
+			b.rates = nil
+			b.openedAt = b.now()
+			b.setState(breakerOpen)
+		}
+	default: // breakerOpen: a straggler's late report; nothing to update
+	}
+}
+
+// current reports the state for /healthz.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setState transitions and keeps the gauge in step. Callers hold b.mu.
+func (b *breaker) setState(s breakerState) {
+	b.state = s
+	switch s {
+	case breakerOpen:
+		telemetry.ServerBreakerState.Set(1)
+	case breakerHalfOpen:
+		telemetry.ServerBreakerState.Set(0.5)
+	default:
+		telemetry.ServerBreakerState.Set(0)
+	}
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker() (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: 0.5, Window: 2, Cooldown: time.Minute}, clk.now)
+	return b, clk
+}
+
+func wantRoute(t *testing.T, b *breaker, name string, degraded bool) {
+	t.Helper()
+	gotName, gotDeg := b.route("faulttolerant", true)
+	if gotName != name || gotDeg != degraded {
+		t.Fatalf("route = (%q, %v), want (%q, %v) [state %s]", gotName, gotDeg, name, degraded, b.current())
+	}
+}
+
+// TestBreakerTripsAndRecovers walks the full state machine:
+// closed → (window of bad rates) open → cooldown → half-open probe →
+// clean probe → closed.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	b, clk := testBreaker()
+
+	// Closed: passes through; one bad rate alone does not trip (window 2).
+	wantRoute(t, b, "faulttolerant", false)
+	b.observe(1.0)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("after one bad rate: state %s, want closed", got)
+	}
+	b.observe(1.0)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("after window of bad rates: state %s, want open", got)
+	}
+
+	// Open: degrades to the software oracle until the cooldown elapses.
+	wantRoute(t, b, "software", true)
+	clk.advance(59 * time.Second)
+	wantRoute(t, b, "software", true)
+	clk.advance(2 * time.Second)
+
+	// Cooldown elapsed: exactly one probe goes to the real engine, the
+	// rest stay degraded while the probe is pending.
+	wantRoute(t, b, "faulttolerant", false)
+	if got := b.current(); got != breakerHalfOpen {
+		t.Fatalf("probing: state %s, want half-open", got)
+	}
+	wantRoute(t, b, "software", true)
+
+	// Clean probe closes the breaker; traffic flows again.
+	b.observe(0.1)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("after clean probe: state %s, want closed", got)
+	}
+	wantRoute(t, b, "faulttolerant", false)
+
+	// The window restarted: two more bad rates are needed to re-trip.
+	b.observe(1.0)
+	if got := b.current(); got != breakerClosed {
+		t.Fatalf("stale window survived recovery: state %s", got)
+	}
+}
+
+// TestBreakerReopensOnBadProbe pins the half-open → open edge: a faulty
+// probe re-arms the full cooldown.
+func TestBreakerReopensOnBadProbe(t *testing.T) {
+	b, clk := testBreaker()
+	b.observe(1.0)
+	b.observe(1.0)
+	clk.advance(time.Minute)
+	wantRoute(t, b, "faulttolerant", false) // the probe
+	b.observe(0.9)                          // probe still faulty
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("after bad probe: state %s, want open", got)
+	}
+	wantRoute(t, b, "software", true)
+	clk.advance(time.Minute)
+	wantRoute(t, b, "faulttolerant", false) // next cooldown, next probe
+}
+
+// TestBreakerReprobesAfterLostProbe pins the wedge guard: a probe whose
+// observation never arrives (the request died before the scan) is
+// re-armed after another cooldown instead of degrading forever.
+func TestBreakerReprobesAfterLostProbe(t *testing.T) {
+	b, clk := testBreaker()
+	b.observe(1.0)
+	b.observe(1.0)
+	clk.advance(time.Minute)
+	wantRoute(t, b, "faulttolerant", false) // probe dispatched, then lost
+	wantRoute(t, b, "software", true)       // still waiting on it
+	clk.advance(time.Minute)
+	wantRoute(t, b, "faulttolerant", false) // stale probe re-armed
+}
+
+// TestBreakerIgnoresNonFaultyEngines pins that the breaker only governs
+// fault-capable backends: software requests pass through even when open.
+func TestBreakerIgnoresNonFaultyEngines(t *testing.T) {
+	b, _ := testBreaker()
+	b.observe(1.0)
+	b.observe(1.0)
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("state %s, want open", got)
+	}
+	name, degraded := b.route("software", false)
+	if name != "software" || degraded {
+		t.Errorf("non-faulty route = (%q, %v), want (software, false)", name, degraded)
+	}
+}
+
+// TestBreakerLateReportWhileOpen pins that a straggler's report arriving
+// after the trip neither resets the cooldown nor closes the breaker.
+func TestBreakerLateReportWhileOpen(t *testing.T) {
+	b, clk := testBreaker()
+	b.observe(1.0)
+	b.observe(1.0)
+	opened := clk.t
+	clk.advance(30 * time.Second)
+	b.observe(0.0) // straggler: ignored
+	if got := b.current(); got != breakerOpen {
+		t.Fatalf("late report closed the breaker: state %s", got)
+	}
+	if b.openedAt != opened {
+		t.Error("late report moved openedAt, extending the cooldown")
+	}
+}

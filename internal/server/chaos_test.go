@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+)
+
+// TestChaosConcurrentFaultyDrain is the daemon's acceptance scenario:
+// a seeded fault schedule on a fault-capable engine, more concurrent
+// requests than the admission budget can hold, then a drain with
+// requests still in flight. The invariants:
+//
+//   - every admitted request returns hits bit-identical to the software
+//     oracle (search.Search), faults and all;
+//   - every shed request is a clean 429 with Retry-After;
+//   - the drain completes without error and leaks no goroutines.
+func TestChaosConcurrentFaultyDrain(t *testing.T) {
+	const (
+		records  = 24
+		recLen   = 1500
+		queryLen = 200
+		wave1    = 16
+		wave2    = 8
+	)
+	g := seq.NewGenerator(42)
+	db := make([]seq.Sequence, records)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("chaos%02d", i), recLen)
+	}
+	query := string(db[3].Data[100 : 100+queryLen])
+
+	// Budget: room for ~3 requests in the scheduler window — far below
+	// the aggregate demand of 16 concurrent requests — computed with the
+	// same estimator the server uses.
+	est := &Server{cfg: Config{}.withDefaults()}
+	perReq := est.cost(queryLen, recLen)
+
+	baseline := runtime.NumGoroutine()
+
+	cfg := Config{
+		DB:            db,
+		DefaultEngine: "faulttolerant",
+		BudgetBytes:   3 * perReq,
+		QueueDepth:    4,
+		Concurrency:   3,
+		ScanWorkers:   2,
+		// Keep the breaker out of this scenario (degradation has its own
+		// test): an 8% schedule stays under a 90% threshold.
+		Breaker: BreakerConfig{Threshold: 0.9, Window: 4},
+	}
+	cfg.Engine.Boards = 2
+	cfg.Engine.FaultRate = 0.08
+	cfg.Engine.FaultSeed = 11
+
+	srv, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+
+	// The oracle: what every admitted request must return, computed once
+	// through the library against the software reference.
+	opts := search.Options{MinScore: 12, TopK: 8, Workers: cfg.ScanWorkers}
+	oracleHits, err := search.Search(context.Background(), db, []byte(query), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oracleHits) == 0 {
+		t.Fatal("oracle found no hits; the scenario needs real work")
+	}
+	oracle, err := json.Marshal(HitsJSON(oracleHits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"query":%q,"min_score":12,"top_k":8}`, query)
+
+	type outcome struct {
+		status int
+		retry  string
+		body   []byte
+		err    error
+	}
+	fire := func(n int) []outcome {
+		out := make([]outcome, n)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				resp, err := http.Post(ts.URL+"/v1/search", "application/json", strings.NewReader(body))
+				if err != nil {
+					out[i] = outcome{err: err}
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				if cerr := resp.Body.Close(); err == nil {
+					err = cerr
+				}
+				out[i] = outcome{resp.StatusCode, resp.Header.Get("Retry-After"), data, err}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		return out
+	}
+
+	check := func(wave string, outs []outcome) (ok, shed int) {
+		t.Helper()
+		for i, o := range outs {
+			if o.err != nil {
+				t.Fatalf("%s request %d: %v", wave, i, o.err)
+			}
+			switch o.status {
+			case http.StatusOK:
+				ok++
+				var resp scanResponse
+				if err := json.Unmarshal(o.body, &resp); err != nil {
+					t.Fatalf("%s request %d: %v", wave, i, err)
+				}
+				got, err := json.Marshal(resp.Hits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, oracle) {
+					t.Errorf("%s request %d: hits diverge from the software oracle under faults\n got %s\nwant %s",
+						wave, i, got, oracle)
+				}
+			case http.StatusTooManyRequests:
+				shed++
+				if o.retry == "" {
+					t.Errorf("%s request %d: 429 without Retry-After", wave, i)
+				}
+			default:
+				t.Errorf("%s request %d: status %d (%s); only 200 and 429 are acceptable under overload",
+					wave, i, o.status, o.body)
+			}
+		}
+		return ok, shed
+	}
+
+	ok1, shed1 := check("wave1", fire(wave1))
+	if ok1 == 0 {
+		t.Error("wave1: no request was admitted")
+	}
+	if shed1 == 0 {
+		t.Error("wave1: nothing shed although demand exceeded budget+queue capacity")
+	}
+	t.Logf("wave1: %d ok, %d shed", ok1, shed1)
+
+	// Second wave rides into the drain: requests go out, and while they
+	// are in flight the server starts draining. In-flight work must
+	// complete; the responses are either full results or clean sheds.
+	var wg sync.WaitGroup
+	wave2Out := make(chan []outcome, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wave2Out <- fire(wave2)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	srv.StartDraining()
+	wg.Wait()
+	for i, o := range <-wave2Out {
+		switch o.status {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("wave2 request %d: status %d during drain", i, o.status)
+		}
+		if o.status == http.StatusOK {
+			var resp scanResponse
+			if err := json.Unmarshal(o.body, &resp); err != nil {
+				t.Fatalf("wave2 request %d: %v", i, err)
+			}
+			got, _ := json.Marshal(resp.Hits)
+			if !bytes.Equal(got, oracle) {
+				t.Errorf("wave2 request %d: drained mid-flight request lost bit-identity", i)
+			}
+		}
+	}
+
+	// Orderly shutdown: HTTP layer first (Close waits for handlers),
+	// then the dispatcher.
+	ts.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Zero leaked goroutines: everything the daemon started — dispatcher,
+	// scheduler attempts, scan workers — must be joined. The HTTP client
+	// keep-alive pool needs a moment to idle out, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak after drain: %d > baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBreakerDegradesEndToEnd drives the breaker through the HTTP
+// surface: a brutal seeded fault schedule trips it, after which requests
+// are served by the software oracle and marked degraded — with the same
+// hits.
+func TestBreakerDegradesEndToEnd(t *testing.T) {
+	g := seq.NewGenerator(9)
+	db := make([]seq.Sequence, 6)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("deg%02d", i), 400)
+	}
+	query := string(db[0].Data[:80])
+
+	cfg := Config{
+		DB:            db,
+		DefaultEngine: "faulttolerant",
+		Breaker:       BreakerConfig{Threshold: 0.01, Window: 1, Cooldown: time.Hour},
+	}
+	cfg.Engine.Boards = 2
+	cfg.Engine.FaultRate = 0.6
+	cfg.Engine.FaultSeed = 3
+	_, ts := newTestServer(t, cfg)
+
+	body := fmt.Sprintf(`{"query":%q,"min_score":10}`, query)
+	post1, data1 := post(t, ts.URL+"/v1/search", body)
+	if post1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d (%s)", post1.StatusCode, data1)
+	}
+	var r1 scanResponse
+	if err := json.Unmarshal(data1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Engine != "faulttolerant" || r1.Degraded {
+		t.Fatalf("first request should run the real engine: %+v", r1)
+	}
+	if r1.Faults == "" {
+		t.Fatal("a 60% fault schedule reported no faults; the breaker never saw a rate")
+	}
+
+	post2, data2 := post(t, ts.URL+"/v1/search", body)
+	if post2.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request: status %d (%s)", post2.StatusCode, data2)
+	}
+	var r2 scanResponse
+	if err := json.Unmarshal(data2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Engine != "software" || !r2.Degraded {
+		t.Fatalf("breaker did not degrade the second request: %+v", r2)
+	}
+
+	// Bit-identity across the degradation: same hits either way.
+	h1, _ := json.Marshal(r1.Hits)
+	h2, _ := json.Marshal(r2.Hits)
+	if !bytes.Equal(h1, h2) {
+		t.Errorf("degraded hits diverge:\n real %s\n soft %s", h1, h2)
+	}
+}

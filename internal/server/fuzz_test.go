@@ -1,0 +1,45 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the request decoder with arbitrary bodies.
+// The invariants under fuzz: no panic, and on success every parsed field
+// respects the documented bounds — allocation stays bounded by the read
+// limit no matter what the client sends.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"query":"ACGT"}`))
+	f.Add([]byte(`{"query":">q some description\nACGT\nTGCA\n","engine":"software","top_k":5}`))
+	f.Add([]byte(`{"query":"acgt","target":">t\nAC\nGT","min_score":3,"per_record":2,"retrieve":true}`))
+	f.Add([]byte(`{"query":"` + strings.Repeat("A", 200) + `","timeout_ms":1500}`))
+	f.Add([]byte(`{"query":"ACGT"} {"query":"ACGT"}`))
+	f.Add([]byte(`{"query":">only-a-header\n"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeRequest(bytes.NewReader(body), limit)
+		if err != nil {
+			if req != nil {
+				t.Fatal("decode returned a request alongside an error")
+			}
+			return
+		}
+		if len(req.query) == 0 {
+			t.Fatal("decode succeeded with an empty query")
+		}
+		if len(req.query) > limit || len(req.target) > limit {
+			t.Fatalf("parsed sequence exceeds the read limit: query=%d target=%d", len(req.query), len(req.target))
+		}
+		if req.MinScore < 0 || req.TopK < 0 || req.TopK > maxTopK ||
+			req.PerRecord < 0 || req.PerRecord > maxPerRecord ||
+			req.TimeoutMS < 0 || req.TimeoutMS > maxTimeoutMS {
+			t.Fatalf("decode accepted out-of-bounds numerics: %+v", req)
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"swfpga/internal/align"
+	"swfpga/internal/engine"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+// Outcome labels for swfpga_server_requests_total.
+const (
+	outcomeOK         = "ok"
+	outcomeBadRequest = "bad_request"
+	outcomeShed       = "shed"
+	outcomeDraining   = "draining"
+	outcomeTimeout    = "timeout"
+	outcomeError      = "error"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/search", s.handleSearch)
+	s.mux.HandleFunc("/v1/align", s.handleAlign)
+	s.mux.HandleFunc("/v1/engines", s.handleEngines)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	th := telemetry.Handler(telemetry.Default())
+	s.mux.Handle("/metrics", th)
+	s.mux.Handle("/debug/", th)
+}
+
+// hitJSON mirrors search.Hit on the wire. Field order and content are a
+// pure function of the scan inputs, so two servers (or a server and the
+// library) produce byte-identical marshals for the same request.
+type hitJSON struct {
+	RecordID    string `json:"record_id"`
+	RecordIndex int    `json:"record_index"`
+	Score       int    `json:"score"`
+	SStart      int    `json:"s_start"`
+	SEnd        int    `json:"s_end"`
+	TStart      int    `json:"t_start"`
+	TEnd        int    `json:"t_end"`
+	Cigar       string `json:"cigar,omitempty"`
+}
+
+type scanResponse struct {
+	Engine   string    `json:"engine"`
+	Degraded bool      `json:"degraded"`
+	Hits     []hitJSON `json:"hits"`
+	Faults   string    `json:"faults,omitempty"`
+}
+
+// HitsJSON converts library hits to the wire shape — exported so tests
+// and clients can build the oracle encoding from search.Search output.
+func HitsJSON(hits []search.Hit) []hitJSON {
+	out := make([]hitJSON, 0, len(hits))
+	for _, h := range hits {
+		j := hitJSON{
+			RecordID:    h.RecordID,
+			RecordIndex: h.RecordIndex,
+			Score:       h.Result.Score,
+			SStart:      h.Result.SStart,
+			SEnd:        h.Result.SEnd,
+			TStart:      h.Result.TStart,
+			TEnd:        h.Result.TEnd,
+		}
+		if h.Result.Ops != nil {
+			j.Cigar = align.CIGAR(h.Result.Ops)
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.serveScan(w, r, false)
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.serveScan(w, r, true)
+}
+
+// serveScan is the shared admission-and-wait path of /v1/search and
+// /v1/align. It never blocks on a full queue — overload answers
+// immediately with 429 — and never outlives its deadline: whichever of
+// the reply and the request context arrives first decides the response.
+func (s *Server) serveScan(w http.ResponseWriter, r *http.Request, alignMode bool) {
+	t0 := time.Now()
+	finish := func(outcome string) {
+		telemetry.ServerRequests.With(outcome).Add(1)
+		telemetry.ServerSeconds.Observe(time.Since(t0).Seconds())
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		finish(outcomeBadRequest)
+		return
+	}
+	req, err := decodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), s.cfg.MaxBodyBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		finish(outcomeBadRequest)
+		return
+	}
+	if req.Engine != "" {
+		if _, ok := s.caps[req.Engine]; !ok {
+			http.Error(w, "unknown engine "+req.Engine, http.StatusBadRequest)
+			finish(outcomeBadRequest)
+			return
+		}
+	}
+	db := s.cfg.DB
+	recLen := s.maxRec
+	if alignMode {
+		if req.target == nil {
+			http.Error(w, "align needs a target sequence", http.StatusBadRequest)
+			finish(outcomeBadRequest)
+			return
+		}
+		// A pairwise alignment is a one-record search; retrieval is the
+		// point of the endpoint unless the client asked for score-only.
+		db = []seq.Sequence{{ID: "target", Data: req.target}}
+		recLen = len(req.target)
+		req.Retrieve = true
+	} else if req.target != nil {
+		http.Error(w, "target is only accepted by /v1/align", http.StatusBadRequest)
+		finish(outcomeBadRequest)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanServerRequest)
+	defer span.End()
+
+	p := &pending{
+		ctx:   ctx,
+		req:   req,
+		db:    db,
+		cost:  s.cost(len(req.query), recLen),
+		reply: make(chan reply, 1),
+	}
+	switch s.enqueue(p) {
+	case admitDraining:
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		finish(outcomeDraining)
+		return
+	case admitShed:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "over capacity", http.StatusTooManyRequests)
+		telemetry.ServerShed.Inc()
+		finish(outcomeShed)
+		return
+	case admitOK:
+	}
+
+	select {
+	case rep := <-p.reply:
+		if rep.err != nil {
+			if ctx.Err() != nil || errors.Is(rep.err, context.DeadlineExceeded) || errors.Is(rep.err, context.Canceled) {
+				http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+				finish(outcomeTimeout)
+				return
+			}
+			http.Error(w, rep.err.Error(), http.StatusInternalServerError)
+			finish(outcomeError)
+			return
+		}
+		resp := scanResponse{
+			Engine:   rep.engine,
+			Degraded: rep.degraded,
+			Hits:     HitsJSON(rep.hits),
+		}
+		if rep.faulty {
+			resp.Faults = rep.report.String()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			// Headers are sent; the client tore the connection down.
+			finish(outcomeError)
+			return
+		}
+		finish(outcomeOK)
+	case <-ctx.Done():
+		// Deadline or client cancel while queued or mid-scan. The scan
+		// observes the same context and aborts; the buffered reply
+		// channel means the dispatcher never blocks on us.
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		finish(outcomeTimeout)
+	}
+}
+
+type engineJSON struct {
+	Name         string `json:"name"`
+	Capabilities string `json:"capabilities"`
+	Default      bool   `json:"default"`
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	out := make([]engineJSON, 0, len(s.caps))
+	for _, name := range engine.Names() {
+		out = append(out, engineJSON{
+			Name:         name,
+			Capabilities: s.caps[name].String(),
+			Default:      name == s.cfg.DefaultEngine,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return
+	}
+}
+
+type healthJSON struct {
+	Status   string `json:"status"`
+	Breaker  string `json:"breaker"`
+	Inflight int64  `json:"inflight"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthJSON{
+		Status:   "ok",
+		Breaker:  s.breaker.current().String(),
+		Inflight: s.inflightN.Load(),
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(h); err != nil {
+		return
+	}
+}

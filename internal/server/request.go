@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"swfpga/internal/seq"
+)
+
+// scanRequest is the JSON body of /v1/search and /v1/align. Sequences
+// may be raw bases ("ACGT...") or an inline FASTA record (">id\n...").
+type scanRequest struct {
+	// Query is required. Target is required by /v1/align and rejected
+	// by /v1/search.
+	Query  string `json:"query"`
+	Target string `json:"target,omitempty"`
+	// Engine selects a registry backend; empty uses the server default.
+	Engine string `json:"engine,omitempty"`
+	// MinScore, TopK, PerRecord and Retrieve mirror search.Options.
+	MinScore  int  `json:"min_score,omitempty"`
+	TopK      int  `json:"top_k,omitempty"`
+	PerRecord int  `json:"per_record,omitempty"`
+	Retrieve  bool `json:"retrieve,omitempty"`
+	// TimeoutMS overrides the server's default deadline, clamped to the
+	// configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// query and target are the parsed, normalized sequences.
+	query  []byte
+	target []byte
+}
+
+// Numeric bounds the decoder enforces: generous for real use, tight
+// enough that adversarial bodies cannot turn a knob into an allocation
+// or a CPU amplifier.
+const (
+	maxTopK      = 1 << 20
+	maxPerRecord = 1 << 12
+	maxTimeoutMS = 24 * 60 * 60 * 1000
+)
+
+// decodeRequest parses one scan request from r, reading at most limit
+// bytes. It never slurps an unbounded body: the JSON decoder streams
+// from a LimitReader, so allocation is bounded by limit regardless of
+// what the client sends.
+func decodeRequest(r io.Reader, limit int64) (*scanRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, limit))
+	dec.DisallowUnknownFields()
+	req := &scanRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("decode body: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after request body")
+	}
+	var err error
+	if req.query, err = parseSequence(req.Query, "query"); err != nil {
+		return nil, err
+	}
+	if req.Target != "" {
+		if req.target, err = parseSequence(req.Target, "target"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case req.MinScore < 0:
+		return nil, errors.New("min_score must be >= 0")
+	case req.TopK < 0 || req.TopK > maxTopK:
+		return nil, fmt.Errorf("top_k out of range [0, %d]", maxTopK)
+	case req.PerRecord < 0 || req.PerRecord > maxPerRecord:
+		return nil, fmt.Errorf("per_record out of range [0, %d]", maxPerRecord)
+	case req.TimeoutMS < 0 || req.TimeoutMS > maxTimeoutMS:
+		return nil, fmt.Errorf("timeout_ms out of range [0, %d]", maxTimeoutMS)
+	}
+	return req, nil
+}
+
+// parseSequence accepts raw bases or one inline FASTA record.
+func parseSequence(s, what string) ([]byte, error) {
+	trimmed := strings.TrimLeft(s, " \t\r\n")
+	if trimmed == "" {
+		return nil, fmt.Errorf("missing %s sequence", what)
+	}
+	if trimmed[0] == '>' {
+		rec, err := seq.NewFASTASource(strings.NewReader(trimmed)).Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("%s: inline FASTA holds no record", what)
+			}
+			return nil, fmt.Errorf("%s: %w", what, err)
+		}
+		if len(rec.Data) == 0 {
+			return nil, fmt.Errorf("%s: inline FASTA record is empty", what)
+		}
+		return rec.Data, nil
+	}
+	data, err := seq.Normalize([]byte(trimmed))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", what, err)
+	}
+	return data, nil
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeRequestParsesRawAndFASTA(t *testing.T) {
+	req, err := decodeRequest(strings.NewReader(`{"query":"acgt","target":">t desc\nAC\nGT\n"}`), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(req.query) != "ACGT" {
+		t.Errorf("raw query parsed to %q, want normalized ACGT", req.query)
+	}
+	if string(req.target) != "ACGT" {
+		t.Errorf("inline FASTA target parsed to %q, want ACGT", req.target)
+	}
+}
+
+func TestDecodeRequestRejections(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"empty body", ``},
+		{"not json", `hello`},
+		{"array body", `[1,2]`},
+		{"unknown field", `{"query":"ACGT","speed":"max"}`},
+		{"missing query", `{}`},
+		{"blank query", `{"query":"  "}`},
+		{"bad base", `{"query":"ACGU"}`},
+		{"header only fasta", `{"query":">just-a-header\n"}`},
+		{"negative min_score", `{"query":"ACGT","min_score":-1}`},
+		{"top_k too large", `{"query":"ACGT","top_k":2097152}`},
+		{"per_record too large", `{"query":"ACGT","per_record":65536}`},
+		{"negative timeout", `{"query":"ACGT","timeout_ms":-5}`},
+		{"two documents", `{"query":"ACGT"}{"query":"ACGT"}`},
+	}
+	for _, c := range cases {
+		if _, err := decodeRequest(strings.NewReader(c.body), 1<<20); err == nil {
+			t.Errorf("%s: decode accepted %q", c.name, c.body)
+		}
+	}
+}
+
+// TestDecodeRequestHonorsLimit pins the bounded-allocation contract: a
+// body longer than the limit is truncated by the LimitReader, which
+// surfaces as a decode error, never as an oversized parse.
+func TestDecodeRequestHonorsLimit(t *testing.T) {
+	body := `{"query":"` + strings.Repeat("A", 4096) + `"}`
+	if _, err := decodeRequest(strings.NewReader(body), 64); err == nil {
+		t.Error("decode accepted a body beyond the byte limit")
+	}
+	if req, err := decodeRequest(strings.NewReader(body), int64(len(body))); err != nil || len(req.query) != 4096 {
+		t.Errorf("decode at exactly the limit: err=%v", err)
+	}
+}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+)
+
+// testDB builds a deterministic database.
+func testDB(records, length int) []seq.Sequence {
+	g := seq.NewGenerator(7)
+	db := make([]seq.Sequence, records)
+	for i := range db {
+		db[i] = g.RandomSequence(fmt.Sprintf("rec%02d", i), length)
+	}
+	return db
+}
+
+// testQuery is a prefix of the first record, so hits are guaranteed.
+func testQuery(db []seq.Sequence, n int) string {
+	return string(db[0].Data[:n])
+}
+
+// newTestServer starts a daemon over httptest and registers orderly
+// teardown: the HTTP layer quiesces first (httptest Close waits for
+// outstanding requests), then the dispatcher drains.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func post(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSearchMatchesLibrary pins the service's core contract: a /v1/search
+// response carries exactly the hits search.Search computes, in the
+// canonical deterministic order, encoded identically.
+func TestSearchMatchesLibrary(t *testing.T) {
+	db := testDB(8, 600)
+	_, ts := newTestServer(t, Config{DB: db})
+	query := testQuery(db, 48)
+
+	body := fmt.Sprintf(`{"query":%q,"min_score":8,"top_k":0}`, query)
+	resp, data := post(t, ts.URL+"/v1/search", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scanResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := search.Search(context.Background(), db, []byte(query),
+		search.Options{MinScore: 8, Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(HitsJSON(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got.Hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("hits diverge from search.Search:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if len(got.Hits) == 0 {
+		t.Error("no hits for a query that is a record prefix")
+	}
+	if got.Engine != "software" || got.Degraded {
+		t.Errorf("engine %q degraded=%v, want software undegraded", got.Engine, got.Degraded)
+	}
+}
+
+// TestAlignRetrievesAlignment pins /v1/align: a one-record search with
+// retrieval on, so the response carries a CIGAR transcript.
+func TestAlignRetrievesAlignment(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts.URL+"/v1/align", `{"query":"TATGGAC","target":"TAGTGACT"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scanResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hits) != 1 {
+		t.Fatalf("want 1 alignment, got %d: %s", len(got.Hits), data)
+	}
+	// The paper's figure 2 pair: best local score 3.
+	if got.Hits[0].Score != 3 {
+		t.Errorf("score = %d, want 3", got.Hits[0].Score)
+	}
+	if got.Hits[0].Cigar == "" {
+		t.Error("align response carries no CIGAR transcript")
+	}
+}
+
+// TestBadRequests pins every 4xx decode/validation path.
+func TestBadRequests(t *testing.T) {
+	db := testDB(2, 200)
+	_, ts := newTestServer(t, Config{DB: db})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"invalid json", `{`, http.StatusBadRequest},
+		{"missing query", `{"top_k":3}`, http.StatusBadRequest},
+		{"bad bases", `{"query":"ACGT!!"}`, http.StatusBadRequest},
+		{"unknown engine", `{"query":"ACGT","engine":"nope"}`, http.StatusBadRequest},
+		{"unknown field", `{"query":"ACGT","bogus":1}`, http.StatusBadRequest},
+		{"target on search", `{"query":"ACGT","target":"ACGT"}`, http.StatusBadRequest},
+		{"negative top_k", `{"query":"ACGT","top_k":-1}`, http.StatusBadRequest},
+		{"huge timeout", `{"query":"ACGT","timeout_ms":999999999999}`, http.StatusBadRequest},
+		{"trailing data", `{"query":"ACGT"} {"query":"ACGT"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, data := post(t, ts.URL+"/v1/search", c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, data)
+		}
+	}
+	getResp, err := http.Get(ts.URL + "/v1/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := getResp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/search: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestShedsWithRetryAfter saturates a deliberately tiny daemon — a
+// 1-byte budget admits exactly one request (the scheduler's one-task
+// overshoot) and a depth-1 queue holds one more — and checks the third
+// concurrent request is shed with 429 + Retry-After while the admitted
+// ones still succeed.
+func TestShedsWithRetryAfter(t *testing.T) {
+	db := testDB(24, 2000)
+	srv, ts := newTestServer(t, Config{
+		DB:          db,
+		BudgetBytes: 1,
+		QueueDepth:  1,
+		Concurrency: 1,
+		ScanWorkers: 1,
+	})
+	query := testQuery(db, 400)
+	body := fmt.Sprintf(`{"query":%q,"per_record":4,"min_score":4}`, query)
+
+	type outcome struct {
+		status int
+		retry  string
+	}
+	first := make(chan outcome, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/search", body)
+		first <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+	}()
+	// Wait until the first request is inside the scheduler window, so
+	// admission order is pinned.
+	waitFor(t, func() bool { return srv.inflightN.Load() == 1 })
+
+	second := make(chan outcome, 1)
+	go func() {
+		resp, _ := post(t, ts.URL+"/v1/search", body)
+		second <- outcome{resp.StatusCode, resp.Header.Get("Retry-After")}
+	}()
+	waitFor(t, func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.queue) == 1
+	})
+
+	resp, _ := post(t, ts.URL+"/v1/search", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("third request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	for i, ch := range []chan outcome{first, second} {
+		o := <-ch
+		if o.status != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i+1, o.status)
+		}
+	}
+}
+
+// TestDeadlineMidScanReturns504 pins the deadline path: a 1ms budget on
+// a scan that takes far longer must answer 504, not a partial result.
+func TestDeadlineMidScanReturns504(t *testing.T) {
+	db := testDB(32, 3000)
+	_, ts := newTestServer(t, Config{DB: db, ScanWorkers: 1})
+	query := testQuery(db, 500)
+	body := fmt.Sprintf(`{"query":%q,"per_record":4,"timeout_ms":1}`, query)
+	resp, data := post(t, ts.URL+"/v1/search", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "deadline") {
+		t.Errorf("504 body should name the deadline: %s", data)
+	}
+}
+
+// TestDrainRefusesNewWork pins the drain sequence: once draining, scan
+// endpoints answer 503 + Retry-After and /healthz flips to draining;
+// Drain itself completes cleanly and is idempotent.
+func TestDrainRefusesNewWork(t *testing.T) {
+	db := testDB(2, 300)
+	srv, ts := newTestServer(t, Config{DB: db})
+	srv.StartDraining()
+
+	resp, _ := post(t, ts.URL+"/v1/search", `{"query":"ACGTACGT"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("scan while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdata, err := io.ReadAll(hresp.Body)
+	if cerr := hresp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hdata), "draining") {
+		t.Errorf("healthz while draining: status %d body %s", hresp.StatusCode, hdata)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = srv.Drain(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Drain %d: %v", i, err)
+		}
+	}
+}
+
+// TestEnginesEndpoint pins /v1/engines: every registered backend with
+// its capability string and the default marked.
+func TestEnginesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultEngine: "software"})
+	resp, data := post(t, ts.URL+"/v1/search", `{"query":"ACGT"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search on empty db: status %d (%s)", resp.StatusCode, data)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdata, err := io.ReadAll(gresp.Body)
+	if cerr := gresp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engines []engineJSON
+	if err := json.Unmarshal(gdata, &engines); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]engineJSON{}
+	for _, e := range engines {
+		byName[e.Name] = e
+	}
+	sw, ok := byName["software"]
+	if !ok || !sw.Default {
+		t.Errorf("software engine missing or not default: %s", gdata)
+	}
+	if ft, ok := byName["faulttolerant"]; !ok || !strings.Contains(ft.Capabilities, "faulty") {
+		t.Errorf("faulttolerant engine missing its faulty capability: %s", gdata)
+	}
+}
+
+// waitFor polls cond for up to 10 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}

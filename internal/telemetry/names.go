@@ -60,6 +60,31 @@ const (
 	NameModeledGCUPS = "swfpga_modeled_gcups"
 	NameWallGCUPS    = "swfpga_wall_gcups"
 
+	// NameServerInflight gauges requests admitted to the daemon's scan
+	// scheduler and not yet finished.
+	NameServerInflight = "swfpga_server_inflight_requests"
+	// NameServerQueueDepth gauges requests waiting in the admission
+	// queue (enqueued, not yet pulled by the scheduler).
+	NameServerQueueDepth = "swfpga_server_queue_depth"
+	// NameServerRequests counts finished requests by outcome (ok,
+	// bad_request, shed, draining, timeout, error).
+	NameServerRequests = "swfpga_server_requests_total"
+	// NameServerShed counts requests shed at admission with 429.
+	NameServerShed = "swfpga_server_shed_total"
+	// NameServerDegraded counts requests the circuit breaker redirected
+	// from a faulty engine to the software oracle.
+	NameServerDegraded = "swfpga_server_degraded_total"
+	// NameServerBreakerState gauges the degradation breaker
+	// (0 closed, 0.5 half-open, 1 open).
+	NameServerBreakerState = "swfpga_server_breaker_state"
+	// NameServerDrains counts graceful drains started.
+	NameServerDrains = "swfpga_server_drains_total"
+	// NameServerStalls counts scheduler admissions stalled at the
+	// shared memory budget.
+	NameServerStalls = "swfpga_server_admission_stalls_total"
+	// NameServerSeconds is the request wall-latency histogram.
+	NameServerSeconds = "swfpga_server_request_seconds"
+
 	// NameExpvarMetrics is the expvar key the registry snapshot is
 	// published under on /debug/vars.
 	NameExpvarMetrics = "swfpga_metrics"
@@ -93,6 +118,9 @@ const (
 	// SpanBenchOverhead is the root span of the telemetry-overhead
 	// experiment (swbench -run telemetry-overhead).
 	SpanBenchOverhead = "overhead"
+	// SpanServerRequest covers one HTTP request through swservd, from
+	// decode to response.
+	SpanServerRequest = "server.request"
 )
 
 // RegisteredNames returns every name in the registry — metric series,
@@ -108,11 +136,14 @@ func RegisteredNames() []string {
 		NameSoftwareChunks, NameDegradedRuns, NameChunkSeconds,
 		NamePEOccupancy, NameRecordSeconds, NameStreamBufferBytes,
 		NameStreamStalls, NameModeledGCUPS, NameWallGCUPS,
+		NameServerInflight, NameServerQueueDepth, NameServerRequests,
+		NameServerShed, NameServerDegraded, NameServerBreakerState,
+		NameServerDrains, NameServerStalls, NameServerSeconds,
 		NameExpvarMetrics,
 		SpanSearch, SpanSearchBatch, SpanSearchRecord, SpanSearchParse,
 		SpanHostPipeline, SpanHostRetrieve, SpanDeviceScan,
 		SpanDeviceScanAffine, SpanClusterPipeline, SpanClusterScan,
 		SpanClusterReverse, SpanSystolicRun, SpanSystolicAffine,
-		SpanBenchOverhead,
+		SpanBenchOverhead, SpanServerRequest,
 	}
 }

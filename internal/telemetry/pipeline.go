@@ -110,6 +110,47 @@ var (
 		NameStreamStalls,
 		"streaming-search producer stalls at the memory budget")
 
+	// ServerInflight / ServerQueueDepth gauge the daemon's admission
+	// pipeline: requests inside the scheduler window vs requests still
+	// waiting in the bounded queue.
+	ServerInflight = Default().NewGauge(
+		NameServerInflight,
+		"requests admitted to the daemon's scan scheduler")
+	ServerQueueDepth = Default().NewGauge(
+		NameServerQueueDepth,
+		"requests waiting in the daemon's admission queue")
+	// ServerRequests counts finished requests by outcome.
+	ServerRequests = Default().NewCounterVec(
+		NameServerRequests,
+		"finished daemon requests by outcome", "outcome")
+	// ServerShed counts requests shed at admission (429); ServerDegraded
+	// the requests the breaker redirected to the software oracle.
+	ServerShed = Default().NewCounter(
+		NameServerShed,
+		"requests shed at admission with 429")
+	ServerDegraded = Default().NewCounter(
+		NameServerDegraded,
+		"requests degraded to the software engine by the breaker")
+	// ServerBreakerState gauges the daemon's degradation breaker
+	// (0 closed, 0.5 half-open, 1 open).
+	ServerBreakerState = Default().NewGauge(
+		NameServerBreakerState,
+		"degradation breaker state (0 closed, 0.5 half-open, 1 open)")
+	// ServerDrains counts graceful drains; ServerStalls the scheduler
+	// admissions that stalled at the shared memory budget.
+	ServerDrains = Default().NewCounter(
+		NameServerDrains,
+		"graceful daemon drains started")
+	ServerStalls = Default().NewCounter(
+		NameServerStalls,
+		"daemon admissions stalled at the memory budget")
+	// ServerSeconds is the wall latency of one daemon request, decode to
+	// response.
+	ServerSeconds = Default().NewHistogram(
+		NameServerSeconds,
+		"daemon request wall latency (seconds)",
+		ExponentialBounds(1e-4, 4, 14))
+
 	// ModeledGCUPS and WallGCUPS track throughput: cell updates per
 	// modeled accelerator second vs per measured wall second of the
 	// enclosing scan. The distinction matters — the modeled figure is

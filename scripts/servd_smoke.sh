@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the hardened search daemon: builds swservd +
+# seqgen, starts the daemon on an ephemeral port with a seeded fault
+# schedule, drives concurrent search/align/engines/healthz traffic,
+# scrapes the swfpga_server_* metrics, then sends SIGTERM and checks the
+# drain completes with exit 0. Run via `make servd-smoke` (part of
+# `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -9 "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "servd-smoke: $*" >&2
+	echo "--- swservd stderr ---" >&2
+	cat "$work/stderr.log" >&2 || true
+	exit 1
+}
+
+go build -o "$work/swservd" ./cmd/swservd
+go build -o "$work/seqgen" ./cmd/seqgen
+
+for i in 1 2 3 4 5 6; do
+	"$work/seqgen" -n 1500 -id "rec$i" -seed "$i" >>"$work/db.fa"
+done
+
+"$work/swservd" -addr 127.0.0.1:0 -db "$work/db.fa" \
+	-engine faulttolerant -boards 2 -fault-rate 0.05 -fault-seed 7 \
+	-queue 4 -concurrency 2 -max-memory 200KiB \
+	>"$work/stdout.log" 2>"$work/stderr.log" &
+pid=$!
+
+# The daemon announces the bound port on stderr; with :0 above no port
+# coordination is needed and parallel CI jobs cannot collide.
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's/^swservd: listening on //p' "$work/stderr.log" | head -n 1)"
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "swservd exited before announcing the endpoint"
+	sleep 0.1
+done
+[ -n "$addr" ] || fail "no 'swservd: listening on' line within 10s"
+
+base="http://$addr"
+query="$("$work/seqgen" -n 80 -id q -seed 2 | tail -n +2 | tr -d '\n')"
+
+# Healthy daemon: /healthz ok, /v1/engines lists the selected backend.
+curl -fsS "$base/healthz" | grep -q '"status":"ok"' || fail "/healthz not ok"
+curl -fsS "$base/v1/engines" >"$work/engines.json" || fail "/v1/engines scrape failed"
+grep -q '"name":"faulttolerant"' "$work/engines.json" || fail "/v1/engines missing faulttolerant"
+grep -q '"default":true' "$work/engines.json" || fail "/v1/engines marks no default"
+
+# Align: the paper's figure-2 pair through the service.
+align="$(curl -fsS -X POST "$base/v1/align" -d '{"query":"TATGGAC","target":"TAGTGACT"}')"
+echo "$align" | grep -q '"score":3' || fail "align score: $align"
+echo "$align" | grep -q '"cigar":' || fail "align carries no CIGAR: $align"
+
+# Concurrent search burst under the seeded fault schedule. Every
+# response must be a full 200 or a clean 429 shed; the first 200 body is
+# kept and every other 200 must be byte-identical to it.
+curls=()
+for i in $(seq 1 8); do
+	curl -sS -o "$work/resp$i.json" -w '%{http_code}' -X POST "$base/v1/search" \
+		-d "{\"query\":\"$query\",\"min_score\":12}" >"$work/code$i" &
+	curls+=("$!")
+done
+# Wait on the curl jobs explicitly — a bare `wait` would also wait on
+# the daemon itself.
+wait "${curls[@]}"
+ok=0
+shed=0
+ref=""
+for i in $(seq 1 8); do
+	code="$(cat "$work/code$i")"
+	case "$code" in
+	200)
+		ok=$((ok + 1))
+		if [ -z "$ref" ]; then
+			ref="$work/resp$i.json"
+		else
+			cmp -s "$ref" "$work/resp$i.json" || fail "response $i diverges from the first 200"
+		fi
+		;;
+	429) shed=$((shed + 1)) ;;
+	*) fail "request $i: unexpected status $code" ;;
+	esac
+done
+[ "$ok" -ge 1 ] || fail "no search request was admitted"
+grep -q '"hits":\[{' "$ref" || fail "admitted search returned no hits"
+echo "servd-smoke: burst: $ok ok, $shed shed"
+
+# Bad request and metrics surface.
+bad="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$base/v1/search" -d '{"nope":1}')"
+[ "$bad" = "400" ] || fail "malformed body answered $bad, want 400"
+
+curl -fsS "$base/metrics" >"$work/metrics.txt" || fail "/metrics scrape failed"
+awk '$1 == "swfpga_server_requests_total{outcome=\"ok\"}" && $2 + 0 > 0 { found = 1 } END { exit !found }' \
+	"$work/metrics.txt" || fail "/metrics: ok-request counter missing or zero"
+grep -q '^swfpga_server_inflight_requests' "$work/metrics.txt" || fail "/metrics: inflight gauge missing"
+grep -q '^# TYPE swfpga_server_request_seconds histogram' "$work/metrics.txt" ||
+	fail "/metrics: request-latency histogram missing"
+
+# Graceful drain: SIGTERM must finish in-flight work and exit 0.
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "swservd exited $rc on SIGTERM, want 0"
+grep -q '^swservd: draining' "$work/stderr.log" || fail "no draining announcement"
+grep -q '^swservd: drained' "$work/stderr.log" || fail "no drained announcement"
+
+echo "servd-smoke: ok (endpoint $addr, clean drain)"
