@@ -23,7 +23,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzAffineArrayMatchesGotoh \
 	internal/server:FuzzDecodeRequest
 
-.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke fuzz-smoke check
+.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,13 @@ stream-smoke:
 servd-smoke:
 	bash scripts/servd_smoke.sh
 
+# Perf-trajectory smoke (DESIGN.md §12): both committed swload
+# scenarios — the library streaming scan and a live swservd over HTTP —
+# gated against the baselines in baselines/ with per-metric tolerance
+# bands, plus a perturbed-report check that the gate actually trips.
+load-smoke:
+	bash scripts/load_smoke.sh
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -85,4 +92,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke
+check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke

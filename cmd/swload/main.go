@@ -1,0 +1,226 @@
+// Command swload is the closed-loop load harness: it drives a named,
+// fully deterministic scenario against the library scan pipeline or a
+// live swservd, persists the measurements as a schema-versioned
+// BENCH_<scenario>.json, and gates them against a committed baseline
+// with per-metric tolerance bands.
+//
+//	swload -list
+//	swload -scenario scan_stream -out BENCH_scan_stream.json
+//	swload -scenario servd_closed -target http -addr http://127.0.0.1:8080
+//	swload -scenario scan_stream -compare baselines/BENCH_scan_stream.json
+//	swload -compare baseline.json -current candidate.json
+//	swload -scenario servd_closed -write-db db.fa
+//
+// Exit status: 0 on success, 1 on operational errors, 2 when the
+// comparison finds a regression.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"swfpga/internal/cliutil"
+	"swfpga/internal/load"
+	"swfpga/internal/seq"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag parsing, mode dispatch, exit
+// code policy.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the committed scenarios and exit")
+		scenario = fs.String("scenario", "", "scenario name (see -list)")
+		target   = fs.String("target", "library", "system under load: library (in-process) or http (live swservd)")
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the daemon for -target http")
+		out      = fs.String("out", "", "write the BENCH report here (default BENCH_<scenario>.json; - for stdout)")
+		compare  = fs.String("compare", "", "baseline BENCH json to gate against (exit 2 on regression)")
+		current  = fs.String("current", "", "with -compare: gate this already-written report instead of running")
+		writeDB  = fs.String("write-db", "", "write the scenario database as FASTA (for swservd -db) and exit")
+		seed     = fs.Int64("seed", 0, "override the scenario seed (0 keeps the committed seed)")
+		ops      = fs.Int("ops", 0, "override the scenario operation count (0 keeps it)")
+		conc     = fs.Int("concurrency", 0, "override the closed-loop worker count (0 keeps it)")
+		slowOp   = fs.Duration("slow-op", 0, "inject an artificial per-operation delay (regression-gate demos and tests)")
+		timeout  = fs.Duration("timeout", 5*time.Minute, "overall run deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "swload:", err)
+		return 1
+	}
+
+	if *list {
+		listScenarios(stdout)
+		return 0
+	}
+	// Pure file-vs-file gating needs no scenario run.
+	if *compare != "" && *current != "" {
+		return gateFiles(stdout, stderr, *compare, *current, fail)
+	}
+	if *scenario == "" {
+		return fail(fmt.Errorf("missing -scenario (try -list)"))
+	}
+	sc, ok := load.ScenarioByName(*scenario)
+	if !ok {
+		return fail(fmt.Errorf("unknown scenario %q (try -list)", *scenario))
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *ops != 0 {
+		sc.Operations = *ops
+	}
+	if *conc != 0 {
+		sc.Concurrency = *conc
+	}
+	sc.SlowOp = *slowOp
+
+	wl, err := load.BuildWorkload(sc)
+	if err != nil {
+		return fail(err)
+	}
+	if *writeDB != "" {
+		return writeDatabase(*writeDB, wl, fail, stderr)
+	}
+
+	ctx, cancel := cliutil.SignalContext(context.Background())
+	defer cancel()
+	ctx, timeoutCancel := context.WithTimeout(ctx, *timeout)
+	defer timeoutCancel()
+
+	var tgt load.Target
+	switch *target {
+	case "library":
+		tgt = load.NewLibraryTarget(sc, wl)
+	case "http":
+		tgt = load.NewHTTPTarget(sc, *addr, nil)
+	default:
+		return fail(fmt.Errorf("unknown target %q (library or http)", *target))
+	}
+
+	res, err := load.Run(ctx, sc, wl, tgt)
+	if err != nil {
+		return fail(err)
+	}
+	rep := load.BuildReport(res)
+	fmt.Fprint(stderr, rep.Summary())
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + sc.Name + ".json"
+	}
+	if err := writeReport(path, rep, stdout); err != nil {
+		return fail(err)
+	}
+	if path != "-" {
+		fmt.Fprintf(stderr, "swload: wrote %s\n", path)
+	}
+
+	if *compare != "" {
+		baseline, err := readReport(*compare)
+		if err != nil {
+			return fail(err)
+		}
+		return gate(stdout, baseline, rep, fail)
+	}
+	return 0
+}
+
+// gateFiles compares two persisted reports.
+func gateFiles(stdout, stderr io.Writer, basePath, curPath string, fail func(error) int) int {
+	baseline, err := readReport(basePath)
+	if err != nil {
+		return fail(err)
+	}
+	cur, err := readReport(curPath)
+	if err != nil {
+		return fail(err)
+	}
+	return gate(stdout, baseline, cur, fail)
+}
+
+// gate applies the tolerance bands and renders the verdict table.
+// Regressions exit 2 so scripts can distinguish them from breakage.
+func gate(stdout io.Writer, baseline, current *load.Report, fail func(error) int) int {
+	violations, err := load.Compare(baseline, current)
+	if err != nil {
+		return fail(err)
+	}
+	if err := load.WriteCompareReport(stdout, baseline, current, violations); err != nil {
+		return fail(err)
+	}
+	if len(violations) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func listScenarios(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "name\tarrival\tdb\tops\tconcurrency\tengine\tstream\n")
+	for _, sc := range load.Scenarios() {
+		fmt.Fprintf(tw, "%s\t%s\t%dx%d\t%d\t%d\t%s\t%v\n",
+			sc.Name, sc.Arrival, sc.DBRecords, sc.RecordLen,
+			sc.Operations, sc.Concurrency, sc.Engine, sc.Stream)
+	}
+	// The report/trace streams are best-effort; tabwriter only fails if
+	// the underlying writer does.
+	_ = tw.Flush()
+}
+
+// writeDatabase persists the scenario database, so a daemon under test
+// serves byte-identical records to what the harness measures against.
+func writeDatabase(path string, wl *load.Workload, fail func(error) int, stderr io.Writer) int {
+	f, err := os.Create(path)
+	if err != nil {
+		return fail(err)
+	}
+	if err := seq.WriteFASTA(f, 70, wl.DB...); err != nil {
+		_ = f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stderr, "swload: wrote %d records to %s\n", len(wl.DB), path)
+	return 0
+}
+
+func writeReport(path string, rep *load.Report, stdout io.Writer) error {
+	if path == "-" {
+		return rep.Encode(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readReport(path string) (*load.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := load.DecodeReport(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return rep, err
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swfpga/internal/load"
+)
+
+// testScenario is a minimal valid shape for exercising the CLI's
+// compare path without measuring anything.
+func testScenario() load.Scenario {
+	return load.Scenario{
+		Name: "clitest", Seed: 1, DBRecords: 2, RecordLen: 512,
+		QueryLens: []int{16}, QueriesPerLen: 1, Operations: 4,
+		Concurrency: 2, Arrival: load.ArrivalClosed,
+		Engine: "software", MinScore: 8, TopK: 2,
+	}
+}
+
+// writeTestReport persists a synthetic report and returns its path.
+func writeTestReport(t *testing.T, dir, name string, mutate func(*load.Report)) string {
+	t.Helper()
+	rep := load.BuildReport(&load.Result{
+		Scenario:   testScenario(),
+		TargetKind: "library",
+		Ops:        4, TotalHits: 4, TotalCells: 1 << 20,
+		Latencies:     []float64{0.001, 0.002, 0.002, 0.003},
+		WallSeconds:   0.01,
+		PeakHeapBytes: 1 << 20,
+		HeapSamples:   3,
+		Before:        map[string]float64{},
+		After:         map[string]float64{},
+		Delta:         map[string]float64{},
+	})
+	if mutate != nil {
+		mutate(rep)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"scan_stream", "servd_closed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no scenario":      {},
+		"unknown scenario": {"-scenario", "nope"},
+		"unknown target":   {"-scenario", "scan_stream", "-target", "carrier-pigeon"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 1 {
+			t.Errorf("%s: exit %d, want 1", name, code)
+		}
+	}
+}
+
+// TestRunCompareFiles pins the CLI gate contract: exit 0 with an ok
+// verdict inside tolerance, exit 2 with a per-metric REGRESSION report
+// on violation, exit 1 when the reports are not comparable.
+func TestRunCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTestReport(t, dir, "base.json", nil)
+	same := writeTestReport(t, dir, "same.json", nil)
+	slow := writeTestReport(t, dir, "slow.json", func(r *load.Report) {
+		m := r.Metrics[load.MetricLatencyP50]
+		m.Value *= 1000
+		r.Metrics[load.MetricLatencyP50] = m
+	})
+	otherSchema := writeTestReport(t, dir, "schema.json", func(r *load.Report) {
+		r.SchemaVersion++
+	})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-compare", base, "-current", same}, &out, &errb); code != 0 {
+		t.Fatalf("identical reports: exit %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok: ") {
+		t.Errorf("pass verdict missing ok line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-compare", base, "-current", slow}, &out, &errb); code != 2 {
+		t.Fatalf("regressed report: exit %d, want 2", code)
+	}
+	for _, want := range []string{"REGRESSION", load.MetricLatencyP50, "FAIL"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fail verdict missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"-compare", base, "-current", otherSchema}, &out, &errb); code != 1 {
+		t.Fatalf("incomparable reports: exit %d, want 1", code)
+	}
+}
+
+// TestRunWriteDB checks -write-db emits the scenario database as FASTA.
+func TestRunWriteDB(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.fa")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scenario", "servd_closed", "-write-db", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := load.ScenarioByName("servd_closed")
+	if got := strings.Count(string(data), ">"); got != sc.DBRecords {
+		t.Errorf("FASTA has %d records, want %d", got, sc.DBRecords)
+	}
+}

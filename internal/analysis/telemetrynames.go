@@ -169,7 +169,8 @@ func checkTelemetryCall(p *Pass, call *ast.CallExpr, registered telemetrynamesFa
 	var argIdx int
 	rootCall := false
 	switch callee.Name() {
-	case "NewCounter", "NewFloatCounter", "NewCounterVec", "NewGauge", "NewHistogram":
+	case "NewCounter", "NewFloatCounter", "NewCounterVec", "NewGauge",
+		"NewHistogram", "NewInfo", "NewGaugeFunc":
 		argIdx = 0
 	case "StartSpan":
 		argIdx = 1

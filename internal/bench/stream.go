@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"swfpga/internal/load"
 	"swfpga/internal/search"
 	"swfpga/internal/seq"
 	"swfpga/internal/telemetry"
@@ -65,36 +66,25 @@ func runStream(ctx context.Context, w io.Writer, cfg Config) error {
 		len(query), records, recLen, formatBytes(uint64(dbBytes)), cfg.Workers)
 
 	// peakDuring samples HeapAlloc while fn runs and reports the peak
-	// growth over the post-GC baseline.
+	// growth over the post-GC baseline. The sampling loop is the shared
+	// load.HeapSampler; only the GC pinning and baseline subtraction are
+	// benchmark-specific.
 	peakDuring := func(fn func() error) (uint64, float64, error) {
 		defer debug.SetGCPercent(debug.SetGCPercent(20))
 		runtime.GC()
 		var base runtime.MemStats
 		runtime.ReadMemStats(&base)
-		stop := make(chan struct{})
-		done := make(chan struct{})
-		peak := base.HeapAlloc
-		go func() {
-			defer close(done)
-			tick := time.NewTicker(time.Millisecond)
-			defer tick.Stop()
+		sampler := load.StartHeapSampler(time.Millisecond, func() (uint64, error) {
 			var ms runtime.MemStats
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-					runtime.ReadMemStats(&ms)
-					if ms.HeapAlloc > peak {
-						peak = ms.HeapAlloc
-					}
-				}
-			}
-		}()
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc, nil
+		})
 		var runErr error
 		sec := measure(func() { runErr = fn() })
-		close(stop)
-		<-done
+		peak, _ := sampler.Stop()
+		if peak < base.HeapAlloc {
+			peak = base.HeapAlloc
+		}
 		return peak - base.HeapAlloc, sec, runErr
 	}
 

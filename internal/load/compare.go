@@ -1,0 +1,139 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Violation is one metric outside its baseline tolerance band.
+type Violation struct {
+	// Metric names the offending report metric.
+	Metric string
+	// Baseline and Current are the two values; Limit is the computed
+	// bound Current crossed, and Bound says which side ("<=" for a
+	// ceiling, ">=" for a floor, "missing" when the current report
+	// dropped a gated metric).
+	Baseline, Current, Limit float64
+	Bound                    string
+}
+
+func (v Violation) String() string {
+	if v.Bound == "missing" {
+		return fmt.Sprintf("%s: gated metric missing from current report (baseline %g)", v.Metric, v.Baseline)
+	}
+	return fmt.Sprintf("%s: current %g violates %s %g (baseline %g)", v.Metric, v.Current, v.Bound, v.Limit, v.Baseline)
+}
+
+// Compare gates current against baseline: every baseline metric that
+// carries a tolerance must be present in current and inside its band.
+// Metrics that exist only in current are ignored (adding a metric must
+// not invalidate old baselines). The error return is reserved for
+// non-comparable inputs — different schema generations or different
+// scenarios — where a pass/fail verdict would be meaningless.
+func Compare(baseline, current *Report) ([]Violation, error) {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return nil, fmt.Errorf("load: schema mismatch: baseline v%d vs current v%d",
+			baseline.SchemaVersion, current.SchemaVersion)
+	}
+	// SlowOp is the injected-regression knob: a slowed run must still
+	// compare (and fail) against its clean baseline, so it is excluded
+	// from comparability.
+	bsc, csc := baseline.Scenario, current.Scenario
+	bsc.SlowOp, csc.SlowOp = 0, 0
+	if !reflect.DeepEqual(bsc, csc) {
+		return nil, fmt.Errorf("load: scenarios differ: baseline %+v vs current %+v", bsc, csc)
+	}
+
+	var out []Violation
+	for _, name := range sortedMetricNames(baseline.Metrics) {
+		base := baseline.Metrics[name]
+		if base.Tolerance == nil {
+			continue
+		}
+		cur, ok := current.Metrics[name]
+		if !ok {
+			out = append(out, Violation{Metric: name, Baseline: base.Value, Bound: "missing"})
+			continue
+		}
+		t := base.Tolerance
+		if t.MaxRatio > 0 {
+			if limit := base.Value*t.MaxRatio + t.AbsSlack; cur.Value > limit {
+				out = append(out, Violation{Metric: name, Baseline: base.Value, Current: cur.Value, Limit: limit, Bound: "<="})
+			}
+		}
+		if t.MinRatio > 0 {
+			if limit := base.Value*t.MinRatio - t.AbsSlack; cur.Value < limit {
+				out = append(out, Violation{Metric: name, Baseline: base.Value, Current: cur.Value, Limit: limit, Bound: ">="})
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteCompareReport renders the per-metric verdict table: every gated
+// metric with its baseline, current value, allowed band and status, so
+// a CI failure reads as a diagnosis, not a boolean.
+func WriteCompareReport(w io.Writer, baseline, current *Report, violations []Violation) error {
+	bad := map[string]Violation{}
+	for _, v := range violations {
+		bad[v.Metric] = v
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric\tbaseline\tcurrent\tband\tstatus\n")
+	gated := 0
+	for _, name := range sortedMetricNames(baseline.Metrics) {
+		base := baseline.Metrics[name]
+		if base.Tolerance == nil {
+			continue
+		}
+		gated++
+		curStr := "-"
+		if cur, ok := current.Metrics[name]; ok {
+			curStr = fmt.Sprintf("%g", cur.Value)
+		}
+		status := "ok"
+		if v, ok := bad[name]; ok {
+			status = "FAIL (" + v.String() + ")"
+		}
+		fmt.Fprintf(tw, "%s\t%g\t%s\t%s\t%s\n", name, base.Value, curStr, bandString(base), status)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("load: write compare report: %w", err)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(w, "REGRESSION: %d of %d gated metrics outside tolerance (scenario %s)\n",
+			len(violations), gated, baseline.Scenario.Name)
+	} else {
+		fmt.Fprintf(w, "ok: %d gated metrics within tolerance (scenario %s)\n", gated, baseline.Scenario.Name)
+	}
+	return nil
+}
+
+// bandString renders a tolerance for the verdict table.
+func bandString(m Metric) string {
+	t := m.Tolerance
+	if t.MaxRatio == 1 && t.MinRatio == 1 && t.AbsSlack == 0 {
+		return "exact"
+	}
+	var parts []string
+	if t.MaxRatio > 0 {
+		parts = append(parts, fmt.Sprintf("<= %g", m.Value*t.MaxRatio+t.AbsSlack))
+	}
+	if t.MinRatio > 0 {
+		parts = append(parts, fmt.Sprintf(">= %g", m.Value*t.MinRatio-t.AbsSlack))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func sortedMetricNames(m map[string]Metric) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,196 @@
+package load
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeResult builds a plausible run result without running anything.
+func fakeResult(sc Scenario) *Result {
+	lat := make([]float64, sc.Operations)
+	for i := range lat {
+		lat[i] = 0.002 + float64(i%5)*0.0005
+	}
+	return &Result{
+		Scenario:      sc,
+		TargetKind:    "library",
+		Ops:           sc.Operations,
+		TotalHits:     sc.Operations * 2,
+		TotalCells:    1 << 30,
+		Latencies:     lat,
+		WallSeconds:   0.5,
+		PeakHeapBytes: 8 << 20,
+		HeapSamples:   40,
+		Before:        map[string]float64{},
+		After:         map[string]float64{},
+		Delta:         map[string]float64{},
+	}
+}
+
+// TestReportRoundTrip pins the persistence seam: Encode → DecodeReport
+// reproduces the report exactly, including tolerance bands.
+func TestReportRoundTrip(t *testing.T) {
+	rep := BuildReport(fakeResult(tinyScenario()))
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("round trip diverges:\n%+v\nvs\n%+v", rep, back)
+	}
+	if rep.Env.GoVersion == "" || rep.Env.GOMAXPROCS <= 0 || rep.Env.Commit == "" {
+		t.Errorf("environment stamp incomplete: %+v", rep.Env)
+	}
+	if rep.Target != "library" || rep.SchemaVersion != SchemaVersion {
+		t.Errorf("envelope = %q v%d", rep.Target, rep.SchemaVersion)
+	}
+}
+
+func TestDecodeReportRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"garbage":     "not json",
+		"no schema":   `{"scenario":{"name":"x"},"metrics":{}}`,
+		"no scenario": `{"schema_version":1,"metrics":{}}`,
+		"no metrics":  `{"schema_version":1,"scenario":{"name":"x"}}`,
+		"trailing":    `{"schema_version":1,"scenario":{"name":"x"},"metrics":{}} {}`,
+	} {
+		if _, err := DecodeReport(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestCompareSelf: a report against itself is always within tolerance.
+func TestCompareSelf(t *testing.T) {
+	rep := BuildReport(fakeResult(tinyScenario()))
+	vs, err := Compare(rep, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("self-compare violates: %v", vs)
+	}
+}
+
+// TestCompareInjectedSlowdown is the regression gate's own test, run
+// end to end through real measured loads: a clean baseline, then the
+// same scenario with an injected per-operation delay sized past the
+// widest latency band, must fail the gate with a readable per-metric
+// report. Deriving the delay from the baseline's own measurements
+// keeps the test meaningful on arbitrarily slow machines (-race, CI).
+func TestCompareInjectedSlowdown(t *testing.T) {
+	sc := tinyScenario()
+	sc.Operations = 6
+	baseline := BuildReport(runTiny(t, sc))
+
+	slow := sc
+	maxBand := baseline.Metrics[MetricLatencyMax].Value*10 + 0.05
+	slow.SlowOp = time.Duration((maxBand + 0.1) * float64(time.Second))
+	current := BuildReport(runTiny(t, slow))
+
+	vs, err := Compare(baseline, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("injected slowdown passed the gate")
+	}
+	hit := map[string]bool{}
+	for _, v := range vs {
+		hit[v.Metric] = true
+		if v.Bound != "<=" && v.Bound != ">=" {
+			t.Errorf("violation %v has no direction", v)
+		}
+	}
+	if !hit[MetricLatencyP50] {
+		t.Errorf("p50 latency not flagged; violations: %v", vs)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCompareReport(&buf, baseline, current, vs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "FAIL", MetricLatencyP50, "baseline", "current"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare report missing %q:\n%s", want, out)
+		}
+	}
+
+	// The slowed run still *compares* (SlowOp excluded from
+	// comparability) — but flipping any real scenario field must not.
+	other := current
+	otherSc := slow
+	otherSc.Seed++
+	other = &Report{}
+	*other = *current
+	other.Scenario = otherSc
+	if _, err := Compare(baseline, other); err == nil {
+		t.Error("seed mismatch must make reports non-comparable")
+	}
+}
+
+// TestCompareBands covers each band direction and the missing-metric
+// case without running loads.
+func TestCompareBands(t *testing.T) {
+	base := BuildReport(fakeResult(tinyScenario()))
+
+	// Ceiling: grow an exact count.
+	cur := BuildReport(fakeResult(tinyScenario()))
+	cur.Metrics[MetricErrors] = Metric{Value: 3, Tolerance: cur.Metrics[MetricErrors].Tolerance}
+	vs, err := Compare(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Metric != MetricErrors || vs[0].Bound != "<=" {
+		t.Errorf("errors violation = %v", vs)
+	}
+
+	// Floor: collapse throughput below MinRatio.
+	cur = BuildReport(fakeResult(tinyScenario()))
+	m := cur.Metrics[MetricRequestRate]
+	m.Value = base.Metrics[MetricRequestRate].Value * 0.01
+	cur.Metrics[MetricRequestRate] = m
+	if vs, err = Compare(base, cur); err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Metric != MetricRequestRate || vs[0].Bound != ">=" {
+		t.Errorf("rate violation = %v", vs)
+	}
+
+	// Missing gated metric.
+	cur = BuildReport(fakeResult(tinyScenario()))
+	delete(cur.Metrics, MetricTotalHits)
+	if vs, err = Compare(base, cur); err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Bound != "missing" {
+		t.Errorf("missing-metric violation = %v", vs)
+	}
+
+	// Informational metrics never gate.
+	cur = BuildReport(fakeResult(tinyScenario()))
+	m = cur.Metrics[MetricStreamStalls]
+	m.Value += 1e6
+	cur.Metrics[MetricStreamStalls] = m
+	if vs, err = Compare(base, cur); err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("informational metric gated: %v", vs)
+	}
+
+	// Schema generations never compare.
+	cur = BuildReport(fakeResult(tinyScenario()))
+	cur.SchemaVersion++
+	if _, err = Compare(base, cur); err == nil {
+		t.Error("schema mismatch must error")
+	}
+}

@@ -1,0 +1,87 @@
+package load
+
+import (
+	"sync"
+	"time"
+)
+
+// HeapSampler polls a heap reading on a fixed interval while work runs,
+// tracking the peak value observed. It is shared between the load
+// runner (sampling the target — locally via runtime.ReadMemStats, or
+// a live daemon via its /debug/vars memstats) and the streaming
+// benchmark in internal/bench.
+//
+// The sampler is deliberately read-function agnostic: remote reads can
+// fail transiently (a scrape racing a drain), so errors are counted but
+// do not stop sampling; the last error is reported by Stop alongside
+// the peak so callers can decide whether a partially-sampled peak is
+// still usable.
+type HeapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	peak    uint64
+	lastErr error
+	errs    int
+	samples int
+}
+
+// StartHeapSampler begins sampling read every interval (1 ms minimum)
+// until Stop. One sample is taken synchronously before the first tick,
+// so even a fast fn between Start and Stop is observed at least once.
+func StartHeapSampler(interval time.Duration, read func() (uint64, error)) *HeapSampler {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	s := &HeapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	s.sample(read)
+	go func(s *HeapSampler, interval time.Duration, read func() (uint64, error)) {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.sample(read)
+			}
+		}
+	}(s, interval, read)
+	return s
+}
+
+func (s *HeapSampler) sample(read func() (uint64, error)) {
+	v, err := read()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.lastErr = err
+		s.errs++
+		return
+	}
+	s.samples++
+	if v > s.peak {
+		s.peak = v
+	}
+}
+
+// Stop halts sampling, joins the sampling goroutine, and returns the
+// peak reading. err is the last read failure (nil if every read
+// succeeded); a nonzero peak alongside a non-nil err means sampling
+// was partial, not absent.
+func (s *HeapSampler) Stop() (peak uint64, err error) {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak, s.lastErr
+}
+
+// Samples returns how many successful reads contributed to the peak.
+func (s *HeapSampler) Samples() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}

@@ -1,0 +1,96 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"swfpga/internal/server"
+	"swfpga/internal/telemetry"
+)
+
+// TestHTTPTargetAgainstLiveServer runs the closed loop over the wire
+// against an in-process swservd and cross-checks the outcome against
+// the library target on the same workload: the hit totals must agree
+// (the daemon routes through the same search pipeline), shed and error
+// counts must be zero, and the scraped telemetry delta must account
+// for exactly the issued requests.
+func TestHTTPTargetAgainstLiveServer(t *testing.T) {
+	sc := tinyScenario()
+	sc.Stream = false // the daemon owns its own scan pipeline
+	wl, err := BuildWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := server.New(context.Background(), server.Config{
+		DB:            wl.DB,
+		DefaultEngine: "software",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.StartDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	tgt := NewHTTPTarget(sc, ts.URL, ts.Client())
+	res, err := Run(context.Background(), sc, wl, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("errors/shed = %d/%d (first: %s)", res.Errors, res.Shed, res.ErrorSample)
+	}
+	if res.TargetKind != "http" {
+		t.Errorf("target kind = %q", res.TargetKind)
+	}
+	if res.PeakHeapBytes == 0 || res.HeapSamples < 1 {
+		t.Errorf("heap sampling over /debug/vars: peak=%d samples=%d", res.PeakHeapBytes, res.HeapSamples)
+	}
+
+	// Cross-check the wire against the library on the same workload.
+	lib, err := Run(context.Background(), sc, wl, NewLibraryTarget(sc, wl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalHits != lib.TotalHits {
+		t.Errorf("hit totals diverge across the wire: http %d vs library %d", res.TotalHits, lib.TotalHits)
+	}
+
+	// The scraped delta must show exactly the measured requests as "ok"
+	// (warmup happens before the bracket; the library run above touched
+	// the same process registry, but the scrape reads it before that).
+	okKey := telemetry.NameServerRequests + `{outcome="ok"}`
+	if got := res.Delta[okKey]; got != float64(sc.Operations) {
+		t.Errorf("delta[%s] = %g, want %d", okKey, got, sc.Operations)
+	}
+
+	// Environment stamping: the scrape carries the daemon's build_info,
+	// so the report can record which binary was measured.
+	rep := BuildReport(res)
+	if rep.Env.TargetCommit == "" {
+		t.Error("report lost the scraped target commit")
+	}
+	if rep.Target != "http" {
+		t.Errorf("report target = %q", rep.Target)
+	}
+}
+
+// TestHTTPTargetReportsServerErrors checks a non-200, non-429 response
+// surfaces as an operation error with the status in the message.
+func TestHTTPTargetReportsServerErrors(t *testing.T) {
+	sc := tinyScenario()
+	tgt := NewHTTPTarget(sc, "http://127.0.0.1:1", nil) // nothing listens
+	if _, err := tgt.Do(context.Background(), Op{Query: []byte("ACGT")}); err == nil {
+		t.Fatal("unreachable daemon must error")
+	}
+}

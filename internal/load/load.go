@@ -1,0 +1,68 @@
+// Package load is the closed-loop load harness behind cmd/swload: it
+// drives deterministic, seeded search workloads against either the
+// library scan pipeline directly (search.Stream / search.Search over
+// the engine registry) or a live swservd over HTTP, measures what
+// happened — latency percentiles, throughput, peak heap, shed and
+// degradation counts, a before/after delta of the full telemetry
+// snapshot — and persists the result as a schema-versioned
+// BENCH_<scenario>.json. A comparison mode applies per-metric tolerance
+// bands against a committed baseline and reports regressions, which is
+// what turns the ROADMAP's "measurably faster" from a claim into a
+// gated trajectory.
+//
+// Determinism is the design center. A scenario is a pure function of
+// its seed: the synthetic database, the query mix, the per-operation
+// query choice and (in closed-loop mode) the per-worker issue order are
+// all derived from seeded PRNGs, and run length is an operation count,
+// never a wall-clock duration — so two runs of the same scenario issue
+// byte-identical requests in the same per-worker order, on any machine.
+// Only the measured timings differ, and those are exactly what the
+// tolerance bands are for.
+package load
+
+import (
+	"context"
+)
+
+// Op is one load operation: a search of one query from the workload's
+// mix against the scenario database.
+type Op struct {
+	// Index is the global issue index, 0..Operations-1, in scenario
+	// order.
+	Index int
+	// QueryID indexes the workload's query list.
+	QueryID int
+	// Query is the query sequence (wl.Queries[QueryID]).
+	Query []byte
+}
+
+// OpResult is what one operation produced.
+type OpResult struct {
+	// Hits is the number of reported hits.
+	Hits int
+	// Shed marks an admission shed (HTTP 429) — expected behaviour under
+	// overload, counted separately from errors.
+	Shed bool
+	// Cells is the number of DP cells the operation implies (query
+	// length × database bases), the numerator of wall GCUPS.
+	Cells int64
+}
+
+// Target is a system under load. Both implementations — the in-process
+// library pipeline and a live swservd — expose the same three probes,
+// so the runner and the report builder never care which side of the
+// HTTP boundary they measure.
+type Target interface {
+	// Kind names the target side ("library" or "http") for the report's
+	// environment stamp.
+	Kind() string
+	// Do executes one operation.
+	Do(ctx context.Context, op Op) (OpResult, error)
+	// Snapshot returns the current telemetry series of the system under
+	// load, keyed like telemetry.Registry.Snapshot (an in-process
+	// snapshot, or a parsed /metrics scrape).
+	Snapshot(ctx context.Context) (map[string]float64, error)
+	// HeapBytes reads the current heap footprint of the system under
+	// load.
+	HeapBytes(ctx context.Context) (uint64, error)
+}

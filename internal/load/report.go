@@ -1,0 +1,231 @@
+package load
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"swfpga/internal/stats"
+	"swfpga/internal/telemetry"
+)
+
+// SchemaVersion is the BENCH_*.json schema generation. Bump it when a
+// field changes meaning; Compare refuses to gate across generations.
+const SchemaVersion = 1
+
+// Metric names of the report's gated metrics. These are harness
+// vocabulary (report keys), deliberately distinct from the swfpga_*
+// telemetry series the values may derive from.
+const (
+	MetricOperations   = "operations"
+	MetricErrors       = "errors"
+	MetricShed         = "shed"
+	MetricDegraded     = "degraded"
+	MetricTotalHits    = "total_hits"
+	MetricLatencyP50   = "latency_p50_seconds"
+	MetricLatencyP95   = "latency_p95_seconds"
+	MetricLatencyP99   = "latency_p99_seconds"
+	MetricLatencyMean  = "latency_mean_seconds"
+	MetricLatencyMax   = "latency_max_seconds"
+	MetricRequestRate  = "requests_per_second"
+	MetricWallGCUPS    = "wall_gcups"
+	MetricPeakHeap     = "peak_heap_bytes"
+	MetricStreamStalls = "stream_stalls"
+)
+
+// Tolerance is a one- or two-sided band around a baseline value.
+// A current value passes when
+//
+//	current <= baseline*MaxRatio + AbsSlack   (if MaxRatio > 0)
+//	current >= baseline*MinRatio - AbsSlack   (if MinRatio > 0)
+//
+// MaxRatio gates "must not grow" metrics (latency, heap, error
+// counts); MinRatio gates "must not collapse" metrics (throughput).
+// Setting both to 1 with zero slack pins the value exactly — the right
+// band for deterministic counts.
+type Tolerance struct {
+	MaxRatio float64 `json:"max_ratio,omitempty"`
+	MinRatio float64 `json:"min_ratio,omitempty"`
+	AbsSlack float64 `json:"abs_slack,omitempty"`
+}
+
+// Metric is one measured value, plus the band a future run must land
+// in to pass against this report as a baseline. A nil Tolerance marks
+// the metric informational: recorded, never gated.
+type Metric struct {
+	Value     float64    `json:"value"`
+	Tolerance *Tolerance `json:"tolerance,omitempty"`
+}
+
+// Env stamps where a report was produced, so a confusing baseline can
+// be traced to its binary and machine shape.
+type Env struct {
+	Commit     string `json:"commit"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// TargetCommit is the build_info commit scraped from the system
+	// under load — for the HTTP target it may differ from Commit (the
+	// harness binary), and that difference is worth seeing.
+	TargetCommit string `json:"target_commit,omitempty"`
+}
+
+// Report is the persisted BENCH_<scenario>.json document: what ran,
+// where, what it measured, and how tightly a future run is held to it.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	GeneratedUnix int64    `json:"generated_unix"`
+	Scenario      Scenario `json:"scenario"`
+	Target        string   `json:"target"`
+	Env           Env      `json:"env"`
+	// Metrics are the gated (and informational) measurements.
+	Metrics map[string]Metric `json:"metrics"`
+	// ErrorSample is the first operation error of the run, if any.
+	ErrorSample string `json:"error_sample,omitempty"`
+	// TelemetryDelta is the full before/after snapshot delta of the
+	// target's registry — informational, for trajectory archaeology.
+	TelemetryDelta map[string]float64 `json:"telemetry_delta"`
+}
+
+// BuildReport derives the persisted report from a run result,
+// attaching the default tolerance band of each metric.
+//
+// Band policy (DESIGN.md §12): deterministic outcomes — operation,
+// error, shed, degraded and hit counts — are pinned exactly, because
+// the workload is a pure function of the scenario seed and any drift
+// is a correctness change, not noise. Wall-clock metrics get wide
+// bands (10x on latency, 10x down on throughput, 8x + 64 MiB on peak
+// heap) so a loaded CI runner never flakes the gate, while an
+// accidental O(n) → O(n²) or a leaked buffer still trips it.
+func BuildReport(res *Result) *Report {
+	lat := stats.Summarize(res.Latencies)
+	exact := func() *Tolerance { return &Tolerance{MaxRatio: 1, MinRatio: 1} }
+	wallMax := func() *Tolerance { return &Tolerance{MaxRatio: 10, AbsSlack: 0.05} }
+
+	m := map[string]Metric{
+		MetricOperations:  {Value: float64(res.Ops), Tolerance: exact()},
+		MetricErrors:      {Value: float64(res.Errors), Tolerance: exact()},
+		MetricShed:        {Value: float64(res.Shed), Tolerance: exact()},
+		MetricTotalHits:   {Value: float64(res.TotalHits), Tolerance: exact()},
+		MetricDegraded:    {Value: res.Delta[telemetry.NameDegradedRuns] + res.Delta[telemetry.NameServerDegraded], Tolerance: exact()},
+		MetricLatencyP50:  {Value: stats.Quantile(res.Latencies, 0.50), Tolerance: wallMax()},
+		MetricLatencyP95:  {Value: stats.Quantile(res.Latencies, 0.95), Tolerance: wallMax()},
+		MetricLatencyP99:  {Value: stats.Quantile(res.Latencies, 0.99), Tolerance: wallMax()},
+		MetricLatencyMean: {Value: lat.Mean, Tolerance: wallMax()},
+		MetricLatencyMax:  {Value: lat.Max, Tolerance: wallMax()},
+		MetricPeakHeap:    {Value: float64(res.PeakHeapBytes), Tolerance: &Tolerance{MaxRatio: 8, AbsSlack: 64 << 20}},
+		// Stall counts depend on scheduling interleave, so they are
+		// informational; the budget gauge itself is tested elsewhere.
+		MetricStreamStalls: {Value: res.Delta[telemetry.NameStreamStalls]},
+	}
+	if res.WallSeconds > 0 {
+		m[MetricRequestRate] = Metric{
+			Value:     float64(res.Ops-res.Errors-res.Shed) / res.WallSeconds,
+			Tolerance: &Tolerance{MinRatio: 0.1},
+		}
+		m[MetricWallGCUPS] = Metric{
+			Value:     float64(res.TotalCells) / res.WallSeconds / 1e9,
+			Tolerance: &Tolerance{MinRatio: 0.1},
+		}
+	}
+
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedUnix: time.Now().Unix(),
+		Scenario:      res.Scenario,
+		Target:        res.TargetKind,
+		Env: Env{
+			Commit:       telemetry.BuildCommit(),
+			GoVersion:    runtime.Version(),
+			GOOS:         runtime.GOOS,
+			GOARCH:       runtime.GOARCH,
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			NumCPU:       runtime.NumCPU(),
+			TargetCommit: targetCommit(res.After),
+		},
+		Metrics:        m,
+		ErrorSample:    res.ErrorSample,
+		TelemetryDelta: res.Delta,
+	}
+}
+
+// targetCommit extracts the commit label of the target's build_info
+// series from its after-snapshot — the provenance of the binary that
+// was actually measured.
+func targetCommit(snap map[string]float64) string {
+	for key := range snap {
+		name, labels, ok := telemetry.ParseSeriesKey(key)
+		if !ok || name != telemetry.NameBuildInfo {
+			continue
+		}
+		for _, kv := range labels {
+			if kv[0] == "commit" {
+				return kv[1]
+			}
+		}
+	}
+	return ""
+}
+
+// Encode writes the report as indented JSON.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("load: encode report: %w", err)
+	}
+	return nil
+}
+
+// DecodeReport reads one report from r (streaming — no slurp) and
+// sanity-checks the envelope.
+func DecodeReport(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	rep := &Report{}
+	if err := dec.Decode(rep); err != nil {
+		return nil, fmt.Errorf("load: decode report: %w", err)
+	}
+	if dec.More() {
+		return nil, errors.New("load: trailing data after report")
+	}
+	if rep.SchemaVersion <= 0 {
+		return nil, errors.New("load: report missing schema_version")
+	}
+	if rep.Scenario.Name == "" {
+		return nil, errors.New("load: report missing scenario name")
+	}
+	if rep.Metrics == nil {
+		return nil, errors.New("load: report has no metrics")
+	}
+	return rep, nil
+}
+
+// Summary renders the human-readable one-screen digest swload prints
+// after a run.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (%s target, engine %s, %d ops, %s arrival)\n",
+		r.Scenario.Name, r.Target, r.Scenario.Engine, r.Scenario.Operations, r.Scenario.Arrival)
+	fmt.Fprintf(&b, "  commit %s  go %s  GOMAXPROCS %d\n", r.Env.Commit, r.Env.GoVersion, r.Env.GOMAXPROCS)
+	order := []string{
+		MetricOperations, MetricErrors, MetricShed, MetricDegraded, MetricTotalHits,
+		MetricLatencyP50, MetricLatencyP95, MetricLatencyP99, MetricLatencyMean,
+		MetricLatencyMax, MetricRequestRate, MetricWallGCUPS, MetricPeakHeap,
+		MetricStreamStalls,
+	}
+	for _, name := range order {
+		if met, ok := r.Metrics[name]; ok {
+			fmt.Fprintf(&b, "  %-22s %g\n", name, met.Value)
+		}
+	}
+	if r.ErrorSample != "" {
+		fmt.Fprintf(&b, "  first error: %s\n", r.ErrorSample)
+	}
+	return b.String()
+}

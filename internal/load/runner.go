@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"swfpga/internal/telemetry"
+)
+
+// OpLogEntry records one issued operation: which worker issued it, at
+// which position in that worker's sequence, and which query it carried.
+// The log is the determinism artifact — two runs of the same scenario
+// produce identical logs, and the determinism test holds the harness to
+// that.
+type OpLogEntry struct {
+	// Worker is the issuing closed-loop worker (-1 in open-loop mode,
+	// where each operation has its own goroutine).
+	Worker int `json:"worker"`
+	// Seq is the operation's position within its worker's sequence.
+	Seq int `json:"seq"`
+	// Op is the global operation index; QueryID the query it carried.
+	Op      int `json:"op"`
+	QueryID int `json:"query_id"`
+}
+
+// Result is everything one run measured.
+type Result struct {
+	Scenario   Scenario
+	TargetKind string
+
+	// Ops counts measured operations issued; Errors and Shed the ones
+	// that failed or were admission-shed. TotalHits and TotalCells sum
+	// over successful operations.
+	Ops, Errors, Shed int
+	TotalHits         int
+	TotalCells        int64
+	// ErrorSample is the first operation error, for the report.
+	ErrorSample string
+
+	// Latencies holds per-operation wall seconds of successful
+	// operations, in operation-index order.
+	Latencies []float64
+	// OpLog is the issued-operation log, worker-major in closed-loop
+	// mode, arrival-ordered in open-loop mode.
+	OpLog []OpLogEntry
+
+	// WallSeconds spans the measured window; PeakHeapBytes is the
+	// largest target heap reading inside it (HeapSamples reads
+	// contributed).
+	WallSeconds   float64
+	PeakHeapBytes uint64
+	HeapSamples   int
+
+	// Before/After bracket the measured window with full telemetry
+	// snapshots of the target; Delta is After-Before.
+	Before, After, Delta map[string]float64
+}
+
+// heapSampleInterval is the runner's polling cadence. Local reads are a
+// runtime.ReadMemStats; remote reads one /debug/vars scrape — both
+// cheap enough at 5 ms against multi-millisecond scan operations.
+const heapSampleInterval = 5 * time.Millisecond
+
+// Run executes the measured window of sc against tgt: warmup
+// operations (discarded), a before-snapshot, the operation list under
+// the scenario's arrival model with heap sampling, an after-snapshot.
+// Operation failures are counted in the result, not returned; Run
+// itself errors only when the harness cannot proceed (invalid
+// scenario, failing warmup, unreachable snapshots, cancelled ctx).
+func Run(ctx context.Context, sc Scenario, wl *Workload, tgt Target) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	for _, op := range wl.Warmup {
+		if _, err := tgt.Do(ctx, op); err != nil {
+			return nil, fmt.Errorf("load: warmup op %d: %w", op.Index, err)
+		}
+	}
+	before, err := tgt.Snapshot(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: before-snapshot: %w", err)
+	}
+
+	sampler := StartHeapSampler(heapSampleInterval, func() (uint64, error) {
+		return tgt.HeapBytes(ctx)
+	})
+	outcomes := make([]opOutcome, len(wl.Ops))
+	start := time.Now()
+	var log []OpLogEntry
+	if sc.Arrival == ArrivalClosed {
+		log = runClosed(ctx, sc, wl.Ops, tgt, outcomes)
+	} else {
+		log = runOpen(ctx, sc, wl.Ops, tgt, outcomes)
+	}
+	wall := time.Since(start).Seconds()
+	peak, sampleErr := sampler.Stop()
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("load: run cancelled: %w", cerr)
+	}
+	if sampleErr != nil && sampler.Samples() == 0 {
+		return nil, fmt.Errorf("load: heap sampling never succeeded: %w", sampleErr)
+	}
+
+	after, err := tgt.Snapshot(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: after-snapshot: %w", err)
+	}
+
+	res := &Result{
+		Scenario:      sc,
+		TargetKind:    tgt.Kind(),
+		Ops:           len(wl.Ops),
+		OpLog:         log,
+		WallSeconds:   wall,
+		PeakHeapBytes: peak,
+		HeapSamples:   sampler.Samples(),
+		Before:        before,
+		After:         after,
+		Delta:         telemetry.Diff(before, after),
+	}
+	for _, o := range outcomes {
+		switch {
+		case o.err != nil:
+			res.Errors++
+			if res.ErrorSample == "" {
+				res.ErrorSample = o.err.Error()
+			}
+		case o.res.Shed:
+			res.Shed++
+		default:
+			res.TotalHits += o.res.Hits
+			res.TotalCells += o.res.Cells
+			res.Latencies = append(res.Latencies, o.seconds)
+		}
+	}
+	return res, nil
+}
+
+// opOutcome is one operation's measured result, written by exactly one
+// worker into its own slot.
+type opOutcome struct {
+	res     OpResult
+	err     error
+	seconds float64
+}
+
+// runClosed pre-assigns operations round-robin to sc.Concurrency
+// workers; each worker executes its slice back to back. Assignment and
+// per-worker order are pure functions of the operation list, so the
+// returned log (worker-major) is deterministic.
+func runClosed(ctx context.Context, sc Scenario, ops []Op, tgt Target, outcomes []opOutcome) []OpLogEntry {
+	workers := sc.Concurrency
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	perWorker := make([][]Op, workers)
+	for i, op := range ops {
+		perWorker[i%workers] = append(perWorker[i%workers], op)
+	}
+	logs := make([][]OpLogEntry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, list []Op) {
+			defer wg.Done()
+			for seq, op := range list {
+				if ctx.Err() != nil {
+					outcomes[op.Index] = opOutcome{err: ctx.Err()}
+					continue
+				}
+				logs[w] = append(logs[w], OpLogEntry{Worker: w, Seq: seq, Op: op.Index, QueryID: op.QueryID})
+				outcomes[op.Index] = timeOp(ctx, sc, tgt, op)
+			}
+		}(w, perWorker[w])
+	}
+	wg.Wait()
+	var log []OpLogEntry
+	for _, l := range logs {
+		log = append(log, l...)
+	}
+	return log
+}
+
+// runOpen issues each operation in its own goroutine at the seeded
+// exponential arrival offset, regardless of completions — offered load
+// is independent of service rate, so admission control actually gets
+// exercised. The log is arrival-ordered.
+func runOpen(ctx context.Context, sc Scenario, ops []Op, tgt Target, outcomes []opOutcome) []OpLogEntry {
+	offsets := arrivalOffsets(sc, len(ops))
+	log := make([]OpLogEntry, len(ops))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, op := range ops {
+		if wait := time.Duration(offsets[i]*float64(time.Second)) - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+		}
+		log[i] = OpLogEntry{Worker: -1, Seq: i, Op: op.Index, QueryID: op.QueryID}
+		if ctx.Err() != nil {
+			outcomes[op.Index] = opOutcome{err: ctx.Err()}
+			continue
+		}
+		wg.Add(1)
+		go func(op Op) {
+			defer wg.Done()
+			outcomes[op.Index] = timeOp(ctx, sc, tgt, op)
+		}(op)
+	}
+	wg.Wait()
+	return log
+}
+
+// timeOp executes one operation and measures its wall time, applying
+// the scenario's injected SlowOp delay (regression-gate tests) inside
+// the measured window.
+func timeOp(ctx context.Context, sc Scenario, tgt Target, op Op) opOutcome {
+	t0 := time.Now()
+	res, err := tgt.Do(ctx, op)
+	if sc.SlowOp > 0 {
+		time.Sleep(sc.SlowOp)
+	}
+	return opOutcome{res: res, err: err, seconds: time.Since(t0).Seconds()}
+}

@@ -1,0 +1,167 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"swfpga/internal/telemetry"
+)
+
+// runTiny builds and runs one library-target pass of sc.
+func runTiny(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	wl, err := BuildWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sc, wl, NewLibraryTarget(sc, wl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunClosedDeterministic is the harness determinism gate (the
+// satellite the ISSUE names): two closed-loop runs of the same scenario
+// must issue the identical operation log — same worker assignment, same
+// per-worker order, same queries — and reach the identical hit total.
+// Only timings may differ.
+func TestRunClosedDeterministic(t *testing.T) {
+	sc := tinyScenario()
+	a := runTiny(t, sc)
+	b := runTiny(t, sc)
+
+	if !reflect.DeepEqual(a.OpLog, b.OpLog) {
+		t.Errorf("op logs diverge between runs:\n%v\nvs\n%v", a.OpLog, b.OpLog)
+	}
+	if a.TotalHits != b.TotalHits {
+		t.Errorf("hit totals diverge: %d vs %d", a.TotalHits, b.TotalHits)
+	}
+	if a.TotalCells != b.TotalCells {
+		t.Errorf("cell totals diverge: %d vs %d", a.TotalCells, b.TotalCells)
+	}
+
+	if a.Ops != sc.Operations || a.Errors != 0 || a.Shed != 0 {
+		t.Fatalf("ops/errors/shed = %d/%d/%d, want %d/0/0", a.Ops, a.Errors, a.Shed, sc.Operations)
+	}
+	if len(a.Latencies) != sc.Operations {
+		t.Errorf("latencies = %d, want %d", len(a.Latencies), sc.Operations)
+	}
+	if a.TotalHits == 0 {
+		t.Error("planted motifs produced no hits")
+	}
+	if a.WallSeconds <= 0 || a.PeakHeapBytes == 0 || a.HeapSamples < 1 {
+		t.Errorf("wall/peak/samples = %g/%d/%d", a.WallSeconds, a.PeakHeapBytes, a.HeapSamples)
+	}
+	if a.TargetKind != "library" {
+		t.Errorf("target kind = %q", a.TargetKind)
+	}
+	// The telemetry delta must show the records scanned in the measured
+	// window (warmup is outside the bracket).
+	recKey := telemetry.NameRecordSeconds + "_count"
+	if want := float64(sc.Operations * sc.DBRecords); a.Delta[recKey] != want {
+		t.Errorf("delta[%s] = %g, want %g", recKey, a.Delta[recKey], want)
+	}
+}
+
+// TestRunClosedLogShape pins the closed-loop log structure: worker-major
+// order, round-robin assignment, contiguous per-worker sequences, every
+// operation exactly once.
+func TestRunClosedLogShape(t *testing.T) {
+	sc := tinyScenario()
+	res := runTiny(t, sc)
+	if len(res.OpLog) != sc.Operations {
+		t.Fatalf("log has %d entries, want %d", len(res.OpLog), sc.Operations)
+	}
+	seen := map[int]bool{}
+	lastWorker, lastSeq := -1, 0
+	for _, e := range res.OpLog {
+		if e.Op%sc.Concurrency != e.Worker {
+			t.Errorf("op %d on worker %d, want round-robin worker %d", e.Op, e.Worker, e.Op%sc.Concurrency)
+		}
+		if e.Worker != lastWorker {
+			if e.Worker < lastWorker {
+				t.Errorf("log not worker-major at op %d", e.Op)
+			}
+			lastWorker, lastSeq = e.Worker, 0
+		}
+		if e.Seq != lastSeq {
+			t.Errorf("worker %d sequence jumps to %d, want %d", e.Worker, e.Seq, lastSeq)
+		}
+		lastSeq++
+		if seen[e.Op] {
+			t.Errorf("op %d issued twice", e.Op)
+		}
+		seen[e.Op] = true
+	}
+}
+
+// TestRunOpenLoop exercises the open arrival model end to end: every
+// operation issued in arrival order, nothing lost.
+func TestRunOpenLoop(t *testing.T) {
+	sc := tinyScenario()
+	sc.Arrival = ArrivalOpen
+	sc.RatePerSec = 500
+	sc.Operations = 8
+	res := runTiny(t, sc)
+	if res.Errors != 0 || res.Ops != sc.Operations {
+		t.Fatalf("errors/ops = %d/%d (first: %s)", res.Errors, res.Ops, res.ErrorSample)
+	}
+	for i, e := range res.OpLog {
+		if e.Worker != -1 || e.Seq != i || e.Op != i {
+			t.Errorf("open-loop log entry %d = %+v", i, e)
+		}
+	}
+	// The schedule itself is seeded: same scenario, same offsets.
+	if !reflect.DeepEqual(arrivalOffsets(sc, 8), arrivalOffsets(sc, 8)) {
+		t.Error("arrival offsets not deterministic")
+	}
+}
+
+// TestRunCancelled checks the runner surfaces caller cancellation as a
+// run error rather than reporting a half-measured window.
+func TestRunCancelled(t *testing.T) {
+	sc := tinyScenario()
+	wl, err := BuildWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, sc, wl, NewLibraryTarget(sc, wl)); err == nil {
+		t.Fatal("cancelled run must error")
+	}
+}
+
+func TestHeapSampler(t *testing.T) {
+	vals := []uint64{10, 40, 20}
+	i := 0
+	s := StartHeapSampler(time.Millisecond, func() (uint64, error) {
+		v := vals[i%len(vals)]
+		i++
+		return v, nil
+	})
+	time.Sleep(20 * time.Millisecond)
+	peak, err := s.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak != 40 {
+		t.Errorf("peak = %d, want 40", peak)
+	}
+	if s.Samples() < 2 {
+		t.Errorf("samples = %d, want several", s.Samples())
+	}
+
+	fail := StartHeapSampler(time.Millisecond, func() (uint64, error) {
+		return 0, errors.New("scrape down")
+	})
+	time.Sleep(5 * time.Millisecond)
+	peak, err = fail.Stop()
+	if err == nil || peak != 0 || fail.Samples() != 0 {
+		t.Errorf("failing reader: peak=%d samples=%d err=%v", peak, fail.Samples(), err)
+	}
+}

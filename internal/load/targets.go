@@ -1,0 +1,226 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+
+	"swfpga/internal/engine"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+// LibraryTarget drives the scan pipeline in-process: each operation is
+// one search.Stream (bounded-memory) or search.Search call against the
+// workload database, through the engine registry — the same code path
+// swservd's dispatcher takes, minus the HTTP and admission layers.
+type LibraryTarget struct {
+	db      []seq.Sequence
+	dbBases int64
+	factory search.Factory
+	opts    search.Options
+	stream  bool
+	maxMem  int64
+}
+
+// NewLibraryTarget builds the in-process target for sc over wl's
+// database.
+func NewLibraryTarget(sc Scenario, wl *Workload) *LibraryTarget {
+	return &LibraryTarget{
+		db:      wl.DB,
+		dbBases: sc.DBBases(),
+		factory: search.EngineFactory(sc.Engine, engine.Config{}),
+		opts: search.Options{
+			MinScore: sc.MinScore,
+			TopK:     sc.TopK,
+			Workers:  sc.ScanWorkers,
+		},
+		stream: sc.Stream,
+		maxMem: sc.MaxMemoryBytes,
+	}
+}
+
+// Kind identifies the in-process target.
+func (t *LibraryTarget) Kind() string { return "library" }
+
+// Do runs one scan.
+func (t *LibraryTarget) Do(ctx context.Context, op Op) (OpResult, error) {
+	var (
+		hits []search.Hit
+		err  error
+	)
+	if t.stream {
+		hits, err = search.Stream(ctx, seq.SliceSource(t.db), op.Query,
+			search.StreamOptions{Options: t.opts, MaxMemoryBytes: t.maxMem}, t.factory)
+	} else {
+		hits, err = search.Search(ctx, t.db, op.Query, t.opts, t.factory)
+	}
+	if err != nil {
+		return OpResult{}, err
+	}
+	return OpResult{Hits: len(hits), Cells: int64(len(op.Query)) * t.dbBases}, nil
+}
+
+// Snapshot reads the process-global telemetry registry — for the
+// library target, harness and system under load share a process.
+func (t *LibraryTarget) Snapshot(ctx context.Context) (map[string]float64, error) {
+	return telemetry.Default().Snapshot(), nil
+}
+
+// HeapBytes reads the live heap of this process.
+func (t *LibraryTarget) HeapBytes(ctx context.Context) (uint64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc, nil
+}
+
+// HTTPTarget drives a live swservd: operations POST /v1/search,
+// telemetry snapshots scrape /metrics through the Prometheus parser,
+// and heap readings come from /debug/vars (expvar memstats). The
+// harness never needs in-process access to the daemon — everything it
+// measures crosses the same wire a production client would use.
+type HTTPTarget struct {
+	base    string
+	client  *http.Client
+	engine  string
+	minScore  int
+	topK    int
+	dbBases int64
+}
+
+// NewHTTPTarget builds a target for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil client uses http.DefaultClient;
+// per-operation deadlines ride on the runner's context either way.
+func NewHTTPTarget(sc Scenario, baseURL string, client *http.Client) *HTTPTarget {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPTarget{
+		base:    strings.TrimRight(baseURL, "/"),
+		client:  client,
+		engine:  sc.Engine,
+		minScore:  sc.MinScore,
+		topK:    sc.TopK,
+		dbBases: sc.DBBases(),
+	}
+}
+
+// searchBody mirrors the daemon's scan-request JSON.
+type searchBody struct {
+	Query    string `json:"query"`
+	Engine   string `json:"engine,omitempty"`
+	MinScore int    `json:"min_score,omitempty"`
+	TopK     int    `json:"top_k,omitempty"`
+}
+
+// Kind identifies the over-the-wire target.
+func (t *HTTPTarget) Kind() string { return "http" }
+
+// Do issues one search request. 429 (admission shed) is a counted
+// outcome, not an error; every other non-200 status is.
+func (t *HTTPTarget) Do(ctx context.Context, op Op) (OpResult, error) {
+	body, err := json.Marshal(searchBody{
+		Query:    string(op.Query),
+		Engine:   t.engine,
+		MinScore: t.minScore,
+		TopK:     t.topK,
+	})
+	if err != nil {
+		return OpResult{}, fmt.Errorf("load: marshal request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+"/v1/search", bytes.NewReader(body))
+	if err != nil {
+		return OpResult{}, fmt.Errorf("load: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return OpResult{}, fmt.Errorf("load: op %d: %w", op.Index, err)
+	}
+	defer drainClose(resp.Body)
+	cells := int64(len(op.Query)) * t.dbBases
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var parsed struct {
+			Hits []json.RawMessage `json:"hits"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+			return OpResult{}, fmt.Errorf("load: op %d: decode response: %w", op.Index, err)
+		}
+		return OpResult{Hits: len(parsed.Hits), Cells: cells}, nil
+	case http.StatusTooManyRequests:
+		return OpResult{Shed: true}, nil
+	default:
+		return OpResult{}, fmt.Errorf("load: op %d: %s: %s", op.Index, resp.Status, bodySnippet(resp.Body))
+	}
+}
+
+// Snapshot scrapes /metrics and parses it back into snapshot form.
+func (t *HTTPTarget) Snapshot(ctx context.Context) (map[string]float64, error) {
+	resp, err := t.get(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp.Body)
+	snap, err := telemetry.ParsePrometheus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("load: parse /metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// HeapBytes reads the daemon's live heap from /debug/vars.
+func (t *HTTPTarget) HeapBytes(ctx context.Context) (uint64, error) {
+	resp, err := t.get(ctx, "/debug/vars")
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(resp.Body)
+	var vars struct {
+		Memstats struct {
+			HeapAlloc uint64 `json:"HeapAlloc"`
+		} `json:"memstats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return 0, fmt.Errorf("load: decode /debug/vars: %w", err)
+	}
+	return vars.Memstats.HeapAlloc, nil
+}
+
+func (t *HTTPTarget) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: build request: %w", err)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("load: GET %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet := bodySnippet(resp.Body)
+		drainClose(resp.Body)
+		return nil, fmt.Errorf("load: GET %s: %s: %s", path, resp.Status, snippet)
+	}
+	return resp, nil
+}
+
+// bodySnippet reads a short, bounded error-body excerpt for messages.
+func bodySnippet(r io.Reader) string {
+	buf := make([]byte, 200)
+	n, _ := io.LimitReader(r, int64(len(buf))).Read(buf)
+	return strings.TrimSpace(string(buf[:n]))
+}
+
+// drainClose discards the remaining body (bounded) and closes it, so
+// the HTTP client can reuse the connection. Both operations are
+// best-effort by design.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 64<<10))
+	_ = body.Close()
+}

@@ -1,0 +1,97 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"swfpga/internal/seq"
+)
+
+// Seed offsets: each independent random decision in a scenario draws
+// from its own stream, so adding a scenario field never re-randomizes
+// an unrelated one.
+const (
+	seedSequences = 0 // queries and database bases (seq.Generator)
+	seedPlacement = 1 // motif planting positions
+	seedMix       = 2 // per-operation query choice
+	seedArrivals  = 3 // open-loop inter-arrival times
+)
+
+// Workload is the materialized input of one scenario: the synthetic
+// database, the query mix, and the full operation list — all a pure
+// function of the scenario (in particular its seed), which is what the
+// determinism test pins.
+type Workload struct {
+	// DB is the synthetic database, sc.DBRecords records of
+	// sc.RecordLen bases each, with one motif per query planted so
+	// every operation has a guaranteed strong hit.
+	DB []seq.Sequence
+	// Queries is the query mix, grouped by ascending QueryLens order.
+	Queries [][]byte
+	// Warmup and Ops are the unmeasured and measured operation lists.
+	// Op.Index numbers each list independently from 0.
+	Warmup []Op
+	// Ops are the measured operations, issued in Index order (closed
+	// loop: round-robin across workers; open loop: by arrival time).
+	Ops []Op
+}
+
+// motifLen is the planted-motif length for a query: three quarters of
+// the query, long enough that the motif's exact-match score (+1 per
+// base under the default scoring) clears every scenario's MinScore
+// with a wide margin.
+func motifLen(queryLen int) int { return queryLen - queryLen/4 }
+
+// BuildWorkload materializes sc. The same scenario always yields a
+// byte-identical workload.
+func BuildWorkload(sc Scenario) (*Workload, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	gen := seq.NewGenerator(sc.Seed + seedSequences)
+	wl := &Workload{Queries: make([][]byte, 0, len(sc.QueryLens)*sc.QueriesPerLen)}
+	for _, l := range sc.QueryLens {
+		for i := 0; i < sc.QueriesPerLen; i++ {
+			wl.Queries = append(wl.Queries, gen.Random(l))
+		}
+	}
+	wl.DB = make([]seq.Sequence, sc.DBRecords)
+	for i := range wl.DB {
+		wl.DB[i] = gen.RandomSequence(fmt.Sprintf("rec%04d", i), sc.RecordLen)
+	}
+	// Plant each query's motif into one record (round-robin), at a
+	// seeded position, so hit counts are a scenario property, not luck.
+	place := rand.New(rand.NewSource(sc.Seed + seedPlacement))
+	for qi, q := range wl.Queries {
+		m := q[:motifLen(len(q))]
+		rec := wl.DB[qi%len(wl.DB)]
+		seq.PlantMotif(rec.Data, m, place.Intn(len(rec.Data)-len(m)+1))
+	}
+
+	mix := rand.New(rand.NewSource(sc.Seed + seedMix))
+	draw := func(n int) []Op {
+		ops := make([]Op, n)
+		for i := range ops {
+			id := mix.Intn(len(wl.Queries))
+			ops[i] = Op{Index: i, QueryID: id, Query: wl.Queries[id]}
+		}
+		return ops
+	}
+	wl.Warmup = draw(sc.Warmup)
+	wl.Ops = draw(sc.Operations)
+	return wl, nil
+}
+
+// arrivalOffsets derives the open-loop issue schedule: cumulative
+// seeded exponential inter-arrival gaps at sc.RatePerSec, in seconds
+// from the start of the measured window.
+func arrivalOffsets(sc Scenario, n int) []float64 {
+	rng := rand.New(rand.NewSource(sc.Seed + seedArrivals))
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / sc.RatePerSec
+		out[i] = t
+	}
+	return out
+}

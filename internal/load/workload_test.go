@@ -1,0 +1,154 @@
+package load
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tinyScenario is a fast, fully valid closed-loop shape for unit tests
+// (~10 ms of scan work on a laptop).
+func tinyScenario() Scenario {
+	return Scenario{
+		Name:           "tiny",
+		Seed:           3,
+		DBRecords:      4,
+		RecordLen:      2048,
+		QueryLens:      []int{32, 48},
+		QueriesPerLen:  2,
+		Operations:     12,
+		Warmup:         1,
+		Concurrency:    3,
+		Arrival:        ArrivalClosed,
+		Engine:         "software",
+		MinScore:       16,
+		TopK:           4,
+		ScanWorkers:    2,
+		Stream:         true,
+		MaxMemoryBytes: 4096,
+	}
+}
+
+// TestBuildWorkloadDeterministic pins the harness's core contract: the
+// workload — database bytes, query bytes, warmup and measured op lists
+// — is a pure function of the scenario.
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	a, err := BuildWorkload(tinyScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildWorkload(tinyScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two builds of the same scenario diverge")
+	}
+	// And a different seed actually changes the workload.
+	sc := tinyScenario()
+	sc.Seed++
+	c, err := BuildWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.DB, c.DB) {
+		t.Error("seed change left the database identical")
+	}
+}
+
+// TestBuildWorkloadShape checks counts, lengths and motif planting.
+func TestBuildWorkloadShape(t *testing.T) {
+	sc := tinyScenario()
+	wl, err := BuildWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.DB) != sc.DBRecords {
+		t.Fatalf("DB records = %d, want %d", len(wl.DB), sc.DBRecords)
+	}
+	for _, rec := range wl.DB {
+		if len(rec.Data) != sc.RecordLen {
+			t.Fatalf("record %s length = %d, want %d", rec.ID, len(rec.Data), sc.RecordLen)
+		}
+	}
+	if want := len(sc.QueryLens) * sc.QueriesPerLen; len(wl.Queries) != want {
+		t.Fatalf("queries = %d, want %d", len(wl.Queries), want)
+	}
+	if len(wl.Warmup) != sc.Warmup || len(wl.Ops) != sc.Operations {
+		t.Fatalf("ops = %d/%d, want %d/%d", len(wl.Warmup), len(wl.Ops), sc.Warmup, sc.Operations)
+	}
+	for i, op := range wl.Ops {
+		if op.Index != i {
+			t.Fatalf("op %d has index %d", i, op.Index)
+		}
+		if !bytes.Equal(op.Query, wl.Queries[op.QueryID]) {
+			t.Fatalf("op %d query diverges from its QueryID", i)
+		}
+	}
+	// Every query's motif must exist verbatim in its round-robin record,
+	// so every operation has a guaranteed hit.
+	for qi, q := range wl.Queries {
+		motif := q[:motifLen(len(q))]
+		if !bytes.Contains(wl.DB[qi%len(wl.DB)].Data, motif) {
+			t.Errorf("query %d motif not planted in record %d", qi, qi%len(wl.DB))
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	mutate := func(f func(*Scenario)) Scenario {
+		sc := tinyScenario()
+		f(&sc)
+		return sc
+	}
+	bad := map[string]Scenario{
+		"no name":        mutate(func(s *Scenario) { s.Name = "" }),
+		"no records":     mutate(func(s *Scenario) { s.DBRecords = 0 }),
+		"no queries":     mutate(func(s *Scenario) { s.QueryLens = nil }),
+		"no ops":         mutate(func(s *Scenario) { s.Operations = 0 }),
+		"neg warmup":     mutate(func(s *Scenario) { s.Warmup = -1 }),
+		"bad arrival":    mutate(func(s *Scenario) { s.Arrival = "poisson" }),
+		"no concurrency": mutate(func(s *Scenario) { s.Concurrency = 0 }),
+		"open no rate":   mutate(func(s *Scenario) { s.Arrival = ArrivalOpen }),
+		"neg slowop":     mutate(func(s *Scenario) { s.SlowOp = -time.Second }),
+		"query too long": mutate(func(s *Scenario) { s.QueryLens = []int{4096} }),
+	}
+	for name, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, sc)
+		}
+	}
+	if err := tinyScenario().Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+// TestCommittedScenarios checks the registry entries themselves are
+// valid and listed deterministically.
+func TestCommittedScenarios(t *testing.T) {
+	all := Scenarios()
+	if len(all) < 2 {
+		t.Fatalf("want at least the two committed scenarios, have %d", len(all))
+	}
+	for _, sc := range all {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("committed scenario %s invalid: %v", sc.Name, err)
+		}
+		got, ok := ScenarioByName(sc.Name)
+		if !ok || !reflect.DeepEqual(got, sc) {
+			t.Errorf("ScenarioByName(%s) diverges from Scenarios()", sc.Name)
+		}
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Error("Scenarios() not sorted by name")
+		}
+	}
+	if _, ok := ScenarioByName("scan_stream"); !ok {
+		t.Error("scan_stream missing from registry")
+	}
+	if _, ok := ScenarioByName("servd_closed"); !ok {
+		t.Error("servd_closed missing from registry")
+	}
+}

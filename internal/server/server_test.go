@@ -15,6 +15,7 @@ import (
 
 	"swfpga/internal/search"
 	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
 )
 
 // testDB builds a deterministic database.
@@ -339,4 +340,64 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition not reached within 10s")
+}
+
+// TestMetricsExposeBuildProvenance pins what swload's HTTP target
+// scrapes over the wire: a live daemon's /metrics carries the
+// constant-1 build_info series (with its commit label), an advancing
+// uptime gauge, and quantile series derived from the per-record
+// histogram once a search has run.
+func TestMetricsExposeBuildProvenance(t *testing.T) {
+	db := testDB(4, 400)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	body := fmt.Sprintf(`{"query":%q,"min_score":8}`, testQuery(db, 32))
+	if resp, data := post(t, ts.URL+"/v1/search", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := telemetry.ParsePrometheus(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buildKey string
+	for k := range snap {
+		if strings.HasPrefix(k, telemetry.NameBuildInfo) {
+			buildKey = k
+			break
+		}
+	}
+	if buildKey == "" {
+		t.Fatalf("/metrics carries no %s series", telemetry.NameBuildInfo)
+	}
+	if snap[buildKey] != 1 {
+		t.Errorf("%s = %g, want constant 1", buildKey, snap[buildKey])
+	}
+	name, labels, ok := telemetry.ParseSeriesKey(buildKey)
+	if !ok || name != telemetry.NameBuildInfo {
+		t.Fatalf("ParseSeriesKey(%q) = %q, %v", buildKey, name, ok)
+	}
+	commit := ""
+	for _, l := range labels {
+		if l[0] == "commit" {
+			commit = l[1]
+		}
+	}
+	if commit == "" {
+		t.Errorf("build_info has no commit label: %v", labels)
+	}
+	if snap[telemetry.NameUptimeSeconds] <= 0 {
+		t.Errorf("%s = %g, want > 0", telemetry.NameUptimeSeconds, snap[telemetry.NameUptimeSeconds])
+	}
+	if _, ok := snap[telemetry.NameRecordSeconds+"_p50"]; !ok {
+		t.Errorf("/metrics carries no %s_p50 quantile after a search", telemetry.NameRecordSeconds)
+	}
 }

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors the uptime gauge. Capturing it at package init
+// is close enough to exec for every consumer: the daemon registers
+// telemetry before it listens, and the load harness only needs to tell
+// a fresh process from a long-lived one.
+var processStart = time.Now()
+
+// BuildCommit returns the VCS revision stamped into the binary by the
+// Go toolchain, truncated to 12 hex digits, with a "-dirty" suffix when
+// the working tree was modified. Binaries built outside a VCS checkout
+// (go test, bazel sandboxes) report "unknown".
+func BuildCommit() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// Build-provenance instruments, registered alongside the pipeline
+// metrics so every tool that serves /metrics (swservd above all)
+// identifies the exact binary and how long it has been up. BENCH_*.json
+// baselines stamp both so a perf trajectory can never silently mix
+// binaries.
+var (
+	// BuildInfo is the constant-1 series carrying the commit and the Go
+	// toolchain version as labels.
+	BuildInfo = Default().NewInfo(
+		NameBuildInfo,
+		"build metadata: constant 1, labels carry the VCS commit and Go version",
+		[][2]string{{"commit", BuildCommit()}, {"go_version", runtime.Version()}})
+	// Uptime reports seconds since process start at observation time.
+	Uptime = Default().NewGaugeFunc(
+		NameUptimeSeconds,
+		"seconds since process start",
+		func() float64 { return time.Since(processStart).Seconds() })
+)

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBuildInfoRegistered checks the provenance instruments are live in
+// the default registry: build_info with its two labels, uptime strictly
+// positive and advancing.
+func TestBuildInfoRegistered(t *testing.T) {
+	snap := Default().Snapshot()
+	var key string
+	for k := range snap {
+		if strings.HasPrefix(k, NameBuildInfo) {
+			key = k
+		}
+	}
+	if key == "" {
+		t.Fatalf("snapshot carries no %s series", NameBuildInfo)
+	}
+	if snap[key] != 1 {
+		t.Errorf("%s = %g, want constant 1", key, snap[key])
+	}
+	name, labels, ok := ParseSeriesKey(key)
+	if !ok || name != NameBuildInfo {
+		t.Fatalf("ParseSeriesKey(%q) = %q %v %v", key, name, labels, ok)
+	}
+	got := map[string]string{}
+	for _, kv := range labels {
+		got[kv[0]] = kv[1]
+	}
+	if got["commit"] == "" || got["go_version"] == "" {
+		t.Errorf("build_info labels = %v, want commit and go_version", got)
+	}
+	if got["commit"] != BuildCommit() {
+		t.Errorf("commit label %q diverges from BuildCommit() %q", got["commit"], BuildCommit())
+	}
+
+	up := snap[NameUptimeSeconds]
+	if up <= 0 {
+		t.Errorf("%s = %g, want > 0", NameUptimeSeconds, up)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if later := Uptime.Value(); later <= up {
+		t.Errorf("uptime did not advance: %g then %g", up, later)
+	}
+}
+
+// TestBuildInfoSurvivesReset pins the reset semantics: provenance is
+// process metadata, not run state, so a registry reset must not blank
+// it.
+func TestBuildInfoSurvivesReset(t *testing.T) {
+	Default().Reset()
+	snap := Default().Snapshot()
+	found := false
+	for k, v := range snap {
+		if strings.HasPrefix(k, NameBuildInfo) && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("build_info lost after Reset")
+	}
+	if snap[NameUptimeSeconds] <= 0 {
+		t.Error("uptime lost after Reset")
+	}
+	if len(BuildInfo.Labels()) != 2 {
+		t.Errorf("BuildInfo.Labels() = %v", BuildInfo.Labels())
+	}
+}

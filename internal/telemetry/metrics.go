@@ -85,8 +85,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // Snapshot returns the current value of every series, keyed by its
-// exposition name (histograms contribute _sum/_count plus quantile
-// summaries). The expvar sink and the run manifest render this map.
+// exposition name (histograms contribute _sum/_count plus the
+// _p50/_p95/_p99 quantile series). The expvar sink, the run manifest
+// and the load harness render this map.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.Lock()
 	ms := append([]metric(nil), r.ordered...)
@@ -94,6 +95,19 @@ func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64, len(ms))
 	for _, m := range ms {
 		m.snapshot(out)
+	}
+	return out
+}
+
+// Diff returns after-minus-before for every series present in after; a
+// series missing from before counts from zero (it was registered or
+// first observed mid-run). Counter deltas are the work a run performed;
+// gauge and quantile deltas are point-in-time movements and are
+// reported as-is — the consumer decides which keys mean what.
+func Diff(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
 	}
 	return out
 }
@@ -428,12 +442,24 @@ func (h *Histogram) reset() {
 	h.sum.Store(0)
 	h.count.Store(0)
 }
+// histogramQuantiles are the quantile series every histogram derives:
+// suffix of the exposition/snapshot key and the quantile it estimates.
+var histogramQuantiles = []struct {
+	suffix string
+	q      float64
+}{
+	{"_p50", 0.50},
+	{"_p95", 0.95},
+	{"_p99", 0.99},
+}
+
 func (h *Histogram) snapshot(out map[string]float64) {
 	out[h.name+"_count"] = float64(h.count.Load())
 	out[h.name+"_sum"] = h.Sum()
 	if h.count.Load() > 0 {
-		out[h.name+"_p50"] = h.Quantile(0.5)
-		out[h.name+"_p99"] = h.Quantile(0.99)
+		for _, hq := range histogramQuantiles {
+			out[h.name+hq.suffix] = h.Quantile(hq.q)
+		}
 	}
 }
 func (h *Histogram) expose(w io.Writer) error {
@@ -448,10 +474,111 @@ func (h *Histogram) expose(w io.Writer) error {
 	fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
 	fmt.Fprintf(&b, "%s_sum %g\n", h.name, h.Sum())
 	fmt.Fprintf(&b, "%s_count %d\n", h.name, h.count.Load())
+	// Derived quantile series (untyped, no metadata block): scrapers and
+	// the load harness read latency percentiles without reconstructing
+	// them from buckets. Emitted under the same condition as snapshot so
+	// the text form parses back to exactly the Snapshot map.
+	if h.count.Load() > 0 {
+		for _, hq := range histogramQuantiles {
+			fmt.Fprintf(&b, "%s%s %g\n", h.name, hq.suffix, h.Quantile(hq.q))
+		}
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
 func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
+}
+
+// Info is a constant-1 series whose payload is its label set — the
+// Prometheus build-metadata convention (name ends in _info). Labels are
+// fixed at registration: process metadata does not change at runtime,
+// and a mutable label set would fork the series.
+type Info struct {
+	name, help string
+	labels     [][2]string
+	key        string
+}
+
+// NewInfo registers a constant-1 info series with the given ordered
+// label pairs.
+func (r *Registry) NewInfo(name, help string, labels [][2]string) *Info {
+	i := &Info{name: name, help: help,
+		labels: append([][2]string(nil), labels...)}
+	i.key = seriesKey(name, i.labels)
+	r.register(i)
+	return i
+}
+
+// Labels returns the label pairs in declaration order.
+func (i *Info) Labels() [][2]string { return append([][2]string(nil), i.labels...) }
+
+func (i *Info) metricName() string { return i.name }
+
+// reset keeps the labels: registrations survive test resets, and the
+// metadata an Info carries describes the process, not a run.
+func (i *Info) reset() {}
+
+func (i *Info) snapshot(out map[string]float64) { out[i.key] = 1 }
+
+func (i *Info) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s 1\n",
+		i.name, i.help, i.name, i.key)
+	return err
+}
+
+// GaugeFunc is a gauge whose value is computed at observation time
+// (uptime, derived ratios). The function must be safe for concurrent
+// calls and must not block.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a computed gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	if fn == nil {
+		panic("telemetry: gauge func " + name + " needs a non-nil function")
+	}
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+// Value computes the current value.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) metricName() string { return g.name }
+
+// reset is a no-op: the value is derived, not accumulated.
+func (g *GaugeFunc) reset() {}
+
+func (g *GaugeFunc) snapshot(out map[string]float64) { out[g.name] = g.fn() }
+
+func (g *GaugeFunc) expose(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+		g.name, g.help, g.name, g.name, g.fn())
+	return err
+}
+
+// seriesKey renders the canonical series key: the bare name without
+// labels, otherwise name{k1="v1",k2="v2"} with labels in the given
+// order — the exact spelling the exposition writes and Snapshot uses,
+// so parsed scrapes and in-process snapshots key identically.
+func seriesKey(name string, labels [][2]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }

@@ -110,7 +110,7 @@ func TestHistogramQuantileVsExact(t *testing.T) {
 			xs[i] = draw()
 			h.Observe(xs[i])
 		}
-		for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
 			exact := stats.Quantile(xs, q)
 			est := h.Quantile(q)
 			// One bucket width of slack, plus the tail bucket clamp.
@@ -118,6 +118,48 @@ func TestHistogramQuantileVsExact(t *testing.T) {
 				t.Errorf("%s q%.2f: histogram %.4f vs exact %.4f (diff %.4f)",
 					name, q, est, exact, diff)
 			}
+		}
+	}
+}
+
+// TestHistogramSnapshotQuantiles pins the derived quantile series: the
+// snapshot (and therefore the exposition, via the round-trip test)
+// carries _p50/_p95/_p99 keys whose values are exactly Quantile's
+// estimates, and only once the histogram has samples.
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("snapq_seconds", "latency", LinearBounds(0.25, 0.25, 48))
+	empty := r.Snapshot()
+	for _, k := range []string{"snapq_seconds_p50", "snapq_seconds_p95", "snapq_seconds_p99"} {
+		if _, ok := empty[k]; ok {
+			t.Errorf("empty histogram must not emit %s", k)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		h.Observe(xs[i])
+	}
+	snap := r.Snapshot()
+	for _, tc := range []struct {
+		key string
+		q   float64
+	}{
+		{"snapq_seconds_p50", 0.50},
+		{"snapq_seconds_p95", 0.95},
+		{"snapq_seconds_p99", 0.99},
+	} {
+		got, ok := snap[tc.key]
+		if !ok {
+			t.Fatalf("snapshot missing %s", tc.key)
+		}
+		if got != h.Quantile(tc.q) {
+			t.Errorf("%s = %g, want Quantile(%g) = %g", tc.key, got, tc.q, h.Quantile(tc.q))
+		}
+		// And within a bucket width of the exact order statistic.
+		if exact := stats.Quantile(xs, tc.q); got < exact-0.26 || got > exact+0.26 {
+			t.Errorf("%s = %g, exact %g", tc.key, got, exact)
 		}
 	}
 }

@@ -85,6 +85,15 @@ const (
 	// NameServerSeconds is the request wall-latency histogram.
 	NameServerSeconds = "swfpga_server_request_seconds"
 
+	// NameBuildInfo is the constant-1 build-metadata series; its labels
+	// carry the VCS commit and the Go toolchain version, so every
+	// BENCH_*.json baseline and every scrape can be tied to the exact
+	// binary that produced it.
+	NameBuildInfo = "swfpga_build_info"
+	// NameUptimeSeconds gauges seconds since process start — the load
+	// harness uses it to confirm it scraped a fresh daemon.
+	NameUptimeSeconds = "swfpga_uptime_seconds"
+
 	// NameExpvarMetrics is the expvar key the registry snapshot is
 	// published under on /debug/vars.
 	NameExpvarMetrics = "swfpga_metrics"
@@ -139,6 +148,7 @@ func RegisteredNames() []string {
 		NameServerInflight, NameServerQueueDepth, NameServerRequests,
 		NameServerShed, NameServerDegraded, NameServerBreakerState,
 		NameServerDrains, NameServerStalls, NameServerSeconds,
+		NameBuildInfo, NameUptimeSeconds,
 		NameExpvarMetrics,
 		SpanSearch, SpanSearchBatch, SpanSearchRecord, SpanSearchParse,
 		SpanHostPipeline, SpanHostRetrieve, SpanDeviceScan,

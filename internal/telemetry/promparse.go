@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the text exposition: a minimal parser
+// for the format WritePrometheus produces, returning series keyed
+// exactly like Registry.Snapshot. The load harness uses it to scrape a
+// live swservd and diff the scrape against a later one with Diff — the
+// remote spelling of the in-process before/after snapshot.
+//
+// Scope is deliberately the subset this repository emits: one series
+// per line, optional HELP/TYPE comment lines, Go-quoted label values,
+// an optional trailing timestamp. Histogram _bucket series are dropped
+// (Snapshot does not carry them; the derived _p50/_p95/_p99 series do
+// the percentile duty), so a parse of a scrape compares key-for-key
+// with a Snapshot of the same registry.
+
+// ParsePrometheus reads a text exposition and returns its series values
+// keyed like Registry.Snapshot: bare metric names, or
+// name{label="value",...} with labels in exposition order. Comment and
+// blank lines are skipped; _bucket series are dropped. A malformed line
+// fails the whole parse — a scrape either round-trips or is rejected.
+func ParsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, err := parseSeriesLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: exposition line %d: %w", lineNo, err)
+		}
+		if key == "" {
+			continue // dropped series (histogram bucket)
+		}
+		out[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: exposition: %w", err)
+	}
+	return out, nil
+}
+
+// parseSeriesLine parses `name[{labels}] value [timestamp]`, returning
+// the canonical snapshot key and the value. Bucket series return an
+// empty key.
+func parseSeriesLine(line string) (string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return "", 0, fmt.Errorf("no metric name in %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+
+	var labels [][2]string
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", 0, fmt.Errorf("series %s: %w", name, err)
+		}
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", 0, fmt.Errorf("series %s: want `value [timestamp]`, got %q", name, rest)
+	}
+	value, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("series %s: value %q: %w", name, fields[0], err)
+	}
+	if strings.HasSuffix(name, "_bucket") {
+		return "", 0, nil
+	}
+	return seriesKey(name, labels), value, nil
+}
+
+// parseLabels consumes `k="v",...}` (the opening brace already eaten)
+// and returns the pairs plus the unconsumed tail of the line.
+func parseLabels(s string) ([][2]string, string, error) {
+	var labels [][2]string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = strings.TrimLeft(s[eq+1:], " \t")
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: value is not quoted", key)
+		}
+		val, rest, err := unquoteLabelValue(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		labels = append(labels, [2]string{key, val})
+		s = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// unquoteLabelValue parses one double-quoted, backslash-escaped label
+// value starting at s[0] == '"', returning the value and the tail after
+// the closing quote.
+func unquoteLabelValue(s string) (string, string, error) {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '"':
+			val, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return val, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// ParseSeriesKey splits a snapshot/exposition key back into its metric
+// name and label pairs — the inverse of the keying Snapshot and
+// ParsePrometheus apply. ok is false when the key is not in canonical
+// form.
+func ParseSeriesKey(key string) (name string, labels [][2]string, ok bool) {
+	brace := strings.IndexByte(key, '{')
+	if brace < 0 {
+		return key, nil, key != ""
+	}
+	labels, rest, err := parseLabels(key[brace+1:])
+	if err != nil || strings.TrimSpace(rest) != "" {
+		return "", nil, false
+	}
+	return key[:brace], labels, brace > 0
+}

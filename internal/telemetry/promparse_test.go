@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fullRegistry builds a registry exercising every metric kind with
+// non-trivial values. The GaugeFunc is constant so the exposition and a
+// later Snapshot agree.
+func fullRegistry() *Registry {
+	r := NewRegistry()
+	c := r.NewCounter("rt_total", "counter")
+	c.Add(7)
+	f := r.NewFloatCounter("rt_seconds_total", "float counter")
+	f.Add(1.25)
+	g := r.NewGauge("rt_gauge", "gauge")
+	g.Set(-3.5)
+	v := r.NewCounterVec("rt_by_class", "vec", "class")
+	v.With("pci").Add(2)
+	v.With("hang").Add(9)
+	h := r.NewHistogram("rt_hist_seconds", "hist", []float64{0.1, 1, 10})
+	for _, x := range []float64{0.05, 0.5, 0.7, 5, 100} {
+		h.Observe(x)
+	}
+	r.NewInfo("rt_build_info", "info", [][2]string{
+		{"commit", "abc123"}, {"go_version", "go1.99"},
+	})
+	r.NewGaugeFunc("rt_func_gauge", "computed", func() float64 { return 42.5 })
+	return r
+}
+
+// TestPrometheusRoundTrip is the contract the load harness depends on:
+// WritePrometheus → ParsePrometheus must reproduce Snapshot exactly,
+// for every metric kind at once.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := fullRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\nexposition:\n%s", err, b.String())
+	}
+	snap := r.Snapshot()
+	if !reflect.DeepEqual(parsed, snap) {
+		t.Errorf("parsed scrape diverges from Snapshot\nparsed:   %v\nsnapshot: %v\nexposition:\n%s",
+			parsed, snap, b.String())
+	}
+	// The quantile series must have survived the trip (count > 0).
+	for _, k := range []string{"rt_hist_seconds_p50", "rt_hist_seconds_p95", "rt_hist_seconds_p99"} {
+		if _, ok := parsed[k]; !ok {
+			t.Errorf("parsed scrape missing quantile series %s", k)
+		}
+	}
+	// Bucket series are exposition-only and must have been dropped.
+	for k := range parsed {
+		if strings.Contains(k, "_bucket") {
+			t.Errorf("parsed scrape kept bucket series %s", k)
+		}
+	}
+}
+
+// TestPrometheusRoundTripDefaultRegistry parses an exposition of the
+// process-global registry — the exact bytes a swservd scrape returns —
+// against its snapshot, masking only the series whose value moves
+// between the two calls (uptime).
+func TestPrometheusRoundTripDefaultRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Default().Snapshot()
+	delete(parsed, NameUptimeSeconds)
+	delete(snap, NameUptimeSeconds)
+	if len(parsed) != len(snap) {
+		t.Errorf("parsed %d series, snapshot has %d", len(parsed), len(snap))
+	}
+	for k, v := range snap {
+		if parsed[k] != v {
+			t.Errorf("series %s: parsed %v, snapshot %v", k, parsed[k], v)
+		}
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"just_a_name",
+		"name{unterminated=\"x\" 3",
+		"name{k=unquoted} 3",
+		"name not_a_number",
+		"name 1 2 3",
+		"{__name__=\"x\"} 1",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("line %q: want parse error, got none", bad)
+		}
+	}
+}
+
+func TestParsePrometheusTimestampAndEscapes(t *testing.T) {
+	in := "esc{msg=\"a \\\"b\\\" c\"} 2.5 1700000000\n"
+	got, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{`esc{msg="a \"b\" c"}` : 2.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseSeriesKey(t *testing.T) {
+	name, labels, ok := ParseSeriesKey(`m{a="1",b="two words"}`)
+	if !ok || name != "m" || len(labels) != 2 ||
+		labels[0] != [2]string{"a", "1"} || labels[1] != [2]string{"b", "two words"} {
+		t.Errorf("ParseSeriesKey = %q %v %v", name, labels, ok)
+	}
+	if name, labels, ok := ParseSeriesKey("bare_metric"); !ok || name != "bare_metric" || labels != nil {
+		t.Errorf("bare key = %q %v %v", name, labels, ok)
+	}
+	if _, _, ok := ParseSeriesKey(`m{a="1"`); ok {
+		t.Error("unterminated key must not parse")
+	}
+	if _, _, ok := ParseSeriesKey(""); ok {
+		t.Error("empty key must not parse")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	before := map[string]float64{"a": 3, "b": 10, "gone": 5}
+	after := map[string]float64{"a": 8, "b": 10, "new": 2}
+	got := Diff(before, after)
+	want := map[string]float64{"a": 5, "b": 0, "new": 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Perf-trajectory smoke (DESIGN.md §12): runs both committed load
+# scenarios with swload and gates them against the baselines in
+# baselines/ — the library streaming scan in-process, and the daemon
+# scenario against a real swservd on an ephemeral port serving the
+# scenario's own database. Finally perturbs a fresh report and checks
+# the gate actually fails (exit 2) with a readable per-metric verdict.
+# Run via `make load-smoke` (part of `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill -9 "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "load-smoke: $*" >&2
+	if [ -f "$work/stderr.log" ]; then
+		echo "--- swservd stderr ---" >&2
+		cat "$work/stderr.log" >&2 || true
+	fi
+	exit 1
+}
+
+go build -o "$work/swload" ./cmd/swload
+go build -o "$work/swservd" ./cmd/swservd
+
+# Leg 1: library target, streaming scan, gated against the committed
+# baseline.
+"$work/swload" -scenario scan_stream \
+	-out "$work/BENCH_scan_stream.json" \
+	-compare baselines/BENCH_scan_stream.json \
+	>"$work/scan_stream.verdict" 2>"$work/scan_stream.log" ||
+	fail "scan_stream regressed against its baseline: $(cat "$work/scan_stream.verdict")"
+grep -q '^ok: ' "$work/scan_stream.verdict" || fail "scan_stream verdict missing ok line"
+
+# Leg 2: the daemon scenario against a live swservd serving the
+# scenario's own database (byte-identical to what the harness expects).
+"$work/swload" -scenario servd_closed -write-db "$work/db.fa" 2>>"$work/scan_stream.log"
+"$work/swservd" -addr 127.0.0.1:0 -db "$work/db.fa" \
+	>"$work/stdout.log" 2>"$work/stderr.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+	addr="$(sed -n 's/^swservd: listening on //p' "$work/stderr.log" | head -n 1)"
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || fail "swservd exited before announcing the endpoint"
+	sleep 0.1
+done
+[ -n "$addr" ] || fail "no 'swservd: listening on' line within 10s"
+
+"$work/swload" -scenario servd_closed -target http -addr "http://$addr" \
+	-out "$work/BENCH_servd_closed.json" \
+	-compare baselines/BENCH_servd_closed.json \
+	>"$work/servd_closed.verdict" 2>"$work/servd_closed.log" ||
+	fail "servd_closed regressed against its baseline: $(cat "$work/servd_closed.verdict")"
+grep -q '^ok: ' "$work/servd_closed.verdict" || fail "servd_closed verdict missing ok line"
+
+# The report must stamp the daemon's scraped build provenance.
+grep -q '"target_commit"' "$work/BENCH_servd_closed.json" ||
+	fail "servd_closed report lost the scraped target commit"
+
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || fail "swservd exited $rc on SIGTERM, want 0"
+
+# Leg 3: the gate itself. Inflate the fresh scan_stream report's p50 by
+# three orders of magnitude and check the file-vs-file comparison fails
+# with exit 2 and a per-metric REGRESSION verdict.
+awk 'BEGIN { hit = 0 }
+	/"latency_p50_seconds": \{/ { hit = 1 }
+	hit == 1 && /"value":/ { sub(/"value":[^,]*/, "\"value\": 99999"); hit = 2 }
+	{ print }' "$work/BENCH_scan_stream.json" >"$work/BENCH_bad.json"
+cmp -s "$work/BENCH_scan_stream.json" "$work/BENCH_bad.json" &&
+	fail "perturbation did not change the report"
+rc=0
+"$work/swload" -compare "$work/BENCH_scan_stream.json" -current "$work/BENCH_bad.json" \
+	>"$work/bad.verdict" 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "perturbed report exited $rc, want 2: $(cat "$work/bad.verdict")"
+grep -q '^REGRESSION: ' "$work/bad.verdict" || fail "perturbed verdict carries no REGRESSION line"
+grep -q 'latency_p50_seconds.*FAIL' "$work/bad.verdict" || fail "perturbed verdict does not name the offending metric"
+
+echo "load-smoke: ok (scan_stream + servd_closed within tolerance, gate trips on injected regression)"
