@@ -19,11 +19,12 @@ FUZZ_TARGETS := \
 	internal/seq:FuzzPackedRoundTrip \
 	internal/seq:FuzzFASTARoundTrip \
 	internal/seq:FuzzScanReadAgree \
+	internal/seq:FuzzShardHeaderDecode \
 	internal/systolic:FuzzArrayMatchesSoftware \
 	internal/systolic:FuzzAffineArrayMatchesGotoh \
 	internal/server:FuzzDecodeRequest
 
-.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke fuzz-smoke check
+.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke index-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -85,6 +86,13 @@ servd-smoke:
 load-smoke:
 	bash scripts/load_smoke.sh
 
+# Shard-index smoke (DESIGN.md §13): multi-shard swindex build,
+# byte-identical hits across the FASTA, indexed-streaming and merge-tier
+# scan paths, corruption refusal, and the env-gated parse-elimination +
+# heap-budget gate.
+index-smoke:
+	bash scripts/index_smoke.sh
+
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; fn=$${t##*:}; \
@@ -92,4 +100,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke
+check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke index-smoke

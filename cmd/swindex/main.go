@@ -1,0 +1,146 @@
+// Command swindex compiles a FASTA database into a packed shard index:
+// a manifest (<name>.swidx) plus numbered shard files holding the
+// records' canonical 2-bit images, each shard framed with a checksummed
+// header. swsearch -index and swservd -index scan the result with zero
+// parsing — records are served straight from the mapped payload.
+//
+//	swindex -db database.fa -out idx -name db
+//	swindex -db huge.fa -out idx -shard-bytes 16MiB
+//	swindex -info idx/db.swidx
+//	swindex -verify idx/db.swidx
+//
+// -info prints the manifest summary (manifest checks only); -verify
+// re-reads every shard and verifies all framing and checksums, exiting
+// nonzero on any corruption.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swfpga/internal/cliutil"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: flag parsing, mode dispatch, exit
+// code policy (0 ok, 1 error — including failed verification).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("swindex", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dbFile     = fs.String("db", "", "database FASTA file to compile")
+		outDir     = fs.String("out", ".", "directory the manifest and shards are written to")
+		name       = fs.String("name", "", "index name (default: the -db basename without extension)")
+		shardBytes = fs.String("shard-bytes", "64MiB", "target packed payload per shard")
+		info       = fs.String("info", "", "print the summary of this manifest and exit")
+		verify     = fs.String("verify", "", "fully verify this index (all framing and checksums) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "swindex:", err)
+		return 1
+	}
+
+	if *info != "" {
+		return printInfo(stdout, *info, fail)
+	}
+	if *verify != "" {
+		return verifyIndex(stdout, *verify, fail)
+	}
+	if *dbFile == "" {
+		return fail(fmt.Errorf("missing -db database file (or -info / -verify)"))
+	}
+	target, err := cliutil.ParseBytes(*shardBytes)
+	if err != nil {
+		return fail(fmt.Errorf("-shard-bytes: %w", err))
+	}
+	idxName := *name
+	if idxName == "" {
+		base := filepath.Base(*dbFile)
+		idxName = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+
+	ctx, stop := cliutil.SignalContext(context.Background())
+	defer stop()
+
+	f, err := os.Open(*dbFile)
+	if err != nil {
+		return fail(err)
+	}
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanIndexBuild)
+	span.SetStr("name", idxName)
+	man, err := seq.BuildIndex(ctx, seq.NewFASTASource(f), *outDir, idxName, seq.IndexOptions{
+		ShardPayloadBytes: target,
+		OnShard: func(si seq.ShardInfo) {
+			// One instantaneous span per sealed shard so a traced build
+			// shows its progress structure, plus the build counter.
+			_, ss := telemetry.StartSpan(ctx, telemetry.SpanIndexShard)
+			ss.SetStr("shard", si.Name)
+			ss.SetInt("records", int64(si.Records))
+			ss.SetInt("bases", si.Bases)
+			ss.SetInt("payload_bytes", si.PayloadBytes)
+			ss.End()
+			telemetry.IndexShardsBuilt.Inc()
+			fmt.Fprintf(stderr, "swindex: sealed %s: %d records, %d bases, %d payload bytes\n",
+				si.Name, si.Records, si.Bases, si.PayloadBytes)
+		},
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		span.End()
+		return fail(err)
+	}
+	span.SetInt("shards", int64(len(man.Shards)))
+	span.SetInt("records", man.Records)
+	span.SetInt("payload_bytes", man.PayloadBytes)
+	span.End()
+	fmt.Fprintf(stdout, "swindex: wrote %s: %d shards, %d records, %d bases packed into %d bytes\n",
+		seq.ManifestPath(*outDir, idxName), len(man.Shards), man.Records, man.Bases, man.PayloadBytes)
+	return 0
+}
+
+// printInfo summarizes a manifest: index totals plus the per-shard
+// table. Only the manifest's own framing and checksum are verified.
+func printInfo(stdout io.Writer, path string, fail func(error) int) int {
+	man, err := seq.ReadManifest(path)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "%s: %d shards, %d records, %d bases, %d payload bytes, longest record %d bases\n",
+		path, len(man.Shards), man.Records, man.Bases, man.PayloadBytes, man.MaxRecordLen)
+	for _, si := range man.Shards {
+		fmt.Fprintf(stdout, "  %s: %d records, %d bases, %d payload bytes\n",
+			si.Name, si.Records, si.Bases, si.PayloadBytes)
+	}
+	return 0
+}
+
+// verifyIndex opens the index the way a scan would — which verifies
+// every shard's framing, header checksum (against file and manifest)
+// and payload checksum before a single record is served.
+func verifyIndex(stdout io.Writer, path string, fail func(error) int) int {
+	idx, err := seq.OpenShardIndex(path)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "%s: ok: %d shards, %d records, %d bases verified\n",
+		path, idx.Shards(), idx.Records(), idx.Bases())
+	if err := idx.Close(); err != nil {
+		return fail(err)
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"swfpga/internal/seq"
+)
+
+// writeFASTA persists a deterministic database and returns its path.
+func writeFASTA(t *testing.T, dir string, records, length int) string {
+	t.Helper()
+	g := seq.NewGenerator(17)
+	db := make([]seq.Sequence, records)
+	for i := range db {
+		db[i] = g.RandomSequence("rec", length)
+	}
+	path := filepath.Join(dir, "db.fa")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.WriteFASTA(f, 70, db...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBuildInfoVerify(t *testing.T) {
+	dir := t.TempDir()
+	fa := writeFASTA(t, dir, 9, 800)
+	out := filepath.Join(dir, "idx")
+	if err := os.Mkdir(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, "-db", fa, "-out", out, "-name", "db", "-shard-bytes", "1KiB")
+	if code != 0 {
+		t.Fatalf("build: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "9 records") {
+		t.Fatalf("build summary lacks record count: %q", stdout)
+	}
+	if !strings.Contains(stderr, "sealed") {
+		t.Fatalf("no per-shard progress on stderr: %q", stderr)
+	}
+	manifest := seq.ManifestPath(out, "db")
+
+	// The built index round-trips the database exactly.
+	idx, err := seq.OpenShardIndex(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Records() != 9 || idx.Shards() < 2 {
+		t.Fatalf("index shape: %d records in %d shards", idx.Records(), idx.Shards())
+	}
+	if err := idx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ = runCLI(t, "-info", manifest)
+	if code != 0 || !strings.Contains(stdout, "9 records") {
+		t.Fatalf("-info: exit %d, stdout %q", code, stdout)
+	}
+	code, stdout, _ = runCLI(t, "-verify", manifest)
+	if code != 0 || !strings.Contains(stdout, "ok") {
+		t.Fatalf("-verify: exit %d, stdout %q", code, stdout)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	fa := writeFASTA(t, dir, 6, 500)
+	if code, _, stderr := runCLI(t, "-db", fa, "-out", dir, "-name", "db"); code != 0 {
+		t.Fatalf("build: exit %d, stderr %q", code, stderr)
+	}
+	shard := filepath.Join(dir, "db-0000.shard")
+	raw, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(shard, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-verify", seq.ManifestPath(dir, "db"))
+	if code == 0 {
+		t.Fatal("-verify accepted a corrupt shard")
+	}
+	if !strings.Contains(stderr, "swindex:") {
+		t.Fatalf("no error report: %q", stderr)
+	}
+}
+
+func TestDefaultNameFromDB(t *testing.T) {
+	dir := t.TempDir()
+	fa := writeFASTA(t, dir, 3, 200)
+	if code, _, stderr := runCLI(t, "-db", fa, "-out", dir); code != 0 {
+		t.Fatalf("build: exit %d, stderr %q", code, stderr)
+	}
+	if _, err := os.Stat(seq.ManifestPath(dir, "db")); err != nil {
+		t.Fatalf("default name not derived from -db: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 1 {
+		t.Error("missing -db accepted")
+	}
+	if code, _, _ := runCLI(t, "-db", "x.fa", "-shard-bytes", "nonsense"); code != 1 {
+		t.Error("bad -shard-bytes accepted")
+	}
+	if code, _, _ := runCLI(t, "-info", filepath.Join(t.TempDir(), "missing.swidx")); code != 1 {
+		t.Error("missing manifest accepted")
+	}
+}

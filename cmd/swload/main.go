@@ -103,7 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var tgt load.Target
 	switch *target {
 	case "library":
-		tgt = load.NewLibraryTarget(sc, wl)
+		lt, err := load.NewLibraryTarget(ctx, sc, wl)
+		if err != nil {
+			return fail(err)
+		}
+		// An indexed scenario compiled a shard index into a temp dir;
+		// release it whatever path exits run.
+		defer func() { _ = lt.Close() }()
+		tgt = lt
 	case "http":
 		tgt = load.NewHTTPTarget(sc, *addr, nil)
 	default:
@@ -169,11 +176,11 @@ func gate(stdout io.Writer, baseline, current *load.Report, fail func(error) int
 
 func listScenarios(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "name\tarrival\tdb\tops\tconcurrency\tengine\tstream\n")
+	fmt.Fprintf(tw, "name\tarrival\tdb\tops\tconcurrency\tengine\tstream\tindexed\n")
 	for _, sc := range load.Scenarios() {
-		fmt.Fprintf(tw, "%s\t%s\t%dx%d\t%d\t%d\t%s\t%v\n",
+		fmt.Fprintf(tw, "%s\t%s\t%dx%d\t%d\t%d\t%s\t%v\t%v\n",
 			sc.Name, sc.Arrival, sc.DBRecords, sc.RecordLen,
-			sc.Operations, sc.Concurrency, sc.Engine, sc.Stream)
+			sc.Operations, sc.Concurrency, sc.Engine, sc.Stream, sc.Indexed)
 	}
 	// The report/trace streams are best-effort; tabwriter only fails if
 	// the underlying writer does.

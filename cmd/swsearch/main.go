@@ -3,6 +3,8 @@
 //
 //	swsearch -query query.fa -db database.fa -k 10 -retrieve
 //	swsearch -q ACGTACGT -db huge.fa -max-memory 64MiB
+//	swsearch -q ACGTACGT -index idx/db.swidx
+//	swsearch -q ACGTACGT -index idx/db.swidx -shard-workers 4
 //	swsearch -q ACGTACGT -db database.fa -engine systolic -elements 100
 //	swsearch -q ACGTACGT -db database.fa -engine cluster -boards 4 -fault-rate 0.05
 //	swsearch -q ACGTACGT -db database.fa -engine systolic -batch 32
@@ -13,7 +15,11 @@
 // alias for systolic. By default the database streams through a
 // bounded-memory prefetch window (-max-memory sets the budget for
 // records in flight); -stream=false, -retrieve, -translated and -batch
-// load it in memory instead. Interrupting the process (SIGINT/SIGTERM)
+// load it in memory instead. -index scans a packed shard index built by
+// swindex instead of parsing FASTA: records stream straight off the
+// mapped shards through the same bounded window, or — with
+// -shard-workers — through the scatter-gather merge tier, whose hits
+// are bit-identical to the flat scan. Interrupting the process (SIGINT/SIGTERM)
 // or exceeding -timeout cancels the scan cleanly — a deadline reached
 // mid-stream is an error, never a truncated hit list. -telemetry-addr
 // serves /metrics,
@@ -35,6 +41,7 @@ import (
 	"swfpga/internal/protein"
 	"swfpga/internal/search"
 	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +49,8 @@ func main() {
 		qArg       = flag.String("q", "", "query sequence (inline)")
 		qFile      = flag.String("query", "", "query FASTA file (first record)")
 		dbFile     = flag.String("db", "", "database FASTA file (all records)")
+		indexFile  = flag.String("index", "", "packed shard index manifest (.swidx, built by swindex) instead of -db")
+		shardWk    = flag.Int("shard-workers", 0, "with -index: shards scanned concurrently by the merge tier (0 streams record by record)")
 		topK       = flag.Int("k", 10, "hits to report (0 = all)")
 		minScore   = flag.Int("min", 1, "minimum score")
 		perRecord  = flag.Int("per-record", 1, "non-overlapping hits per record")
@@ -73,8 +82,21 @@ func main() {
 		fatal(err)
 	}
 
-	if *dbFile == "" {
-		fatal(fmt.Errorf("missing -db database file"))
+	if (*dbFile == "") == (*indexFile == "") {
+		fatal(fmt.Errorf("need exactly one of -db and -index"))
+	}
+	if *indexFile != "" {
+		// Retrieval prints record data, translation re-reads frames and
+		// batching uploads raw records: all three need the FASTA records
+		// in memory, which an index scan deliberately never holds.
+		switch {
+		case *translated:
+			fatal(fmt.Errorf("-translated needs -db (an index holds packed DNA only)"))
+		case *retrieve:
+			fatal(fmt.Errorf("-retrieve needs -db (printing alignments needs the record data)"))
+		case *batch > 1:
+			fatal(fmt.Errorf("-batch needs -db (index scans decode record by record)"))
+		}
 	}
 	if *translated {
 		db, err := seq.ReadFASTAFile(*dbFile)
@@ -140,7 +162,39 @@ func main() {
 		db      []seq.Sequence
 		records int
 	)
-	if *stream && !*retrieve && *batch <= 1 {
+	if *indexFile != "" {
+		idx, err := seq.OpenShardIndex(*indexFile)
+		if err != nil {
+			fatal(err)
+		}
+		telemetry.IndexShards.Set(float64(idx.Shards()))
+		telemetry.IndexRecords.Set(float64(idx.Records()))
+		telemetry.IndexPayloadBytes.Set(float64(idx.PayloadBytes()))
+		records = int(idx.Records())
+		if *shardWk > 0 {
+			// Scatter-gather merge tier: shards fan out across workers,
+			// per-shard top-ks merge into the pinned global order.
+			tel.Describe(fmt.Sprintf("%d BP query vs %d-shard index (merge tier)", len(query), idx.Shards()), name)
+			hits, err = search.SearchSharded(ctx, idx, query,
+				search.ShardedOptions{Options: opts, ShardWorkers: *shardWk}, factory)
+		} else {
+			// Default: the unchanged bounded-memory streaming pipeline,
+			// fed records straight off the mapped shards with no parsing.
+			budget, berr := cliutil.ParseBytes(*maxMem)
+			if berr != nil {
+				fatal(fmt.Errorf("-max-memory: %w", berr))
+			}
+			tel.Describe(fmt.Sprintf("%d BP query vs %d-shard index (budget %s)", len(query), idx.Shards(), *maxMem), name)
+			hits, err = search.Stream(ctx, idx.Source(), query,
+				search.StreamOptions{Options: opts, MaxMemoryBytes: budget}, factory)
+		}
+		if cerr := idx.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else if *stream && !*retrieve && *batch <= 1 {
 		budget, err := cliutil.ParseBytes(*maxMem)
 		if err != nil {
 			fatal(fmt.Errorf("-max-memory: %w", err))

@@ -6,8 +6,15 @@
 // the software oracle, and graceful drain on SIGINT/SIGTERM.
 //
 //	swservd -db database.fa -addr 127.0.0.1:8080
+//	swservd -index idx/db.swidx -addr 127.0.0.1:8080
 //	swservd -db huge.fa -engine faulttolerant -boards 4 -fault-rate 0.05 \
 //	        -max-memory 128MiB -queue 32 -concurrency 8
+//
+// -index serves a packed shard index built by swindex instead of
+// parsing FASTA: /v1/search scatters the mapped shards across the scan
+// workers and merges per-shard top-ks, bit-identical to the flat scan;
+// /metrics gauges the opened index (swfpga_index_shards, _records,
+// _payload_bytes).
 //
 // Endpoints: POST /v1/search, POST /v1/align, GET /v1/engines,
 // GET /healthz, plus /metrics, /debug/vars and /debug/pprof. The bound
@@ -34,6 +41,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		dbFile       = flag.String("db", "", "database FASTA file served by /v1/search")
+		indexFile    = flag.String("index", "", "packed shard index manifest (.swidx) served instead of -db")
 		maxMem       = flag.String("max-memory", "256MiB", "shared admission budget across concurrent requests")
 		queueDepth   = flag.Int("queue", 16, "requests waiting for admission before shedding with 429")
 		concurrency  = flag.Int("concurrency", 4, "requests scanned concurrently")
@@ -56,10 +64,18 @@ func main() {
 		fatal(err)
 	}
 
-	if *dbFile == "" {
-		fatal(fmt.Errorf("missing -db database file"))
+	if (*dbFile == "") == (*indexFile == "") {
+		fatal(fmt.Errorf("need exactly one of -db and -index"))
 	}
-	db, err := seq.ReadFASTAFile(*dbFile)
+	var (
+		db  []seq.Sequence
+		idx *seq.ShardIndex
+	)
+	if *indexFile != "" {
+		idx, err = seq.OpenShardIndex(*indexFile)
+	} else {
+		db, err = seq.ReadFASTAFile(*dbFile)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -68,7 +84,11 @@ func main() {
 		fatal(fmt.Errorf("-max-memory: %w", err))
 	}
 	name, ecfg := sel.Resolve()
-	tel.Describe(fmt.Sprintf("serving %d records on %s", len(db), *addr), name)
+	if idx != nil {
+		tel.Describe(fmt.Sprintf("serving %d records from %d shards on %s", idx.Records(), idx.Shards(), *addr), name)
+	} else {
+		tel.Describe(fmt.Sprintf("serving %d records on %s", len(db), *addr), name)
+	}
 
 	// The dispatcher must outlive the SIGTERM context — the whole point
 	// of the drain is finishing admitted work after the signal — so the
@@ -76,6 +96,7 @@ func main() {
 	// the accept loop below.
 	srv, err := server.New(context.Background(), server.Config{
 		DB:             db,
+		Index:          idx,
 		DefaultEngine:  name,
 		Engine:         ecfg,
 		BudgetBytes:    budget,
@@ -131,6 +152,13 @@ func main() {
 	}
 	if err := srv.Drain(dctx); err != nil {
 		fatal(fmt.Errorf("drain: %w", err))
+	}
+	if idx != nil {
+		// The index outlives the drain: in-flight scans read its mapped
+		// shards until the dispatcher joins above.
+		if err := idx.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if err := tel.Close(dctx); err != nil {
 		fatal(err)

@@ -58,7 +58,12 @@ func TestHTTPTargetAgainstLiveServer(t *testing.T) {
 	}
 
 	// Cross-check the wire against the library on the same workload.
-	lib, err := Run(context.Background(), sc, wl, NewLibraryTarget(sc, wl))
+	ltgt, err := NewLibraryTarget(context.Background(), sc, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ltgt.Close() }()
+	lib, err := Run(context.Background(), sc, wl, ltgt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package load
+
+import (
+	"context"
+	"testing"
+)
+
+// TestIndexedTargetMatchesFlat pins the indexed library target to the
+// flat one: the same scenario driven through the compiled shard index
+// produces the same total hit count as the in-memory scan — the load
+// harness inherits the merge tier's bit-identity.
+func TestIndexedTargetMatchesFlat(t *testing.T) {
+	flat := tinyScenario()
+	flat.Stream = false
+	wl, err := BuildWorkload(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sc Scenario) *Result {
+		tgt, err := NewLibraryTarget(context.Background(), sc, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = tgt.Close() }()
+		if sc.Indexed && tgt.idx == nil {
+			t.Fatal("indexed scenario built no index")
+		}
+		res, err := Run(context.Background(), sc, wl, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	indexed := flat
+	indexed.Indexed = true
+	indexed.ShardPayloadBytes = 512 // force a multi-shard layout
+	indexed.ShardWorkers = 2
+
+	fres := run(flat)
+	ires := run(indexed)
+	if fres.TotalHits != ires.TotalHits {
+		t.Fatalf("hit totals diverge: flat %d vs indexed %d", fres.TotalHits, ires.TotalHits)
+	}
+	if ires.Errors != 0 {
+		t.Fatalf("indexed run errors: %d (first: %s)", ires.Errors, ires.ErrorSample)
+	}
+}
+
+// TestScenarioValidateShardShape pins the shard-field validation.
+func TestScenarioValidateShardShape(t *testing.T) {
+	sc := tinyScenario()
+	sc.Indexed = true
+	if err := sc.Validate(); err == nil {
+		t.Error("indexed+stream accepted")
+	}
+	sc.Stream = false
+	sc.MaxMemoryBytes = 0
+	if err := sc.Validate(); err != nil {
+		t.Errorf("indexed scenario rejected: %v", err)
+	}
+	sc.ShardWorkers = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative shard workers accepted")
+	}
+	sc.ShardWorkers = 0
+	sc.Indexed = false
+	sc.ShardPayloadBytes = 1024
+	if err := sc.Validate(); err == nil {
+		t.Error("shard shape without indexed accepted")
+	}
+}

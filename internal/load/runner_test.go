@@ -17,7 +17,12 @@ func runTiny(t *testing.T, sc Scenario) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(context.Background(), sc, wl, NewLibraryTarget(sc, wl))
+	tgt, err := NewLibraryTarget(context.Background(), sc, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tgt.Close() }()
+	res, err := Run(context.Background(), sc, wl, tgt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +136,12 @@ func TestRunCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := Run(ctx, sc, wl, NewLibraryTarget(sc, wl)); err == nil {
+	tgt, err := NewLibraryTarget(context.Background(), sc, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tgt.Close() }()
+	if _, err := Run(ctx, sc, wl, tgt); err == nil {
 		t.Fatal("cancelled run must error")
 	}
 }

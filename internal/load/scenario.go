@@ -73,6 +73,16 @@ type Scenario struct {
 	Stream         bool  `json:"stream,omitempty"`
 	MaxMemoryBytes int64 `json:"max_memory_bytes,omitempty"`
 
+	// Indexed compiles the scenario database into a packed shard index
+	// once at target build and drives every operation through the
+	// scatter-gather merge tier (search.SearchSharded) — the parse-free
+	// scan path. ShardPayloadBytes is the per-shard packed target
+	// (0 = the builder default) and ShardWorkers the per-operation shard
+	// concurrency.
+	Indexed           bool  `json:"indexed,omitempty"`
+	ShardPayloadBytes int64 `json:"shard_payload_bytes,omitempty"`
+	ShardWorkers      int   `json:"shard_workers,omitempty"`
+
 	// SlowOp injects an artificial per-operation delay. It exists for
 	// the regression-gate tests (inflate latency, watch -compare fail)
 	// and is deliberately excluded from the comparability check, so a
@@ -102,6 +112,12 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("load: %s: open loop needs rate_per_sec > 0", sc.Name)
 	case sc.SlowOp < 0:
 		return fmt.Errorf("load: %s: negative slow_op", sc.Name)
+	case sc.ShardPayloadBytes < 0 || sc.ShardWorkers < 0:
+		return fmt.Errorf("load: %s: negative shard shape", sc.Name)
+	case sc.Indexed && sc.Stream:
+		return fmt.Errorf("load: %s: indexed scans stream off the shards already — pick one of indexed and stream", sc.Name)
+	case !sc.Indexed && (sc.ShardPayloadBytes != 0 || sc.ShardWorkers != 0):
+		return fmt.Errorf("load: %s: shard shape set without indexed", sc.Name)
 	}
 	for _, l := range sc.QueryLens {
 		if l <= 0 {
@@ -146,6 +162,30 @@ var scenarios = map[string]Scenario{
 		ScanWorkers:    2,
 		Stream:         true,
 		MaxMemoryBytes: 64 << 10,
+	},
+	// scan_indexed is scan_stream's database and query mix driven through
+	// the packed shard index instead of FASTA parsing: the target
+	// compiles the database once, then every operation scatter-gathers
+	// the mapped shards. Held next to BENCH_scan_stream.json it measures
+	// the parse-phase elimination on an identical workload.
+	"scan_indexed": {
+		Name:              "scan_indexed",
+		Seed:              42,
+		DBRecords:         16,
+		RecordLen:         16 << 10,
+		QueryLens:         []int{64, 96, 128},
+		QueriesPerLen:     2,
+		Operations:        24,
+		Warmup:            2,
+		Concurrency:       4,
+		Arrival:           ArrivalClosed,
+		Engine:            "software",
+		MinScore:          30,
+		TopK:              5,
+		ScanWorkers:       2,
+		Indexed:           true,
+		ShardPayloadBytes: 16 << 10,
+		ShardWorkers:      2,
 	},
 	// servd_closed drives a live swservd over HTTP in a closed loop
 	// sized under the daemon's admission capacity, so shed and degraded

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 
@@ -17,9 +18,10 @@ import (
 )
 
 // LibraryTarget drives the scan pipeline in-process: each operation is
-// one search.Stream (bounded-memory) or search.Search call against the
-// workload database, through the engine registry — the same code path
-// swservd's dispatcher takes, minus the HTTP and admission layers.
+// one search.Stream (bounded-memory), search.SearchSharded (indexed) or
+// search.Search call against the workload database, through the engine
+// registry — the same code path swservd's dispatcher takes, minus the
+// HTTP and admission layers.
 type LibraryTarget struct {
 	db      []seq.Sequence
 	dbBases int64
@@ -27,12 +29,19 @@ type LibraryTarget struct {
 	opts    search.Options
 	stream  bool
 	maxMem  int64
+
+	// idx/idxDir carry the compiled shard index of an Indexed scenario;
+	// Close releases both.
+	idx          *seq.ShardIndex
+	idxDir       string
+	shardWorkers int
 }
 
 // NewLibraryTarget builds the in-process target for sc over wl's
-// database.
-func NewLibraryTarget(sc Scenario, wl *Workload) *LibraryTarget {
-	return &LibraryTarget{
+// database. An Indexed scenario compiles the database into a packed
+// shard index under a private temp directory — Close releases it.
+func NewLibraryTarget(ctx context.Context, sc Scenario, wl *Workload) (*LibraryTarget, error) {
+	t := &LibraryTarget{
 		db:      wl.DB,
 		dbBases: sc.DBBases(),
 		factory: search.EngineFactory(sc.Engine, engine.Config{}),
@@ -41,9 +50,43 @@ func NewLibraryTarget(sc Scenario, wl *Workload) *LibraryTarget {
 			TopK:     sc.TopK,
 			Workers:  sc.ScanWorkers,
 		},
-		stream: sc.Stream,
-		maxMem: sc.MaxMemoryBytes,
+		stream:       sc.Stream,
+		maxMem:       sc.MaxMemoryBytes,
+		shardWorkers: sc.ShardWorkers,
 	}
+	if sc.Indexed {
+		dir, err := os.MkdirTemp("", "swload-index-")
+		if err != nil {
+			return nil, fmt.Errorf("load: index dir: %w", err)
+		}
+		if _, err := seq.BuildIndex(ctx, seq.SliceSource(wl.DB), dir, "db",
+			seq.IndexOptions{ShardPayloadBytes: sc.ShardPayloadBytes}); err != nil {
+			_ = os.RemoveAll(dir)
+			return nil, err
+		}
+		idx, err := seq.OpenShardIndex(seq.ManifestPath(dir, "db"))
+		if err != nil {
+			_ = os.RemoveAll(dir)
+			return nil, err
+		}
+		t.idx = idx
+		t.idxDir = dir
+	}
+	return t, nil
+}
+
+// Close releases the compiled index of an Indexed scenario (no-op
+// otherwise).
+func (t *LibraryTarget) Close() error {
+	if t.idx == nil {
+		return nil
+	}
+	err := t.idx.Close()
+	if rerr := os.RemoveAll(t.idxDir); err == nil {
+		err = rerr
+	}
+	t.idx = nil
+	return err
 }
 
 // Kind identifies the in-process target.
@@ -55,10 +98,14 @@ func (t *LibraryTarget) Do(ctx context.Context, op Op) (OpResult, error) {
 		hits []search.Hit
 		err  error
 	)
-	if t.stream {
+	switch {
+	case t.idx != nil:
+		hits, err = search.SearchSharded(ctx, t.idx, op.Query,
+			search.ShardedOptions{Options: t.opts, ShardWorkers: t.shardWorkers}, t.factory)
+	case t.stream:
 		hits, err = search.Stream(ctx, seq.SliceSource(t.db), op.Query,
 			search.StreamOptions{Options: t.opts, MaxMemoryBytes: t.maxMem}, t.factory)
-	} else {
+	default:
 		hits, err = search.Search(ctx, t.db, op.Query, t.opts, t.factory)
 	}
 	if err != nil {

@@ -225,24 +225,32 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 // independent of worker count, batching and completion order.
 func sortHits(out []Hit) {
 	sort.SliceStable(out, func(i, j int) bool {
-		a, b := &out[i], &out[j]
-		if a.Result.Score != b.Result.Score {
-			return a.Result.Score > b.Result.Score
-		}
-		if a.RecordIndex != b.RecordIndex {
-			return a.RecordIndex < b.RecordIndex
-		}
-		if a.Result.TStart != b.Result.TStart {
-			return a.Result.TStart < b.Result.TStart
-		}
-		if a.Result.SStart != b.Result.SStart {
-			return a.Result.SStart < b.Result.SStart
-		}
-		if a.Result.TEnd != b.Result.TEnd {
-			return a.Result.TEnd < b.Result.TEnd
-		}
-		return a.Result.SEnd < b.Result.SEnd
+		return hitLess(&out[i], &out[j])
 	})
+}
+
+// hitLess is the canonical order's comparison. Distinct hits always
+// differ in at least one compared field (two hits agreeing on record
+// and all four coordinates are the same alignment), so the order is
+// total — which is what lets the sharded merge tier cut each shard to
+// its local top-k and still reproduce a flat scan bit for bit.
+func hitLess(a, b *Hit) bool {
+	if a.Result.Score != b.Result.Score {
+		return a.Result.Score > b.Result.Score
+	}
+	if a.RecordIndex != b.RecordIndex {
+		return a.RecordIndex < b.RecordIndex
+	}
+	if a.Result.TStart != b.Result.TStart {
+		return a.Result.TStart < b.Result.TStart
+	}
+	if a.Result.SStart != b.Result.SStart {
+		return a.Result.SStart < b.Result.SStart
+	}
+	if a.Result.TEnd != b.Result.TEnd {
+		return a.Result.TEnd < b.Result.TEnd
+	}
+	return a.Result.SEnd < b.Result.SEnd
 }
 
 // scanBatch scans records [lo, hi) through the engine's batch fast

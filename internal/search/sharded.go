@@ -1,0 +1,190 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"swfpga/internal/engine"
+	"swfpga/internal/engine/sched"
+	"swfpga/internal/seq"
+	"swfpga/internal/telemetry"
+)
+
+// ShardedOptions controls a scatter-gather search over a packed shard
+// index.
+type ShardedOptions struct {
+	Options
+	// ShardWorkers is the number of shards scanned concurrently
+	// (default: the resolved Options.Workers). Each shard worker owns
+	// one engine and scans its shard's records sequentially, so total
+	// engine parallelism equals ShardWorkers.
+	ShardWorkers int
+}
+
+// SearchSharded scans query against every record of a packed shard
+// index: shards are scattered across workers through the shared chunk
+// scheduler, each worker keeps only its shard's top-k hits, and the
+// per-shard survivors merge under the canonical order into the global
+// ranking. Because that order is total (see hitLess), the global top-k
+// is always contained in the union of per-shard top-ks — the merged
+// result is bit-identical to Search / Stream over the equivalent flat
+// database, which the conformance suite asserts across every
+// registered engine.
+//
+// Options.Batch is ignored: sharded scans decode records one at a time
+// from the mapped payload, the per-record contract.
+func SearchSharded(ctx context.Context, idx *seq.ShardIndex, query []byte, opts ShardedOptions, newEngine Factory) ([]Hit, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("search: nil shard index")
+	}
+	o := opts.Options.withDefaults()
+	if err := o.Scoring.Validate(); err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	if newEngine == nil {
+		newEngine = EngineFactory("software", engine.Config{})
+	}
+	workers := opts.ShardWorkers
+	if workers <= 0 {
+		workers = o.Workers
+	}
+	if workers > idx.Shards() {
+		workers = idx.Shards()
+	}
+	if workers == 0 {
+		return nil, nil
+	}
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchSharded)
+	span.SetInt("shards", int64(idx.Shards()))
+	span.SetInt("records", idx.Records())
+	span.SetInt("query_len", int64(len(query)))
+	span.SetInt("workers", int64(workers))
+	defer span.End()
+
+	// One lazily-built engine per worker, exactly as in Search: a worker
+	// has at most one shard in flight, so the slot needs no lock.
+	engines := make([]engine.Engine, workers)
+	engineFor := func(w int) (engine.Engine, error) {
+		if engines[w] == nil {
+			e, err := newEngine()
+			if err != nil {
+				return nil, err
+			}
+			if e == nil {
+				return nil, fmt.Errorf("search: engine factory returned nil")
+			}
+			engines[w] = e
+		}
+		return engines[w], nil
+	}
+
+	perShard := make([][]Hit, idx.Shards())
+	err := sched.Run(ctx, idx.Shards(), sched.Config{Workers: workers}, sched.Hooks{
+		// Classify is nil: the first shard error aborts the run and
+		// cancels the in-flight scans.
+		Do: func(sctx context.Context, w int, tk sched.Task) error {
+			e, err := engineFor(w)
+			if err != nil {
+				return err
+			}
+			hs, err := scanShard(sctx, idx, tk.Index, query, o, e)
+			if err != nil {
+				return err
+			}
+			perShard[tk.Index] = hs
+			return nil
+		},
+	})
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("search: %w", cerr)
+		}
+		return nil, err
+	}
+
+	// Merge: the per-shard survivors re-rank under the same canonical
+	// order a flat scan sorts by, then the global cut applies.
+	var out []Hit
+	for _, hs := range perShard {
+		out = append(out, hs...)
+	}
+	sortHits(out)
+	if o.TopK > 0 && len(out) > o.TopK {
+		out = out[:o.TopK]
+	}
+	if o.Stats != nil {
+		for i := range out {
+			n := idx.RecordLen(int64(out[i].RecordIndex))
+			out[i].EValue = o.Stats.EValue(len(query), n, out[i].Result.Score)
+			out[i].BitScore = o.Stats.BitScore(out[i].Result.Score)
+		}
+	}
+	span.SetInt("hits", int64(len(out)))
+	return out, nil
+}
+
+// scanShard runs one shard's records through the per-record scan and
+// keeps the shard-local top-k.
+func scanShard(ctx context.Context, idx *seq.ShardIndex, si int, query []byte, opts Options, e engine.Engine) ([]Hit, error) {
+	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchShard)
+	span.SetInt("shard", int64(si))
+	span.SetInt("records", int64(idx.ShardInfo(si).Records))
+	t0 := time.Now()
+	defer func() {
+		telemetry.ShardScanSeconds.Observe(time.Since(t0).Seconds())
+		span.End()
+	}()
+	base := int(idx.ShardRecordBase(si))
+	keep := topK{k: opts.TopK}
+	src := idx.ShardSource(si)
+	for j := 0; ; j++ {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		hs, err := scanRecord(ctx, rec, base+j, query, opts, e)
+		if err != nil {
+			return nil, fmt.Errorf("search: record %q: %w", rec.ID, err)
+		}
+		keep.add(hs)
+	}
+	out := keep.final()
+	telemetry.ShardScans.Inc()
+	telemetry.ShardTopKHits.Add(int64(len(out)))
+	span.SetInt("hits", int64(len(out)))
+	return out, nil
+}
+
+// topK retains the best k hits under the canonical order (k <= 0 keeps
+// everything). Instead of a heap it accumulates and periodically
+// re-sorts at 2k+64 — the same comparison as the final merge, so the
+// retained set is exactly the k canonical-order leaders, and amortized
+// cost stays O(n log k) without a second ordering to keep consistent.
+type topK struct {
+	k    int
+	hits []Hit
+}
+
+func (t *topK) add(hs []Hit) {
+	t.hits = append(t.hits, hs...)
+	if t.k > 0 && len(t.hits) >= 2*t.k+64 {
+		sortHits(t.hits)
+		t.hits = t.hits[:t.k]
+	}
+}
+
+func (t *topK) final() []Hit {
+	sortHits(t.hits)
+	if t.k > 0 && len(t.hits) > t.k {
+		t.hits = t.hits[:t.k]
+	}
+	return t.hits
+}

@@ -1,0 +1,196 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"swfpga/internal/align"
+	"swfpga/internal/engine"
+	"swfpga/internal/evalue"
+	"swfpga/internal/seq"
+)
+
+// buildShardedDB compiles db into a multi-shard index under a temp dir
+// and opens it.
+func buildShardedDB(t *testing.T, db []seq.Sequence, shardBytes int64) *seq.ShardIndex {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := seq.BuildIndex(context.Background(), seq.SliceSource(db), dir, "db", seq.IndexOptions{ShardPayloadBytes: shardBytes}); err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	idx, err := seq.OpenShardIndex(seq.ManifestPath(dir, "db"))
+	if err != nil {
+		t.Fatalf("OpenShardIndex: %v", err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx
+}
+
+// shardedBoth runs the flat and the sharded search over the same
+// database and fails unless the hits are bit-identical.
+func shardedBoth(t *testing.T, idx *seq.ShardIndex, db []seq.Sequence, query []byte, opts ShardedOptions, f Factory) []Hit {
+	t.Helper()
+	want, err := Search(context.Background(), db, query, opts.Options, f)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	got, err := SearchSharded(context.Background(), idx, query, opts, f)
+	if err != nil {
+		t.Fatalf("SearchSharded: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SearchSharded diverges from Search:\n got %+v\nwant %+v", got, want)
+	}
+	return got
+}
+
+// TestShardedMatchesSearchAllEngines is the merge-tier conformance
+// case: for every registered backend and a spread of k values, the
+// scatter-gather scan over a multi-shard index must reproduce the flat
+// scan's hits bit for bit — scores, coordinates, order, truncation.
+func TestShardedMatchesSearchAllEngines(t *testing.T) {
+	g := seq.NewGenerator(931)
+	query := g.Random(48)
+	db := makeDB(g, query, 14, 1200, map[int]bool{1: true, 6: true, 11: true, 13: true})
+	idx := buildShardedDB(t, db, 1024) // ~4 records per shard
+	if idx.Shards() < 3 {
+		t.Fatalf("conformance wants a multi-shard layout, got %d shards", idx.Shards())
+	}
+	for _, name := range engine.Names() {
+		for _, k := range []int{0, 1, 3, 10} {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				hits := shardedBoth(t, idx, db, query,
+					ShardedOptions{Options: Options{MinScore: 20, TopK: k, Workers: 3}},
+					EngineFactory(name, engine.Config{}))
+				if len(hits) == 0 {
+					t.Fatal("no hits — conformance vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestShardedOptionSurface holds the sharded scan to the flat scan
+// across the option surface: near-best multi-hit records, retrieval,
+// stats annotation, and worker-count invariance.
+func TestShardedOptionSurface(t *testing.T) {
+	g := seq.NewGenerator(933)
+	query := g.Random(40)
+	db := makeDB(g, query, 10, 900, map[int]bool{0: true, 4: true, 7: true})
+	idx := buildShardedDB(t, db, 700)
+	shardedBoth(t, idx, db, query, ShardedOptions{
+		Options: Options{MinScore: 10, TopK: 5, PerRecord: 3},
+	}, nil)
+	shardedBoth(t, idx, db, query, ShardedOptions{
+		Options: Options{MinScore: 20, Retrieve: true},
+	}, nil)
+	params, err := evalue.CalibrateGapped(align.DefaultLinear(), 40, 900, 30, 934)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := shardedBoth(t, idx, db, query, ShardedOptions{
+		Options: Options{MinScore: 5, Stats: &params},
+	}, nil)
+	if hits[0].EValue == 0 || hits[0].BitScore == 0 {
+		t.Errorf("sharded stats not annotated: %+v", hits[0])
+	}
+	// The merged ranking is pinned: any shard-worker count produces the
+	// same bytes.
+	want, err := SearchSharded(context.Background(), idx, query, ShardedOptions{Options: Options{MinScore: 10, TopK: 4}, ShardWorkers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 16} {
+		got, err := SearchSharded(context.Background(), idx, query, ShardedOptions{Options: Options{MinScore: 10, TopK: 4}, ShardWorkers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ShardWorkers=%d changed the ranking", w)
+		}
+	}
+}
+
+// TestStreamOverShardSource drives the unchanged streaming pipeline
+// from a shard index source: the RecordSource seam means Stream and its
+// byte budgeting work on packed shards with zero parsing, bit-identical
+// to the in-memory search.
+func TestStreamOverShardSource(t *testing.T) {
+	g := seq.NewGenerator(935)
+	query := g.Random(48)
+	db := makeDB(g, query, 12, 1100, map[int]bool{2: true, 9: true})
+	idx := buildShardedDB(t, db, 1024)
+	want, err := Search(context.Background(), db, query, Options{MinScore: 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Stream(context.Background(), idx.Source(), query,
+		StreamOptions{Options: Options{MinScore: 20}, MaxMemoryBytes: 3000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stream over ShardSource diverges from Search:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	g := seq.NewGenerator(936)
+	db := makeDB(g, g.Random(30), 3, 400, nil)
+	idx := buildShardedDB(t, db, 0)
+	if _, err := SearchSharded(context.Background(), nil, []byte("ACGT"), ShardedOptions{}, nil); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if _, err := SearchSharded(context.Background(), idx, nil, ShardedOptions{}, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestShardedEmptyIndex(t *testing.T) {
+	idx := buildShardedDB(t, nil, 0)
+	hits, err := SearchSharded(context.Background(), idx, []byte("ACGT"), ShardedOptions{}, nil)
+	if err != nil || hits != nil {
+		t.Fatalf("empty index: hits=%v err=%v", hits, err)
+	}
+}
+
+func TestShardedCancelled(t *testing.T) {
+	g := seq.NewGenerator(937)
+	db := makeDB(g, g.Random(30), 6, 800, nil)
+	idx := buildShardedDB(t, db, 512)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchSharded(ctx, idx, g.Random(30), ShardedOptions{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestTopKCut pins the compaction container: it must retain exactly
+// the canonical-order leaders however hits arrive.
+func TestTopKCut(t *testing.T) {
+	mk := func(score, rec int) Hit {
+		return Hit{RecordIndex: rec, Result: align.Result{Score: score}}
+	}
+	var all []Hit
+	for i := 0; i < 500; i++ {
+		all = append(all, mk(i%97, i))
+	}
+	keep := topK{k: 7}
+	for i := 0; i < len(all); i += 3 {
+		end := i + 3
+		if end > len(all) {
+			end = len(all)
+		}
+		keep.add(all[i:end])
+	}
+	got := keep.final()
+	want := append([]Hit(nil), all...)
+	sortHits(want)
+	want = want[:7]
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("topK cut diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -51,13 +51,48 @@ func (p Packed) CodeAt(i int) byte {
 // BaseAt returns the ASCII base at index i.
 func (p Packed) BaseAt(i int) byte { return baseOf[p.CodeAt(i)] }
 
+// unpackLUT expands one packed word (four 2-bit codes) to four ASCII
+// bases in a single lookup — the shard reader decodes every record it
+// serves through Unpack, so the per-base shift/mask loop is a hot path.
+var unpackLUT = func() (t [256][4]byte) {
+	for w := range t {
+		for i := 0; i < 4; i++ {
+			t[w][i] = baseOf[(w>>uint(2*i))&3]
+		}
+	}
+	return
+}()
+
 // Unpack expands the packed sequence back to ASCII bases.
 func (p Packed) Unpack() []byte {
 	out := make([]byte, p.n)
-	for i := 0; i < p.n; i++ {
+	i := 0
+	for ; i+4 <= p.n; i += 4 {
+		lut := &unpackLUT[p.words[i>>2]]
+		out[i], out[i+1], out[i+2], out[i+3] = lut[0], lut[1], lut[2], lut[3]
+	}
+	for ; i < p.n; i++ {
 		out[i] = baseOf[(p.words[i/4]>>uint(2*(i%4)))&3]
 	}
 	return out
+}
+
+// PackedView wraps an existing canonical 2-bit image — for example one
+// record's slice of a shard payload — as a Packed without copying.
+// words must hold exactly (n+3)/4 bytes with every tail bit past base n
+// zero (the form Pack produces); anything else is rejected so a corrupt
+// image cannot smuggle in a non-canonical state. The caller must not
+// mutate words afterwards.
+func PackedView(words []byte, n int) (Packed, error) {
+	if n < 0 || len(words) != (n+3)/4 {
+		return Packed{}, fmt.Errorf("seq: packed view: %d bytes cannot hold exactly %d bases", len(words), n)
+	}
+	if r := n % 4; r != 0 {
+		if tail := words[len(words)-1] &^ (byte(1<<uint(2*r)) - 1); tail != 0 {
+			return Packed{}, fmt.Errorf("seq: packed view: nonzero tail bits %#02x past base %d", tail, n)
+		}
+	}
+	return Packed{words: words, n: n}, nil
 }
 
 // Slice returns a packed copy of bases [lo, hi). A byte-aligned lower

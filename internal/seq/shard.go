@@ -1,0 +1,405 @@
+package seq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+	"path/filepath"
+	"strings"
+)
+
+// Shard format v1 — the persistent packed database layout produced by
+// swindex and scanned by ShardIndex. All integers are little-endian.
+//
+//	shard file <name>-NNNN.shard
+//	  magic   [8]byte "SWSHRD1\n"
+//	  hdrLen  u32     byte length of the header block
+//	  header  [hdrLen]byte
+//	  hdrCRC  u32     CRC-32C of the header block
+//	  payload [payloadBytes]byte  concatenated per-record 2-bit images
+//
+//	header block
+//	  recordCount  u32
+//	  bases        u64  total bases across the shard's records
+//	  payloadBytes u64  byte length of the payload region
+//	  maxRecordLen u64  longest record, in bases (0 when empty)
+//	  payloadCRC   u32  CRC-32C of the payload region
+//	  hist         [16]u64  record-length histogram, bucket = bit length
+//	  records ×  { idLen u32; id [idLen]byte; bases u64 }
+//
+// Each record's payload is its canonical Pack image: exactly
+// (bases+3)/4 bytes, byte-aligned, tail bits past the last base zero.
+// Record payload offsets are not stored — they are the running sum of
+// the packed sizes, revalidated against payloadBytes at decode, so a
+// single corrupt length cannot silently shift the whole table.
+//
+//	manifest file <name>.swidx
+//	  magic   [8]byte "SWMANI1\n"
+//	  bodyLen u32
+//	  body    [bodyLen]byte
+//	  bodyCRC u32  CRC-32C of the body
+//
+//	body
+//	  shardCount   u32
+//	  records      u64
+//	  bases        u64
+//	  payloadBytes u64
+//	  maxRecordLen u64
+//	  shards × { nameLen u32; name [nameLen]byte; records u32;
+//	             bases u64; payloadBytes u64; headerCRC u32 }
+//
+// Checksum policy: the manifest body, each shard header, and each shard
+// payload carry independent CRC-32C checksums; every one is verified at
+// OpenShardIndex before a single record is served, and the manifest
+// additionally pins each shard's header CRC so a shard file cannot be
+// swapped for a different (even self-consistent) one.
+const (
+	shardMagic   = "SWSHRD1\n"
+	manifestMagic = "SWMANI1\n"
+
+	// ManifestExt is the manifest filename extension; shard files sit
+	// next to the manifest as <name>-NNNN.shard.
+	ManifestExt = ".swidx"
+
+	shardHistBuckets = 16
+
+	// Decode ceilings: every length field is checked against these
+	// before any allocation, so a corrupt or hostile header cannot make
+	// the decoder allocate beyond a small multiple of its input size.
+	maxShardHeaderBytes = 1 << 28 // 256 MiB of header — ~10M records
+	maxManifestBytes    = 1 << 26 // 64 MiB manifest
+	maxShardIDLen       = 1 << 16
+	maxShardNameLen     = 4096
+	maxShardRecordBases = 1 << 48
+	maxShardTotal       = 1 << 56 // running-sum ceiling (bases, bytes)
+
+	// Minimum encoded sizes of one table entry — the record count is
+	// capped by remaining/min before the tables are allocated.
+	shardRecordMinBytes   = 4 + 8          // idLen + bases
+	manifestShardMinBytes = 4 + 4 + 8 + 8 + 4 // nameLen + records + bases + payloadBytes + headerCRC
+)
+
+// ErrShardCorrupt is the sentinel wrapped by every shard-set integrity
+// failure: bad magic, truncated or oversized structures, checksum
+// mismatches, and internally inconsistent headers or manifests.
+var ErrShardCorrupt = errors.New("seq: shard index corrupt")
+
+// shardCRC is the checksum table for every CRC in the format (CRC-32C,
+// hardware-accelerated on amd64/arm64).
+var shardCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Manifest describes a shard set: per-shard entries plus the totals a
+// scheduler needs to plan a scan without opening any shard.
+type Manifest struct {
+	Shards       []ShardInfo
+	Records      int64
+	Bases        int64
+	PayloadBytes int64
+	MaxRecordLen int64
+}
+
+// ShardInfo is one manifest entry.
+type ShardInfo struct {
+	// Name is the shard's filename, relative to the manifest directory.
+	// It is always a bare name (no path separators).
+	Name         string
+	Records      int
+	Bases        int64
+	PayloadBytes int64
+	// HeaderCRC pins the shard's header checksum so a shard file cannot
+	// be swapped for a different self-consistent one.
+	HeaderCRC uint32
+}
+
+// ManifestPath returns the manifest filename for an index named name in
+// dir — the argument accepted by OpenShardIndex.
+func ManifestPath(dir, name string) string {
+	return filepath.Join(dir, name+ManifestExt)
+}
+
+// shardFileName returns the filename of shard i of an index named name.
+func shardFileName(name string, i int) string {
+	return fmt.Sprintf("%s-%04d.shard", name, i)
+}
+
+// validShardName reports whether s is usable as an index or shard name:
+// non-empty, no path separators, not a dot path. Enforced on both the
+// write side and the manifest decoder, so a crafted manifest cannot
+// direct OpenShardIndex outside the manifest directory.
+func validShardName(s string) bool {
+	return s != "" && s != "." && s != ".." && !strings.ContainsAny(s, "/\\")
+}
+
+// packedBytes returns the payload size of an n-base record: the
+// byte-aligned canonical Pack image.
+func packedBytes(n int64) int64 { return (n + 3) / 4 }
+
+// shardLenBucket maps a record length to its histogram bucket: the bit
+// length of the record's base count, capped at the last bucket. Bucket
+// b therefore counts records with 2^(b-1) <= len < 2^b (bucket 0 is
+// empty records).
+func shardLenBucket(n int64) int {
+	b := bits.Len64(uint64(n))
+	if b >= shardHistBuckets {
+		b = shardHistBuckets - 1
+	}
+	return b
+}
+
+// shardHeader is a decoded per-shard header. Offsets are derived, not
+// stored: offs[i] is the running sum of packedBytes(lens[0..i)).
+type shardHeader struct {
+	ids          []string
+	lens         []int64
+	offs         []int64
+	bases        int64
+	payloadBytes int64
+	maxRecordLen int64
+	payloadCRC   uint32
+	hist         [shardHistBuckets]int64
+}
+
+// cursor is a bounds-checked little-endian reader with a sticky error,
+// so decoders read a field per line and check once at the end.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format+": %w", append(args, ErrShardCorrupt)...)
+	}
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || len(c.b)-c.off < n {
+		c.fail("truncated at offset %d (need %d bytes, have %d)", c.off, n, len(c.b)-c.off)
+		return nil
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s
+}
+
+func (c *cursor) u32() uint32 {
+	s := c.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (c *cursor) u64() uint64 {
+	s := c.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+// count reads a u64 and bounds it to [0, limit], failing the cursor on
+// violation — the guard that keeps corrupt size fields from driving
+// allocations or overflowing int64 arithmetic downstream.
+func (c *cursor) count(limit int64, what string) int64 {
+	v := c.u64()
+	if c.err == nil && v > uint64(limit) {
+		c.fail("%s %d exceeds limit %d", what, v, limit)
+		return 0
+	}
+	return int64(v)
+}
+
+// rest reports the bytes not yet consumed.
+func (c *cursor) rest() int { return len(c.b) - c.off }
+
+// encodeShardHeader renders the header block (the bytes hdrCRC covers).
+func encodeShardHeader(h *shardHeader) []byte {
+	b := make([]byte, 0, 4+8+8+8+4+8*shardHistBuckets+len(h.ids)*(4+8))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(h.ids)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.bases))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.payloadBytes))
+	b = binary.LittleEndian.AppendUint64(b, uint64(h.maxRecordLen))
+	b = binary.LittleEndian.AppendUint32(b, h.payloadCRC)
+	for _, n := range h.hist {
+		b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	}
+	for i, id := range h.ids {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(id)))
+		b = append(b, id...)
+		b = binary.LittleEndian.AppendUint64(b, uint64(h.lens[i]))
+	}
+	return b
+}
+
+// decodeShardHeader parses and fully validates a header block: every
+// size field is bounded before allocation, the record table must end
+// exactly at the block's end, and the redundant aggregates (bases,
+// payloadBytes, maxRecordLen, histogram) must match the table they
+// summarize.
+func decodeShardHeader(block []byte) (*shardHeader, error) {
+	c := &cursor{b: block}
+	h := &shardHeader{}
+	nrec := int64(c.u32())
+	h.bases = c.count(maxShardTotal, "seq: shard header: base count")
+	h.payloadBytes = c.count(maxShardTotal, "seq: shard header: payload size")
+	h.maxRecordLen = c.count(maxShardRecordBases, "seq: shard header: max record length")
+	h.payloadCRC = c.u32()
+	for i := range h.hist {
+		h.hist[i] = c.count(maxShardTotal, "seq: shard header: histogram bucket")
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if max := int64(c.rest()) / shardRecordMinBytes; nrec > max {
+		return nil, fmt.Errorf("seq: shard header: record count %d exceeds table capacity %d: %w", nrec, max, ErrShardCorrupt)
+	}
+	h.ids = make([]string, nrec)
+	h.lens = make([]int64, nrec)
+	h.offs = make([]int64, nrec)
+	var off, sumBases, maxLen int64
+	var hist [shardHistBuckets]int64
+	for i := range h.ids {
+		idLen := c.u32()
+		if c.err == nil && idLen > maxShardIDLen {
+			c.fail("seq: shard header: record %d id length %d exceeds limit %d", i, idLen, maxShardIDLen)
+		}
+		id := c.take(int(idLen))
+		n := c.count(maxShardRecordBases, "seq: shard header: record length")
+		if c.err != nil {
+			return nil, c.err
+		}
+		h.ids[i] = string(id)
+		h.lens[i] = n
+		h.offs[i] = off
+		off += packedBytes(n)
+		sumBases += n
+		if off > maxShardTotal || sumBases > maxShardTotal {
+			return nil, fmt.Errorf("seq: shard header: payload exceeds limit %d: %w", int64(maxShardTotal), ErrShardCorrupt)
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+		hist[shardLenBucket(n)]++
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.rest() != 0 {
+		return nil, fmt.Errorf("seq: shard header: %d trailing bytes after record table: %w", c.rest(), ErrShardCorrupt)
+	}
+	switch {
+	case off != h.payloadBytes:
+		return nil, fmt.Errorf("seq: shard header: record table spans %d payload bytes, header claims %d: %w", off, h.payloadBytes, ErrShardCorrupt)
+	case sumBases != h.bases:
+		return nil, fmt.Errorf("seq: shard header: record table holds %d bases, header claims %d: %w", sumBases, h.bases, ErrShardCorrupt)
+	case maxLen != h.maxRecordLen:
+		return nil, fmt.Errorf("seq: shard header: longest record is %d bases, header claims %d: %w", maxLen, h.maxRecordLen, ErrShardCorrupt)
+	case hist != h.hist:
+		return nil, fmt.Errorf("seq: shard header: length histogram does not match record table: %w", ErrShardCorrupt)
+	}
+	return h, nil
+}
+
+// encodeManifest renders the complete manifest file image.
+func encodeManifest(m *Manifest) []byte {
+	body := make([]byte, 0, 4+4*8+len(m.Shards)*(manifestShardMinBytes+32))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(m.Shards)))
+	body = binary.LittleEndian.AppendUint64(body, uint64(m.Records))
+	body = binary.LittleEndian.AppendUint64(body, uint64(m.Bases))
+	body = binary.LittleEndian.AppendUint64(body, uint64(m.PayloadBytes))
+	body = binary.LittleEndian.AppendUint64(body, uint64(m.MaxRecordLen))
+	for _, s := range m.Shards {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(s.Name)))
+		body = append(body, s.Name...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(s.Records))
+		body = binary.LittleEndian.AppendUint64(body, uint64(s.Bases))
+		body = binary.LittleEndian.AppendUint64(body, uint64(s.PayloadBytes))
+		body = binary.LittleEndian.AppendUint32(body, s.HeaderCRC)
+	}
+	out := make([]byte, 0, len(manifestMagic)+4+len(body)+4)
+	out = append(out, manifestMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, shardCRC))
+	return out
+}
+
+// decodeManifest parses and validates a complete manifest file image:
+// magic, exact framing, body checksum, bounded per-shard entries with
+// path-safe names, and totals matching the entry sums.
+func decodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(manifestMagic)+4+4 {
+		return nil, fmt.Errorf("seq: manifest: %d bytes is shorter than the fixed framing: %w", len(b), ErrShardCorrupt)
+	}
+	if string(b[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("seq: manifest: bad magic %q: %w", b[:len(manifestMagic)], ErrShardCorrupt)
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(b[len(manifestMagic):]))
+	if want := int64(len(manifestMagic)) + 4 + bodyLen + 4; want != int64(len(b)) {
+		return nil, fmt.Errorf("seq: manifest: framing claims %d bytes, file holds %d: %w", want, len(b), ErrShardCorrupt)
+	}
+	body := b[len(manifestMagic)+4 : int64(len(manifestMagic))+4+bodyLen]
+	stored := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.Checksum(body, shardCRC); got != stored {
+		return nil, fmt.Errorf("seq: manifest: body checksum %08x does not match stored %08x: %w", got, stored, ErrShardCorrupt)
+	}
+	c := &cursor{b: body}
+	m := &Manifest{}
+	nshard := int64(c.u32())
+	m.Records = c.count(maxShardTotal, "seq: manifest: record count")
+	m.Bases = c.count(maxShardTotal, "seq: manifest: base count")
+	m.PayloadBytes = c.count(maxShardTotal, "seq: manifest: payload size")
+	m.MaxRecordLen = c.count(maxShardRecordBases, "seq: manifest: max record length")
+	if c.err != nil {
+		return nil, c.err
+	}
+	if max := int64(c.rest()) / manifestShardMinBytes; nshard > max {
+		return nil, fmt.Errorf("seq: manifest: shard count %d exceeds table capacity %d: %w", nshard, max, ErrShardCorrupt)
+	}
+	m.Shards = make([]ShardInfo, nshard)
+	var recs, bases, payload int64
+	for i := range m.Shards {
+		nameLen := c.u32()
+		if c.err == nil && nameLen > maxShardNameLen {
+			c.fail("seq: manifest: shard %d name length %d exceeds limit %d", i, nameLen, maxShardNameLen)
+		}
+		name := c.take(int(nameLen))
+		s := ShardInfo{Name: string(name)}
+		s.Records = int(c.u32())
+		s.Bases = c.count(maxShardTotal, "seq: manifest: shard base count")
+		s.PayloadBytes = c.count(maxShardTotal, "seq: manifest: shard payload size")
+		s.HeaderCRC = c.u32()
+		if c.err != nil {
+			return nil, c.err
+		}
+		if !validShardName(s.Name) {
+			return nil, fmt.Errorf("seq: manifest: shard %d name %q is not a bare filename: %w", i, s.Name, ErrShardCorrupt)
+		}
+		m.Shards[i] = s
+		recs += int64(s.Records)
+		bases += s.Bases
+		payload += s.PayloadBytes
+		if recs > maxShardTotal || bases > maxShardTotal || payload > maxShardTotal {
+			return nil, fmt.Errorf("seq: manifest: totals exceed limit %d: %w", int64(maxShardTotal), ErrShardCorrupt)
+		}
+	}
+	if c.rest() != 0 {
+		return nil, fmt.Errorf("seq: manifest: %d trailing bytes after shard table: %w", c.rest(), ErrShardCorrupt)
+	}
+	switch {
+	case recs != m.Records:
+		return nil, fmt.Errorf("seq: manifest: shard table holds %d records, totals claim %d: %w", recs, m.Records, ErrShardCorrupt)
+	case bases != m.Bases:
+		return nil, fmt.Errorf("seq: manifest: shard table holds %d bases, totals claim %d: %w", bases, m.Bases, ErrShardCorrupt)
+	case payload != m.PayloadBytes:
+		return nil, fmt.Errorf("seq: manifest: shard table spans %d payload bytes, totals claim %d: %w", payload, m.PayloadBytes, ErrShardCorrupt)
+	}
+	return m, nil
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package seq
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap routes non-unix platforms onto the section-read fallback.
+var errNoMmap = errors.New("seq: memory mapping unsupported on this platform")
+
+func mapShardFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}

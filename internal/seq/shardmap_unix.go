@@ -1,0 +1,23 @@
+//go:build unix
+
+package seq
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapShardFile maps the whole shard file read-only. The caller owns the
+// returned unmap; on success the file descriptor may be closed — the
+// mapping persists independently.
+func mapShardFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("seq: cannot map %d-byte file", size)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() error { return syscall.Munmap(m) }, nil
+}

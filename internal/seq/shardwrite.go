@@ -1,0 +1,235 @@
+package seq
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// DefaultShardPayloadBytes is the target packed payload per shard when
+// IndexOptions leaves it unset: large enough that header and dispatch
+// overheads vanish, small enough that a multi-GB database still yields
+// enough shards to scatter across every worker.
+const DefaultShardPayloadBytes = 64 << 20
+
+// IndexOptions tunes BuildIndex.
+type IndexOptions struct {
+	// ShardPayloadBytes caps the packed payload bytes per shard
+	// (default DefaultShardPayloadBytes). A record never splits across
+	// shards, so a shard holding one oversized record may exceed it.
+	ShardPayloadBytes int64
+	// OnShard, when set, observes each shard as it is sealed — the
+	// progress/telemetry hook for callers (seq is a leaf package and
+	// emits no instrumentation of its own).
+	OnShard func(ShardInfo)
+}
+
+// BuildIndex compiles the records of src into a packed shard set named
+// name in dir and writes its manifest, returning the manifest. Memory
+// stays bounded by one record plus one shard's header table: each
+// record is packed and appended to a payload spool file as it arrives,
+// and the shard file is assembled (header first, then the spooled
+// payload) when the shard reaches its payload target. On error every
+// file it created is removed.
+func BuildIndex(ctx context.Context, src RecordSource, dir, name string, opt IndexOptions) (*Manifest, error) {
+	if !validShardName(name) {
+		return nil, fmt.Errorf("seq: index name %q must be a bare filename component", name)
+	}
+	target := opt.ShardPayloadBytes
+	if target <= 0 {
+		target = DefaultShardPayloadBytes
+	}
+	b := &indexBuilder{dir: dir, name: name, target: target, onShard: opt.OnShard}
+	man, err := b.run(ctx, src)
+	if err != nil {
+		b.cleanup()
+		return nil, err
+	}
+	return man, nil
+}
+
+// indexBuilder carries the state of one BuildIndex run.
+type indexBuilder struct {
+	dir     string
+	name    string
+	target  int64
+	onShard func(ShardInfo)
+
+	man     Manifest
+	created []string // files to remove on error
+
+	// current shard spool
+	spool   *os.File
+	spoolW  *bufio.Writer
+	crc     uint32
+	ids     []string
+	lens    []int64
+	bases   int64
+	payload int64
+	maxLen  int64
+	hist    [shardHistBuckets]int64
+}
+
+func (b *indexBuilder) run(ctx context.Context, src RecordSource) (*Manifest, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := b.add(rec); err != nil {
+			return nil, err
+		}
+		if b.payload >= b.target {
+			if err := b.seal(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(b.ids) > 0 {
+		if err := b.seal(); err != nil {
+			return nil, err
+		}
+	}
+	path := ManifestPath(b.dir, b.name)
+	b.created = append(b.created, path)
+	if err := os.WriteFile(path, encodeManifest(&b.man), 0o644); err != nil {
+		return nil, err
+	}
+	return &b.man, nil
+}
+
+// add packs one record onto the current shard's spool.
+func (b *indexBuilder) add(rec Sequence) error {
+	if len(rec.ID) > maxShardIDLen {
+		return fmt.Errorf("seq: record %q: id length %d exceeds shard format limit %d", rec.ID[:32]+"...", len(rec.ID), maxShardIDLen)
+	}
+	p, err := Pack(rec.Data)
+	if err != nil {
+		return fmt.Errorf("seq: record %q: %w", rec.ID, err)
+	}
+	if b.spool == nil {
+		f, err := os.CreateTemp(b.dir, b.name+"-spool-*.tmp")
+		if err != nil {
+			return err
+		}
+		b.spool = f
+		b.created = append(b.created, f.Name())
+		b.spoolW = bufio.NewWriterSize(f, 256<<10)
+		b.crc = 0
+	}
+	if _, err := b.spoolW.Write(p.words); err != nil {
+		return err
+	}
+	b.crc = crc32.Update(b.crc, shardCRC, p.words)
+	n := int64(p.Len())
+	b.ids = append(b.ids, rec.ID)
+	b.lens = append(b.lens, n)
+	b.bases += n
+	b.payload += int64(len(p.words))
+	if n > b.maxLen {
+		b.maxLen = n
+	}
+	b.hist[shardLenBucket(n)]++
+	return nil
+}
+
+// seal assembles the current shard file — framing, header, checksum,
+// then the spooled payload — and appends its manifest entry.
+func (b *indexBuilder) seal() error {
+	h := &shardHeader{
+		ids:          b.ids,
+		lens:         b.lens,
+		bases:        b.bases,
+		payloadBytes: b.payload,
+		maxRecordLen: b.maxLen,
+		payloadCRC:   b.crc,
+		hist:         b.hist,
+	}
+	block := encodeShardHeader(h)
+	if int64(len(block)) > maxShardHeaderBytes {
+		return fmt.Errorf("seq: shard header would be %d bytes, format limit is %d (use a smaller ShardPayloadBytes)", len(block), int64(maxShardHeaderBytes))
+	}
+	if err := b.spoolW.Flush(); err != nil {
+		return err
+	}
+	if _, err := b.spool.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	fileName := shardFileName(b.name, len(b.man.Shards))
+	path := filepath.Join(b.dir, fileName)
+	b.created = append(b.created, path)
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(out, 256<<10)
+	// bufio sticks the first error; Flush below surfaces it.
+	_, _ = w.WriteString(shardMagic)
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], uint32(len(block)))
+	_, _ = w.Write(frame[:])
+	_, _ = w.Write(block)
+	binary.LittleEndian.PutUint32(frame[:], crc32.Checksum(block, shardCRC))
+	_, _ = w.Write(frame[:])
+	if _, err := io.Copy(w, b.spool); err != nil {
+		_ = out.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	spoolPath := b.spool.Name()
+	if err := b.spool.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(spoolPath); err != nil {
+		return err
+	}
+	info := ShardInfo{
+		Name:         fileName,
+		Records:      len(b.ids),
+		Bases:        b.bases,
+		PayloadBytes: b.payload,
+		HeaderCRC:    crc32.Checksum(block, shardCRC),
+	}
+	b.man.Shards = append(b.man.Shards, info)
+	b.man.Records += int64(info.Records)
+	b.man.Bases += info.Bases
+	b.man.PayloadBytes += info.PayloadBytes
+	if b.maxLen > b.man.MaxRecordLen {
+		b.man.MaxRecordLen = b.maxLen
+	}
+	b.spool, b.spoolW = nil, nil
+	b.ids, b.lens = nil, nil
+	b.bases, b.payload, b.maxLen = 0, 0, 0
+	b.hist = [shardHistBuckets]int64{}
+	if b.onShard != nil {
+		b.onShard(info)
+	}
+	return nil
+}
+
+// cleanup removes everything the failed build created.
+func (b *indexBuilder) cleanup() {
+	if b.spool != nil {
+		_ = b.spool.Close()
+	}
+	for _, p := range b.created {
+		_ = os.Remove(p)
+	}
+}

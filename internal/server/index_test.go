@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+)
+
+// testIndex compiles db into a multi-shard index under a temp dir and
+// opens it.
+func testIndex(t *testing.T, db []seq.Sequence, shardBytes int64) *seq.ShardIndex {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := seq.BuildIndex(context.Background(), seq.SliceSource(db), dir, "db",
+		seq.IndexOptions{ShardPayloadBytes: shardBytes}); err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	idx, err := seq.OpenShardIndex(seq.ManifestPath(dir, "db"))
+	if err != nil {
+		t.Fatalf("OpenShardIndex: %v", err)
+	}
+	t.Cleanup(func() { _ = idx.Close() })
+	return idx
+}
+
+// TestIndexedSearchMatchesLibrary pins the indexed daemon's contract:
+// a /v1/search over a shard index answers with exactly the hits
+// search.Search computes over the equivalent flat database, encoded
+// identically, and /metrics gauges the opened index.
+func TestIndexedSearchMatchesLibrary(t *testing.T) {
+	db := testDB(10, 600)
+	idx := testIndex(t, db, 512)
+	if idx.Shards() < 3 {
+		t.Fatalf("want a multi-shard index, got %d shards", idx.Shards())
+	}
+	_, ts := newTestServer(t, Config{Index: idx})
+	query := testQuery(db, 48)
+
+	body := fmt.Sprintf(`{"query":%q,"min_score":8,"top_k":4}`, query)
+	resp, data := post(t, ts.URL+"/v1/search", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scanResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := search.Search(context.Background(), db, []byte(query),
+		search.Options{MinScore: 8, TopK: 4, Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(HitsJSON(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got.Hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("indexed hits diverge from search.Search:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if len(got.Hits) == 0 {
+		t.Error("no hits for a query that is a record prefix")
+	}
+
+	// The index gauges are part of the daemon's scrape surface.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, err := io.ReadAll(mresp.Body)
+	if cerr := mresp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mdata)
+	for _, want := range []string{
+		fmt.Sprintf("swfpga_index_shards %d", idx.Shards()),
+		fmt.Sprintf("swfpga_index_records %d", idx.Records()),
+		fmt.Sprintf("swfpga_index_payload_bytes %d", idx.PayloadBytes()),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+// TestIndexedAlignStillWorks pins that /v1/align carries its own
+// one-record database and never touches the index path.
+func TestIndexedAlignStillWorks(t *testing.T) {
+	db := testDB(4, 300)
+	idx := testIndex(t, db, 256)
+	_, ts := newTestServer(t, Config{Index: idx})
+
+	target := strings.Repeat("ACGT", 20)
+	body := fmt.Sprintf(`{"query":%q,"target":%q}`, target[:32], target)
+	resp, data := post(t, ts.URL+"/v1/align", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var got scanResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hits) != 1 || got.Hits[0].Cigar == "" {
+		t.Fatalf("align over an indexed daemon: %+v", got.Hits)
+	}
+}
+
+// TestRejectsDBAndIndex pins the exclusive configuration contract.
+func TestRejectsDBAndIndex(t *testing.T) {
+	db := testDB(3, 200)
+	idx := testIndex(t, db, 0)
+	if _, err := New(context.Background(), Config{DB: db, Index: idx}); err == nil {
+		t.Fatal("New accepted both DB and Index")
+	}
+}

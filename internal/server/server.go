@@ -46,6 +46,12 @@ type Config struct {
 	// DB is the in-memory database every /v1/search scans. The caller
 	// (cmd/swservd) loads it; this package never reads files.
 	DB []seq.Sequence
+	// Index is a packed shard index served instead of DB: /v1/search
+	// runs the scatter-gather merge tier over its mapped shards, with
+	// hits bit-identical to scanning the equivalent FASTA. The caller
+	// opens it (and closes it after Drain); exactly one of DB and Index
+	// may be set.
+	Index *seq.ShardIndex
 	// DefaultEngine is the registry name used when a request does not
 	// select one (default "software").
 	DefaultEngine string
@@ -189,10 +195,19 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if _, ok := s.caps[cfg.DefaultEngine]; !ok {
 		return nil, fmt.Errorf("server: unknown default engine %q (have %v)", cfg.DefaultEngine, engine.Names())
 	}
+	if cfg.Index != nil && len(cfg.DB) > 0 {
+		return nil, fmt.Errorf("server: both DB and Index configured — serve one database")
+	}
 	for _, rec := range cfg.DB {
 		if len(rec.Data) > s.maxRec {
 			s.maxRec = len(rec.Data)
 		}
+	}
+	if cfg.Index != nil {
+		s.maxRec = cfg.Index.MaxRecordLen()
+		telemetry.IndexShards.Set(float64(cfg.Index.Shards()))
+		telemetry.IndexRecords.Set(float64(cfg.Index.Records()))
+		telemetry.IndexPayloadBytes.Set(float64(cfg.Index.PayloadBytes()))
 	}
 	s.routes()
 
@@ -405,13 +420,26 @@ func (s *Server) process(sctx context.Context, p *pending) reply {
 		return e, nil
 	}
 
-	hits, err := search.Search(ctx, p.db, p.req.query, search.Options{
+	sopts := search.Options{
 		MinScore:  p.req.MinScore,
 		TopK:      p.req.TopK,
 		PerRecord: p.req.PerRecord,
 		Retrieve:  p.req.Retrieve,
 		Workers:   s.cfg.ScanWorkers,
-	}, factory)
+	}
+	var (
+		hits []search.Hit
+		err  error
+	)
+	if p.db == nil && s.cfg.Index != nil {
+		// Indexed search: the merge tier scatters shards across the
+		// per-request workers; align requests carry their own one-record
+		// db and never take this path.
+		hits, err = search.SearchSharded(ctx, s.cfg.Index, p.req.query,
+			search.ShardedOptions{Options: sopts, ShardWorkers: s.cfg.ScanWorkers}, factory)
+	} else {
+		hits, err = search.Search(ctx, p.db, p.req.query, sopts, factory)
+	}
 
 	rep := reply{hits: hits, engine: name, degraded: degraded, err: err}
 	for _, e := range built {

@@ -85,6 +85,24 @@ const (
 	// NameServerSeconds is the request wall-latency histogram.
 	NameServerSeconds = "swfpga_server_request_seconds"
 
+	// NameIndexShards / NameIndexRecords / NameIndexPayloadBytes gauge
+	// the shape of the packed shard index a process has opened (swsearch
+	// -index, swservd -index): shard count, total records, and total
+	// packed payload bytes.
+	NameIndexShards       = "swfpga_index_shards"
+	NameIndexRecords      = "swfpga_index_records"
+	NameIndexPayloadBytes = "swfpga_index_payload_bytes"
+	// NameIndexShardsBuilt counts shards sealed by swindex builds.
+	NameIndexShardsBuilt = "swfpga_index_shards_built_total"
+	// NameShardScans counts per-shard scans completed by the
+	// scatter-gather merge tier.
+	NameShardScans = "swfpga_shard_scans_total"
+	// NameShardTopKHits counts hits surviving the per-shard top-k cut
+	// and entering the global merge.
+	NameShardTopKHits = "swfpga_shard_topk_hits_total"
+	// NameShardScanSeconds is the per-shard scan wall-latency histogram.
+	NameShardScanSeconds = "swfpga_shard_scan_wall_seconds"
+
 	// NameBuildInfo is the constant-1 build-metadata series; its labels
 	// carry the VCS commit and the Go toolchain version, so every
 	// BENCH_*.json baseline and every scrape can be tied to the exact
@@ -130,6 +148,14 @@ const (
 	// SpanServerRequest covers one HTTP request through swservd, from
 	// decode to response.
 	SpanServerRequest = "server.request"
+	// SpanSearchSharded covers one scatter-gather scan over a shard
+	// index; SpanSearchShard one shard's scan within it.
+	SpanSearchSharded = "search.sharded"
+	SpanSearchShard   = "search.shard"
+	// SpanIndexBuild covers one swindex compilation; SpanIndexShard
+	// marks each shard as it is sealed.
+	SpanIndexBuild = "index.build"
+	SpanIndexShard = "index.shard"
 )
 
 // RegisteredNames returns every name in the registry — metric series,
@@ -148,6 +174,9 @@ func RegisteredNames() []string {
 		NameServerInflight, NameServerQueueDepth, NameServerRequests,
 		NameServerShed, NameServerDegraded, NameServerBreakerState,
 		NameServerDrains, NameServerStalls, NameServerSeconds,
+		NameIndexShards, NameIndexRecords, NameIndexPayloadBytes,
+		NameIndexShardsBuilt, NameShardScans, NameShardTopKHits,
+		NameShardScanSeconds,
 		NameBuildInfo, NameUptimeSeconds,
 		NameExpvarMetrics,
 		SpanSearch, SpanSearchBatch, SpanSearchRecord, SpanSearchParse,
@@ -155,5 +184,6 @@ func RegisteredNames() []string {
 		SpanDeviceScanAffine, SpanClusterPipeline, SpanClusterScan,
 		SpanClusterReverse, SpanSystolicRun, SpanSystolicAffine,
 		SpanBenchOverhead, SpanServerRequest,
+		SpanSearchSharded, SpanSearchShard, SpanIndexBuild, SpanIndexShard,
 	}
 }

@@ -151,6 +151,37 @@ var (
 		"daemon request wall latency (seconds)",
 		ExponentialBounds(1e-4, 4, 14))
 
+	// IndexShards / IndexRecords / IndexPayloadBytes gauge the shape of
+	// the packed shard index this process has opened (zero when it scans
+	// FASTA directly). IndexShardsBuilt counts shards sealed by swindex.
+	IndexShards = Default().NewGauge(
+		NameIndexShards,
+		"shards in the opened packed index")
+	IndexRecords = Default().NewGauge(
+		NameIndexRecords,
+		"records in the opened packed index")
+	IndexPayloadBytes = Default().NewGauge(
+		NameIndexPayloadBytes,
+		"packed payload bytes in the opened index")
+	IndexShardsBuilt = Default().NewCounter(
+		NameIndexShardsBuilt,
+		"shards sealed by index builds")
+	// ShardScans counts per-shard scans completed by the scatter-gather
+	// merge tier; ShardTopKHits the hits surviving the per-shard top-k
+	// cut into the global merge.
+	ShardScans = Default().NewCounter(
+		NameShardScans,
+		"per-shard scans completed by the sharded search")
+	ShardTopKHits = Default().NewCounter(
+		NameShardTopKHits,
+		"hits entering the global merge from per-shard top-k cuts")
+	// ShardScanSeconds is the wall latency of one shard's scan inside a
+	// sharded search.
+	ShardScanSeconds = Default().NewHistogram(
+		NameShardScanSeconds,
+		"per-shard scan wall latency (seconds)",
+		ExponentialBounds(1e-4, 4, 14))
+
 	// ModeledGCUPS and WallGCUPS track throughput: cell updates per
 	// modeled accelerator second vs per measured wall second of the
 	// enclosing scan. The distinction matters — the modeled figure is

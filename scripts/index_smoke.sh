@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Shard-index smoke (DESIGN.md §13): compiles the committed scan_stream
+# scenario database into a multi-shard index with swindex, proves the
+# three CLI scan paths print byte-identical hits — FASTA streaming,
+# indexed streaming under the same -max-memory budget, and the
+# scatter-gather merge tier — proves a single flipped payload byte is
+# refused by both swindex -verify and an indexed scan, and finally runs
+# the env-gated Go smoke (parse-phase elimination + heap budget).
+# Run via `make index-smoke` (part of `make check`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+fail() {
+	echo "index-smoke: $*" >&2
+	exit 1
+}
+
+go build -o "$work/swload" ./cmd/swload
+go build -o "$work/swindex" ./cmd/swindex
+go build -o "$work/swsearch" ./cmd/swsearch
+
+# The database under test is the committed scan_stream scenario's —
+# 16 records of 16 KiB, byte-identical to what the load harness drives.
+"$work/swload" -scenario scan_stream -write-db "$work/db.fa" 2>"$work/writedb.log" ||
+	fail "writing the scenario database failed: $(cat "$work/writedb.log")"
+
+# Build: 16 KiB of packed payload per shard (4 KiB per packed record)
+# forces a genuinely multi-shard layout.
+"$work/swindex" -db "$work/db.fa" -out "$work" -name db -shard-bytes 16KiB \
+	>"$work/build.log" 2>&1 || fail "swindex build failed: $(cat "$work/build.log")"
+shards=$(ls "$work"/db-*.shard | wc -l)
+[ "$shards" -ge 3 ] || fail "want a multi-shard index, got $shards shards"
+"$work/swindex" -info "$work/db.swidx" | grep -q '16 records' ||
+	fail "-info lost the record count"
+"$work/swindex" -verify "$work/db.swidx" | grep -q 'ok' ||
+	fail "-verify failed on a fresh index"
+
+# One query: a prefix of the first record, so hits are guaranteed.
+q="$(awk 'NR==2 { print substr($0, 1, 64); exit }' "$work/db.fa")"
+[ -n "$q" ] || fail "could not extract a query from the database"
+
+# The three scan paths must print byte-identical hit lists; the two
+# streaming paths run under the same tight prefetch budget.
+"$work/swsearch" -q "$q" -db "$work/db.fa" -max-memory 64KiB -min 24 -k 5 \
+	>"$work/flat.out" 2>/dev/null || fail "FASTA streaming scan failed"
+"$work/swsearch" -q "$q" -index "$work/db.swidx" -max-memory 64KiB -min 24 -k 5 \
+	>"$work/stream.out" 2>/dev/null || fail "indexed streaming scan failed"
+"$work/swsearch" -q "$q" -index "$work/db.swidx" -shard-workers 3 -min 24 -k 5 \
+	>"$work/sharded.out" 2>/dev/null || fail "merge-tier scan failed"
+cmp -s "$work/flat.out" "$work/stream.out" ||
+	fail "indexed streaming hits diverge from the FASTA scan"
+cmp -s "$work/flat.out" "$work/sharded.out" ||
+	fail "merge-tier hits diverge from the FASTA scan"
+head -n 1 "$work/flat.out" | grep -qv '^0 hits' ||
+	fail "smoke query found no hits — the comparison is vacuous"
+
+# Corruption: increment one payload byte. -verify must refuse, and so
+# must an indexed scan — corruption is an error, never silent data.
+shard0="$(ls "$work"/db-*.shard | head -n 1)"
+size=$(wc -c <"$shard0")
+b=$(od -An -tu1 -j "$((size - 1))" -N1 "$shard0" | tr -d ' ')
+printf "$(printf '\\x%02x' "$(((b + 1) % 256))")" |
+	dd of="$shard0" bs=1 seek="$((size - 1))" conv=notrunc 2>/dev/null
+if "$work/swindex" -verify "$work/db.swidx" >/dev/null 2>&1; then
+	fail "-verify accepted a corrupt shard"
+fi
+if "$work/swsearch" -q "$q" -index "$work/db.swidx" >/dev/null 2>&1; then
+	fail "swsearch scanned a corrupt index"
+fi
+
+# The env-gated Go smoke: parse-phase elimination (indexed drain faster
+# than FASTA parsing) and the heap budget under -max-memory.
+SWFPGA_INDEX_SMOKE=1 go test ./internal/search -run '^TestIndexSmoke$' -count=1 \
+	>"$work/go.log" 2>&1 || fail "Go index smoke failed: $(cat "$work/go.log")"
+
+echo "index-smoke: ok ($shards shards, flat/stream/sharded byte-identical, corruption refused, budget+throughput gate passed)"

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Perf-trajectory smoke (DESIGN.md §12): runs both committed load
+# Perf-trajectory smoke (DESIGN.md §12): runs the committed load
 # scenarios with swload and gates them against the baselines in
-# baselines/ — the library streaming scan in-process, and the daemon
-# scenario against a real swservd on an ephemeral port serving the
-# scenario's own database. Finally perturbs a fresh report and checks
+# baselines/ — the library streaming scan and the indexed shard scan
+# in-process, and the daemon scenario against a real swservd on an
+# ephemeral port serving the scenario's own database. Finally perturbs a fresh report and checks
 # the gate actually fails (exit 2) with a readable per-metric verdict.
 # Run via `make load-smoke` (part of `make check`).
 set -euo pipefail
@@ -40,6 +40,16 @@ go build -o "$work/swservd" ./cmd/swservd
 	>"$work/scan_stream.verdict" 2>"$work/scan_stream.log" ||
 	fail "scan_stream regressed against its baseline: $(cat "$work/scan_stream.verdict")"
 grep -q '^ok: ' "$work/scan_stream.verdict" || fail "scan_stream verdict missing ok line"
+
+# Leg 1b: the indexed scan — scan_stream's workload driven through the
+# packed shard index (compiled by the target at startup), gated against
+# its own committed baseline.
+"$work/swload" -scenario scan_indexed \
+	-out "$work/BENCH_scan_indexed.json" \
+	-compare baselines/BENCH_scan_indexed.json \
+	>"$work/scan_indexed.verdict" 2>"$work/scan_indexed.log" ||
+	fail "scan_indexed regressed against its baseline: $(cat "$work/scan_indexed.verdict")"
+grep -q '^ok: ' "$work/scan_indexed.verdict" || fail "scan_indexed verdict missing ok line"
 
 # Leg 2: the daemon scenario against a live swservd serving the
 # scenario's own database (byte-identical to what the harness expects).
@@ -90,4 +100,4 @@ rc=0
 grep -q '^REGRESSION: ' "$work/bad.verdict" || fail "perturbed verdict carries no REGRESSION line"
 grep -q 'latency_p50_seconds.*FAIL' "$work/bad.verdict" || fail "perturbed verdict does not name the offending metric"
 
-echo "load-smoke: ok (scan_stream + servd_closed within tolerance, gate trips on injected regression)"
+echo "load-smoke: ok (scan_stream + scan_indexed + servd_closed within tolerance, gate trips on injected regression)"
