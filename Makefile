@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 # Concurrent packages that get a dedicated -race run.
-RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/... ./internal/telemetry/... ./internal/server/... ./internal/engine/sched/...
+RACE_PKGS := ./internal/search/... ./internal/wavefront/... ./internal/host/... ./internal/telemetry/... ./internal/server/... ./internal/engine/sched/... ./internal/swar/...
 
 # package:target pairs for the fuzz smoke. `go test -fuzz` takes one
 # target per invocation, so the smoke loops over them.
@@ -24,7 +24,7 @@ FUZZ_TARGETS := \
 	internal/systolic:FuzzAffineArrayMatchesGotoh \
 	internal/server:FuzzDecodeRequest
 
-.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke index-smoke fuzz-smoke check
+.PHONY: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke swar-smoke stream-smoke servd-smoke load-smoke index-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,13 @@ bench-smoke:
 	$(GO) test ./internal/engine/... -count=1
 	$(GO) run ./cmd/swbench -run alloc -scale 0.02
 
+# SWAR lane-kernel smoke (DESIGN.md §14): the batched scan through the
+# sixth engine must reproduce the scalar software engine's hits bit for
+# bit and clear the 4x speedup floor on the seeded corpus (best-of-3
+# timing so a loaded runner does not trip the gate on noise).
+swar-smoke:
+	$(GO) run ./cmd/swbench -run swar -scale 0.1 -reps 3
+
 # Reduced-memory smoke (DESIGN.md §10): streams a 128 MiB generated
 # database (including an unwrapped 18 MiB record) under a 16 MiB budget
 # and asserts the hits are bit-identical to the in-memory search while
@@ -79,10 +86,11 @@ stream-smoke:
 servd-smoke:
 	bash scripts/servd_smoke.sh
 
-# Perf-trajectory smoke (DESIGN.md §12): both committed swload
-# scenarios — the library streaming scan and a live swservd over HTTP —
-# gated against the baselines in baselines/ with per-metric tolerance
-# bands, plus a perturbed-report check that the gate actually trips.
+# Perf-trajectory smoke (DESIGN.md §12): every committed swload
+# scenario — the library streaming scan (scalar and SWAR engines), the
+# indexed shard scan, and a live swservd over HTTP — gated against the
+# baselines in baselines/ with per-metric tolerance bands, plus a
+# perturbed-report check that the gate actually trips.
 load-smoke:
 	bash scripts/load_smoke.sh
 
@@ -100,4 +108,4 @@ fuzz-smoke:
 		$(GO) test ./$$pkg -run '^$$' -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME); \
 	done
 
-check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke stream-smoke servd-smoke load-smoke index-smoke
+check: build vet swvet swvet-ignores test race chaos-smoke telemetry-smoke bench-smoke swar-smoke stream-smoke servd-smoke load-smoke index-smoke

@@ -48,6 +48,23 @@ var layeringRules = []layeringRule{
 		"tools select scan backends by name (-engine) through the internal/engine registry"},
 	{"cmd", "internal/wavefront",
 		"tools select scan backends by name (-engine) through the internal/engine registry"},
+	{"internal/search", "internal/swar",
+		"the search layer reaches the SWAR kernel only through the internal/engine registry (batch negotiation)"},
+	{"cmd", "internal/swar",
+		"tools select scan backends by name (-engine) through the internal/engine registry"},
+
+	// The SWAR kernel is a leaf below engine: it may see only the shared
+	// parameter/arena leaves (scoring, pool). Its agreement with the
+	// scalar oracle is established by tests, so a production import of
+	// the oracle — or of any pipeline layer — would make that circular.
+	{"internal/swar", "internal/align",
+		"the SWAR kernel must stay independent of the scalar oracle it is verified against"},
+	{"internal/swar", "internal/linear",
+		"the SWAR kernel must stay independent of the linear-space software pipeline"},
+	{"internal/swar", "internal/engine",
+		"the SWAR kernel sits below the engine registry that adapts it"},
+	{"internal/swar", "internal/search",
+		"the SWAR kernel must not reach up into the search layer"},
 }
 
 // leafPackages may import nothing from the module at all: seq is the

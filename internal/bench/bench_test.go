@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-bits", "ablation-elements", "ablation-splitting",
 		"affine", "alloc", "cluster", "extrapolate", "faults", "figure1", "figure2",
 		"headline", "intro-3mbp", "memory", "pci", "pipeline", "protein",
-		"restricted", "significance", "stream", "table1", "table2",
+		"restricted", "significance", "stream", "swar", "table1", "table2",
 		"telemetry-overhead", "wavefront",
 	}
 	got := Experiments()

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+
+	"swfpga/internal/engine"
+	"swfpga/internal/search"
+	"swfpga/internal/seq"
+	"swfpga/internal/stats"
+	"swfpga/internal/swar"
+	"swfpga/internal/telemetry"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "swar",
+		Title:    "SWAR lane kernel: batched scan vs the scalar software engine",
+		Artifact: "DESIGN.md §14 (software-tier speedup)",
+		Run:      runSwar,
+	})
+}
+
+// swarSpeedupFloor is the gate: the SWAR engine must scan the seeded
+// corpus at least this much faster than the scalar software engine, or
+// the experiment fails. `make swar-smoke` runs this with a few reps and
+// best-of timing so a loaded CI runner does not trip it on noise.
+const swarSpeedupFloor = 4.0
+
+// runSwar measures the sixth engine where it is meant to pay off: the
+// many-record scan. The same database search runs once on the scalar
+// software engine and once on the SWAR engine (batch auto-negotiated to
+// the kernel's group size), hits are checked bit-identical, and the
+// wall-time ratio is gated at >= 4x. The per-group telemetry counters
+// are reported so a run that silently fell back to the scalar oracle
+// (which would still be correct, just slow) is visible in the table.
+func runSwar(ctx context.Context, w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	gen := seq.NewGenerator(cfg.Seed)
+	query := gen.Random(128)
+	records := cfg.scaled(320)
+	recLen := 4000
+	db := make([]seq.Sequence, records)
+	for i := range db {
+		db[i] = gen.RandomSequence(fmt.Sprintf("r%05d", i), recLen)
+		if i%7 == 0 {
+			seq.PlantMotif(db[i].Data, query[:64], (i*131)%(recLen-80))
+		}
+	}
+	opts := search.Options{MinScore: 25, Workers: cfg.Workers}
+	cells := uint64(len(query)) * uint64(records) * uint64(recLen)
+	fmt.Fprintf(w, "workload: %d BP query vs %d records x %d BP, %d workers, %d reps (best-of)\n\n",
+		len(query), records, recLen, cfg.Workers, cfg.Reps)
+
+	groups0 := telemetry.SwarGroups.Value()
+	lanes0 := telemetry.SwarRecords.Value()
+	promos0 := telemetry.SwarPromotions.Value()
+	falls0 := telemetry.SwarFallbacks.Value()
+
+	run := func(name string) ([]search.Hit, stats.Summary, error) {
+		f := search.EngineFactory(name, engine.Config{})
+		// Warm-up pass: kernel/profile construction and arena fill are
+		// one-time costs a long-lived scan service amortizes away.
+		if _, err := search.Search(ctx, db[:min(records, 16)], query, opts, f); err != nil {
+			return nil, stats.Summary{}, err
+		}
+		var hits []search.Hit
+		var runErr error
+		sum := stats.TimeRepeat(cfg.Reps, func() {
+			hits, runErr = search.Search(ctx, db, query, opts, f)
+		})
+		return hits, sum, runErr
+	}
+
+	swHits, swSum, err := run("software")
+	if err != nil {
+		return err
+	}
+	laneHits, laneSum, err := run("swar")
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(laneHits, swHits) {
+		return fmt.Errorf("swar hits diverge from software (%d vs %d hits)", len(laneHits), len(swHits))
+	}
+
+	speedup := swSum.Min / laneSum.Min
+	tw := table(w)
+	fmt.Fprintln(tw, "engine\tbest time\tthroughput\tspeedup")
+	fmt.Fprintf(tw, "software (scalar)\t%.3f s\t%s\t1.0\n", swSum.Min, mcups(cells, swSum.Min))
+	fmt.Fprintf(tw, "swar (%d-record groups)\t%.3f s\t%s\t%.1f\n",
+		swar.GroupSize, laneSum.Min, mcups(cells, laneSum.Min), speedup)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d hits agree bit for bit on both engines\n", len(swHits))
+	fmt.Fprintf(w, "lane groups %d, in-lane records %d, 16-bit promotions %d, scalar fallbacks %d\n",
+		telemetry.SwarGroups.Value()-groups0, telemetry.SwarRecords.Value()-lanes0,
+		telemetry.SwarPromotions.Value()-promos0, telemetry.SwarFallbacks.Value()-falls0)
+	// The floor only means something when the workload can fill lane
+	// groups; microscopic smoke scales (a handful of records) route
+	// through the scalar path by design and would measure ~1x.
+	if records < 2*swar.GroupSize {
+		fmt.Fprintf(w, "speedup %.2fx (floor not enforced below %d records)\n",
+			speedup, 2*swar.GroupSize)
+		return nil
+	}
+	if speedup < swarSpeedupFloor {
+		return fmt.Errorf("swar speedup %.2fx below the %.1fx floor", speedup, swarSpeedupFloor)
+	}
+	fmt.Fprintf(w, "speedup %.2fx clears the %.1fx floor\n", speedup, swarSpeedupFloor)
+	return nil
+}

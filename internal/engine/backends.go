@@ -10,11 +10,12 @@ import (
 	"swfpga/internal/wavefront"
 )
 
-// The five deployments of the paper's comparator, all behind one
-// registry: the sequential software reference (sec. 2.1), the simulated
-// systolic board (sec. 3–5), the multi-core wavefront schedule
-// (sec. 2.4), and the distributed cluster in clean and chaos-hardened
-// configurations (sec. 5, DESIGN.md §7).
+// The deployments of the paper's comparator, all behind one registry:
+// the sequential software reference (sec. 2.1), the simulated systolic
+// board (sec. 3–5), the multi-core wavefront schedule (sec. 2.4), and
+// the distributed cluster in clean and chaos-hardened configurations
+// (sec. 5, DESIGN.md §7). The sixth backend — the SWAR lane kernel —
+// registers in swarengine.go.
 func init() {
 	Register("software", newSoftware)
 	Register("systolic", newSystolic)

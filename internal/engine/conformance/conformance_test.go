@@ -18,7 +18,7 @@ import (
 // fallback the schedule provokes.
 func TestConformanceAllBackends(t *testing.T) {
 	names := engine.Names()
-	want := []string{"cluster", "faulttolerant", "software", "systolic", "wavefront"}
+	want := []string{"cluster", "faulttolerant", "software", "swar", "systolic", "wavefront"}
 	if len(names) != len(want) {
 		t.Fatalf("registered engines %v, want %v", names, want)
 	}

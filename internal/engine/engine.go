@@ -39,6 +39,12 @@ type Capabilities struct {
 	// Batch: the backend amortizes per-call transfer cost across many
 	// records (it implements Batcher).
 	Batch bool
+	// PreferredBatch is the record-group size the Batcher performs best
+	// at — the SWAR kernel's lane-group width, a board's DMA window.
+	// Zero means the backend has no preference: callers that leave
+	// Options.Batch unset get record-by-record scans, exactly as before
+	// this field existed. Meaningful only when Batch is set.
+	PreferredBatch int
 	// Faulty: the backend models board faults and exposes fault reports
 	// (it implements Faulter); results remain bit-identical to software
 	// in every non-error outcome.

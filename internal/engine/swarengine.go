@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+
+	"swfpga/internal/align"
+	"swfpga/internal/linear"
+	"swfpga/internal/swar"
+	"swfpga/internal/telemetry"
+)
+
+func init() {
+	Register("swar", newSwarEngine)
+}
+
+// swarEngine is the sixth backend: the SWAR interleaved software kernel
+// (internal/swar) behind the batch interface, with the sequential
+// reference scanner serving every non-batch operation. The embedded
+// scalar path doubles as the overflow escape hatch — a record whose
+// score saturates every lane tier is re-scored by align.LocalScore, so
+// a scan never aborts the way narrow systolic registers do.
+//
+// The engine is a pointer type so the query profile survives across
+// BatchScan calls: a database search scores one query against many
+// record groups, and rebuilding the per-symbol lane profile for each
+// group would hand back a chunk of the SWAR win. Like every backend,
+// an instance is not safe for concurrent use; per-worker callers
+// construct one engine per goroutine, so the cache needs no lock.
+type swarEngine struct {
+	linear.ScanSoftware
+
+	query []byte
+	sc    align.LinearScoring
+	k     *swar.Kernel
+}
+
+func newSwarEngine(cfg Config) (Engine, error) {
+	return &swarEngine{}, nil
+}
+
+func (*swarEngine) Name() string { return "swar" }
+
+func (*swarEngine) Capabilities() Capabilities {
+	return Capabilities{
+		Divergence:     true,
+		Affine:         true,
+		Batch:          true,
+		PreferredBatch: swar.GroupSize,
+	}
+}
+
+// kernel returns the cached query profile, rebuilding it only when the
+// query bytes or the scoring parameters change.
+func (e *swarEngine) kernel(query []byte, sc align.LinearScoring) *swar.Kernel {
+	if e.k == nil || e.sc != sc || !bytes.Equal(e.query, query) {
+		e.k = swar.NewKernel(query, sc)
+		e.query = append(e.query[:0], query...)
+		e.sc = sc
+	}
+	return e.k
+}
+
+// minLaneGroup is the smallest group worth a lane pass. A SWAR pass
+// costs roughly the same wall time however many of its lanes are
+// occupied — about three scalar scans' worth — so groups below four
+// records (stream byte budgets can shrink them all the way to one) are
+// scored by the scalar path instead of paying for empty lanes.
+const minLaneGroup = 4
+
+// BatchScan implements Batcher: records are scored swar.GroupSize at a
+// time through the lane kernel, and any lane the kernel hands back as
+// Overflow is re-scored by the scalar oracle, so the results are
+// bit-identical to the software engine for every record.
+func (e *swarEngine) BatchScan(ctx context.Context, query []byte, records [][]byte, sc align.LinearScoring) ([]BatchResult, error) {
+	k := e.kernel(query, sc)
+	out := make([]BatchResult, len(records))
+	var res [swar.GroupSize]swar.Result
+	for lo := 0; lo < len(records); lo += swar.GroupSize {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := min(lo+swar.GroupSize, len(records))
+		group := records[lo:hi]
+		if len(group) < minLaneGroup {
+			for i, rec := range group {
+				score, endI, endJ := align.LocalScore(query, rec, sc)
+				out[lo+i] = BatchResult{Score: score, EndI: endI, EndJ: endJ}
+			}
+			continue
+		}
+		st := k.ScanGroup(group, res[:len(group)])
+		telemetry.SwarGroups.Inc()
+		if st.Promotions > 0 {
+			telemetry.SwarPromotions.Add(int64(st.Promotions))
+		}
+		if st.Fallbacks > 0 {
+			telemetry.SwarFallbacks.Add(int64(st.Fallbacks))
+		}
+		inLane := 0
+		for i, r := range res[:len(group)] {
+			if r.Overflow {
+				score, endI, endJ := align.LocalScore(query, group[i], sc)
+				r = swar.Result{Score: score, EndI: endI, EndJ: endJ}
+			} else {
+				inLane++
+			}
+			out[lo+i] = BatchResult{Score: r.Score, EndI: r.EndI, EndJ: r.EndJ}
+		}
+		telemetry.SwarRecords.Add(int64(inLane))
+	}
+	return out, nil
+}

@@ -163,6 +163,32 @@ var scenarios = map[string]Scenario{
 		Stream:         true,
 		MaxMemoryBytes: 64 << 10,
 	},
+	// scan_swar is scan_stream's 256 KiB database and query mix on the
+	// SWAR lane engine, re-cut into 256 x 1 KiB records so the same
+	// 64 KiB prefetch budget still admits full 16-record lane groups
+	// (scan_stream's 16 KiB records cap a budgeted group at one record,
+	// which the engine routes to its scalar path). Held next to
+	// BENCH_scan_stream.json it is the committed record of the software
+	// tier's SWAR speedup — a throughput regression here means the lane
+	// kernel (or the batch plumbing above it) got slower.
+	"scan_swar": {
+		Name:           "scan_swar",
+		Seed:           42,
+		DBRecords:      256,
+		RecordLen:      1 << 10,
+		QueryLens:      []int{64, 96, 128},
+		QueriesPerLen:  2,
+		Operations:     24,
+		Warmup:         2,
+		Concurrency:    4,
+		Arrival:        ArrivalClosed,
+		Engine:         "swar",
+		MinScore:       30,
+		TopK:           5,
+		ScanWorkers:    2,
+		Stream:         true,
+		MaxMemoryBytes: 64 << 10,
+	},
 	// scan_indexed is scan_stream's database and query mix driven through
 	// the packed shard index instead of FASTA parsing: the target
 	// compiles the database once, then every operation scatter-gathers

@@ -130,11 +130,12 @@ func (a *Arena[T]) Put(s []T) {
 
 // The package-level arenas cover the element types of the repository's
 // hot paths: []int DP rows (align), []int32 wavefront rows and border
-// blocks, and []byte chunk staging buffers.
+// blocks, []byte chunk staging buffers, and []uint64 SWAR lane columns.
 var (
-	intArena   Arena[int]
-	int32Arena Arena[int32]
-	byteArena  Arena[byte]
+	intArena    Arena[int]
+	int32Arena  Arena[int32]
+	byteArena   Arena[byte]
+	uint64Arena Arena[uint64]
 )
 
 // Ints returns a zeroed []int of length n from the shared arena.
@@ -154,3 +155,9 @@ func Bytes(n int) []byte { return byteArena.Get(n) }
 
 // PutBytes recycles a slice obtained from Bytes.
 func PutBytes(s []byte) { byteArena.Put(s) }
+
+// Uint64s returns a zeroed []uint64 of length n from the shared arena.
+func Uint64s(n int) []uint64 { return uint64Arena.Get(n) }
+
+// PutUint64s recycles a slice obtained from Uint64s.
+func PutUint64s(s []uint64) { uint64Arena.Put(s) }

@@ -58,8 +58,10 @@ type Options struct {
 	// Batch groups this many records per dispatch when the engine
 	// advertises the Batch capability (score-only, single-hit searches):
 	// the query is uploaded to the board once per batch instead of once
-	// per record, the SWAPHI-style amortization. 0 or 1 scans record by
-	// record — the paper's single-pair contract.
+	// per record, the SWAPHI-style amortization. 0 (the default) defers
+	// to the engine's preferred group size (Capabilities.PreferredBatch;
+	// engines without a preference scan record by record), 1 forces the
+	// per-record contract, and > 1 requests that exact group size.
 	Batch int
 	// Stats, when set, annotates every hit with its expect value and bit
 	// score for the (query x record) search space.
@@ -79,8 +81,8 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.Batch < 1 {
-		o.Batch = 1
+	if o.Batch < 0 {
+		o.Batch = 0 // 0 = defer to the engine's preferred batch size
 	}
 	return o
 }
@@ -148,24 +150,17 @@ func Search(ctx context.Context, db []seq.Sequence, query []byte, opts Options, 
 		return engines[w], nil
 	}
 
-	// Batching (SWAPHI-style) applies only to the score-only single-hit
-	// path on engines that advertise it; otherwise every task is one
-	// record. The negotiation probes one engine up front.
-	batch := 1
-	if opts.Batch > 1 && opts.PerRecord == 1 && !opts.Retrieve {
-		probe, err := newEngine()
-		if err != nil {
-			return nil, err
-		}
-		if engine.BatcherFor(probe) != nil {
-			batch = opts.Batch
-			engines[0] = probe // don't waste the probe
-		}
+	batch, probe, err := negotiateBatch(opts, newEngine)
+	if err != nil {
+		return nil, err
+	}
+	if probe != nil {
+		engines[0] = probe // don't waste the probe
 	}
 	tasks := (len(db) + batch - 1) / batch
 
 	hitsPerRecord := make([][]Hit, len(db))
-	err := sched.Run(ctx, tasks, sched.Config{Workers: workers}, sched.Hooks{
+	err = sched.Run(ctx, tasks, sched.Config{Workers: workers}, sched.Hooks{
 		// Classify is nil: the first record error aborts the run and
 		// cancels the in-flight scans.
 		Do: func(sctx context.Context, w int, tk sched.Task) error {
@@ -253,37 +248,83 @@ func hitLess(a, b *Hit) bool {
 	return a.Result.SEnd < b.Result.SEnd
 }
 
+// negotiateBatch resolves the effective record-group size for a scan.
+// Batching (SWAPHI-style) applies only to the score-only single-hit
+// path on engines that advertise it: Options.Batch == 1 forces the
+// per-record contract without probing; otherwise one engine is probed
+// up front — Batch > 1 requests that exact group size, Batch == 0
+// defers to the probed engine's PreferredBatch, and engines without
+// the Batcher interface (or a preference) keep record-by-record. The
+// probe, when non-nil, is returned so the caller can seed its worker
+// pool instead of wasting the construction.
+func negotiateBatch(opts Options, newEngine Factory) (int, engine.Engine, error) {
+	if opts.Batch == 1 || opts.PerRecord != 1 || opts.Retrieve {
+		return 1, nil, nil
+	}
+	probe, err := newEngine()
+	if err != nil {
+		return 0, nil, err
+	}
+	if probe == nil {
+		return 0, nil, fmt.Errorf("search: engine factory returned nil")
+	}
+	batch := 1
+	if engine.BatcherFor(probe) != nil {
+		if opts.Batch > 1 {
+			batch = opts.Batch
+		} else if pb := probe.Capabilities().PreferredBatch; pb > 1 {
+			batch = pb
+		}
+	}
+	return batch, probe, nil
+}
+
 // scanBatch scans records [lo, hi) through the engine's batch fast
-// path: one query upload amortized across the batch. Only the
-// score-only single-hit search uses it, so each record yields at most
-// one end-coordinate hit — the same Hit shape as the per-record path.
-// hitsPerRecord slots are written per record index, each owned by
-// exactly one in-flight task.
+// path: one query upload amortized across the batch. hitsPerRecord
+// slots are written per record index, each owned by exactly one
+// in-flight task.
 func scanBatch(ctx context.Context, db []seq.Sequence, lo, hi int, query []byte, opts Options, e engine.Engine, hitsPerRecord [][]Hit) error {
+	groups, err := batchScanHits(ctx, db[lo:hi], lo, query, opts, e)
+	if err != nil {
+		return err
+	}
+	for i, hs := range groups {
+		hitsPerRecord[lo+i] = hs
+	}
+	return nil
+}
+
+// batchScanHits scores one record group through the engine's batch
+// path and returns the hits per record (nil slots for records below
+// MinScore). Only the score-only single-hit search reaches it, so each
+// record yields at most one end-coordinate hit — the same Hit shape as
+// the per-record path, which keeps batched and unbatched scans
+// bit-identical.
+func batchScanHits(ctx context.Context, recs []seq.Sequence, base int, query []byte, opts Options, e engine.Engine) ([][]Hit, error) {
 	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchBatch)
-	span.SetInt("records", int64(hi-lo))
-	span.SetInt("index", int64(lo))
+	span.SetInt("records", int64(len(recs)))
+	span.SetInt("index", int64(base))
 	defer span.End()
-	records := make([][]byte, hi-lo)
-	for i := lo; i < hi; i++ {
-		records[i-lo] = db[i].Data
+	records := make([][]byte, len(recs))
+	for i := range recs {
+		records[i] = recs[i].Data
 	}
 	results, err := engine.BatcherFor(e).BatchScan(ctx, query, records, opts.Scoring)
 	if err != nil {
-		return fmt.Errorf("search: records %q..%q: %w", db[lo].ID, db[hi-1].ID, err)
+		return nil, fmt.Errorf("search: records %q..%q: %w", recs[0].ID, recs[len(recs)-1].ID, err)
 	}
+	out := make([][]Hit, len(recs))
 	for i, r := range results {
 		if r.Score < opts.MinScore {
 			continue
 		}
-		idx := lo + i
-		hitsPerRecord[idx] = []Hit{{
-			RecordID: db[idx].ID, RecordIndex: idx,
+		out[i] = []Hit{{
+			RecordID: recs[i].ID, RecordIndex: base + i,
 			Result: align.Result{Score: r.Score, SEnd: r.EndI, TEnd: r.EndJ,
 				SStart: r.EndI, TStart: r.EndJ},
 		}}
 	}
-	return nil
+	return out, nil
 }
 
 // scanRecord produces the hits of one database record. Each record gets

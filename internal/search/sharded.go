@@ -33,8 +33,10 @@ type ShardedOptions struct {
 // database, which the conformance suite asserts across every
 // registered engine.
 //
-// Options.Batch is ignored: sharded scans decode records one at a time
-// from the mapped payload, the per-record contract.
+// Batch negotiation works exactly as in Search: on engines that
+// advertise the Batch capability, score-only single-hit scans group
+// consecutive records of a shard into batch-sized dispatches; the
+// per-shard top-k cut and the merge see the same hits either way.
 func SearchSharded(ctx context.Context, idx *seq.ShardIndex, query []byte, opts ShardedOptions, newEngine Factory) ([]Hit, error) {
 	if idx == nil {
 		return nil, fmt.Errorf("search: nil shard index")
@@ -83,8 +85,16 @@ func SearchSharded(ctx context.Context, idx *seq.ShardIndex, query []byte, opts 
 		return engines[w], nil
 	}
 
+	batch, probe, err := negotiateBatch(o, newEngine)
+	if err != nil {
+		return nil, err
+	}
+	if probe != nil {
+		engines[0] = probe // don't waste the probe
+	}
+
 	perShard := make([][]Hit, idx.Shards())
-	err := sched.Run(ctx, idx.Shards(), sched.Config{Workers: workers}, sched.Hooks{
+	err = sched.Run(ctx, idx.Shards(), sched.Config{Workers: workers}, sched.Hooks{
 		// Classify is nil: the first shard error aborts the run and
 		// cancels the in-flight scans.
 		Do: func(sctx context.Context, w int, tk sched.Task) error {
@@ -92,7 +102,7 @@ func SearchSharded(ctx context.Context, idx *seq.ShardIndex, query []byte, opts 
 			if err != nil {
 				return err
 			}
-			hs, err := scanShard(sctx, idx, tk.Index, query, o, e)
+			hs, err := scanShard(sctx, idx, tk.Index, query, o, batch, e)
 			if err != nil {
 				return err
 			}
@@ -128,9 +138,10 @@ func SearchSharded(ctx context.Context, idx *seq.ShardIndex, query []byte, opts 
 	return out, nil
 }
 
-// scanShard runs one shard's records through the per-record scan and
-// keeps the shard-local top-k.
-func scanShard(ctx context.Context, idx *seq.ShardIndex, si int, query []byte, opts Options, e engine.Engine) ([]Hit, error) {
+// scanShard runs one shard's records through the scan — record by
+// record, or in negotiated batch-sized groups through the engine's
+// batch path — and keeps the shard-local top-k.
+func scanShard(ctx context.Context, idx *seq.ShardIndex, si int, query []byte, opts Options, batch int, e engine.Engine) ([]Hit, error) {
 	ctx, span := telemetry.StartSpan(ctx, telemetry.SpanSearchShard)
 	span.SetInt("shard", int64(si))
 	span.SetInt("records", int64(idx.ShardInfo(si).Records))
@@ -142,6 +153,27 @@ func scanShard(ctx context.Context, idx *seq.ShardIndex, si int, query []byte, o
 	base := int(idx.ShardRecordBase(si))
 	keep := topK{k: opts.TopK}
 	src := idx.ShardSource(si)
+
+	// pending buffers up to batch consecutive records before one batch
+	// dispatch; flush scores them and feeds the top-k cut.
+	var pending []seq.Sequence
+	pbase := base
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		groups, err := batchScanHits(ctx, pending, pbase, query, opts, e)
+		if err != nil {
+			return err
+		}
+		for _, hs := range groups {
+			keep.add(hs)
+		}
+		pbase += len(pending)
+		pending = pending[:0]
+		return nil
+	}
+
 	for j := 0; ; j++ {
 		rec, err := src.Next()
 		if err == io.EOF {
@@ -150,11 +182,23 @@ func scanShard(ctx context.Context, idx *seq.ShardIndex, si int, query []byte, o
 		if err != nil {
 			return nil, err
 		}
+		if batch > 1 {
+			pending = append(pending, rec)
+			if len(pending) >= batch {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
 		hs, err := scanRecord(ctx, rec, base+j, query, opts, e)
 		if err != nil {
 			return nil, fmt.Errorf("search: record %q: %w", rec.ID, err)
 		}
 		keep.add(hs)
+	}
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	out := keep.final()
 	telemetry.ShardScans.Inc()

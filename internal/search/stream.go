@@ -38,9 +38,14 @@ const streamRecordOverhead = 64
 // reduced-memory contract, where the database streams through the
 // accelerator instead of residing in host memory.
 //
-// Records stream record by record regardless of Options.Batch (batch
-// negotiation needs the whole database up front). The first parse or
-// scan error cancels the in-flight work and is returned.
+// Batch negotiation works exactly as in Search: on engines that
+// advertise the Batch capability, score-only single-hit scans group up
+// to the negotiated batch of consecutive records per task. A group is
+// admitted against the memory budget as a unit but never grows past
+// half the per-worker budget share, so several groups stay in flight
+// under the budget and the one-record overshoot contract is preserved.
+// The first parse or scan error cancels the in-flight work and is
+// returned.
 func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts StreamOptions, newEngine Factory) ([]Hit, error) {
 	o := opts.Options.withDefaults()
 	if err := o.Scoring.Validate(); err != nil {
@@ -83,22 +88,49 @@ func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts Stream
 		return engines[w], nil
 	}
 
-	// window holds admitted records by index until they are scanned and
+	batch, probe, err := negotiateBatch(o, newEngine)
+	if err != nil {
+		return nil, err
+	}
+	if probe != nil {
+		engines[0] = probe // don't waste the probe
+	}
+	// A streamed group is admitted against the budget as one unit, so
+	// cap its bytes at half a worker's budget share: groups stay small
+	// enough that every worker can hold one while another is parsed.
+	// The cap never splits a single record — the first record always
+	// enters the group — preserving the one-record overshoot contract.
+	var groupByteCap int64
+	if batch > 1 && opts.MaxMemoryBytes > 0 {
+		groupByteCap = opts.MaxMemoryBytes / int64(2*workers)
+		if groupByteCap < 1 {
+			groupByteCap = 1
+		}
+	}
+
+	// window holds admitted record groups by task index (one record per
+	// group unless batching was negotiated) until they are scanned and
 	// released; shared between the master (admit/release) and the
 	// workers (scan), hence the lock.
+	type streamGroup struct {
+		base int // global index of recs[0]
+		recs []seq.Sequence
+	}
 	var (
 		winMu  sync.Mutex
-		window = map[int]seq.Sequence{}
+		window = map[int]streamGroup{}
 	)
 	var (
 		hitsMu        sync.Mutex
 		hitsPerRecord = map[int][]Hit{}
 	)
 	// lens collects record lengths for the statistics pass; written only
-	// by the master goroutine, read after the run completes.
+	// by the master goroutine, read after the run completes. tasks
+	// counts the groups handed to the scheduler.
 	var lens []int
+	tasks := 0
 
-	err := sched.RunStream(ctx, sched.StreamConfig{
+	err = sched.RunStream(ctx, sched.StreamConfig{
 		Config:      sched.Config{Workers: workers},
 		BudgetBytes: opts.MaxMemoryBytes,
 	}, sched.StreamHooks{
@@ -111,15 +143,30 @@ func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts Stream
 					return err
 				}
 				winMu.Lock()
-				rec := window[tk.Index]
+				g := window[tk.Index]
 				winMu.Unlock()
-				hs, err := scanRecord(sctx, rec, tk.Index, query, o, e)
+				if batch > 1 {
+					groups, err := batchScanHits(sctx, g.recs, g.base, query, o, e)
+					if err != nil {
+						return err
+					}
+					hitsMu.Lock()
+					for i, hs := range groups {
+						if len(hs) > 0 {
+							hitsPerRecord[g.base+i] = hs
+						}
+					}
+					hitsMu.Unlock()
+					return nil
+				}
+				rec := g.recs[0]
+				hs, err := scanRecord(sctx, rec, g.base, query, o, e)
 				if err != nil {
 					return fmt.Errorf("search: record %q: %w", rec.ID, err)
 				}
 				if len(hs) > 0 {
 					hitsMu.Lock()
-					hitsPerRecord[tk.Index] = hs
+					hitsPerRecord[g.base] = hs
 					hitsMu.Unlock()
 				}
 				return nil
@@ -128,21 +175,35 @@ func Stream(ctx context.Context, src seq.RecordSource, query []byte, opts Stream
 		Next: func(nctx context.Context) (int64, bool, error) {
 			_, pspan := telemetry.StartSpan(nctx, telemetry.SpanSearchParse)
 			defer pspan.End()
-			rec, err := src.Next()
-			if err == io.EOF {
+			g := streamGroup{base: len(lens)}
+			var cost, bases int64
+			for len(g.recs) < batch {
+				rec, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return 0, false, fmt.Errorf("search: %w", err)
+				}
+				g.recs = append(g.recs, rec)
+				lens = append(lens, len(rec.Data))
+				bases += int64(len(rec.Data))
+				cost += int64(len(rec.Data)) + streamRecordOverhead
+				if groupByteCap > 0 && cost >= groupByteCap {
+					break
+				}
+			}
+			if len(g.recs) == 0 {
 				return 0, false, nil
 			}
-			if err != nil {
-				return 0, false, fmt.Errorf("search: %w", err)
-			}
-			idx := len(lens)
-			pspan.SetInt("index", int64(idx))
-			pspan.SetInt("bases", int64(len(rec.Data)))
+			pspan.SetInt("index", int64(g.base))
+			pspan.SetInt("bases", bases)
+			pspan.SetInt("records", int64(len(g.recs)))
 			winMu.Lock()
-			window[idx] = rec
+			window[tasks] = g
 			winMu.Unlock()
-			lens = append(lens, len(rec.Data))
-			return int64(len(rec.Data)) + streamRecordOverhead, true, nil
+			tasks++
+			return cost, true, nil
 		},
 		OnAdmit: func(_ sched.Task, bytes int64) {
 			telemetry.StreamBufferBytes.Set(float64(bytes))

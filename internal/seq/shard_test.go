@@ -304,6 +304,62 @@ func TestShardCorruptionRejected(t *testing.T) {
 	}
 }
 
+// TestShardPartialOpenReleasesEarlierShards pins the partial-open
+// error path: when shard N fails its checksum, the payload accessors
+// already opened for shards 0..N-1 must be released before
+// OpenShardIndex returns — no leaked mmaps or descriptors. The
+// liveShardData counter observes real opens and closes on both the
+// mmap and the pread fallback path.
+func TestShardPartialOpenReleasesEarlierShards(t *testing.T) {
+	for _, sectionRead := range []bool{false, true} {
+		t.Run(fmt.Sprintf("forceSectionRead=%v", sectionRead), func(t *testing.T) {
+			prev := forceSectionRead
+			forceSectionRead = sectionRead
+			defer func() { forceSectionRead = prev }()
+
+			dir := t.TempDir()
+			if _, err := BuildIndex(context.Background(), SliceSource(shardTestRecords(t, 10)), dir, "db",
+				IndexOptions{ShardPayloadBytes: 768}); err != nil {
+				t.Fatal(err)
+			}
+			live0 := liveShardData.Load()
+
+			// Sanity: a clean open holds one accessor per shard and Close
+			// releases them all — this is what makes the leak assertion
+			// below non-vacuous.
+			idx, err := OpenShardIndex(ManifestPath(dir, "db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards := idx.Shards()
+			if shards < 3 {
+				t.Fatalf("test wants >= 3 shards so a later shard can fail, got %d", shards)
+			}
+			if got := liveShardData.Load() - live0; got != int64(shards) {
+				t.Fatalf("open index holds %d live accessors, want %d", got, shards)
+			}
+			if err := idx.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if got := liveShardData.Load(); got != live0 {
+				t.Fatalf("Close leaked %d accessors", got-live0)
+			}
+
+			// Corrupt the LAST shard: every earlier shard opens (and maps)
+			// successfully before the failure is discovered.
+			last := fmt.Sprintf("db-%04d.shard", shards-1)
+			flipByte(t, filepath.Join(dir, last), -1)
+			if _, err := OpenShardIndex(ManifestPath(dir, "db")); !errors.Is(err, ErrShardCorrupt) {
+				t.Fatalf("err = %v, want ErrShardCorrupt", err)
+			}
+			if got := liveShardData.Load(); got != live0 {
+				t.Fatalf("partial open leaked %d shard accessors (shards 0..%d not released)",
+					got-live0, shards-2)
+			}
+		})
+	}
+}
+
 func TestShardMissingFileIsNotCorrupt(t *testing.T) {
 	err := corruptIndex(t, func(t *testing.T, dir string) {
 		if err := os.Remove(filepath.Join(dir, "db-0000.shard")); err != nil {

@@ -8,11 +8,20 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 )
 
 // forceSectionRead, when set (tests), makes openShardData skip mmap so
 // the pread fallback is exercised on platforms that do support mmap.
 var forceSectionRead bool
+
+// liveShardData counts payload accessors opened and not yet closed.
+// It exists so tests can pin the partial-open contract: when shard N
+// of a manifest fails verification, the accessors of shards 0..N-1
+// must all be released before OpenShardIndex returns — a leaked mmap
+// would pin the shard file and its address space for the life of the
+// process.
+var liveShardData atomic.Int64
 
 // shardData abstracts payload access: a read-only memory mapping where
 // the platform provides one, a section reader otherwise. view returns n
@@ -40,7 +49,10 @@ func (d *mmapShardData) view(off, n int64) ([]byte, error) {
 	return s[:n:n], nil
 }
 
-func (d *mmapShardData) close() error { return d.unmap() }
+func (d *mmapShardData) close() error {
+	liveShardData.Add(-1)
+	return d.unmap()
+}
 
 // fileShardData is the section-read fallback: each view is an exact
 // pread of the requested record, so memory stays bounded by one record
@@ -62,7 +74,10 @@ func (d *fileShardData) view(off, n int64) ([]byte, error) {
 	return buf, nil
 }
 
-func (d *fileShardData) close() error { return d.f.Close() }
+func (d *fileShardData) close() error {
+	liveShardData.Add(-1)
+	return d.f.Close()
+}
 
 // openShardData wires a shard file to its payload accessor, preferring
 // a read-only mapping and falling back to section reads. On success it
@@ -72,9 +87,11 @@ func openShardData(f *os.File, size, payloadOff, payloadBytes int64) (shardData,
 		if m, unmap, err := mapShardFile(f, size); err == nil {
 			// The mapping outlives the descriptor.
 			_ = f.Close()
+			liveShardData.Add(1)
 			return &mmapShardData{m: m, payloadOff: payloadOff, unmap: unmap}, nil
 		}
 	}
+	liveShardData.Add(1)
 	return &fileShardData{f: f, payloadOff: payloadOff, payloadBytes: payloadBytes}, nil
 }
 

@@ -1,0 +1,598 @@
+// Package swar implements a SIMD-within-a-register (SWAR) interleaved
+// Smith-Waterman kernel: database records are packed one byte per
+// 8-bit lane into a uint64 and advance through the linear-gap
+// recurrence together, one column of eight DP cells per handful of
+// 64-bit ALU ops. A ScanGroup call takes up to sixteen records and
+// runs them as two interleaved eight-lane halves, giving the CPU two
+// independent dependency chains to overlap — the cell recurrence is
+// serial within a column, so a single chain leaves the ALUs idle. A
+// 4×16-bit widening tier catches lanes whose scores outgrow the 8-bit
+// tier, and lanes that outgrow both are reported back to the caller
+// for a scalar rescan — a scan never aborts on saturation the way a
+// narrow systolic register file does, it degrades lane by lane.
+//
+// The kernel reproduces internal/align.LocalScore bit for bit: the
+// same maximal score and the same tie resolution (smallest query end
+// i, then smallest database end j). It traverses column-major (the
+// database position j is the outer loop, as the lanes force), so it
+// carries the explicit tie rule of align.localScoreQueryRow: a later
+// candidate with an equal positive score wins exactly when its i is
+// smaller. Score bookkeeping uses the bias trick — lane values store
+// the plain non-negative local score H, substitution scores are
+// shifted by a bias making them non-negative, and the bias is removed
+// with a saturating subtract — so every lane operation is borrow-free
+// by construction: values are capped one match-score below the lane's
+// sign bit, and the sign bit itself is the carry fence.
+//
+// Like internal/scoring and internal/pool this package is a leaf: the
+// engine layer composes it with the scalar oracle; nothing here
+// imports the oracle, so conformance tests comparing the two stay
+// meaningful.
+package swar
+
+import (
+	"fmt"
+	"math/bits"
+
+	"swfpga/internal/pool"
+	"swfpga/internal/scoring"
+)
+
+// GroupSize is the number of database records one ScanGroup call
+// scores together: two interleaved eight-lane halves.
+const GroupSize = 16
+
+// group16 is the lane count of the 16-bit widening tier.
+const group16 = 4
+
+// Lane constants for the 8-bit tier. k01 replicates a byte across
+// lanes; k7f masks lane payloads; k80 is the per-lane sign (carry
+// fence) bit.
+const (
+	k01 = 0x0101010101010101
+	k7f = 0x7f7f7f7f7f7f7f7f
+	k80 = 0x8080808080808080
+)
+
+// Lane constants for the 16-bit tier.
+const (
+	j01 = 0x0001000100010001
+	j7f = 0x7fff7fff7fff7fff
+	j80 = 0x8000800080008000
+)
+
+// Result is the outcome of one lane: the best local score and its
+// 1-based end coordinates, exactly as align.LocalScore reports them.
+// Overflow marks a lane whose true score exceeds the widest SWAR tier;
+// its Score/End fields are meaningless and the caller must rescan that
+// record with the scalar oracle.
+type Result struct {
+	Score int
+	EndI  int
+	EndJ  int
+	// Overflow reports that the lane saturated even the 16-bit tier.
+	Overflow bool
+}
+
+// Stats counts the saturation traffic of one ScanGroup call.
+type Stats struct {
+	// Promotions is the number of lanes that overflowed the 8-bit
+	// tier and were rescanned in the 16-bit tier.
+	Promotions int
+	// Fallbacks is the number of lanes that overflowed every tier
+	// and were handed back to the caller (Result.Overflow).
+	Fallbacks int
+}
+
+// Kernel holds the per-search precomputation: the query mapped to
+// dense symbol indexes (the query profile — substitution score words
+// are materialized per database column over the query's alphabet, not
+// per cell), broadcast scoring constants, and the saturation limits of
+// both tiers.
+type Kernel struct {
+	sc scoring.LinearScoring
+	m  int
+
+	// sym maps each query position to an index into the query's
+	// distinct-symbol list; symB8/symB16 broadcast each distinct
+	// symbol across 8-bit and 16-bit lanes.
+	sym    []uint8
+	symB8  []uint64
+	symB16 []uint64
+
+	// bias makes substitution scores non-negative: biasedMatch =
+	// Match+bias, biasedMismatch = Mismatch+bias ≥ 0.
+	bias           int
+	gapMag         int
+	biasedMatch    int
+	biasedMismatch int
+
+	// ok8/ok16 report whether the scoring parameters fit the tier at
+	// all; limit8/limit16 are the lane-value caps (one biased match
+	// below the lane sign bit, so a plain add can never carry across
+	// lanes).
+	ok8, ok16        bool
+	limit8, limit16  int
+	biasB8, gapB8    uint64
+	mismB8, dmB8     uint64
+	limB8, limP1B8   uint64
+	biasB16, gapB16  uint64
+	mismB16, dmB16   uint64
+	limB16, limP1B16 uint64
+}
+
+// NewKernel precomputes the query profile and scoring constants for
+// scanning database records against query under sc. The profile
+// depends only on which query positions hold equal bytes, so the
+// caller may reuse its query buffer after NewKernel returns.
+func NewKernel(query []byte, sc scoring.LinearScoring) *Kernel {
+	k := &Kernel{sc: sc, m: len(query)}
+
+	bias := 0
+	if sc.Mismatch < 0 {
+		bias = -sc.Mismatch
+	}
+	k.bias = bias
+	k.gapMag = -sc.Gap
+	k.biasedMatch = sc.Match + bias
+	k.biasedMismatch = sc.Mismatch + bias
+
+	// Dense symbol indexes: positions of equal bytes share one index,
+	// so per-column score words are built once per distinct symbol.
+	var index [256]int16
+	for i := range index {
+		index[i] = -1
+	}
+	k.sym = make([]uint8, len(query))
+	for i, b := range query {
+		if index[b] < 0 {
+			index[b] = int16(len(k.symB8))
+			k.symB8 = append(k.symB8, k01*uint64(b))
+			k.symB16 = append(k.symB16, j01*uint64(b))
+		}
+		k.sym[i] = uint8(index[b])
+	}
+
+	// Tier eligibility: the cap limitN = lane max − biasedMatch keeps
+	// diag+score below the sign bit, and every broadcast subtrahend
+	// must itself fit below the sign bit for the borrow-free compare.
+	k.limit8 = 0x7f - k.biasedMatch
+	k.ok8 = k.limit8 >= 1 && bias <= 0x7f && k.gapMag <= 0x7f
+	k.limit16 = 0x7fff - k.biasedMatch
+	k.ok16 = k.limit16 >= 1 && bias <= 0x7fff && k.gapMag <= 0x7fff
+
+	if k.ok8 {
+		k.biasB8 = k01 * uint64(bias)
+		k.gapB8 = k01 * uint64(k.gapMag)
+		k.mismB8 = k01 * uint64(k.biasedMismatch)
+		k.dmB8 = k.mismB8 ^ (k01 * uint64(k.biasedMatch))
+		k.limB8 = k01 * uint64(k.limit8)
+		k.limP1B8 = k01 * uint64(k.limit8+1)
+	}
+	if k.ok16 {
+		k.biasB16 = j01 * uint64(bias)
+		k.gapB16 = j01 * uint64(k.gapMag)
+		k.mismB16 = j01 * uint64(k.biasedMismatch)
+		k.dmB16 = k.mismB16 ^ (j01 * uint64(k.biasedMatch))
+		k.limB16 = j01 * uint64(k.limit16)
+		k.limP1B16 = j01 * uint64(k.limit16+1)
+	}
+	return k
+}
+
+// QueryLen returns the query length the kernel was built for.
+func (k *Kernel) QueryLen() int { return k.m }
+
+// Tiers reports which SWAR tiers the scoring parameters fit. When
+// both are false every lane comes back Overflow and the caller scans
+// scalar — extreme scores are legal, just not profitable here.
+func (k *Kernel) Tiers() (ok8, ok16 bool) { return k.ok8, k.ok16 }
+
+// Limits returns the maximum exactly-representable local score of
+// each tier; scores above the limit promote (8→16 bit) or fall back
+// to the caller's scalar path.
+func (k *Kernel) Limits() (limit8, limit16 int) { return k.limit8, k.limit16 }
+
+// ScanGroup scores up to GroupSize records against the query, writing
+// one Result per record into out (len(out) must be ≥ len(recs)).
+// Lanes that saturate the 8-bit tier are transparently rescanned in
+// the 16-bit tier; lanes that saturate both are flagged Overflow for
+// the caller's scalar fallback. Safe for concurrent use: all scan
+// state lives in pooled scratch, the Kernel itself is read-only after
+// NewKernel.
+func (k *Kernel) ScanGroup(recs [][]byte, out []Result) Stats {
+	if len(recs) > GroupSize {
+		panic(fmt.Sprintf("swar: group of %d exceeds GroupSize %d", len(recs), GroupSize))
+	}
+	if len(out) < len(recs) {
+		panic("swar: result buffer shorter than record group")
+	}
+	var st Stats
+	for i := range recs {
+		out[i] = Result{}
+	}
+	if k.m == 0 || len(recs) == 0 {
+		return st
+	}
+	if k.ok8 {
+		// Split into two halves and run them as interleaved lane
+		// groups: even a sub-GroupSize call gets two dependency
+		// chains for the out-of-order core to overlap.
+		half := (len(recs) + 1) / 2
+		k.scan8(recs[:half], recs[half:], out[:half], out[half:])
+	} else {
+		for i := range recs {
+			out[i].Overflow = true
+		}
+	}
+
+	// Promote saturated lanes to the 16-bit tier, four per group.
+	var pidx [GroupSize]int
+	np := 0
+	for i := range recs {
+		if out[i].Overflow {
+			pidx[np] = i
+			np++
+		}
+	}
+	if np == 0 {
+		return st
+	}
+	if !k.ok16 {
+		st.Fallbacks = np
+		return st
+	}
+	if k.ok8 {
+		st.Promotions = np
+	}
+	var sub [group16][]byte
+	var subOut [group16]Result
+	for s := 0; s < np; s += group16 {
+		g := np - s
+		if g > group16 {
+			g = group16
+		}
+		for i := 0; i < g; i++ {
+			sub[i] = recs[pidx[s+i]]
+		}
+		k.scan16(sub[:g], subOut[:g])
+		for i := 0; i < g; i++ {
+			out[pidx[s+i]] = subOut[i]
+			if subOut[i].Overflow {
+				st.Fallbacks++
+			}
+		}
+	}
+	return st
+}
+
+// scan8 runs the 8-bit tier over two lane groups rx and ry (≤ 8
+// records each) in one interleaved cell loop, writing Results and
+// setting Overflow on lanes that hit the saturation clamp.
+//
+// Lane bookkeeping (see DESIGN.md §14): lanes hold the plain local
+// score H ≤ limit8 = 0x7f−biasedMatch, so diag+score stays ≤ 0x7f and
+// a plain uint64 add never carries across lanes. Saturating subtract
+// and max use the borrow-free compare (a|k80)−b: the lane's sign bit
+// survives exactly when a ≥ b, and (sign − sign>>7) expands it to a
+// 0x7f payload mask — enough, since no stored value ever sets bit 7.
+func (k *Kernel) scan8(rx, ry [][]byte, outx, outy []Result) {
+	m := k.m
+	n := 0
+	for _, r := range rx {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	for _, r := range ry {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	if n == 0 {
+		return
+	}
+
+	colX := pool.Uint64s(m)
+	defer pool.PutUint64s(colX)
+	colY := pool.Uint64s(m)
+	defer pool.PutUint64s(colY)
+	sym := k.sym
+	if len(sym) != len(colX) || len(colX) != len(colY) {
+		panic("swar: query profile out of sync")
+	}
+	// Score words per distinct query symbol, rebuilt each column.
+	// Indexed by sym[i] (uint8), so a 256-entry array kills the
+	// bounds check in the cell loop.
+	var csX, csY [256]uint64
+	nsym := len(k.symB8)
+
+	biasB, gapB := k.biasB8, k.gapB8
+	mismB, dmB := k.mismB8, k.dmB8
+	limB, limP1B := k.limB8, k.limP1B8
+
+	var mxX, mxY, poisonX, poisonY uint64
+	mp1X, mp1Y := uint64(k01), uint64(k01) // mx + 1 per lane
+	var endIX, endJX, endIY, endJY [GroupSize / 2]int32
+
+	for j := 0; j < n; j++ {
+		// Pack column j of every live record; dead lanes (record
+		// exhausted) get an all-zero active mask and their cells are
+		// forced to zero below, so pad bytes can never score.
+		var dbxX, activeX, dbxY, activeY uint64
+		for l, r := range rx {
+			if j < len(r) {
+				sh := uint(l) * 8
+				dbxX |= uint64(r[j]) << sh
+				activeX |= uint64(0x7f) << sh
+			}
+		}
+		for l, r := range ry {
+			if j < len(r) {
+				sh := uint(l) * 8
+				dbxY |= uint64(r[j]) << sh
+				activeY |= uint64(0x7f) << sh
+			}
+		}
+
+		// Column profile: one score word per distinct query symbol.
+		// Zero-byte detect on x = dbx ^ symbol finds equal lanes; the
+		// select picks biasedMatch there and biasedMismatch elsewhere.
+		for c := 0; c < nsym; c++ {
+			sb := k.symB8[c]
+			x1 := dbxX ^ sb
+			z1 := ((x1 & k7f) + k7f) | x1
+			me1 := ^z1 & k80
+			csX[c] = mismB ^ (dmB & (me1 - me1>>7))
+			x2 := dbxY ^ sb
+			z2 := ((x2 & k7f) + k7f) | x2
+			me2 := ^z2 & k80
+			csY[c] = mismB ^ (dmB & (me2 - me2>>7))
+		}
+
+		var diagX, upX, diagY, upY uint64
+		for i := range colX {
+			leftX := colX[i]
+			leftY := colY[i]
+			sc := sym[i]
+			sX := csX[sc]
+			sY := csY[sc]
+			// dterm = max(0, diag+score) via saturating de-bias.
+			t1 := diagX + sX
+			d1 := (t1 | k80) - biasB
+			a1 := d1 & k80
+			dtX := d1 & (a1 - a1>>7)
+			t2 := diagY + sY
+			e1 := (t2 | k80) - biasB
+			b1 := e1 & k80
+			dtY := e1 & (b1 - b1>>7)
+			// ul = max(up, left) = left + satsub(up, left).
+			d2 := (upX | k80) - leftX
+			a2 := d2 & k80
+			ulX := leftX + (d2 & (a2 - a2>>7))
+			e2 := (upY | k80) - leftY
+			b2 := e2 & k80
+			ulY := leftY + (e2 & (b2 - b2>>7))
+			// ug = max(0, ul − gap).
+			d3 := (ulX | k80) - gapB
+			a3 := d3 & k80
+			ugX := d3 & (a3 - a3>>7)
+			e3 := (ulY | k80) - gapB
+			b3 := e3 & k80
+			ugY := e3 & (b3 - b3>>7)
+			// H = max(dterm, ug), zeroed in dead lanes.
+			d4 := (dtX | k80) - ugX
+			a4 := d4 & k80
+			hX := (ugX + (d4 & (a4 - a4>>7))) & activeX
+			e4 := (dtY | k80) - ugY
+			b4 := e4 & k80
+			hY := (ugY + (e4 & (b4 - b4>>7))) & activeY
+			hkX := hX | k80
+			hkY := hY | k80
+			if ov := (hkX - limP1B) & k80; ov != 0 {
+				// Saturation: clamp the lane to the cap (preserving
+				// the carry fence for the rest of the scan) and
+				// poison it — its result is recomputed a tier up.
+				poisonX |= ov
+				mf := (ov >> 7) * 0xff
+				hX = (hX &^ mf) | (limB & mf)
+				hkX = hX | k80
+			}
+			if ov := (hkY - limP1B) & k80; ov != 0 {
+				poisonY |= ov
+				mf := (ov >> 7) * 0xff
+				hY = (hY &^ mf) | (limB & mf)
+				hkY = hY | k80
+			}
+			colX[i] = hX
+			colY[i] = hY
+			// Coordinate tracking, rare-branch: gt lanes beat their
+			// running max (first strict improvement keeps smallest j,
+			// then smallest i per column order); eq lanes tie it and
+			// win only with a strictly smaller i — the explicit rule
+			// of align.localScoreQueryRow.
+			gtX := (hkX - mp1X) & k80
+			geX := (hkX - mxX) & k80
+			gtY := (hkY - mp1Y) & k80
+			geY := (hkY - mxY) & k80
+			if gtX != 0 {
+				mf := (gtX >> 7) * 0xff
+				mxX = (mxX &^ mf) | (hX & mf)
+				mp1X = mxX + k01
+				for b := gtX; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 3
+					endIX[l] = int32(i + 1)
+					endJX[l] = int32(j + 1)
+				}
+			}
+			if eq := geX &^ gtX; eq != 0 {
+				eq &= (hX + k7f) & k80 // only positive scores tie
+				for b := eq; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 3
+					if int32(i+1) < endIX[l] {
+						endIX[l] = int32(i + 1)
+						endJX[l] = int32(j + 1)
+					}
+				}
+			}
+			if gtY != 0 {
+				mf := (gtY >> 7) * 0xff
+				mxY = (mxY &^ mf) | (hY & mf)
+				mp1Y = mxY + k01
+				for b := gtY; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 3
+					endIY[l] = int32(i + 1)
+					endJY[l] = int32(j + 1)
+				}
+			}
+			if eq := geY &^ gtY; eq != 0 {
+				eq &= (hY + k7f) & k80
+				for b := eq; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 3
+					if int32(i+1) < endIY[l] {
+						endIY[l] = int32(i + 1)
+						endJY[l] = int32(j + 1)
+					}
+				}
+			}
+			diagX = leftX
+			upX = hX
+			diagY = leftY
+			upY = hY
+		}
+	}
+
+	for l := range rx {
+		sh := uint(l) * 8
+		outx[l] = Result{
+			Score:    int((mxX >> sh) & 0xff),
+			EndI:     int(endIX[l]),
+			EndJ:     int(endJX[l]),
+			Overflow: (poisonX>>sh)&0x80 != 0,
+		}
+	}
+	for l := range ry {
+		sh := uint(l) * 8
+		outy[l] = Result{
+			Score:    int((mxY >> sh) & 0xff),
+			EndI:     int(endIY[l]),
+			EndJ:     int(endJY[l]),
+			Overflow: (poisonY>>sh)&0x80 != 0,
+		}
+	}
+}
+
+// scan16 is the widened tier: four 16-bit lanes, same recurrence,
+// same tie rule, lane cap limit16 = 0x7fff − biasedMatch. It runs a
+// single lane group — only lanes the 8-bit tier poisoned land here,
+// so simplicity beats peak throughput. Records packed here still
+// carry one byte per column, so the equality detect can use the cheap
+// single-compare form (x ≤ 0xff < lane sign bit).
+func (k *Kernel) scan16(recs [][]byte, out []Result) {
+	m := k.m
+	n := 0
+	for _, r := range recs {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	if n == 0 {
+		return
+	}
+
+	colBuf := pool.Uint64s(m)
+	defer pool.PutUint64s(colBuf)
+	col := colBuf
+	sym := k.sym
+	if len(sym) != len(col) {
+		panic("swar: query profile out of sync")
+	}
+	var cs [256]uint64
+	nsym := len(k.symB16)
+
+	biasB, gapB := k.biasB16, k.gapB16
+	mismB, dmB := k.mismB16, k.dmB16
+	limB, limP1B := k.limB16, k.limP1B16
+
+	var mx, mp1, poison uint64
+	mp1 = j01
+	var endI, endJ [group16]int32
+
+	for j := 0; j < n; j++ {
+		var dbx, active uint64
+		for l, r := range recs {
+			if j < len(r) {
+				sh := uint(l) * 16
+				dbx |= uint64(r[j]) << sh
+				active |= uint64(0x7fff) << sh
+			}
+		}
+
+		for c := 0; c < nsym; c++ {
+			x := dbx ^ k.symB16[c]
+			me := ^(x + j7f) & j80
+			cs[c] = mismB ^ (dmB & (me - me>>15))
+		}
+
+		var diag, up uint64
+		for i := range col {
+			left := col[i]
+			s := cs[sym[i]]
+			t0 := diag + s
+			d1 := (t0 | j80) - biasB
+			a1 := d1 & j80
+			dterm := d1 & (a1 - a1>>15)
+			d2 := (up | j80) - left
+			a2 := d2 & j80
+			ul := left + (d2 & (a2 - a2>>15))
+			d3 := (ul | j80) - gapB
+			a3 := d3 & j80
+			ug := d3 & (a3 - a3>>15)
+			d4 := (dterm | j80) - ug
+			a4 := d4 & j80
+			h := (ug + (d4 & (a4 - a4>>15))) & active
+			hk := h | j80
+			if ov := (hk - limP1B) & j80; ov != 0 {
+				poison |= ov
+				mf := (ov >> 15) * 0xffff
+				h = (h &^ mf) | (limB & mf)
+				hk = h | j80
+			}
+			col[i] = h
+			gt := (hk - mp1) & j80
+			ge := (hk - mx) & j80
+			if gt != 0 {
+				mf := (gt >> 15) * 0xffff
+				mx = (mx &^ mf) | (h & mf)
+				mp1 = mx + j01
+				for b := gt; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 4
+					endI[l] = int32(i + 1)
+					endJ[l] = int32(j + 1)
+				}
+			}
+			if eq := ge &^ gt; eq != 0 {
+				eq &= (h + j7f) & j80
+				for b := eq; b != 0; b &= b - 1 {
+					l := bits.TrailingZeros64(b) >> 4
+					if int32(i+1) < endI[l] {
+						endI[l] = int32(i + 1)
+						endJ[l] = int32(j + 1)
+					}
+				}
+			}
+			diag = left
+			up = h
+		}
+	}
+
+	for l := range recs {
+		sh := uint(l) * 16
+		out[l] = Result{
+			Score:    int((mx >> sh) & 0xffff),
+			EndI:     int(endI[l]),
+			EndJ:     int(endJ[l]),
+			Overflow: (poison>>sh)&0x8000 != 0,
+		}
+	}
+}

@@ -320,13 +320,21 @@ type Histogram struct {
 }
 
 // NewHistogram registers a histogram with the given bucket upper
-// bounds, which must be strictly increasing and non-empty.
+// bounds, which must be finite, strictly increasing and non-empty.
+// Non-finite bounds are rejected here because they would resurface in
+// the text exposition: Quantile reports the largest finite bound for
+// the overflow bucket, an assumption a +Inf or NaN bound would break —
+// and NaN would also slip past the ordering check below, since every
+// comparison against it is false.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		panic("telemetry: histogram " + name + " needs at least one bucket bound")
 	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("telemetry: histogram " + name + " bounds must be finite (the +Inf bucket is implicit)")
+		}
+		if i > 0 && b <= bounds[i-1] {
 			panic("telemetry: histogram " + name + " bounds must be strictly increasing")
 		}
 	}
@@ -394,13 +402,16 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // Prometheus-style histogram estimate. The error is bounded by the
 // bucket width (pinned against the exact internal/stats.Quantile in the
 // package tests). An empty histogram returns 0; a quantile landing in
-// the +Inf bucket returns the largest finite bound.
+// the +Inf bucket returns the largest finite bound; q outside [0, 1] —
+// including NaN, whose comparisons are all false and would otherwise
+// sail through the clamps as a poisoned rank — is clamped, so the
+// result is always finite and the exposition never carries NaN/Inf.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q > 0) { // catches q <= 0 and NaN
 		q = 0
 	}
 	if q > 1 {

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -167,12 +168,92 @@ func TestHistogramSnapshotQuantiles(t *testing.T) {
 func TestHistogramQuantileEdges(t *testing.T) {
 	r := NewRegistry()
 	h := r.NewHistogram("edge_seconds", "edges", []float64{1, 2})
-	if h.Quantile(0.5) != 0 {
-		t.Error("empty histogram quantile must be 0")
+	// Empty histogram: every q, including the degenerate and poisoned
+	// ones, reports 0 — never NaN from a 0/0 rank.
+	for _, q := range []float64{0, 0.5, 1, -3, 7, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
 	}
 	h.Observe(100) // lands in +Inf bucket
 	if got := h.Quantile(0.99); got != 2 {
 		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 2", got)
+	}
+	// q=0, q=1, out-of-range and NaN q must all produce finite values
+	// even when every sample sits in the overflow bucket.
+	for _, q := range []float64{0, 1, -1, 2, math.NaN()} {
+		got := h.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Quantile(%g) = %g leaks a non-finite value", q, got)
+		}
+	}
+}
+
+// TestHistogramRejectsNonFiniteBounds pins the registration guard: a
+// +Inf bound would shadow the implicit overflow bucket and resurface
+// through Quantile into the exposition, and a NaN bound would slip
+// through the ordering check entirely (NaN comparisons are all false).
+func TestHistogramRejectsNonFiniteBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{1, 2, math.Inf(1)},
+		{math.Inf(-1), 1},
+		{1, math.NaN(), 2},
+		{math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v must be rejected", bounds)
+				}
+			}()
+			NewRegistry().NewHistogram("bad_seconds", "bad", bounds)
+		}()
+	}
+}
+
+// TestHistogramExpositionFiniteRoundTrip is the ParsePrometheus
+// round-trip gate for the quantile edge cases: empty histograms,
+// histograms whose only sample overflows every bucket, and single-
+// sample histograms must all render to text that parses back with no
+// NaN or Inf in any series — what a Prometheus scrape of /metrics
+// would ingest.
+func TestHistogramExpositionFiniteRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("rt_empty_seconds", "never observed", []float64{1, 2})
+	over := r.NewHistogram("rt_over_seconds", "overflow only", []float64{1, 2})
+	over.Observe(1e9)
+	one := r.NewHistogram("rt_one_seconds", "single sample", []float64{1, 2})
+	one.Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v", err)
+	}
+	for key, v := range parsed {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("series %s = %g: non-finite value leaked into the exposition", key, v)
+		}
+	}
+	// The empty histogram exposes counts but no quantile series; the
+	// observed ones expose all three.
+	if _, ok := parsed["rt_empty_seconds_p50"]; ok {
+		t.Error("empty histogram must not expose quantile series")
+	}
+	for _, key := range []string{"rt_over_seconds_p50", "rt_over_seconds_p99", "rt_one_seconds_p95"} {
+		if _, ok := parsed[key]; !ok {
+			t.Errorf("exposition missing %s", key)
+		}
+	}
+	// Round trip agrees with the in-process snapshot exactly.
+	snap := r.Snapshot()
+	for key, want := range snap {
+		if got, ok := parsed[key]; !ok || got != want {
+			t.Errorf("round trip %s = %g (present %v), snapshot %g", key, parsed[key], ok, want)
+		}
 	}
 }
 

@@ -103,6 +103,19 @@ const (
 	// NameShardScanSeconds is the per-shard scan wall-latency histogram.
 	NameShardScanSeconds = "swfpga_shard_scan_wall_seconds"
 
+	// NameSwarGroups counts lane groups scanned by the SWAR software
+	// kernel (up to swar.GroupSize records per group).
+	NameSwarGroups = "swfpga_swar_groups_total"
+	// NameSwarRecords counts database records scored inside SWAR lanes
+	// (records handed back to the scalar oracle are not counted here).
+	NameSwarRecords = "swfpga_swar_records_total"
+	// NameSwarPromotions counts lanes re-scanned in the 16-bit widening
+	// tier after an 8-bit saturation poison.
+	NameSwarPromotions = "swfpga_swar_promotions_total"
+	// NameSwarFallbacks counts lanes that overflowed every SWAR tier and
+	// were re-scored by the scalar oracle.
+	NameSwarFallbacks = "swfpga_swar_fallbacks_total"
+
 	// NameBuildInfo is the constant-1 build-metadata series; its labels
 	// carry the VCS commit and the Go toolchain version, so every
 	// BENCH_*.json baseline and every scrape can be tied to the exact
@@ -177,6 +190,8 @@ func RegisteredNames() []string {
 		NameIndexShards, NameIndexRecords, NameIndexPayloadBytes,
 		NameIndexShardsBuilt, NameShardScans, NameShardTopKHits,
 		NameShardScanSeconds,
+		NameSwarGroups, NameSwarRecords, NameSwarPromotions,
+		NameSwarFallbacks,
 		NameBuildInfo, NameUptimeSeconds,
 		NameExpvarMetrics,
 		SpanSearch, SpanSearchBatch, SpanSearchRecord, SpanSearchParse,

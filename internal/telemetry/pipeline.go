@@ -182,6 +182,23 @@ var (
 		"per-shard scan wall latency (seconds)",
 		ExponentialBounds(1e-4, 4, 14))
 
+	// SwarGroups / SwarRecords count lane-group scans and the records
+	// scored inside SWAR lanes; SwarPromotions / SwarFallbacks count the
+	// saturation escapes (8-bit lanes re-run in the 16-bit tier, and
+	// lanes handed to the scalar oracle after overflowing every tier).
+	SwarGroups = Default().NewCounter(
+		NameSwarGroups,
+		"lane groups scanned by the SWAR software kernel")
+	SwarRecords = Default().NewCounter(
+		NameSwarRecords,
+		"database records scored inside SWAR lanes")
+	SwarPromotions = Default().NewCounter(
+		NameSwarPromotions,
+		"SWAR lanes promoted to the 16-bit tier after 8-bit saturation")
+	SwarFallbacks = Default().NewCounter(
+		NameSwarFallbacks,
+		"SWAR lanes re-scored by the scalar oracle after tier overflow")
+
 	// ModeledGCUPS and WallGCUPS track throughput: cell updates per
 	// modeled accelerator second vs per measured wall second of the
 	// enclosing scan. The distinction matters — the modeled figure is

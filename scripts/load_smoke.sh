@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf-trajectory smoke (DESIGN.md §12): runs the committed load
 # scenarios with swload and gates them against the baselines in
-# baselines/ — the library streaming scan and the indexed shard scan
-# in-process, and the daemon scenario against a real swservd on an
-# ephemeral port serving the scenario's own database. Finally perturbs a fresh report and checks
-# the gate actually fails (exit 2) with a readable per-metric verdict.
+# baselines/ — the library streaming scan (scalar and SWAR engines) and
+# the indexed shard scan in-process, and the daemon scenario against a
+# real swservd on an ephemeral port serving the scenario's own
+# database. Finally perturbs a fresh report and checks the gate
+# actually fails (exit 2) with a readable per-metric verdict.
 # Run via `make load-smoke` (part of `make check`).
 set -euo pipefail
 
@@ -50,6 +51,17 @@ grep -q '^ok: ' "$work/scan_stream.verdict" || fail "scan_stream verdict missing
 	>"$work/scan_indexed.verdict" 2>"$work/scan_indexed.log" ||
 	fail "scan_indexed regressed against its baseline: $(cat "$work/scan_indexed.verdict")"
 grep -q '^ok: ' "$work/scan_indexed.verdict" || fail "scan_indexed verdict missing ok line"
+
+# Leg 1c: the SWAR lane engine on the streaming scan — scan_stream's
+# database re-cut into lane-group-sized records — gated against its own
+# committed baseline; a throughput regression here means the lane
+# kernel (or the batch plumbing above it) got slower.
+"$work/swload" -scenario scan_swar \
+	-out "$work/BENCH_scan_swar.json" \
+	-compare baselines/BENCH_scan_swar.json \
+	>"$work/scan_swar.verdict" 2>"$work/scan_swar.log" ||
+	fail "scan_swar regressed against its baseline: $(cat "$work/scan_swar.verdict")"
+grep -q '^ok: ' "$work/scan_swar.verdict" || fail "scan_swar verdict missing ok line"
 
 # Leg 2: the daemon scenario against a live swservd serving the
 # scenario's own database (byte-identical to what the harness expects).
@@ -100,4 +112,4 @@ rc=0
 grep -q '^REGRESSION: ' "$work/bad.verdict" || fail "perturbed verdict carries no REGRESSION line"
 grep -q 'latency_p50_seconds.*FAIL' "$work/bad.verdict" || fail "perturbed verdict does not name the offending metric"
 
-echo "load-smoke: ok (scan_stream + scan_indexed + servd_closed within tolerance, gate trips on injected regression)"
+echo "load-smoke: ok (scan_stream + scan_indexed + scan_swar + servd_closed within tolerance, gate trips on injected regression)"
